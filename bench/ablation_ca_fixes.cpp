@@ -1,0 +1,74 @@
+// Ablation: quantifying §8 recommendation 1 — "CAs should bolster the
+// availability and reliability of their OCSP responders". Runs the same
+// two-week scan campaign over three worlds:
+//   (a) the measured 2018 world (full fault schedule + pathologies),
+//   (b) outages fixed, pathologies kept,
+//   (c) everything fixed,
+// and reports request failure rate and unusable-response rate for each.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace mustaple;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  bool faults;
+  bool pathologies;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: what if CAs fixed their responders?",
+                      "section 8 recommendation 1, quantified");
+
+  const Variant variants[] = {
+      {"2018 world (as measured)", true, true},
+      {"outages fixed, malformed responses kept", false, true},
+      {"everything fixed", false, false},
+  };
+
+  bench::Stopwatch watch;
+  std::printf("%-44s %10s %12s\n", "world", "failure%", "unusable%");
+  for (const Variant& variant : variants) {
+    measurement::EcosystemConfig config = bench::paper_ecosystem();
+    config.campaign_end = util::make_time(2018, 5, 9);  // two weeks
+    config.certs_per_responder = 2;
+    config.apply_fault_schedule = variant.faults;
+    config.apply_pathologies = variant.pathologies;
+
+    net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+    measurement::Ecosystem ecosystem(config, loop);
+    measurement::ScanConfig scan;
+    scan.interval = util::Duration::hours(6);
+    measurement::HourlyScanner scanner(ecosystem, scan);
+    scanner.run();
+
+    double failure = 0.0;
+    for (net::Region region : net::all_regions()) {
+      failure += scanner.failure_rate(region);
+    }
+    failure /= net::kRegionCount;
+
+    std::size_t responses = 0;
+    std::size_t unusable = 0;
+    for (const auto& step : scanner.steps()) {
+      responses += step.responses_200;
+      unusable += step.unparseable + step.serial_mismatch + step.bad_signature;
+    }
+    std::printf("  %-42s %9.2f%% %11.2f%%\n", variant.label, 100.0 * failure,
+                responses ? 100.0 * static_cast<double>(unusable) /
+                                static_cast<double>(responses)
+                          : 0.0);
+  }
+
+  std::printf(
+      "\n[reading: the entire §5 readiness gap on the CA side is the fault\n"
+      " schedule plus response pathologies — with both fixed, the substrate\n"
+      " meets the paper's bar ('OCSP responders would not be a barrier')]\n");
+  std::printf("\n[%.2fs]\n", watch.seconds());
+  return 0;
+}

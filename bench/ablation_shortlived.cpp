@@ -1,0 +1,126 @@
+// Ablation: short-lived certificates vs OCSP Must-Staple (the alternative
+// the paper cites from Topalovic et al., §3): after a key compromise, for
+// how long can an attacker still get the certificate accepted?
+//
+// Scenario: the key is compromised at T0 and the CA revokes at T0+6h. The
+// attacker serves the certificate from a hostile network (strips staples,
+// blocks OCSP). We sweep clients over time and measure the acceptance
+// window under each regime.
+#include <cstdio>
+
+#include "browser/browser.hpp"
+#include "ca/authority.hpp"
+#include "ca/responder.hpp"
+#include "common.hpp"
+#include "webserver/webserver.hpp"
+
+using namespace mustaple;
+
+namespace {
+
+struct Regime {
+  const char* label;
+  util::Duration cert_lifetime;
+  bool must_staple;
+  bool client_respects;
+  bool attacker_strips;  ///< attacker can strip staples / block OCSP
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: short-lived certificates vs OCSP Must-Staple",
+      "section 3 related work (Topalovic et al.) vs the paper's mechanism");
+
+  const util::SimTime t0 = util::make_time(2018, 6, 1);  // compromise instant
+  const util::Duration revocation_delay = util::Duration::hours(6);
+  const util::Duration staple_validity = util::Duration::days(7);
+
+  const Regime regimes[] = {
+      {"90-day cert, soft-fail client (2018 default)", util::Duration::days(90),
+       false, false, true},
+      {"90-day cert + Must-Staple, hard-fail client", util::Duration::days(90),
+       true, true, true},
+      {"3-day short-lived cert, no revocation at all", util::Duration::days(3),
+       false, false, true},
+      {"3-day short-lived + Must-Staple + hard-fail", util::Duration::days(3),
+       true, true, true},
+  };
+
+  std::printf("compromise at T0; CA revokes at T0+6h; stapled responses are valid %ldd;\n",
+              staple_validity.seconds / 86400);
+  std::printf("attacker strips staples and blocks OCSP. Acceptance window per regime:\n\n");
+
+  bench::Stopwatch watch;
+  for (const Regime& regime : regimes) {
+    util::Rng rng(99);
+    net::EventLoop loop(t0 - util::Duration::days(10));
+    net::Network network(loop, 99);
+    ca::CertificateAuthority authority("AblCA", t0 - util::Duration::days(900),
+                                       rng);
+    ca::ResponderBehavior behavior;
+    behavior.pre_generate = false;
+    behavior.validity = staple_validity;
+    behavior.this_update_margin = util::Duration::hours(1);
+    ca::OcspResponder responder(authority, behavior, "ocsp.abl.example", rng);
+    responder.install(network);
+    x509::RootStore roots;
+    roots.add(authority.root_cert());
+
+    ca::LeafRequest request;
+    request.domain = "victim.example";
+    request.not_before = t0 - util::Duration::days(1);
+    request.lifetime = regime.cert_lifetime;
+    request.must_staple = regime.must_staple;
+    request.ocsp_urls = {"http://ocsp.abl.example/"};
+    const x509::Certificate leaf = authority.issue(request, rng);
+
+    // The attacker's server: has the key + certificate, staples nothing.
+    webserver::WebServerConfig config;
+    config.stapling_enabled = !regime.attacker_strips;
+    webserver::WebServer attacker("victim.example", authority.chain_for(leaf),
+                                  config, network);
+    tls::TlsDirectory directory;
+    attacker.install(directory);
+    if (regime.attacker_strips) {
+      net::FaultRule block;
+      block.canonical_host = "ocsp.abl.example";
+      block.mode = net::FaultMode::kTcpConnectFailure;
+      block.window_start = t0;
+      network.faults().add(block);
+    }
+
+    authority.revoke(leaf.serial(), t0 + revocation_delay,
+                     crl::ReasonCode::kKeyCompromise, ca::RevocationPolicy{});
+
+    browser::BrowserProfile client;
+    client.name = "Client";
+    client.os = "any";
+    client.respects_must_staple = regime.client_respects;
+
+    // Sweep hourly for 100 days; record the last hour the attacker wins.
+    util::Duration window = util::Duration::secs(0);
+    for (int hour = 0; hour <= 100 * 24; ++hour) {
+      const util::SimTime when = t0 + util::Duration::hours(hour);
+      loop.run_until(when);
+      const auto visit = browser::visit(client, directory, "victim.example",
+                                        roots, when, &network);
+      const bool attacker_wins =
+          visit.verdict == browser::Verdict::kAccept ||
+          visit.verdict == browser::Verdict::kAcceptSoftFail;
+      if (attacker_wins) window = util::Duration::hours(hour + 1);
+    }
+    std::printf("  %-48s %6.1f days\n", regime.label,
+                static_cast<double>(window.seconds) / 86400.0);
+  }
+
+  std::printf(
+      "\n[reading: soft-fail leaves the full remaining lifetime exposed "
+      "(~89d);\n Must-Staple + hard-fail cuts exposure to zero under staple-"
+      "stripping;\n short-lived certificates bound exposure by lifetime "
+      "(~2d) even without\n revocation — the two mechanisms the paper "
+      "compares in section 3]\n");
+  std::printf("\n[%.2fs]\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared scaffolding for the per-figure/table bench binaries: the standard
+// scaled-down "paper campaign" configurations and small printing helpers.
+//
+// Scale notes (see EXPERIMENTS.md): the paper probes 14,634 certificates
+// hourly from 6 vantage points for 4.3 months (~280M lookups). These benches
+// keep the full responder population (536), all vantage points, and the
+// complete fault schedule, but sample fewer certificates per responder and a
+// coarser cadence. Every knob is printed so runs are self-describing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "measurement/ecosystem.hpp"
+#include "measurement/scanner.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/strings.hpp"
+
+namespace mustaple::bench {
+
+inline measurement::EcosystemConfig paper_ecosystem(std::uint64_t seed = 2018) {
+  measurement::EcosystemConfig config;
+  config.seed = seed;
+  config.responder_count = 536;      // paper: 536 responders
+  config.alexa_domains = 100'000;    // paper: 1M (1:10)
+  config.certs_per_responder = 3;    // paper: <=50 (scaled)
+  config.campaign_start = util::make_time(2018, 4, 25);
+  config.campaign_end = util::make_time(2018, 9, 4);
+  return config;
+}
+
+/// Quality-figure campaigns (Figs 5-9) need responder-level statistics, not
+/// long time series: four weeks at 6-hour cadence gives dozens of samples
+/// per responder per vantage point.
+inline measurement::EcosystemConfig quality_ecosystem(std::uint64_t seed = 2018) {
+  measurement::EcosystemConfig config = paper_ecosystem(seed);
+  config.campaign_end = util::make_time(2018, 5, 23);
+  return config;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline void print_campaign(const measurement::EcosystemConfig& config,
+                           const measurement::ScanConfig& scan) {
+  std::printf(
+      "campaign: %s .. %s | responders=%zu | certs/responder<=%zu | "
+      "cadence=%ldh | seed=%llu\n\n",
+      util::format_time(config.campaign_start).c_str(),
+      util::format_time(config.campaign_end).c_str(), config.responder_count,
+      config.certs_per_responder, scan.interval.seconds / 3600,
+      static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace mustaple::bench

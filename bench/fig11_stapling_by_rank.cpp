@@ -1,0 +1,88 @@
+// Figure 11: OCSP Stapling adoption as a function of website popularity.
+// Paper shape: roughly 35% of OCSP-enabled domains staple, with popular
+// domains noticeably more likely (top bins ~40%+, tail below 30%).
+// Measured the paper's way: actual TLS handshakes against a sampled set of
+// simulated web servers, not just metadata counting.
+#include <cstdio>
+
+#include "analysis/adoption.hpp"
+#include "common.hpp"
+#include "webserver/webserver.hpp"
+
+int main() {
+  using namespace mustaple;
+  bench::print_header("Figure 11: OCSP Stapling adoption vs Alexa rank",
+                      "Fig 11 (% of OCSP domains that staple, per rank bin)");
+
+  measurement::EcosystemConfig config = bench::paper_ecosystem();
+  net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+  bench::Stopwatch watch;
+  measurement::Ecosystem ecosystem(config, loop);
+
+  // Metadata view over the full population.
+  const auto adoption = analysis::adoption_by_rank(ecosystem, 100);
+  util::Series staple;
+  staple.label = "OCSP domains that support OCSP Stapling";
+  for (std::size_t i = 0; i < adoption.bin_centers.size(); ++i) {
+    staple.add(adoption.bin_centers[i], adoption.staple_pct[i]);
+  }
+  util::ChartOptions options;
+  options.title = "Stapling adoption vs Alexa rank (scaled 1:10)";
+  options.x_label = "Alexa rank";
+  options.y_label = "% of OCSP domains";
+  std::printf("%s\n", util::render_chart({staple}, options).c_str());
+
+  double avg = 0;
+  for (double v : adoption.staple_pct) avg += v;
+  avg /= static_cast<double>(adoption.staple_pct.size());
+  std::printf("measured: average %.1f%% (paper ~35%%); top bin %.1f%% vs tail bin %.1f%%\n\n",
+              avg, adoption.staple_pct.front(), adoption.staple_pct.back());
+
+  // Handshake-scan cross-check: drive real TLS handshakes against a sample
+  // of instantiated web servers, as Censys does, and compare.
+  util::Rng rng(config.seed ^ 0x5ca9);
+  tls::TlsDirectory directory;
+  std::vector<std::unique_ptr<webserver::WebServer>> servers;
+  std::size_t sampled = 0;
+  std::size_t staplers = 0;
+  const util::SimTime when = config.campaign_start + util::Duration::days(5);
+  loop.run_until(when - util::Duration::days(1));
+  for (const auto& meta : ecosystem.domains()) {
+    if (!meta.ocsp || !rng.chance(0.01)) continue;  // 1% handshake sample
+    const std::string domain = "rank" + std::to_string(meta.rank) + ".example";
+    ca::LeafRequest request;
+    request.domain = domain;
+    request.not_before = config.campaign_start - util::Duration::days(30);
+    request.lifetime = util::Duration::days(365);
+    request.must_staple = meta.must_staple != 0;
+    request.ocsp_urls = {"http://" +
+                         ecosystem.responders()[meta.responder].host + "/"};
+    auto& authority = ecosystem.authority(meta.ca);
+    webserver::WebServerConfig server_config;
+    server_config.software = webserver::Software::kIdeal;
+    server_config.stapling_enabled = meta.staples != 0;
+    servers.push_back(std::make_unique<webserver::WebServer>(
+        domain, authority.chain_for(authority.issue(request, rng)),
+        server_config, ecosystem.network()));
+    servers.back()->install(directory);
+    servers.back()->start(when - util::Duration::hours(2));
+    ++sampled;
+  }
+  loop.run_until(when);
+  for (const auto& server : servers) {
+    tls::ClientHello hello;
+    hello.server_name = server->domain();
+    hello.status_request = true;
+    tls::ServerHello server_hello;
+    const auto obs = tls::observe_handshake(directory, hello, ecosystem.roots(),
+                                            when, server_hello);
+    if (obs.staple_present) ++staplers;
+  }
+  std::printf("handshake cross-check: %zu sampled domains, %.1f%% stapled in a live TLS handshake\n",
+              sampled,
+              sampled ? 100.0 * static_cast<double>(staplers) /
+                            static_cast<double>(sampled)
+                      : 0.0);
+  std::printf("\n[%.2fs]\n", watch.seconds());
+  return 0;
+}

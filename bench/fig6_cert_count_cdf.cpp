@@ -1,0 +1,47 @@
+// Figure 6: CDF (over responders) of the average number of certificates per
+// OCSP response. Paper shape: ~85.5% of responders send <=1 certificate;
+// 79 (15%) always send more than one; the ocsp.cpc.gov.ae analogue sends a
+// whole 4-certificate chain.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace mustaple;
+  bench::print_header("Figure 6: certificates per OCSP response (CDF)",
+                      "Fig 6 (per-responder averages, all vantage points)");
+
+  measurement::EcosystemConfig config = bench::quality_ecosystem();
+  measurement::ScanConfig scan;
+  scan.interval = util::Duration::hours(6);
+  bench::print_campaign(config, scan);
+
+  net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+  bench::Stopwatch watch;
+  measurement::Ecosystem ecosystem(config, loop);
+  measurement::HourlyScanner scanner(ecosystem, scan);
+  scanner.run();
+
+  for (net::Region region :
+       {net::Region::kVirginia, net::Region::kSaoPaulo, net::Region::kSeoul}) {
+    const util::Cdf cdf = scanner.cdf_certs(region);
+    std::printf("%s: %zu responders, fraction sending <=1 cert: %.1f%%, <=2: %.1f%%, max avg: %.1f\n",
+                net::to_string(region), cdf.count(),
+                100.0 * cdf.fraction_at_most(1.0),
+                100.0 * cdf.fraction_at_most(2.0),
+                cdf.count() ? cdf.quantile(1.0) : 0.0);
+  }
+  std::printf("\n");
+
+  const util::Cdf cdf = scanner.cdf_certs(net::Region::kVirginia);
+  util::ChartOptions options;
+  options.title = "CDF: avg certificates per response (Virginia)";
+  options.x_label = "avg # certificates";
+  options.y_label = "CDF";
+  std::printf("%s\n", util::render_cdf(cdf, options).c_str());
+  std::printf("[paper: 14.5%% of responders send >1 certificate; curves identical across regions]\n");
+  std::printf("measured: %.1f%% send >1 certificate\n",
+              100.0 * (1.0 - cdf.fraction_at_most(1.0)));
+  std::printf("\n[%.2fs]\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 8: CDF (over responders) of the OCSP response validity period
+// (nextUpdate - thisUpdate). Paper shape: median about a week; 45 (9.1%)
+// responders always send a BLANK nextUpdate (infinite validity); 11 (2%)
+// use validity over one month, with a tail reaching 108,130,800 seconds
+// (1,251 days). Also reproduces the §5.4 producedAt analysis: 51.7% of
+// responders serve pre-generated responses, 7 with validity equal to their
+// update period ("non-overlapping", the hinet/cnnic pattern).
+#include <cstdio>
+
+#include "analysis/export.hpp"
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mustaple;
+  const std::string csv_dir = argc > 1 ? argv[1] : "";
+  bench::print_header("Figure 8: OCSP validity periods (CDF) + section 5.4 producedAt analysis",
+                      "Fig 8 + non-overlapping validity windows");
+
+  measurement::EcosystemConfig config = bench::quality_ecosystem();
+  measurement::ScanConfig scan;
+  scan.interval = util::Duration::hours(6);
+  bench::print_campaign(config, scan);
+
+  net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+  bench::Stopwatch watch;
+  measurement::Ecosystem ecosystem(config, loop);
+  measurement::HourlyScanner scanner(ecosystem, scan);
+  scanner.run();
+
+  const util::Cdf cdf = scanner.cdf_validity(net::Region::kVirginia);
+  util::ChartOptions options;
+  options.title = "CDF: validity period, seconds (Virginia, log x)";
+  options.x_label = "nextUpdate - thisUpdate (s)";
+  options.y_label = "CDF";
+  options.log_x = true;
+  std::printf("%s\n", util::render_cdf(cdf, options).c_str());
+  if (!csv_dir.empty()) {
+    analysis::write_export(csv_dir, "fig8_validity_cdf.csv",
+                           analysis::csv_from_cdf(cdf));
+  }
+
+  std::printf("measured (paper in brackets):\n");
+  std::printf("  median validity:        %.1f days  [~7 days]\n",
+              cdf.quantile(0.5) / 86400.0);
+  std::printf("  blank nextUpdate:       %.1f%%  [9.1%%]\n",
+              100.0 * cdf.infinite_fraction());
+  std::printf("  validity > 1 month:     %.1f%%  [2%%]\n",
+              100.0 * (1.0 - cdf.fraction_at_most(31.0 * 86400.0) -
+                       cdf.infinite_fraction()));
+  const auto finite = cdf.sorted_finite();
+  std::printf("  longest finite:         %.0f days  [1,251 days]\n\n",
+              finite.empty() ? 0.0 : finite.back() / 86400.0);
+
+  std::printf("producedAt analysis (section 5.4):\n");
+  std::printf("  responders serving pre-generated responses: %zu / %zu = %.1f%%  [51.7%%]\n",
+              scanner.responders_pre_generated(), scanner.responder_count(),
+              100.0 * static_cast<double>(scanner.responders_pre_generated()) /
+                  static_cast<double>(scanner.responder_count()));
+  std::printf("  with validity <= update period (non-overlap hazard): %zu  [7]\n",
+              scanner.responders_non_overlapping());
+  std::printf("\n[%.2fs]\n", watch.seconds());
+  return 0;
+}

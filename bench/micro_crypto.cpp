@@ -1,0 +1,91 @@
+// Microbenchmarks for the crypto substrate: SHA-256, HMAC, BigInt modexp,
+// RSA sign/verify, and the simulation-grade signer.
+#include <benchmark/benchmark.h>
+
+#include "crypto/bigint.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+
+namespace {
+
+using namespace mustaple;
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const util::Bytes key(32, 0x11);
+  util::Bytes data(256, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_BigIntMul(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto a = crypto::BigInt::random_bits(
+      static_cast<std::size_t>(state.range(0)), rng);
+  const auto b = crypto::BigInt::random_bits(
+      static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigIntMul)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_BigIntModExp(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const auto base = crypto::BigInt::random_bits(bits - 1, rng);
+  const auto exp = crypto::BigInt::random_bits(bits - 1, rng);
+  auto mod = crypto::BigInt::random_bits(bits, rng);
+  if (!mod.is_odd()) mod = mod + crypto::BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigInt::mod_exp(base, exp, mod));
+  }
+}
+BENCHMARK(BM_BigIntModExp)->Arg(256)->Arg(512);
+
+void BM_RsaSign(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto kp = crypto::RsaKeyPair::generate(512, rng);
+  const util::Bytes msg = util::bytes_of("benchmark message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign_sha256(kp, msg));
+  }
+}
+BENCHMARK(BM_RsaSign);
+
+void BM_RsaVerify(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto kp = crypto::RsaKeyPair::generate(512, rng);
+  const util::Bytes msg = util::bytes_of("benchmark message");
+  const util::Bytes sig = crypto::rsa_sign_sha256(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify_sha256(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify);
+
+void BM_SimSign(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto kp = crypto::KeyPair::generate_sim(rng);
+  const util::Bytes msg(300, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.sign(msg));
+  }
+}
+BENCHMARK(BM_SimSign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

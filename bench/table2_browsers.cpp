@@ -1,0 +1,54 @@
+// Table 2: browser support for OCSP Must-Staple. Methodology as in §6:
+// a valid Must-Staple certificate served WITHOUT a staple; observe whether
+// each browser (1) solicited a staple, (2) rejected the certificate,
+// (3) fell back to its own OCSP request. Paper: all request; only Firefox
+// on desktop + Android respect; nobody falls back.
+// Plus the security ablation: a REVOKED Must-Staple cert behind a
+// staple-stripping attacker.
+#include <cstdio>
+
+#include "analysis/browser_suite.hpp"
+#include "common.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace mustaple;
+  bench::print_header("Table 2: browser Must-Staple conformance",
+                      "Table 2 (16 browser/OS combinations)");
+
+  bench::Stopwatch watch;
+  const analysis::BrowserSuiteResult result = analysis::run_browser_suite(2018);
+
+  auto mark = [](bool v) { return v ? std::string("yes") : std::string("NO"); };
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : result.rows) {
+    rows.push_back({row.profile.display_name(),
+                    mark(row.requested_ocsp_response),
+                    mark(row.respected_must_staple),
+                    mark(row.sent_own_ocsp_request),
+                    browser::to_string(row.verdict_revoked_attacked)});
+  }
+  std::printf("%s\n",
+              util::render_table({"Browser", "Requests staple",
+                                  "Respects Must-Staple", "Own OCSP",
+                                  "Revoked+stripped verdict"},
+                                 rows)
+                  .c_str());
+
+  std::printf("summary (paper in brackets):\n");
+  std::printf("  request OCSP response:   %zu/%zu  [16/16]\n",
+              result.count_requesting(), result.rows.size());
+  std::printf("  respect Must-Staple:     %zu/%zu  [4/16: Firefox desktop x3 + Android]\n",
+              result.count_respecting(), result.rows.size());
+  std::printf("  send own OCSP request:   %zu/%zu  [0/16]\n",
+              result.count_own_ocsp(), result.rows.size());
+  std::printf(
+      "\nablation - staple-stripping attack on a REVOKED Must-Staple cert:\n"
+      "  attack succeeds against %zu/%zu browsers (all non-respecting ones)\n"
+      "  [the soft-failure problem of section 2.3: Must-Staple only protects\n"
+      "   users of the %zu hard-failing browsers]\n",
+      result.count_attack_succeeds(), result.rows.size(),
+      result.count_respecting());
+  std::printf("\n[%.2fs]\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 3: web-server OCSP Stapling correctness. Methodology as in §7.2:
+// a controlled OCSP responder plus fault injection against each server
+// model. Paper: neither Apache nor Nginx is fully correct — no prefetch
+// (Apache pauses the handshake, Nginx gives the first client nothing);
+// Apache ignores nextUpdate and discards/serves error responses on failure;
+// Nginx has the 5-minute refresh floor.
+// Plus the DESIGN.md ablation: client-visible staple availability under a
+// 24h responder outage per server model.
+#include <cstdio>
+
+#include "analysis/webserver_suite.hpp"
+#include "common.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace mustaple;
+  bench::print_header("Table 3: web-server stapling correctness",
+                      "Table 3 + outage-availability ablation");
+
+  bench::Stopwatch watch;
+  const analysis::WebServerSuiteResult result =
+      analysis::run_webserver_suite(2018);
+
+  auto mark = [](bool v) { return v ? std::string("yes") : std::string("NO"); };
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : result.rows) {
+    rows.push_back({webserver::to_string(row.software),
+                    mark(row.prefetches) + " (" + row.first_client_note + ")",
+                    mark(row.caches), mark(row.respects_next_update),
+                    mark(row.retains_on_error),
+                    mark(row.serves_error_response)});
+  }
+  std::printf("%s\n",
+              util::render_table({"Server", "Prefetch", "Cache",
+                                  "Respect nextUpdate", "Retain on error",
+                                  "Staples error resp"},
+                                 rows)
+                  .c_str());
+  std::printf(
+      "[paper Table 3: Apache: prefetch NO (pauses conn), cache yes, "
+      "nextUpdate NO, retain NO;\n"
+      " Nginx: prefetch NO (no response), cache yes, nextUpdate yes, retain "
+      "yes]\n\n");
+
+  std::printf("ablation: staple availability to a hard-fail client across a 24h\n");
+  std::printf("responder outage starting at t+1h (12h response validity):\n");
+  for (const auto& [software, availability] : result.outage_availability) {
+    std::printf("  %-7s %.1f%% of handshakes had a valid staple\n",
+                webserver::to_string(software), 100.0 * availability);
+  }
+  std::printf(
+      "\n[the paper's section 8 point: with correct caching + prefetch, "
+      "outages far\n shorter than the validity period are survivable; "
+      "Apache's delete-on-error\n behaviour forfeits that]\n");
+  std::printf("\n[%.2fs]\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,71 @@
+// browser_compat: the §6 browser experiment as a runnable tool. Serves a
+// Must-Staple certificate WITHOUT a staple (the paper's Apache with
+// SSLUseStapling off) and reports every browser profile's behaviour; then
+// repeats with a working staple for contrast.
+#include <cstdio>
+
+#include "analysis/browser_suite.hpp"
+#include "ca/authority.hpp"
+#include "ca/responder.hpp"
+#include "webserver/webserver.hpp"
+
+using namespace mustaple;
+
+int main() {
+  std::printf("=== experiment 1: Must-Staple certificate, staple withheld ===\n\n");
+  const analysis::BrowserSuiteResult suite = analysis::run_browser_suite(42);
+  std::printf("%-24s %-10s %-22s %-12s\n", "browser", "asks?", "verdict",
+              "protected?");
+  for (const auto& row : suite.rows) {
+    std::printf("%-24s %-10s %-22s %-12s\n",
+                row.profile.display_name().c_str(),
+                row.requested_ocsp_response ? "yes" : "no",
+                browser::to_string(row.verdict_without_staple),
+                row.respected_must_staple ? "YES" : "no");
+  }
+  std::printf("\n%zu/%zu browsers respect OCSP Must-Staple.\n\n",
+              suite.count_respecting(), suite.rows.size());
+
+  // Experiment 2: same domain, healthy stapling -> everyone accepts.
+  std::printf("=== experiment 2: same certificate, valid staple served ===\n\n");
+  const util::SimTime now = util::make_time(2018, 5, 15);
+  util::Rng rng(42);
+  net::EventLoop loop(now - util::Duration::days(1));
+  net::Network network(loop, 42);
+  ca::CertificateAuthority authority("CompatCA", now - util::Duration::days(900),
+                                     rng);
+  ca::OcspResponder responder(authority, ca::ResponderBehavior{},
+                              "ocsp.compat.example", rng);
+  responder.install(network);
+  x509::RootStore roots;
+  roots.add(authority.root_cert());
+
+  ca::LeafRequest request;
+  request.domain = "compat.example";
+  request.not_before = now - util::Duration::days(10);
+  request.lifetime = util::Duration::days(90);
+  request.must_staple = true;
+  request.ocsp_urls = {"http://ocsp.compat.example/"};
+  webserver::WebServerConfig config;
+  config.software = webserver::Software::kIdeal;
+  webserver::WebServer server("compat.example",
+                              authority.chain_for(authority.issue(request, rng)),
+                              config, network);
+  tls::TlsDirectory directory;
+  server.install(directory);
+  server.start(now - util::Duration::hours(1));
+  loop.run_until(now);
+
+  std::size_t accepts = 0;
+  for (const auto& profile : browser::standard_profiles()) {
+    const auto visit =
+        browser::visit(profile, directory, "compat.example", roots, now);
+    if (visit.verdict == browser::Verdict::kAccept) ++accepts;
+  }
+  std::printf("with a valid staple, %zu/%zu browsers accept with fresh revocation info.\n",
+              accepts, browser::standard_profiles().size());
+  std::printf("\nconclusion (paper section 6): clients already solicit staples; only the\n"
+              "hard-fail policy is missing — 'the additional coding work necessary to\n"
+              "support OCSP Must-Staple is likely not too significant.'\n");
+  return 0;
+}

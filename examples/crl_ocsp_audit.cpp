@@ -1,0 +1,58 @@
+// crl_ocsp_audit: the §5.4 consistency check as a standalone tool. Builds a
+// revoked population, downloads every CA's CRL over the simulated network,
+// queries the matching OCSP responders, and reports status / time / reason
+// disagreements — the checks the paper's authors ran before responsibly
+// disclosing to five CAs.
+//
+// Usage: crl_ocsp_audit [revoked_population]
+#include <cstdio>
+#include <cstdlib>
+
+#include "measurement/consistency.hpp"
+#include "measurement/ecosystem.hpp"
+
+using namespace mustaple;
+
+int main(int argc, char** argv) {
+  measurement::EcosystemConfig config;
+  config.seed = 11;
+  config.responder_count = 200;
+  config.alexa_domains = 10000;
+
+  measurement::ConsistencyConfig audit_config;
+  audit_config.revoked_population =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+
+  net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+  measurement::Ecosystem ecosystem(config, loop);
+
+  std::printf("auditing %zu revoked certificates across %zu CAs...\n\n",
+              audit_config.revoked_population, ecosystem.authority_count());
+  util::Rng rng(config.seed * 31 + 7);
+  measurement::ConsistencyAudit audit(ecosystem, audit_config);
+  const measurement::ConsistencyReport report = audit.run(rng);
+
+  std::printf("collected %zu/%zu OCSP responses; %zu CRLs downloaded\n\n",
+              report.responses_collected, report.probed,
+              report.crls_downloaded);
+
+  if (report.table1.empty()) {
+    std::printf("no status discrepancies found\n");
+  } else {
+    std::printf("STATUS DISCREPANCIES (certificates revoked per CRL, but OCSP says otherwise):\n");
+    for (const auto& row : report.table1) {
+      std::printf("  %-34s unknown=%zu good=%zu revoked=%zu  <-- would be reported to the CA\n",
+                  row.ocsp_url.c_str(), row.answered_unknown,
+                  row.answered_good, row.answered_revoked);
+    }
+  }
+
+  std::printf("\nREVOCATION TIMES: %zu/%zu pairs differ (%zu with OCSP earlier); worst lag %.1f days\n",
+              report.time_differing, report.time_compared,
+              report.time_negative,
+              report.max_positive_delta_seconds / 86400.0);
+  std::printf("REVOCATION REASONS: %zu/%zu differ; %zu are CRL-has-reason/OCSP-does-not\n",
+              report.reason_differing, report.reason_compared,
+              report.reason_crl_only);
+  return 0;
+}

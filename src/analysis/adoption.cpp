@@ -1,0 +1,61 @@
+#include "analysis/adoption.hpp"
+
+namespace mustaple::analysis {
+
+AdoptionByRank adoption_by_rank(const measurement::Ecosystem& ecosystem,
+                                std::size_t bins) {
+  const auto& domains = ecosystem.domains();
+  AdoptionByRank out;
+  if (domains.empty() || bins == 0) return out;
+  const double max_rank = static_cast<double>(domains.size());
+
+  util::BinnedRatio https(0, max_rank, bins);
+  util::BinnedRatio ocsp(0, max_rank, bins);
+  util::BinnedRatio staple(0, max_rank, bins);
+  for (const auto& meta : domains) {
+    const double rank = static_cast<double>(meta.rank);
+    https.add(rank, meta.https != 0);
+    if (meta.https) ocsp.add(rank, meta.ocsp != 0);
+    if (meta.ocsp) staple.add(rank, meta.staples != 0);
+  }
+  for (std::size_t i = 0; i < bins; ++i) {
+    out.bin_centers.push_back(https.bin_center(i));
+    out.https_pct.push_back(https.percentage(i));
+    out.ocsp_pct.push_back(ocsp.percentage(i));
+    out.staple_pct.push_back(staple.percentage(i));
+  }
+  return out;
+}
+
+AdoptionOverTime adoption_over_time(const measurement::Ecosystem& ecosystem) {
+  AdoptionOverTime out;
+  constexpr int kMonths = 28;  // 2016-05 .. 2018-09
+  for (int month = 0; month < kMonths; ++month) {
+    std::size_t https_live = 0;
+    std::size_t ocsp_live = 0;
+    std::size_t staple_live = 0;
+    for (const auto& meta : ecosystem.domains()) {
+      if (!meta.https || meta.https_month == 0xff || meta.https_month > month) {
+        continue;
+      }
+      ++https_live;
+      if (meta.ocsp) ++ocsp_live;
+      if (meta.staples && meta.staple_month != 0xff &&
+          meta.staple_month <= month) {
+        ++staple_live;
+      }
+    }
+    out.month_index.push_back(month);
+    out.ocsp_pct.push_back(
+        https_live ? 100.0 * static_cast<double>(ocsp_live) /
+                         static_cast<double>(https_live)
+                   : 0.0);
+    out.staple_pct.push_back(
+        ocsp_live ? 100.0 * static_cast<double>(staple_live) /
+                        static_cast<double>(ocsp_live)
+                  : 0.0);
+  }
+  return out;
+}
+
+}  // namespace mustaple::analysis

@@ -1,0 +1,33 @@
+// Adoption analyses over the domain population: Fig 2 (HTTPS & OCSP by
+// Alexa rank), Fig 11 (OCSP Stapling by rank), Fig 12 (OCSP & stapling over
+// time, May 2016 - Sep 2018).
+#pragma once
+
+#include <vector>
+
+#include "measurement/ecosystem.hpp"
+#include "util/stats.hpp"
+
+namespace mustaple::analysis {
+
+struct AdoptionByRank {
+  std::vector<double> bin_centers;  ///< Alexa rank bin midpoints
+  std::vector<double> https_pct;    ///< % of domains with a certificate
+  std::vector<double> ocsp_pct;     ///< % of HTTPS domains whose cert has OCSP
+  std::vector<double> staple_pct;   ///< % of OCSP domains that staple
+};
+
+/// Bins the population by rank (paper: bins of 10,000).
+AdoptionByRank adoption_by_rank(const measurement::Ecosystem& ecosystem,
+                                std::size_t bins = 100);
+
+struct AdoptionOverTime {
+  std::vector<int> month_index;     ///< months since 2016-05
+  std::vector<double> ocsp_pct;     ///< certificates with OCSP responder
+  std::vector<double> staple_pct;   ///< domains with OCSP Stapling
+};
+
+/// Monthly snapshots across the paper's Fig 12 window (28 months).
+AdoptionOverTime adoption_over_time(const measurement::Ecosystem& ecosystem);
+
+}  // namespace mustaple::analysis

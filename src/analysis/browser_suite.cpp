@@ -1,0 +1,114 @@
+#include "analysis/browser_suite.hpp"
+
+#include "ca/authority.hpp"
+#include "ca/responder.hpp"
+#include "webserver/webserver.hpp"
+
+namespace mustaple::analysis {
+
+std::size_t BrowserSuiteResult::count_requesting() const {
+  std::size_t n = 0;
+  for (const auto& row : rows) n += row.requested_ocsp_response ? 1 : 0;
+  return n;
+}
+
+std::size_t BrowserSuiteResult::count_respecting() const {
+  std::size_t n = 0;
+  for (const auto& row : rows) n += row.respected_must_staple ? 1 : 0;
+  return n;
+}
+
+std::size_t BrowserSuiteResult::count_own_ocsp() const {
+  std::size_t n = 0;
+  for (const auto& row : rows) n += row.sent_own_ocsp_request ? 1 : 0;
+  return n;
+}
+
+std::size_t BrowserSuiteResult::count_attack_succeeds() const {
+  std::size_t n = 0;
+  for (const auto& row : rows) {
+    n += row.verdict_revoked_attacked == browser::Verdict::kAcceptSoftFail ? 1 : 0;
+  }
+  return n;
+}
+
+BrowserSuiteResult run_browser_suite(
+    std::uint64_t seed, const std::vector<browser::BrowserProfile>& profiles) {
+  using util::Duration;
+  const util::SimTime now = util::make_time(2018, 5, 15);
+
+  util::Rng rng(seed);
+  net::EventLoop loop(now - Duration::days(1));
+  net::Network network(loop, seed);
+
+  // A Let's Encrypt-alike that issues our Must-Staple test certificate.
+  ca::CertificateAuthority authority("Let's Encrypt", now - Duration::days(900),
+                                     rng);
+  x509::RootStore roots;
+  roots.add(authority.root_cert());
+
+  ca::OcspResponder responder(authority, ca::ResponderBehavior{},
+                              "ocsp.test-ca.example", rng);
+  responder.install(network);
+
+  auto issue = [&](const std::string& domain) {
+    ca::LeafRequest request;
+    request.domain = domain;
+    request.not_before = now - Duration::days(10);
+    request.lifetime = Duration::days(90);
+    request.must_staple = true;
+    request.ocsp_urls = {"http://ocsp.test-ca.example/"};
+    return authority.issue(request, rng);
+  };
+
+  // Experiment 1 (the paper's): valid Must-Staple cert, stapling OFF.
+  const x509::Certificate unstapled_cert = issue("muststaple.test.example");
+  webserver::WebServerConfig no_staple_config;
+  no_staple_config.software = webserver::Software::kApache;
+  no_staple_config.stapling_enabled = false;  // SSLUseStapling off
+  webserver::WebServer unstapled_server("muststaple.test.example",
+                                        authority.chain_for(unstapled_cert),
+                                        no_staple_config, network);
+
+  // Experiment 2 (ablation): REVOKED Must-Staple cert behind an attacker
+  // who strips staples (stapling off) and blocks the OCSP responder.
+  const x509::Certificate revoked_cert = issue("revoked.test.example");
+  authority.revoke(revoked_cert.serial(), now - Duration::days(2),
+                   crl::ReasonCode::kKeyCompromise, ca::RevocationPolicy{});
+  webserver::WebServer revoked_server("revoked.test.example",
+                                      authority.chain_for(revoked_cert),
+                                      no_staple_config, network);
+  {
+    net::FaultRule block_ocsp;  // attacker blanket-blocks the responder
+    block_ocsp.canonical_host = "ocsp.test-ca.example";
+    block_ocsp.mode = net::FaultMode::kTcpConnectFailure;
+    network.faults().add(block_ocsp);
+  }
+
+  tls::TlsDirectory directory;
+  unstapled_server.install(directory);
+  revoked_server.install(directory);
+  loop.run_until(now);
+
+  BrowserSuiteResult result;
+  for (const auto& profile : profiles) {
+    BrowserRow row;
+    row.profile = profile;
+    const browser::VisitResult unstapled =
+        browser::visit(profile, directory, "muststaple.test.example", roots,
+                       now, &network);
+    row.requested_ocsp_response = unstapled.sent_status_request;
+    row.respected_must_staple =
+        unstapled.verdict == browser::Verdict::kHardFail;
+    row.sent_own_ocsp_request = unstapled.sent_own_ocsp_request;
+    row.verdict_without_staple = unstapled.verdict;
+
+    const browser::VisitResult attacked = browser::visit(
+        profile, directory, "revoked.test.example", roots, now, &network);
+    row.verdict_revoked_attacked = attacked.verdict;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace mustaple::analysis

@@ -1,0 +1,48 @@
+// The §6 browser test suite. Methodology mirrors the paper's: obtain a
+// Must-Staple certificate from a (simulated) Let's Encrypt, serve it from an
+// Apache with stapling deliberately disabled (SSLUseStapling off), point
+// every browser profile at the domain, and record (1) whether it solicited a
+// staple, (2) whether it rejected the unstapled Must-Staple certificate, and
+// (3) whether it fell back to its own OCSP request — Table 2.
+//
+// The suite also runs the security ablation implied by §2.3: with a REVOKED
+// Must-Staple certificate behind a network attacker who strips staples and
+// blocks OCSP, which browsers are actually protected?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "browser/browser.hpp"
+
+namespace mustaple::analysis {
+
+struct BrowserRow {
+  browser::BrowserProfile profile;
+  bool requested_ocsp_response = false;  ///< sent status_request
+  bool respected_must_staple = false;    ///< hard-failed without a staple
+  bool sent_own_ocsp_request = false;    ///< fallback query
+  browser::Verdict verdict_without_staple = browser::Verdict::kConnectionFailed;
+  /// Ablation: verdict when the cert is REVOKED and an attacker strips the
+  /// staple and blocks OCSP (kAcceptSoftFail here = the attack succeeds).
+  browser::Verdict verdict_revoked_attacked = browser::Verdict::kConnectionFailed;
+};
+
+struct BrowserSuiteResult {
+  std::vector<BrowserRow> rows;
+
+  std::size_t count_requesting() const;
+  std::size_t count_respecting() const;
+  std::size_t count_own_ocsp() const;
+  /// Browsers for which the §2.3 staple-stripping attack on a revoked
+  /// certificate succeeds (they accept it).
+  std::size_t count_attack_succeeds() const;
+};
+
+/// Runs the suite against the given profiles (defaults to Table 2's 16).
+BrowserSuiteResult run_browser_suite(
+    std::uint64_t seed,
+    const std::vector<browser::BrowserProfile>& profiles =
+        browser::standard_profiles());
+
+}  // namespace mustaple::analysis

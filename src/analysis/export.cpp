@@ -1,0 +1,102 @@
+#include "analysis/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace mustaple::analysis {
+
+namespace {
+
+std::string csv_quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string csv_from_series(const std::vector<util::Series>& series,
+                            const std::string& x_header) {
+  // Collect the union of x values, then one row per x.
+  std::map<double, std::vector<std::string>> rows;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    for (std::size_t i = 0; i < series[s].x.size() && i < series[s].y.size();
+         ++i) {
+      auto& row = rows[series[s].x[i]];
+      row.resize(series.size());
+      row[s] = format_number(series[s].y[i]);
+    }
+  }
+  std::string out = csv_quote(x_header);
+  for (const auto& s : series) out += "," + csv_quote(s.label);
+  out += '\n';
+  for (const auto& [x, cells] : rows) {
+    out += format_number(x);
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      out += ",";
+      if (s < cells.size()) out += cells[s];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string csv_from_cdf(const util::Cdf& cdf) {
+  std::string out = "value,cdf\n";
+  const auto values = cdf.sorted_finite();
+  const double n = static_cast<double>(cdf.count());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out += format_number(values[i]) + "," +
+           format_number(static_cast<double>(i + 1) / n) + '\n';
+  }
+  if (cdf.infinite_fraction() > 0.0) {
+    out += "# infinite_mass," + format_number(cdf.infinite_fraction()) + '\n';
+  }
+  return out;
+}
+
+std::string csv_from_table(const std::vector<std::string>& headers,
+                           const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    if (c) out += ',';
+    out += csv_quote(headers[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      if (c) out += ',';
+      if (c < row.size()) out += csv_quote(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_export(const std::string& directory, const std::string& name,
+                  const std::string& content) {
+  if (directory.empty()) return true;
+  const std::string path = directory + "/" + name;
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "export: cannot open %s\n", path.c_str());
+    return false;
+  }
+  file << content;
+  return static_cast<bool>(file);
+}
+
+}  // namespace mustaple::analysis

@@ -1,0 +1,32 @@
+// Machine-readable exports for the figure/table data: CSV serialization of
+// series, CDFs, and tables, and an optional file sink used by the bench
+// binaries (pass a directory as argv[1] to get CSVs alongside the charts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mustaple::analysis {
+
+/// Multiple aligned series -> "x,label1,label2,...\n..." CSV. Series are
+/// matched by x value (missing points are left empty).
+std::string csv_from_series(const std::vector<util::Series>& series,
+                            const std::string& x_header = "x");
+
+/// Empirical CDF -> "value,cdf\n..." rows over the finite samples, with a
+/// trailing comment row for any infinite mass.
+std::string csv_from_cdf(const util::Cdf& cdf);
+
+/// Generic table -> CSV with RFC-4180-style quoting.
+std::string csv_from_table(const std::vector<std::string>& headers,
+                           const std::vector<std::vector<std::string>>& rows);
+
+/// Writes `content` to `<directory>/<name>` (creating nothing; the
+/// directory must exist). Returns false and leaves a note on stderr on
+/// failure. No-op returning true when `directory` is empty.
+bool write_export(const std::string& directory, const std::string& name,
+                  const std::string& content);
+
+}  // namespace mustaple::analysis

@@ -1,0 +1,204 @@
+#include "analysis/webserver_suite.hpp"
+
+#include "ca/authority.hpp"
+#include "ca/responder.hpp"
+
+namespace mustaple::analysis {
+
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+/// A disposable mini-world: one CA, one controllable responder, one server.
+struct TestWorld {
+  SimTime start;
+  util::Rng rng;
+  net::EventLoop loop;
+  net::Network network;
+  ca::CertificateAuthority authority;
+  x509::RootStore roots;
+  ca::OcspResponder responder;
+  tls::TlsDirectory directory;
+
+  TestWorld(std::uint64_t seed, ca::ResponderBehavior behavior)
+      : start(util::make_time(2018, 6, 1)),
+        rng(seed),
+        loop(start),
+        network(loop, seed),
+        authority("TestCA", start - Duration::days(900), rng),
+        responder(authority, behavior, "ocsp.testca.example", rng) {
+    roots.add(authority.root_cert());
+    responder.install(network);
+  }
+
+  webserver::WebServer make_server(webserver::Software software,
+                                   const std::string& domain) {
+    ca::LeafRequest request;
+    request.domain = domain;
+    request.not_before = start - Duration::days(10);
+    request.lifetime = Duration::days(90);
+    request.must_staple = true;
+    request.ocsp_urls = {"http://ocsp.testca.example/"};
+    const x509::Certificate leaf = authority.issue(request, rng);
+    webserver::WebServerConfig config;
+    config.software = software;
+    webserver::WebServer server(domain, authority.chain_for(leaf), config,
+                                network);
+    return server;
+  }
+
+  /// One client handshake soliciting a staple; returns the observation.
+  tls::HandshakeObservation connect(const std::string& domain, SimTime when) {
+    loop.run_until(when);
+    tls::ClientHello hello;
+    hello.server_name = domain;
+    hello.status_request = true;
+    tls::ServerHello server_hello;
+    return tls::observe_handshake(directory, hello, roots, when, server_hello);
+  }
+};
+
+bool staple_ok(const tls::HandshakeObservation& obs) {
+  return obs.staple_present && obs.staple_check && obs.staple_check->usable();
+}
+
+WebServerRow probe_software(std::uint64_t seed, webserver::Software software) {
+  WebServerRow row;
+  row.software = software;
+
+  // ---- Experiment A: prefetch + caching (fresh server, healthy responder,
+  // 7-day validity).
+  {
+    ca::ResponderBehavior behavior;
+    behavior.pre_generate = false;
+    behavior.validity = Duration::days(7);
+    behavior.this_update_margin = Duration::hours(1);
+    TestWorld world(seed, behavior);
+    webserver::WebServer server = world.make_server(software, "a.example");
+    server.install(world.directory);
+    server.start(world.start);
+    world.loop.run_until(world.start + Duration::minutes(5));
+
+    const auto first =
+        world.connect("a.example", world.start + Duration::minutes(10));
+    const bool first_has_staple = staple_ok(first);
+    row.prefetches = first_has_staple && first.handshake_delay_ms == 0.0;
+    row.first_client_delay_ms = first.handshake_delay_ms;
+    if (row.prefetches) {
+      row.first_client_note = "staple ready";
+    } else if (first_has_staple) {
+      row.first_client_note = "pauses connection";  // Apache
+    } else {
+      row.first_client_note = "provides no response";  // Nginx
+    }
+
+    const std::size_t fetches_before = server.fetch_count();
+    const auto second =
+        world.connect("a.example", world.start + Duration::minutes(11));
+    row.caches = staple_ok(second) && server.fetch_count() == fetches_before;
+  }
+
+  // ---- Experiment B: respect nextUpdate (30-minute validity; observe at
+  // +45 minutes, within Apache's 1h cache TTL).
+  {
+    ca::ResponderBehavior behavior;
+    behavior.pre_generate = false;
+    behavior.validity = Duration::minutes(30);
+    behavior.this_update_margin = Duration::secs(0);
+    TestWorld world(seed + 1, behavior);
+    webserver::WebServer server = world.make_server(software, "b.example");
+    server.install(world.directory);
+    server.start(world.start);
+    // Warm the cache (two connects so Nginx has a staple too).
+    world.connect("b.example", world.start + Duration::minutes(1));
+    world.connect("b.example", world.start + Duration::minutes(2));
+
+    const auto later =
+        world.connect("b.example", world.start + Duration::minutes(47));
+    // Respecting nextUpdate = the client never sees an EXPIRED staple.
+    const bool served_expired =
+        later.staple_present && later.staple_check &&
+        later.staple_check->outcome == ocsp::CheckOutcome::kExpired;
+    row.respects_next_update = !served_expired;
+  }
+
+  // ---- Experiment C: retain on error (1-day validity; responder goes
+  // tryLater after warmup; observe at +2h, past Apache's cache TTL).
+  {
+    ca::ResponderBehavior behavior;
+    behavior.pre_generate = false;
+    behavior.validity = Duration::days(1);
+    behavior.this_update_margin = Duration::hours(1);
+    TestWorld world(seed + 2, behavior);
+    webserver::WebServer server = world.make_server(software, "c.example");
+    server.install(world.directory);
+    server.start(world.start);
+    world.connect("c.example", world.start + Duration::minutes(1));
+    world.connect("c.example", world.start + Duration::minutes(2));
+
+    world.responder.set_try_later(true);
+    const auto during_error =
+        world.connect("c.example", world.start + Duration::hours(2));
+    row.retains_on_error = staple_ok(during_error);
+    // Apache's specific misbehaviour: stapling the error response itself.
+    if (during_error.staple_present && during_error.staple_check &&
+        during_error.staple_check->outcome ==
+            ocsp::CheckOutcome::kNotSuccessful) {
+      row.serves_error_response = true;
+    }
+  }
+
+  return row;
+}
+
+double outage_availability(std::uint64_t seed, webserver::Software software) {
+  // 24h of handshakes every 10 minutes; the responder dies 1h in. A client
+  // that respects Must-Staple can connect only while a VALID staple is
+  // served. Validity period: 12h, so an ideal server rides out the outage
+  // for hours; Apache discards its staple at the first failed refresh.
+  ca::ResponderBehavior behavior;
+  behavior.pre_generate = false;
+  behavior.validity = Duration::hours(12);
+  behavior.this_update_margin = Duration::hours(1);
+  TestWorld world(seed, behavior);
+  webserver::WebServer server = world.make_server(software, "o.example");
+  server.install(world.directory);
+  server.start(world.start);
+  world.connect("o.example", world.start + Duration::minutes(1));
+  world.connect("o.example", world.start + Duration::minutes(2));
+
+  {
+    net::FaultRule outage;
+    outage.canonical_host = "ocsp.testca.example";
+    outage.mode = net::FaultMode::kTcpConnectFailure;
+    outage.window_start = world.start + Duration::hours(1);
+    world.network.faults().add(outage);
+  }
+
+  std::size_t ok = 0;
+  std::size_t total = 0;
+  for (int minute = 10; minute <= 24 * 60; minute += 10) {
+    const auto obs =
+        world.connect("o.example", world.start + Duration::minutes(minute));
+    ++total;
+    if (staple_ok(obs)) ++ok;
+  }
+  return total ? static_cast<double>(ok) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace
+
+WebServerSuiteResult run_webserver_suite(std::uint64_t seed) {
+  WebServerSuiteResult result;
+  for (webserver::Software software :
+       {webserver::Software::kApache, webserver::Software::kNginx,
+        webserver::Software::kIdeal}) {
+    result.rows.push_back(probe_software(seed, software));
+    result.outage_availability.emplace_back(
+        software, outage_availability(seed + 10, software));
+  }
+  return result;
+}
+
+}  // namespace mustaple::analysis

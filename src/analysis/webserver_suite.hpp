@@ -1,0 +1,51 @@
+// The §7.2 web-server test suite (Table 3) plus the availability ablation
+// from DESIGN.md: how each server model's stapling behaviour translates
+// into client-visible staple availability under a responder outage.
+//
+// Methodology mirrors the paper's: a controlled OCSP responder (our own),
+// a certificate chain with the Must-Staple extension, and scripted fault
+// injection, observing the server's staples from a client.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "webserver/webserver.hpp"
+
+namespace mustaple::analysis {
+
+struct WebServerRow {
+  webserver::Software software = webserver::Software::kApache;
+  /// Does the server have a staple ready for the very first client without
+  /// delaying the handshake?
+  bool prefetches = false;
+  /// What the first client experienced instead.
+  std::string first_client_note;
+  double first_client_delay_ms = 0.0;
+  /// Served from cache on a warm second request (no extra fetch)?
+  bool caches = false;
+  /// Refuses to serve a staple past its nextUpdate?
+  bool respects_next_update = false;
+  /// Keeps serving the old still-valid staple when the responder errors?
+  bool retains_on_error = false;
+  /// Did the server ever staple the responder's ERROR response to a client
+  /// (the Apache misbehaviour)?
+  bool serves_error_response = false;
+};
+
+struct StapleAvailabilityPoint {
+  double hours_since_start = 0.0;
+  bool staple_valid = false;
+};
+
+struct WebServerSuiteResult {
+  std::vector<WebServerRow> rows;  ///< Apache, Nginx, Ideal
+  /// Ablation: per software, fraction of handshakes over a 24h responder
+  /// outage during which a hard-fail (Must-Staple-respecting) client could
+  /// still connect.
+  std::vector<std::pair<webserver::Software, double>> outage_availability;
+};
+
+WebServerSuiteResult run_webserver_suite(std::uint64_t seed);
+
+}  // namespace mustaple::analysis

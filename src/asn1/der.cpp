@@ -1,0 +1,298 @@
+#include "asn1/der.hpp"
+
+namespace mustaple::asn1 {
+
+namespace {
+
+using util::Bytes;
+using util::Result;
+
+template <typename T>
+Result<T> fail(std::string code, std::string detail = {}) {
+  return Result<T>::failure(std::move(code), std::move(detail));
+}
+
+}  // namespace
+
+std::uint8_t context_tag(unsigned n, bool constructed) {
+  return static_cast<std::uint8_t>(0x80u | (constructed ? 0x20u : 0x00u) |
+                                   (n & 0x1fu));
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void Writer::length(std::size_t n) {
+  if (n < 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(n));
+    return;
+  }
+  std::uint8_t tmp[sizeof(std::size_t)];
+  int count = 0;
+  while (n != 0) {
+    tmp[count++] = static_cast<std::uint8_t>(n & 0xff);
+    n >>= 8;
+  }
+  out_.push_back(static_cast<std::uint8_t>(0x80 | count));
+  for (int i = count - 1; i >= 0; --i) out_.push_back(tmp[i]);
+}
+
+void Writer::tlv(std::uint8_t tag, const Bytes& content) {
+  out_.push_back(tag);
+  length(content.size());
+  util::append(out_, content);
+}
+
+void Writer::raw(const Bytes& der) { util::append(out_, der); }
+
+void Writer::boolean(bool v) {
+  tlv(static_cast<std::uint8_t>(Tag::kBoolean), Bytes{v ? std::uint8_t{0xff} : std::uint8_t{0x00}});
+}
+
+void Writer::integer(std::int64_t v) {
+  // Two's-complement big-endian, minimal length.
+  Bytes content;
+  bool more = true;
+  while (more) {
+    const auto byte = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;  // arithmetic shift keeps the sign
+    more = !((v == 0 && (byte & 0x80) == 0) || (v == -1 && (byte & 0x80) != 0));
+    content.insert(content.begin(), byte);
+  }
+  tlv(static_cast<std::uint8_t>(Tag::kInteger), content);
+}
+
+void Writer::integer_bytes(const Bytes& magnitude) {
+  Bytes content = magnitude;
+  // Strip redundant leading zeros.
+  std::size_t i = 0;
+  while (i + 1 < content.size() && content[i] == 0) ++i;
+  content.erase(content.begin(),
+                content.begin() + static_cast<std::ptrdiff_t>(i));
+  if (content.empty()) content.push_back(0);
+  // Non-negative: prepend 0x00 if the high bit would read as a sign.
+  if (content[0] & 0x80) content.insert(content.begin(), 0x00);
+  tlv(static_cast<std::uint8_t>(Tag::kInteger), content);
+}
+
+void Writer::null() { tlv(static_cast<std::uint8_t>(Tag::kNull), {}); }
+
+void Writer::oid(const Oid& o) {
+  tlv(static_cast<std::uint8_t>(Tag::kOid), o.encode_content());
+}
+
+void Writer::octet_string(const Bytes& content) {
+  tlv(static_cast<std::uint8_t>(Tag::kOctetString), content);
+}
+
+void Writer::bit_string(const Bytes& content, unsigned unused_bits) {
+  Bytes body;
+  body.reserve(content.size() + 1);
+  body.push_back(static_cast<std::uint8_t>(unused_bits & 0x07));
+  util::append(body, content);
+  tlv(static_cast<std::uint8_t>(Tag::kBitString), body);
+}
+
+void Writer::utf8_string(const std::string& text) {
+  tlv(static_cast<std::uint8_t>(Tag::kUtf8String), util::bytes_of(text));
+}
+
+void Writer::printable_string(const std::string& text) {
+  tlv(static_cast<std::uint8_t>(Tag::kPrintableString), util::bytes_of(text));
+}
+
+void Writer::ia5_string(const std::string& text) {
+  tlv(static_cast<std::uint8_t>(Tag::kIa5String), util::bytes_of(text));
+}
+
+void Writer::generalized_time(util::SimTime t) {
+  tlv(static_cast<std::uint8_t>(Tag::kGeneralizedTime),
+      util::bytes_of(util::to_generalized_time(t)));
+}
+
+void Writer::enumerated(std::int64_t v) {
+  Writer scratch;
+  scratch.integer(v);
+  Bytes encoded = scratch.take();
+  encoded[0] = static_cast<std::uint8_t>(Tag::kEnumerated);
+  raw(encoded);
+}
+
+void Writer::sequence(const std::function<void(Writer&)>& body) {
+  Writer inner;
+  body(inner);
+  tlv(static_cast<std::uint8_t>(Tag::kSequence), inner.bytes());
+}
+
+void Writer::set(const std::function<void(Writer&)>& body) {
+  Writer inner;
+  body(inner);
+  tlv(static_cast<std::uint8_t>(Tag::kSet), inner.bytes());
+}
+
+void Writer::explicit_context(unsigned n,
+                              const std::function<void(Writer&)>& body) {
+  Writer inner;
+  body(inner);
+  tlv(context_tag(n, /*constructed=*/true), inner.bytes());
+}
+
+void Writer::implicit_context(unsigned n, const Bytes& content) {
+  tlv(context_tag(n, /*constructed=*/false), content);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+std::uint8_t Reader::peek_tag() const {
+  if (pos_ >= end()) return 0;
+  return (*data_)[pos_];
+}
+
+Result<Tlv> Reader::read_any() {
+  const std::size_t limit = end();
+  if (pos_ >= limit) return fail<Tlv>("asn1.truncated", "no TLV header");
+  Tlv out;
+  out.tag = (*data_)[pos_++];
+  if (pos_ >= limit) return fail<Tlv>("asn1.truncated", "no length octet");
+  std::size_t len = (*data_)[pos_++];
+  if (len == 0x80) {
+    return fail<Tlv>("asn1.indefinite_length", "indefinite length is not DER");
+  }
+  if (len & 0x80) {
+    const std::size_t n_octets = len & 0x7f;
+    if (n_octets > sizeof(std::size_t)) {
+      return fail<Tlv>("asn1.bad_length", "length of length too large");
+    }
+    if (pos_ + n_octets > limit) {
+      return fail<Tlv>("asn1.truncated", "length octets run past end");
+    }
+    len = 0;
+    for (std::size_t i = 0; i < n_octets; ++i) {
+      len = (len << 8) | (*data_)[pos_++];
+    }
+    if (len < 0x80) {
+      return fail<Tlv>("asn1.non_minimal_length", "long form for short length");
+    }
+  }
+  if (len > limit - pos_) {
+    return fail<Tlv>("asn1.truncated", "content runs past end");
+  }
+  out.content.assign(data_->begin() + static_cast<std::ptrdiff_t>(pos_),
+                     data_->begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+Result<Tlv> Reader::expect(Tag tag) {
+  auto tlv = read_any();
+  if (!tlv.ok()) return tlv;
+  if (!tlv.value().is(tag)) {
+    return fail<Tlv>("asn1.unexpected_tag",
+                     "got 0x" + std::to_string(tlv.value().tag));
+  }
+  return tlv;
+}
+
+Result<Tlv> Reader::expect_context(unsigned n, bool constructed) {
+  auto tlv = read_any();
+  if (!tlv.ok()) return tlv;
+  if (!tlv.value().is_context(n, constructed)) {
+    return fail<Tlv>("asn1.unexpected_tag", "expected context tag");
+  }
+  return tlv;
+}
+
+Result<bool> Reader::read_boolean() {
+  auto tlv = expect(Tag::kBoolean);
+  if (!tlv.ok()) return fail<bool>(tlv.error().code, tlv.error().detail);
+  if (tlv.value().content.size() != 1) {
+    return fail<bool>("asn1.bad_boolean", "boolean must be one octet");
+  }
+  return tlv.value().content[0] != 0;
+}
+
+Result<std::int64_t> Reader::read_integer() {
+  auto tlv = expect(Tag::kInteger);
+  if (!tlv.ok()) return fail<std::int64_t>(tlv.error().code, tlv.error().detail);
+  const Bytes& c = tlv.value().content;
+  if (c.empty()) return fail<std::int64_t>("asn1.bad_integer", "empty integer");
+  if (c.size() > 8) {
+    return fail<std::int64_t>("asn1.integer_overflow", "wider than int64");
+  }
+  std::int64_t v = (c[0] & 0x80) ? -1 : 0;
+  for (std::uint8_t byte : c) v = (v << 8) | byte;
+  return v;
+}
+
+Result<Bytes> Reader::read_integer_bytes() {
+  auto tlv = expect(Tag::kInteger);
+  if (!tlv.ok()) return fail<Bytes>(tlv.error().code, tlv.error().detail);
+  Bytes c = tlv.value().content;
+  if (c.empty()) return fail<Bytes>("asn1.bad_integer", "empty integer");
+  if (c[0] & 0x80) {
+    return fail<Bytes>("asn1.negative_integer", "expected non-negative");
+  }
+  if (c.size() > 1 && c[0] == 0x00) c.erase(c.begin());
+  return c;
+}
+
+Result<Oid> Reader::read_oid() {
+  auto tlv = expect(Tag::kOid);
+  if (!tlv.ok()) return fail<Oid>(tlv.error().code, tlv.error().detail);
+  return Oid::decode_content(tlv.value().content);
+}
+
+Result<Bytes> Reader::read_octet_string() {
+  auto tlv = expect(Tag::kOctetString);
+  if (!tlv.ok()) return fail<Bytes>(tlv.error().code, tlv.error().detail);
+  return tlv.value().content;
+}
+
+Result<Bytes> Reader::read_bit_string() {
+  auto tlv = expect(Tag::kBitString);
+  if (!tlv.ok()) return fail<Bytes>(tlv.error().code, tlv.error().detail);
+  const Bytes& c = tlv.value().content;
+  if (c.empty()) return fail<Bytes>("asn1.bad_bit_string", "missing unused-bits");
+  if (c[0] > 7) return fail<Bytes>("asn1.bad_bit_string", "unused bits > 7");
+  return Bytes(c.begin() + 1, c.end());
+}
+
+Result<std::string> Reader::read_string() {
+  auto tlv = read_any();
+  if (!tlv.ok()) return fail<std::string>(tlv.error().code, tlv.error().detail);
+  if (!tlv.value().is(Tag::kUtf8String) &&
+      !tlv.value().is(Tag::kPrintableString) &&
+      !tlv.value().is(Tag::kIa5String)) {
+    return fail<std::string>("asn1.unexpected_tag", "expected a string type");
+  }
+  return util::text_of(tlv.value().content);
+}
+
+Result<util::SimTime> Reader::read_generalized_time() {
+  auto tlv = expect(Tag::kGeneralizedTime);
+  if (!tlv.ok()) {
+    return fail<util::SimTime>(tlv.error().code, tlv.error().detail);
+  }
+  try {
+    return util::from_generalized_time(util::text_of(tlv.value().content));
+  } catch (const std::invalid_argument& e) {
+    return fail<util::SimTime>("asn1.bad_time", e.what());
+  }
+}
+
+Result<std::int64_t> Reader::read_enumerated() {
+  auto tlv = expect(Tag::kEnumerated);
+  if (!tlv.ok()) return fail<std::int64_t>(tlv.error().code, tlv.error().detail);
+  const Bytes& c = tlv.value().content;
+  if (c.empty() || c.size() > 8) {
+    return fail<std::int64_t>("asn1.bad_enumerated", "bad width");
+  }
+  std::int64_t v = (c[0] & 0x80) ? -1 : 0;
+  for (std::uint8_t byte : c) v = (v << 8) | byte;
+  return v;
+}
+
+}  // namespace mustaple::asn1

@@ -1,0 +1,147 @@
+// DER (Distinguished Encoding Rules) writer and reader.
+//
+// This is the load-bearing substrate for the study: X.509 certificates, CRLs,
+// and OCSP messages are all encoded/decoded through it, and the measurement
+// client's "Malformed structure" classification (paper §5.3) is precisely a
+// Reader failure on a responder's body.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "asn1/oid.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/sim_time.hpp"
+
+namespace mustaple::asn1 {
+
+/// Universal-class tags (complete set used by this library).
+enum class Tag : std::uint8_t {
+  kBoolean = 0x01,
+  kInteger = 0x02,
+  kBitString = 0x03,
+  kOctetString = 0x04,
+  kNull = 0x05,
+  kOid = 0x06,
+  kEnumerated = 0x0a,
+  kUtf8String = 0x0c,
+  kPrintableString = 0x13,
+  kIa5String = 0x16,
+  kUtcTime = 0x17,
+  kGeneralizedTime = 0x18,
+  kSequence = 0x30,
+  kSet = 0x31,
+};
+
+/// Context-specific tag byte: [n] EXPLICIT/constructed (0xA0|n) or
+/// IMPLICIT/primitive (0x80|n).
+std::uint8_t context_tag(unsigned n, bool constructed);
+
+/// Builds DER bottom-up. Nested structures are written through the
+/// `sequence`/`explicit_context` callbacks, which encode children into a
+/// scratch writer and emit a definite-length TLV.
+class Writer {
+ public:
+  const util::Bytes& bytes() const { return out_; }
+  util::Bytes take() { return std::move(out_); }
+
+  void raw(const util::Bytes& der);  ///< splices pre-encoded DER
+  void boolean(bool v);
+  void integer(std::int64_t v);
+  /// INTEGER from unsigned big-endian magnitude (adds a leading 0x00 when the
+  /// high bit is set, strips redundant leading zeros). Used for serial
+  /// numbers and RSA parameters.
+  void integer_bytes(const util::Bytes& magnitude);
+  void null();
+  void oid(const Oid& oid);
+  void octet_string(const util::Bytes& content);
+  void bit_string(const util::Bytes& content, unsigned unused_bits = 0);
+  void utf8_string(const std::string& text);
+  void printable_string(const std::string& text);
+  void ia5_string(const std::string& text);
+  void generalized_time(util::SimTime t);
+  void enumerated(std::int64_t v);
+
+  /// SEQUENCE whose body is produced by `body`.
+  void sequence(const std::function<void(Writer&)>& body);
+  /// SET whose body is produced by `body` (caller is responsible for DER
+  /// element ordering).
+  void set(const std::function<void(Writer&)>& body);
+  /// [n] EXPLICIT wrapping of `body`.
+  void explicit_context(unsigned n, const std::function<void(Writer&)>& body);
+  /// [n] IMPLICIT primitive with raw content octets.
+  void implicit_context(unsigned n, const util::Bytes& content);
+
+  /// Emits an arbitrary TLV (tag byte + definite length + content).
+  void tlv(std::uint8_t tag, const util::Bytes& content);
+
+ private:
+  void length(std::size_t n);
+  util::Bytes out_;
+};
+
+/// A decoded TLV: tag byte plus content octets.
+struct Tlv {
+  std::uint8_t tag = 0;
+  util::Bytes content;
+
+  bool is(Tag t) const { return tag == static_cast<std::uint8_t>(t); }
+  bool is_context(unsigned n, bool constructed) const {
+    return tag == context_tag(n, constructed);
+  }
+};
+
+/// Sequential DER reader over a byte buffer. All methods return Result so
+/// malformed input is a classified outcome, never UB or an exception.
+class Reader {
+ public:
+  explicit Reader(const util::Bytes& data) : data_(&data) {}
+  Reader(const util::Bytes& data, std::size_t begin, std::size_t end)
+      : data_(&data), pos_(begin), end_(end) {}
+  // The Reader references the buffer; binding a temporary would dangle.
+  explicit Reader(util::Bytes&&) = delete;
+  Reader(util::Bytes&&, std::size_t, std::size_t) = delete;
+
+  bool at_end() const { return pos_ >= end(); }
+  std::size_t remaining() const { return end() - pos_; }
+
+  /// Reads the next TLV of any tag.
+  util::Result<Tlv> read_any();
+  /// Peeks the next tag byte without consuming (0 if at end/truncated).
+  std::uint8_t peek_tag() const;
+
+  /// Reads a TLV and checks its tag.
+  util::Result<Tlv> expect(Tag tag);
+  util::Result<Tlv> expect_context(unsigned n, bool constructed);
+
+  // Typed readers (tag check + content decoding).
+  util::Result<bool> read_boolean();
+  util::Result<std::int64_t> read_integer();
+  util::Result<util::Bytes> read_integer_bytes();  ///< unsigned magnitude
+  util::Result<Oid> read_oid();
+  util::Result<util::Bytes> read_octet_string();
+  util::Result<util::Bytes> read_bit_string();  ///< content minus unused-bits byte
+  util::Result<std::string> read_string();      ///< UTF8/Printable/IA5
+  util::Result<util::SimTime> read_generalized_time();
+  util::Result<std::int64_t> read_enumerated();
+
+ private:
+  const util::Bytes* data_;
+  std::size_t pos_ = 0;
+  std::optional<std::size_t> end_;
+
+  std::size_t end() const { return end_.value_or(data_->size()); }
+};
+
+/// Opens a constructed TLV's content as a fresh Reader-friendly buffer.
+/// (Content is copied; DER objects in this study are small.)
+inline Reader reader_over(const Tlv& tlv) {
+  // NOTE: Tlv owns its content, so returning a Reader over it is safe as
+  // long as the Tlv outlives the Reader — the universal usage pattern here.
+  return Reader(tlv.content);
+}
+
+}  // namespace mustaple::asn1

@@ -1,0 +1,202 @@
+#include "browser/browser.hpp"
+
+#include "crl/crl.hpp"
+#include "ocsp/request.hpp"
+
+namespace mustaple::browser {
+
+const std::vector<BrowserProfile>& standard_profiles() {
+  // Table 2, verbatim. Only Firefox on the three desktop OSes and on
+  // Android respects Must-Staple; Firefox on iOS (WebKit shell) does not.
+  static const std::vector<BrowserProfile> profiles = [] {
+    std::vector<BrowserProfile> p;
+    auto add = [&p](std::string name, std::string os, bool mobile,
+                    bool respects) {
+      BrowserProfile profile;
+      profile.name = std::move(name);
+      profile.os = std::move(os);
+      profile.mobile = mobile;
+      profile.sends_status_request = true;  // all 2018 browsers do
+      profile.respects_must_staple = respects;
+      profile.sends_own_ocsp = false;  // none do
+      p.push_back(std::move(profile));
+    };
+    add("Chrome 66", "OS X", false, false);
+    add("Chrome 66", "Linux", false, false);
+    add("Chrome 66", "Windows", false, false);
+    add("Firefox 60", "OS X", false, true);
+    add("Firefox 60", "Linux", false, true);
+    add("Firefox 60", "Windows", false, true);
+    add("Opera", "OS X", false, false);
+    add("Opera", "Windows", false, false);
+    add("Safari 11", "OS X", false, false);
+    add("IE 11", "Windows", false, false);
+    add("Edge 42", "Windows", false, false);
+    add("Safari", "iOS", true, false);
+    add("Chrome", "iOS", true, false);
+    add("Chrome", "Android", true, false);
+    add("Firefox", "iOS", true, false);   // the paper's incomplete-support case
+    add("Firefox", "Android", true, true);
+    return p;
+  }();
+  return profiles;
+}
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kAccept:
+      return "accept";
+    case Verdict::kAcceptSoftFail:
+      return "accept-soft-fail";
+    case Verdict::kHardFail:
+      return "hard-fail";
+    case Verdict::kRejectRevoked:
+      return "reject-revoked";
+    case Verdict::kCertificateInvalid:
+      return "certificate-invalid";
+    case Verdict::kConnectionFailed:
+      return "connection-failed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Own-OCSP fallback: query the leaf's responder directly, as a
+/// hypothetical diligent client would.
+bool fetch_own_ocsp(const tls::HandshakeObservation& obs,
+                    const tls::ServerHello& server, net::Network& network,
+                    net::Region from, util::SimTime now,
+                    ocsp::VerifiedResponse& out) {
+  if (obs.leaf == nullptr || obs.leaf->extensions().ocsp_urls.empty()) {
+    return false;
+  }
+  auto url = net::parse_url(obs.leaf->extensions().ocsp_urls.front());
+  if (!url.ok()) return false;
+  const x509::Certificate& issuer =
+      server.chain.size() > 1 ? server.chain[1] : server.chain[0];
+  const auto id = ocsp::CertId::for_certificate(*obs.leaf, issuer);
+  const auto request = ocsp::OcspRequest::single(id);
+  net::FetchResult result = network.http_post(
+      from, url.value(), request.encode_der(), "application/ocsp-request");
+  if (result.error != net::TransportError::kNone ||
+      result.response.status_code != 200) {
+    return false;
+  }
+  out = ocsp::verify_ocsp_response(result.response.body, id,
+                                   issuer.public_key(), now);
+  return true;
+}
+
+}  // namespace
+
+VisitResult visit(const BrowserProfile& profile,
+                  const tls::TlsDirectory& directory,
+                  const std::string& domain, const x509::RootStore& roots,
+                  util::SimTime now, net::Network* network,
+                  net::Region from) {
+  VisitResult result;
+  result.sent_status_request = profile.sends_status_request;
+
+  tls::ClientHello hello;
+  hello.server_name = domain;
+  hello.status_request = profile.sends_status_request;
+  hello.status_request_v2 = profile.requests_multi_staple;
+
+  tls::ServerHello server;
+  const tls::HandshakeObservation obs =
+      tls::observe_handshake(directory, hello, roots, now, server);
+  result.handshake_delay_ms = obs.handshake_delay_ms;
+  if (!obs.connected) {
+    result.verdict = Verdict::kConnectionFailed;
+    return result;
+  }
+  result.chain_error = obs.chain_error;
+  if (!obs.certificate_valid) {
+    result.verdict = Verdict::kCertificateInvalid;
+    return result;
+  }
+
+  result.received_staple = obs.staple_present;
+  if (obs.staple_check) result.staple_valid = obs.staple_check->usable();
+
+  // RFC 6961 multi-staple path: the whole chain's statuses at once. Any
+  // validated Revoked anywhere in the chain is fatal; a fully-Good set of
+  // staples settles the visit.
+  if (profile.requests_multi_staple && !obs.staple_chain_checks.empty()) {
+    bool all_usable_good = true;
+    for (const auto& check : obs.staple_chain_checks) {
+      if (check.usable() && check.status == ocsp::CertStatus::kRevoked) {
+        result.verdict = Verdict::kRejectRevoked;
+        return result;
+      }
+      if (!check.usable() || check.status != ocsp::CertStatus::kGood) {
+        all_usable_good = false;
+      }
+    }
+    if (all_usable_good) {
+      result.received_staple = true;
+      result.staple_valid = true;
+      result.verdict = Verdict::kAccept;
+      return result;
+    }
+  }
+
+  // A valid staple settles the question for everyone who asked for it.
+  if (obs.staple_check && obs.staple_check->usable()) {
+    if (obs.staple_check->status == ocsp::CertStatus::kRevoked) {
+      result.verdict = Verdict::kRejectRevoked;
+    } else {
+      result.verdict = Verdict::kAccept;
+    }
+    return result;
+  }
+
+  // No staple, or an unusable one.
+  if (obs.must_staple && profile.respects_must_staple) {
+    result.verdict = Verdict::kHardFail;
+    return result;
+  }
+
+  if (profile.sends_own_ocsp && network != nullptr) {
+    ocsp::VerifiedResponse own;
+    if (fetch_own_ocsp(obs, server, *network, from, now, own)) {
+      result.sent_own_ocsp_request = true;
+      if (own.usable()) {
+        result.verdict = own.status == ocsp::CertStatus::kRevoked
+                             ? Verdict::kRejectRevoked
+                             : Verdict::kAccept;
+        return result;
+      }
+    }
+  }
+
+  // CRL fallback — the legacy path of §2.2: download the full list, look up
+  // the serial. Only a fresh CRL counts.
+  if (profile.checks_crl && network != nullptr && obs.leaf != nullptr &&
+      !obs.leaf->extensions().crl_urls.empty()) {
+    auto url = net::parse_url(obs.leaf->extensions().crl_urls.front());
+    if (url.ok()) {
+      net::FetchResult fetched = network->http_get(from, url.value());
+      if (fetched.success()) {
+        auto parsed = crl::Crl::parse(fetched.response.body);
+        if (parsed.ok() && parsed.value().is_fresh_at(now) &&
+            parsed.value().verify_signature(
+                (server.chain.size() > 1 ? server.chain[1] : server.chain[0])
+                    .public_key())) {
+          result.downloaded_crl = true;
+          result.verdict = parsed.value().is_revoked(obs.leaf->serial())
+                               ? Verdict::kRejectRevoked
+                               : Verdict::kAccept;
+          return result;
+        }
+      }
+    }
+  }
+
+  // The 2018 status quo: accept with no revocation information at all.
+  result.verdict = Verdict::kAcceptSoftFail;
+  return result;
+}
+
+}  // namespace mustaple::browser

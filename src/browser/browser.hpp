@@ -1,0 +1,85 @@
+// Browser behaviour models for the paper's §6 client experiment (Table 2).
+// Each profile encodes three observable behaviours:
+//   1. does the browser solicit a staple (Certificate Status Request)?
+//   2. does it respect OCSP Must-Staple (hard-fail without a valid staple)?
+//   3. failing that, does it fall back to its own OCSP request?
+// The paper's measured answer for the 2018 browser matrix: (1) all yes,
+// (2) only Firefox on desktop + Android, (3) nobody.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "tls/handshake.hpp"
+#include "x509/verify.hpp"
+
+namespace mustaple::browser {
+
+struct BrowserProfile {
+  std::string name;  ///< e.g. "Firefox 60"
+  std::string os;    ///< e.g. "Linux"
+  bool mobile = false;
+  /// Table 2 row 1: adds the Certificate Status Request extension.
+  bool sends_status_request = true;
+  /// Table 2 row 2: hard-fails a Must-Staple certificate without a valid
+  /// staple.
+  bool respects_must_staple = false;
+  /// Table 2 row 3: falls back to its own OCSP request when no staple
+  /// arrives (no 2018 browser did).
+  bool sends_own_ocsp = false;
+  /// RFC 6961 status_request_v2: solicit staples for the whole chain (no
+  /// 2018 browser did — §2.3's "yet to see wide adoption"); used by the
+  /// what-if analyses.
+  bool requests_multi_staple = false;
+  /// Falls back to downloading the CRL when OCSP yields nothing (the
+  /// heavyweight legacy path of §2.2 — "up to 76 MB").
+  bool checks_crl = false;
+
+  std::string display_name() const { return name + " (" + os + ")"; }
+};
+
+/// The 16 browser/OS combinations of Table 2.
+const std::vector<BrowserProfile>& standard_profiles();
+
+/// What the browser decided about a page visit.
+enum class Verdict : std::uint8_t {
+  /// TLS up, chain valid, fresh revocation info says Good.
+  kAccept,
+  /// TLS up, chain valid, but NO usable revocation information — the
+  /// "soft-failure" the paper warns about (§2.3).
+  kAcceptSoftFail,
+  /// Must-Staple certificate without a valid staple, browser respects the
+  /// extension: certificate error page.
+  kHardFail,
+  /// Revocation info said Revoked.
+  kRejectRevoked,
+  /// Chain validation failed (expired, bad signature, untrusted...).
+  kCertificateInvalid,
+  /// No TLS endpoint / handshake failed.
+  kConnectionFailed,
+};
+
+const char* to_string(Verdict verdict);
+
+struct VisitResult {
+  Verdict verdict = Verdict::kConnectionFailed;
+  bool sent_status_request = false;
+  bool received_staple = false;
+  bool staple_valid = false;
+  bool sent_own_ocsp_request = false;
+  bool downloaded_crl = false;
+  double handshake_delay_ms = 0.0;
+  x509::ChainError chain_error = x509::ChainError::kOk;
+};
+
+/// Drives one TLS visit with a given profile. `network`/`from` are used
+/// only for the own-OCSP fallback (none of the standard 2018 profiles use
+/// it, but the "future browser" ablation does).
+VisitResult visit(const BrowserProfile& profile,
+                  const tls::TlsDirectory& directory,
+                  const std::string& domain, const x509::RootStore& roots,
+                  util::SimTime now, net::Network* network = nullptr,
+                  net::Region from = net::Region::kVirginia);
+
+}  // namespace mustaple::browser

@@ -1,0 +1,36 @@
+#include "ca/crl_server.hpp"
+
+namespace mustaple::ca {
+
+CrlServer::CrlServer(CertificateAuthority& authority, std::string host,
+                     util::Duration publish_interval, util::Duration validity)
+    : authority_(&authority),
+      host_(std::move(host)),
+      publish_interval_(publish_interval),
+      validity_(validity) {}
+
+void CrlServer::install(net::Network& network, std::uint16_t port) {
+  network.register_service(
+      host_, port,
+      [this](const net::HttpRequest& request, util::SimTime now,
+             net::Region from) { return handle(request, now, from); });
+}
+
+crl::Crl CrlServer::current_crl(util::SimTime now) const {
+  const std::int64_t interval = publish_interval_.seconds;
+  const util::SimTime this_update{
+      interval > 0 ? (now.unix_seconds / interval) * interval
+                   : now.unix_seconds};
+  return authority_->publish_crl(this_update, validity_);
+}
+
+net::HttpResponse CrlServer::handle(const net::HttpRequest& request,
+                                    util::SimTime now, net::Region /*from*/) {
+  if (request.method != "GET") {
+    return net::HttpResponse::make(400, net::default_reason(400), {}, "");
+  }
+  return net::HttpResponse::make(200, "OK", current_crl(now).encode_der(),
+                                 "application/pkix-crl");
+}
+
+}  // namespace mustaple::ca

@@ -1,0 +1,39 @@
+// HTTP service that serves a CA's CRL at its CRL Distribution Point URL.
+// The consistency audit of §5.4 downloads CRLs from here and diffs them
+// against the same CA's OCSP answers.
+#pragma once
+
+#include <string>
+
+#include "ca/authority.hpp"
+#include "net/network.hpp"
+
+namespace mustaple::ca {
+
+class CrlServer {
+ public:
+  /// `publish_interval` controls how often the served CRL's thisUpdate
+  /// advances; `validity` is its nextUpdate - thisUpdate window.
+  CrlServer(CertificateAuthority& authority, std::string host,
+            util::Duration publish_interval = util::Duration::days(1),
+            util::Duration validity = util::Duration::days(7));
+
+  const std::string& host() const { return host_; }
+  std::string url() const { return "http://" + host_ + "/ca.crl"; }
+
+  void install(net::Network& network, std::uint16_t port = 80);
+
+  net::HttpResponse handle(const net::HttpRequest& request, util::SimTime now,
+                           net::Region from);
+
+  /// The CRL as it would be served at `now` (publication-cycle aligned).
+  crl::Crl current_crl(util::SimTime now) const;
+
+ private:
+  CertificateAuthority* authority_;
+  std::string host_;
+  util::Duration publish_interval_;
+  util::Duration validity_;
+};
+
+}  // namespace mustaple::ca

@@ -1,0 +1,252 @@
+#include "ca/responder.hpp"
+
+#include "asn1/der.hpp"
+#include "crypto/sha1.hpp"
+#include "ocsp/request.hpp"
+
+namespace mustaple::ca {
+
+namespace {
+
+// Malformed bodies observed in the wild (§5.3): the literal "0", empty
+// bodies, and JavaScript pages.
+util::Bytes malformed_body(ResponderBehavior::Malform mode) {
+  switch (mode) {
+    case ResponderBehavior::Malform::kZeroBody:
+      return util::bytes_of("0");
+    case ResponderBehavior::Malform::kEmptyBody:
+      return {};
+    case ResponderBehavior::Malform::kJavascriptBody:
+      return util::bytes_of(
+          "<html><script>window.location='/maintenance';</script></html>");
+    case ResponderBehavior::Malform::kNone:
+      break;
+  }
+  return {};
+}
+
+}  // namespace
+
+OcspResponder::OcspResponder(CertificateAuthority& authority,
+                             ResponderBehavior behavior, std::string host,
+                             util::Rng& rng)
+    : authority_(&authority),
+      behavior_(std::move(behavior)),
+      host_(std::move(host)),
+      rng_(rng.fork("responder." + host_)),
+      delegate_key_(crypto::KeyPair::generate_sim(rng_)) {
+  if (behavior_.backends < 1) behavior_.backends = 1;
+  if (behavior_.delegate_signing) {
+    // Anchored mid-2010s; issue_delegate gives it a ±multi-decade window so
+    // any simulated campaign date falls inside it.
+    delegate_cert_ = authority_->issue_delegate(
+        delegate_key_.public_key(), util::make_time(2016, 1, 1), rng_);
+  }
+  // Precompute the CertID issuer hashes this responder serves: leaves are
+  // issued by the intermediate; the intermediate itself by the root (the
+  // multi-staple path).
+  {
+    asn1::Writer issuer_name;
+    authority_->intermediate_cert().subject().encode(issuer_name);
+    expected_name_hash_ = crypto::Sha1::hash(issuer_name.bytes());
+    expected_key_hash_ = crypto::Sha1::hash(
+        authority_->intermediate_cert().public_key().encode());
+    asn1::Writer root_name;
+    authority_->root_cert().subject().encode(root_name);
+    root_name_hash_ = crypto::Sha1::hash(root_name.bytes());
+    root_key_hash_ =
+        crypto::Sha1::hash(authority_->root_cert().public_key().encode());
+  }
+  // Unsynchronized update phases across backends.
+  const std::int64_t interval = behavior_.update_interval.seconds;
+  for (int b = 0; b < behavior_.backends; ++b) {
+    backend_phases_.push_back(util::Duration::secs(
+        interval > 0 ? static_cast<std::int64_t>(
+                           rng_.uniform(static_cast<std::uint64_t>(interval)))
+                     : 0));
+  }
+}
+
+void OcspResponder::install(net::Network& network, std::uint16_t port) {
+  auto handler = [this](const net::HttpRequest& request, util::SimTime now,
+                        net::Region from) { return handle(request, now, from); };
+  network.register_service(host_, port, handler);
+  if (port == 80) {
+    // Real responders commonly answer on HTTPS too (the paper found one
+    // whose HTTPS endpoint served an invalid certificate).
+    network.register_service(host_, 443, handler);
+  }
+}
+
+bool OcspResponder::malform_active(util::SimTime now) const {
+  if (behavior_.malform == ResponderBehavior::Malform::kNone) return false;
+  if (behavior_.malform_windows.empty()) return true;
+  for (const auto& [start, end] : behavior_.malform_windows) {
+    if (start <= now && now < end) return true;
+  }
+  return false;
+}
+
+util::SimTime OcspResponder::generation_time(util::SimTime now,
+                                             int backend) const {
+  if (!behavior_.pre_generate) return now;
+  const std::int64_t interval = behavior_.update_interval.seconds;
+  if (interval <= 0) return now;
+  const std::int64_t phase = backend_phases_[static_cast<std::size_t>(backend)].seconds;
+  const std::int64_t cycles = (now.unix_seconds - phase) / interval;
+  return util::SimTime{phase + cycles * interval};
+}
+
+net::HttpResponse OcspResponder::handle(const net::HttpRequest& request,
+                                        util::SimTime now,
+                                        net::Region /*from*/) {
+  if (request.method != "POST" && request.method != "GET") {
+    return net::HttpResponse::make(400, net::default_reason(400), {}, "");
+  }
+
+  if (malform_active(now)) {
+    // Still HTTP 200 — the paper's clients count these as "successful
+    // requests" that later fail validation (§5.2 vs §5.3).
+    return net::HttpResponse::make(200, "OK", malformed_body(behavior_.malform),
+                                   "application/ocsp-response");
+  }
+
+  if (behavior_.respond_try_later) {
+    const auto error =
+        ocsp::OcspResponseBuilder::error(ocsp::ResponseStatus::kTryLater);
+    return net::HttpResponse::make(200, "OK", error.encode_der(),
+                                   "application/ocsp-response");
+  }
+
+  // POST carries the DER body; GET carries base64 in the path (RFC 6960
+  // Appendix A.1).
+  auto parsed = request.method == "POST"
+                    ? ocsp::OcspRequest::parse(request.body)
+                    : ocsp::OcspRequest::parse_get_path(request.path);
+  if (!parsed.ok()) {
+    const auto error =
+        ocsp::OcspResponseBuilder::error(ocsp::ResponseStatus::kMalformedRequest);
+    return net::HttpResponse::make(200, "OK", error.encode_der(),
+                                   "application/ocsp-response");
+  }
+
+  return net::HttpResponse::make(
+      200, "OK",
+      build_response_der(parsed.value().cert_ids().front(), now,
+                         parsed.value().nonce()),
+      "application/ocsp-response");
+}
+
+ocsp::OcspResponse OcspResponder::build_response(const ocsp::CertId& id,
+                                                 util::SimTime now) {
+  auto parsed = ocsp::OcspResponse::parse(build_response_der(id, now));
+  if (!parsed.ok()) {
+    throw std::logic_error("OcspResponder produced unparseable DER: " +
+                           parsed.error().to_string());
+  }
+  return std::move(parsed).take();
+}
+
+util::Bytes OcspResponder::build_response_der(
+    const ocsp::CertId& id, util::SimTime now,
+    const std::optional<util::Bytes>& nonce) {
+  const int backend =
+      behavior_.backends > 1
+          ? static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(
+                behavior_.backends)))
+          : 0;
+  const std::string serial_hex = util::to_hex(id.serial);
+
+  // Pre-generation cache: one signed encoding per (serial, backend, cycle).
+  const util::SimTime gen_time = generation_time(now, backend);
+  const std::int64_t interval = behavior_.update_interval.seconds;
+  const std::int64_t cycle =
+      behavior_.pre_generate && interval > 0 ? gen_time.unix_seconds / interval
+                                             : now.unix_seconds;
+  if (behavior_.pre_generate) {
+    auto& entries = cache_[serial_hex];
+    entries.resize(static_cast<std::size_t>(behavior_.backends));
+    auto& entry = entries[static_cast<std::size_t>(backend)];
+    if (entry.cycle == cycle && !entry.der.empty()) return entry.der;
+  }
+
+  ocsp::SingleResponse single;
+  single.cert_id = id;
+  if (behavior_.wrong_serial) {
+    // Flip the low byte so the serial no longer matches the request.
+    util::Bytes mutated = id.serial;
+    if (mutated.empty()) mutated.push_back(0);
+    mutated.back() ^= 0xff;
+    single.cert_id.serial = mutated;
+  }
+  // Requests naming a different issuer (wrong name/key hash) get Unknown:
+  // "the certificate is not served by this responder" (§2.2).
+  const bool root_issued = id.issuer_name_hash == root_name_hash_ &&
+                           id.issuer_key_hash == root_key_hash_;
+  const bool issuer_matches = (id.issuer_name_hash == expected_name_hash_ &&
+                               id.issuer_key_hash == expected_key_hash_) ||
+                              root_issued;
+  if (issuer_matches) {
+    ocsp::RevokedInfo revoked;
+    single.status = authority_->ocsp_status(id.serial, &revoked);
+    if (single.status == ocsp::CertStatus::kRevoked) single.revoked = revoked;
+  } else {
+    single.status = ocsp::CertStatus::kUnknown;
+  }
+  single.this_update = gen_time - behavior_.this_update_margin;
+  if (behavior_.validity) {
+    single.next_update = single.this_update + *behavior_.validity;
+  }
+
+  ocsp::OcspResponseBuilder builder;
+  builder.produced_at(gen_time).add_single(single);
+  // Only on-demand generation can echo a per-request nonce; a cached
+  // response is shared across requests.
+  if (nonce && !behavior_.pre_generate) builder.nonce(*nonce);
+
+  // Unsolicited extra serials (Fig 7).
+  for (int i = 0; i < behavior_.extra_serials; ++i) {
+    ocsp::SingleResponse extra = single;
+    util::Bytes extra_serial = id.serial;
+    extra_serial.push_back(static_cast<std::uint8_t>(i + 1));
+    extra.cert_id.serial = extra_serial;
+    extra.status = ocsp::CertStatus::kGood;
+    extra.revoked.reset();
+    builder.add_single(extra);
+  }
+
+  // Certificates: delegation cert (if any) + superfluous extras (Fig 6).
+  // For a root-issued subject (the intermediate itself, RFC 6961 path) the
+  // response is signed by the intermediate key, so the intermediate cert is
+  // attached as the delegation certificate — clients verify it against the
+  // root and then the response against it.
+  if (root_issued) builder.add_cert(authority_->intermediate_cert());
+  if (delegate_cert_) builder.add_cert(*delegate_cert_);
+  for (int i = 0; i < behavior_.extra_certs; ++i) {
+    builder.add_cert(i % 2 == 0 ? authority_->intermediate_cert()
+                                : authority_->root_cert());
+  }
+
+  ocsp::OcspResponse response;
+  if (behavior_.bad_signature) {
+    // Sign with a key unrelated to the CA: the response stays well-formed
+    // but fails client-side signature validation (§5.3 "Incorrect
+    // signature").
+    util::Rng throwaway = rng_.fork("bad-signature");
+    response = builder.sign(crypto::KeyPair::generate_sim(throwaway));
+  } else {
+    response = builder.sign(behavior_.delegate_signing
+                                ? delegate_key_
+                                : authority_->intermediate_key());
+  }
+
+  util::Bytes der = response.encode_der();
+  if (behavior_.pre_generate) {
+    auto& entries = cache_[serial_hex];
+    entries.resize(static_cast<std::size_t>(behavior_.backends));
+    entries[static_cast<std::size_t>(backend)] = CacheEntry{cycle, der};
+  }
+  return der;
+}
+
+}  // namespace mustaple::ca

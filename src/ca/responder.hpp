@@ -1,0 +1,129 @@
+// The OCSP responder service: binds a CertificateAuthority into the
+// simulated network at an OCSP URL, with a behaviour profile expressing
+// every responder pathology measured in paper §5:
+//
+//   §5.3  malformed bodies ("0", empty, JavaScript), serial mismatch,
+//         invalid signatures;
+//   §5.4  superfluous certificates (Fig 6), multi-serial responses (Fig 7),
+//         blank/short/huge validity periods (Fig 8), zero-margin and future
+//         thisUpdate (Fig 9), pre-generated vs on-demand responses with
+//         producedAt regressions across co-located backends (footnote 17);
+//   §2.2  OCSP Signature Authority Delegation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ca/authority.hpp"
+#include "net/network.hpp"
+#include "ocsp/response.hpp"
+#include "util/rng.hpp"
+
+namespace mustaple::ca {
+
+struct ResponderBehavior {
+  /// §5.4: 51.7% of responders serve pre-generated responses; the rest
+  /// generate on demand.
+  bool pre_generate = true;
+  /// Regeneration cadence for pre-generated responses.
+  util::Duration update_interval = util::Duration::hours(24);
+  /// nextUpdate - thisUpdate; nullopt = blank nextUpdate (9.1% of
+  /// responders, "technically always valid").
+  std::optional<util::Duration> validity = util::Duration::days(7);
+  /// thisUpdate is set this far BEFORE the generation instant. Zero models
+  /// the 17.2% with no margin; negative models the 3% whose thisUpdate is
+  /// in the future.
+  util::Duration this_update_margin = util::Duration::hours(1);
+  /// Co-located responder instances with unsynchronized update phases;
+  /// >1 reproduces producedAt going backwards between consecutive scans.
+  int backends = 1;
+
+  /// Extra unsolicited SingleResponses packed into each response (Fig 7:
+  /// 3.3% of responders always send 20 serials).
+  int extra_serials = 0;
+  /// Superfluous certificates beyond any delegation cert (Fig 6; e.g. the
+  /// ocsp.cpc.gov.ae analogue sends the whole chain incl. root).
+  int extra_certs = 0;
+  /// Sign with a delegated responder certificate embedded in the response.
+  bool delegate_signing = false;
+
+  enum class Malform { kNone, kZeroBody, kEmptyBody, kJavascriptBody };
+  /// Body corruption mode. Applied always, or only inside
+  /// `malform_windows` when any are given (the sheca/postsignum spikes).
+  Malform malform = Malform::kNone;
+  std::vector<std::pair<util::SimTime, util::SimTime>> malform_windows;
+
+  /// Answer with a SingleResponse whose serial differs from the request.
+  bool wrong_serial = false;
+  /// Corrupt the signature bytes.
+  bool bad_signature = false;
+  /// Answer every request with an OCSP-level tryLater error (RFC 6960
+  /// §4.2.1) — the "responder returns an error" case of Table 3's
+  /// retain-on-error experiment.
+  bool respond_try_later = false;
+};
+
+/// A responder instance. Stateless between requests except for the
+/// pre-generation cache (latest cycle per serial/backend).
+class OcspResponder {
+ public:
+  OcspResponder(CertificateAuthority& authority, ResponderBehavior behavior,
+                std::string host, util::Rng& rng);
+
+  const std::string& host() const { return host_; }
+  const ResponderBehavior& behavior() const { return behavior_; }
+  /// Flips the responder into/out of tryLater mode at runtime (used by the
+  /// Table 3 retain-on-error experiment).
+  void set_try_later(bool value) { behavior_.respond_try_later = value; }
+  std::string url() const { return "http://" + host_ + "/"; }
+
+  /// Registers this responder's HTTP handler on the network. The responder
+  /// must outlive the network.
+  void install(net::Network& network, std::uint16_t port = 80);
+
+  /// HTTP entry point (also callable directly in tests).
+  net::HttpResponse handle(const net::HttpRequest& request, util::SimTime now,
+                           net::Region from);
+
+  /// Builds (or serves from cache) the response for one CertID.
+  ocsp::OcspResponse build_response(const ocsp::CertId& id, util::SimTime now);
+
+  /// Encoded form of build_response — the hot path used by handle(); serves
+  /// the cached encoding without a parse/re-encode round trip. A request
+  /// nonce is echoed only by on-demand responders: pre-generated responses
+  /// are cached and structurally cannot carry per-request nonces.
+  util::Bytes build_response_der(
+      const ocsp::CertId& id, util::SimTime now,
+      const std::optional<util::Bytes>& nonce = std::nullopt);
+
+ private:
+  bool malform_active(util::SimTime now) const;
+  util::SimTime generation_time(util::SimTime now, int backend) const;
+
+  CertificateAuthority* authority_;
+  ResponderBehavior behavior_;
+  std::string host_;
+  util::Rng rng_;
+
+  crypto::KeyPair delegate_key_;
+  std::optional<x509::Certificate> delegate_cert_;
+  std::vector<util::Duration> backend_phases_;
+  // Expected CertID issuer hashes — requests naming a different issuer get
+  // Unknown ("the certificate is not served by this responder", §2.2).
+  // Leaves: intermediate hashes; the intermediate itself: root hashes.
+  util::Bytes expected_name_hash_;
+  util::Bytes expected_key_hash_;
+  util::Bytes root_name_hash_;
+  util::Bytes root_key_hash_;
+
+  struct CacheEntry {
+    std::int64_t cycle = -1;
+    util::Bytes der;
+  };
+  // serial hex -> per-backend cached encoding for the current cycle.
+  std::map<std::string, std::vector<CacheEntry>> cache_;
+};
+
+}  // namespace mustaple::ca

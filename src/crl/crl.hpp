@@ -1,0 +1,99 @@
+// Certificate Revocation Lists (RFC 5280 profile, reduced to the fields the
+// study uses): revoked (serial, time, reason) entries plus the
+// thisUpdate/nextUpdate validity window the paper analyses in §5.4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/signer.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/sim_time.hpp"
+#include "x509/name.hpp"
+
+namespace mustaple::crl {
+
+/// RFC 5280 §5.3.1 CRLReason codes (shared with OCSP, per the paper's
+/// footnote 21).
+enum class ReasonCode : std::int8_t {
+  kUnspecified = 0,
+  kKeyCompromise = 1,
+  kCaCompromise = 2,
+  kAffiliationChanged = 3,
+  kSuperseded = 4,
+  kCessationOfOperation = 5,
+  kCertificateHold = 6,
+  kRemoveFromCrl = 8,
+  kPrivilegeWithdrawn = 9,
+  kAaCompromise = 10,
+};
+
+const char* to_string(ReasonCode reason);
+
+/// One revokedCertificates entry.
+struct RevokedEntry {
+  util::Bytes serial;
+  util::SimTime revocation_time;
+  /// Reason code is OPTIONAL in both CRLs and OCSP; the paper finds 99.99%
+  /// of discrepancies are "CRL has a reason, OCSP does not".
+  std::optional<ReasonCode> reason;
+};
+
+/// A signed CRL.
+class Crl {
+ public:
+  Crl() = default;
+
+  const x509::DistinguishedName& issuer() const { return issuer_; }
+  util::SimTime this_update() const { return this_update_; }
+  util::SimTime next_update() const { return next_update_; }
+  const std::vector<RevokedEntry>& entries() const { return entries_; }
+  const util::Bytes& signature() const { return signature_; }
+  const util::Bytes& tbs_der() const { return tbs_der_; }
+
+  bool is_fresh_at(util::SimTime now) const {
+    return this_update_ <= now && now <= next_update_;
+  }
+
+  /// Looks up a serial; nullptr when not revoked.
+  const RevokedEntry* find(const util::Bytes& serial) const;
+  bool is_revoked(const util::Bytes& serial) const { return find(serial) != nullptr; }
+
+  bool verify_signature(const crypto::PublicKey& issuer_key) const;
+
+  util::Bytes encode_der() const;
+  static util::Result<Crl> parse(const util::Bytes& der);
+
+  friend class CrlBuilder;
+
+ private:
+  x509::DistinguishedName issuer_;
+  util::SimTime this_update_{};
+  util::SimTime next_update_{};
+  std::vector<RevokedEntry> entries_;
+  util::Bytes tbs_der_;
+  util::Bytes signature_;
+  crypto::SignatureAlgorithm sig_alg_ = crypto::SignatureAlgorithm::kSimHashSig;
+};
+
+/// Builds and signs CRLs; used by the CA simulation's periodic publication.
+class CrlBuilder {
+ public:
+  CrlBuilder& issuer(x509::DistinguishedName name);
+  CrlBuilder& this_update(util::SimTime t);
+  CrlBuilder& next_update(util::SimTime t);
+  CrlBuilder& add_entry(RevokedEntry entry);
+
+  Crl sign(const crypto::KeyPair& issuer_key) const;
+
+ private:
+  x509::DistinguishedName issuer_;
+  util::SimTime this_update_{};
+  util::SimTime next_update_{};
+  std::vector<RevokedEntry> entries_;
+};
+
+}  // namespace mustaple::crl

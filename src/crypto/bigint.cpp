@@ -1,0 +1,448 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mustaple::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value));
+    if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+  }
+}
+
+BigInt BigInt::from_bytes_be(const util::Bytes& bytes) {
+  BigInt out;
+  for (std::uint8_t b : bytes) {
+    // out = out * 256 + b, done limb-wise.
+    std::uint64_t carry = b;
+    for (auto& limb : out.limbs_) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(limb) << 8) | carry;
+      limb = static_cast<std::uint32_t>(v);
+      carry = v >> 32;
+    }
+    if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  out.trim();
+  return out;
+}
+
+util::Bytes BigInt::to_bytes_be() const {
+  if (is_zero()) return util::Bytes{0x00};
+  util::Bytes out;
+  out.reserve(limbs_.size() * 4);
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    out.push_back(static_cast<std::uint8_t>(*it >> 24));
+    out.push_back(static_cast<std::uint8_t>(*it >> 16));
+    out.push_back(static_cast<std::uint8_t>(*it >> 8));
+    out.push_back(static_cast<std::uint8_t>(*it));
+  }
+  std::size_t skip = 0;
+  while (skip + 1 < out.size() && out[skip] == 0) ++skip;
+  out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(skip));
+  return out;
+}
+
+util::Bytes BigInt::to_bytes_be_padded(std::size_t width) const {
+  util::Bytes minimal = to_bytes_be();
+  if (minimal.size() == 1 && minimal[0] == 0) minimal.clear();
+  if (minimal.size() > width) {
+    throw std::length_error("BigInt::to_bytes_be_padded: value too wide");
+  }
+  util::Bytes out(width - minimal.size(), 0x00);
+  util::append(out, minimal);
+  return out;
+}
+
+BigInt BigInt::random_bits(std::size_t bits, util::Rng& rng) {
+  if (bits == 0) return BigInt();
+  BigInt out;
+  const std::size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<std::uint32_t>(rng.next_u64());
+  }
+  const std::size_t top_bits = bits % 32;
+  if (top_bits != 0) {
+    out.limbs_.back() &= (1u << top_bits) - 1;
+  }
+  out.trim();
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (is_zero()) return 0;
+  const std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  for (int i = 31; i >= 0; --i) {
+    if (top & (1u << i)) return bits + static_cast<std::size_t>(i) + 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigInt::to_u64() const {
+  if (limbs_.size() > 2) throw std::overflow_error("BigInt::to_u64: too wide");
+  std::uint64_t v = 0;
+  if (limbs_.size() > 1) v = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) v |= limbs_[0];
+  return v;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  if (BigInt::compare(a, b) < 0) {
+    throw std::domain_error("BigInt subtraction underflow");
+  }
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t av = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + av * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shl(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt out = *this;
+    if (bits == 0) return out;
+  }
+  if (is_zero()) return BigInt();
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shr(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt::DivMod BigInt::divmod(const BigInt& a, const BigInt& b) {
+  if (b.is_zero()) throw std::domain_error("BigInt division by zero");
+  if (compare(a, b) < 0) return {BigInt(), a};
+  if (b.limbs_.size() == 1) {
+    // Single-limb fast path.
+    BigInt q;
+    q.limbs_.resize(a.limbs_.size());
+    const std::uint64_t d = b.limbs_[0];
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigInt(rem)};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set, divide limb-by-limb with trial quotients, then denormalize.
+  const std::size_t n = b.limbs_.size();
+  const std::size_t m = a.limbs_.size() - n;
+  std::size_t shift = 0;
+  {
+    std::uint32_t top = b.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigInt u_big = a.shl(shift);
+  const BigInt v_big = b.shl(shift);
+  std::vector<std::uint32_t> u = u_big.limbs_;
+  u.resize(a.limbs_.size() + 1, 0);  // u has m+n+1 limbs
+  const std::vector<std::uint32_t>& v = v_big.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = numerator / v[n - 1];
+    std::uint64_t rhat = numerator % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply and subtract: u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * v[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t =
+          static_cast<std::int64_t>(u[i + j]) -
+          static_cast<std::int64_t>(p & 0xffffffffULL) - borrow;
+      u[i + j] = static_cast<std::uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(t);
+    if (t < 0) {
+      // qhat was one too large; add v back.
+      --qhat;
+      std::uint64_t carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + carry2;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + carry2);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+  q.trim();
+
+  BigInt r;
+  r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  r = r.shr(shift);
+  return {q, r};
+}
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero() || (m.limbs_.size() == 1 && m.limbs_[0] == 1)) {
+    throw std::domain_error("BigInt::mod_exp: modulus must be > 1");
+  }
+  BigInt result(1);
+  BigInt b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = (result * b) % m;
+    b = (b * b) % m;
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with signed bookkeeping done via (value, negative) pairs.
+  BigInt old_r = a % m;
+  BigInt r = m;
+  // Coefficients for `a`: old_s, s — tracked with explicit signs.
+  BigInt old_s(1);
+  bool old_s_neg = false;
+  BigInt s(0);
+  bool s_neg = false;
+
+  while (!old_r.is_zero()) {
+    const DivMod dm = divmod(r, old_r);
+    // (r, old_r) = (old_r, r - q*old_r)
+    BigInt new_r = dm.remainder;
+    r = old_r;
+    old_r = std::move(new_r);
+
+    // (s, old_s) = (old_s, s - q*old_s) with signs.
+    BigInt q_old_s = dm.quotient * old_s;
+    BigInt new_s;
+    bool new_s_neg;
+    if (s_neg == old_s_neg) {
+      // s - q*old_s where both have the same sign.
+      if (compare(s, q_old_s) >= 0) {
+        new_s = s - q_old_s;
+        new_s_neg = s_neg;
+      } else {
+        new_s = q_old_s - s;
+        new_s_neg = !s_neg;
+      }
+    } else {
+      new_s = s + q_old_s;
+      new_s_neg = s_neg;
+    }
+    s = old_s;
+    s_neg = old_s_neg;
+    old_s = std::move(new_s);
+    old_s_neg = new_s_neg;
+  }
+  // gcd is in r; inverse exists iff gcd == 1. Coefficient for a is s.
+  if (!(r.limbs_.size() == 1 && r.limbs_[0] == 1)) return BigInt();
+  BigInt inv = s % m;
+  if (s_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+bool BigInt::is_probable_prime(const BigInt& n, int rounds, util::Rng& rng) {
+  if (n.is_zero()) return false;
+  if (n.limbs_.size() == 1) {
+    const std::uint32_t v = n.limbs_[0];
+    if (v < 2) return false;
+    if (v == 2 || v == 3) return true;
+  }
+  if (!n.is_odd()) return false;
+
+  // Trial division by small primes rejects ~80% of candidates cheaply.
+  static constexpr std::uint32_t kSmallPrimes[] = {
+      3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41, 43,
+      47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101};
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigInt bp(p);
+    if (compare(n, bp) == 0) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^s with d odd.
+  const BigInt one(1);
+  const BigInt two(2);
+  const BigInt n_minus_1 = n - one;
+  BigInt d = n_minus_1;
+  std::size_t s_exp = 0;
+  while (!d.is_odd()) {
+    d = d.shr(1);
+    ++s_exp;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    BigInt a;
+    do {
+      a = random_bits(n.bit_length(), rng);
+    } while (compare(a, two) < 0 || compare(a, n_minus_1) >= 0);
+
+    BigInt x = mod_exp(a, d, n);
+    if (compare(x, one) == 0 || compare(x, n_minus_1) == 0) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < s_exp; ++i) {
+      x = (x * x) % n;
+      if (compare(x, n_minus_1) == 0) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::generate_prime(std::size_t bits, util::Rng& rng) {
+  if (bits < 8) throw std::invalid_argument("generate_prime: bits too small");
+  for (;;) {
+    BigInt candidate = random_bits(bits, rng);
+    // Force exact width (top two bits) and oddness.
+    candidate.limbs_.resize((bits + 31) / 32, 0);
+    const std::size_t top_bit = (bits - 1) % 32;
+    candidate.limbs_.back() |= 1u << top_bit;
+    if (top_bit > 0) {
+      candidate.limbs_.back() |= 1u << (top_bit - 1);
+    } else if (candidate.limbs_.size() >= 2) {
+      candidate.limbs_[candidate.limbs_.size() - 2] |= 0x80000000u;
+    }
+    candidate.limbs_[0] |= 1u;
+    candidate.trim();
+    if (is_probable_prime(candidate, 20, rng)) return candidate;
+  }
+}
+
+std::string BigInt::to_hex() const {
+  return util::to_hex(to_bytes_be());
+}
+
+}  // namespace mustaple::crypto

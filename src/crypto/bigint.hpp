@@ -1,0 +1,104 @@
+// Arbitrary-precision unsigned integers, sized for RSA moduli in the
+// 512-2048-bit range. Implements schoolbook multiply and Knuth Algorithm D
+// division — ample for the simulation's signing volumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mustaple::crypto {
+
+/// Unsigned big integer; value zero is represented by an empty limb vector.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t value);
+
+  static BigInt from_bytes_be(const util::Bytes& bytes);
+  util::Bytes to_bytes_be() const;  ///< minimal length; {0x00} for zero
+  /// Fixed-width big-endian (left-padded with zeros); throws if too narrow.
+  util::Bytes to_bytes_be_padded(std::size_t width) const;
+
+  static BigInt random_bits(std::size_t bits, util::Rng& rng);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  std::uint64_t to_u64() const;  ///< throws if the value exceeds 64 bits
+
+  /// -1 / 0 / +1 comparison.
+  static int compare(const BigInt& a, const BigInt& b);
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return compare(a, b) >= 0;
+  }
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  /// Requires a >= b (unsigned); throws std::domain_error otherwise.
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+
+  struct DivMod;
+  /// Knuth Algorithm D; throws std::domain_error on division by zero.
+  static DivMod divmod(const BigInt& a, const BigInt& b);
+
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+
+  BigInt shl(std::size_t bits) const;
+  BigInt shr(std::size_t bits) const;
+
+  /// (base ^ exp) mod m, square-and-multiply. m must be > 1.
+  static BigInt mod_exp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Modular inverse of a mod m (both > 0, coprime); returns zero BigInt if
+  /// no inverse exists.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+  /// Miller-Rabin probabilistic primality test.
+  static bool is_probable_prime(const BigInt& n, int rounds, util::Rng& rng);
+
+  /// Generates a random prime with exactly `bits` bits (top two bits set so
+  /// products have full width).
+  static BigInt generate_prime(std::size_t bits, util::Rng& rng);
+
+  std::string to_hex() const;
+
+ private:
+  void trim();
+  // Little-endian 32-bit limbs.
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct BigInt::DivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+inline BigInt operator/(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).quotient;
+}
+inline BigInt operator%(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).remainder;
+}
+
+}  // namespace mustaple::crypto

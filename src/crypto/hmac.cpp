@@ -1,0 +1,23 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mustaple::crypto {
+
+util::Bytes hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
+  constexpr std::size_t kBlock = 64;
+  util::Bytes k = key;
+  if (k.size() > kBlock) k = Sha256::hash(k);
+  k.resize(kBlock, 0x00);
+
+  util::Bytes ipad(kBlock);
+  util::Bytes opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  util::Bytes inner = Sha256().update(ipad).update(message).digest();
+  return Sha256().update(opad).update(inner).digest();
+}
+
+}  // namespace mustaple::crypto

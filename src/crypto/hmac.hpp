@@ -1,0 +1,11 @@
+// HMAC-SHA256 (RFC 2104). Backs the simulation-grade HashSigner.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace mustaple::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+util::Bytes hmac_sha256(const util::Bytes& key, const util::Bytes& message);
+
+}  // namespace mustaple::crypto

@@ -1,0 +1,116 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mustaple::crypto {
+
+namespace {
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+}  // namespace
+
+Sha1::Sha1()
+    : state_{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0} {}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1& Sha1::update(const std::uint8_t* data, std::size_t len) {
+  if (finalized_) throw std::logic_error("Sha1::update after digest()");
+  total_bytes_ += len;
+  while (len > 0) {
+    const std::size_t take = std::min(len, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  return *this;
+}
+
+util::Bytes Sha1::digest() {
+  if (finalized_) throw std::logic_error("Sha1::digest called twice");
+  finalized_ = true;
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  auto feed = [&](const std::uint8_t* p, std::size_t n) {
+    while (n > 0) {
+      const std::size_t take = std::min(n, buffer_.size() - buffered_);
+      std::memcpy(buffer_.data() + buffered_, p, take);
+      buffered_ += take;
+      p += take;
+      n -= take;
+      if (buffered_ == buffer_.size()) {
+        process_block(buffer_.data());
+        buffered_ = 0;
+      }
+    }
+  };
+  feed(pad, pad_len);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  feed(len_bytes, 8);
+
+  util::Bytes out(kDigestSize);
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+util::Bytes Sha1::hash(const util::Bytes& data) {
+  return Sha1().update(data).digest();
+}
+
+}  // namespace mustaple::crypto

@@ -1,0 +1,33 @@
+// SHA-1 (FIPS 180-4). Present because RFC 6960 CertID issuer hashes are
+// conventionally SHA-1; not used for anything that needs collision
+// resistance inside the simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mustaple::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+
+  Sha1();
+  Sha1& update(const std::uint8_t* data, std::size_t len);
+  Sha1& update(const util::Bytes& data) { return update(data.data(), data.size()); }
+  util::Bytes digest();
+  static util::Bytes hash(const util::Bytes& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mustaple::crypto

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for certificate
+// fingerprints, OCSP CertID hashes, RSA signature digests, and the
+// simulation-grade keyed-hash signer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mustaple::crypto {
+
+/// Incremental SHA-256. Typical use: Sha256().update(a).update(b).digest().
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256();
+
+  Sha256& update(const std::uint8_t* data, std::size_t len);
+  Sha256& update(const util::Bytes& data) {
+    return update(data.data(), data.size());
+  }
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards.
+  util::Bytes digest();
+
+  /// One-shot convenience.
+  static util::Bytes hash(const util::Bytes& data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mustaple::crypto

@@ -1,0 +1,88 @@
+#include "crypto/signer.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mustaple::crypto {
+
+const char* to_string(SignatureAlgorithm alg) {
+  switch (alg) {
+    case SignatureAlgorithm::kRsaSha256:
+      return "rsa-sha256";
+    case SignatureAlgorithm::kSimHashSig:
+      return "sim-hash-sig";
+  }
+  return "unknown";
+}
+
+util::Bytes PublicKey::encode() const {
+  util::Bytes out;
+  out.reserve(key_bytes_.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(alg_));
+  util::append(out, key_bytes_);
+  return out;
+}
+
+util::Result<PublicKey> PublicKey::decode(const util::Bytes& wire) {
+  if (wire.empty()) {
+    return util::Result<PublicKey>::failure("pubkey.empty");
+  }
+  const auto alg = static_cast<SignatureAlgorithm>(wire[0]);
+  if (alg != SignatureAlgorithm::kRsaSha256 &&
+      alg != SignatureAlgorithm::kSimHashSig) {
+    return util::Result<PublicKey>::failure("pubkey.unknown_algorithm");
+  }
+  return PublicKey(alg, util::Bytes(wire.begin() + 1, wire.end()));
+}
+
+bool PublicKey::verify(const util::Bytes& message,
+                       const util::Bytes& signature) const {
+  switch (alg_) {
+    case SignatureAlgorithm::kRsaSha256: {
+      RsaPublicKey key;
+      try {
+        key = RsaPublicKey::decode_der(key_bytes_);
+      } catch (const std::invalid_argument&) {
+        return false;
+      }
+      return rsa_verify_sha256(key, message, signature);
+    }
+    case SignatureAlgorithm::kSimHashSig: {
+      const util::Bytes expected = hmac_sha256(key_bytes_, message);
+      return util::equal_constant_time(expected, signature);
+    }
+  }
+  return false;
+}
+
+KeyPair KeyPair::generate_rsa(std::size_t modulus_bits, util::Rng& rng) {
+  KeyPair kp;
+  auto rsa = std::make_shared<RsaKeyPair>(RsaKeyPair::generate(modulus_bits, rng));
+  kp.public_key_ =
+      PublicKey(SignatureAlgorithm::kRsaSha256, rsa->public_key.encode_der());
+  kp.rsa_ = std::move(rsa);
+  return kp;
+}
+
+KeyPair KeyPair::generate_sim(util::Rng& rng) {
+  KeyPair kp;
+  util::Bytes id(32);
+  rng.fill(id.data(), id.size());
+  kp.public_key_ = PublicKey(SignatureAlgorithm::kSimHashSig, id);
+  kp.sim_secret_ = std::move(id);
+  return kp;
+}
+
+util::Bytes KeyPair::sign(const util::Bytes& message) const {
+  switch (algorithm()) {
+    case SignatureAlgorithm::kRsaSha256:
+      return rsa_sign_sha256(*rsa_, message);
+    case SignatureAlgorithm::kSimHashSig:
+      return hmac_sha256(public_key_.key_bytes(), message);
+  }
+  throw std::logic_error("KeyPair::sign: unreachable");
+}
+
+}  // namespace mustaple::crypto

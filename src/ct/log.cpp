@@ -1,0 +1,90 @@
+#include "ct/log.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mustaple::ct {
+
+namespace {
+
+using util::Bytes;
+
+void append_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+CtLog::CtLog(std::string name, util::Rng& rng)
+    : name_(std::move(name)), key_(crypto::KeyPair::generate_sim(rng)) {
+  log_id_ = crypto::Sha256::hash(key_.public_key().encode());
+}
+
+Bytes CtLog::sct_payload(util::SimTime timestamp, const Bytes& cert_der) {
+  Bytes payload = util::bytes_of("ct-sct-v1");
+  append_u64(payload, static_cast<std::uint64_t>(timestamp.unix_seconds));
+  util::append(payload, cert_der);
+  return payload;
+}
+
+Bytes CtLog::sth_payload(std::uint64_t tree_size, util::SimTime timestamp,
+                         const Bytes& root_hash) {
+  Bytes payload = util::bytes_of("ct-sth-v1");
+  append_u64(payload, tree_size);
+  append_u64(payload, static_cast<std::uint64_t>(timestamp.unix_seconds));
+  util::append(payload, root_hash);
+  return payload;
+}
+
+SignedCertificateTimestamp CtLog::submit(const x509::Certificate& cert,
+                                         util::SimTime now) {
+  const Bytes der = cert.encode_der();
+  tree_.append(der);
+  SignedCertificateTimestamp sct;
+  sct.log_id = log_id_;
+  sct.timestamp = now;
+  sct.signature = key_.sign(sct_payload(now, der));
+  return sct;
+}
+
+util::Result<x509::Certificate> CtLog::entry(std::uint64_t index) const {
+  return x509::Certificate::parse(tree_.entry(index));
+}
+
+SignedTreeHead CtLog::tree_head(util::SimTime now) const {
+  SignedTreeHead sth;
+  sth.tree_size = tree_.size();
+  sth.timestamp = now;
+  sth.root_hash = tree_.root_hash();
+  sth.signature = key_.sign(sth_payload(sth.tree_size, now, sth.root_hash));
+  return sth;
+}
+
+bool CtLog::verify_sct(const x509::Certificate& cert,
+                       const SignedCertificateTimestamp& sct,
+                       const crypto::PublicKey& log_key) {
+  if (sct.log_id != crypto::Sha256::hash(log_key.encode())) return false;
+  return log_key.verify(sct_payload(sct.timestamp, cert.encode_der()),
+                        sct.signature);
+}
+
+bool CtLog::verify_tree_head(const SignedTreeHead& sth,
+                             const crypto::PublicKey& log_key) {
+  return log_key.verify(
+      sth_payload(sth.tree_size, sth.timestamp, sth.root_hash),
+      sth.signature);
+}
+
+bool CtLog::verify_entry_inclusion(const x509::Certificate& cert,
+                                   std::uint64_t leaf_index,
+                                   const SignedTreeHead& sth) const {
+  if (leaf_index >= sth.tree_size || sth.tree_size > tree_.size()) {
+    return false;
+  }
+  const auto proof = tree_.inclusion_proof(leaf_index, sth.tree_size);
+  return MerkleTree::verify_inclusion(cert.encode_der(), leaf_index,
+                                      sth.tree_size, proof, sth.root_hash);
+}
+
+}  // namespace mustaple::ct

@@ -1,0 +1,85 @@
+// A Certificate Transparency log (RFC 6962-shaped): certificates are
+// submitted at issuance, the log returns a Signed Certificate Timestamp,
+// publishes Signed Tree Heads, and serves inclusion/consistency proofs.
+// Together with the simulated IPv4 scan this feeds the Censys-style
+// snapshot pipeline the paper's §4 corpus comes from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/signer.hpp"
+#include "ct/merkle.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "x509/certificate.hpp"
+
+namespace mustaple::ct {
+
+/// SCT: the log's promise to incorporate a certificate.
+struct SignedCertificateTimestamp {
+  util::Bytes log_id;  ///< SHA-256 of the log's public key
+  util::SimTime timestamp{};
+  util::Bytes signature;  ///< over timestamp || cert DER
+};
+
+/// STH: a signed snapshot of the tree.
+struct SignedTreeHead {
+  std::uint64_t tree_size = 0;
+  util::SimTime timestamp{};
+  util::Bytes root_hash;
+  util::Bytes signature;  ///< over tree_size || timestamp || root_hash
+};
+
+class CtLog {
+ public:
+  CtLog(std::string name, util::Rng& rng);
+
+  const std::string& name() const { return name_; }
+  const util::Bytes& log_id() const { return log_id_; }
+  const crypto::PublicKey& public_key() const { return key_.public_key(); }
+  std::uint64_t size() const { return tree_.size(); }
+
+  /// Submits a certificate; returns the SCT. Duplicate submissions append
+  /// duplicate entries, as real logs do.
+  SignedCertificateTimestamp submit(const x509::Certificate& cert,
+                                    util::SimTime now);
+
+  /// The certificate at a given index (parsed from the stored entry).
+  util::Result<x509::Certificate> entry(std::uint64_t index) const;
+
+  SignedTreeHead tree_head(util::SimTime now) const;
+
+  std::vector<util::Bytes> inclusion_proof(std::uint64_t leaf_index,
+                                           std::uint64_t tree_size) const {
+    return tree_.inclusion_proof(leaf_index, tree_size);
+  }
+  std::vector<util::Bytes> consistency_proof(std::uint64_t old_size,
+                                             std::uint64_t new_size) const {
+    return tree_.consistency_proof(old_size, new_size);
+  }
+
+  /// Client-side checks.
+  static bool verify_sct(const x509::Certificate& cert,
+                         const SignedCertificateTimestamp& sct,
+                         const crypto::PublicKey& log_key);
+  static bool verify_tree_head(const SignedTreeHead& sth,
+                               const crypto::PublicKey& log_key);
+  bool verify_entry_inclusion(const x509::Certificate& cert,
+                              std::uint64_t leaf_index,
+                              const SignedTreeHead& sth) const;
+
+ private:
+  static util::Bytes sct_payload(util::SimTime timestamp,
+                                 const util::Bytes& cert_der);
+  static util::Bytes sth_payload(std::uint64_t tree_size,
+                                 util::SimTime timestamp,
+                                 const util::Bytes& root_hash);
+
+  std::string name_;
+  crypto::KeyPair key_;
+  util::Bytes log_id_;
+  MerkleTree tree_;
+};
+
+}  // namespace mustaple::ct

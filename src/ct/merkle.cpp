@@ -1,0 +1,225 @@
+#include "ct/merkle.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace mustaple::ct {
+
+namespace {
+
+using util::Bytes;
+
+/// Largest power of two strictly less than n (n >= 2).
+std::uint64_t split_point(std::uint64_t n) {
+  std::uint64_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+}  // namespace
+
+Bytes leaf_hash(const Bytes& entry) {
+  crypto::Sha256 hasher;
+  const std::uint8_t prefix = 0x00;
+  hasher.update(&prefix, 1);
+  hasher.update(entry);
+  return hasher.digest();
+}
+
+Bytes node_hash(const Bytes& left, const Bytes& right) {
+  crypto::Sha256 hasher;
+  const std::uint8_t prefix = 0x01;
+  hasher.update(&prefix, 1);
+  hasher.update(left);
+  hasher.update(right);
+  return hasher.digest();
+}
+
+std::uint64_t MerkleTree::append(Bytes entry) {
+  leaf_hashes_.push_back(leaf_hash(entry));
+  leaves_.push_back(std::move(entry));
+  return leaves_.size() - 1;
+}
+
+const Bytes& MerkleTree::entry(std::uint64_t index) const {
+  if (index >= leaves_.size()) {
+    throw std::out_of_range("MerkleTree::entry: index out of range");
+  }
+  return leaves_[index];
+}
+
+Bytes MerkleTree::subtree_hash(std::uint64_t begin, std::uint64_t end) const {
+  const std::uint64_t n = end - begin;
+  if (n == 0) return crypto::Sha256::hash({});
+  if (n == 1) return leaf_hashes_[begin];
+  const std::uint64_t k = split_point(n);
+  return node_hash(subtree_hash(begin, begin + k),
+                   subtree_hash(begin + k, end));
+}
+
+Bytes MerkleTree::root_hash(std::uint64_t tree_size) const {
+  if (tree_size > size()) {
+    throw std::out_of_range("MerkleTree::root_hash: tree_size too large");
+  }
+  return subtree_hash(0, tree_size);
+}
+
+void MerkleTree::subtree_path(std::uint64_t index, std::uint64_t begin,
+                              std::uint64_t end,
+                              std::vector<Bytes>& out) const {
+  const std::uint64_t n = end - begin;
+  if (n == 1) return;
+  const std::uint64_t k = split_point(n);
+  if (index < k) {
+    subtree_path(index, begin, begin + k, out);
+    out.push_back(subtree_hash(begin + k, end));
+  } else {
+    subtree_path(index - k, begin + k, end, out);
+    out.push_back(subtree_hash(begin, begin + k));
+  }
+}
+
+std::vector<Bytes> MerkleTree::inclusion_proof(std::uint64_t leaf_index,
+                                               std::uint64_t tree_size) const {
+  if (tree_size > size() || leaf_index >= tree_size) {
+    throw std::out_of_range("MerkleTree::inclusion_proof: bad arguments");
+  }
+  std::vector<Bytes> proof;
+  subtree_path(leaf_index, 0, tree_size, proof);
+  return proof;
+}
+
+void MerkleTree::subproof(std::uint64_t m, std::uint64_t begin,
+                          std::uint64_t end, bool complete,
+                          std::vector<Bytes>& out) const {
+  const std::uint64_t n = end - begin;
+  if (m == n) {
+    if (!complete) out.push_back(subtree_hash(begin, end));
+    return;
+  }
+  const std::uint64_t k = split_point(n);
+  if (m <= k) {
+    subproof(m, begin, begin + k, complete, out);
+    out.push_back(subtree_hash(begin + k, end));
+  } else {
+    subproof(m - k, begin + k, end, /*complete=*/false, out);
+    out.push_back(subtree_hash(begin, begin + k));
+  }
+}
+
+std::vector<Bytes> MerkleTree::consistency_proof(
+    std::uint64_t old_size, std::uint64_t new_size) const {
+  if (old_size == 0 || old_size > new_size || new_size > size()) {
+    throw std::out_of_range("MerkleTree::consistency_proof: bad sizes");
+  }
+  std::vector<Bytes> proof;
+  if (old_size == new_size) return proof;  // identical trees: empty proof
+  subproof(old_size, 0, new_size, /*complete=*/true, proof);
+  return proof;
+}
+
+namespace {
+
+/// Recomputes the subtree root for `verify_inclusion`, consuming sibling
+/// hashes from the END of `proof` (they were appended bottom-up).
+bool root_from_path(const Bytes& leaf, std::uint64_t index, std::uint64_t n,
+                    std::vector<Bytes>& proof, Bytes& out) {
+  if (n == 1) {
+    out = leaf;
+    return true;
+  }
+  if (proof.empty()) return false;
+  const Bytes sibling = proof.back();
+  proof.pop_back();
+  const std::uint64_t k = split_point(n);
+  Bytes child;
+  if (index < k) {
+    if (!root_from_path(leaf, index, k, proof, child)) return false;
+    out = node_hash(child, sibling);
+  } else {
+    if (!root_from_path(leaf, index - k, n - k, proof, child)) return false;
+    out = node_hash(sibling, child);
+  }
+  return true;
+}
+
+/// Recomputes (old_root, new_root) for `verify_consistency`, consuming from
+/// the end of `proof`.
+bool roots_from_consistency(std::uint64_t m, std::uint64_t n, bool complete,
+                            std::vector<Bytes>& proof, Bytes& old_out,
+                            Bytes& new_out, const Bytes& old_root_claim) {
+  if (m == n) {
+    if (complete) {
+      // The old tree is a complete prefix subtree: its hash is the claimed
+      // old root itself (no proof element).
+      old_out = old_root_claim;
+      new_out = old_root_claim;
+      return true;
+    }
+    if (proof.empty()) return false;
+    old_out = proof.back();
+    new_out = proof.back();
+    proof.pop_back();
+    return true;
+  }
+  if (proof.empty()) return false;
+  const Bytes sibling = proof.back();
+  proof.pop_back();
+  const std::uint64_t k = split_point(n);
+  Bytes old_child;
+  Bytes new_child;
+  if (m <= k) {
+    if (!roots_from_consistency(m, k, complete, proof, old_child, new_child,
+                                old_root_claim)) {
+      return false;
+    }
+    old_out = old_child;  // the old tree lives entirely in the left subtree
+    new_out = node_hash(new_child, sibling);
+  } else {
+    if (!roots_from_consistency(m - k, n - k, /*complete=*/false, proof,
+                                old_child, new_child, old_root_claim)) {
+      return false;
+    }
+    old_out = node_hash(sibling, old_child);
+    new_out = node_hash(sibling, new_child);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MerkleTree::verify_inclusion(const Bytes& entry,
+                                  std::uint64_t leaf_index,
+                                  std::uint64_t tree_size,
+                                  const std::vector<Bytes>& proof,
+                                  const Bytes& root) {
+  if (tree_size == 0 || leaf_index >= tree_size) return false;
+  std::vector<Bytes> working = proof;
+  Bytes computed;
+  if (!root_from_path(leaf_hash(entry), leaf_index, tree_size, working,
+                      computed)) {
+    return false;
+  }
+  return working.empty() && computed == root;
+}
+
+bool MerkleTree::verify_consistency(std::uint64_t old_size,
+                                    std::uint64_t new_size,
+                                    const Bytes& old_root,
+                                    const Bytes& new_root,
+                                    const std::vector<Bytes>& proof) {
+  if (old_size == 0 || old_size > new_size) return false;
+  if (old_size == new_size) return proof.empty() && old_root == new_root;
+  std::vector<Bytes> working = proof;
+  Bytes computed_old;
+  Bytes computed_new;
+  if (!roots_from_consistency(old_size, new_size, /*complete=*/true, working,
+                              computed_old, computed_new, old_root)) {
+    return false;
+  }
+  return working.empty() && computed_old == old_root &&
+         computed_new == new_root;
+}
+
+}  // namespace mustaple::ct

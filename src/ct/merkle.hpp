@@ -1,0 +1,72 @@
+// RFC 6962 Merkle hash tree: the data structure behind Certificate
+// Transparency logs, one of the two sources of the paper's certificate
+// corpus (§4: Censys "aggregates certificates using both full IPv4 port 443
+// scans and public Certificate Transparency logs").
+//
+// Implements the Merkle Tree Hash, audit (inclusion) paths, consistency
+// proofs, and both verifiers, exactly per RFC 6962 §2.1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mustaple::ct {
+
+/// Leaf hash: SHA-256(0x00 || entry).
+util::Bytes leaf_hash(const util::Bytes& entry);
+
+/// Interior node hash: SHA-256(0x01 || left || right).
+util::Bytes node_hash(const util::Bytes& left, const util::Bytes& right);
+
+/// An append-only Merkle tree over opaque byte entries.
+class MerkleTree {
+ public:
+  /// Appends an entry; returns its index.
+  std::uint64_t append(util::Bytes entry);
+
+  std::uint64_t size() const { return leaves_.size(); }
+  const util::Bytes& entry(std::uint64_t index) const;
+
+  /// MTH over the first `tree_size` entries (defaults to the whole tree).
+  /// MTH of an empty tree is SHA-256 of the empty string.
+  util::Bytes root_hash() const { return root_hash(size()); }
+  util::Bytes root_hash(std::uint64_t tree_size) const;
+
+  /// Audit path for `leaf_index` within the first `tree_size` entries
+  /// (RFC 6962 §2.1.1 PATH). Throws std::out_of_range on bad arguments.
+  std::vector<util::Bytes> inclusion_proof(std::uint64_t leaf_index,
+                                           std::uint64_t tree_size) const;
+
+  /// Consistency proof between the tree at `old_size` and at `new_size`
+  /// (RFC 6962 §2.1.2 PROOF). Requires 0 < old_size <= new_size <= size().
+  std::vector<util::Bytes> consistency_proof(std::uint64_t old_size,
+                                             std::uint64_t new_size) const;
+
+  /// Verifies an audit path against a root hash.
+  static bool verify_inclusion(const util::Bytes& entry,
+                               std::uint64_t leaf_index,
+                               std::uint64_t tree_size,
+                               const std::vector<util::Bytes>& proof,
+                               const util::Bytes& root);
+
+  /// Verifies a consistency proof between two signed tree heads.
+  static bool verify_consistency(std::uint64_t old_size,
+                                 std::uint64_t new_size,
+                                 const util::Bytes& old_root,
+                                 const util::Bytes& new_root,
+                                 const std::vector<util::Bytes>& proof);
+
+ private:
+  util::Bytes subtree_hash(std::uint64_t begin, std::uint64_t end) const;
+  void subtree_path(std::uint64_t index, std::uint64_t begin,
+                    std::uint64_t end, std::vector<util::Bytes>& out) const;
+  void subproof(std::uint64_t m, std::uint64_t begin, std::uint64_t end,
+                bool complete, std::vector<util::Bytes>& out) const;
+
+  std::vector<util::Bytes> leaves_;       ///< raw entries
+  std::vector<util::Bytes> leaf_hashes_;  ///< precomputed leaf hashes
+};
+
+}  // namespace mustaple::ct

@@ -1,0 +1,85 @@
+#include "measurement/alexa_scan.hpp"
+
+#include "ocsp/request.hpp"
+#include "ocsp/verify.hpp"
+
+namespace mustaple::measurement {
+
+AlexaScanResult run_alexa_scan(Ecosystem& ecosystem,
+                               const AlexaScanConfig& config) {
+  AlexaScanResult result;
+  net::Network& network = ecosystem.network();
+  network.loop().run_until(config.scan_time);
+
+  // One representative scan target per responder (every responder has at
+  // least one).
+  const std::size_t responder_count = ecosystem.responders().size();
+  std::vector<const ScanTarget*> representative(responder_count, nullptr);
+  for (const ScanTarget& target : ecosystem.scan_targets()) {
+    if (representative[target.responder_index] == nullptr) {
+      representative[target.responder_index] = &target;
+    }
+  }
+
+  // Probe each (responder, region) once; classify.
+  enum class Outcome : std::uint8_t { kNotProbed, kOk, kUnreachable, kUnusable };
+  std::vector<std::array<Outcome, net::kRegionCount>> outcomes(
+      responder_count, {Outcome::kNotProbed, Outcome::kNotProbed,
+                        Outcome::kNotProbed, Outcome::kNotProbed,
+                        Outcome::kNotProbed, Outcome::kNotProbed});
+  for (std::size_t r = 0; r < responder_count; ++r) {
+    const ScanTarget* target = representative[r];
+    if (target == nullptr) continue;
+    ++result.responders_touched;
+    const x509::Certificate& issuer =
+        ecosystem.authority(target->ca_index).intermediate_cert();
+    const auto id = ocsp::CertId::for_certificate(target->cert, issuer);
+    const util::Bytes request = ocsp::OcspRequest::single(id).encode_der();
+    auto url = net::parse_url(target->cert.extensions().ocsp_urls.front());
+    if (!url.ok()) continue;
+    for (net::Region region : net::all_regions()) {
+      const std::size_t g = static_cast<std::size_t>(region);
+      net::FetchResult fetched = network.http_post(
+          region, url.value(), request, "application/ocsp-request");
+      if (!fetched.success()) {
+        outcomes[r][g] = Outcome::kUnreachable;
+        continue;
+      }
+      const auto verdict = ocsp::verify_ocsp_response(
+          fetched.response.body, id, issuer.public_key(), network.now());
+      outcomes[r][g] =
+          verdict.usable() ? Outcome::kOk : Outcome::kUnusable;
+    }
+  }
+
+  // Attribute per-domain.
+  std::size_t index = 0;
+  for (const DomainMeta& meta : ecosystem.domains()) {
+    if (!meta.ocsp || meta.responder == 0xffff) continue;
+    if (config.domain_stride > 1 && (index++ % config.domain_stride) != 0) {
+      continue;
+    }
+    ++result.domains_probed;
+    bool reachable_somewhere = false;
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      switch (outcomes[meta.responder][g]) {
+        case Outcome::kOk:
+          reachable_somewhere = true;
+          break;
+        case Outcome::kUnreachable:
+          ++result.domains_unreachable[g];
+          break;
+        case Outcome::kUnusable:
+          ++result.domains_unusable[g];
+          reachable_somewhere = true;  // the responder IS up
+          break;
+        case Outcome::kNotProbed:
+          break;
+      }
+    }
+    if (!reachable_somewhere) ++result.domains_dark_everywhere;
+  }
+  return result;
+}
+
+}  // namespace mustaple::measurement

@@ -1,0 +1,44 @@
+// The §5.1 "Alexa Top-1M Scan" dataset: a ONE-SHOT OCSP lookup for every
+// Alexa domain's certificate from all six vantage points (the paper ran it
+// on May 1st, 2018 against 606,367 certificates / 128 responders). Where
+// the Hourly dataset tracks responders over time, this one maps REACHABILITY
+// onto the domain population at an instant — the per-domain numbers behind
+// the wellsfargo.com story.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "measurement/ecosystem.hpp"
+
+namespace mustaple::measurement {
+
+struct AlexaScanConfig {
+  /// When the snapshot is taken (paper: May 1st, 2018).
+  util::SimTime scan_time = util::make_time(2018, 5, 1);
+  /// Probe every Nth OCSP domain (1 = all). Domains sharing a responder
+  /// are deduplicated per region regardless; sampling only thins the
+  /// per-domain attribution.
+  std::size_t domain_stride = 1;
+};
+
+struct AlexaScanResult {
+  std::size_t domains_probed = 0;
+  std::size_t responders_touched = 0;
+  /// Per region: domains whose responder could not be reached (transport
+  /// failure or non-200).
+  std::array<std::size_t, net::kRegionCount> domains_unreachable{};
+  /// Per region: domains whose responder answered but the response was
+  /// unusable (malformed / wrong serial / bad signature / not yet valid).
+  std::array<std::size_t, net::kRegionCount> domains_unusable{};
+  /// Domains unreachable from EVERY region (the fully-dark set).
+  std::size_t domains_dark_everywhere = 0;
+};
+
+/// Runs the one-shot scan. Each distinct (responder, region) pair is probed
+/// once with a representative certificate; domain counts are attributed via
+/// the population's responder assignment, mirroring the paper's grouping.
+AlexaScanResult run_alexa_scan(Ecosystem& ecosystem,
+                               const AlexaScanConfig& config);
+
+}  // namespace mustaple::measurement

@@ -1,0 +1,88 @@
+#include "measurement/censys.hpp"
+
+namespace mustaple::measurement {
+
+void CensysPipeline::ingest(const x509::Certificate& leaf,
+                            const std::vector<x509::Certificate>& intermediates,
+                            bool from_scan) {
+  ++observations_;
+  const std::string fingerprint = util::to_hex(leaf.fingerprint());
+  auto [it, inserted] = by_fingerprint_.try_emplace(fingerprint);
+  if (inserted) {
+    it->second.leaf = leaf;
+    it->second.intermediates = intermediates;
+  }
+  if (from_scan) {
+    it->second.seen_in_scan = true;
+  } else {
+    it->second.seen_in_ct = true;
+  }
+}
+
+void CensysPipeline::ingest_scan(const std::vector<x509::Certificate>& chain) {
+  if (chain.empty()) return;
+  ingest(chain.front(),
+         std::vector<x509::Certificate>(chain.begin() + 1, chain.end()),
+         /*from_scan=*/true);
+}
+
+void CensysPipeline::ingest_log(
+    const ct::CtLog& log, util::SimTime now,
+    const std::vector<x509::Certificate>& intermediates) {
+  const ct::SignedTreeHead sth = log.tree_head(now);
+  if (!ct::CtLog::verify_tree_head(sth, log.public_key())) {
+    dropped_ct_entries_ += log.size();
+    return;
+  }
+  for (std::uint64_t i = 0; i < sth.tree_size; ++i) {
+    auto cert = log.entry(i);
+    if (!cert.ok() ||
+        !log.verify_entry_inclusion(cert.value(), i, sth)) {
+      ++dropped_ct_entries_;
+      continue;
+    }
+    ingest(cert.value(), intermediates, /*from_scan=*/false);
+  }
+}
+
+CensysPipeline::Snapshot CensysPipeline::snapshot(util::SimTime now) const {
+  Snapshot snap;
+  snap.observations = observations_;
+  snap.dropped_ct_entries = dropped_ct_entries_;
+  snap.unique_certificates = by_fingerprint_.size();
+
+  for (const auto& [fingerprint, record] : by_fingerprint_) {
+    if (record.seen_in_scan && record.seen_in_ct) {
+      ++snap.from_both;
+    } else if (record.seen_in_scan) {
+      ++snap.from_scan_only;
+    } else {
+      ++snap.from_ct_only;
+    }
+
+    std::vector<x509::Certificate> chain;
+    chain.push_back(record.leaf);
+    for (const auto& intermediate : record.intermediates) {
+      chain.push_back(intermediate);
+    }
+    // Valid = accepted by at least ONE of the three stores (footnote 7).
+    const bool trusted_somewhere =
+        x509::verify_chain(chain, stores_.apple, now).ok() ||
+        x509::verify_chain(chain, stores_.microsoft, now).ok() ||
+        x509::verify_chain(chain, stores_.nss, now).ok();
+    if (trusted_somewhere) {
+      ++snap.valid;
+      if (record.leaf.extensions().supports_ocsp()) ++snap.valid_with_ocsp;
+      if (record.leaf.extensions().must_staple) {
+        ++snap.valid_with_must_staple;
+      }
+    } else if (record.leaf.is_expired_at(now)) {
+      ++snap.expired;
+    } else {
+      ++snap.untrusted;
+    }
+  }
+  return snap;
+}
+
+}  // namespace mustaple::measurement

@@ -1,0 +1,76 @@
+// The Censys-style snapshot pipeline of paper §4: aggregate certificates
+// from (a) IPv4-scan-style TLS collection and (b) Certificate Transparency
+// logs, de-duplicate, and classify validity against the Apple, Microsoft,
+// and Mozilla NSS root stores — a certificate counts as VALID if at least
+// one of the three trusts it (footnote 7) and it is unexpired.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ct/log.hpp"
+#include "util/sim_time.hpp"
+#include "x509/verify.hpp"
+
+namespace mustaple::measurement {
+
+/// The three root stores Censys validates against (footnote 7). Real
+/// stores overlap heavily but none contains all roots; the same holds for
+/// the simulated ones.
+struct RootStoreTriple {
+  x509::RootStore apple;
+  x509::RootStore microsoft;
+  x509::RootStore nss;
+};
+
+class CensysPipeline {
+ public:
+  explicit CensysPipeline(RootStoreTriple stores)
+      : stores_(std::move(stores)) {}
+
+  /// Ingests a certificate chain seen on an IPv4-scan connection.
+  void ingest_scan(const std::vector<x509::Certificate>& chain);
+
+  /// Ingests every entry of a CT log, verifying the published tree head and
+  /// each entry's inclusion before accepting it (a paranoid but correct
+  /// consumer). Unverifiable entries are dropped and counted.
+  void ingest_log(const ct::CtLog& log, util::SimTime now,
+                  const std::vector<x509::Certificate>& intermediates);
+
+  struct Snapshot {
+    std::size_t observations = 0;       ///< pre-dedup ingestion count
+    std::size_t unique_certificates = 0;
+    std::size_t from_scan_only = 0;
+    std::size_t from_ct_only = 0;
+    std::size_t from_both = 0;
+    std::size_t dropped_ct_entries = 0;  ///< failed inclusion/STH checks
+
+    std::size_t valid = 0;  ///< trusted by >=1 store and unexpired at `now`
+    std::size_t expired = 0;
+    std::size_t untrusted = 0;
+    std::size_t valid_with_ocsp = 0;
+    std::size_t valid_with_must_staple = 0;
+  };
+
+  /// Classifies the corpus as of `now`.
+  Snapshot snapshot(util::SimTime now) const;
+
+ private:
+  struct Record {
+    x509::Certificate leaf;
+    std::vector<x509::Certificate> intermediates;
+    bool seen_in_scan = false;
+    bool seen_in_ct = false;
+  };
+
+  void ingest(const x509::Certificate& leaf,
+              const std::vector<x509::Certificate>& intermediates,
+              bool from_scan);
+
+  RootStoreTriple stores_;
+  std::map<std::string, Record> by_fingerprint_;
+  std::size_t observations_ = 0;
+  std::size_t dropped_ct_entries_ = 0;
+};
+
+}  // namespace mustaple::measurement

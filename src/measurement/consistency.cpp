@@ -1,0 +1,308 @@
+#include "measurement/consistency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ocsp/request.hpp"
+#include "ocsp/verify.hpp"
+
+namespace mustaple::measurement {
+
+namespace {
+
+using util::Duration;
+using util::Rng;
+using util::SimTime;
+
+/// Table 1 calibration: per-CA revoked counts (≈1:10 of the paper's) and
+/// how many of those the OCSP side mishandles, plus the answer it gives.
+struct PinnedCa {
+  const char* ca_name;
+  const char* ocsp_host;
+  std::size_t revoked;
+  std::size_t mishandled;  ///< 0 = none; SIZE_MAX = all
+  ca::RevocationPolicy::OcspIngest mode;
+};
+
+constexpr std::size_t kAll = static_cast<std::size_t>(-1);
+
+const PinnedCa kPinned[] = {
+    {"Camerfirma", "ocsp.camerfirma.com", 38, 1,
+     ca::RevocationPolicy::OcspIngest::kMissingAnswersGood},
+    {"QuoVadis", "ocsp.quovadisglobal.com", 52, 1,
+     ca::RevocationPolicy::OcspIngest::kMissingAnswersGood},
+    {"StartSSL", "ocsp.startssl.com", 99, 1,
+     ca::RevocationPolicy::OcspIngest::kMissingAnswersGood},
+    {"Symantec", "ss.symcd.com", 2803, 1,
+     ca::RevocationPolicy::OcspIngest::kMissingAnswersGood},
+    {"TWCA", "twcasslocsp.twca.com.tw", 13, 1,
+     ca::RevocationPolicy::OcspIngest::kMissingAnswersGood},
+    {"GlobalSign", "ocsp2.globalsign.com", 537, kAll,
+     ca::RevocationPolicy::OcspIngest::kMissingAnswersUnknown},
+    {"Firmaprofesional", "ocsp.firmaprofesional.com", 11, kAll,
+     ca::RevocationPolicy::OcspIngest::kMissingAnswersUnknown},
+};
+
+}  // namespace
+
+ConsistencyAudit::ConsistencyAudit(Ecosystem& ecosystem,
+                                   ConsistencyConfig config)
+    : ecosystem_(&ecosystem), config_(config) {}
+
+void ConsistencyAudit::seed_population(Rng& rng) {
+  const SimTime audit = config_.audit_time;
+
+  // Resolve CA name -> index and CA -> a responder index.
+  std::map<std::string, std::size_t> ca_by_name;
+  for (std::size_t i = 0; i < ecosystem_->ca_shares().size(); ++i) {
+    ca_by_name[ecosystem_->ca_shares()[i].name] = i;
+  }
+  std::map<std::string, std::size_t> responder_by_host;
+  std::vector<std::size_t> responder_for_ca(ecosystem_->ca_shares().size(),
+                                            static_cast<std::size_t>(-1));
+  const auto& responders = ecosystem_->responders();
+  for (std::size_t i = 0; i < responders.size(); ++i) {
+    responder_by_host[responders[i].host] = i;
+    if (responder_for_ca[responders[i].ca_index] ==
+        static_cast<std::size_t>(-1)) {
+      responder_for_ca[responders[i].ca_index] = i;
+    }
+  }
+
+  auto revoke_one = [&](std::size_t ca_index, std::size_t responder_index,
+                        const ca::RevocationPolicy& policy) {
+    ca::CertificateAuthority& authority = ecosystem_->authority(ca_index);
+    ca::LeafRequest request;
+    request.domain =
+        "revoked-" + std::to_string(targets_.size()) + ".audit.example";
+    request.not_before = audit - Duration::days(300);
+    request.lifetime = Duration::days(730);  // unexpired at audit time
+    request.ocsp_urls = {"http://" + responders[responder_index].host + "/"};
+    request.crl_urls = {
+        ecosystem_->crl_server(ca_index).url()};
+    AuditTarget target;
+    target.cert = authority.issue(request, rng);
+    target.ca_index = ca_index;
+    target.responder_index = responder_index;
+
+    const SimTime when =
+        audit - Duration::days(1 + static_cast<std::int64_t>(rng.uniform(250)));
+    std::optional<crl::ReasonCode> reason;
+    ca::RevocationPolicy effective = policy;
+    if (rng.chance(config_.reason_code_fraction)) {
+      reason = crl::ReasonCode::kKeyCompromise;
+      effective.ocsp_drops_reason = true;  // the 99.99% discrepancy shape
+    } else {
+      effective.ocsp_drops_reason = false;  // nothing to drop
+    }
+    authority.revoke(target.cert.serial(), when, reason, effective);
+    targets_.push_back(std::move(target));
+  };
+
+  // Pinned Table-1 CAs. Counts are calibrated for the default population of
+  // 7,000 and rescale with it, keeping at least enough certificates per CA
+  // for the discrepancy to be visible at any scale.
+  const double scale =
+      static_cast<double>(config_.revoked_population) / 7000.0;
+  for (const PinnedCa& pin : kPinned) {
+    const auto ca_it = ca_by_name.find(pin.ca_name);
+    const auto resp_it = responder_by_host.find(pin.ocsp_host);
+    if (ca_it == ca_by_name.end() || resp_it == responder_by_host.end()) {
+      continue;  // tiny worlds may omit these responders
+    }
+    const std::size_t floor_count =
+        pin.mishandled == kAll ? 6 : pin.mishandled + 5;
+    const std::size_t count = std::max<std::size_t>(
+        floor_count,
+        static_cast<std::size_t>(static_cast<double>(pin.revoked) * scale +
+                                 0.5));
+    for (std::size_t k = 0; k < count; ++k) {
+      ca::RevocationPolicy policy;
+      const bool mishandle = pin.mishandled == kAll || k < pin.mishandled;
+      policy.ocsp_ingest = mishandle
+                               ? pin.mode
+                               : ca::RevocationPolicy::OcspIngest::kNormal;
+      revoke_one(ca_it->second, resp_it->second, policy);
+    }
+  }
+
+  // Microsoft: every revocation's OCSP time lags the CRL by 7h..9d
+  // (the ocsp.msocsp.com finding). Small in absolute terms — Fig 10 finds
+  // only 863 differing pairs (0.15%) in total.
+  if (const auto ms = ca_by_name.find("Microsoft"); ms != ca_by_name.end()) {
+    const std::size_t responder = responder_for_ca[ms->second];
+    if (responder != static_cast<std::size_t>(-1)) {
+      const int ms_count = std::max(4, static_cast<int>(4.0 * scale));
+      for (int k = 0; k < ms_count; ++k) {
+        ca::RevocationPolicy policy;
+        policy.ocsp_time_offset = Duration::secs(
+            7 * 3600 +
+            static_cast<std::int64_t>(rng.uniform(9 * 86400 - 7 * 3600)));
+        revoke_one(ms->second, responder, policy);
+      }
+    }
+  }
+
+  // Bulk population across all CAs, weighted by certificate share. The
+  // pinned Table-1 CAs are excluded: in the paper the discrepancies are
+  // properties of one specific CRL/responder pair per CA (e.g. GlobalSign's
+  // gsalphasha2g2 answering Unknown for ALL its revoked certificates), so
+  // bulk revocations must not dilute those rows.
+  std::vector<double> weights;
+  for (const auto& share : ecosystem_->ca_shares()) {
+    bool pinned = false;
+    for (const PinnedCa& pin : kPinned) {
+      if (share.name == pin.ca_name) pinned = true;
+    }
+    weights.push_back(pinned ? 0.0 : share.certificate_share);
+  }
+  // Fig 10's rare skews, deterministic at any scale: the differing-pair
+  // budget is time_skew_fraction of the population, 14.7% of it negative
+  // (OCSP earlier, capped at -12h per the figure's axis note), the positive
+  // side log-spread with one 4+-year outlier (paper: >137M seconds).
+  const auto skew_budget = static_cast<std::size_t>(
+      static_cast<double>(config_.revoked_population) *
+          config_.time_skew_fraction +
+      0.5);
+  const std::size_t negative_budget =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(skew_budget) * 0.147 +
+                                   0.5));
+  std::size_t skews_left = std::max<std::size_t>(skew_budget, 3);
+  std::size_t negatives_left = negative_budget;
+  bool outlier_pending = true;
+
+  while (targets_.size() < config_.revoked_population) {
+    std::size_t ca_index = rng.weighted_index(weights);
+    if (responder_for_ca[ca_index] == static_cast<std::size_t>(-1)) {
+      ca_index = ecosystem_->lets_encrypt_index();
+    }
+    ca::RevocationPolicy policy;
+    if (skews_left > 0) {
+      --skews_left;
+      if (negatives_left > 0) {
+        --negatives_left;
+        policy.ocsp_time_offset = Duration::secs(
+            -static_cast<std::int64_t>(60 + rng.uniform(43200 - 60)));
+      } else if (outlier_pending) {
+        outlier_pending = false;
+        policy.ocsp_time_offset = Duration::secs(137'000'000);  // 4.3 years
+      } else {
+        const double magnitude = std::exp(rng.uniform01() * 11.0) * 60.0;
+        policy.ocsp_time_offset =
+            Duration::secs(static_cast<std::int64_t>(magnitude));
+      }
+    }
+    revoke_one(ca_index, responder_for_ca[ca_index], policy);
+  }
+}
+
+ConsistencyReport ConsistencyAudit::run(Rng& rng) {
+  seed_population(rng);
+
+  ConsistencyReport report;
+  net::Network& network = ecosystem_->network();
+  const SimTime audit = config_.audit_time;
+  network.loop().run_until(audit);
+  const net::Region from = net::Region::kVirginia;
+
+  // Download each CA's CRL once (1,568 CRLs in the paper).
+  std::map<std::size_t, crl::Crl> crls;
+  for (const AuditTarget& target : targets_) {
+    if (crls.count(target.ca_index) > 0) continue;
+    auto url = net::parse_url(
+        target.cert.extensions().crl_urls.front());
+    if (!url.ok()) continue;
+    net::FetchResult result = network.http_get(from, url.value());
+    if (!result.success()) continue;
+    auto parsed = crl::Crl::parse(result.response.body);
+    if (!parsed.ok()) continue;
+    crls.emplace(target.ca_index, std::move(parsed).take());
+    ++report.crls_downloaded;
+  }
+
+  // Per-responder Table 1 accumulation.
+  std::map<std::size_t, DiscrepancyRow> rows;
+
+  for (const AuditTarget& target : targets_) {
+    ++report.probed;
+    const auto crl_it = crls.find(target.ca_index);
+    if (crl_it == crls.end()) continue;
+    const crl::RevokedEntry* crl_entry =
+        crl_it->second.find(target.cert.serial());
+    if (crl_entry == nullptr) continue;  // not in CRL: out of audit scope
+
+    // OCSP lookup over the network.
+    const x509::Certificate& issuer =
+        ecosystem_->authority(target.ca_index).intermediate_cert();
+    const auto id = ocsp::CertId::for_certificate(target.cert, issuer);
+    auto url = net::parse_url(target.cert.extensions().ocsp_urls.front());
+    if (!url.ok()) continue;
+    net::FetchResult result =
+        network.http_post(from, url.value(),
+                          ocsp::OcspRequest::single(id).encode_der(),
+                          "application/ocsp-request");
+    if (!result.success()) continue;
+    const ocsp::VerifiedResponse verdict = ocsp::verify_ocsp_response(
+        result.response.body, id, issuer.public_key(), network.now());
+    if (verdict.outcome != ocsp::CheckOutcome::kOk &&
+        verdict.outcome != ocsp::CheckOutcome::kNotYetValid &&
+        verdict.outcome != ocsp::CheckOutcome::kExpired) {
+      continue;
+    }
+    ++report.responses_collected;
+
+    DiscrepancyRow& row = rows[target.responder_index];
+    if (row.ocsp_url.empty()) {
+      row.ocsp_url =
+          ecosystem_->responders()[target.responder_index].host;
+      row.crl_url = ecosystem_->crl_server(target.ca_index).host();
+    }
+    switch (verdict.status) {
+      case ocsp::CertStatus::kGood:
+        ++row.answered_good;
+        break;
+      case ocsp::CertStatus::kUnknown:
+        ++row.answered_unknown;
+        break;
+      case ocsp::CertStatus::kRevoked:
+        ++row.answered_revoked;
+        break;
+    }
+
+    // Time + reason comparison (only meaningful when OCSP says revoked).
+    if (verdict.status == ocsp::CertStatus::kRevoked && verdict.revoked) {
+      ++report.time_compared;
+      const std::int64_t delta =
+          (verdict.revoked->revocation_time - crl_entry->revocation_time)
+              .seconds;
+      if (delta != 0) {
+        ++report.time_differing;
+        if (delta < 0) ++report.time_negative;
+        report.time_delta_seconds.add(static_cast<double>(
+            delta < 0 ? -delta : delta));
+        if (delta > 0) {
+          report.max_positive_delta_seconds =
+              std::max(report.max_positive_delta_seconds,
+                       static_cast<double>(delta));
+        }
+      }
+      ++report.reason_compared;
+      const bool crl_has = crl_entry->reason.has_value();
+      const bool ocsp_has = verdict.revoked->reason.has_value();
+      if (crl_has != ocsp_has ||
+          (crl_has && *crl_entry->reason != *verdict.revoked->reason)) {
+        ++report.reason_differing;
+        if (crl_has && !ocsp_has) ++report.reason_crl_only;
+      }
+    }
+  }
+
+  for (auto& [responder, row] : rows) {
+    if (row.has_discrepancy()) report.table1.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace mustaple::measurement

@@ -1,0 +1,734 @@
+#include "measurement/ecosystem.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mustaple::measurement {
+
+namespace {
+
+using util::Duration;
+using util::Rng;
+using util::SimTime;
+
+// Named CA families. Indices are stable; the special-behaviour wiring below
+// refers to them by these constants.
+enum CaIndex : std::size_t {
+  kLetsEncrypt = 0,
+  kComodo,
+  kDigiCert,
+  kCertum,
+  kWoSign,
+  kStartSsl,
+  kIdenTrust,
+  kSheca,
+  kPostSignum,
+  kWayport,
+  kMicrosoft,
+  kGoDaddy,
+  kGlobalSign,
+  kSymantec,
+  kCamerfirma,
+  kQuoVadis,
+  kTwca,
+  kFirmaprofesional,
+  kDfn,
+  kUserTrust,
+  kHiNet,
+  kCnnic,
+  kCpcGovAe,
+  kAmazon,
+  kNamedCaCount,
+};
+
+struct NamedCa {
+  const char* name;
+  double cert_share;
+  double must_staple_share;
+};
+
+// cert_share calibration: Comodo ~22% and DigiCert ~13% of OCSP domains so
+// the Fig 4 outage impacts land at the paper's 25%/13% marks; Let's Encrypt
+// largest overall (§4: "current most-popular CA").
+constexpr NamedCa kNamedCas[kNamedCaCount] = {
+    {"Let's Encrypt", 0.26, 0.973},
+    {"Comodo", 0.22, 0.0025},
+    {"DigiCert", 0.13, 0.0},
+    {"Certum", 0.02, 0.0},
+    {"WoSign", 0.01, 0.0},
+    {"StartSSL", 0.01, 0.0},
+    {"IdenTrust", 0.004, 0.0},
+    {"SHECA", 0.004, 0.0},
+    {"PostSignum", 0.003, 0.0},
+    {"Wayport", 0.001, 0.0},
+    {"Microsoft", 0.015, 0.0},
+    {"GoDaddy", 0.08, 0.0},
+    {"GlobalSign", 0.05, 0.0},
+    {"Symantec", 0.06, 0.0},
+    {"Camerfirma", 0.003, 0.0},
+    {"QuoVadis", 0.004, 0.0},
+    {"TWCA", 0.003, 0.0},
+    {"Firmaprofesional", 0.002, 0.0},
+    {"DFN", 0.004, 0.0241},
+    {"UserTrust", 0.006, 0.0001},
+    {"HiNet", 0.004, 0.0},
+    {"CNNIC", 0.003, 0.0},
+    {"CPC-Gov-AE", 0.001, 0.0},
+    {"Amazon", 0.04, 0.0},
+};
+
+std::string slug(const std::string& name) {
+  std::string out;
+  for (char c : util::to_lower(name)) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out += c;
+    } else if (!out.empty() && out.back() != '-') {
+      out += '-';
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+/// Draws a "normal" validity period with a one-week median (§8: "median
+/// validity periods are a week").
+Duration draw_validity(Rng& rng) {
+  static const std::pair<Duration, double> kChoices[] = {
+      {Duration::hours(12), 0.05}, {Duration::days(1), 0.10},
+      {Duration::days(3), 0.15},   {Duration::days(4), 0.10},
+      {Duration::days(7), 0.35},   {Duration::days(10), 0.15},
+      {Duration::days(14), 0.10},
+  };
+  std::vector<double> weights;
+  for (const auto& [d, w] : kChoices) weights.push_back(w);
+  return kChoices[rng.weighted_index(weights)].first;
+}
+
+Duration draw_update_interval(Rng& rng, Duration validity) {
+  // Typically a fraction of the validity, clamped to [1h, 3.5d].
+  const std::int64_t target = validity.seconds / 4;
+  const std::int64_t clamped =
+      std::clamp<std::int64_t>(target, 3600, 302400);
+  // Jitter by +-30%.
+  const double factor = 0.7 + rng.uniform01() * 0.6;
+  return Duration::secs(static_cast<std::int64_t>(
+      static_cast<double>(clamped) * factor));
+}
+
+}  // namespace
+
+Ecosystem::Ecosystem(const EcosystemConfig& config, net::EventLoop& loop)
+    : config_(config),
+      network_(std::make_unique<net::Network>(loop, config.seed)) {
+  Rng rng(config_.seed);
+  Rng ca_rng = rng.fork("cas");
+  Rng responder_rng = rng.fork("responders");
+  Rng fault_rng = rng.fork("faults");
+  Rng domain_rng = rng.fork("domains");
+  Rng target_rng = rng.fork("targets");
+  build_cas(ca_rng);
+  build_responders(responder_rng);
+  build_fault_schedule(fault_rng);
+  build_domains(domain_rng);
+  build_scan_targets(target_rng);
+}
+
+void Ecosystem::build_cas(Rng& rng) {
+  // Founded such that the 10-year intermediates comfortably cover the
+  // 2016-2018 measurement window.
+  const SimTime founded = util::make_time(2012, 1, 1);
+  for (std::size_t i = 0; i < kNamedCaCount; ++i) {
+    ca_shares_.push_back(CaShare{kNamedCas[i].name, kNamedCas[i].cert_share,
+                                 kNamedCas[i].must_staple_share});
+  }
+  // Regional fillers take the residual share.
+  const std::size_t regional_count =
+      std::max<std::size_t>(4, config_.responder_count / 16);
+  double named_total = 0.0;
+  for (const auto& ca : ca_shares_) named_total += ca.certificate_share;
+  const double residual = std::max(0.02, 1.0 - named_total);
+  for (std::size_t i = 0; i < regional_count; ++i) {
+    ca_shares_.push_back(CaShare{"Regional-" + std::to_string(i + 1),
+                                 residual / static_cast<double>(regional_count),
+                                 0.0});
+  }
+  lets_encrypt_index_ = kLetsEncrypt;
+
+  for (const auto& share : ca_shares_) {
+    authorities_.push_back(std::make_unique<ca::CertificateAuthority>(
+        share.name, founded, rng, config_.use_rsa));
+    roots_.add(authorities_.back()->root_cert());
+  }
+  // One CRL server per CA.
+  for (std::size_t i = 0; i < authorities_.size(); ++i) {
+    crl_servers_.push_back(std::make_unique<ca::CrlServer>(
+        *authorities_[i], "crl." + slug(ca_shares_[i].name) + ".example"));
+    crl_servers_.back()->install(*network_);
+  }
+}
+
+void Ecosystem::build_responders(Rng& rng) {
+  const SimTime end = config_.campaign_end;
+
+  auto default_behavior = [&](Rng& r) {
+    ca::ResponderBehavior b;
+    b.pre_generate = r.chance(config_.frac_pre_generate);
+    const Duration validity = draw_validity(r);
+    b.validity = validity;
+    b.update_interval = draw_update_interval(r, validity);
+    b.this_update_margin = Duration::minutes(
+        static_cast<std::int64_t>(15 + r.uniform(105)));  // 15min..2h
+    if (r.chance(0.10)) b.backends = 2 + static_cast<int>(r.uniform(2));
+    b.delegate_signing = r.chance(0.5);
+    return b;
+  };
+
+  auto add = [&](const std::string& host, std::size_t ca_index,
+                 ca::ResponderBehavior behavior, double domain_weight) {
+    ResponderInfo info;
+    info.host = host;
+    info.ca_index = ca_index;
+    info.behavior = behavior;
+    responders_.push_back(info);
+    responder_services_.push_back(std::make_unique<ca::OcspResponder>(
+        *authorities_[ca_index], behavior, host, rng));
+    responder_services_.back()->install(*network_);
+    domain_weights_.push_back(domain_weight);
+  };
+
+  // --- Special groups (wired to the paper's named incidents) -------------
+  // Comodo: canonical + 8 CNAME aliases + 6 same-IP siblings.
+  add("ocsp.comodoca.com", kComodo, default_behavior(rng), 4.0);
+  for (int i = 0; i < 8; ++i) {
+    const std::string alias = "ocsp" + std::to_string(i + 2) + ".comodoca.com";
+    network_->dns().add_cname(alias, "ocsp.comodoca.com");
+    add(alias, kComodo, default_behavior(rng), 1.0);
+  }
+  for (int i = 0; i < 6; ++i) {
+    const std::string sibling = "ocsp.comodoca" + std::to_string(i + 2) + ".com";
+    network_->dns().add_cname(sibling, "ocsp.comodoca.com");
+    add(sibling, kComodo, default_behavior(rng), 1.0);
+  }
+  // DigiCert: 4 main + 5 digitalcertvalidation (tiny domain weight — the
+  // paper's 318 always-failing Sao Paulo domains).
+  add("ocsp.digicert.com", kDigiCert, default_behavior(rng), 4.0);
+  add("ocsp1.digicert.com", kDigiCert, default_behavior(rng), 2.0);
+  add("ocsp2.digicert.com", kDigiCert, default_behavior(rng), 2.0);
+  add("ocspx.digicert.com", kDigiCert, default_behavior(rng), 2.0);
+  for (const char* letter : {"a", "d", "e", "g", "h"}) {
+    add(std::string("status") + letter + ".digitalcertvalidation.com",
+        kDigiCert, default_behavior(rng), 0.004);
+  }
+  // Certum: 16 responders (Sydney outage).
+  for (int i = 0; i < 16; ++i) {
+    add("ocsp" + std::to_string(i + 1) + ".certum.pl", kCertum,
+        default_behavior(rng), 1.0);
+  }
+  // WoSign / StartSSL (joint outage Aug 3).
+  add("ocsp.wosign.com", kWoSign, default_behavior(rng), 1.0);
+  add("ocsp2.wosign.com", kWoSign, default_behavior(rng), 1.0);
+  add("ocsp.startssl.com", kStartSsl, default_behavior(rng), 1.0);
+  add("ocsp.startcom.org", kStartSsl, default_behavior(rng), 1.0);
+  // IdenTrust: never reachable from anywhere.
+  add("ocsp.identrustsafeca1.identrust.com", kIdenTrust,
+      default_behavior(rng), 0.05);
+  add("ocsp.identrustsaferootca2.identrust.com", kIdenTrust,
+      default_behavior(rng), 0.05);
+  // SHECA: the Apr 29 / Jul 28 "0"-body spikes.
+  for (int i = 0; i < 6; ++i) {
+    ca::ResponderBehavior b = default_behavior(rng);
+    if (config_.apply_pathologies) {
+      b.malform = ca::ResponderBehavior::Malform::kZeroBody;
+      b.malform_windows = {
+          {util::make_time(2018, 4, 29, 2), util::make_time(2018, 4, 29, 8)},
+          {util::make_time(2018, 7, 28, 17), util::make_time(2018, 7, 28, 20)}};
+    }
+    add("ocsp" + std::to_string(i + 1) + ".sheca.com", kSheca, b, 0.3);
+  }
+  // PostSignum: "0" bodies from May 1, pausing May 12 09:00 for 17h.
+  for (int i = 0; i < 3; ++i) {
+    ca::ResponderBehavior b = default_behavior(rng);
+    if (config_.apply_pathologies) {
+      b.malform = ca::ResponderBehavior::Malform::kZeroBody;
+      b.malform_windows = {
+          {util::make_time(2018, 5, 1), util::make_time(2018, 5, 12, 9)},
+          {util::make_time(2018, 5, 13, 2), end}};
+    }
+    add("ocsp" + std::to_string(i + 1) + ".postsignum.cz", kPostSignum, b, 0.3);
+  }
+  // Wayport: gradual death in the first month (Fig 3's early decline).
+  for (int i = 0; i < 3; ++i) {
+    add("ocsp" + std::to_string(i + 1) + ".pki.wayport.net", kWayport,
+        default_behavior(rng), 0.1);
+  }
+  // Microsoft: the ocsp.msocsp.com revocation-time lag (Fig 10 tail).
+  add("ocsp.msocsp.com", kMicrosoft, default_behavior(rng), 1.5);
+  // HiNet: validity == update interval (7200s), non-overlapping windows.
+  for (int i = 0; i < 3; ++i) {
+    ca::ResponderBehavior b;
+    b.pre_generate = true;
+    b.validity = Duration::secs(7200);
+    b.update_interval = Duration::secs(7200);
+    b.this_update_margin = Duration::secs(0);
+    add("ocsp" + std::to_string(i + 1) + ".hinet.net", kHiNet, b, 0.5);
+  }
+  // CNNIC: 10800s/10800s with 3 unsynchronized backends (producedAt
+  // regressions, footnote 17).
+  {
+    ca::ResponderBehavior b;
+    b.pre_generate = true;
+    b.validity = Duration::secs(10800);
+    b.update_interval = Duration::secs(10800);
+    b.this_update_margin = Duration::secs(0);
+    b.backends = 3;
+    add("ocspcnnicroot.cnnic.cn", kCnnic, b, 0.3);
+  }
+  // CPC Gov AE: whole chain (4 certificates incl. root) in every response.
+  {
+    ca::ResponderBehavior b = default_behavior(rng);
+    b.extra_certs = 4;
+    b.delegate_signing = false;
+    add("ocsp.cpc.gov.ae", kCpcGovAe, b, 0.1);
+  }
+  // Table 1 CAs' responders.
+  add("ocsp.camerfirma.com", kCamerfirma, default_behavior(rng), 0.3);
+  add("ocsp.quovadisglobal.com", kQuoVadis, default_behavior(rng), 0.4);
+  add("ss.symcd.com", kSymantec, default_behavior(rng), 2.0);
+  add("ocsp.symantec.com", kSymantec, default_behavior(rng), 2.0);
+  add("twcasslocsp.twca.com.tw", kTwca, default_behavior(rng), 0.3);
+  add("ocsp2.globalsign.com", kGlobalSign, default_behavior(rng), 2.0);
+  add("ocsp.globalsign.com", kGlobalSign, default_behavior(rng), 2.0);
+  add("ocsp.firmaprofesional.com", kFirmaprofesional, default_behavior(rng), 0.2);
+  // Remaining named CAs.
+  for (int i = 0; i < 4; ++i) {
+    add("ocsp.int-x" + std::to_string(i + 1) + ".letsencrypt.org",
+        kLetsEncrypt, default_behavior(rng), 4.0);
+  }
+  add("ocsp.godaddy.com", kGoDaddy, default_behavior(rng), 3.0);
+  add("ocsp2.godaddy.com", kGoDaddy, default_behavior(rng), 1.0);
+  add("ocsp.pki.dfn.de", kDfn, default_behavior(rng), 0.3);
+  add("ocsp.usertrust.com", kUserTrust, default_behavior(rng), 0.5);
+  add("ocsp.rootca1.amazontrust.com", kAmazon, default_behavior(rng), 2.0);
+  add("ocsp.sca1b.amazontrust.com", kAmazon, default_behavior(rng), 2.0);
+
+  // --- Regional fillers up to responder_count ----------------------------
+  const std::size_t regional_ca_base = kNamedCaCount;
+  const std::size_t regional_ca_count = authorities_.size() - kNamedCaCount;
+  std::size_t next_regional = 0;
+  while (responders_.size() < config_.responder_count) {
+    const std::size_t ca_index =
+        regional_ca_count > 0
+            ? regional_ca_base + (next_regional % regional_ca_count)
+            : kLetsEncrypt;
+    add("ocsp.regional-" + std::to_string(++next_regional) + ".example",
+        ca_index, default_behavior(rng), 0.4);
+  }
+
+  // --- Behaviour-mix calibration over the full responder set -------------
+  // Applied to non-special responders only, so the named incidents stay
+  // exactly as scripted. Fractions are of the TOTAL population (paper's
+  // denominators).
+  if (!config_.apply_pathologies) return;  // the "fixed CAs" ablation
+  const std::size_t total = responders_.size();
+  std::vector<std::size_t> plain;  // indices free for random pathologies
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::string& host = responders_[i].host;
+    const bool special = host.find("sheca") != std::string::npos ||
+                         host.find("postsignum") != std::string::npos ||
+                         host.find("hinet") != std::string::npos ||
+                         host.find("cnnic") != std::string::npos ||
+                         host.find("cpc.gov") != std::string::npos;
+    if (!special) plain.push_back(i);
+  }
+  // Deterministic shuffle of the plain indices.
+  for (std::size_t i = plain.size(); i > 1; --i) {
+    std::swap(plain[i - 1], plain[rng.uniform(i)]);
+  }
+  std::size_t cursor = 0;
+  auto take = [&](double fraction) {
+    const auto want = static_cast<std::size_t>(
+        static_cast<double>(total) * fraction + 0.5);
+    std::vector<std::size_t> out;
+    while (out.size() < want && cursor < plain.size()) {
+      out.push_back(plain[cursor++]);
+    }
+    return out;
+  };
+  auto rebuild = [&](std::size_t index) {
+    // Replace the installed service so the new behaviour takes effect.
+    responder_services_[index] = std::make_unique<ca::OcspResponder>(
+        *authorities_[responders_[index].ca_index], responders_[index].behavior,
+        responders_[index].host, rng);
+    responder_services_[index]->install(*network_);
+  };
+
+  for (std::size_t i : take(config_.frac_persistent_malformed)) {
+    static const ca::ResponderBehavior::Malform kModes[] = {
+        ca::ResponderBehavior::Malform::kZeroBody,
+        ca::ResponderBehavior::Malform::kEmptyBody,
+        ca::ResponderBehavior::Malform::kJavascriptBody};
+    responders_[i].behavior.malform = kModes[rng.uniform(3)];
+    rebuild(i);
+  }
+  for (std::size_t i : take(config_.frac_blank_next_update)) {
+    responders_[i].behavior.validity.reset();
+    rebuild(i);
+  }
+  {
+    auto huge = take(config_.frac_huge_validity);
+    for (std::size_t k = 0; k < huge.size(); ++k) {
+      const std::size_t i = huge[k];
+      // One extreme outlier at 1,251 days; the rest 32-60 days.
+      responders_[i].behavior.validity =
+          k == 0 ? Duration::days(1251)
+                 : Duration::days(32 + static_cast<std::int64_t>(
+                                           rng.uniform(29)));
+      rebuild(i);
+    }
+  }
+  for (std::size_t i : take(config_.frac_zero_margin)) {
+    responders_[i].behavior.this_update_margin = Duration::secs(0);
+    responders_[i].behavior.pre_generate = false;  // generated on demand
+    rebuild(i);
+  }
+  for (std::size_t i : take(config_.frac_future_this_update)) {
+    responders_[i].behavior.this_update_margin = Duration::secs(
+        -static_cast<std::int64_t>(60 + rng.uniform(1740)));  // 1-30 min ahead
+    responders_[i].behavior.pre_generate = false;
+    rebuild(i);
+  }
+  for (std::size_t i : take(config_.frac_twenty_serials)) {
+    responders_[i].behavior.extra_serials = 19;
+    rebuild(i);
+  }
+  for (std::size_t i :
+       take(std::max(0.0, config_.frac_multi_serial - config_.frac_twenty_serials))) {
+    responders_[i].behavior.extra_serials =
+        1 + static_cast<int>(rng.uniform(5));
+    rebuild(i);
+  }
+  for (std::size_t i : take(config_.frac_multi_cert)) {
+    responders_[i].behavior.extra_certs = 1 + static_cast<int>(rng.uniform(3));
+    rebuild(i);
+  }
+  // Three more responders whose validity period equals their update period
+  // — with the scripted hinet (3) + cnnic (1) these make the paper's 7
+  // "non-overlapping validity" responders (§5.4).
+  for (std::size_t k = 0; k < 3 && cursor < plain.size(); ++k) {
+    const std::size_t i = plain[cursor++];
+    responders_[i].behavior.pre_generate = true;
+    responders_[i].behavior.update_interval = Duration::hours(6);
+    responders_[i].behavior.validity = Duration::hours(6);
+    responders_[i].behavior.this_update_margin = Duration::secs(0);
+    rebuild(i);
+  }
+}
+
+void Ecosystem::build_fault_schedule(Rng& rng) {
+  if (!config_.apply_fault_schedule) return;  // the "fixed CAs" ablation
+  const SimTime start = config_.campaign_start;
+  const SimTime end = config_.campaign_end;
+  net::FaultPlan& plan = network_->faults();
+  using net::FaultMode;
+  using net::Region;
+
+  auto window_rule = [&](const std::string& host, FaultMode mode,
+                         std::set<Region> regions, SimTime from, SimTime to) {
+    net::FaultRule rule;
+    rule.canonical_host = network_->dns().canonical_name(host);
+    rule.mode = mode;
+    rule.regions = std::move(regions);
+    rule.window_start = from;
+    rule.window_end = to;
+    plan.add(rule);
+  };
+  auto persistent_rule = [&](const std::string& host, FaultMode mode,
+                             std::set<Region> regions) {
+    net::FaultRule rule;
+    rule.canonical_host = network_->dns().canonical_name(host);
+    rule.mode = mode;
+    rule.regions = std::move(regions);
+    plan.add(rule);
+  };
+
+  // IdenTrust: never reachable from any vantage point.
+  persistent_rule("ocsp.identrustsafeca1.identrust.com",
+                  FaultMode::kTcpConnectFailure, {});
+  persistent_rule("ocsp.identrustsaferootca2.identrust.com",
+                  FaultMode::kTcpConnectFailure, {});
+
+  // Comodo, Apr 25 19:00 for 2h, seen from Oregon / Sydney / Seoul only.
+  // The CNAME'd aliases and same-IP siblings inherit via the canonical name.
+  window_rule("ocsp.comodoca.com", FaultMode::kTcpConnectFailure,
+              {Region::kOregon, Region::kSydney, Region::kSeoul},
+              util::make_time(2018, 4, 25, 19), util::make_time(2018, 4, 25, 21));
+
+  // WoSign + StartSSL, Aug 3 22:00 for 1h, all regions.
+  for (const char* host : {"ocsp.wosign.com", "ocsp2.wosign.com",
+                           "ocsp.startssl.com", "ocsp.startcom.org"}) {
+    window_rule(host, FaultMode::kHttp503, {}, util::make_time(2018, 8, 3, 22),
+                util::make_time(2018, 8, 3, 23));
+  }
+
+  // DigiCert family, Aug 27 09:00 for 5h, Seoul only (9 hosts).
+  for (const char* host :
+       {"ocsp.digicert.com", "ocsp1.digicert.com", "ocsp2.digicert.com",
+        "ocspx.digicert.com", "statusa.digitalcertvalidation.com",
+        "statusd.digitalcertvalidation.com", "statuse.digitalcertvalidation.com",
+        "statusg.digitalcertvalidation.com",
+        "statush.digitalcertvalidation.com"}) {
+    window_rule(host, FaultMode::kTcpConnectFailure, {Region::kSeoul},
+                util::make_time(2018, 8, 27, 9), util::make_time(2018, 8, 27, 14));
+  }
+
+  // Certum, Aug 9 17:00 for 2h, Sydney only (16 hosts).
+  for (int i = 0; i < 16; ++i) {
+    window_rule("ocsp" + std::to_string(i + 1) + ".certum.pl",
+                FaultMode::kTcpConnectFailure, {Region::kSydney},
+                util::make_time(2018, 8, 9, 17), util::make_time(2018, 8, 9, 19));
+  }
+
+  // digitalcertvalidation: HTTP 404 from Sao Paulo until the Aug 31 23:00
+  // fix (the wellsfargo.com story).
+  for (const char* letter : {"a", "d", "e", "g", "h"}) {
+    window_rule(std::string("status") + letter + ".digitalcertvalidation.com",
+                FaultMode::kHttp404, {Region::kSaoPaulo}, start,
+                util::make_time(2018, 8, 31, 23));
+  }
+
+  // Wayport: each host dies for good at a random point in the first month,
+  // producing Fig 3's gradual early decline.
+  for (int i = 0; i < 3; ++i) {
+    const SimTime death =
+        start + Duration::hours(static_cast<std::int64_t>(
+                    rng.uniform(30 * 24)));
+    net::FaultRule rule;
+    rule.canonical_host =
+        "ocsp" + std::to_string(i + 1) + ".pki.wayport.net";
+    rule.mode = FaultMode::kTcpConnectFailure;
+    rule.window_start = death;
+    plan.add(rule);
+  }
+
+  // Persistent single-region failures: the paper's 16 DNS / 4 TCP / 3 more
+  // HTTP / 1 invalid-HTTPS-certificate responders, pinned so that Oregon,
+  // Sao Paulo, Paris and Seoul always fail for 1 / 7 / 1 / 4 responders.
+  std::vector<std::size_t> regionals;
+  for (std::size_t i = 0; i < responders_.size(); ++i) {
+    if (responders_[i].host.find("regional-") != std::string::npos) {
+      regionals.push_back(i);
+    }
+  }
+  std::size_t cursor = 0;
+  auto next_regional_host = [&]() -> std::string {
+    if (cursor < regionals.size()) return responders_[regionals[cursor++]].host;
+    return responders_[cursor++ % responders_.size()].host;
+  };
+  struct Pin {
+    FaultMode mode;
+    Region region;
+  };
+  const Pin pins[] = {
+      {FaultMode::kDnsNxDomain, Region::kOregon},
+      {FaultMode::kDnsNxDomain, Region::kParis},
+      {FaultMode::kDnsNxDomain, Region::kSeoul},
+      {FaultMode::kDnsNxDomain, Region::kSeoul},
+      {FaultMode::kTcpConnectFailure, Region::kSeoul},
+      {FaultMode::kHttp500, Region::kSeoul},
+      {FaultMode::kDnsNxDomain, Region::kSaoPaulo},
+      {FaultMode::kTcpConnectFailure, Region::kSaoPaulo},
+  };
+  for (const Pin& pin : pins) {
+    persistent_rule(next_regional_host(), pin.mode, {pin.region});
+  }
+  // Remaining DNS (11), TCP (2), HTTP (2) failures on random single regions.
+  const auto random_region = [&rng] {
+    return net::all_regions()[rng.uniform(net::kRegionCount)];
+  };
+  for (int i = 0; i < 11; ++i) {
+    persistent_rule(next_regional_host(), FaultMode::kDnsNxDomain,
+                    {random_region()});
+  }
+  for (int i = 0; i < 2; ++i) {
+    persistent_rule(next_regional_host(), FaultMode::kTcpConnectFailure,
+                    {random_region()});
+  }
+  for (int i = 0; i < 2; ++i) {
+    persistent_rule(next_regional_host(),
+                    rng.chance(0.5) ? FaultMode::kHttp404 : FaultMode::kHttp500,
+                    {random_region()});
+  }
+  // One HTTPS responder served with an invalid certificate. Its AIA URLs
+  // use https:// so the fault actually bites (build_scan_targets consults
+  // https_pinned_host_).
+  https_pinned_host_ = next_regional_host();
+  persistent_rule(https_pinned_host_, FaultMode::kTlsCertInvalid,
+                  {random_region()});
+
+  // Random transient outages on the remaining population so ~36.8% of all
+  // responders see at least one outage.
+  const std::int64_t span_hours = (end - start).seconds / 3600;
+  for (std::size_t i = 0; i < responders_.size(); ++i) {
+    const std::string& host = responders_[i].host;
+    if (host.find("comodoca") != std::string::npos ||
+        host.find("digicert") != std::string::npos ||
+        host.find("digitalcertvalidation") != std::string::npos ||
+        host.find("certum") != std::string::npos ||
+        host.find("wosign") != std::string::npos ||
+        host.find("startssl") != std::string::npos ||
+        host.find("startcom") != std::string::npos ||
+        host.find("identrust") != std::string::npos ||
+        host.find("wayport") != std::string::npos) {
+      continue;  // already covered by a scripted incident
+    }
+    if (!rng.chance(0.30)) continue;
+    const int outages = 1 + static_cast<int>(rng.uniform(2));
+    for (int k = 0; k < outages; ++k) {
+      const SimTime from = start + Duration::hours(static_cast<std::int64_t>(
+                                       rng.uniform(static_cast<std::uint64_t>(
+                                           std::max<std::int64_t>(1, span_hours - 6)))));
+      const SimTime to =
+          from + Duration::hours(1 + static_cast<std::int64_t>(rng.uniform(4)));
+      std::set<Region> scope;
+      if (!rng.chance(0.5)) {
+        const int n = 1 + static_cast<int>(rng.uniform(3));
+        for (int j = 0; j < n; ++j) scope.insert(random_region());
+      }
+      window_rule(host, rng.chance(0.5) ? FaultMode::kTcpConnectFailure
+                                        : FaultMode::kHttp503,
+                  scope, from, to);
+    }
+  }
+
+  // Hosting regions for latency shaping: hash-spread across regions.
+  for (const auto& info : responders_) {
+    network_->set_host_region(
+        network_->dns().canonical_name(info.host),
+        net::all_regions()[std::hash<std::string>{}(info.host) % net::kRegionCount]);
+  }
+}
+
+void Ecosystem::build_domains(Rng& rng) {
+  domains_.reserve(config_.alexa_domains);
+  const double n = static_cast<double>(config_.alexa_domains);
+
+  // Cumulative responder weights per CA for weighted domain assignment.
+  std::vector<std::vector<std::size_t>> by_ca(authorities_.size());
+  std::vector<std::vector<double>> weights_by_ca(authorities_.size());
+  for (std::size_t i = 0; i < responders_.size(); ++i) {
+    by_ca[responders_[i].ca_index].push_back(i);
+    weights_by_ca[responders_[i].ca_index].push_back(domain_weights_[i]);
+  }
+  std::vector<double> ca_weights;
+  std::vector<double> ms_weights;
+  for (const auto& share : ca_shares_) {
+    ca_weights.push_back(share.certificate_share);
+    ms_weights.push_back(share.must_staple_share);
+  }
+
+  for (std::uint32_t rank = 1; rank <= config_.alexa_domains; ++rank) {
+    DomainMeta meta{};
+    meta.rank = rank;
+    const double r = static_cast<double>(rank) / n;
+
+    // Fig 2 calibration: HTTPS ~75% and mildly declining; OCSP ~91% of
+    // HTTPS certs, also mildly declining with rank.
+    const bool https = rng.chance(0.78 - 0.10 * r);
+    meta.https = https ? 1 : 0;
+    if (https) {
+      // Must-Staple is decided first: it steers the CA draw, because 97.3%
+      // of Must-Staple certificates come from Let's Encrypt (§4).
+      const bool must_staple = rng.chance(0.0001);
+      std::size_t ca = rng.weighted_index(must_staple ? ms_weights : ca_weights);
+      if (by_ca[ca].empty()) ca = kLetsEncrypt;
+      meta.ca = static_cast<std::uint16_t>(ca);
+      const bool ocsp =
+          (must_staple || rng.chance(0.94 - 0.05 * r)) && !by_ca[ca].empty();
+      meta.ocsp = ocsp ? 1 : 0;
+      if (ocsp) {
+        const std::size_t pick = rng.weighted_index(weights_by_ca[ca]);
+        meta.responder = static_cast<std::uint16_t>(by_ca[ca][pick]);
+        // Fig 11 calibration: ~40% stapling at the top, ~28% at the tail.
+        meta.staples = rng.chance(0.40 - 0.12 * r) ? 1 : 0;
+        meta.must_staple = must_staple ? 1 : 0;
+        // Let's Encrypt supports OCSP only — no CRL (§5.4 footnote 18).
+        meta.has_crl = (ca == kLetsEncrypt) ? 0 : (rng.chance(0.97) ? 1 : 0);
+      }
+      // Fig 12: adoption dates. 60% of HTTPS domains predate the window;
+      // the rest ramp in across the 28 months.
+      meta.https_month = rng.chance(0.60)
+                             ? 0
+                             : static_cast<std::uint8_t>(rng.uniform(28));
+      if (meta.staples) {
+        // Cloudflare's cruise-liner flip lands a mass of domains exactly in
+        // June 2017 (month 13 of the window).
+        meta.staple_month = rng.chance(0.12)
+                                ? 13
+                                : static_cast<std::uint8_t>(rng.uniform(28));
+        if (meta.staple_month < meta.https_month) {
+          meta.staple_month = meta.https_month;
+        }
+      }
+    }
+    domains_.push_back(meta);
+  }
+  // Per-responder Alexa domain counts (Fig 4 impact accounting).
+  for (const auto& meta : domains_) {
+    if (meta.ocsp && meta.responder != 0xffff) {
+      ++responders_[meta.responder].alexa_domain_count;
+    }
+  }
+}
+
+void Ecosystem::build_scan_targets(Rng& rng) {
+  const SimTime start = config_.campaign_start;
+  // Certificates must keep >=30 days of validity through the campaign
+  // (§5.1 step 1), so issue them well before with a long lifetime.
+  for (std::size_t r = 0; r < responders_.size(); ++r) {
+    const std::size_t count =
+        1 + rng.uniform(config_.certs_per_responder);  // 1..N, mean ~N/2+1
+    for (std::size_t k = 0; k < count; ++k) {
+      ca::LeafRequest request;
+      request.domain = "host" + std::to_string(k) + "." +
+                       responders_[r].host.substr(5) /* strip "ocsp." */;
+      request.not_before = start - Duration::days(60);
+      request.lifetime = Duration::days(400);
+      const bool https = responders_[r].host == https_pinned_host_;
+      request.ocsp_urls = {(https ? "https://" : "http://") +
+                           responders_[r].host + "/"};
+      request.crl_urls = {crl_servers_[responders_[r].ca_index]->url()};
+      ScanTarget target;
+      target.cert = authorities_[responders_[r].ca_index]->issue(request, rng);
+      target.responder_index = r;
+      target.ca_index = responders_[r].ca_index;
+      if (rng.chance(config_.revoked_fraction)) {
+        target.revoked = true;
+        authorities_[responders_[r].ca_index]->revoke(
+            target.cert.serial(),
+            start - Duration::days(1 + static_cast<std::int64_t>(rng.uniform(30))),
+            crl::ReasonCode::kKeyCompromise, ca::RevocationPolicy{});
+      }
+      scan_targets_.push_back(std::move(target));
+    }
+  }
+}
+
+Ecosystem::DeploymentStats Ecosystem::deployment_stats() const {
+  DeploymentStats stats;
+  for (const auto& meta : domains_) {
+    if (!meta.https) continue;
+    ++stats.total_certs;
+    if (meta.ocsp) ++stats.ocsp_certs;
+    if (meta.must_staple) {
+      ++stats.must_staple_certs;
+      if (meta.ca == lets_encrypt_index_) ++stats.must_staple_lets_encrypt;
+    }
+    ++stats.alexa_https;
+    if (meta.ocsp) ++stats.alexa_ocsp;
+    if (meta.must_staple) ++stats.alexa_must_staple;
+  }
+  return stats;
+}
+
+}  // namespace mustaple::measurement

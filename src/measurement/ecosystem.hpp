@@ -1,0 +1,180 @@
+// The synthetic certificate ecosystem: a scaled-down stand-in for the
+// paper's Censys snapshot (489.6M certs / 112.8M valid) and Alexa Top-1M
+// list, re-measured by the scanner exactly as the paper measures the real
+// thing. All proportions are calibrated to the paper's §4/§5 findings:
+//
+//   * 95.4% of valid certificates carry an OCSP responder URL;
+//   * 0.02% carry OCSP Must-Staple, 97.3% of those from Let's Encrypt
+//     (the remainder Comodo / DFN / UserTrust);
+//   * HTTPS adoption ~75% for popular domains, OCSP ~91.3% of those,
+//     both declining gently with rank (Fig 2);
+//   * ~35% of OCSP-enabled domains staple, declining with rank (Fig 11);
+//   * 536 OCSP responders with the behaviour mix of §5.3/§5.4;
+//   * the §5.2 fault schedule (Comodo, Digicert, Certum, wosign/startssl,
+//     digitalcertvalidation, wayport, IdenTrust analogues).
+//
+// Everything derives from one seed. Scale knobs shrink populations without
+// changing proportions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ca/authority.hpp"
+#include "ca/crl_server.hpp"
+#include "ca/responder.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+#include "x509/verify.hpp"
+
+namespace mustaple::measurement {
+
+struct EcosystemConfig {
+  std::uint64_t seed = 42;
+
+  /// Simulated campaign window (the paper: Apr 25 – Sep 4, 2018).
+  util::SimTime campaign_start = util::make_time(2018, 4, 25);
+  util::SimTime campaign_end = util::make_time(2018, 9, 4);
+
+  /// Number of OCSP responders (paper: 536).
+  std::size_t responder_count = 536;
+  /// Alexa list size (paper: 1M). Scaled default: 100k.
+  std::size_t alexa_domains = 100'000;
+  /// Certificates sampled per responder for the Hourly dataset
+  /// (paper: <=50; scaled default keeps the per-responder spread).
+  std::size_t certs_per_responder = 4;
+  /// Fraction of certificates revoked (drives the §5.4 consistency audit).
+  double revoked_fraction = 0.01;
+
+  /// Use real RSA keys for CAs (slow; tests only use a tiny world).
+  bool use_rsa = false;
+
+  /// Ablation switches (§8 recommendation 1 — "what if CAs fixed their
+  /// responders?"): disable the scripted+random fault schedule and/or the
+  /// response-quality pathologies. Both default to the paper's 2018 world.
+  bool apply_fault_schedule = true;
+  bool apply_pathologies = true;
+
+  /// Behaviour-mix calibration (fractions of responders), from §5.3/§5.4.
+  double frac_persistent_malformed = 0.016;  // 8 of 536
+  double frac_blank_next_update = 0.091;     // 45 responders
+  double frac_huge_validity = 0.02;          // 11 responders, > 1 month
+  double frac_zero_margin = 0.172;           // 85 responders
+  double frac_future_this_update = 0.03;     // 15 responders
+  double frac_twenty_serials = 0.033;        // 17 responders
+  double frac_multi_serial = 0.048;          // 4.8% > 1 serial
+  double frac_multi_cert = 0.145;            // 14.5% > 1 certificate
+  /// Base rate of pre-generated responders. Set above the paper's measured
+  /// 51.7% because the zero-margin (17.2%) and future-thisUpdate (3%)
+  /// calibration passes force their responders to on-demand generation;
+  /// 0.65 * (1 - 0.202) lands the EFFECTIVE rate at the paper's value.
+  double frac_pre_generate = 0.65;
+  double frac_transient_outage = 0.368;      // 36.8% had >= 1 outage
+};
+
+/// Per-CA market-share entry (issuance weight) used during generation.
+struct CaShare {
+  std::string name;
+  double certificate_share;  ///< weight among all issued certificates
+  double must_staple_share;  ///< weight among Must-Staple certificates
+};
+
+/// One responder with its serving CA and URL.
+struct ResponderInfo {
+  std::string host;
+  std::size_t ca_index = 0;
+  std::size_t alexa_domain_count = 0;  ///< domains whose cert uses this responder
+  ca::ResponderBehavior behavior;
+};
+
+/// Compact per-domain metadata row for the Alexa population. Adoption
+/// *dates* (months since May 2016) let Fig 12 take monthly snapshots.
+struct DomainMeta {
+  std::uint32_t rank = 0;           ///< 1-based Alexa rank
+  std::uint16_t responder = 0xffff; ///< index into responders(), 0xffff = none
+  std::uint16_t ca = 0;
+  std::uint8_t https : 1, ocsp : 1, staples : 1, must_staple : 1, has_crl : 1;
+  std::uint8_t https_month = 0xff;   ///< months after 2016-05 HTTPS went live
+  std::uint8_t staple_month = 0xff;  ///< months after 2016-05 stapling enabled
+};
+
+/// A certificate enrolled in the Hourly dataset: the object plus its scan
+/// bookkeeping.
+struct ScanTarget {
+  x509::Certificate cert;
+  std::size_t responder_index = 0;
+  std::size_t ca_index = 0;
+  bool revoked = false;
+};
+
+/// The generated world. Owns the CAs, responders, network services, fault
+/// plan, domain metadata, and scan targets.
+class Ecosystem {
+ public:
+  Ecosystem(const EcosystemConfig& config, net::EventLoop& loop);
+
+  const EcosystemConfig& config() const { return config_; }
+  net::Network& network() { return *network_; }
+
+  const std::vector<CaShare>& ca_shares() const { return ca_shares_; }
+  ca::CertificateAuthority& authority(std::size_t index) {
+    return *authorities_[index];
+  }
+  std::size_t authority_count() const { return authorities_.size(); }
+
+  const std::vector<ResponderInfo>& responders() const { return responders_; }
+  ca::OcspResponder& responder(std::size_t index) {
+    return *responder_services_[index];
+  }
+  ca::CrlServer& crl_server(std::size_t ca_index) {
+    return *crl_servers_[ca_index];
+  }
+
+  const std::vector<DomainMeta>& domains() const { return domains_; }
+  const std::vector<ScanTarget>& scan_targets() const { return scan_targets_; }
+
+  /// Root store trusting every simulated CA (the Censys "valid" filter).
+  const x509::RootStore& roots() const { return roots_; }
+
+  /// Headline §4 statistics measured off the generated population.
+  struct DeploymentStats {
+    std::size_t total_certs = 0;
+    std::size_t ocsp_certs = 0;
+    std::size_t must_staple_certs = 0;
+    std::size_t must_staple_lets_encrypt = 0;
+    std::size_t alexa_https = 0;
+    std::size_t alexa_ocsp = 0;
+    std::size_t alexa_must_staple = 0;
+  };
+  DeploymentStats deployment_stats() const;
+
+  /// Index of the CA named "Let's Encrypt".
+  std::size_t lets_encrypt_index() const { return lets_encrypt_index_; }
+
+ private:
+  void build_cas(util::Rng& rng);
+  void build_responders(util::Rng& rng);
+  void build_fault_schedule(util::Rng& rng);
+  void build_domains(util::Rng& rng);
+  void build_scan_targets(util::Rng& rng);
+
+  EcosystemConfig config_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<CaShare> ca_shares_;
+  std::vector<std::unique_ptr<ca::CertificateAuthority>> authorities_;
+  std::vector<std::unique_ptr<ca::OcspResponder>> responder_services_;
+  std::vector<std::unique_ptr<ca::CrlServer>> crl_servers_;
+  std::vector<ResponderInfo> responders_;
+  std::vector<double> domain_weights_;  ///< per-responder Alexa assignment weight
+  std::vector<DomainMeta> domains_;
+  std::vector<ScanTarget> scan_targets_;
+  x509::RootStore roots_;
+  std::size_t lets_encrypt_index_ = 0;
+  /// The responder whose HTTPS endpoint serves an invalid certificate
+  /// (§5.2's single TLS-failure case); its AIA URLs use https://.
+  std::string https_pinned_host_;
+};
+
+}  // namespace mustaple::measurement

@@ -1,0 +1,384 @@
+#include "measurement/scanner.hpp"
+
+#include <stdexcept>
+
+#include "ocsp/request.hpp"
+
+namespace mustaple::measurement {
+
+namespace {
+constexpr std::int64_t kCachedThresholdSeconds = 120;  // §5.4's 2 minutes
+constexpr std::size_t kStaticCacheLimit = 200'000;     // entries before reset
+
+std::uint64_t body_cache_key(std::size_t responder, const util::Bytes& body) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ (responder * 0x9e3779b97f4a7c15ULL);
+  for (std::uint8_t b : body) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+HourlyScanner::HourlyScanner(Ecosystem& ecosystem, ScanConfig config)
+    : ecosystem_(&ecosystem), config_(config) {
+  const auto& targets = ecosystem_->scan_targets();
+  targets_.reserve(targets.size());
+  for (const auto& t : targets) {
+    Target target;
+    const x509::Certificate& issuer =
+        ecosystem_->authority(t.ca_index).intermediate_cert();
+    target.cert_id = ocsp::CertId::for_certificate(t.cert, issuer);
+    auto url = net::parse_url(t.cert.extensions().ocsp_urls.front());
+    if (!url.ok()) continue;
+    target.url = url.value();
+    target.responder_index = t.responder_index;
+    target.ca_index = t.ca_index;
+    target.request_der = ocsp::OcspRequest::single(target.cert_id).encode_der();
+    targets_.push_back(std::move(target));
+  }
+  stats_.resize(ecosystem_->responders().size() * net::kRegionCount);
+}
+
+void HourlyScanner::probe(const Target& target, net::Region region,
+                          StepTotals& totals) {
+  const std::size_t region_idx = static_cast<std::size_t>(region);
+  ResponderRegionStats& stats =
+      stats_[target.responder_index * net::kRegionCount + region_idx];
+
+  const std::size_t cell =
+      target.responder_index * net::kRegionCount + region_idx;
+  ++stats.requests;
+  ++totals.requests[region_idx];
+  ++step_requests_[cell];
+
+  net::FetchResult result = ecosystem_->network().http_post(
+      region, target.url, target.request_der, "application/ocsp-request");
+  if (!result.success()) {
+    switch (result.error) {
+      case net::TransportError::kDnsFailure:
+        ++stats.dns_failures;
+        break;
+      case net::TransportError::kTcpFailure:
+        ++stats.tcp_failures;
+        break;
+      case net::TransportError::kTlsCertInvalid:
+        ++stats.tls_failures;
+        break;
+      case net::TransportError::kNone:
+        ++stats.http_errors;  // reached, but non-200
+        break;
+    }
+    return;
+  }
+
+  ++stats.http_successes;
+  ++totals.successes[region_idx];
+  ++step_successes_[cell];
+  ++totals.responses_200;
+
+  if (!config_.validate_responses) return;
+
+  const crypto::PublicKey& issuer_key =
+      ecosystem_->authority(target.ca_index).intermediate_cert().public_key();
+  const util::SimTime now = ecosystem_->network().now();
+  // Static (clock-independent) validation is cached by body bytes.
+  const std::uint64_t key =
+      body_cache_key(target.responder_index, result.response.body);
+  auto cached = static_cache_.find(key);
+  if (cached == static_cache_.end()) {
+    if (static_cache_.size() >= kStaticCacheLimit) static_cache_.clear();
+    cached = static_cache_
+                 .emplace(key, ocsp::verify_ocsp_response_static(
+                                   result.response.body, target.cert_id,
+                                   issuer_key))
+                 .first;
+  }
+  const ocsp::VerifiedResponse verdict =
+      ocsp::apply_time_checks(cached->second, now);
+
+  switch (verdict.outcome) {
+    case ocsp::CheckOutcome::kUnparseable:
+      ++totals.unparseable;
+      return;
+    case ocsp::CheckOutcome::kNotSuccessful:
+      // tryLater etc.: parsed but unusable; the paper folds these into the
+      // malformed/unusable bucket only when unparseable, so just return.
+      return;
+    case ocsp::CheckOutcome::kSerialMismatch:
+      ++totals.serial_mismatch;
+      return;
+    case ocsp::CheckOutcome::kBadSignature:
+      ++totals.bad_signature;
+      return;
+    case ocsp::CheckOutcome::kNonceMismatch:
+      return;  // scanner sends no nonce; unreachable, but classified
+    case ocsp::CheckOutcome::kNotYetValid:
+    case ocsp::CheckOutcome::kExpired:
+    case ocsp::CheckOutcome::kOk:
+      break;  // structurally fine: continue into quality accounting
+  }
+  if (verdict.outcome == ocsp::CheckOutcome::kOk) ++stats.usable_responses;
+  if (verdict.outcome == ocsp::CheckOutcome::kNotYetValid) {
+    ++stats.future_this_update;
+  }
+  if (verdict.outcome == ocsp::CheckOutcome::kExpired) {
+    ++stats.expired_next_update;
+  }
+
+  // Quality accounting (Figs 6-9).
+  stats.certs_per_response.add(static_cast<double>(verdict.num_certs));
+  stats.serials_per_response.add(static_cast<double>(verdict.num_serials));
+  ++stats.validity_samples;
+  if (verdict.next_update) {
+    stats.validity_seconds.add(static_cast<double>(
+        (*verdict.next_update - verdict.this_update).seconds));
+  } else {
+    ++stats.blank_next_update;
+  }
+  stats.margin_seconds.add(
+      static_cast<double>((now - verdict.this_update).seconds));
+
+  // producedAt tracking (§5.4).
+  const std::int64_t produced = verdict.produced_at.unix_seconds;
+  if (now.unix_seconds - produced > kCachedThresholdSeconds) {
+    ++stats.cached_observations;
+  }
+  if (stats.last_produced_at != INT64_MIN && produced != stats.last_produced_at) {
+    if (produced < stats.last_produced_at) {
+      ++stats.produced_regressions;
+    } else {
+      stats.produced_at_deltas.add(
+          static_cast<double>(produced - stats.last_produced_at));
+    }
+  }
+  stats.last_produced_at = produced;
+  stats.last_observed_at = now.unix_seconds;
+}
+
+void HourlyScanner::run() {
+  if (ran_) throw std::logic_error("HourlyScanner::run called twice");
+  ran_ = true;
+
+  const util::SimTime start = ecosystem_->config().campaign_start;
+  const util::SimTime end = ecosystem_->config().campaign_end;
+  net::EventLoop& loop = ecosystem_->network().loop();
+
+  std::size_t step_count = 0;
+  for (util::SimTime t = start; t < end; t = t + config_.interval) {
+    if (config_.max_steps != 0 && step_count >= config_.max_steps) break;
+    ++step_count;
+    loop.run_until(t);
+
+    step_requests_.assign(stats_.size(), 0);
+    step_successes_.assign(stats_.size(), 0);
+    StepTotals totals;
+    totals.when = t;
+    for (net::Region region : net::all_regions()) {
+      for (const Target& target : targets_) probe(target, region, totals);
+    }
+
+    // Fig 4: per region, total Alexa domains whose responder answered
+    // nothing this step (all probes to it failed from that region).
+    const auto& responders = ecosystem_->responders();
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      std::size_t unable = 0;
+      for (std::size_t r = 0; r < responders.size(); ++r) {
+        const std::size_t cell = r * net::kRegionCount + g;
+        if (step_requests_[cell] > 0 && step_successes_[cell] == 0) {
+          unable += responders[r].alexa_domain_count;
+        }
+      }
+      totals.domains_unable[g] = unable;
+    }
+    steps_.push_back(totals);
+  }
+}
+
+std::size_t HourlyScanner::responders_with_outage() const {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    bool outage = false;
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      const auto& s = stats_[r * net::kRegionCount + g];
+      if (s.requests > s.http_successes && s.http_successes > 0) {
+        outage = true;
+        break;
+      }
+    }
+    if (outage) ++count;
+  }
+  return count;
+}
+
+std::size_t HourlyScanner::responders_never_reachable() const {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    bool any_success = false;
+    bool any_request = false;
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      const auto& s = stats_[r * net::kRegionCount + g];
+      any_success |= s.http_successes > 0;
+      any_request |= s.requests > 0;
+    }
+    if (any_request && !any_success) ++count;
+  }
+  return count;
+}
+
+HourlyScanner::FailureTaxonomy HourlyScanner::persistent_failure_taxonomy()
+    const {
+  FailureTaxonomy taxonomy;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    // Pick the dominant cause across all fully-dead regions of this
+    // responder (a responder counts once, as in the paper's lists).
+    std::size_t dns = 0;
+    std::size_t tcp = 0;
+    std::size_t http = 0;
+    std::size_t tls = 0;
+    bool any_dead_region = false;
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      const auto& s = stats_[r * net::kRegionCount + g];
+      if (s.requests == 0 || s.http_successes > 0) continue;
+      any_dead_region = true;
+      dns += s.dns_failures;
+      tcp += s.tcp_failures;
+      http += s.http_errors;
+      tls += s.tls_failures;
+    }
+    if (!any_dead_region) continue;
+    const std::size_t top = std::max(std::max(dns, tcp), std::max(http, tls));
+    if (top == 0) continue;
+    if (top == dns) {
+      ++taxonomy.dns;
+    } else if (top == tcp) {
+      ++taxonomy.tcp;
+    } else if (top == http) {
+      ++taxonomy.http;
+    } else {
+      ++taxonomy.tls;
+    }
+  }
+  return taxonomy;
+}
+
+std::size_t HourlyScanner::responders_region_persistent_fail() const {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    bool some_region_dead = false;
+    bool some_region_alive = false;
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      const auto& s = stats_[r * net::kRegionCount + g];
+      if (s.requests == 0) continue;
+      if (s.http_successes == 0) {
+        some_region_dead = true;
+      } else {
+        some_region_alive = true;
+      }
+    }
+    if (some_region_dead && some_region_alive) ++count;
+  }
+  return count;
+}
+
+util::Cdf HourlyScanner::cdf_certs(net::Region region) const {
+  util::Cdf cdf;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    const auto& s = stats(r, region);
+    if (s.certs_per_response.count() > 0) cdf.add(s.certs_per_response.mean());
+  }
+  return cdf;
+}
+
+util::Cdf HourlyScanner::cdf_serials(net::Region region) const {
+  util::Cdf cdf;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    const auto& s = stats(r, region);
+    if (s.serials_per_response.count() > 0) {
+      cdf.add(s.serials_per_response.mean());
+    }
+  }
+  return cdf;
+}
+
+util::Cdf HourlyScanner::cdf_validity(net::Region region) const {
+  util::Cdf cdf;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    const auto& s = stats(r, region);
+    if (s.validity_samples == 0) continue;
+    // A responder that EVER sends blank nextUpdate does so consistently
+    // (paper footnote 14) — classify by majority.
+    if (s.blank_next_update * 2 > s.validity_samples) {
+      cdf.add_infinite();
+    } else if (s.validity_seconds.count() > 0) {
+      cdf.add(s.validity_seconds.mean());
+    }
+  }
+  return cdf;
+}
+
+util::Cdf HourlyScanner::cdf_margin(net::Region region) const {
+  util::Cdf cdf;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    const auto& s = stats(r, region);
+    if (s.margin_seconds.count() > 0) cdf.add(s.margin_seconds.mean());
+  }
+  return cdf;
+}
+
+std::size_t HourlyScanner::responders_pre_generated() const {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    std::size_t cached = 0;
+    std::size_t observed = 0;
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      const auto& s = stats_[r * net::kRegionCount + g];
+      cached += s.cached_observations;
+      observed += s.http_successes;
+    }
+    if (observed > 0 && cached * 2 > observed) ++count;
+  }
+  return count;
+}
+
+std::size_t HourlyScanner::responders_non_overlapping() const {
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < responder_count(); ++r) {
+    bool pre_generated = false;
+    double update_period = 0.0;
+    double validity = -1.0;
+    bool blank = false;
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      const auto& s = stats_[r * net::kRegionCount + g];
+      if (s.http_successes > 0 && s.cached_observations * 2 > s.http_successes) {
+        pre_generated = true;
+      }
+      if (s.produced_at_deltas.count() > 0) {
+        update_period = std::max(update_period, s.produced_at_deltas.mean());
+      }
+      if (s.validity_seconds.count() > 0) {
+        validity = s.validity_seconds.mean();
+      }
+      if (s.blank_next_update > 0) blank = true;
+    }
+    if (pre_generated && !blank && validity > 0 && update_period > 0 &&
+        validity <= update_period * 1.05) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double HourlyScanner::failure_rate(net::Region region) const {
+  const std::size_t g = static_cast<std::size_t>(region);
+  std::size_t requests = 0;
+  std::size_t successes = 0;
+  for (const auto& step : steps_) {
+    requests += step.requests[g];
+    successes += step.successes[g];
+  }
+  if (requests == 0) return 0.0;
+  return 1.0 - static_cast<double>(successes) / static_cast<double>(requests);
+}
+
+}  // namespace mustaple::measurement

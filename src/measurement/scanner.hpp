@@ -1,0 +1,157 @@
+// The measurement client of paper §5.1: OCSP lookups for every scan target
+// against its responder, on a fixed cadence, from all six vantage points,
+// with on-the-fly aggregation into exactly the statistics behind Figures
+// 3-9 and the §5.4 producedAt analysis.
+//
+// Scale note: the paper probes 14,634 certificates hourly for 4.3 months
+// (~280M probes). The scanner keeps the mechanism and the proportions but
+// the default cadence/population are scaled down (see EXPERIMENTS.md); both
+// are knobs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "measurement/ecosystem.hpp"
+#include "ocsp/verify.hpp"
+#include "util/stats.hpp"
+
+namespace mustaple::measurement {
+
+struct ScanConfig {
+  /// Probe cadence (paper: 1 hour).
+  util::Duration interval = util::Duration::hours(12);
+  /// Optional cap on scan steps (0 = run the whole campaign window).
+  std::size_t max_steps = 0;
+  /// When false, only transport/HTTP availability is recorded (Figs 3/4)
+  /// and the client-side response validation is skipped — roughly 3x
+  /// faster for availability-only campaigns.
+  bool validate_responses = true;
+};
+
+/// Per-(responder, region) accumulators.
+struct ResponderRegionStats {
+  std::size_t requests = 0;
+  std::size_t http_successes = 0;  ///< HTTP 200 (the paper's "successful")
+  std::size_t usable_responses = 0;
+
+  // §5.2 failure-cause taxonomy.
+  std::size_t dns_failures = 0;
+  std::size_t tcp_failures = 0;
+  std::size_t http_errors = 0;  ///< non-200 status codes
+  std::size_t tls_failures = 0;
+
+  util::OnlineStats certs_per_response;
+  util::OnlineStats serials_per_response;
+  util::OnlineStats validity_seconds;  ///< finite validity samples
+  std::size_t blank_next_update = 0;   ///< samples with no nextUpdate
+  std::size_t validity_samples = 0;
+  util::OnlineStats margin_seconds;  ///< T_received - thisUpdate
+  std::size_t future_this_update = 0;
+  std::size_t expired_next_update = 0;
+
+  // producedAt tracking for the §5.4 on-demand/pre-generated analysis.
+  std::int64_t last_produced_at = INT64_MIN;
+  std::int64_t last_observed_at = INT64_MIN;
+  util::OnlineStats produced_at_deltas;  ///< between consecutive DISTINCT values
+  std::size_t produced_regressions = 0;  ///< producedAt went backwards
+  std::size_t cached_observations = 0;   ///< received - producedAt > 2 min
+};
+
+/// One scan step's cross-region failure/validity tallies.
+struct StepTotals {
+  util::SimTime when{};
+  std::array<std::size_t, net::kRegionCount> requests{};
+  std::array<std::size_t, net::kRegionCount> successes{};
+  std::array<std::size_t, net::kRegionCount> domains_unable{};
+  // Fig 5 numerators (over HTTP-200 responses, all regions pooled).
+  std::size_t responses_200 = 0;
+  std::size_t unparseable = 0;
+  std::size_t serial_mismatch = 0;
+  std::size_t bad_signature = 0;
+};
+
+class HourlyScanner {
+ public:
+  HourlyScanner(Ecosystem& ecosystem, ScanConfig config);
+
+  /// Runs the full campaign. Idempotent guard: second call throws.
+  void run();
+
+  const std::vector<StepTotals>& steps() const { return steps_; }
+  const ResponderRegionStats& stats(std::size_t responder,
+                                    net::Region region) const {
+    return stats_[responder * net::kRegionCount +
+                  static_cast<std::size_t>(region)];
+  }
+  std::size_t responder_count() const { return ecosystem_->responders().size(); }
+
+  // ---- derived results (valid after run()) ----
+
+  /// Responders with >=1 outage from >=1 vantage point: at least one failed
+  /// request AND at least one success (so persistent dead hosts don't count
+  /// as "outage" — they are the never-reachable class).
+  std::size_t responders_with_outage() const;
+  /// Responders never reachable from ANY vantage point.
+  std::size_t responders_never_reachable() const;
+  /// Responders unreachable from at least one region for the whole campaign
+  /// (while reachable from others).
+  std::size_t responders_region_persistent_fail() const;
+
+  /// §5.2's persistent-failure census: responders for which at least one
+  /// region NEVER succeeded, counted by the dominant failure cause there.
+  /// Paper: 16 DNS (NXDOMAIN), 4 TCP, 8 HTTP 4xx/5xx, 1 invalid HTTPS cert.
+  struct FailureTaxonomy {
+    std::size_t dns = 0;
+    std::size_t tcp = 0;
+    std::size_t http = 0;
+    std::size_t tls = 0;
+  };
+  FailureTaxonomy persistent_failure_taxonomy() const;
+
+  /// Fig 6/7/8/9 CDFs: per-responder averages from one region's stats.
+  util::Cdf cdf_certs(net::Region region) const;
+  util::Cdf cdf_serials(net::Region region) const;
+  /// Validity-period CDF; blank nextUpdate becomes +infinity mass.
+  util::Cdf cdf_validity(net::Region region) const;
+  util::Cdf cdf_margin(net::Region region) const;
+
+  /// §5.4 producedAt analysis: responders detected as serving cached
+  /// (pre-generated) responses; and among those, responders whose estimated
+  /// update period >= their validity period ("non-overlapping" hazard).
+  std::size_t responders_pre_generated() const;
+  std::size_t responders_non_overlapping() const;
+
+  /// Overall request failure rate per region (Fig 3 headline: 1.7% average,
+  /// ranging ~2.2% Virginia to ~5.7% Sao Paulo).
+  double failure_rate(net::Region region) const;
+
+ private:
+  struct Target {
+    ocsp::CertId cert_id;
+    net::Url url;
+    std::size_t responder_index = 0;
+    std::size_t ca_index = 0;
+    util::Bytes request_der;  ///< pre-encoded OCSPRequest
+  };
+
+  void probe(const Target& target, net::Region region, StepTotals& totals);
+
+  Ecosystem* ecosystem_;
+  ScanConfig config_;
+  std::vector<Target> targets_;
+  std::vector<ResponderRegionStats> stats_;
+  std::vector<StepTotals> steps_;
+  // Step-local (responder x region) tallies for the Fig 4 impact series.
+  std::vector<std::size_t> step_requests_;
+  std::vector<std::size_t> step_successes_;
+  // Cache of the time-invariant validation, keyed by (responder, body
+  // hash): pre-generated responders re-serve identical DER for a whole
+  // update cycle, so most probes hit. Bounded by periodic clearing.
+  std::unordered_map<std::uint64_t, ocsp::VerifiedResponse> static_cache_;
+  bool ran_ = false;
+};
+
+}  // namespace mustaple::measurement

@@ -1,0 +1,43 @@
+#include "net/dns.hpp"
+
+#include "util/strings.hpp"
+
+namespace mustaple::net {
+
+void DnsZone::add_a(const std::string& name, Address address) {
+  a_records_[util::to_lower(name)] = address;
+}
+
+void DnsZone::add_cname(const std::string& name, const std::string& target) {
+  cnames_[util::to_lower(name)] = util::to_lower(target);
+}
+
+bool DnsZone::has_name(const std::string& name) const {
+  const std::string key = util::to_lower(name);
+  return a_records_.count(key) > 0 || cnames_.count(key) > 0;
+}
+
+util::Result<Address> DnsZone::resolve(const std::string& name) const {
+  using R = util::Result<Address>;
+  std::string current = util::to_lower(name);
+  for (int hop = 0; hop < 8; ++hop) {
+    const auto a = a_records_.find(current);
+    if (a != a_records_.end()) return a->second;
+    const auto cname = cnames_.find(current);
+    if (cname == cnames_.end()) return R::failure("dns.nxdomain", current);
+    current = cname->second;
+  }
+  return R::failure("dns.cname_loop", name);
+}
+
+std::string DnsZone::canonical_name(const std::string& name) const {
+  std::string current = util::to_lower(name);
+  for (int hop = 0; hop < 8; ++hop) {
+    const auto cname = cnames_.find(current);
+    if (cname == cnames_.end()) return current;
+    current = cname->second;
+  }
+  return current;
+}
+
+}  // namespace mustaple::net

@@ -1,0 +1,42 @@
+// Simulated DNS. Supports CNAME chains (the paper found eight Comodo OCSP
+// responders whose outage was shared because their names CNAME'd to
+// ocsp.comodoca.com) and address records shared across names (six more
+// resolved to the same IP).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace mustaple::net {
+
+/// A simulated IPv4-ish address.
+using Address = std::uint32_t;
+
+enum class DnsError {
+  kNxDomain,
+  kCnameLoop,
+};
+
+class DnsZone {
+ public:
+  void add_a(const std::string& name, Address address);
+  void add_cname(const std::string& name, const std::string& target);
+  bool has_name(const std::string& name) const;
+
+  /// Follows CNAMEs (max 8 hops) to an address.
+  util::Result<Address> resolve(const std::string& name) const;
+
+  /// The canonical (post-CNAME) name, used by the fault engine so an outage
+  /// of the canonical host takes down every alias — the Comodo pattern.
+  std::string canonical_name(const std::string& name) const;
+
+ private:
+  std::map<std::string, Address> a_records_;
+  std::map<std::string, std::string> cnames_;
+};
+
+}  // namespace mustaple::net

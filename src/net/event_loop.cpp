@@ -1,0 +1,30 @@
+#include "net/event_loop.hpp"
+
+namespace mustaple::net {
+
+void EventLoop::schedule_at(util::SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_sequence_++, std::move(fn)});
+}
+
+void EventLoop::run_until(util::SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // Copy out before pop: the callback may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+void EventLoop::run_all() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+  }
+}
+
+}  // namespace mustaple::net

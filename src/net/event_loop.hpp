@@ -1,0 +1,55 @@
+// Discrete-event scheduler driving the simulated clock. Web-server staple
+// refresh timers, responder regeneration cycles, and the hourly scanner all
+// schedule callbacks here; time jumps between events, so a four-month
+// campaign runs in wall-clock milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace mustaple::net {
+
+class EventLoop {
+ public:
+  explicit EventLoop(util::SimTime start) : now_(start) {}
+
+  util::SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now if in the past).
+  void schedule_at(util::SimTime when, std::function<void()> fn);
+  void schedule_after(util::Duration delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `deadline`; the clock lands on `deadline`.
+  void run_until(util::SimTime deadline);
+
+  /// Runs everything scheduled; the clock lands on the last event's time.
+  void run_all();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::SimTime when;
+    std::uint64_t sequence;  ///< FIFO tie-break for same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return b.when < a.when;
+      return b.sequence < a.sequence;
+    }
+  };
+
+  util::SimTime now_;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mustaple::net

@@ -1,0 +1,171 @@
+#include "net/http.hpp"
+
+#include "util/strings.hpp"
+
+namespace mustaple::net {
+
+namespace {
+
+using util::Bytes;
+using util::Result;
+
+// Splits the head (start line + headers) from the body at CRLFCRLF.
+Result<std::pair<std::string, Bytes>> split_head(const Bytes& wire) {
+  using R = Result<std::pair<std::string, Bytes>>;
+  static const std::string kSep = "\r\n\r\n";
+  const std::string text(wire.begin(), wire.end());
+  const std::size_t pos = text.find(kSep);
+  if (pos == std::string::npos) {
+    return R::failure("http.no_header_terminator");
+  }
+  Bytes body(wire.begin() + static_cast<std::ptrdiff_t>(pos + kSep.size()),
+             wire.end());
+  return std::make_pair(text.substr(0, pos), std::move(body));
+}
+
+util::Status parse_headers(const std::vector<std::string>& lines,
+                           std::size_t first, HeaderMap& out) {
+  for (std::size_t i = first; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return util::Status::failure("http.bad_header", line);
+    }
+    out.set(util::trim(line.substr(0, colon)),
+            util::trim(line.substr(colon + 1)));
+  }
+  return util::Status::success();
+}
+
+}  // namespace
+
+void HeaderMap::set(const std::string& name, const std::string& value) {
+  headers_[util::to_lower(name)] = value;
+}
+
+std::string HeaderMap::get(const std::string& name) const {
+  const auto it = headers_.find(util::to_lower(name));
+  return it == headers_.end() ? std::string() : it->second;
+}
+
+bool HeaderMap::contains(const std::string& name) const {
+  return headers_.count(util::to_lower(name)) > 0;
+}
+
+const char* default_reason(int status_code) {
+  switch (status_code) {
+    case 200:
+      return "OK";
+    case 301:
+      return "Moved Permanently";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+util::Bytes HttpRequest::serialize() const {
+  std::string head = method + " " + path + " HTTP/1.1\r\n";
+  for (const auto& [name, value] : headers.entries()) {
+    head += name + ": " + value + "\r\n";
+  }
+  if (!headers.contains("content-length")) {
+    head += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  head += "\r\n";
+  Bytes out = util::bytes_of(head);
+  util::append(out, body);
+  return out;
+}
+
+util::Result<HttpRequest> HttpRequest::parse(const util::Bytes& wire) {
+  using R = Result<HttpRequest>;
+  auto head = split_head(wire);
+  if (!head.ok()) return R::failure(head.error().code, head.error().detail);
+  const auto lines = util::split(head.value().first, '\n');
+  if (lines.empty()) return R::failure("http.empty_head");
+  const auto parts = util::split(util::trim(lines[0]), ' ');
+  if (parts.size() != 3) return R::failure("http.bad_request_line", lines[0]);
+  HttpRequest req;
+  req.method = parts[0];
+  req.path = parts[1];
+  if (!util::starts_with(parts[2], "HTTP/1.")) {
+    return R::failure("http.bad_version", parts[2]);
+  }
+  std::vector<std::string> trimmed;
+  trimmed.reserve(lines.size());
+  for (const auto& l : lines) trimmed.push_back(util::trim(l));
+  auto status = parse_headers(trimmed, 1, req.headers);
+  if (!status.ok()) return R::failure(status.error().code, status.error().detail);
+  req.body = head.value().second;
+  return req;
+}
+
+util::Bytes HttpResponse::serialize() const {
+  std::string head =
+      "HTTP/1.1 " + std::to_string(status_code) + " " + reason + "\r\n";
+  for (const auto& [name, value] : headers.entries()) {
+    head += name + ": " + value + "\r\n";
+  }
+  if (!headers.contains("content-length")) {
+    head += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  head += "\r\n";
+  Bytes out = util::bytes_of(head);
+  util::append(out, body);
+  return out;
+}
+
+util::Result<HttpResponse> HttpResponse::parse(const util::Bytes& wire) {
+  using R = Result<HttpResponse>;
+  auto head = split_head(wire);
+  if (!head.ok()) return R::failure(head.error().code, head.error().detail);
+  const auto lines = util::split(head.value().first, '\n');
+  if (lines.empty()) return R::failure("http.empty_head");
+  const std::string status_line = util::trim(lines[0]);
+  if (!util::starts_with(status_line, "HTTP/1.")) {
+    return R::failure("http.bad_version", status_line);
+  }
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos) return R::failure("http.bad_status_line");
+  const std::size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string code_text =
+      status_line.substr(sp1 + 1, sp2 == std::string::npos
+                                      ? std::string::npos
+                                      : sp2 - sp1 - 1);
+  HttpResponse resp;
+  resp.status_code = 0;
+  for (char c : code_text) {
+    if (c < '0' || c > '9') return R::failure("http.bad_status_code", code_text);
+    resp.status_code = resp.status_code * 10 + (c - '0');
+  }
+  resp.reason = sp2 == std::string::npos ? "" : status_line.substr(sp2 + 1);
+  std::vector<std::string> trimmed;
+  trimmed.reserve(lines.size());
+  for (const auto& l : lines) trimmed.push_back(util::trim(l));
+  auto status = parse_headers(trimmed, 1, resp.headers);
+  if (!status.ok()) return R::failure(status.error().code, status.error().detail);
+  resp.body = head.value().second;
+  return resp;
+}
+
+HttpResponse HttpResponse::make(int status, std::string reason,
+                                util::Bytes body,
+                                const std::string& content_type) {
+  HttpResponse resp;
+  resp.status_code = status;
+  resp.reason = std::move(reason);
+  resp.body = std::move(body);
+  if (!content_type.empty()) resp.headers.set("content-type", content_type);
+  return resp;
+}
+
+}  // namespace mustaple::net

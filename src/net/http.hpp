@@ -1,0 +1,59 @@
+// HTTP/1.1 message model with a real text serializer/parser. OCSP-over-HTTP
+// (RFC 6960 Appendix A) rides on POST with Content-Type
+// application/ocsp-request; the simulated responders and web servers speak
+// this format on the wire so parser-level failures are honest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace mustaple::net {
+
+/// Header map with case-insensitive keys (stored lowercase).
+class HeaderMap {
+ public:
+  void set(const std::string& name, const std::string& value);
+  /// Returns empty string when absent.
+  std::string get(const std::string& name) const;
+  bool contains(const std::string& name) const;
+  const std::map<std::string, std::string>& entries() const { return headers_; }
+
+ private:
+  std::map<std::string, std::string> headers_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  HeaderMap headers;
+  util::Bytes body;
+
+  std::string host() const { return headers.get("host"); }
+
+  /// Serializes to wire format (adds Content-Length).
+  util::Bytes serialize() const;
+  static util::Result<HttpRequest> parse(const util::Bytes& wire);
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  util::Bytes body;
+
+  bool ok() const { return status_code == 200; }
+
+  util::Bytes serialize() const;
+  static util::Result<HttpResponse> parse(const util::Bytes& wire);
+
+  static HttpResponse make(int status, std::string reason, util::Bytes body,
+                           const std::string& content_type);
+};
+
+const char* default_reason(int status_code);
+
+}  // namespace mustaple::net

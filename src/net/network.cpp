@@ -1,0 +1,123 @@
+#include "net/network.hpp"
+
+#include <cmath>
+
+namespace mustaple::net {
+
+const char* to_string(TransportError error) {
+  switch (error) {
+    case TransportError::kNone:
+      return "none";
+    case TransportError::kDnsFailure:
+      return "dns-failure";
+    case TransportError::kTcpFailure:
+      return "tcp-failure";
+    case TransportError::kTlsCertInvalid:
+      return "tls-cert-invalid";
+  }
+  return "?";
+}
+
+void Network::set_host_region(const std::string& canonical_host,
+                              Region region) {
+  host_regions_[canonical_host] = region;
+}
+
+void Network::register_service(const std::string& host, std::uint16_t port,
+                               HttpHandler handler) {
+  services_[host + ":" + std::to_string(port)] = std::move(handler);
+  if (!dns_.has_name(host)) {
+    // Auto-assign a deterministic address so registration is one call.
+    dns_.add_a(host, static_cast<Address>(
+                         std::hash<std::string>{}(host) & 0xffffffffu));
+  }
+}
+
+bool Network::has_service(const std::string& host, std::uint16_t port) const {
+  return services_.count(host + ":" + std::to_string(port)) > 0;
+}
+
+double Network::sample_latency_ms(Region from, const std::string& host) {
+  Region host_region = Region::kVirginia;
+  const auto it = host_regions_.find(host);
+  if (it != host_regions_.end()) host_region = it->second;
+  const double rtt = base_rtt_ms(from, host_region);
+  // TCP handshake + request/response: ~2 RTT, with mild jitter.
+  return std::max(1.0, rng_.normal_approx(2.0 * rtt, 0.15 * rtt));
+}
+
+FetchResult Network::http_request(Region from, const Url& url,
+                                  HttpRequest request) {
+  FetchResult result;
+  const std::string canonical = dns_.canonical_name(url.host);
+  result.latency_ms = sample_latency_ms(from, canonical);
+
+  // Injected faults are evaluated on the canonical name so CNAME aliases
+  // share their target's outages (the Comodo pattern, §5.2).
+  const auto fault = faults_.check(canonical, from, loop_->now());
+  if (fault) {
+    switch (*fault) {
+      case FaultMode::kDnsNxDomain:
+        result.error = TransportError::kDnsFailure;
+        return result;
+      case FaultMode::kTcpConnectFailure:
+        result.error = TransportError::kTcpFailure;
+        return result;
+      case FaultMode::kTlsCertInvalid:
+        if (url.scheme == "https") {
+          result.error = TransportError::kTlsCertInvalid;
+          return result;
+        }
+        break;  // plain HTTP ignores the bad certificate
+      case FaultMode::kHttp404:
+        result.response = HttpResponse::make(404, default_reason(404), {}, "");
+        return result;
+      case FaultMode::kHttp500:
+        result.response = HttpResponse::make(500, default_reason(500), {}, "");
+        return result;
+      case FaultMode::kHttp503:
+        result.response = HttpResponse::make(503, default_reason(503), {}, "");
+        return result;
+    }
+  }
+
+  if (!dns_.resolve(url.host).ok()) {
+    result.error = TransportError::kDnsFailure;
+    return result;
+  }
+
+  const auto service = services_.find(canonical + ":" + std::to_string(url.port));
+  if (service == services_.end()) {
+    result.error = TransportError::kTcpFailure;
+    return result;
+  }
+
+  request.path = url.path;
+  request.headers.set("host", url.host);
+  // Round-trip through the wire format so handlers see honestly parsed
+  // messages and malformed handler output is caught at the client.
+  auto reparsed = HttpRequest::parse(request.serialize());
+  if (!reparsed.ok()) {
+    result.response = HttpResponse::make(400, default_reason(400), {}, "");
+    return result;
+  }
+  result.response = service->second(reparsed.value(), loop_->now(), from);
+  return result;
+}
+
+FetchResult Network::http_post(Region from, const Url& url, util::Bytes body,
+                               const std::string& content_type) {
+  HttpRequest request;
+  request.method = "POST";
+  request.body = std::move(body);
+  request.headers.set("content-type", content_type);
+  return http_request(from, url, std::move(request));
+}
+
+FetchResult Network::http_get(Region from, const Url& url) {
+  HttpRequest request;
+  request.method = "GET";
+  return http_request(from, url, std::move(request));
+}
+
+}  // namespace mustaple::net

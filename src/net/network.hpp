@@ -1,0 +1,90 @@
+// The simulated internet: DNS + fault plan + latency model + registered HTTP
+// services (OCSP responders, CRL servers, web servers). A request from a
+// vantage point either fails in one of the §5.2 ways or reaches the service
+// handler and returns its HTTP response, with a region-dependent latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/dns.hpp"
+#include "net/event_loop.hpp"
+#include "net/fault.hpp"
+#include "net/http.hpp"
+#include "net/url.hpp"
+#include "net/vantage.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace mustaple::net {
+
+/// Transport-level failure classification for one fetch. HTTP-level errors
+/// (4xx/5xx) are NOT transport failures — the response comes back and the
+/// caller inspects the status code, as the paper's client does.
+enum class TransportError : std::uint8_t {
+  kNone = 0,
+  kDnsFailure,
+  kTcpFailure,
+  kTlsCertInvalid,
+};
+
+const char* to_string(TransportError error);
+
+struct FetchResult {
+  TransportError error = TransportError::kNone;
+  HttpResponse response;  ///< valid only when error == kNone
+  double latency_ms = 0.0;
+
+  /// The paper's "successful request": transport worked AND HTTP 200.
+  bool success() const {
+    return error == TransportError::kNone && response.status_code == 200;
+  }
+};
+
+/// An HTTP service bound to host:port. Receives the request, the simulated
+/// time, and the caller's region (responders can be region-sensitive).
+using HttpHandler = std::function<HttpResponse(
+    const HttpRequest&, util::SimTime now, Region from)>;
+
+class Network {
+ public:
+  Network(EventLoop& loop, std::uint64_t seed)
+      : loop_(&loop), rng_(util::Rng(seed).fork("net.latency")) {}
+
+  DnsZone& dns() { return dns_; }
+  const DnsZone& dns() const { return dns_; }
+  FaultPlan& faults() { return faults_; }
+
+  /// Hosting region per canonical host (affects latency); defaults to
+  /// Virginia when unset.
+  void set_host_region(const std::string& canonical_host, Region region);
+
+  void register_service(const std::string& host, std::uint16_t port,
+                        HttpHandler handler);
+  bool has_service(const std::string& host, std::uint16_t port) const;
+
+  /// Performs one synchronous HTTP exchange at the loop's current time.
+  FetchResult http_request(Region from, const Url& url, HttpRequest request);
+
+  /// Convenience: POST `body` to `url` with the given content type.
+  FetchResult http_post(Region from, const Url& url, util::Bytes body,
+                        const std::string& content_type);
+  FetchResult http_get(Region from, const Url& url);
+
+  util::SimTime now() const { return loop_->now(); }
+  EventLoop& loop() { return *loop_; }
+
+ private:
+  double sample_latency_ms(Region from, const std::string& host);
+
+  EventLoop* loop_;
+  util::Rng rng_;
+  DnsZone dns_;
+  FaultPlan faults_;
+  std::map<std::string, Region> host_regions_;
+  std::map<std::string, HttpHandler> services_;  ///< key "host:port"
+};
+
+}  // namespace mustaple::net

@@ -1,0 +1,54 @@
+#include "net/url.hpp"
+
+#include "util/strings.hpp"
+
+namespace mustaple::net {
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host;
+  const bool default_port =
+      (scheme == "http" && port == 80) || (scheme == "https" && port == 443);
+  if (!default_port) out += ":" + std::to_string(port);
+  out += path;
+  return out;
+}
+
+util::Result<Url> parse_url(const std::string& text) {
+  using R = util::Result<Url>;
+  Url url;
+  std::string rest;
+  if (util::starts_with(text, "http://")) {
+    url.scheme = "http";
+    url.port = 80;
+    rest = text.substr(7);
+  } else if (util::starts_with(text, "https://")) {
+    url.scheme = "https";
+    url.port = 443;
+    rest = text.substr(8);
+  } else {
+    return R::failure("url.unsupported_scheme", text);
+  }
+  const std::size_t slash = rest.find('/');
+  std::string authority = slash == std::string::npos ? rest : rest.substr(0, slash);
+  url.path = slash == std::string::npos ? "/" : rest.substr(slash);
+  const std::size_t colon = authority.find(':');
+  if (colon != std::string::npos) {
+    url.host = authority.substr(0, colon);
+    const std::string port_text = authority.substr(colon + 1);
+    if (port_text.empty()) return R::failure("url.empty_port", text);
+    std::uint32_t port = 0;
+    for (char c : port_text) {
+      if (c < '0' || c > '9') return R::failure("url.bad_port", text);
+      port = port * 10 + static_cast<std::uint32_t>(c - '0');
+      if (port > 65535) return R::failure("url.bad_port", text);
+    }
+    url.port = static_cast<std::uint16_t>(port);
+  } else {
+    url.host = authority;
+  }
+  if (url.host.empty()) return R::failure("url.empty_host", text);
+  url.host = util::to_lower(url.host);
+  return url;
+}
+
+}  // namespace mustaple::net

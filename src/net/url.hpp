@@ -1,0 +1,25 @@
+// Minimal URL parsing for http/https URLs as found in AIA and CRL-DP
+// extensions (including non-default ports like the paper's
+// http://ocsp.pki.wayport.net:2560).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace mustaple::net {
+
+struct Url {
+  std::string scheme;  ///< "http" or "https"
+  std::string host;
+  std::uint16_t port = 80;
+  std::string path = "/";
+
+  std::string to_string() const;
+};
+
+/// Parses an absolute http(s) URL; rejects other schemes.
+util::Result<Url> parse_url(const std::string& text);
+
+}  // namespace mustaple::net

@@ -1,0 +1,37 @@
+#include "net/vantage.hpp"
+
+namespace mustaple::net {
+
+const char* to_string(Region region) {
+  switch (region) {
+    case Region::kOregon:
+      return "Oregon";
+    case Region::kVirginia:
+      return "Virginia";
+    case Region::kSaoPaulo:
+      return "Sao-Paulo";
+    case Region::kParis:
+      return "Paris";
+    case Region::kSydney:
+      return "Sydney";
+    case Region::kSeoul:
+      return "Seoul";
+  }
+  return "?";
+}
+
+double base_rtt_ms(Region from, Region to) {
+  // Symmetric matrix of approximate inter-region RTTs (ms).
+  static constexpr double kRtt[kRegionCount][kRegionCount] = {
+      //            OR     VA     SP     PA     SY     SE
+      /* OR */ {5.0, 70.0, 180.0, 140.0, 160.0, 130.0},
+      /* VA */ {70.0, 5.0, 120.0, 80.0, 200.0, 180.0},
+      /* SP */ {180.0, 120.0, 5.0, 200.0, 310.0, 300.0},
+      /* PA */ {140.0, 80.0, 200.0, 5.0, 280.0, 240.0},
+      /* SY */ {160.0, 200.0, 310.0, 280.0, 5.0, 130.0},
+      /* SE */ {130.0, 180.0, 300.0, 240.0, 130.0, 5.0},
+  };
+  return kRtt[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+}  // namespace mustaple::net

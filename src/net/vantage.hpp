@@ -1,0 +1,37 @@
+// The six measurement vantage points of paper §5.1 and a simple geographic
+// latency model between them and responder hosting regions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace mustaple::net {
+
+/// Matches the paper's AWS regions exactly.
+enum class Region : std::uint8_t {
+  kOregon = 0,
+  kVirginia,
+  kSaoPaulo,
+  kParis,
+  kSydney,
+  kSeoul,
+};
+
+constexpr std::size_t kRegionCount = 6;
+
+constexpr std::array<Region, kRegionCount> all_regions() {
+  return {Region::kOregon,  Region::kVirginia, Region::kSaoPaulo,
+          Region::kParis,   Region::kSydney,   Region::kSeoul};
+}
+
+const char* to_string(Region region);
+
+/// Baseline round-trip time between two regions, in milliseconds. Derived
+/// from public inter-region RTT tables (rounded); only the ordering matters
+/// for the study's latency-shaped results.
+double base_rtt_ms(Region from, Region to);
+
+}  // namespace mustaple::net

@@ -1,0 +1,142 @@
+#include "ocsp/request.hpp"
+
+#include "asn1/der.hpp"
+#include "util/base64.hpp"
+
+namespace mustaple::ocsp {
+
+namespace {
+using asn1::Reader;
+using asn1::Tag;
+using asn1::Writer;
+using util::Result;
+}  // namespace
+
+void encode_cert_id(Writer& w, const CertId& id) {
+  w.sequence([&](Writer& cid) {
+    cid.sequence([&](Writer& alg) {
+      alg.oid(asn1::oids::sha1());
+      alg.null();
+    });
+    cid.octet_string(id.issuer_name_hash);
+    cid.octet_string(id.issuer_key_hash);
+    cid.integer_bytes(id.serial);
+  });
+}
+
+util::Result<CertId> decode_cert_id(Reader& r) {
+  using R = Result<CertId>;
+  auto seq = r.expect(Tag::kSequence);
+  if (!seq.ok()) return R::failure(seq.error().code, "certID");
+  Reader body(seq.value().content);
+  auto alg = body.expect(Tag::kSequence);
+  if (!alg.ok()) return R::failure(alg.error().code, "certID alg");
+  CertId id;
+  auto name_hash = body.read_octet_string();
+  if (!name_hash.ok()) return R::failure(name_hash.error().code, "nameHash");
+  id.issuer_name_hash = name_hash.value();
+  auto key_hash = body.read_octet_string();
+  if (!key_hash.ok()) return R::failure(key_hash.error().code, "keyHash");
+  id.issuer_key_hash = key_hash.value();
+  auto serial = body.read_integer_bytes();
+  if (!serial.ok()) return R::failure(serial.error().code, "serial");
+  id.serial = serial.value();
+  return id;
+}
+
+util::Bytes OcspRequest::encode_der() const {
+  Writer w;
+  w.sequence([&](Writer& request) {
+    request.sequence([&](Writer& tbs) {       // TBSRequest
+      tbs.sequence([&](Writer& list) {        // requestList
+        for (const auto& id : cert_ids_) {
+          list.sequence([&](Writer& single) {  // Request
+            encode_cert_id(single, id);
+          });
+        }
+      });
+      if (nonce_) {
+        // [2] EXPLICIT requestExtensions.
+        tbs.explicit_context(2, [&](Writer& wrapper) {
+          wrapper.sequence([&](Writer& exts) {
+            exts.sequence([&](Writer& ext) {
+              ext.oid(asn1::oids::ocsp_nonce());
+              ext.octet_string(*nonce_);
+            });
+          });
+        });
+      }
+    });
+  });
+  return w.take();
+}
+
+util::Result<OcspRequest> OcspRequest::parse(const util::Bytes& der) {
+  using R = Result<OcspRequest>;
+  Reader top(der);
+  auto outer = top.expect(Tag::kSequence);
+  if (!outer.ok()) return R::failure(outer.error().code, "OCSPRequest");
+  Reader req(outer.value().content);
+  auto tbs = req.expect(Tag::kSequence);
+  if (!tbs.ok()) return R::failure(tbs.error().code, "TBSRequest");
+  Reader tbs_reader(tbs.value().content);
+  auto list = tbs_reader.expect(Tag::kSequence);
+  if (!list.ok()) return R::failure(list.error().code, "requestList");
+  Reader list_reader(list.value().content);
+  std::vector<CertId> ids;
+  while (!list_reader.at_end()) {
+    auto single = list_reader.expect(Tag::kSequence);
+    if (!single.ok()) return R::failure(single.error().code, "Request");
+    Reader single_reader(single.value().content);
+    auto id = decode_cert_id(single_reader);
+    if (!id.ok()) return R::failure(id.error().code, id.error().detail);
+    ids.push_back(id.value());
+  }
+  if (ids.empty()) return R::failure("ocsp.request.empty", "no CertIDs");
+  OcspRequest request(std::move(ids));
+
+  // Optional [2] requestExtensions: pick out the nonce.
+  if (!tbs_reader.at_end() &&
+      tbs_reader.peek_tag() == asn1::context_tag(2, /*constructed=*/true)) {
+    auto wrapper = tbs_reader.expect_context(2, true);
+    if (!wrapper.ok()) return R::failure(wrapper.error().code, "extensions");
+    Reader ext_outer(wrapper.value().content);
+    auto exts = ext_outer.expect(Tag::kSequence);
+    if (!exts.ok()) return R::failure(exts.error().code, "extensions");
+    Reader exts_reader(exts.value().content);
+    while (!exts_reader.at_end()) {
+      auto ext = exts_reader.expect(Tag::kSequence);
+      if (!ext.ok()) return R::failure(ext.error().code, "extension");
+      Reader ext_reader(ext.value().content);
+      auto oid = ext_reader.read_oid();
+      if (!oid.ok()) return R::failure(oid.error().code, "extension oid");
+      auto value = ext_reader.read_octet_string();
+      if (!value.ok()) return R::failure(value.error().code, "extension value");
+      if (oid.value() == asn1::oids::ocsp_nonce()) {
+        request.set_nonce(value.value());
+      }
+    }
+  }
+  return request;
+}
+
+std::string OcspRequest::encode_get_path() const {
+  return "/" + util::base64url_encode(encode_der());
+}
+
+util::Result<OcspRequest> OcspRequest::parse_get_path(const std::string& path) {
+  using R = Result<OcspRequest>;
+  if (path.empty() || path[0] != '/') {
+    return R::failure("ocsp.get.bad_path", path);
+  }
+  const std::string encoded = path.substr(1);
+  auto der = util::base64url_decode(encoded);
+  if (!der.ok()) {
+    // Real clients often use standard base64 in GET paths; accept both.
+    der = util::base64_decode(encoded);
+    if (!der.ok()) return R::failure(der.error().code, "GET path");
+  }
+  return parse(der.value());
+}
+
+}  // namespace mustaple::ocsp

@@ -1,0 +1,50 @@
+// OCSPRequest (RFC 6960 §4.1): carried as the body of an HTTP POST to the
+// responder URL from the certificate's AIA extension — the paper's
+// measurement client does exactly this (§5.1 step 4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ocsp/types.hpp"
+#include "util/result.hpp"
+
+namespace mustaple::ocsp {
+
+class OcspRequest {
+ public:
+  OcspRequest() = default;
+  explicit OcspRequest(std::vector<CertId> cert_ids)
+      : cert_ids_(std::move(cert_ids)) {}
+
+  static OcspRequest single(CertId id) { return OcspRequest({std::move(id)}); }
+
+  const std::vector<CertId>& cert_ids() const { return cert_ids_; }
+
+  /// RFC 6960 §4.4.1 nonce (anti-replay). Pre-generated responders cannot
+  /// echo nonces — a structural tension with response caching.
+  void set_nonce(util::Bytes nonce) { nonce_ = std::move(nonce); }
+  const std::optional<util::Bytes>& nonce() const { return nonce_; }
+
+  util::Bytes encode_der() const;
+  static util::Result<OcspRequest> parse(const util::Bytes& der);
+
+  /// RFC 6960 Appendix A.1: the GET form's path segment — the DER request,
+  /// base64url-encoded.
+  std::string encode_get_path() const;
+  /// Parses a GET path ("/" + base64); accepts standard or URL-safe base64.
+  static util::Result<OcspRequest> parse_get_path(const std::string& path);
+
+ private:
+  std::vector<CertId> cert_ids_;
+  std::optional<util::Bytes> nonce_;
+};
+
+/// Writes a CertID SEQUENCE into `w` (shared with the response encoder).
+void encode_cert_id(asn1::Writer& w, const CertId& id);
+
+/// Reads a CertID SEQUENCE from `r`.
+util::Result<CertId> decode_cert_id(asn1::Reader& r);
+
+}  // namespace mustaple::ocsp

@@ -1,0 +1,115 @@
+#include "ocsp/verify.hpp"
+
+namespace mustaple::ocsp {
+
+const char* to_string(CheckOutcome outcome) {
+  switch (outcome) {
+    case CheckOutcome::kOk:
+      return "ok";
+    case CheckOutcome::kUnparseable:
+      return "asn1-unparseable";
+    case CheckOutcome::kNotSuccessful:
+      return "not-successful";
+    case CheckOutcome::kSerialMismatch:
+      return "serial-mismatch";
+    case CheckOutcome::kBadSignature:
+      return "bad-signature";
+    case CheckOutcome::kNotYetValid:
+      return "not-yet-valid";
+    case CheckOutcome::kExpired:
+      return "expired";
+    case CheckOutcome::kNonceMismatch:
+      return "nonce-mismatch";
+  }
+  return "?";
+}
+
+VerifiedResponse verify_ocsp_response_static(
+    const util::Bytes& raw_body, const CertId& requested,
+    const crypto::PublicKey& issuer_key,
+    const std::optional<util::Bytes>& expected_nonce) {
+  VerifiedResponse out;
+
+  auto parsed = OcspResponse::parse(raw_body);
+  if (!parsed.ok()) {
+    out.outcome = CheckOutcome::kUnparseable;
+    out.error_code = parsed.error().code;
+    return out;
+  }
+  const OcspResponse response = std::move(parsed).take();
+
+  if (!response.successful()) {
+    out.outcome = CheckOutcome::kNotSuccessful;
+    out.error_code = to_string(response.response_status());
+    return out;
+  }
+
+  out.num_certs = response.certs().size();
+  out.num_serials = response.responses().size();
+  out.produced_at = response.produced_at();
+
+  const SingleResponse* single = response.find_by_serial(requested.serial);
+  if (single == nullptr) {
+    out.outcome = CheckOutcome::kSerialMismatch;
+    return out;
+  }
+  out.status = single->status;
+  out.revoked = single->revoked;
+  out.this_update = single->this_update;
+  out.next_update = single->next_update;
+
+  // Signature: first try OCSP Signature Authority Delegation — a certificate
+  // embedded in the response, itself signed by the issuer (paper §2.2) —
+  // then fall back to the issuer key directly.
+  bool signature_ok = false;
+  for (const auto& cert : response.certs()) {
+    if (!cert.verify_signature(issuer_key)) continue;  // not a delegation cert
+    if (response.verify_signature(cert.public_key())) {
+      signature_ok = true;
+      break;
+    }
+  }
+  if (!signature_ok) {
+    signature_ok = response.verify_signature(issuer_key);
+  }
+  if (!signature_ok) {
+    out.outcome = CheckOutcome::kBadSignature;
+    return out;
+  }
+
+  // Strict-nonce policy: a client that sent a nonce expects it echoed.
+  if (expected_nonce &&
+      (!response.nonce() || *response.nonce() != *expected_nonce)) {
+    out.outcome = CheckOutcome::kNonceMismatch;
+    return out;
+  }
+
+  out.outcome = CheckOutcome::kOk;  // clock-dependent checks still pending
+  return out;
+}
+
+VerifiedResponse apply_time_checks(VerifiedResponse static_result,
+                                   util::SimTime now) {
+  if (static_result.outcome != CheckOutcome::kOk) return static_result;
+  // Validity window against the client clock. A missing nextUpdate means the
+  // response is "technically always regarded as valid" (paper §5.4).
+  if (static_result.this_update > now) {
+    static_result.outcome = CheckOutcome::kNotYetValid;
+    return static_result;
+  }
+  if (static_result.next_update && *static_result.next_update < now) {
+    static_result.outcome = CheckOutcome::kExpired;
+    return static_result;
+  }
+  return static_result;
+}
+
+VerifiedResponse verify_ocsp_response(const util::Bytes& raw_body,
+                                      const CertId& requested,
+                                      const crypto::PublicKey& issuer_key,
+                                      util::SimTime now) {
+  return apply_time_checks(
+      verify_ocsp_response_static(raw_body, requested, issuer_key), now);
+}
+
+}  // namespace mustaple::ocsp

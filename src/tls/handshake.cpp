@@ -1,0 +1,89 @@
+#include "tls/handshake.hpp"
+
+namespace mustaple::tls {
+
+void TlsDirectory::bind(const std::string& host, ServerHandshakeFn handler) {
+  endpoints_[host] = std::move(handler);
+}
+
+bool TlsDirectory::has(const std::string& host) const {
+  return endpoints_.count(host) > 0;
+}
+
+std::optional<ServerHello> TlsDirectory::connect(const ClientHello& hello,
+                                                 util::SimTime now) const {
+  const auto it = endpoints_.find(hello.server_name);
+  if (it == endpoints_.end()) return std::nullopt;
+  return it->second(hello, now);
+}
+
+HandshakeObservation observe_handshake(const TlsDirectory& directory,
+                                       const ClientHello& hello,
+                                       const x509::RootStore& roots,
+                                       util::SimTime now,
+                                       ServerHello& server_hello_out) {
+  HandshakeObservation obs;
+  auto server = directory.connect(hello, now);
+  if (!server || server->connection_failed) return obs;
+  server_hello_out = std::move(*server);
+  if (server_hello_out.chain.empty()) return obs;
+
+  obs.connected = true;
+  obs.handshake_delay_ms = server_hello_out.extra_delay_ms;
+  obs.leaf = &server_hello_out.chain.front();
+  obs.must_staple = obs.leaf->extensions().must_staple;
+
+  const x509::ChainResult chain =
+      x509::verify_chain(server_hello_out.chain, roots, now);
+  obs.chain_error = chain.error;
+  obs.certificate_valid = chain.ok();
+
+  // RFC 6961 multi-staple validation: entry i covers chain[i], verified
+  // against chain[i+1]'s key (or the trusted root for the top element).
+  if (hello.status_request_v2 && !server_hello_out.stapled_ocsp_list.empty()) {
+    const auto& chain = server_hello_out.chain;
+    for (std::size_t i = 0; i < server_hello_out.stapled_ocsp_list.size() &&
+                            i < chain.size();
+         ++i) {
+      const x509::Certificate* issuer = nullptr;
+      if (i + 1 < chain.size()) {
+        issuer = &chain[i + 1];
+      } else {
+        issuer = roots.find_issuer(chain[i].issuer());
+      }
+      if (issuer == nullptr) {
+        obs.staple_chain_checks.emplace_back();  // defaults to kUnparseable
+        continue;
+      }
+      const ocsp::CertId id = ocsp::CertId::for_certificate(chain[i], *issuer);
+      obs.staple_chain_checks.push_back(ocsp::verify_ocsp_response(
+          server_hello_out.stapled_ocsp_list[i], id, issuer->public_key(),
+          now));
+    }
+  }
+
+  // A server must not send CertificateStatus unless the client solicited it;
+  // enforce the RFC 6066 contract here.
+  if (hello.status_request && server_hello_out.stapled_ocsp) {
+    obs.staple_present = true;
+    // The staple is validated against the leaf's ISSUER key: that is the key
+    // that signed the certificate and (directly or via delegation) the OCSP
+    // response. With a chain of length one (self-signed), use its own key.
+    const crypto::PublicKey& issuer_key =
+        server_hello_out.chain.size() > 1
+            ? server_hello_out.chain[1].public_key()
+            : server_hello_out.chain[0].public_key();
+    const x509::Certificate& issuer =
+        server_hello_out.chain.size() > 1 ? server_hello_out.chain[1]
+                                          : server_hello_out.chain[0];
+    const ocsp::CertId id = ocsp::CertId::for_certificate(*obs.leaf, issuer);
+    obs.staple_check = ocsp::verify_ocsp_response(
+        *server_hello_out.stapled_ocsp, id, issuer_key.empty()
+                                                ? obs.leaf->public_key()
+                                                : issuer_key,
+        now);
+  }
+  return obs;
+}
+
+}  // namespace mustaple::tls

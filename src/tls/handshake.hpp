@@ -1,0 +1,100 @@
+// A TLS-1.2-shaped handshake model carrying exactly the artifacts the study
+// measures: the client's Certificate Status Request (status_request,
+// RFC 6066) extension, the server's certificate chain, and the optional
+// CertificateStatus message with a stapled OCSP response (RFC 6960 /
+// RFC 6961). Record-layer crypto is not modelled — none of the paper's
+// measurements depend on it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ocsp/verify.hpp"
+#include "util/bytes.hpp"
+#include "util/sim_time.hpp"
+#include "x509/verify.hpp"
+
+namespace mustaple::tls {
+
+/// ClientHello, reduced to what matters: SNI + status_request(_v2).
+struct ClientHello {
+  std::string server_name;
+  /// True when the client advertises the Certificate Status Request
+  /// extension — Table 2 row "Request OCSP response".
+  bool status_request = false;
+  /// RFC 6961 status_request_v2: solicit staples for the WHOLE chain. The
+  /// paper (§2.3) notes this extension "has yet to see wide adoption"; it
+  /// is implemented here for the what-if analyses.
+  bool status_request_v2 = false;
+};
+
+/// The server's half of the handshake.
+struct ServerHello {
+  std::vector<x509::Certificate> chain;  ///< leaf first
+  /// CertificateStatus message: a DER OCSPResponse, present only if the
+  /// server stapled one (and the client asked).
+  std::optional<util::Bytes> stapled_ocsp;
+  /// RFC 6961 ocsp_multi: one DER OCSPResponse per chain element (entries
+  /// may be empty when the server has nothing for that position). Sent only
+  /// when the client advertised status_request_v2.
+  std::vector<util::Bytes> stapled_ocsp_list;
+  /// Extra handshake delay imposed by the server (e.g. Apache pausing the
+  /// handshake while it fetches an OCSP response on demand — Table 3).
+  double extra_delay_ms = 0.0;
+  /// Simulated handshake failure (server down / refused).
+  bool connection_failed = false;
+};
+
+/// Server-side handshake entry point: a web-server model bound to a name.
+using ServerHandshakeFn =
+    std::function<ServerHello(const ClientHello&, util::SimTime now)>;
+
+/// Name → TLS endpoint directory for the simulated web. The TLS-handshake
+/// scans of §7.1 walk this directory the way Censys walks Alexa domains.
+class TlsDirectory {
+ public:
+  void bind(const std::string& host, ServerHandshakeFn handler);
+  bool has(const std::string& host) const;
+
+  /// Performs the handshake; returns nullopt if no endpoint exists.
+  std::optional<ServerHello> connect(const ClientHello& hello,
+                                     util::SimTime now) const;
+
+  std::size_t size() const { return endpoints_.size(); }
+
+ private:
+  std::map<std::string, ServerHandshakeFn> endpoints_;
+};
+
+/// What a client concluded from one handshake (before applying its
+/// hard/soft-fail policy — that policy lives in the browser module).
+struct HandshakeObservation {
+  bool connected = false;
+  bool certificate_valid = false;  ///< chain verified to a root
+  x509::ChainError chain_error = x509::ChainError::kOk;
+  bool must_staple = false;        ///< leaf carries the Must-Staple extension
+  bool staple_present = false;
+  /// Client-side validation of the stapled response, when present.
+  std::optional<ocsp::VerifiedResponse> staple_check;
+  /// RFC 6961 path: per-chain-position validations (index-aligned with the
+  /// served chain; missing staples yield entries with kUnparseable).
+  std::vector<ocsp::VerifiedResponse> staple_chain_checks;
+  double handshake_delay_ms = 0.0;
+
+  const x509::Certificate* leaf = nullptr;  ///< into the ServerHello's chain
+};
+
+/// Runs the client side of a handshake: connect, validate the chain against
+/// `roots`, and (if a staple came back) validate it against the leaf's
+/// issuer key. `hello.status_request` controls whether a staple is even
+/// solicited. The returned observation references `server_hello`'s chain.
+HandshakeObservation observe_handshake(const TlsDirectory& directory,
+                                       const ClientHello& hello,
+                                       const x509::RootStore& roots,
+                                       util::SimTime now,
+                                       ServerHello& server_hello_out);
+
+}  // namespace mustaple::tls

@@ -1,0 +1,163 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace mustaple::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+std::string fmt_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 100000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& opt) {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    if (s.x.size() != s.y.size()) continue;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double xv = s.x[i];
+      if (opt.log_x) {
+        if (xv <= 0) continue;
+        xv = std::log10(xv);
+      }
+      if (!std::isfinite(xv) || !std::isfinite(s.y[i])) continue;
+      x_min = std::min(x_min, xv);
+      x_max = std::max(x_max, xv);
+      y_min = std::min(y_min, s.y[i]);
+      y_max = std::max(y_max, s.y[i]);
+      any = true;
+    }
+  }
+  std::ostringstream out;
+  if (!opt.title.empty()) out << opt.title << "\n";
+  if (!any) {
+    out << "(no data)\n";
+    return out.str();
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  const int w = std::max(opt.width, 10);
+  const int h = std::max(opt.height, 4);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    if (s.x.size() != s.y.size()) continue;
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double xv = s.x[i];
+      if (opt.log_x) {
+        if (xv <= 0) continue;
+        xv = std::log10(xv);
+      }
+      if (!std::isfinite(xv) || !std::isfinite(s.y[i])) continue;
+      int col = static_cast<int>(std::lround((xv - x_min) / (x_max - x_min) *
+                                             (w - 1)));
+      int row = static_cast<int>(std::lround((s.y[i] - y_min) /
+                                             (y_max - y_min) * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - row)]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  const std::string y_hi = fmt_num(y_max);
+  const std::string y_lo = fmt_num(y_min);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size()) + 1;
+  for (int r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = y_hi + std::string(margin - y_hi.size(), ' ');
+    if (r == h - 1) label = y_lo + std::string(margin - y_lo.size(), ' ');
+    out << label << "|" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  out << std::string(margin, ' ') << "+" << std::string(static_cast<std::size_t>(w), '-')
+      << "\n";
+  const std::string x_lo = opt.log_x ? ("10^" + fmt_num(x_min)) : fmt_num(x_min);
+  const std::string x_hi = opt.log_x ? ("10^" + fmt_num(x_max)) : fmt_num(x_max);
+  out << std::string(margin + 1, ' ') << x_lo
+      << std::string(
+             std::max<std::size_t>(
+                 1, static_cast<std::size_t>(w) - x_lo.size() - x_hi.size()),
+             ' ')
+      << x_hi << "\n";
+  if (!opt.x_label.empty() || !opt.y_label.empty()) {
+    out << std::string(margin + 1, ' ') << "x: " << opt.x_label
+        << "   y: " << opt.y_label << "\n";
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kGlyphs[si % sizeof(kGlyphs)] << " = " << series[si].label
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string render_cdf(const Cdf& cdf, const ChartOptions& options) {
+  Series s;
+  s.label = "CDF";
+  const auto values = cdf.sorted_finite();
+  const auto n = static_cast<double>(cdf.count());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s.add(values[i], static_cast<double>(i + 1) / n);
+  }
+  std::string body = render_chart({s}, options);
+  if (cdf.infinite_fraction() > 0.0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  (plus %.1f%% of mass at +infinity, not plotted)\n",
+                  cdf.infinite_fraction() * 100.0);
+    body += buf;
+  }
+  return body;
+}
+
+std::string render_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < headers.size() && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string sep = "+";
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+  std::string out = sep + line(headers) + sep;
+  for (const auto& row : rows) out += line(row);
+  out += sep;
+  return out;
+}
+
+}  // namespace mustaple::util

@@ -1,0 +1,35 @@
+// Terminal rendering for benchmark output: the bench binaries print the
+// paper's figures as ASCII line charts / CDFs so the "shape" comparison can
+// be made without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mustaple::util {
+
+struct ChartOptions {
+  int width = 72;        ///< plot area columns
+  int height = 16;       ///< plot area rows
+  bool log_x = false;    ///< log10 x axis (paper uses it for CDF tails)
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders one or more series on shared axes. Each series gets a distinct
+/// glyph; a legend is appended. Series with mismatched x/y sizes are skipped.
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options);
+
+/// Renders an empirical CDF (y is the cumulative fraction 0..1).
+std::string render_cdf(const Cdf& cdf, const ChartOptions& options);
+
+/// Renders a fixed-width text table. `rows` must all have `headers.size()`
+/// cells (short rows are padded).
+std::string render_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mustaple::util

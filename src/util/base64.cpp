@@ -1,0 +1,108 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+namespace mustaple::util {
+
+namespace {
+
+constexpr char kStandard[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr char kUrlSafe[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::string encode_with(const Bytes& data, const char* alphabet, bool pad) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(alphabet[(v >> 18) & 0x3f]);
+    out.push_back(alphabet[(v >> 12) & 0x3f]);
+    out.push_back(alphabet[(v >> 6) & 0x3f]);
+    out.push_back(alphabet[v & 0x3f]);
+    i += 3;
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(alphabet[(v >> 18) & 0x3f]);
+    out.push_back(alphabet[(v >> 12) & 0x3f]);
+    if (pad) {
+      out.push_back('=');
+      out.push_back('=');
+    }
+  } else if (rest == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(alphabet[(v >> 18) & 0x3f]);
+    out.push_back(alphabet[(v >> 12) & 0x3f]);
+    out.push_back(alphabet[(v >> 6) & 0x3f]);
+    if (pad) out.push_back('=');
+  }
+  return out;
+}
+
+std::array<std::int8_t, 256> make_table(const char* alphabet) {
+  std::array<std::int8_t, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<std::size_t>(
+        static_cast<unsigned char>(alphabet[i]))] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+Result<Bytes> decode_with(const std::string& text,
+                          const std::array<std::int8_t, 256>& table) {
+  using R = Result<Bytes>;
+  // Strip padding.
+  std::size_t length = text.size();
+  while (length > 0 && text[length - 1] == '=') --length;
+  if (length % 4 == 1) return R::failure("base64.bad_length");
+
+  Bytes out;
+  out.reserve(length / 4 * 3 + 2);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::int8_t v =
+        table[static_cast<std::size_t>(static_cast<unsigned char>(text[i]))];
+    if (v < 0) return R::failure("base64.bad_character", std::string(1, text[i]));
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits));
+    }
+  }
+  // Leftover bits must be zero (canonical encoding).
+  if (bits > 0 && (acc & ((1u << bits) - 1)) != 0) {
+    return R::failure("base64.nonzero_trailing_bits");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string base64_encode(const Bytes& data) {
+  return encode_with(data, kStandard, /*pad=*/true);
+}
+
+Result<Bytes> base64_decode(const std::string& text) {
+  static const auto table = make_table(kStandard);
+  return decode_with(text, table);
+}
+
+std::string base64url_encode(const Bytes& data) {
+  return encode_with(data, kUrlSafe, /*pad=*/false);
+}
+
+Result<Bytes> base64url_decode(const std::string& text) {
+  static const auto table = make_table(kUrlSafe);
+  return decode_with(text, table);
+}
+
+}  // namespace mustaple::util

@@ -1,0 +1,90 @@
+// Minimal Result<T> for recoverable errors (parse failures, protocol errors).
+// Exceptions remain for programming errors and constructor failures, per the
+// Core Guidelines; Result is used where a failure is an expected outcome the
+// measurement code must classify rather than abort on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mustaple::util {
+
+/// Error payload: a machine-readable code plus human-readable detail.
+struct Error {
+  std::string code;    ///< stable identifier, e.g. "asn1.bad_length"
+  std::string detail;  ///< free-form context for diagnostics
+
+  std::string to_string() const {
+    return detail.empty() ? code : code + ": " + detail;
+  }
+};
+
+/// A value-or-error holder. `ok()` must be checked before `value()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string code, std::string detail = {}) {
+    return Result(Error{std::move(code), std::move(detail)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  T&& take() && {
+    require_ok();
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() called on success");
+    return std::get<Error>(storage_);
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Error>(storage_).to_string());
+    }
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status success() { return Status(); }
+  static Status failure(std::string code, std::string detail = {}) {
+    return Status(Error{std::move(code), std::move(detail)});
+  }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error() called on success");
+    return error_;
+  }
+
+ private:
+  Error error_{};
+  bool failed_ = false;
+};
+
+}  // namespace mustaple::util

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random generation. Every stochastic element of the
+// simulation (ecosystem synthesis, fault schedules, latency jitter) derives
+// from a single seed so that whole experiments replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mustaple::util {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, and reproducible across
+/// platforms (unlike std::mt19937 distributions, whose mapping functions are
+/// implementation-defined — we implement our own mappings below).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent child stream, keyed by a label. Used to give each
+  /// subsystem (faults, latency, ecosystem, ...) its own stream so adding
+  /// draws in one subsystem does not perturb another.
+  Rng fork(std::string_view label) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) with rejection sampling; bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Gaussian-ish value (sum of 4 uniforms, CLT approximation) with the given
+  /// mean/stddev. Adequate for latency jitter; avoids transcendental calls.
+  double normal_approx(double mean, double stddev);
+
+  /// Picks an index according to non-negative weights (at least one positive).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fills a buffer with random bytes.
+  void fill(std::uint8_t* out, std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mustaple::util

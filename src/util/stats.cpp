@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mustaple::util {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Cdf::quantile on empty CDF");
+  if (q <= 0.0 || q > 1.0) throw std::invalid_argument("Cdf::quantile: q out of range");
+  ensure_sorted();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())) - 1);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Cdf::infinite_fraction() const {
+  if (samples_.empty()) return 0.0;
+  std::size_t inf = 0;
+  for (double s : samples_) {
+    if (std::isinf(s)) ++inf;
+  }
+  return static_cast<double>(inf) / static_cast<double>(samples_.size());
+}
+
+std::vector<double> Cdf::sorted_finite() const {
+  ensure_sorted();
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (double s : samples_) {
+    if (!std::isinf(s)) out.push_back(s);
+  }
+  return out;
+}
+
+BinnedRatio::BinnedRatio(double x_min, double x_max, std::size_t bins)
+    : x_min_(x_min),
+      width_((x_max - x_min) / static_cast<double>(bins)),
+      hits_(bins, 0),
+      totals_(bins, 0) {
+  if (bins == 0 || x_max <= x_min) {
+    throw std::invalid_argument("BinnedRatio: bad range or zero bins");
+  }
+}
+
+void BinnedRatio::add(double x, bool hit) {
+  if (x < x_min_) return;
+  auto idx = static_cast<std::size_t>((x - x_min_) / width_);
+  if (idx >= totals_.size()) {
+    if (x <= x_min_ + width_ * static_cast<double>(totals_.size())) {
+      idx = totals_.size() - 1;  // right edge belongs to the last bin
+    } else {
+      return;
+    }
+  }
+  ++totals_[idx];
+  if (hit) ++hits_[idx];
+}
+
+double BinnedRatio::bin_center(std::size_t i) const {
+  return x_min_ + width_ * (static_cast<double>(i) + 0.5);
+}
+
+double BinnedRatio::percentage(std::size_t i) const {
+  if (totals_[i] == 0) return 0.0;
+  return 100.0 * static_cast<double>(hits_[i]) / static_cast<double>(totals_[i]);
+}
+
+}  // namespace mustaple::util

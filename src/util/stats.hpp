@@ -1,0 +1,94 @@
+// Small statistics toolkit used by the analysis layer: online summary stats,
+// empirical CDFs (the paper's favourite presentation), and time-binned series.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mustaple::util {
+
+/// Welford-style online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance; 0 for n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Empirical CDF over a finite sample. Supports +infinity samples (the paper
+/// treats blank nextUpdate as an infinite validity period).
+class Cdf {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_infinite() { add(std::numeric_limits<double>::infinity()); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Fraction of samples <= x. Sorts lazily.
+  double fraction_at_most(double x) const;
+
+  /// Smallest sample value v with fraction_at_most(v) >= q, for q in (0,1].
+  /// Returns +inf if the quantile falls in the infinite mass.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+
+  /// Fraction of samples that are +infinity.
+  double infinite_fraction() const;
+
+  /// Sorted finite samples (for plotting). Infinite samples are excluded.
+  std::vector<double> sorted_finite() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// A labelled (x, y) series, e.g. success rate per simulated hour.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+/// Counts per fixed-width bin over a range of x (e.g. Alexa rank bins of
+/// 10,000). Tracks numerator/denominator so callers get percentages.
+class BinnedRatio {
+ public:
+  BinnedRatio(double x_min, double x_max, std::size_t bins);
+
+  void add(double x, bool hit);
+  std::size_t bins() const { return hits_.size(); }
+  double bin_center(std::size_t i) const;
+  /// Percentage (0..100) of hits in bin i; 0 when the bin is empty.
+  double percentage(std::size_t i) const;
+  std::size_t total(std::size_t i) const { return totals_[i]; }
+
+ private:
+  double x_min_;
+  double width_;
+  std::vector<std::size_t> hits_;
+  std::vector<std::size_t> totals_;
+};
+
+}  // namespace mustaple::util

@@ -1,0 +1,28 @@
+// String helpers used across HTTP parsing, DNS names, and report rendering.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mustaple::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mustaple::util

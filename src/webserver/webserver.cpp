@@ -1,0 +1,303 @@
+#include "webserver/webserver.hpp"
+
+#include "ocsp/request.hpp"
+#include "ocsp/verify.hpp"
+
+namespace mustaple::webserver {
+
+const char* to_string(Software software) {
+  switch (software) {
+    case Software::kApache:
+      return "apache";
+    case Software::kNginx:
+      return "nginx";
+    case Software::kIdeal:
+      return "ideal";
+  }
+  return "?";
+}
+
+WebServer::WebServer(std::string domain, std::vector<x509::Certificate> chain,
+                     WebServerConfig config, net::Network& network)
+    : domain_(std::move(domain)),
+      chain_(std::move(chain)),
+      config_(config),
+      network_(&network) {
+  if (chain_.empty()) {
+    throw std::invalid_argument("WebServer: empty certificate chain");
+  }
+  const auto& urls = chain_.front().extensions().ocsp_urls;
+  if (!urls.empty()) {
+    auto parsed = net::parse_url(urls.front());
+    if (parsed.ok()) ocsp_url_ = parsed.value();
+  }
+}
+
+void WebServer::install(tls::TlsDirectory& directory) {
+  directory.bind(domain_,
+                 [this](const tls::ClientHello& hello, util::SimTime now) {
+                   return handshake(hello, now);
+                 });
+}
+
+tls::ServerHello WebServer::hello_with(std::optional<util::Bytes> staple,
+                                       double delay_ms) const {
+  tls::ServerHello hello;
+  hello.chain = chain_;
+  hello.stapled_ocsp = std::move(staple);
+  hello.extra_delay_ms = delay_ms;
+  return hello;
+}
+
+WebServer::FetchOutcome WebServer::fetch_staple(util::SimTime now) {
+  FetchOutcome outcome;
+  last_fetch_attempt_ = now;
+  ++fetch_count_;
+  if (!ocsp_url_) return outcome;
+
+  // Build a real OCSPRequest for the leaf (issuer = next chain element).
+  const x509::Certificate& issuer = chain_.size() > 1 ? chain_[1] : chain_[0];
+  const auto id = ocsp::CertId::for_certificate(chain_.front(), issuer);
+  const auto request = ocsp::OcspRequest::single(id);
+
+  net::FetchResult result = network_->http_post(
+      config_.region, *ocsp_url_, request.encode_der(),
+      "application/ocsp-request");
+  outcome.latency_ms = result.latency_ms;
+  if (result.error != net::TransportError::kNone ||
+      result.response.status_code != 200) {
+    return outcome;  // transport_ok stays false
+  }
+  outcome.transport_ok = true;
+
+  auto parsed = ocsp::OcspResponse::parse(result.response.body);
+  if (!parsed.ok()) return outcome;  // unparseable body: nothing cacheable
+
+  // ssl_stapling_verify: refuse to cache a response that would not pass the
+  // client's own checks (wrong serial, bad signature). Off by default, as
+  // it is in the wild.
+  if (config_.verify_staple && parsed.value().successful()) {
+    const x509::Certificate& issuer = chain_.size() > 1 ? chain_[1] : chain_[0];
+    const auto verdict = ocsp::verify_ocsp_response_static(
+        result.response.body,
+        ocsp::CertId::for_certificate(chain_.front(), issuer),
+        issuer.public_key());
+    if (verdict.outcome != ocsp::CheckOutcome::kOk) return outcome;
+  }
+
+  CacheEntry entry;
+  entry.der = result.response.body;
+  entry.fetched_at = now;
+  entry.is_error_response = !parsed.value().successful();
+  if (!entry.is_error_response) {
+    const auto* single =
+        parsed.value().find_by_serial(chain_.front().serial());
+    if (single != nullptr) entry.expiry = single->next_update;
+  }
+  outcome.entry = std::move(entry);
+  return outcome;
+}
+
+void WebServer::enable_multi_staple(x509::Certificate root) {
+  multi_staple_root_ = std::move(root);
+  config_.multi_staple = true;
+}
+
+WebServer::FetchOutcome WebServer::fetch_chain_staple(util::SimTime now) {
+  FetchOutcome outcome;
+  if (!ocsp_url_ || chain_.size() < 2 || !multi_staple_root_) return outcome;
+  // CertID for the INTERMEDIATE, issued by the root.
+  const auto id =
+      ocsp::CertId::for_certificate(chain_[1], *multi_staple_root_);
+  const auto request = ocsp::OcspRequest::single(id);
+  net::FetchResult result = network_->http_post(
+      config_.region, *ocsp_url_, request.encode_der(),
+      "application/ocsp-request");
+  outcome.latency_ms = result.latency_ms;
+  if (result.error != net::TransportError::kNone ||
+      result.response.status_code != 200) {
+    return outcome;
+  }
+  outcome.transport_ok = true;
+  auto parsed = ocsp::OcspResponse::parse(result.response.body);
+  if (!parsed.ok()) return outcome;
+  CacheEntry entry;
+  entry.der = result.response.body;
+  entry.fetched_at = now;
+  entry.is_error_response = !parsed.value().successful();
+  if (!entry.is_error_response) {
+    const auto* single = parsed.value().find_by_serial(chain_[1].serial());
+    if (single != nullptr) entry.expiry = single->next_update;
+  }
+  outcome.entry = std::move(entry);
+  return outcome;
+}
+
+tls::ServerHello WebServer::handshake(const tls::ClientHello& hello,
+                                      util::SimTime now) {
+  const bool wants_staple = hello.status_request && config_.stapling_enabled;
+  tls::ServerHello response;
+  switch (config_.software) {
+    case Software::kApache:
+      response = handshake_apache(wants_staple, now);
+      break;
+    case Software::kNginx:
+      response = handshake_nginx(wants_staple, now);
+      break;
+    case Software::kIdeal:
+      response = handshake_ideal(wants_staple, now);
+      break;
+  }
+  // RFC 6961 ocsp_multi: only when the client advertised v2 and this server
+  // supports it (Ideal only).
+  if (hello.status_request_v2 && config_.multi_staple &&
+      config_.software == Software::kIdeal && config_.stapling_enabled) {
+    util::Bytes leaf_staple;
+    if (cache_ && !cache_->is_error_response &&
+        !(cache_->expiry && *cache_->expiry < now)) {
+      leaf_staple = cache_->der;
+    }
+    util::Bytes chain_staple;
+    if (chain_cache_ && !chain_cache_->is_error_response &&
+        !(chain_cache_->expiry && *chain_cache_->expiry < now)) {
+      chain_staple = chain_cache_->der;
+    }
+    response.stapled_ocsp_list = {leaf_staple, chain_staple};
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Apache: on-demand fetch that PAUSES the handshake; cache refreshed on its
+// own TTL regardless of nextUpdate (serves expired responses); on a refresh
+// error the old response is deleted and any OCSP *error response* from the
+// responder is stapled to clients.
+// ---------------------------------------------------------------------------
+tls::ServerHello WebServer::handshake_apache(bool wants_staple,
+                                             util::SimTime now) {
+  if (!wants_staple) return hello_with(std::nullopt, 0.0);
+
+  const bool cache_fresh =
+      cache_ && (now - cache_->fetched_at) < config_.apache_cache_ttl;
+  if (cache_fresh) {
+    // NOTE: no nextUpdate check — the Table 3 "respect nextUpdate: no" bug
+    // (Apache Bugzilla #62400, reported by the authors).
+    return hello_with(cache_->der, 0.0);
+  }
+
+  // Fetch on demand, pausing this client's handshake.
+  FetchOutcome outcome = fetch_staple(now);
+  if (outcome.entry && !outcome.entry->is_error_response) {
+    cache_ = outcome.entry;
+    return hello_with(cache_->der, outcome.latency_ms);
+  }
+  // Error path: delete the old (possibly still valid) response.
+  cache_.reset();
+  if (outcome.entry && outcome.entry->is_error_response) {
+    // Apache staples the responder's error response itself.
+    return hello_with(outcome.entry->der, outcome.latency_ms);
+  }
+  return hello_with(std::nullopt, outcome.latency_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Nginx: no prefetch — the first client gets NO staple while the fetch
+// happens in the background; the cache respects nextUpdate; refreshes are
+// rate-limited to one per 5 minutes (so sub-5-minute validity periods can
+// leak expired responses); on refresh error the old response is retained
+// and served until it expires.
+// ---------------------------------------------------------------------------
+tls::ServerHello WebServer::handshake_nginx(bool wants_staple,
+                                            util::SimTime now) {
+  if (!wants_staple) return hello_with(std::nullopt, 0.0);
+
+  const bool throttled =
+      last_fetch_attempt_ &&
+      (now - *last_fetch_attempt_) < config_.nginx_refresh_floor;
+
+  if (cache_ && !cache_->is_error_response) {
+    const bool expired = cache_->expiry && *cache_->expiry < now;
+    if (!expired) return hello_with(cache_->der, 0.0);
+    if (throttled) {
+      // Footnote 28: within the refresh floor an EXPIRED cached response is
+      // still handed to clients.
+      return hello_with(cache_->der, 0.0);
+    }
+    // Expired and allowed to refresh: background fetch; this client gets
+    // nothing this round if the fetch fails.
+    FetchOutcome outcome = fetch_staple(now);
+    if (outcome.entry && !outcome.entry->is_error_response) {
+      cache_ = outcome.entry;
+      return hello_with(cache_->der, 0.0);
+    }
+    // Retain the (expired) entry for throttle bookkeeping; staple nothing.
+    return hello_with(std::nullopt, 0.0);
+  }
+
+  // Cold cache: first client never gets a staple; trigger background fetch.
+  if (!throttled) {
+    FetchOutcome outcome = fetch_staple(now);
+    if (outcome.entry && !outcome.entry->is_error_response) {
+      cache_ = outcome.entry;  // available from the NEXT handshake on
+    }
+  }
+  return hello_with(std::nullopt, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ideal (paper §8 recommendation 2): prefetch at startup, refresh halfway
+// through the validity period via the event loop, retain valid responses on
+// error, never staple expired responses, never delay a handshake.
+// ---------------------------------------------------------------------------
+void WebServer::start(util::SimTime now) {
+  if (config_.software != Software::kIdeal || !config_.stapling_enabled) return;
+  FetchOutcome outcome = fetch_staple(now);
+  if (outcome.entry && !outcome.entry->is_error_response) {
+    cache_ = outcome.entry;
+  }
+  if (config_.multi_staple) {
+    FetchOutcome chain_outcome = fetch_chain_staple(now);
+    if (chain_outcome.entry && !chain_outcome.entry->is_error_response) {
+      chain_cache_ = chain_outcome.entry;
+    }
+  }
+  schedule_ideal_refresh(now);
+}
+
+void WebServer::schedule_ideal_refresh(util::SimTime now) {
+  util::Duration delay = util::Duration::minutes(10);  // retry cadence
+  if (cache_ && cache_->expiry) {
+    const util::Duration validity = *cache_->expiry - cache_->fetched_at;
+    const auto refresh_after = static_cast<std::int64_t>(
+        static_cast<double>(validity.seconds) * config_.ideal_refresh_fraction);
+    const util::SimTime refresh_at =
+        cache_->fetched_at + util::Duration::secs(refresh_after);
+    delay = refresh_at > now ? refresh_at - now : util::Duration::minutes(1);
+  }
+  network_->loop().schedule_after(delay, [this] {
+    const util::SimTime when = network_->now();
+    FetchOutcome outcome = fetch_staple(when);
+    if (outcome.entry && !outcome.entry->is_error_response) {
+      cache_ = outcome.entry;  // on error: retain the old response
+    }
+    if (config_.multi_staple) {
+      FetchOutcome chain_outcome = fetch_chain_staple(when);
+      if (chain_outcome.entry && !chain_outcome.entry->is_error_response) {
+        chain_cache_ = chain_outcome.entry;
+      }
+    }
+    schedule_ideal_refresh(when);
+  });
+}
+
+tls::ServerHello WebServer::handshake_ideal(bool wants_staple,
+                                            util::SimTime now) {
+  if (!wants_staple) return hello_with(std::nullopt, 0.0);
+  if (cache_ && !cache_->is_error_response) {
+    const bool expired = cache_->expiry && *cache_->expiry < now;
+    if (!expired) return hello_with(cache_->der, 0.0);
+  }
+  return hello_with(std::nullopt, 0.0);
+}
+
+}  // namespace mustaple::webserver

@@ -1,0 +1,135 @@
+// Web-server OCSP Stapling models, implementing the exact behaviours the
+// paper measured in §7.2 (Table 3):
+//
+//                       | Apache 2.4.18        | Nginx 1.13.12        | Ideal
+//   Prefetch response   | no (pauses conn.)    | no (no staple first) | yes
+//   Cache response      | yes                  | yes                  | yes
+//   Respect nextUpdate  | no (serves expired)  | yes                  | yes
+//   Retain on error     | no (deletes/serves   | yes (serves valid    | yes
+//                       |  the error response) |  response til expiry)|
+//
+// plus Nginx's 5-minute refresh floor (footnote 28: with a validity period
+// under 5 minutes clients can receive an expired cached response) and the
+// "Ideal" model implementing the paper's §8 recommendation 2 — proactive
+// periodic prefetch — as the ablation baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "ocsp/response.hpp"
+#include "tls/handshake.hpp"
+#include "x509/certificate.hpp"
+
+namespace mustaple::webserver {
+
+enum class Software : std::uint8_t {
+  kApache,
+  kNginx,
+  kIdeal,
+};
+
+const char* to_string(Software software);
+
+struct WebServerConfig {
+  Software software = Software::kApache;
+  /// SSLUseStapling / ssl_stapling: both servers ship with stapling OFF by
+  /// default (paper footnote 26).
+  bool stapling_enabled = true;
+  /// Apache's staple cache TTL — refreshed on this cadence regardless of
+  /// the response's nextUpdate.
+  util::Duration apache_cache_ttl = util::Duration::hours(1);
+  /// Nginx refresh floor (footnote 28).
+  util::Duration nginx_refresh_floor = util::Duration::minutes(5);
+  /// Ideal model: refresh when this fraction of the validity has elapsed.
+  double ideal_refresh_fraction = 0.5;
+  /// Region the server is hosted in (affects OCSP fetch latency).
+  net::Region region = net::Region::kVirginia;
+  /// RFC 6961 multi-stapling (Ideal model only — the paper notes no 2018
+  /// server software shipped it). Requires enable_multi_staple() with the
+  /// intermediate's issuing root so the chain CertID can be formed.
+  bool multi_staple = false;
+  /// Verify fetched responses (signature + serial) before caching them —
+  /// nginx's ssl_stapling_verify, which ships OFF: by default real servers
+  /// happily staple garbage the responder hands them.
+  bool verify_staple = false;
+};
+
+/// A simulated web server for one domain: owns the certificate chain and a
+/// staple cache, fetches OCSP responses over the simulated network, and
+/// answers TLS handshakes.
+class WebServer {
+ public:
+  WebServer(std::string domain, std::vector<x509::Certificate> chain,
+            WebServerConfig config, net::Network& network);
+
+  const std::string& domain() const { return domain_; }
+  const WebServerConfig& config() const { return config_; }
+  const x509::Certificate& leaf() const { return chain_.front(); }
+
+  /// Binds this server into a TLS directory under its domain.
+  void install(tls::TlsDirectory& directory);
+
+  /// TLS handshake entry point.
+  tls::ServerHello handshake(const tls::ClientHello& hello, util::SimTime now);
+
+  /// Ideal model: perform the startup prefetch and schedule refreshes on
+  /// the network's event loop. No-op for Apache/Nginx (they don't
+  /// prefetch — that is the finding).
+  void start(util::SimTime now);
+
+  /// Provides the root certificate that issued this chain's intermediate,
+  /// unlocking RFC 6961 multi-staple fetches for the whole chain.
+  void enable_multi_staple(x509::Certificate root);
+
+  /// Introspection for tests/benches.
+  bool has_cached_staple() const { return cache_.has_value(); }
+  std::optional<util::SimTime> cached_expiry() const {
+    return cache_ ? cache_->expiry : std::nullopt;
+  }
+  std::size_t fetch_count() const { return fetch_count_; }
+
+ private:
+  struct CacheEntry {
+    util::Bytes der;
+    std::optional<util::SimTime> expiry;  ///< from nextUpdate; nullopt = blank
+    util::SimTime fetched_at{};
+    bool is_error_response = false;  ///< parsed but responseStatus != successful
+  };
+
+  struct FetchOutcome {
+    bool transport_ok = false;
+    std::optional<CacheEntry> entry;  ///< set when a parseable body came back
+    double latency_ms = 0.0;
+  };
+
+  FetchOutcome fetch_staple(util::SimTime now);
+  tls::ServerHello hello_with(std::optional<util::Bytes> staple,
+                              double delay_ms) const;
+  void schedule_ideal_refresh(util::SimTime now);
+
+  tls::ServerHello handshake_apache(bool wants_staple, util::SimTime now);
+  tls::ServerHello handshake_nginx(bool wants_staple, util::SimTime now);
+  tls::ServerHello handshake_ideal(bool wants_staple, util::SimTime now);
+
+  std::string domain_;
+  std::vector<x509::Certificate> chain_;
+  WebServerConfig config_;
+  net::Network* network_;
+  std::optional<net::Url> ocsp_url_;
+
+  FetchOutcome fetch_chain_staple(util::SimTime now);
+
+  std::optional<CacheEntry> cache_;
+  /// RFC 6961: the staple for chain[1] (the intermediate).
+  std::optional<CacheEntry> chain_cache_;
+  std::optional<x509::Certificate> multi_staple_root_;
+  std::optional<util::SimTime> last_fetch_attempt_;
+  std::size_t fetch_count_ = 0;
+  bool ideal_refresh_scheduled_ = false;
+};
+
+}  // namespace mustaple::webserver

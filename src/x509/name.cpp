@@ -1,0 +1,72 @@
+#include "x509/name.hpp"
+
+namespace mustaple::x509 {
+
+std::string DistinguishedName::to_string() const {
+  std::string out;
+  auto add = [&out](const char* label, const std::string& value) {
+    if (value.empty()) return;
+    if (!out.empty()) out += ", ";
+    out += label;
+    out += '=';
+    out += value;
+  };
+  add("CN", common_name);
+  add("O", organization);
+  add("C", country);
+  return out;
+}
+
+void DistinguishedName::encode(asn1::Writer& w) const {
+  w.sequence([this](asn1::Writer& rdns) {
+    auto attribute = [&rdns](const asn1::Oid& type, const std::string& value) {
+      if (value.empty()) return;
+      rdns.set([&](asn1::Writer& set) {
+        set.sequence([&](asn1::Writer& atv) {
+          atv.oid(type);
+          atv.utf8_string(value);
+        });
+      });
+    };
+    attribute(asn1::oids::country(), country);
+    attribute(asn1::oids::organization(), organization);
+    attribute(asn1::oids::common_name(), common_name);
+  });
+}
+
+util::Result<DistinguishedName> DistinguishedName::decode(
+    const asn1::Tlv& sequence) {
+  using R = util::Result<DistinguishedName>;
+  if (!sequence.is(asn1::Tag::kSequence)) {
+    return R::failure("x509.name.not_sequence");
+  }
+  DistinguishedName name;
+  asn1::Reader rdns(sequence.content);
+  while (!rdns.at_end()) {
+    auto set = rdns.expect(asn1::Tag::kSet);
+    if (!set.ok()) return R::failure(set.error().code, set.error().detail);
+    asn1::Reader set_reader(set.value().content);
+    while (!set_reader.at_end()) {
+      auto atv = set_reader.expect(asn1::Tag::kSequence);
+      if (!atv.ok()) return R::failure(atv.error().code, atv.error().detail);
+      asn1::Reader atv_reader(atv.value().content);
+      auto type = atv_reader.read_oid();
+      if (!type.ok()) return R::failure(type.error().code, type.error().detail);
+      auto value = atv_reader.read_string();
+      if (!value.ok()) {
+        return R::failure(value.error().code, value.error().detail);
+      }
+      if (type.value() == asn1::oids::common_name()) {
+        name.common_name = value.value();
+      } else if (type.value() == asn1::oids::organization()) {
+        name.organization = value.value();
+      } else if (type.value() == asn1::oids::country()) {
+        name.country = value.value();
+      }
+      // Unknown attributes are skipped, as real parsers do.
+    }
+  }
+  return name;
+}
+
+}  // namespace mustaple::x509

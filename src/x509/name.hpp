@@ -1,0 +1,30 @@
+// X.501 distinguished names, restricted to the attributes this study needs
+// (CN / O / C). Encoded as a standard RDNSequence.
+#pragma once
+
+#include <string>
+
+#include "asn1/der.hpp"
+#include "util/result.hpp"
+
+namespace mustaple::x509 {
+
+struct DistinguishedName {
+  std::string common_name;
+  std::string organization;
+  std::string country;
+
+  /// "CN=example.com, O=Example CA, C=US" (omits empty attributes).
+  std::string to_string() const;
+
+  /// Writes the RDNSequence into `w`.
+  void encode(asn1::Writer& w) const;
+
+  /// Parses an RDNSequence TLV (the SEQUENCE must already be read).
+  static util::Result<DistinguishedName> decode(const asn1::Tlv& sequence);
+
+  friend bool operator==(const DistinguishedName&,
+                         const DistinguishedName&) = default;
+};
+
+}  // namespace mustaple::x509

@@ -1,0 +1,92 @@
+#include "x509/verify.hpp"
+
+namespace mustaple::x509 {
+
+void RootStore::add(const Certificate& root) {
+  roots_.insert_or_assign(root.subject().to_string(), root);
+}
+
+bool RootStore::contains_subject(const std::string& subject) const {
+  return roots_.count(subject) > 0;
+}
+
+const Certificate* RootStore::find_issuer(const DistinguishedName& issuer) const {
+  const auto it = roots_.find(issuer.to_string());
+  return it == roots_.end() ? nullptr : &it->second;
+}
+
+const char* to_string(ChainError error) {
+  switch (error) {
+    case ChainError::kOk:
+      return "ok";
+    case ChainError::kEmptyChain:
+      return "empty chain";
+    case ChainError::kExpired:
+      return "certificate expired";
+    case ChainError::kNotYetValid:
+      return "certificate not yet valid";
+    case ChainError::kBadSignature:
+      return "bad signature";
+    case ChainError::kIssuerMismatch:
+      return "issuer name mismatch";
+    case ChainError::kIntermediateNotCa:
+      return "intermediate lacks CA basic constraint";
+    case ChainError::kUntrustedRoot:
+      return "chain does not terminate at a trusted root";
+  }
+  return "unknown";
+}
+
+ChainResult verify_chain(const std::vector<Certificate>& chain,
+                         const RootStore& roots, util::SimTime now) {
+  if (chain.empty()) return {ChainError::kEmptyChain, 0};
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (now < cert.validity().not_before) return {ChainError::kNotYetValid, i};
+    if (now > cert.validity().not_after) return {ChainError::kExpired, i};
+    if (i > 0) {
+      // chain[i] issues chain[i-1]; it must be a CA.
+      if (!cert.extensions().is_ca.value_or(false)) {
+        return {ChainError::kIntermediateNotCa, i};
+      }
+    }
+  }
+
+  // Verify each signature link within the presented chain.
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    if (!(chain[i].issuer() == chain[i + 1].subject())) {
+      return {ChainError::kIssuerMismatch, i};
+    }
+    if (!chain[i].verify_signature(chain[i + 1].public_key())) {
+      return {ChainError::kBadSignature, i};
+    }
+  }
+
+  // The top of the chain must be trusted: either it IS a root (self-signed,
+  // in the store) or a trusted root issued it.
+  const Certificate& top = chain.back();
+  if (top.is_self_signed()) {
+    if (!roots.contains_subject(top.subject().to_string())) {
+      return {ChainError::kUntrustedRoot, chain.size() - 1};
+    }
+    if (!top.verify_signature(top.public_key())) {
+      return {ChainError::kBadSignature, chain.size() - 1};
+    }
+    return {ChainError::kOk, 0};
+  }
+  const Certificate* root = roots.find_issuer(top.issuer());
+  if (root == nullptr) return {ChainError::kUntrustedRoot, chain.size() - 1};
+  if (now < root->validity().not_before) {
+    return {ChainError::kNotYetValid, chain.size() - 1};
+  }
+  if (now > root->validity().not_after) {
+    return {ChainError::kExpired, chain.size() - 1};
+  }
+  if (!top.verify_signature(root->public_key())) {
+    return {ChainError::kBadSignature, chain.size() - 1};
+  }
+  return {ChainError::kOk, 0};
+}
+
+}  // namespace mustaple::x509

@@ -1,0 +1,56 @@
+// Certificate-chain validation: the client-side checks of paper §2.1 —
+// correct signatures up to a trusted root, validity windows, CA flags.
+// Revocation is deliberately out of scope here (that is what CRL/OCSP are
+// for, and the study measures it separately).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+#include "x509/certificate.hpp"
+
+namespace mustaple::x509 {
+
+/// Trusted self-signed roots, keyed by subject string. Mirrors the paper's
+/// footnote 2: clients obtain roots out-of-band.
+class RootStore {
+ public:
+  void add(const Certificate& root);
+  bool contains_subject(const std::string& subject) const;
+  const Certificate* find_issuer(const DistinguishedName& issuer) const;
+  std::size_t size() const { return roots_.size(); }
+
+ private:
+  std::map<std::string, Certificate> roots_;
+};
+
+enum class ChainError {
+  kOk,
+  kEmptyChain,
+  kExpired,
+  kNotYetValid,
+  kBadSignature,
+  kIssuerMismatch,
+  kIntermediateNotCa,
+  kUntrustedRoot,
+};
+
+const char* to_string(ChainError error);
+
+struct ChainResult {
+  ChainError error = ChainError::kOk;
+  std::size_t failing_index = 0;  ///< chain index where validation failed
+
+  bool ok() const { return error == ChainError::kOk; }
+};
+
+/// Validates `chain` (leaf first, root or root-signed intermediate last) at
+/// time `now` against `roots`. Every certificate must be inside its validity
+/// window; every link must verify; intermediates must carry CA=true; the top
+/// must chain to (or be) a trusted root.
+ChainResult verify_chain(const std::vector<Certificate>& chain,
+                         const RootStore& roots, util::SimTime now);
+
+}  // namespace mustaple::x509

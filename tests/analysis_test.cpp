@@ -1,0 +1,199 @@
+// The §6/§7 conformance suites end-to-end: Table 2 and Table 3 must come
+// out exactly as the paper measured them, and the ablations must show the
+// security consequences the paper argues for.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/browser_suite.hpp"
+#include "analysis/export.hpp"
+#include "analysis/webserver_suite.hpp"
+
+namespace mustaple::analysis {
+namespace {
+
+// ---------------------------------------------------------- browser suite --
+
+struct BrowserSuiteFixture : public ::testing::Test {
+  static const BrowserSuiteResult& result() {
+    static const BrowserSuiteResult r = run_browser_suite(2018);
+    return r;
+  }
+};
+
+TEST_F(BrowserSuiteFixture, AllBrowsersRequestStaples) {
+  // Table 2 row 1: every browser sends the Certificate Status Request.
+  EXPECT_EQ(result().count_requesting(), result().rows.size());
+}
+
+TEST_F(BrowserSuiteFixture, OnlyFourFirefoxesRespectMustStaple) {
+  // Table 2 row 2.
+  EXPECT_EQ(result().count_respecting(), 4u);
+  for (const auto& row : result().rows) {
+    const bool is_respecting_firefox =
+        (row.profile.name == "Firefox 60") ||
+        (row.profile.name == "Firefox" && row.profile.os == "Android");
+    EXPECT_EQ(row.respected_must_staple, is_respecting_firefox)
+        << row.profile.display_name();
+  }
+}
+
+TEST_F(BrowserSuiteFixture, NobodySendsOwnOcspRequest) {
+  // Table 2 row 3.
+  EXPECT_EQ(result().count_own_ocsp(), 0u);
+}
+
+TEST_F(BrowserSuiteFixture, NonRespectingBrowsersSoftFail) {
+  for (const auto& row : result().rows) {
+    if (row.respected_must_staple) {
+      EXPECT_EQ(row.verdict_without_staple, browser::Verdict::kHardFail);
+    } else {
+      EXPECT_EQ(row.verdict_without_staple, browser::Verdict::kAcceptSoftFail)
+          << row.profile.display_name();
+    }
+  }
+}
+
+TEST_F(BrowserSuiteFixture, StapleStrippingAttackMatrix) {
+  // The §2.3 attack: a REVOKED Must-Staple certificate behind an attacker
+  // stripping staples and blocking OCSP succeeds against every browser
+  // except the Must-Staple-respecting Firefoxes.
+  EXPECT_EQ(result().count_attack_succeeds(), result().rows.size() - 4);
+  for (const auto& row : result().rows) {
+    if (row.respected_must_staple) {
+      EXPECT_EQ(row.verdict_revoked_attacked, browser::Verdict::kHardFail)
+          << row.profile.display_name();
+    } else {
+      EXPECT_EQ(row.verdict_revoked_attacked,
+                browser::Verdict::kAcceptSoftFail)
+          << row.profile.display_name();
+    }
+  }
+}
+
+// -------------------------------------------------------- webserver suite --
+
+struct WebServerSuiteFixture : public ::testing::Test {
+  static const WebServerSuiteResult& result() {
+    static const WebServerSuiteResult r = run_webserver_suite(2018);
+    return r;
+  }
+
+  static const WebServerRow& row(webserver::Software software) {
+    for (const auto& r : result().rows) {
+      if (r.software == software) return r;
+    }
+    throw std::logic_error("row missing");
+  }
+};
+
+TEST_F(WebServerSuiteFixture, Table3ApacheRow) {
+  const WebServerRow& apache = row(webserver::Software::kApache);
+  EXPECT_FALSE(apache.prefetches);
+  EXPECT_EQ(apache.first_client_note, "pauses connection");
+  EXPECT_GT(apache.first_client_delay_ms, 0.0);
+  EXPECT_TRUE(apache.caches);
+  EXPECT_FALSE(apache.respects_next_update);
+  EXPECT_FALSE(apache.retains_on_error);
+  EXPECT_TRUE(apache.serves_error_response);
+}
+
+TEST_F(WebServerSuiteFixture, Table3NginxRow) {
+  const WebServerRow& nginx = row(webserver::Software::kNginx);
+  EXPECT_FALSE(nginx.prefetches);
+  EXPECT_EQ(nginx.first_client_note, "provides no response");
+  EXPECT_TRUE(nginx.caches);
+  EXPECT_TRUE(nginx.respects_next_update);
+  EXPECT_TRUE(nginx.retains_on_error);
+  EXPECT_FALSE(nginx.serves_error_response);
+}
+
+TEST_F(WebServerSuiteFixture, IdealRowFullyCorrect) {
+  const WebServerRow& ideal = row(webserver::Software::kIdeal);
+  EXPECT_TRUE(ideal.prefetches);
+  EXPECT_TRUE(ideal.caches);
+  EXPECT_TRUE(ideal.respects_next_update);
+  EXPECT_TRUE(ideal.retains_on_error);
+  EXPECT_FALSE(ideal.serves_error_response);
+}
+
+TEST_F(WebServerSuiteFixture, OutageAblationOrdering) {
+  // Client-visible staple availability under a responder outage must order
+  // Apache < Nginx <= Ideal — the paper's argument that correct caching
+  // plus prefetch rides out most outages.
+  double apache = -1;
+  double nginx = -1;
+  double ideal = -1;
+  for (const auto& [software, availability] : result().outage_availability) {
+    switch (software) {
+      case webserver::Software::kApache:
+        apache = availability;
+        break;
+      case webserver::Software::kNginx:
+        nginx = availability;
+        break;
+      case webserver::Software::kIdeal:
+        ideal = availability;
+        break;
+    }
+  }
+  ASSERT_GE(apache, 0.0);
+  EXPECT_LT(apache, nginx);
+  EXPECT_LE(nginx, ideal + 1e-9);
+  EXPECT_GT(ideal, 0.4);  // rides out ~half the 24h outage on 12h validity
+}
+
+// ------------------------------------------------------------ csv export --
+
+TEST(CsvExport, SeriesAlignedByX) {
+  util::Series a;
+  a.label = "alpha";
+  a.add(1, 10);
+  a.add(2, 20);
+  util::Series b;
+  b.label = "beta,quoted";
+  b.add(2, 200);
+  b.add(3, 300);
+  const std::string csv = csv_from_series({a, b}, "t");
+  EXPECT_EQ(csv,
+            "t,alpha,\"beta,quoted\"\n"
+            "1,10,\n"
+            "2,20,200\n"
+            "3,,300\n");
+}
+
+TEST(CsvExport, CdfRows) {
+  util::Cdf cdf;
+  cdf.add(1.0);
+  cdf.add(3.0);
+  cdf.add_infinite();
+  const std::string csv = csv_from_cdf(cdf);
+  EXPECT_NE(csv.find("value,cdf\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.3333333333\n"), std::string::npos);
+  EXPECT_NE(csv.find("# infinite_mass,0.3333333333"), std::string::npos);
+}
+
+TEST(CsvExport, TableQuoting) {
+  const std::string csv = csv_from_table(
+      {"name", "note"}, {{"plain", "a,b"}, {"with\"quote", "x"}});
+  EXPECT_EQ(csv,
+            "name,note\n"
+            "plain,\"a,b\"\n"
+            "\"with\"\"quote\",x\n");
+}
+
+TEST(CsvExport, EmptyDirectoryIsNoOp) {
+  EXPECT_TRUE(write_export("", "anything.csv", "data"));
+}
+
+TEST(CsvExport, WritesFile) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(write_export(dir, "mustaple_test_export.csv", "a,b\n1,2\n"));
+  std::ifstream in(dir + "/mustaple_test_export.csv");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace mustaple::analysis

@@ -1,0 +1,337 @@
+// DER codec tests: every value type round-trips; malformed input is
+// rejected with classified errors (this is the machinery behind the paper's
+// "ASN.1 Unparseable" bucket).
+#include <gtest/gtest.h>
+
+#include "asn1/der.hpp"
+#include "asn1/oid.hpp"
+#include "util/bytes.hpp"
+
+namespace mustaple::asn1 {
+namespace {
+
+using util::Bytes;
+
+// ------------------------------------------------------------------ OID --
+
+TEST(Oid, ToString) {
+  EXPECT_EQ(oids::tls_feature().to_string(), "1.3.6.1.5.5.7.1.24");
+  EXPECT_EQ(oids::sha256_with_rsa().to_string(), "1.2.840.113549.1.1.11");
+}
+
+TEST(Oid, ParseValid) {
+  auto oid = Oid::parse("1.3.6.1.5.5.7.1.24");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(oid.value(), oids::tls_feature());
+}
+
+TEST(Oid, ParseRejectsMalformed) {
+  EXPECT_FALSE(Oid::parse("").ok());
+  EXPECT_FALSE(Oid::parse("1").ok());
+  EXPECT_FALSE(Oid::parse("1..2").ok());
+  EXPECT_FALSE(Oid::parse("1.a.2").ok());
+  EXPECT_FALSE(Oid::parse("3.1").ok());    // first arc > 2
+  EXPECT_FALSE(Oid::parse("1.40").ok());   // second arc > 39 for first < 2
+  EXPECT_FALSE(Oid::parse("1.2.4294967296").ok());  // arc overflow
+}
+
+TEST(Oid, KnownEncoding) {
+  // 1.2.840.113549 encodes as 2a 86 48 86 f7 0d.
+  auto oid = Oid::parse("1.2.840.113549");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(util::to_hex(oid.value().encode_content()), "2a864886f70d");
+}
+
+TEST(Oid, DecodeRejectsTruncatedArc) {
+  // High bit set on final byte = unterminated base-128 arc.
+  EXPECT_FALSE(Oid::decode_content({0x2a, 0x86}).ok());
+}
+
+TEST(Oid, DecodeRejectsEmpty) {
+  EXPECT_FALSE(Oid::decode_content({}).ok());
+}
+
+TEST(Oid, DecodeRejectsLeadingZeroSeptet) {
+  EXPECT_FALSE(Oid::decode_content({0x2a, 0x80, 0x01}).ok());
+}
+
+class OidRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OidRoundTrip, EncodeDecode) {
+  auto oid = Oid::parse(GetParam());
+  ASSERT_TRUE(oid.ok());
+  auto decoded = Oid::decode_content(oid.value().encode_content());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), oid.value());
+  EXPECT_EQ(decoded.value().to_string(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WellKnown, OidRoundTrip,
+    ::testing::Values("1.3.6.1.5.5.7.1.24", "1.3.6.1.5.5.7.48.1",
+                      "2.5.29.31", "2.5.29.19", "2.5.4.3",
+                      "1.2.840.113549.1.1.11", "2.16.840.1.101.3.4.2.1",
+                      "1.3.14.3.2.26", "0.9.2342.19200300.100.1.25",
+                      "2.5.4.6", "1.3.6.1.4.1.99999.1"));
+
+// ----------------------------------------------------------- DER writer --
+
+TEST(DerWriter, ShortFormLength) {
+  Writer w;
+  w.octet_string(Bytes(10, 0xaa));
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[1], 10);
+}
+
+TEST(DerWriter, LongFormLength) {
+  Writer w;
+  w.octet_string(Bytes(300, 0xbb));
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[1], 0x82);  // two length octets
+  EXPECT_EQ(w.bytes()[2], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x2c);
+}
+
+TEST(DerWriter, BooleanEncoding) {
+  Writer w;
+  w.boolean(true);
+  w.boolean(false);
+  EXPECT_EQ(util::to_hex(w.bytes()), "0101ff010100");
+}
+
+TEST(DerWriter, IntegerMinimalEncoding) {
+  struct Case {
+    std::int64_t value;
+    const char* hex;
+  };
+  const Case cases[] = {
+      {0, "020100"},       {1, "020101"},     {127, "02017f"},
+      {128, "02020080"},   {256, "02020100"}, {-1, "0201ff"},
+      {-128, "020180"},    {-129, "0202ff7f"},
+  };
+  for (const Case& c : cases) {
+    Writer w;
+    w.integer(c.value);
+    EXPECT_EQ(util::to_hex(w.bytes()), c.hex) << c.value;
+  }
+}
+
+TEST(DerWriter, IntegerBytesStripsAndPads) {
+  {
+    Writer w;
+    w.integer_bytes({0x00, 0x00, 0x01});  // redundant leading zeros
+    EXPECT_EQ(util::to_hex(w.bytes()), "020101");
+  }
+  {
+    Writer w;
+    w.integer_bytes({0xff});  // high bit set -> 0x00 pad
+    EXPECT_EQ(util::to_hex(w.bytes()), "020200ff");
+  }
+  {
+    Writer w;
+    w.integer_bytes({});  // empty -> zero
+    EXPECT_EQ(util::to_hex(w.bytes()), "020100");
+  }
+}
+
+TEST(DerWriter, NullAndOid) {
+  Writer w;
+  w.null();
+  w.oid(oids::sha1());
+  EXPECT_EQ(util::to_hex(w.bytes()), "05000605" + std::string("2b0e03021a"));
+}
+
+TEST(DerWriter, BitStringPrependsUnusedBits) {
+  Writer w;
+  w.bit_string({0xde, 0xad}, 3);
+  EXPECT_EQ(util::to_hex(w.bytes()), "030303dead");
+}
+
+TEST(DerWriter, NestedSequences) {
+  Writer w;
+  w.sequence([](Writer& outer) {
+    outer.integer(1);
+    outer.sequence([](Writer& inner) { inner.boolean(true); });
+  });
+  EXPECT_EQ(util::to_hex(w.bytes()), "30080201013003" + std::string("0101ff"));
+}
+
+TEST(DerWriter, ContextTags) {
+  EXPECT_EQ(context_tag(0, true), 0xa0);
+  EXPECT_EQ(context_tag(0, false), 0x80);
+  EXPECT_EQ(context_tag(3, true), 0xa3);
+  EXPECT_EQ(context_tag(6, false), 0x86);
+}
+
+TEST(DerWriter, ExplicitContextWraps) {
+  Writer w;
+  w.explicit_context(0, [](Writer& inner) { inner.integer(2); });
+  EXPECT_EQ(util::to_hex(w.bytes()), "a003020102");
+}
+
+// ----------------------------------------------------------- DER reader --
+
+TEST(DerReader, ReadsWhatWriterWrote) {
+  Writer w;
+  w.sequence([](Writer& seq) {
+    seq.integer(42);
+    seq.boolean(true);
+    seq.utf8_string("hello");
+    seq.octet_string({1, 2, 3});
+    seq.oid(oids::aia_ocsp());
+    seq.null();
+    seq.generalized_time(util::make_time(2018, 5, 1, 12, 0, 0));
+    seq.enumerated(3);
+  });
+  const Bytes der = w.take();
+
+  Reader top(der);
+  auto seq = top.expect(Tag::kSequence);
+  ASSERT_TRUE(seq.ok());
+  Reader r(seq.value().content);
+  EXPECT_EQ(r.read_integer().value(), 42);
+  EXPECT_EQ(r.read_boolean().value(), true);
+  EXPECT_EQ(r.read_string().value(), "hello");
+  EXPECT_EQ(r.read_octet_string().value(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.read_oid().value(), oids::aia_ocsp());
+  ASSERT_TRUE(r.expect(Tag::kNull).ok());
+  EXPECT_EQ(r.read_generalized_time().value(),
+            util::make_time(2018, 5, 1, 12, 0, 0));
+  EXPECT_EQ(r.read_enumerated().value(), 3);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(DerReader, RejectsTruncatedHeader) {
+  const Bytes empty;
+  Reader r(empty);
+  EXPECT_FALSE(r.read_any().ok());
+  const Bytes just_tag = {0x30};
+  Reader r2(just_tag);
+  EXPECT_FALSE(r2.read_any().ok());
+}
+
+TEST(DerReader, RejectsTruncatedContent) {
+  const Bytes der = {0x04, 0x05, 0x01, 0x02};  // claims 5, has 2
+  Reader r(der);
+  auto result = r.read_any();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.truncated");
+}
+
+TEST(DerReader, RejectsIndefiniteLength) {
+  const Bytes der = {0x30, 0x80, 0x00, 0x00};
+  Reader r(der);
+  auto result = r.read_any();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.indefinite_length");
+}
+
+TEST(DerReader, RejectsNonMinimalLength) {
+  const Bytes der = {0x04, 0x81, 0x03, 0x01, 0x02, 0x03};  // long form for 3
+  Reader r(der);
+  auto result = r.read_any();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.non_minimal_length");
+}
+
+TEST(DerReader, RejectsWrongTag) {
+  Writer w;
+  w.integer(1);
+  Reader r(w.bytes());
+  auto result = r.expect(Tag::kOctetString);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.unexpected_tag");
+}
+
+TEST(DerReader, RejectsBadBoolean) {
+  const Bytes der = {0x01, 0x02, 0xff, 0xff};  // boolean with 2 octets
+  Reader r(der);
+  EXPECT_FALSE(r.read_boolean().ok());
+}
+
+TEST(DerReader, RejectsOversizedInteger) {
+  const Bytes der = {0x02, 0x09, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Reader r(der);
+  auto result = r.read_integer();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.integer_overflow");
+}
+
+TEST(DerReader, RejectsNegativeIntegerBytes) {
+  Writer w;
+  w.integer(-5);
+  Reader r(w.bytes());
+  EXPECT_FALSE(r.read_integer_bytes().ok());
+}
+
+TEST(DerReader, IntegerBytesStripsPad) {
+  Writer w;
+  w.integer_bytes({0xff, 0x01});
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_integer_bytes().value(), (Bytes{0xff, 0x01}));
+}
+
+TEST(DerReader, RejectsBadBitString) {
+  const Bytes empty = {0x03, 0x00};
+  Reader r(empty);
+  EXPECT_FALSE(r.read_bit_string().ok());
+  const Bytes bad_unused = {0x03, 0x02, 0x09, 0xff};
+  Reader r2(bad_unused);
+  EXPECT_FALSE(r2.read_bit_string().ok());
+}
+
+TEST(DerReader, RejectsBadGeneralizedTime) {
+  Writer w;
+  w.tlv(static_cast<std::uint8_t>(Tag::kGeneralizedTime),
+        util::bytes_of("20189925120000Z"));
+  Reader r(w.bytes());
+  auto result = r.read_generalized_time();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.bad_time");
+}
+
+TEST(DerReader, PeekTagDoesNotConsume) {
+  Writer w;
+  w.integer(1);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.peek_tag(), 0x02);
+  EXPECT_EQ(r.peek_tag(), 0x02);
+  EXPECT_TRUE(r.read_integer().ok());
+  EXPECT_EQ(r.peek_tag(), 0);  // at end
+}
+
+TEST(DerReader, NegativeIntegersRoundTrip) {
+  const std::int64_t values[] = {-1,     -127,      -128,     -129,
+                                 -65536, INT64_MIN, INT64_MAX};
+  for (std::int64_t v : values) {
+    Writer w;
+    w.integer(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.read_integer().value(), v) << v;
+  }
+}
+
+// Property: arbitrary octet strings of many lengths round-trip (covers the
+// short/long length-form boundary at 128 and multi-octet lengths).
+class OctetStringRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OctetStringRoundTrip, EncodeDecode) {
+  Bytes payload(GetParam());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  Writer w;
+  w.octet_string(payload);
+  Reader r(w.bytes());
+  auto result = r.read_octet_string();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), payload);
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, OctetStringRoundTrip,
+                         ::testing::Values(0, 1, 127, 128, 129, 255, 256,
+                                           65535, 65536, 70000));
+
+}  // namespace
+}  // namespace mustaple::asn1

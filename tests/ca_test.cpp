@@ -1,0 +1,420 @@
+// CA simulation tests: issuance, the dual revocation databases, CRL
+// publication, and the OCSP responder's full behaviour-profile space.
+#include <gtest/gtest.h>
+
+#include "ca/authority.hpp"
+#include "ca/crl_server.hpp"
+#include "ca/responder.hpp"
+#include "ocsp/request.hpp"
+#include "ocsp/verify.hpp"
+#include "x509/verify.hpp"
+
+namespace mustaple::ca {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+const SimTime kNow = util::make_time(2018, 5, 1, 12);
+
+struct Fixture : public ::testing::Test {
+  util::Rng rng{2024};
+  CertificateAuthority authority{"TestCA", kNow - Duration::days(2000), rng};
+
+  x509::Certificate issue(const std::string& domain, bool must_staple = false) {
+    LeafRequest request;
+    request.domain = domain;
+    request.not_before = kNow - Duration::days(30);
+    request.lifetime = Duration::days(365);
+    request.must_staple = must_staple;
+    request.ocsp_urls = {"http://ocsp.testca.example/"};
+    request.crl_urls = {"http://crl.testca.example/ca.crl"};
+    return authority.issue(request, rng);
+  }
+
+  ocsp::CertId id_for(const x509::Certificate& leaf) {
+    return ocsp::CertId::for_certificate(leaf, authority.intermediate_cert());
+  }
+};
+
+// ------------------------------------------------------------- authority --
+
+TEST_F(Fixture, RootAndIntermediateWellFormed) {
+  EXPECT_TRUE(authority.root_cert().is_self_signed());
+  EXPECT_TRUE(authority.root_cert().extensions().is_ca.value_or(false));
+  EXPECT_FALSE(authority.intermediate_cert().is_self_signed());
+  EXPECT_TRUE(
+      authority.intermediate_cert().verify_signature(
+          authority.root_cert().public_key()));
+}
+
+TEST_F(Fixture, IssuedChainVerifies) {
+  const x509::Certificate leaf = issue("site.example");
+  x509::RootStore roots;
+  roots.add(authority.root_cert());
+  const auto chain = authority.chain_for(leaf);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_TRUE(x509::verify_chain(chain, roots, kNow).ok());
+  EXPECT_TRUE(authority.was_issued(leaf.serial()));
+  EXPECT_FALSE(authority.was_issued(Bytes{0x01}));
+}
+
+TEST_F(Fixture, SerialsAreUnique) {
+  std::set<std::string> serials;
+  for (int i = 0; i < 200; ++i) {
+    serials.insert(issue("s" + std::to_string(i) + ".example").serial_hex());
+  }
+  EXPECT_EQ(serials.size(), 200u);
+}
+
+TEST_F(Fixture, MustStapleFlagPropagates) {
+  EXPECT_TRUE(issue("ms.example", true).extensions().must_staple);
+  EXPECT_FALSE(issue("no.example", false).extensions().must_staple);
+}
+
+TEST_F(Fixture, RevocationUpdatesBothDatabases) {
+  const x509::Certificate leaf = issue("revoked.example");
+  authority.revoke(leaf.serial(), kNow - Duration::days(1),
+                   crl::ReasonCode::kKeyCompromise, RevocationPolicy{});
+  ocsp::RevokedInfo info;
+  EXPECT_EQ(authority.ocsp_status(leaf.serial(), &info),
+            ocsp::CertStatus::kRevoked);
+  EXPECT_EQ(info.revocation_time, kNow - Duration::days(1));
+  const RevocationRecord* crl_record = authority.crl_record(leaf.serial());
+  ASSERT_NE(crl_record, nullptr);
+  EXPECT_EQ(crl_record->revocation_time, kNow - Duration::days(1));
+  EXPECT_EQ(crl_record->reason, crl::ReasonCode::kKeyCompromise);
+}
+
+TEST_F(Fixture, DefaultPolicyDropsOcspReason) {
+  // The paper: 99.99% of reason discrepancies are CRL-has/OCSP-hasn't.
+  const x509::Certificate leaf = issue("reason.example");
+  authority.revoke(leaf.serial(), kNow, crl::ReasonCode::kSuperseded,
+                   RevocationPolicy{});
+  ocsp::RevokedInfo info;
+  authority.ocsp_status(leaf.serial(), &info);
+  EXPECT_EQ(info.reason, std::nullopt);
+  EXPECT_EQ(authority.crl_record(leaf.serial())->reason,
+            crl::ReasonCode::kSuperseded);
+}
+
+TEST_F(Fixture, OcspTimeOffsetApplied) {
+  const x509::Certificate leaf = issue("lag.example");
+  RevocationPolicy policy;
+  policy.ocsp_time_offset = Duration::hours(9);  // the msocsp pattern
+  authority.revoke(leaf.serial(), kNow, std::nullopt, policy);
+  ocsp::RevokedInfo info;
+  authority.ocsp_status(leaf.serial(), &info);
+  EXPECT_EQ(info.revocation_time - kNow, Duration::hours(9));
+  EXPECT_EQ(authority.crl_record(leaf.serial())->revocation_time, kNow);
+}
+
+TEST_F(Fixture, IngestFailureAnswersGood) {
+  const x509::Certificate leaf = issue("lost.example");
+  RevocationPolicy policy;
+  policy.ocsp_ingest = RevocationPolicy::OcspIngest::kMissingAnswersGood;
+  authority.revoke(leaf.serial(), kNow, std::nullopt, policy);
+  EXPECT_EQ(authority.ocsp_status(leaf.serial(), nullptr),
+            ocsp::CertStatus::kGood);  // Table 1's Good-for-revoked
+  EXPECT_NE(authority.crl_record(leaf.serial()), nullptr);  // CRL has it
+}
+
+TEST_F(Fixture, IngestFailureAnswersUnknown) {
+  const x509::Certificate leaf = issue("lost2.example");
+  RevocationPolicy policy;
+  policy.ocsp_ingest = RevocationPolicy::OcspIngest::kMissingAnswersUnknown;
+  authority.revoke(leaf.serial(), kNow, std::nullopt, policy);
+  EXPECT_EQ(authority.ocsp_status(leaf.serial(), nullptr),
+            ocsp::CertStatus::kUnknown);
+}
+
+TEST_F(Fixture, UnknownSerialIsUnknown) {
+  EXPECT_EQ(authority.ocsp_status(Bytes{0xde, 0xad}, nullptr),
+            ocsp::CertStatus::kUnknown);
+}
+
+TEST_F(Fixture, PublishedCrlContainsRevocations) {
+  const x509::Certificate a = issue("a.example");
+  const x509::Certificate b = issue("b.example");
+  authority.revoke(a.serial(), kNow - Duration::days(2),
+                   crl::ReasonCode::kUnspecified, RevocationPolicy{});
+  const crl::Crl crl = authority.publish_crl(kNow, Duration::days(7));
+  EXPECT_TRUE(crl.is_revoked(a.serial()));
+  EXPECT_FALSE(crl.is_revoked(b.serial()));
+  EXPECT_TRUE(crl.verify_signature(
+      authority.intermediate_cert().public_key()));
+  EXPECT_TRUE(crl.is_fresh_at(kNow + Duration::days(6)));
+}
+
+// ------------------------------------------------------------- responder --
+
+struct ResponderFixture : public Fixture {
+  net::EventLoop loop{kNow - Duration::days(1)};
+  net::Network network{loop, 7};
+
+  ocsp::VerifiedResponse probe(OcspResponder& responder,
+                               const x509::Certificate& leaf, SimTime when) {
+    loop.run_until(when);
+    const auto id = id_for(leaf);
+    auto result = network.http_post(
+        net::Region::kVirginia, net::parse_url(responder.url()).value(),
+        ocsp::OcspRequest::single(id).encode_der(), "application/ocsp-request");
+    if (!result.success()) {
+      ocsp::VerifiedResponse failed;
+      failed.error_code = "transport";
+      return failed;
+    }
+    return ocsp::verify_ocsp_response(
+        result.response.body, id,
+        authority.intermediate_cert().public_key(), when);
+  }
+};
+
+TEST_F(ResponderFixture, GoodCertificateAnsweredGood) {
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.t.example", rng);
+  responder.install(network);
+  const auto leaf = issue("good.example");
+  const auto verdict = probe(responder, leaf, kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(verdict.status, ocsp::CertStatus::kGood);
+}
+
+TEST_F(ResponderFixture, RevokedCertificateAnsweredRevoked) {
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.t.example", rng);
+  responder.install(network);
+  const auto leaf = issue("bad.example");
+  authority.revoke(leaf.serial(), kNow - Duration::days(3),
+                   crl::ReasonCode::kKeyCompromise, RevocationPolicy{});
+  const auto verdict = probe(responder, leaf, kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(verdict.status, ocsp::CertStatus::kRevoked);
+}
+
+TEST_F(ResponderFixture, DelegatedSigningVerifies) {
+  ResponderBehavior behavior;
+  behavior.delegate_signing = true;
+  OcspResponder responder(authority, behavior, "ocsp.d.example", rng);
+  responder.install(network);
+  const auto verdict = probe(responder, issue("d.example"), kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(verdict.num_certs, 1u);  // the delegation certificate
+}
+
+TEST_F(ResponderFixture, BlankNextUpdateServed) {
+  ResponderBehavior behavior;
+  behavior.validity.reset();
+  OcspResponder responder(authority, behavior, "ocsp.b.example", rng);
+  responder.install(network);
+  const auto verdict = probe(responder, issue("b2.example"), kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(verdict.next_update, std::nullopt);
+}
+
+TEST_F(ResponderFixture, WrongSerialBehaviour) {
+  ResponderBehavior behavior;
+  behavior.wrong_serial = true;
+  OcspResponder responder(authority, behavior, "ocsp.w.example", rng);
+  responder.install(network);
+  const auto verdict = probe(responder, issue("w.example"), kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kSerialMismatch);
+}
+
+TEST_F(ResponderFixture, BadSignatureBehaviour) {
+  ResponderBehavior behavior;
+  behavior.bad_signature = true;
+  OcspResponder responder(authority, behavior, "ocsp.s.example", rng);
+  responder.install(network);
+  const auto verdict = probe(responder, issue("s.example"), kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kBadSignature);
+}
+
+TEST_F(ResponderFixture, MalformedBodies) {
+  for (auto mode : {ResponderBehavior::Malform::kZeroBody,
+                    ResponderBehavior::Malform::kEmptyBody,
+                    ResponderBehavior::Malform::kJavascriptBody}) {
+    ResponderBehavior behavior;
+    behavior.malform = mode;
+    OcspResponder responder(authority, behavior,
+                            "ocsp.m" + std::to_string(static_cast<int>(mode)) +
+                                ".example",
+                            rng);
+    responder.install(network);
+    const auto verdict = probe(responder, issue("m.example"), kNow);
+    EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kUnparseable);
+  }
+}
+
+TEST_F(ResponderFixture, MalformWindowsOnlyInsideWindow) {
+  ResponderBehavior behavior;
+  behavior.malform = ResponderBehavior::Malform::kZeroBody;
+  behavior.malform_windows = {
+      {kNow + Duration::hours(1), kNow + Duration::hours(3)}};
+  OcspResponder responder(authority, behavior, "ocsp.win.example", rng);
+  responder.install(network);
+  const auto leaf = issue("win.example");
+  EXPECT_EQ(probe(responder, leaf, kNow).outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(probe(responder, leaf, kNow + Duration::hours(2)).outcome,
+            ocsp::CheckOutcome::kUnparseable);
+  EXPECT_EQ(probe(responder, leaf, kNow + Duration::hours(4)).outcome,
+            ocsp::CheckOutcome::kOk);
+}
+
+TEST_F(ResponderFixture, ExtraSerialsAndCerts) {
+  ResponderBehavior behavior;
+  behavior.extra_serials = 19;
+  behavior.extra_certs = 4;  // the ocsp.cpc.gov.ae pattern
+  OcspResponder responder(authority, behavior, "ocsp.x.example", rng);
+  responder.install(network);
+  const auto verdict = probe(responder, issue("x.example"), kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(verdict.num_serials, 20u);
+  EXPECT_EQ(verdict.num_certs, 4u);
+}
+
+TEST_F(ResponderFixture, OnDemandZeroMargin) {
+  ResponderBehavior behavior;
+  behavior.pre_generate = false;
+  behavior.this_update_margin = Duration::secs(0);
+  OcspResponder responder(authority, behavior, "ocsp.z.example", rng);
+  responder.install(network);
+  const auto verdict = probe(responder, issue("z.example"), kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(verdict.this_update, kNow);  // zero margin (Fig 9's 17.2%)
+  EXPECT_EQ(verdict.produced_at, kNow);
+}
+
+TEST_F(ResponderFixture, FutureThisUpdateRejectedByClient) {
+  ResponderBehavior behavior;
+  behavior.pre_generate = false;
+  behavior.this_update_margin = Duration::minutes(-10);  // 3% of responders
+  OcspResponder responder(authority, behavior, "ocsp.f.example", rng);
+  responder.install(network);
+  const auto verdict = probe(responder, issue("f.example"), kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kNotYetValid);
+}
+
+TEST_F(ResponderFixture, PreGeneratedResponsesStableWithinCycle) {
+  ResponderBehavior behavior;
+  behavior.pre_generate = true;
+  behavior.update_interval = Duration::hours(6);
+  behavior.this_update_margin = Duration::secs(0);
+  OcspResponder responder(authority, behavior, "ocsp.pg.example", rng);
+  responder.install(network);
+  const auto leaf = issue("pg.example");
+  const auto v1 = probe(responder, leaf, kNow);
+  const auto v2 = probe(responder, leaf, kNow + Duration::hours(1));
+  EXPECT_EQ(v1.produced_at, v2.produced_at);  // same cycle, cached
+  const auto v3 = probe(responder, leaf, kNow + Duration::hours(7));
+  EXPECT_GT(v3.produced_at.unix_seconds, v1.produced_at.unix_seconds);
+}
+
+TEST_F(ResponderFixture, TryLaterMode) {
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.tl.example",
+                          rng);
+  responder.install(network);
+  const auto leaf = issue("tl.example");
+  EXPECT_EQ(probe(responder, leaf, kNow).outcome, ocsp::CheckOutcome::kOk);
+  responder.set_try_later(true);
+  EXPECT_EQ(probe(responder, leaf, kNow + Duration::secs(10)).outcome,
+            ocsp::CheckOutcome::kNotSuccessful);
+  responder.set_try_later(false);
+  EXPECT_EQ(probe(responder, leaf, kNow + Duration::secs(20)).outcome,
+            ocsp::CheckOutcome::kOk);
+}
+
+TEST_F(ResponderFixture, GetWithBadPathIsMalformedRequest) {
+  // RFC 6960 Appendix A: GET is supported, with the request base64-encoded
+  // into the path; a path that decodes to garbage gets an OCSP-level
+  // malformedRequest (still HTTP 200).
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.g.example",
+                          rng);
+  responder.install(network);
+  auto result = network.http_get(net::Region::kParis,
+                                 net::parse_url(responder.url()).value());
+  ASSERT_EQ(result.response.status_code, 200);
+  auto parsed = ocsp::OcspResponse::parse(result.response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().response_status(),
+            ocsp::ResponseStatus::kMalformedRequest);
+}
+
+TEST_F(ResponderFixture, GetWithEncodedRequestWorks) {
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.g2.example",
+                          rng);
+  responder.install(network);
+  const auto leaf = issue("get.example");
+  const auto id = id_for(leaf);
+  loop.run_until(kNow);
+  net::Url url = net::parse_url(responder.url()).value();
+  url.path = ocsp::OcspRequest::single(id).encode_get_path();
+  auto result = network.http_get(net::Region::kParis, url);
+  ASSERT_TRUE(result.success());
+  const auto verdict = ocsp::verify_ocsp_response(
+      result.response.body, id, authority.intermediate_cert().public_key(),
+      kNow);
+  EXPECT_EQ(verdict.outcome, ocsp::CheckOutcome::kOk);
+  EXPECT_EQ(verdict.status, ocsp::CertStatus::kGood);
+}
+
+TEST_F(ResponderFixture, UnsupportedMethodRejected) {
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.g3.example",
+                          rng);
+  responder.install(network);
+  loop.run_until(kNow);
+  net::HttpRequest request;
+  request.method = "PUT";
+  auto result = network.http_request(net::Region::kParis,
+                                     net::parse_url(responder.url()).value(),
+                                     std::move(request));
+  EXPECT_EQ(result.response.status_code, 400);
+}
+
+TEST_F(ResponderFixture, GarbageRequestGetsMalformedRequestStatus) {
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.q.example",
+                          rng);
+  responder.install(network);
+  auto result = network.http_post(net::Region::kParis,
+                                  net::parse_url(responder.url()).value(),
+                                  util::bytes_of("garbage"),
+                                  "application/ocsp-request");
+  ASSERT_TRUE(result.success());
+  auto parsed = ocsp::OcspResponse::parse(result.response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().response_status(),
+            ocsp::ResponseStatus::kMalformedRequest);
+}
+
+// ------------------------------------------------------------ crl server --
+
+TEST_F(ResponderFixture, CrlServerServesCurrentCrl) {
+  CrlServer server(authority, "crl.t.example", Duration::days(1),
+                   Duration::days(7));
+  server.install(network);
+  const auto leaf = issue("crl.example");
+  authority.revoke(leaf.serial(), kNow - Duration::days(1),
+                   crl::ReasonCode::kUnspecified, RevocationPolicy{});
+  loop.run_until(kNow);
+  auto result = network.http_get(net::Region::kOregon,
+                                 net::parse_url(server.url()).value());
+  ASSERT_TRUE(result.success());
+  auto parsed = crl::Crl::parse(result.response.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(parsed.value().is_revoked(leaf.serial()));
+  EXPECT_TRUE(parsed.value().is_fresh_at(kNow));
+  // thisUpdate is publication-cycle aligned (midnight for daily cadence).
+  EXPECT_EQ(parsed.value().this_update(), util::make_time(2018, 5, 1));
+}
+
+TEST_F(ResponderFixture, CrlServerRejectsPost) {
+  CrlServer server(authority, "crl.p.example");
+  server.install(network);
+  loop.run_until(kNow);
+  auto result = network.http_post(net::Region::kOregon,
+                                  net::parse_url(server.url()).value(),
+                                  util::bytes_of("x"), "text/plain");
+  EXPECT_EQ(result.response.status_code, 400);
+}
+
+}  // namespace
+}  // namespace mustaple::ca

@@ -1,0 +1,100 @@
+// Tests for the core MustStapleStudy façade: component toggles, the
+// "fixed CAs" ablation switches end-to-end, and report rendering.
+#include <gtest/gtest.h>
+
+#include "core/study.hpp"
+
+namespace mustaple::core {
+namespace {
+
+using util::Duration;
+
+measurement::EcosystemConfig tiny_ecosystem() {
+  measurement::EcosystemConfig config;
+  config.seed = 3;
+  config.responder_count = 100;
+  config.alexa_domains = 5000;
+  config.certs_per_responder = 1;
+  config.campaign_start = util::make_time(2018, 4, 25);
+  config.campaign_end = util::make_time(2018, 4, 28);
+  return config;
+}
+
+TEST(MustStapleStudy, AllComponentsDisabledStillRenders) {
+  StudyConfig config;
+  config.ecosystem = tiny_ecosystem();
+  config.run_availability_scan = false;
+  config.run_consistency_audit = false;
+  config.run_browser_suite = false;
+  config.run_webserver_suite = false;
+  MustStapleStudy study(config);
+  const ReadinessReport report = study.run();
+  EXPECT_EQ(report.responders_total, 0u);
+  EXPECT_EQ(report.browsers_tested, 0u);
+  EXPECT_FALSE(report.web_is_ready);
+  EXPECT_EQ(report.verdicts.size(), 4u);
+  EXPECT_FALSE(report.render().empty());
+  // Deployment stats are computed regardless of the toggles.
+  EXPECT_GT(report.deployment.total_certs, 0u);
+}
+
+TEST(MustStapleStudy, ScanOnlyPopulatesCaSection) {
+  StudyConfig config;
+  config.ecosystem = tiny_ecosystem();
+  config.scan.interval = Duration::hours(24);
+  config.run_consistency_audit = false;
+  config.run_browser_suite = false;
+  config.run_webserver_suite = false;
+  MustStapleStudy study(config);
+  const ReadinessReport report = study.run();
+  EXPECT_GE(report.responders_total, 100u);
+  EXPECT_GE(report.responders_never_reachable, 2u);
+  EXPECT_GT(report.average_failure_rate, 0.0);
+  EXPECT_EQ(report.browsers_tested, 0u);
+}
+
+TEST(MustStapleStudy, FixedCaAblationDropsFailures) {
+  StudyConfig config;
+  config.ecosystem = tiny_ecosystem();
+  config.ecosystem.apply_fault_schedule = false;
+  config.ecosystem.apply_pathologies = false;
+  config.scan.interval = Duration::hours(24);
+  config.run_consistency_audit = false;
+  config.run_browser_suite = false;
+  config.run_webserver_suite = false;
+  MustStapleStudy study(config);
+  const ReadinessReport report = study.run();
+  // No fault schedule: every request succeeds, no outages, nothing dark.
+  EXPECT_DOUBLE_EQ(report.average_failure_rate, 0.0);
+  EXPECT_EQ(report.responders_with_outage, 0u);
+  EXPECT_EQ(report.responders_never_reachable, 0u);
+}
+
+TEST(MustStapleStudy, EcosystemAccessorExposesWorld) {
+  StudyConfig config;
+  config.ecosystem = tiny_ecosystem();
+  config.run_availability_scan = false;
+  config.run_consistency_audit = false;
+  config.run_browser_suite = false;
+  config.run_webserver_suite = false;
+  MustStapleStudy study(config);
+  EXPECT_GE(study.ecosystem().responders().size(), 100u);
+  EXPECT_EQ(study.ecosystem().domains().size(), 5000u);
+}
+
+TEST(ReadinessReport, RenderMentionsEveryPrincipal) {
+  StudyConfig config;
+  config.ecosystem = tiny_ecosystem();
+  config.scan.interval = Duration::hours(24);
+  config.consistency.revoked_population = 200;
+  MustStapleStudy study(config);
+  const std::string rendered = study.run().render();
+  EXPECT_NE(rendered.find("Certificate authorities"), std::string::npos);
+  EXPECT_NE(rendered.find("Clients (browsers)"), std::string::npos);
+  EXPECT_NE(rendered.find("Web server software"), std::string::npos);
+  EXPECT_NE(rendered.find("Deployment"), std::string::npos);
+  EXPECT_NE(rendered.find("NOT ready"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mustaple::core

@@ -1,0 +1,306 @@
+// Certificate Transparency substrate tests: RFC 6962 Merkle tree hashes,
+// exhaustive inclusion/consistency proof verification over small trees,
+// SCT/STH signatures, and the Censys-style snapshot pipeline (§4 corpus).
+#include <gtest/gtest.h>
+
+#include "ca/authority.hpp"
+#include "crypto/sha256.hpp"
+#include "ct/log.hpp"
+#include "ct/merkle.hpp"
+#include "measurement/censys.hpp"
+
+namespace mustaple {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+const SimTime kNow = util::make_time(2018, 4, 24);
+
+Bytes entry(int i) {
+  return util::bytes_of("entry-" + std::to_string(i));
+}
+
+// ---------------------------------------------------------------- hashes --
+
+TEST(Merkle, EmptyTreeRootIsHashOfEmptyString) {
+  ct::MerkleTree tree;
+  EXPECT_EQ(util::to_hex(tree.root_hash()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  ct::MerkleTree tree;
+  tree.append(entry(0));
+  EXPECT_EQ(tree.root_hash(), ct::leaf_hash(entry(0)));
+}
+
+TEST(Merkle, TwoLeafRootIsNodeOfLeafHashes) {
+  ct::MerkleTree tree;
+  tree.append(entry(0));
+  tree.append(entry(1));
+  EXPECT_EQ(tree.root_hash(),
+            ct::node_hash(ct::leaf_hash(entry(0)), ct::leaf_hash(entry(1))));
+}
+
+TEST(Merkle, DomainSeparationBetweenLeafAndNode) {
+  // 0x00 vs 0x01 prefixes: a leaf over X never collides with a node whose
+  // serialization happens to equal X.
+  const Bytes data = {1, 2, 3};
+  EXPECT_NE(ct::leaf_hash(data), crypto::Sha256::hash(data));
+}
+
+TEST(Merkle, UnbalancedTreeSplitsAtLargestPowerOfTwo) {
+  // n=3: MTH = H(MTH(D[0:2]), MTH(D[2:3])).
+  ct::MerkleTree tree;
+  for (int i = 0; i < 3; ++i) tree.append(entry(i));
+  const Bytes left =
+      ct::node_hash(ct::leaf_hash(entry(0)), ct::leaf_hash(entry(1)));
+  EXPECT_EQ(tree.root_hash(), ct::node_hash(left, ct::leaf_hash(entry(2))));
+}
+
+TEST(Merkle, PrefixRootsMatchIncrementalConstruction) {
+  ct::MerkleTree incremental;
+  for (int n = 1; n <= 20; ++n) {
+    incremental.append(entry(n - 1));
+    ct::MerkleTree fresh;
+    for (int i = 0; i < n; ++i) fresh.append(entry(i));
+    EXPECT_EQ(incremental.root_hash(), fresh.root_hash()) << n;
+    EXPECT_EQ(incremental.root_hash(static_cast<std::uint64_t>(n)),
+              incremental.root_hash())
+        << n;
+  }
+}
+
+// --------------------------------------------------------------- proofs --
+
+class MerkleExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleExhaustive, InclusionForEveryLeafAndPrefix) {
+  const int n = GetParam();
+  ct::MerkleTree tree;
+  for (int i = 0; i < n; ++i) tree.append(entry(i));
+  for (std::uint64_t tree_size = 1; tree_size <= static_cast<std::uint64_t>(n);
+       ++tree_size) {
+    const Bytes root = tree.root_hash(tree_size);
+    for (std::uint64_t leaf = 0; leaf < tree_size; ++leaf) {
+      const auto proof = tree.inclusion_proof(leaf, tree_size);
+      EXPECT_TRUE(ct::MerkleTree::verify_inclusion(entry(static_cast<int>(leaf)),
+                                                   leaf, tree_size, proof,
+                                                   root))
+          << "leaf " << leaf << " of " << tree_size;
+      // A proof for leaf i must NOT verify another entry.
+      EXPECT_FALSE(ct::MerkleTree::verify_inclusion(
+          util::bytes_of("imposter"), leaf, tree_size, proof, root));
+      // Nor against the wrong position (when there is more than one).
+      if (tree_size > 1) {
+        EXPECT_FALSE(ct::MerkleTree::verify_inclusion(
+            entry(static_cast<int>(leaf)), (leaf + 1) % tree_size, tree_size,
+            proof, root));
+      }
+    }
+  }
+}
+
+TEST_P(MerkleExhaustive, ConsistencyForEverySizePair) {
+  const int n = GetParam();
+  ct::MerkleTree tree;
+  for (int i = 0; i < n; ++i) tree.append(entry(i));
+  for (std::uint64_t old_size = 1; old_size <= static_cast<std::uint64_t>(n);
+       ++old_size) {
+    const Bytes old_root = tree.root_hash(old_size);
+    for (std::uint64_t new_size = old_size;
+         new_size <= static_cast<std::uint64_t>(n); ++new_size) {
+      const Bytes new_root = tree.root_hash(new_size);
+      const auto proof = tree.consistency_proof(old_size, new_size);
+      EXPECT_TRUE(ct::MerkleTree::verify_consistency(old_size, new_size,
+                                                     old_root, new_root,
+                                                     proof))
+          << old_size << " -> " << new_size;
+      // A forged old root must not verify.
+      Bytes forged = old_root;
+      forged[0] ^= 0xff;
+      EXPECT_FALSE(ct::MerkleTree::verify_consistency(old_size, new_size,
+                                                      forged, new_root,
+                                                      proof))
+          << old_size << " -> " << new_size;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16,
+                                           17, 33));
+
+TEST(Merkle, ProofArgumentValidation) {
+  ct::MerkleTree tree;
+  tree.append(entry(0));
+  EXPECT_THROW(tree.inclusion_proof(1, 1), std::out_of_range);
+  EXPECT_THROW(tree.inclusion_proof(0, 2), std::out_of_range);
+  EXPECT_THROW(tree.consistency_proof(0, 1), std::out_of_range);
+  EXPECT_THROW(tree.consistency_proof(2, 1), std::out_of_range);
+  EXPECT_THROW(tree.entry(5), std::out_of_range);
+}
+
+TEST(Merkle, TamperedProofRejected) {
+  ct::MerkleTree tree;
+  for (int i = 0; i < 10; ++i) tree.append(entry(i));
+  const Bytes root = tree.root_hash();
+  auto proof = tree.inclusion_proof(4, 10);
+  ASSERT_FALSE(proof.empty());
+  proof[0][0] ^= 0x01;
+  EXPECT_FALSE(ct::MerkleTree::verify_inclusion(entry(4), 4, 10, proof, root));
+  // Truncated proofs must fail too, not crash.
+  auto shortened = tree.inclusion_proof(4, 10);
+  shortened.pop_back();
+  EXPECT_FALSE(
+      ct::MerkleTree::verify_inclusion(entry(4), 4, 10, shortened, root));
+  // And over-long proofs.
+  auto extended = tree.inclusion_proof(4, 10);
+  extended.push_back(Bytes(32, 0));
+  EXPECT_FALSE(
+      ct::MerkleTree::verify_inclusion(entry(4), 4, 10, extended, root));
+}
+
+// ------------------------------------------------------------------ log --
+
+struct LogWorld {
+  util::Rng rng{2018};
+  ca::CertificateAuthority authority{"LogCA", kNow - Duration::days(900), rng};
+  ct::CtLog log{"sim-log-2018", rng};
+
+  x509::Certificate issue(const std::string& domain) {
+    ca::LeafRequest request;
+    request.domain = domain;
+    request.not_before = kNow - Duration::days(1);
+    request.lifetime = Duration::days(90);
+    request.ocsp_urls = {"http://ocsp.log.example/"};
+    return authority.issue(request, rng);
+  }
+};
+
+TEST(CtLog, SctVerifies) {
+  LogWorld w;
+  const auto cert = w.issue("logged.example");
+  const auto sct = w.log.submit(cert, kNow);
+  EXPECT_TRUE(ct::CtLog::verify_sct(cert, sct, w.log.public_key()));
+  // Wrong certificate or wrong key fails.
+  const auto other = w.issue("other.example");
+  EXPECT_FALSE(ct::CtLog::verify_sct(other, sct, w.log.public_key()));
+  util::Rng rng2(1);
+  ct::CtLog other_log("other-log", rng2);
+  EXPECT_FALSE(ct::CtLog::verify_sct(cert, sct, other_log.public_key()));
+}
+
+TEST(CtLog, TreeHeadVerifiesAndGrows) {
+  LogWorld w;
+  w.log.submit(w.issue("a.example"), kNow);
+  const auto sth1 = w.log.tree_head(kNow);
+  EXPECT_TRUE(ct::CtLog::verify_tree_head(sth1, w.log.public_key()));
+  EXPECT_EQ(sth1.tree_size, 1u);
+  w.log.submit(w.issue("b.example"), kNow + Duration::hours(1));
+  const auto sth2 = w.log.tree_head(kNow + Duration::hours(1));
+  EXPECT_EQ(sth2.tree_size, 2u);
+  // Consistency between the two heads.
+  const auto proof = w.log.consistency_proof(1, 2);
+  EXPECT_TRUE(ct::MerkleTree::verify_consistency(
+      1, 2, sth1.root_hash, sth2.root_hash, proof));
+}
+
+TEST(CtLog, EntryInclusionVerifies) {
+  LogWorld w;
+  std::vector<x509::Certificate> certs;
+  for (int i = 0; i < 9; ++i) {
+    certs.push_back(w.issue("d" + std::to_string(i) + ".example"));
+    w.log.submit(certs.back(), kNow);
+  }
+  const auto sth = w.log.tree_head(kNow);
+  for (std::uint64_t i = 0; i < certs.size(); ++i) {
+    EXPECT_TRUE(w.log.verify_entry_inclusion(certs[i], i, sth)) << i;
+  }
+  EXPECT_FALSE(w.log.verify_entry_inclusion(certs[0], 3, sth));
+}
+
+// ----------------------------------------------------------------- censys --
+
+TEST(Censys, DedupAcrossSourcesAndValidityTriage) {
+  LogWorld w;
+  // Three stores with partial overlap: apple+nss trust LogCA; microsoft
+  // does not (it trusts a different CA).
+  util::Rng rng2(77);
+  ca::CertificateAuthority other_ca("OtherCA", kNow - Duration::days(900),
+                                    rng2);
+  measurement::RootStoreTriple stores;
+  stores.apple.add(w.authority.root_cert());
+  stores.nss.add(w.authority.root_cert());
+  stores.microsoft.add(other_ca.root_cert());
+
+  const auto seen_everywhere = w.issue("both.example");
+  const auto scan_only = w.issue("scan.example");
+  const auto ct_only = w.issue("ct.example");
+  // An expired certificate, CT-visible only.
+  ca::LeafRequest old_request;
+  old_request.domain = "old.example";
+  old_request.not_before = kNow - Duration::days(400);
+  old_request.lifetime = Duration::days(90);
+  const auto expired = w.authority.issue(old_request, w.rng);
+  // An untrusted self-signed rogue found by the scan.
+  util::Rng rogue_rng(5);
+  const auto rogue_key = crypto::KeyPair::generate_sim(rogue_rng);
+  const auto rogue = x509::CertificateBuilder()
+                         .serial_number(666)
+                         .subject(x509::DistinguishedName{"rogue.example", "", ""})
+                         .issuer(x509::DistinguishedName{"rogue.example", "", ""})
+                         .validity(kNow - Duration::days(1),
+                                   kNow + Duration::days(1))
+                         .public_key(rogue_key.public_key())
+                         .sign(rogue_key);
+
+  w.log.submit(seen_everywhere, kNow);
+  w.log.submit(ct_only, kNow);
+  w.log.submit(expired, kNow);
+  w.log.submit(seen_everywhere, kNow);  // duplicate submission
+
+  measurement::CensysPipeline pipeline(std::move(stores));
+  pipeline.ingest_scan(w.authority.chain_for(seen_everywhere));
+  pipeline.ingest_scan(w.authority.chain_for(scan_only));
+  pipeline.ingest_scan(w.authority.chain_for(seen_everywhere));  // re-seen
+  pipeline.ingest_scan({rogue});
+  pipeline.ingest_log(w.log, kNow, {w.authority.intermediate_cert()});
+
+  const auto snap = pipeline.snapshot(kNow);
+  EXPECT_EQ(snap.observations, 8u);  // 4 scans + 4 CT entries
+  EXPECT_EQ(snap.unique_certificates, 5u);
+  EXPECT_EQ(snap.from_both, 1u);        // seen_everywhere
+  EXPECT_EQ(snap.from_scan_only, 2u);   // scan_only + rogue
+  EXPECT_EQ(snap.from_ct_only, 2u);     // ct_only + expired
+  EXPECT_EQ(snap.dropped_ct_entries, 0u);
+  // Validity per footnote 7: trusted by apple/nss even though microsoft
+  // does not carry the root.
+  EXPECT_EQ(snap.valid, 3u);
+  EXPECT_EQ(snap.expired, 1u);
+  EXPECT_EQ(snap.untrusted, 1u);
+  EXPECT_EQ(snap.valid_with_ocsp, 3u);
+}
+
+TEST(Censys, MustStapleCounted) {
+  LogWorld w;
+  measurement::RootStoreTriple stores;
+  stores.apple.add(w.authority.root_cert());
+  ca::LeafRequest request;
+  request.domain = "ms.example";
+  request.not_before = kNow - Duration::days(1);
+  request.lifetime = Duration::days(90);
+  request.must_staple = true;
+  request.ocsp_urls = {"http://ocsp.log.example/"};
+  const auto ms_cert = w.authority.issue(request, w.rng);
+  measurement::CensysPipeline pipeline(std::move(stores));
+  pipeline.ingest_scan(w.authority.chain_for(ms_cert));
+  const auto snap = pipeline.snapshot(kNow);
+  EXPECT_EQ(snap.valid, 1u);
+  EXPECT_EQ(snap.valid_with_must_staple, 1u);
+}
+
+}  // namespace
+}  // namespace mustaple

@@ -1,0 +1,403 @@
+// Network-simulator tests: URLs, HTTP wire format, DNS (incl. CNAME
+// chains), the event loop, fault rules, and end-to-end request routing with
+// injected failures (the §5.2 failure taxonomy).
+#include <gtest/gtest.h>
+
+#include "net/dns.hpp"
+#include "net/event_loop.hpp"
+#include "net/fault.hpp"
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "net/url.hpp"
+#include "net/vantage.hpp"
+
+namespace mustaple::net {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+const SimTime kStart = util::make_time(2018, 4, 25);
+
+// ------------------------------------------------------------------- URL --
+
+TEST(Url, ParsesPlainHttp) {
+  auto url = parse_url("http://ocsp.example.com/");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().scheme, "http");
+  EXPECT_EQ(url.value().host, "ocsp.example.com");
+  EXPECT_EQ(url.value().port, 80);
+  EXPECT_EQ(url.value().path, "/");
+}
+
+TEST(Url, ParsesHttpsDefaultPort) {
+  auto url = parse_url("https://secure.example/status");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().port, 443);
+  EXPECT_EQ(url.value().path, "/status");
+}
+
+TEST(Url, ParsesExplicitPort) {
+  // The paper's http://ocsp.pki.wayport.net:2560 case.
+  auto url = parse_url("http://ocsp.pki.wayport.net:2560");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().port, 2560);
+  EXPECT_EQ(url.value().path, "/");
+}
+
+TEST(Url, LowercasesHost) {
+  auto url = parse_url("http://OCSP.Example.COM/X");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().host, "ocsp.example.com");
+  EXPECT_EQ(url.value().path, "/X");  // path case preserved
+}
+
+TEST(Url, ToStringOmitsDefaultPorts) {
+  EXPECT_EQ(parse_url("http://h/x").value().to_string(), "http://h/x");
+  EXPECT_EQ(parse_url("http://h:8080/x").value().to_string(),
+            "http://h:8080/x");
+}
+
+TEST(Url, RejectsMalformed) {
+  EXPECT_FALSE(parse_url("ftp://x/").ok());
+  EXPECT_FALSE(parse_url("http://").ok());
+  EXPECT_FALSE(parse_url("http://host:abc/").ok());
+  EXPECT_FALSE(parse_url("http://host:99999/").ok());
+  EXPECT_FALSE(parse_url("http://host:/").ok());
+  EXPECT_FALSE(parse_url("no-scheme.example").ok());
+}
+
+// ------------------------------------------------------------------ HTTP --
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/ocsp";
+  req.headers.set("Host", "ocsp.example");
+  req.headers.set("Content-Type", "application/ocsp-request");
+  req.body = {0x30, 0x03, 0x0a, 0x01, 0x00};
+  auto parsed = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().method, "POST");
+  EXPECT_EQ(parsed.value().path, "/ocsp");
+  EXPECT_EQ(parsed.value().host(), "ocsp.example");
+  EXPECT_EQ(parsed.value().headers.get("content-type"),
+            "application/ocsp-request");
+  EXPECT_EQ(parsed.value().body, req.body);
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse resp = HttpResponse::make(404, "Not Found",
+                                         util::bytes_of("nope"), "text/plain");
+  auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status_code, 404);
+  EXPECT_EQ(parsed.value().reason, "Not Found");
+  EXPECT_EQ(util::text_of(parsed.value().body), "nope");
+  EXPECT_FALSE(parsed.value().ok());
+}
+
+TEST(Http, HeadersCaseInsensitive) {
+  HeaderMap headers;
+  headers.set("Content-Length", "5");
+  EXPECT_TRUE(headers.contains("content-length"));
+  EXPECT_TRUE(headers.contains("CONTENT-LENGTH"));
+  EXPECT_EQ(headers.get("Content-length"), "5");
+  EXPECT_EQ(headers.get("missing"), "");
+}
+
+TEST(Http, ParseRejectsMalformed) {
+  EXPECT_FALSE(HttpRequest::parse(util::bytes_of("garbage")).ok());
+  EXPECT_FALSE(HttpRequest::parse(util::bytes_of("GET /\r\n\r\n")).ok());
+  EXPECT_FALSE(
+      HttpResponse::parse(util::bytes_of("NOTHTTP 200 OK\r\n\r\n")).ok());
+  EXPECT_FALSE(
+      HttpResponse::parse(util::bytes_of("HTTP/1.1 abc OK\r\n\r\n")).ok());
+}
+
+TEST(Http, BinaryBodySurvives) {
+  HttpResponse resp;
+  resp.body.resize(256);
+  for (int i = 0; i < 256; ++i) resp.body[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().body, resp.body);
+}
+
+// ------------------------------------------------------------------- DNS --
+
+TEST(Dns, ResolveARecord) {
+  DnsZone zone;
+  zone.add_a("host.example", 42);
+  auto addr = zone.resolve("host.example");
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr.value(), 42u);
+  EXPECT_TRUE(zone.has_name("HOST.example"));
+}
+
+TEST(Dns, NxDomain) {
+  DnsZone zone;
+  auto result = zone.resolve("nowhere.example");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "dns.nxdomain");
+}
+
+TEST(Dns, CnameChainFollowed) {
+  DnsZone zone;
+  zone.add_a("target.example", 7);
+  zone.add_cname("alias1.example", "alias2.example");
+  zone.add_cname("alias2.example", "target.example");
+  auto addr = zone.resolve("alias1.example");
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr.value(), 7u);
+  EXPECT_EQ(zone.canonical_name("alias1.example"), "target.example");
+  EXPECT_EQ(zone.canonical_name("target.example"), "target.example");
+}
+
+TEST(Dns, CnameLoopDetected) {
+  DnsZone zone;
+  zone.add_cname("a.example", "b.example");
+  zone.add_cname("b.example", "a.example");
+  auto result = zone.resolve("a.example");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "dns.cname_loop");
+}
+
+// ------------------------------------------------------------ event loop --
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop(kStart);
+  std::vector<int> order;
+  loop.schedule_at(kStart + Duration::secs(30), [&] { order.push_back(2); });
+  loop.schedule_at(kStart + Duration::secs(10), [&] { order.push_back(1); });
+  loop.schedule_at(kStart + Duration::secs(50), [&] { order.push_back(3); });
+  loop.run_until(kStart + Duration::secs(40));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), kStart + Duration::secs(40));
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), kStart + Duration::secs(50));
+}
+
+TEST(EventLoop, FifoForSameTime) {
+  EventLoop loop(kStart);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(kStart + Duration::secs(10), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CallbackMaySchedule) {
+  EventLoop loop(kStart);
+  int fired = 0;
+  loop.schedule_after(Duration::secs(1), [&] {
+    ++fired;
+    loop.schedule_after(Duration::secs(1), [&] { ++fired; });
+  });
+  loop.run_until(kStart + Duration::secs(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop(kStart);
+  loop.run_until(kStart + Duration::secs(100));
+  bool fired = false;
+  loop.schedule_at(kStart, [&] { fired = true; });  // in the past
+  loop.run_until(kStart + Duration::secs(101));
+  EXPECT_TRUE(fired);
+}
+
+// ---------------------------------------------------------------- faults --
+
+TEST(FaultRule, WindowAndRegionScoping) {
+  FaultRule rule;
+  rule.canonical_host = "x.example";
+  rule.mode = FaultMode::kTcpConnectFailure;
+  rule.regions = {Region::kSeoul};
+  rule.window_start = kStart + Duration::hours(1);
+  rule.window_end = kStart + Duration::hours(3);
+
+  EXPECT_FALSE(rule.applies("x.example", Region::kSeoul, kStart));
+  EXPECT_TRUE(rule.applies("x.example", Region::kSeoul,
+                           kStart + Duration::hours(2)));
+  EXPECT_FALSE(rule.applies("x.example", Region::kParis,
+                            kStart + Duration::hours(2)));
+  EXPECT_FALSE(rule.applies("x.example", Region::kSeoul,
+                            kStart + Duration::hours(3)));  // end exclusive
+  EXPECT_FALSE(rule.applies("y.example", Region::kSeoul,
+                            kStart + Duration::hours(2)));
+}
+
+TEST(FaultRule, OpenEndedAndGlobal) {
+  FaultRule rule;
+  rule.canonical_host = "dead.example";
+  rule.mode = FaultMode::kDnsNxDomain;
+  for (Region region : all_regions()) {
+    EXPECT_TRUE(rule.applies("dead.example", region, kStart));
+    EXPECT_TRUE(rule.applies("dead.example", region,
+                             kStart + Duration::days(1000)));
+  }
+}
+
+TEST(FaultPlan, FirstMatchWins) {
+  FaultPlan plan;
+  FaultRule first;
+  first.canonical_host = "h.example";
+  first.mode = FaultMode::kHttp404;
+  plan.add(first);
+  FaultRule second;
+  second.canonical_host = "h.example";
+  second.mode = FaultMode::kHttp500;
+  plan.add(second);
+  auto mode = plan.check("h.example", Region::kParis, kStart);
+  ASSERT_TRUE(mode.has_value());
+  EXPECT_EQ(*mode, FaultMode::kHttp404);
+  EXPECT_FALSE(plan.check("other.example", Region::kParis, kStart).has_value());
+}
+
+// --------------------------------------------------------------- network --
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture() : loop_(kStart), network_(loop_, 99) {
+    network_.register_service(
+        "svc.example", 80,
+        [](const HttpRequest& request, SimTime, Region) {
+          HttpResponse resp = HttpResponse::make(
+              200, "OK", util::bytes_of("echo:" + request.path), "text/plain");
+          return resp;
+        });
+  }
+
+  Url url(const std::string& text) { return parse_url(text).value(); }
+
+  EventLoop loop_;
+  Network network_;
+};
+
+TEST_F(NetworkFixture, SuccessfulRoundTrip) {
+  auto result = network_.http_get(Region::kVirginia, url("http://svc.example/abc"));
+  EXPECT_EQ(result.error, TransportError::kNone);
+  EXPECT_TRUE(result.success());
+  EXPECT_EQ(util::text_of(result.response.body), "echo:/abc");
+  EXPECT_GT(result.latency_ms, 0.0);
+}
+
+TEST_F(NetworkFixture, UnknownHostIsDnsFailure) {
+  auto result = network_.http_get(Region::kVirginia, url("http://ghost.example/"));
+  EXPECT_EQ(result.error, TransportError::kDnsFailure);
+  EXPECT_FALSE(result.success());
+}
+
+TEST_F(NetworkFixture, RegisteredNameWrongPortIsTcpFailure) {
+  auto result =
+      network_.http_get(Region::kVirginia, url("http://svc.example:8080/"));
+  EXPECT_EQ(result.error, TransportError::kTcpFailure);
+}
+
+TEST_F(NetworkFixture, InjectedHttpErrorsComeBackAsResponses) {
+  for (auto [mode, code] :
+       std::vector<std::pair<FaultMode, int>>{{FaultMode::kHttp404, 404},
+                                              {FaultMode::kHttp500, 500},
+                                              {FaultMode::kHttp503, 503}}) {
+    FaultPlan& faults = network_.faults();
+    FaultRule rule;
+    rule.canonical_host = "svc.example";
+    rule.mode = mode;
+    rule.window_start = loop_.now();
+    rule.window_end = loop_.now() + Duration::secs(1);
+    faults.add(rule);
+    auto result = network_.http_get(Region::kParis, url("http://svc.example/"));
+    EXPECT_EQ(result.error, TransportError::kNone);
+    EXPECT_EQ(result.response.status_code, code);
+    EXPECT_FALSE(result.success());
+    loop_.run_until(loop_.now() + Duration::secs(2));  // expire the rule
+  }
+}
+
+TEST_F(NetworkFixture, InjectedDnsAndTcpFailures) {
+  FaultRule dns;
+  dns.canonical_host = "svc.example";
+  dns.mode = FaultMode::kDnsNxDomain;
+  dns.regions = {Region::kSeoul};
+  network_.faults().add(dns);
+  EXPECT_EQ(network_.http_get(Region::kSeoul, url("http://svc.example/")).error,
+            TransportError::kDnsFailure);
+  // Other regions are unaffected (the regional-persistent-failure pattern).
+  EXPECT_TRUE(
+      network_.http_get(Region::kOregon, url("http://svc.example/")).success());
+}
+
+TEST_F(NetworkFixture, TlsCertFaultOnlyAffectsHttps) {
+  network_.register_service("secure.example", 443,
+                            [](const HttpRequest&, SimTime, Region) {
+                              return HttpResponse::make(200, "OK", {}, "");
+                            });
+  network_.register_service("secure.example", 80,
+                            [](const HttpRequest&, SimTime, Region) {
+                              return HttpResponse::make(200, "OK", {}, "");
+                            });
+  FaultRule rule;
+  rule.canonical_host = "secure.example";
+  rule.mode = FaultMode::kTlsCertInvalid;
+  network_.faults().add(rule);
+  EXPECT_EQ(
+      network_.http_get(Region::kParis, url("https://secure.example/")).error,
+      TransportError::kTlsCertInvalid);
+  EXPECT_TRUE(
+      network_.http_get(Region::kParis, url("http://secure.example/")).success());
+}
+
+TEST_F(NetworkFixture, CnameAliasSharesFaults) {
+  // The Comodo pattern: an outage keyed on the canonical name takes down
+  // every alias.
+  network_.dns().add_cname("alias.example", "svc.example");
+  FaultRule rule;
+  rule.canonical_host = "svc.example";
+  rule.mode = FaultMode::kTcpConnectFailure;
+  network_.faults().add(rule);
+  EXPECT_EQ(
+      network_.http_get(Region::kParis, url("http://alias.example/")).error,
+      TransportError::kTcpFailure);
+}
+
+TEST_F(NetworkFixture, CnameAliasRoutesToService) {
+  network_.dns().add_cname("alias2.example", "svc.example");
+  auto result =
+      network_.http_get(Region::kParis, url("http://alias2.example/x"));
+  EXPECT_TRUE(result.success());
+  EXPECT_EQ(util::text_of(result.response.body), "echo:/x");
+}
+
+TEST_F(NetworkFixture, LatencyDependsOnDistance) {
+  network_.set_host_region("svc.example", Region::kVirginia);
+  double near_total = 0;
+  double far_total = 0;
+  for (int i = 0; i < 30; ++i) {
+    near_total +=
+        network_.http_get(Region::kVirginia, url("http://svc.example/")).latency_ms;
+    far_total +=
+        network_.http_get(Region::kSydney, url("http://svc.example/")).latency_ms;
+  }
+  EXPECT_LT(near_total, far_total);
+}
+
+TEST(Vantage, RttMatrixSymmetricAndPositive) {
+  for (Region a : all_regions()) {
+    for (Region b : all_regions()) {
+      EXPECT_GT(base_rtt_ms(a, b), 0.0);
+      EXPECT_DOUBLE_EQ(base_rtt_ms(a, b), base_rtt_ms(b, a));
+    }
+    EXPECT_STRNE(to_string(a), "?");
+  }
+}
+
+}  // namespace
+}  // namespace mustaple::net

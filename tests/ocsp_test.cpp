@@ -1,0 +1,449 @@
+// OCSP protocol tests: request/response wire format, every certStatus
+// variant, delegation, and the full client-side verification taxonomy of
+// paper §5.3/§5.4.
+#include <gtest/gtest.h>
+
+#include "crypto/signer.hpp"
+#include "ocsp/request.hpp"
+#include "ocsp/response.hpp"
+#include "ocsp/types.hpp"
+#include "ocsp/verify.hpp"
+#include "x509/certificate.hpp"
+
+namespace mustaple::ocsp {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+const SimTime kNow = util::make_time(2018, 5, 1, 12);
+
+struct World {
+  util::Rng rng;
+  crypto::KeyPair issuer_key;
+  x509::Certificate issuer;
+  x509::Certificate leaf;
+
+  explicit World(std::uint64_t seed = 77)
+      : rng(seed), issuer_key(crypto::KeyPair::generate_sim(rng)) {
+    const x509::DistinguishedName issuer_dn{"Issuing CA", "T", "US"};
+    issuer = x509::CertificateBuilder()
+                 .serial_number(1)
+                 .subject(issuer_dn)
+                 .issuer(issuer_dn)
+                 .validity(kNow - Duration::days(1000),
+                           kNow + Duration::days(1000))
+                 .public_key(issuer_key.public_key())
+                 .ca(true)
+                 .sign(issuer_key);
+    leaf = x509::CertificateBuilder()
+               .serial_number(0xabcdef)
+               .subject(x509::DistinguishedName{"site.example", "", ""})
+               .issuer(issuer_dn)
+               .validity(kNow - Duration::days(30), kNow + Duration::days(60))
+               .public_key(crypto::KeyPair::generate_sim(rng).public_key())
+               .add_ocsp_url("http://ocsp.example/")
+               .sign(issuer_key);
+  }
+
+  CertId cert_id() const { return CertId::for_certificate(leaf, issuer); }
+
+  SingleResponse good_single() const {
+    SingleResponse single;
+    single.cert_id = cert_id();
+    single.status = CertStatus::kGood;
+    single.this_update = kNow - Duration::hours(1);
+    single.next_update = kNow + Duration::days(7);
+    return single;
+  }
+};
+
+// ---------------------------------------------------------------- CertId --
+
+TEST(CertId, HashesAreWellFormed) {
+  World w;
+  const CertId id = w.cert_id();
+  EXPECT_EQ(id.issuer_name_hash.size(), 20u);  // SHA-1
+  EXPECT_EQ(id.issuer_key_hash.size(), 20u);
+  EXPECT_EQ(id.serial, w.leaf.serial());
+}
+
+TEST(CertId, DifferentIssuersDiffer) {
+  World a(1);
+  World b(2);  // same structure, different keys
+  EXPECT_EQ(a.cert_id().issuer_name_hash, b.cert_id().issuer_name_hash);
+  EXPECT_NE(a.cert_id().issuer_key_hash, b.cert_id().issuer_key_hash);
+}
+
+// --------------------------------------------------------------- request --
+
+TEST(OcspRequest, SingleRoundTrip) {
+  World w;
+  const OcspRequest request = OcspRequest::single(w.cert_id());
+  auto parsed = OcspRequest::parse(request.encode_der());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed.value().cert_ids().size(), 1u);
+  EXPECT_EQ(parsed.value().cert_ids()[0], w.cert_id());
+}
+
+TEST(OcspRequest, MultipleCertIdsRoundTrip) {
+  World w;
+  CertId second = w.cert_id();
+  second.serial.push_back(0x99);
+  const OcspRequest request({w.cert_id(), second});
+  auto parsed = OcspRequest::parse(request.encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().cert_ids().size(), 2u);
+}
+
+TEST(OcspRequest, ParseRejectsGarbage) {
+  EXPECT_FALSE(OcspRequest::parse(util::bytes_of("nope")).ok());
+  const Bytes empty;
+  EXPECT_FALSE(OcspRequest::parse(empty).ok());
+}
+
+// -------------------------------------------------------------- response --
+
+TEST(OcspResponse, GoodResponseRoundTrip) {
+  World w;
+  const OcspResponse response = OcspResponseBuilder()
+                                    .produced_at(kNow - Duration::hours(1))
+                                    .add_single(w.good_single())
+                                    .sign(w.issuer_key);
+  auto parsed = OcspResponse::parse(response.encode_der());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const OcspResponse& p = parsed.value();
+  EXPECT_TRUE(p.successful());
+  EXPECT_EQ(p.produced_at(), kNow - Duration::hours(1));
+  ASSERT_EQ(p.responses().size(), 1u);
+  EXPECT_EQ(p.responses()[0].status, CertStatus::kGood);
+  EXPECT_EQ(p.responses()[0].this_update, kNow - Duration::hours(1));
+  EXPECT_EQ(p.responses()[0].next_update, kNow + Duration::days(7));
+  EXPECT_TRUE(p.verify_signature(w.issuer_key.public_key()));
+}
+
+TEST(OcspResponse, RevokedWithReasonRoundTrip) {
+  World w;
+  SingleResponse single = w.good_single();
+  single.status = CertStatus::kRevoked;
+  single.revoked = RevokedInfo{kNow - Duration::days(3),
+                               crl::ReasonCode::kKeyCompromise};
+  const OcspResponse response = OcspResponseBuilder()
+                                    .produced_at(kNow)
+                                    .add_single(single)
+                                    .sign(w.issuer_key);
+  auto parsed = OcspResponse::parse(response.encode_der());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const SingleResponse& p = parsed.value().responses()[0];
+  EXPECT_EQ(p.status, CertStatus::kRevoked);
+  ASSERT_TRUE(p.revoked.has_value());
+  EXPECT_EQ(p.revoked->revocation_time, kNow - Duration::days(3));
+  EXPECT_EQ(p.revoked->reason, crl::ReasonCode::kKeyCompromise);
+}
+
+TEST(OcspResponse, RevokedWithoutReasonRoundTrip) {
+  World w;
+  SingleResponse single = w.good_single();
+  single.status = CertStatus::kRevoked;
+  single.revoked = RevokedInfo{kNow - Duration::days(1), std::nullopt};
+  auto parsed = OcspResponse::parse(OcspResponseBuilder()
+                                        .produced_at(kNow)
+                                        .add_single(single)
+                                        .sign(w.issuer_key)
+                                        .encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().responses()[0].revoked->reason, std::nullopt);
+}
+
+TEST(OcspResponse, UnknownStatusRoundTrip) {
+  World w;
+  SingleResponse single = w.good_single();
+  single.status = CertStatus::kUnknown;
+  auto parsed = OcspResponse::parse(OcspResponseBuilder()
+                                        .produced_at(kNow)
+                                        .add_single(single)
+                                        .sign(w.issuer_key)
+                                        .encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().responses()[0].status, CertStatus::kUnknown);
+}
+
+TEST(OcspResponse, BlankNextUpdateRoundTrip) {
+  World w;
+  SingleResponse single = w.good_single();
+  single.next_update.reset();  // "blank nextUpdate" (paper Fig 8)
+  auto parsed = OcspResponse::parse(OcspResponseBuilder()
+                                        .produced_at(kNow)
+                                        .add_single(single)
+                                        .sign(w.issuer_key)
+                                        .encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().responses()[0].next_update, std::nullopt);
+}
+
+TEST(OcspResponse, MultiSerialResponse) {
+  World w;
+  OcspResponseBuilder builder;
+  builder.produced_at(kNow);
+  for (int i = 0; i < 20; ++i) {  // the paper's 20-serial responders
+    SingleResponse single = w.good_single();
+    single.cert_id.serial.push_back(static_cast<std::uint8_t>(i));
+    builder.add_single(single);
+  }
+  auto parsed = OcspResponse::parse(builder.sign(w.issuer_key).encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().responses().size(), 20u);
+}
+
+TEST(OcspResponse, FindBySerial) {
+  World w;
+  SingleResponse a = w.good_single();
+  SingleResponse b = w.good_single();
+  b.cert_id.serial = {0x55};
+  b.status = CertStatus::kRevoked;
+  b.revoked = RevokedInfo{kNow, std::nullopt};
+  const OcspResponse response = OcspResponseBuilder()
+                                    .produced_at(kNow)
+                                    .add_single(a)
+                                    .add_single(b)
+                                    .sign(w.issuer_key);
+  ASSERT_NE(response.find_by_serial(w.leaf.serial()), nullptr);
+  ASSERT_NE(response.find_by_serial({0x55}), nullptr);
+  EXPECT_EQ(response.find_by_serial({0x77}), nullptr);
+  EXPECT_EQ(response.find_by_serial({0x55})->status, CertStatus::kRevoked);
+}
+
+TEST(OcspResponse, EmbeddedCertsRoundTrip) {
+  World w;
+  const OcspResponse response = OcspResponseBuilder()
+                                    .produced_at(kNow)
+                                    .add_single(w.good_single())
+                                    .add_cert(w.issuer)
+                                    .add_cert(w.issuer)
+                                    .sign(w.issuer_key);
+  auto parsed = OcspResponse::parse(response.encode_der());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().certs().size(), 2u);
+  EXPECT_EQ(parsed.value().certs()[0].subject(), w.issuer.subject());
+}
+
+TEST(OcspResponse, ErrorResponsesHaveNoBody) {
+  for (ResponseStatus status :
+       {ResponseStatus::kMalformedRequest, ResponseStatus::kInternalError,
+        ResponseStatus::kTryLater, ResponseStatus::kSigRequired,
+        ResponseStatus::kUnauthorized}) {
+    const OcspResponse error = OcspResponseBuilder::error(status);
+    auto parsed = OcspResponse::parse(error.encode_der());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().response_status(), status);
+    EXPECT_FALSE(parsed.value().successful());
+    EXPECT_TRUE(parsed.value().responses().empty());
+  }
+}
+
+TEST(OcspResponse, ParseRejectsGarbage) {
+  EXPECT_FALSE(OcspResponse::parse(util::bytes_of("0")).ok());
+  EXPECT_FALSE(OcspResponse::parse(util::bytes_of("")).ok());
+  EXPECT_FALSE(
+      OcspResponse::parse(util::bytes_of("<html>oops</html>")).ok());
+}
+
+// ---------------------------------------------------------------- verify --
+
+class VerifyFixture : public ::testing::Test {
+ protected:
+  World w;
+
+  Bytes signed_der(const SingleResponse& single) {
+    return OcspResponseBuilder()
+        .produced_at(kNow - Duration::hours(1))
+        .add_single(single)
+        .sign(w.issuer_key)
+        .encode_der();
+  }
+};
+
+TEST_F(VerifyFixture, GoodResponseIsOk) {
+  const auto verdict = verify_ocsp_response(
+      signed_der(w.good_single()), w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kOk);
+  EXPECT_TRUE(verdict.usable());
+  EXPECT_EQ(verdict.status, CertStatus::kGood);
+  EXPECT_EQ(verdict.num_serials, 1u);
+  EXPECT_EQ(verdict.num_certs, 0u);
+}
+
+TEST_F(VerifyFixture, MalformedBodiesAreUnparseable) {
+  for (const char* body : {"", "0", "<html><script>x</script></html>"}) {
+    const auto verdict = verify_ocsp_response(util::bytes_of(body),
+                                              w.cert_id(),
+                                              w.issuer_key.public_key(), kNow);
+    EXPECT_EQ(verdict.outcome, CheckOutcome::kUnparseable) << body;
+    EXPECT_FALSE(verdict.usable());
+  }
+}
+
+TEST_F(VerifyFixture, TryLaterIsNotSuccessful) {
+  const Bytes der =
+      OcspResponseBuilder::error(ResponseStatus::kTryLater).encode_der();
+  const auto verdict = verify_ocsp_response(der, w.cert_id(),
+                                            w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kNotSuccessful);
+  EXPECT_EQ(verdict.error_code, "tryLater");
+}
+
+TEST_F(VerifyFixture, SerialMismatchDetected) {
+  SingleResponse single = w.good_single();
+  single.cert_id.serial = {0x01, 0x02};  // not what we asked for
+  const auto verdict = verify_ocsp_response(
+      signed_der(single), w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kSerialMismatch);
+}
+
+TEST_F(VerifyFixture, BadSignatureDetected) {
+  util::Rng local(5);
+  const crypto::KeyPair rogue = crypto::KeyPair::generate_sim(local);
+  const Bytes der = OcspResponseBuilder()
+                        .produced_at(kNow)
+                        .add_single(w.good_single())
+                        .sign(rogue)  // wrong key entirely
+                        .encode_der();
+  const auto verdict =
+      verify_ocsp_response(der, w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kBadSignature);
+}
+
+TEST_F(VerifyFixture, DelegatedSigningAccepted) {
+  util::Rng local(6);
+  const crypto::KeyPair delegate = crypto::KeyPair::generate_sim(local);
+  const x509::Certificate delegate_cert =
+      x509::CertificateBuilder()
+          .serial_number(500)
+          .subject(x509::DistinguishedName{"OCSP Signer", "T", "US"})
+          .issuer(w.issuer.subject())
+          .validity(kNow - Duration::days(1), kNow + Duration::days(365))
+          .public_key(delegate.public_key())
+          .sign(w.issuer_key);  // delegation cert signed by the issuer
+  const Bytes der = OcspResponseBuilder()
+                        .produced_at(kNow)
+                        .add_single(w.good_single())
+                        .add_cert(delegate_cert)
+                        .sign(delegate)
+                        .encode_der();
+  const auto verdict =
+      verify_ocsp_response(der, w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kOk);
+  EXPECT_EQ(verdict.num_certs, 1u);
+}
+
+TEST_F(VerifyFixture, DelegateNotSignedByIssuerRejected) {
+  util::Rng local(7);
+  const crypto::KeyPair delegate = crypto::KeyPair::generate_sim(local);
+  const crypto::KeyPair rogue_ca = crypto::KeyPair::generate_sim(local);
+  const x509::Certificate bogus_delegate =
+      x509::CertificateBuilder()
+          .serial_number(501)
+          .subject(x509::DistinguishedName{"Evil Signer", "", ""})
+          .issuer(w.issuer.subject())
+          .validity(kNow - Duration::days(1), kNow + Duration::days(365))
+          .public_key(delegate.public_key())
+          .sign(rogue_ca);  // NOT signed by the real issuer
+  const Bytes der = OcspResponseBuilder()
+                        .produced_at(kNow)
+                        .add_single(w.good_single())
+                        .add_cert(bogus_delegate)
+                        .sign(delegate)
+                        .encode_der();
+  const auto verdict =
+      verify_ocsp_response(der, w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kBadSignature);
+}
+
+TEST_F(VerifyFixture, FutureThisUpdateRejected) {
+  SingleResponse single = w.good_single();
+  single.this_update = kNow + Duration::minutes(10);  // premature (Fig 9)
+  const auto verdict = verify_ocsp_response(
+      signed_der(single), w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kNotYetValid);
+}
+
+TEST_F(VerifyFixture, ExpiredNextUpdateRejected) {
+  SingleResponse single = w.good_single();
+  single.this_update = kNow - Duration::days(10);
+  single.next_update = kNow - Duration::days(3);
+  const auto verdict = verify_ocsp_response(
+      signed_der(single), w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kExpired);
+}
+
+TEST_F(VerifyFixture, BlankNextUpdateAlwaysValid) {
+  SingleResponse single = w.good_single();
+  single.this_update = kNow - Duration::days(1200);
+  single.next_update.reset();
+  const auto verdict = verify_ocsp_response(
+      signed_der(single), w.cert_id(), w.issuer_key.public_key(),
+      kNow + Duration::days(1000));
+  // "technically always regarded as valid" (paper §5.4).
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kOk);
+  EXPECT_EQ(verdict.next_update, std::nullopt);
+}
+
+TEST_F(VerifyFixture, ZeroMarginBoundaryAccepted) {
+  SingleResponse single = w.good_single();
+  single.this_update = kNow;  // becomes valid exactly at receipt (17.2%)
+  const auto verdict = verify_ocsp_response(
+      signed_der(single), w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kOk);
+}
+
+TEST_F(VerifyFixture, RevokedStatusSurfaced) {
+  SingleResponse single = w.good_single();
+  single.status = CertStatus::kRevoked;
+  single.revoked = RevokedInfo{kNow - Duration::days(2),
+                               crl::ReasonCode::kCaCompromise};
+  const auto verdict = verify_ocsp_response(
+      signed_der(single), w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kOk);
+  EXPECT_EQ(verdict.status, CertStatus::kRevoked);
+  ASSERT_TRUE(verdict.revoked.has_value());
+  EXPECT_EQ(verdict.revoked->reason, crl::ReasonCode::kCaCompromise);
+}
+
+TEST_F(VerifyFixture, MultiSerialCountsReported) {
+  OcspResponseBuilder builder;
+  builder.produced_at(kNow).add_single(w.good_single());
+  for (int i = 0; i < 19; ++i) {
+    SingleResponse extra = w.good_single();
+    extra.cert_id.serial.push_back(static_cast<std::uint8_t>(i));
+    builder.add_single(extra);
+  }
+  builder.add_cert(w.issuer);
+  const auto verdict =
+      verify_ocsp_response(builder.sign(w.issuer_key).encode_der(),
+                           w.cert_id(), w.issuer_key.public_key(), kNow);
+  EXPECT_EQ(verdict.outcome, CheckOutcome::kOk);
+  EXPECT_EQ(verdict.num_serials, 20u);
+  EXPECT_EQ(verdict.num_certs, 1u);
+}
+
+TEST(CheckOutcomeStrings, AllNamed) {
+  for (CheckOutcome outcome :
+       {CheckOutcome::kOk, CheckOutcome::kUnparseable,
+        CheckOutcome::kNotSuccessful, CheckOutcome::kSerialMismatch,
+        CheckOutcome::kBadSignature, CheckOutcome::kNotYetValid,
+        CheckOutcome::kExpired}) {
+    EXPECT_STRNE(to_string(outcome), "?");
+  }
+}
+
+TEST(StatusStrings, AllNamed) {
+  EXPECT_STREQ(to_string(CertStatus::kGood), "good");
+  EXPECT_STREQ(to_string(CertStatus::kRevoked), "revoked");
+  EXPECT_STREQ(to_string(CertStatus::kUnknown), "unknown");
+  EXPECT_STREQ(to_string(ResponseStatus::kSuccessful), "successful");
+  EXPECT_STREQ(to_string(ResponseStatus::kTryLater), "tryLater");
+}
+
+}  // namespace
+}  // namespace mustaple::ocsp

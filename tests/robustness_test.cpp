@@ -1,0 +1,263 @@
+// Parser robustness properties. The measurement client's whole §5.3
+// classification rests on parsers that NEVER crash on hostile bytes — they
+// must classify. These tests throw random buffers, truncations, and byte
+// mutations at every parser in the wire-format stack.
+#include <gtest/gtest.h>
+
+#include "ca/authority.hpp"
+#include "crl/crl.hpp"
+#include "net/http.hpp"
+#include "ocsp/request.hpp"
+#include "ocsp/response.hpp"
+#include "util/base64.hpp"
+#include "x509/certificate.hpp"
+
+namespace mustaple {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+const SimTime kNow = util::make_time(2018, 5, 1);
+
+struct Artifacts {
+  util::Rng rng{1234};
+  crypto::KeyPair key = crypto::KeyPair::generate_sim(rng);
+  x509::Certificate cert;
+  crl::Crl crl;
+  ocsp::OcspResponse response;
+  Bytes request_der;
+
+  Artifacts() {
+    cert = x509::CertificateBuilder()
+               .serial_number(42)
+               .subject(x509::DistinguishedName{"fuzz.example", "", ""})
+               .issuer(x509::DistinguishedName{"Fuzz CA", "F", "US"})
+               .validity(kNow - Duration::days(1), kNow + Duration::days(1))
+               .public_key(key.public_key())
+               .add_ocsp_url("http://ocsp.fuzz.example/")
+               .must_staple(true)
+               .sign(key);
+    crl::CrlBuilder crl_builder;
+    crl_builder.issuer(x509::DistinguishedName{"Fuzz CA", "F", "US"})
+        .this_update(kNow)
+        .next_update(kNow + Duration::days(7))
+        .add_entry({{0x11, 0x22}, kNow, crl::ReasonCode::kKeyCompromise});
+    crl = crl_builder.sign(key);
+    ocsp::SingleResponse single;
+    single.cert_id.issuer_name_hash.assign(20, 0xaa);
+    single.cert_id.issuer_key_hash.assign(20, 0xbb);
+    single.cert_id.serial = {0x42};
+    single.status = ocsp::CertStatus::kGood;
+    single.this_update = kNow;
+    single.next_update = kNow + Duration::days(7);
+    response = ocsp::OcspResponseBuilder()
+                   .produced_at(kNow)
+                   .add_single(single)
+                   .sign(key);
+    ocsp::CertId id = single.cert_id;
+    request_der = ocsp::OcspRequest::single(id).encode_der();
+  }
+};
+
+Artifacts& artifacts() {
+  static Artifacts a;
+  return a;
+}
+
+/// Feeds a buffer to every parser; the only acceptable outcomes are a
+/// successful parse or an error Result — no exceptions, no crashes.
+void exercise_all_parsers(const Bytes& data) {
+  EXPECT_NO_THROW({
+    (void)x509::Certificate::parse(data);
+    (void)crl::Crl::parse(data);
+    (void)ocsp::OcspResponse::parse(data);
+    (void)ocsp::OcspRequest::parse(data);
+    (void)net::HttpRequest::parse(data);
+    (void)net::HttpResponse::parse(data);
+    (void)asn1::Oid::decode_content(data);
+    (void)crypto::PublicKey::decode(data);
+    (void)util::base64_decode(util::text_of(data));
+  });
+}
+
+// ------------------------------------------------------- random-byte fuzz --
+
+class RandomBytesFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBytesFuzz, NoParserCrashes) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    Bytes data(rng.uniform(512));
+    rng.fill(data.data(), data.size());
+    exercise_all_parsers(data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBytesFuzz,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+// DER-shaped fuzz: buffers that START like plausible TLV to reach deeper
+// parser states.
+class DerShapedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DerShapedFuzz, NoParserCrashes) {
+  util::Rng rng(GetParam() * 31 + 7);
+  static constexpr std::uint8_t kTags[] = {0x30, 0x31, 0x02, 0x04, 0x06,
+                                           0x03, 0x05, 0xa0, 0xa3, 0x17,
+                                           0x18, 0x0a, 0x01};
+  for (int round = 0; round < 50; ++round) {
+    Bytes data;
+    const std::size_t chunks = 1 + rng.uniform(6);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      data.push_back(kTags[rng.uniform(sizeof(kTags))]);
+      const std::size_t len = rng.uniform(40);
+      data.push_back(static_cast<std::uint8_t>(len));
+      for (std::size_t i = 0; i < len; ++i) {
+        data.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+    }
+    exercise_all_parsers(data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerShapedFuzz,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+// ---------------------------------------------------------- truncation sweep --
+
+TEST(TruncationSweep, CertificateNeverCrashes) {
+  const Bytes der = artifacts().cert.encode_der();
+  for (std::size_t cut = 0; cut < der.size(); ++cut) {
+    Bytes truncated(der.begin(), der.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_NO_THROW({
+      auto result = x509::Certificate::parse(truncated);
+      EXPECT_FALSE(result.ok()) << "truncated at " << cut;
+    });
+  }
+}
+
+TEST(TruncationSweep, OcspResponseNeverCrashes) {
+  const Bytes der = artifacts().response.encode_der();
+  for (std::size_t cut = 0; cut < der.size(); ++cut) {
+    Bytes truncated(der.begin(), der.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_NO_THROW({
+      auto result = ocsp::OcspResponse::parse(truncated);
+      EXPECT_FALSE(result.ok()) << "truncated at " << cut;
+    });
+  }
+}
+
+TEST(TruncationSweep, CrlNeverCrashes) {
+  const Bytes der = artifacts().crl.encode_der();
+  for (std::size_t cut = 0; cut < der.size(); cut += 3) {
+    Bytes truncated(der.begin(), der.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_NO_THROW({
+      auto result = crl::Crl::parse(truncated);
+      EXPECT_FALSE(result.ok());
+    });
+  }
+}
+
+TEST(TruncationSweep, OcspRequestNeverCrashes) {
+  const Bytes& der = artifacts().request_der;
+  for (std::size_t cut = 0; cut < der.size(); ++cut) {
+    Bytes truncated(der.begin(), der.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_NO_THROW({
+      auto result = ocsp::OcspRequest::parse(truncated);
+      EXPECT_FALSE(result.ok());
+    });
+  }
+}
+
+// -------------------------------------------------------- mutation (bit-flip) --
+
+TEST(MutationSweep, CertificateFlipNeverForgesAuthenticatedContent) {
+  // Property: any single-byte corruption either fails to parse, or fails
+  // signature verification, or — when it only touched the UNAUTHENTICATED
+  // envelope (X.509's signature covers the TBS alone) — left the
+  // authenticated TBS bytes untouched. No flip may alter signed content
+  // and still verify.
+  const Bytes original = artifacts().cert.encode_der();
+  const Bytes& original_tbs = artifacts().cert.tbs_der();
+  const crypto::PublicKey& key = artifacts().key.public_key();
+  std::size_t envelope_malleable = 0;
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    Bytes mutated = original;
+    mutated[pos] ^= 0x01;
+    EXPECT_NO_THROW({
+      auto parsed = x509::Certificate::parse(mutated);
+      if (parsed.ok() && parsed.value().verify_signature(key)) {
+        ++envelope_malleable;
+        EXPECT_EQ(parsed.value().tbs_der(), original_tbs)
+            << "flip at byte " << pos << " forged authenticated content";
+      }
+    });
+  }
+  // The RFC 5280 inner/outer algorithm check pins the algorithm OID, so
+  // only a handful of envelope bytes (NULL params etc.) remain malleable.
+  EXPECT_LT(envelope_malleable, 8u);
+}
+
+TEST(MutationSweep, OcspResponseFlipNeverForgesAuthenticatedContent) {
+  const Bytes original = artifacts().response.encode_der();
+  const Bytes& original_tbs = artifacts().response.tbs_der();
+  const crypto::PublicKey& key = artifacts().key.public_key();
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    Bytes mutated = original;
+    mutated[pos] ^= 0x01;
+    EXPECT_NO_THROW({
+      auto parsed = ocsp::OcspResponse::parse(mutated);
+      if (parsed.ok() && parsed.value().successful() &&
+          parsed.value().verify_signature(key)) {
+        EXPECT_EQ(parsed.value().tbs_der(), original_tbs)
+            << "flip at byte " << pos << " forged authenticated content";
+      }
+    });
+  }
+}
+
+// -------------------------------------------------- re-encode stability --
+
+TEST(ReencodeStability, CertificateBytesStable) {
+  const Bytes der = artifacts().cert.encode_der();
+  auto parsed = x509::Certificate::parse(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().encode_der(), der);
+}
+
+TEST(ReencodeStability, CrlBytesStable) {
+  const Bytes der = artifacts().crl.encode_der();
+  auto parsed = crl::Crl::parse(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().encode_der(), der);
+}
+
+TEST(ReencodeStability, OcspResponseBytesStable) {
+  const Bytes der = artifacts().response.encode_der();
+  auto parsed = ocsp::OcspResponse::parse(der);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().encode_der(), der);
+}
+
+// ------------------------------------------------------ determinism property --
+
+TEST(Determinism, SameSeedSameWorld) {
+  // Two independently constructed CAs from identical seeds produce
+  // byte-identical artifacts — the property every experiment rests on.
+  util::Rng rng_a(777);
+  util::Rng rng_b(777);
+  ca::CertificateAuthority a("DetCA", kNow - Duration::days(100), rng_a);
+  ca::CertificateAuthority b("DetCA", kNow - Duration::days(100), rng_b);
+  EXPECT_EQ(a.root_cert().encode_der(), b.root_cert().encode_der());
+  ca::LeafRequest request;
+  request.domain = "det.example";
+  request.not_before = kNow;
+  const auto leaf_a = a.issue(request, rng_a);
+  const auto leaf_b = b.issue(request, rng_b);
+  EXPECT_EQ(leaf_a.encode_der(), leaf_b.encode_der());
+}
+
+}  // namespace
+}  // namespace mustaple

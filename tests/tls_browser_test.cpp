@@ -1,0 +1,283 @@
+// TLS handshake + browser policy tests: the status_request contract, staple
+// validation, and the verdict matrix behind Table 2.
+#include <gtest/gtest.h>
+
+#include "browser/browser.hpp"
+#include "ca/authority.hpp"
+#include "ca/responder.hpp"
+#include "tls/handshake.hpp"
+#include "webserver/webserver.hpp"
+
+namespace mustaple {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+const SimTime kNow = util::make_time(2018, 5, 15);
+
+struct World {
+  util::Rng rng{31337};
+  net::EventLoop loop{kNow - Duration::days(1)};
+  net::Network network{loop, 31337};
+  ca::CertificateAuthority authority{"WorldCA", kNow - Duration::days(900), rng};
+  ca::OcspResponder responder{authority, ca::ResponderBehavior{},
+                              "ocsp.world.example", rng};
+  x509::RootStore roots;
+  tls::TlsDirectory directory;
+  std::vector<std::unique_ptr<webserver::WebServer>> servers;
+
+  World() {
+    roots.add(authority.root_cert());
+    responder.install(network);
+  }
+
+  x509::Certificate issue(const std::string& domain, bool must_staple) {
+    ca::LeafRequest request;
+    request.domain = domain;
+    request.not_before = kNow - Duration::days(10);
+    request.lifetime = Duration::days(90);
+    request.must_staple = must_staple;
+    request.ocsp_urls = {"http://ocsp.world.example/"};
+    return authority.issue(request, rng);
+  }
+
+  webserver::WebServer& serve(const std::string& domain, bool must_staple,
+                              bool stapling_enabled,
+                              webserver::Software software =
+                                  webserver::Software::kApache) {
+    webserver::WebServerConfig config;
+    config.software = software;
+    config.stapling_enabled = stapling_enabled;
+    servers.push_back(std::make_unique<webserver::WebServer>(
+        domain, authority.chain_for(issue(domain, must_staple)), config,
+        network));
+    servers.back()->install(directory);
+    servers.back()->start(kNow - Duration::hours(1));
+    return *servers.back();
+  }
+
+  tls::HandshakeObservation observe(const std::string& domain,
+                                    bool status_request) {
+    loop.run_until(kNow);
+    tls::ClientHello hello;
+    hello.server_name = domain;
+    hello.status_request = status_request;
+    tls::ServerHello server_hello;
+    return tls::observe_handshake(directory, hello, roots, kNow, server_hello);
+  }
+};
+
+// ------------------------------------------------------------- handshake --
+
+TEST(TlsDirectory, UnknownHostFailsToConnect) {
+  World w;
+  const auto obs = w.observe("ghost.example", true);
+  EXPECT_FALSE(obs.connected);
+}
+
+TEST(TlsDirectory, BindAndSize) {
+  World w;
+  EXPECT_EQ(w.directory.size(), 0u);
+  w.serve("one.example", false, true);
+  EXPECT_EQ(w.directory.size(), 1u);
+  EXPECT_TRUE(w.directory.has("one.example"));
+  EXPECT_FALSE(w.directory.has("two.example"));
+}
+
+TEST(Handshake, ValidChainObserved) {
+  World w;
+  w.serve("site.example", false, true);
+  const auto obs = w.observe("site.example", true);
+  EXPECT_TRUE(obs.connected);
+  EXPECT_TRUE(obs.certificate_valid);
+  EXPECT_FALSE(obs.must_staple);
+  ASSERT_NE(obs.leaf, nullptr);
+  EXPECT_EQ(obs.leaf->subject().common_name, "site.example");
+}
+
+TEST(Handshake, MustStapleFlagSurfaces) {
+  World w;
+  w.serve("ms.example", true, true);
+  EXPECT_TRUE(w.observe("ms.example", true).must_staple);
+}
+
+TEST(Handshake, StapleDeliveredAndValidated) {
+  World w;
+  w.serve("stapled.example", true, true);
+  // First handshake warms Apache's cache (it pauses and fetches).
+  w.observe("stapled.example", true);
+  const auto obs = w.observe("stapled.example", true);
+  EXPECT_TRUE(obs.staple_present);
+  ASSERT_TRUE(obs.staple_check.has_value());
+  EXPECT_TRUE(obs.staple_check->usable());
+  EXPECT_EQ(obs.staple_check->status, ocsp::CertStatus::kGood);
+}
+
+TEST(Handshake, NoStapleWhenClientDoesNotAsk) {
+  World w;
+  w.serve("quiet.example", true, true);
+  w.observe("quiet.example", true);  // warm cache
+  const auto obs = w.observe("quiet.example", false);
+  EXPECT_TRUE(obs.connected);
+  EXPECT_FALSE(obs.staple_present);  // RFC 6066 contract
+}
+
+TEST(Handshake, ExpiredCertificateDetected) {
+  World w;
+  ca::LeafRequest request;
+  request.domain = "old.example";
+  request.not_before = kNow - Duration::days(400);
+  request.lifetime = Duration::days(90);  // long expired
+  const auto leaf = w.authority.issue(request, w.rng);
+  webserver::WebServerConfig config;
+  auto server = std::make_unique<webserver::WebServer>(
+      "old.example", w.authority.chain_for(leaf), config, w.network);
+  server->install(w.directory);
+  w.servers.push_back(std::move(server));
+  const auto obs = w.observe("old.example", true);
+  EXPECT_TRUE(obs.connected);
+  EXPECT_FALSE(obs.certificate_valid);
+  EXPECT_EQ(obs.chain_error, x509::ChainError::kExpired);
+}
+
+// --------------------------------------------------------------- browser --
+
+TEST(BrowserProfiles, Table2Shape) {
+  const auto& profiles = browser::standard_profiles();
+  EXPECT_EQ(profiles.size(), 16u);  // Table 2's browser/OS combinations
+  std::size_t respecting = 0;
+  for (const auto& profile : profiles) {
+    EXPECT_TRUE(profile.sends_status_request);  // row 1: all check
+    EXPECT_FALSE(profile.sends_own_ocsp);       // row 3: none do
+    if (profile.respects_must_staple) ++respecting;
+  }
+  // Row 2: Firefox on OS X / Linux / Windows / Android only.
+  EXPECT_EQ(respecting, 4u);
+}
+
+TEST(BrowserProfiles, FirefoxIosDoesNotRespect) {
+  for (const auto& profile : browser::standard_profiles()) {
+    if (profile.name == "Firefox" && profile.os == "iOS") {
+      EXPECT_FALSE(profile.respects_must_staple);
+      return;
+    }
+  }
+  FAIL() << "Firefox iOS profile missing";
+}
+
+browser::BrowserProfile firefox_desktop() {
+  for (const auto& profile : browser::standard_profiles()) {
+    if (profile.name == "Firefox 60" && profile.os == "Linux") return profile;
+  }
+  throw std::logic_error("no firefox profile");
+}
+
+browser::BrowserProfile chrome_desktop() {
+  for (const auto& profile : browser::standard_profiles()) {
+    if (profile.name == "Chrome 66" && profile.os == "Linux") return profile;
+  }
+  throw std::logic_error("no chrome profile");
+}
+
+TEST(BrowserVisit, AcceptWithValidStaple) {
+  World w;
+  w.serve("ok.example", true, true);
+  w.observe("ok.example", true);  // warm
+  const auto result = browser::visit(chrome_desktop(), w.directory,
+                                     "ok.example", w.roots, kNow);
+  EXPECT_EQ(result.verdict, browser::Verdict::kAccept);
+  EXPECT_TRUE(result.received_staple);
+  EXPECT_TRUE(result.staple_valid);
+}
+
+TEST(BrowserVisit, FirefoxHardFailsUnstapledMustStaple) {
+  World w;
+  w.serve("unstapled.example", true, /*stapling_enabled=*/false);
+  const auto result = browser::visit(firefox_desktop(), w.directory,
+                                     "unstapled.example", w.roots, kNow);
+  EXPECT_EQ(result.verdict, browser::Verdict::kHardFail);
+  EXPECT_FALSE(result.received_staple);
+}
+
+TEST(BrowserVisit, ChromeSoftFailsUnstapledMustStaple) {
+  World w;
+  w.serve("unstapled2.example", true, false);
+  const auto result = browser::visit(chrome_desktop(), w.directory,
+                                     "unstapled2.example", w.roots, kNow,
+                                     &w.network);
+  EXPECT_EQ(result.verdict, browser::Verdict::kAcceptSoftFail);
+  EXPECT_FALSE(result.sent_own_ocsp_request);  // Table 2 row 3
+}
+
+TEST(BrowserVisit, NonMustStapleSoftFailIsQuiet) {
+  World w;
+  w.serve("plain.example", false, false);
+  for (const auto& profile : browser::standard_profiles()) {
+    const auto result =
+        browser::visit(profile, w.directory, "plain.example", w.roots, kNow);
+    EXPECT_EQ(result.verdict, browser::Verdict::kAcceptSoftFail)
+        << profile.display_name();
+  }
+}
+
+TEST(BrowserVisit, RevokedStapleRejected) {
+  World w;
+  auto& server = w.serve("revoked.example", true, true);
+  w.authority.revoke(server.leaf().serial(), kNow - Duration::days(1),
+                     crl::ReasonCode::kKeyCompromise, ca::RevocationPolicy{});
+  w.observe("revoked.example", true);  // warm cache with REVOKED staple
+  const auto result = browser::visit(chrome_desktop(), w.directory,
+                                     "revoked.example", w.roots, kNow);
+  EXPECT_EQ(result.verdict, browser::Verdict::kRejectRevoked);
+}
+
+TEST(BrowserVisit, ConnectionFailedVerdict) {
+  World w;
+  const auto result = browser::visit(chrome_desktop(), w.directory,
+                                     "nonexistent.example", w.roots, kNow);
+  EXPECT_EQ(result.verdict, browser::Verdict::kConnectionFailed);
+}
+
+TEST(BrowserVisit, HypotheticalOwnOcspFallback) {
+  // A "future browser" that falls back to its own OCSP query picks up the
+  // revocation even without a staple.
+  World w;
+  auto& server = w.serve("fallback.example", false, false);
+  w.authority.revoke(server.leaf().serial(), kNow - Duration::days(1),
+                     crl::ReasonCode::kKeyCompromise, ca::RevocationPolicy{});
+  browser::BrowserProfile diligent = chrome_desktop();
+  diligent.name = "Diligent";
+  diligent.sends_own_ocsp = true;
+  w.loop.run_until(kNow);
+  const auto result = browser::visit(diligent, w.directory, "fallback.example",
+                                     w.roots, kNow, &w.network);
+  EXPECT_TRUE(result.sent_own_ocsp_request);
+  EXPECT_EQ(result.verdict, browser::Verdict::kRejectRevoked);
+}
+
+TEST(BrowserVisit, OwnOcspFallbackAcceptsGood) {
+  World w;
+  w.serve("goodfallback.example", false, false);
+  browser::BrowserProfile diligent = chrome_desktop();
+  diligent.sends_own_ocsp = true;
+  w.loop.run_until(kNow);
+  const auto result =
+      browser::visit(diligent, w.directory, "goodfallback.example", w.roots,
+                     kNow, &w.network);
+  EXPECT_TRUE(result.sent_own_ocsp_request);
+  EXPECT_EQ(result.verdict, browser::Verdict::kAccept);
+}
+
+TEST(VerdictStrings, AllNamed) {
+  for (auto verdict :
+       {browser::Verdict::kAccept, browser::Verdict::kAcceptSoftFail,
+        browser::Verdict::kHardFail, browser::Verdict::kRejectRevoked,
+        browser::Verdict::kCertificateInvalid,
+        browser::Verdict::kConnectionFailed}) {
+    EXPECT_STRNE(browser::to_string(verdict), "?");
+  }
+}
+
+}  // namespace
+}  // namespace mustaple

@@ -1,0 +1,440 @@
+// Unit and property tests for the util module: bytes, Result, Rng,
+// SimTime, stats, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/ascii_chart.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace mustaple::util {
+namespace {
+
+// ---------------------------------------------------------------- bytes --
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  EXPECT_EQ(from_hex("ABCDEF"), (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Bytes, HexOddLengthThrows) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexBadCharThrows) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, TextRoundTrip) {
+  EXPECT_EQ(text_of(bytes_of("hello")), "hello");
+}
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes a = {1, 2};
+  append(a, {3, 4});
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(equal_constant_time({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(equal_constant_time({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(equal_constant_time({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(equal_constant_time({}, {}));
+}
+
+// --------------------------------------------------------------- result --
+
+TEST(Result, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST(Result, HoldsError) {
+  auto r = Result<int>::failure("some.code", "detail");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "some.code");
+  EXPECT_EQ(r.error().to_string(), "some.code: detail");
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  auto r = Result<int>::failure("x");
+  EXPECT_THROW(r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnSuccessThrows) {
+  Result<int> r(1);
+  EXPECT_THROW(r.error(), std::logic_error);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(std::move(r).take(), "abc");
+}
+
+TEST(Status, SuccessAndFailure) {
+  EXPECT_TRUE(Status::success().ok());
+  auto s = Status::failure("code");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "code");
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentOfLabel) {
+  Rng parent(99);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  // Forking does not advance the parent.
+  Rng parent2(99);
+  EXPECT_EQ(parent.next_u64(), parent2.next_u64());
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kTrials, 5.0, 0.3);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(14);
+  std::vector<double> weights = {1.0, 3.0};
+  int second = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    second += rng.weighted_index(weights) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(second) / kTrials, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(15);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zero), std::invalid_argument);
+  std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), std::invalid_argument);
+}
+
+TEST(Rng, FillCoversBuffer) {
+  Rng rng(16);
+  std::uint8_t buffer[37] = {};
+  rng.fill(buffer, sizeof(buffer));
+  int nonzero = 0;
+  for (std::uint8_t b : buffer) nonzero += b != 0 ? 1 : 0;
+  EXPECT_GT(nonzero, 20);  // overwhelmingly likely
+}
+
+// ------------------------------------------------------------- sim_time --
+
+TEST(SimTime, EpochIsZero) {
+  EXPECT_EQ(make_time(1970, 1, 1).unix_seconds, 0);
+}
+
+TEST(SimTime, KnownTimestamp) {
+  // 2018-04-25 00:00:00 UTC == 1524614400.
+  EXPECT_EQ(make_time(2018, 4, 25).unix_seconds, 1524614400);
+}
+
+TEST(SimTime, LeapYearHandling) {
+  EXPECT_EQ(make_time(2016, 3, 1) - make_time(2016, 2, 28),
+            Duration::days(2));
+  EXPECT_EQ(make_time(2018, 3, 1) - make_time(2018, 2, 28),
+            Duration::days(1));
+  EXPECT_EQ(make_time(2000, 3, 1) - make_time(2000, 2, 28),
+            Duration::days(2));  // 2000 IS a leap year (div by 400)
+  EXPECT_EQ(make_time(1900, 3, 1) - make_time(1900, 2, 28),
+            Duration::days(1));  // 1900 is NOT
+}
+
+TEST(SimTime, RejectsInvalidCivil) {
+  EXPECT_THROW(make_time(2018, 13, 1), std::invalid_argument);
+  EXPECT_THROW(make_time(2018, 2, 29), std::invalid_argument);
+  EXPECT_THROW(make_time(2018, 1, 1, 24), std::invalid_argument);
+  EXPECT_THROW(make_time(2018, 0, 1), std::invalid_argument);
+}
+
+TEST(SimTime, FormatTime) {
+  EXPECT_EQ(format_time(make_time(2018, 9, 4, 13, 5, 9)),
+            "2018-09-04 13:05:09");
+}
+
+TEST(SimTime, GeneralizedTimeRoundTrip) {
+  const SimTime t = make_time(2018, 4, 25, 19, 30, 45);
+  EXPECT_EQ(to_generalized_time(t), "20180425193045Z");
+  EXPECT_EQ(from_generalized_time("20180425193045Z"), t);
+}
+
+TEST(SimTime, GeneralizedTimeRejectsMalformed) {
+  EXPECT_THROW(from_generalized_time("2018"), std::invalid_argument);
+  EXPECT_THROW(from_generalized_time("20180425193045"), std::invalid_argument);
+  EXPECT_THROW(from_generalized_time("2018042519304xZ"), std::invalid_argument);
+  EXPECT_THROW(from_generalized_time("20181325193045Z"), std::invalid_argument);
+}
+
+TEST(SimTime, DurationArithmetic) {
+  const SimTime t = make_time(2018, 1, 1);
+  EXPECT_EQ((t + Duration::days(1)) - t, Duration::hours(24));
+  EXPECT_EQ(Duration::minutes(90), Duration::hours(1) + Duration::minutes(30));
+  EXPECT_EQ(Duration::hours(2) * 3, Duration::hours(6));
+  EXPECT_LT(t, t + Duration::secs(1));
+}
+
+// Property: civil -> SimTime -> civil round-trips across many dates.
+class TimeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeRoundTrip, CivilRoundTrip) {
+  // Use the parameter as a day offset from 1995-01-01.
+  const SimTime base = make_time(1995, 1, 1);
+  const SimTime t = base + Duration::days(GetParam()) +
+                    Duration::secs(GetParam() * 7919 % 86400);
+  const CivilTime civil = to_civil(t);
+  EXPECT_EQ(from_civil(civil), t);
+  EXPECT_EQ(from_generalized_time(to_generalized_time(t)), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyDates, TimeRoundTrip,
+                         ::testing::Range(0, 12000, 97));
+
+// ---------------------------------------------------------------- stats --
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Cdf, FractionAtMost) {
+  Cdf cdf;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(10.0), 1.0);
+}
+
+TEST(Cdf, Quantiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.median(), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, InfiniteMass) {
+  Cdf cdf;
+  cdf.add(1.0);
+  cdf.add_infinite();
+  cdf.add_infinite();
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.infinite_fraction(), 0.5);
+  EXPECT_EQ(cdf.sorted_finite().size(), 2u);
+  EXPECT_TRUE(std::isinf(cdf.quantile(0.9)));
+}
+
+TEST(Cdf, QuantileErrors) {
+  Cdf cdf;
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+  cdf.add(1.0);
+  EXPECT_THROW(cdf.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(BinnedRatio, Percentages) {
+  BinnedRatio bins(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) bins.add(i + 0.5, i % 2 == 0);
+  for (std::size_t b = 0; b < bins.bins(); ++b) {
+    EXPECT_DOUBLE_EQ(bins.percentage(b), 50.0);
+    EXPECT_EQ(bins.total(b), 10u);
+  }
+  EXPECT_DOUBLE_EQ(bins.bin_center(0), 5.0);
+}
+
+TEST(BinnedRatio, RightEdgeBelongsToLastBin) {
+  BinnedRatio bins(0.0, 10.0, 2);
+  bins.add(10.0, true);
+  EXPECT_EQ(bins.total(1), 1u);
+}
+
+TEST(BinnedRatio, OutOfRangeIgnored) {
+  BinnedRatio bins(0.0, 10.0, 2);
+  bins.add(-1.0, true);
+  bins.add(11.0, true);
+  EXPECT_EQ(bins.total(0) + bins.total(1), 0u);
+}
+
+TEST(BinnedRatio, RejectsBadConstruction) {
+  EXPECT_THROW(BinnedRatio(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(BinnedRatio(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- strings --
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC-9"), "abc-9"); }
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y\t\r\n"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("x", "http://"));
+  EXPECT_TRUE(ends_with("a.crl", ".crl"));
+  EXPECT_FALSE(ends_with("crl", ".crl"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+}
+
+// ------------------------------------------------------------ ascii_chart --
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  Series s;
+  s.label = "test-series";
+  for (int i = 0; i < 10; ++i) s.add(i, i * i);
+  ChartOptions options;
+  options.title = "chart-title";
+  const std::string out = render_chart({s}, options);
+  EXPECT_NE(out.find("chart-title"), std::string::npos);
+  EXPECT_NE(out.find("test-series"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyDataHandled) {
+  const std::string out = render_chart({}, {});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, CdfRenderReportsInfiniteMass) {
+  Cdf cdf;
+  cdf.add(1.0);
+  cdf.add(2.0);
+  cdf.add_infinite();
+  const std::string out = render_cdf(cdf, {});
+  EXPECT_NE(out.find("infinity"), std::string::npos);
+}
+
+TEST(AsciiChart, TableAlignsCells) {
+  const std::string out =
+      render_table({"name", "value"}, {{"a", "1"}, {"longer-name", "22"}});
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mustaple::util

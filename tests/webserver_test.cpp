@@ -1,0 +1,347 @@
+// Web-server stapling model tests: the Table 3 behaviour matrix for Apache
+// and Nginx, the Nginx 5-minute refresh floor, and the Ideal model's
+// proactive refresh.
+#include <gtest/gtest.h>
+
+#include "ca/authority.hpp"
+#include "ca/responder.hpp"
+#include "webserver/webserver.hpp"
+
+namespace mustaple::webserver {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+const SimTime kNow = util::make_time(2018, 6, 1);
+
+struct World {
+  util::Rng rng{555};
+  net::EventLoop loop{kNow};
+  net::Network network{loop, 555};
+  ca::CertificateAuthority authority{"SrvCA", kNow - Duration::days(900), rng};
+  x509::RootStore roots;
+  std::unique_ptr<ca::OcspResponder> responder;
+  tls::TlsDirectory directory;
+
+  explicit World(ca::ResponderBehavior behavior = make_default_behavior()) {
+    roots.add(authority.root_cert());
+    responder = std::make_unique<ca::OcspResponder>(authority, behavior,
+                                                    "ocsp.srv.example", rng);
+    responder->install(network);
+  }
+
+  static ca::ResponderBehavior make_default_behavior() {
+    ca::ResponderBehavior behavior;
+    behavior.pre_generate = false;
+    behavior.validity = Duration::days(7);
+    behavior.this_update_margin = Duration::hours(1);
+    return behavior;
+  }
+
+  std::unique_ptr<WebServer> make_server(Software software,
+                                         const std::string& domain,
+                                         Duration validity = Duration::days(7)) {
+    (void)validity;
+    ca::LeafRequest request;
+    request.domain = domain;
+    request.not_before = kNow - Duration::days(5);
+    request.lifetime = Duration::days(90);
+    request.must_staple = true;
+    request.ocsp_urls = {"http://ocsp.srv.example/"};
+    WebServerConfig config;
+    config.software = software;
+    auto server = std::make_unique<WebServer>(
+        domain, authority.chain_for(authority.issue(request, rng)), config,
+        network);
+    server->install(directory);
+    return server;
+  }
+
+  tls::HandshakeObservation connect(const std::string& domain, SimTime when,
+                                    bool ask = true) {
+    loop.run_until(when);
+    tls::ClientHello hello;
+    hello.server_name = domain;
+    hello.status_request = ask;
+    tls::ServerHello server_hello;
+    return tls::observe_handshake(directory, hello, roots, when, server_hello);
+  }
+};
+
+bool valid_staple(const tls::HandshakeObservation& obs) {
+  return obs.staple_present && obs.staple_check && obs.staple_check->usable();
+}
+
+// ---------------------------------------------------------------- Apache --
+
+TEST(Apache, FirstClientPausedButStapled) {
+  World w;
+  auto server = w.make_server(Software::kApache, "a.example");
+  server->start(kNow);  // no-op for Apache
+  EXPECT_EQ(server->fetch_count(), 0u);  // no prefetch (Table 3)
+  const auto first = w.connect("a.example", kNow + Duration::minutes(1));
+  EXPECT_TRUE(valid_staple(first));
+  EXPECT_GT(first.handshake_delay_ms, 0.0);  // the pause
+  EXPECT_EQ(server->fetch_count(), 1u);
+}
+
+TEST(Apache, SecondClientServedFromCache) {
+  World w;
+  auto server = w.make_server(Software::kApache, "a.example");
+  w.connect("a.example", kNow + Duration::minutes(1));
+  const auto second = w.connect("a.example", kNow + Duration::minutes(2));
+  EXPECT_TRUE(valid_staple(second));
+  EXPECT_EQ(second.handshake_delay_ms, 0.0);
+  EXPECT_EQ(server->fetch_count(), 1u);
+}
+
+TEST(Apache, ServesExpiredStapleWithinCacheTtl) {
+  ca::ResponderBehavior behavior = World::make_default_behavior();
+  behavior.validity = Duration::minutes(20);
+  behavior.this_update_margin = Duration::secs(0);
+  World w(behavior);
+  auto server = w.make_server(Software::kApache, "a.example");
+  w.connect("a.example", kNow + Duration::minutes(1));
+  // 40 minutes later: response expired (20 min validity) but Apache's 1h
+  // cache TTL has not elapsed -> expired staple served (Bugzilla #62400).
+  const auto obs = w.connect("a.example", kNow + Duration::minutes(41));
+  ASSERT_TRUE(obs.staple_present);
+  ASSERT_TRUE(obs.staple_check.has_value());
+  EXPECT_EQ(obs.staple_check->outcome, ocsp::CheckOutcome::kExpired);
+}
+
+TEST(Apache, DeletesCacheAndStaplesErrorResponse) {
+  World w;
+  auto server = w.make_server(Software::kApache, "a.example");
+  w.connect("a.example", kNow + Duration::minutes(1));
+  w.responder->set_try_later(true);
+  // Past the cache TTL, the refresh hits tryLater: Apache deletes the old
+  // (still valid!) response and staples the error response itself.
+  const auto obs = w.connect("a.example", kNow + Duration::hours(2));
+  ASSERT_TRUE(obs.staple_present);
+  ASSERT_TRUE(obs.staple_check.has_value());
+  EXPECT_EQ(obs.staple_check->outcome, ocsp::CheckOutcome::kNotSuccessful);
+  EXPECT_FALSE(server->has_cached_staple());
+}
+
+TEST(Apache, NoStapleWhenResponderUnreachable) {
+  World w;
+  auto server = w.make_server(Software::kApache, "a.example");
+  w.connect("a.example", kNow + Duration::minutes(1));
+  net::FaultRule outage;
+  outage.canonical_host = "ocsp.srv.example";
+  outage.mode = net::FaultMode::kTcpConnectFailure;
+  w.network.faults().add(outage);
+  const auto obs = w.connect("a.example", kNow + Duration::hours(2));
+  EXPECT_FALSE(obs.staple_present);
+  EXPECT_FALSE(server->has_cached_staple());  // old response deleted
+}
+
+// ----------------------------------------------------------------- Nginx --
+
+TEST(Nginx, FirstClientGetsNoStaple) {
+  World w;
+  auto server = w.make_server(Software::kNginx, "n.example");
+  server->start(kNow);
+  const auto first = w.connect("n.example", kNow + Duration::minutes(1));
+  EXPECT_FALSE(first.staple_present);  // Table 3: "provides no response"
+  EXPECT_EQ(first.handshake_delay_ms, 0.0);
+  // The background fetch completed, so client #2 is served.
+  const auto second = w.connect("n.example", kNow + Duration::minutes(2));
+  EXPECT_TRUE(valid_staple(second));
+}
+
+TEST(Nginx, RespectsNextUpdate) {
+  ca::ResponderBehavior behavior = World::make_default_behavior();
+  behavior.validity = Duration::minutes(20);
+  behavior.this_update_margin = Duration::secs(0);
+  World w(behavior);
+  auto server = w.make_server(Software::kNginx, "n.example");
+  w.connect("n.example", kNow + Duration::minutes(1));
+  w.connect("n.example", kNow + Duration::minutes(2));
+  // 40 minutes later the cached response is expired; the refresh floor has
+  // long passed, so Nginx refetches and serves a FRESH staple.
+  const auto obs = w.connect("n.example", kNow + Duration::minutes(41));
+  ASSERT_TRUE(obs.staple_present);
+  EXPECT_TRUE(obs.staple_check->usable());
+}
+
+TEST(Nginx, RefreshFloorLeaksExpiredStaple) {
+  // Footnote 28: with a validity under 5 minutes, clients can receive an
+  // expired cached response.
+  ca::ResponderBehavior behavior = World::make_default_behavior();
+  behavior.validity = Duration::minutes(2);
+  behavior.this_update_margin = Duration::secs(0);
+  World w(behavior);
+  auto server = w.make_server(Software::kNginx, "n.example");
+  w.connect("n.example", kNow + Duration::secs(10));   // triggers fetch
+  w.connect("n.example", kNow + Duration::secs(20));   // served fresh
+  // 3 minutes later: expired, but within the 5-minute refresh floor.
+  const auto obs = w.connect("n.example", kNow + Duration::minutes(3));
+  ASSERT_TRUE(obs.staple_present);
+  EXPECT_EQ(obs.staple_check->outcome, ocsp::CheckOutcome::kExpired);
+}
+
+TEST(Nginx, RetainsValidStapleOnResponderError) {
+  World w;
+  auto server = w.make_server(Software::kNginx, "n.example");
+  w.connect("n.example", kNow + Duration::minutes(1));
+  w.connect("n.example", kNow + Duration::minutes(2));
+  w.responder->set_try_later(true);
+  // Hours later the cached response (7-day validity) is still valid; Nginx
+  // keeps serving it (Table 3: retain on error).
+  const auto obs = w.connect("n.example", kNow + Duration::hours(6));
+  EXPECT_TRUE(valid_staple(obs));
+}
+
+// ----------------------------------------------------------------- Ideal --
+
+TEST(Ideal, PrefetchesBeforeFirstClient) {
+  World w;
+  auto server = w.make_server(Software::kIdeal, "i.example");
+  server->start(kNow);
+  EXPECT_EQ(server->fetch_count(), 1u);
+  const auto first = w.connect("i.example", kNow + Duration::minutes(1));
+  EXPECT_TRUE(valid_staple(first));
+  EXPECT_EQ(first.handshake_delay_ms, 0.0);
+}
+
+TEST(Ideal, RefreshesProactively) {
+  World w;
+  auto server = w.make_server(Software::kIdeal, "i.example");
+  server->start(kNow);
+  const std::size_t initial = server->fetch_count();
+  // Halfway through the 7-day validity a refresh fires on the event loop.
+  w.loop.run_until(kNow + Duration::days(4));
+  EXPECT_GT(server->fetch_count(), initial);
+  const auto obs = w.connect("i.example", kNow + Duration::days(4));
+  EXPECT_TRUE(valid_staple(obs));
+}
+
+TEST(Ideal, NeverServesExpiredStaple) {
+  ca::ResponderBehavior behavior = World::make_default_behavior();
+  behavior.validity = Duration::hours(2);
+  behavior.this_update_margin = Duration::secs(0);
+  World w(behavior);
+  auto server = w.make_server(Software::kIdeal, "i.example");
+  server->start(kNow);
+  // Kill the responder; once the staple expires, Ideal withholds rather
+  // than serving stale data.
+  net::FaultRule outage;
+  outage.canonical_host = "ocsp.srv.example";
+  outage.mode = net::FaultMode::kTcpConnectFailure;
+  outage.window_start = kNow + Duration::minutes(10);
+  w.network.faults().add(outage);
+  const auto valid_phase = w.connect("i.example", kNow + Duration::hours(1));
+  EXPECT_TRUE(valid_staple(valid_phase));
+  const auto expired_phase = w.connect("i.example", kNow + Duration::hours(5));
+  EXPECT_FALSE(expired_phase.staple_present);
+}
+
+// ---------------------------------------------------------------- common --
+
+TEST(WebServer, StaplingDisabledServesNothing) {
+  World w;
+  ca::LeafRequest request;
+  request.domain = "off.example";
+  request.not_before = kNow - Duration::days(1);
+  request.lifetime = Duration::days(90);
+  request.ocsp_urls = {"http://ocsp.srv.example/"};
+  WebServerConfig config;
+  config.software = Software::kApache;
+  config.stapling_enabled = false;  // SSLUseStapling off
+  WebServer server("off.example",
+                   w.authority.chain_for(w.authority.issue(request, w.rng)),
+                   config, w.network);
+  server.install(w.directory);
+  const auto obs = w.connect("off.example", kNow + Duration::minutes(1));
+  EXPECT_TRUE(obs.connected);
+  EXPECT_FALSE(obs.staple_present);
+  EXPECT_EQ(server.fetch_count(), 0u);
+}
+
+TEST(WebServer, EmptyChainRejected) {
+  World w;
+  EXPECT_THROW(WebServer("x.example", {}, WebServerConfig{}, w.network),
+               std::invalid_argument);
+}
+
+TEST(WebServer, SoftwareNames) {
+  EXPECT_STREQ(to_string(Software::kApache), "apache");
+  EXPECT_STREQ(to_string(Software::kNginx), "nginx");
+  EXPECT_STREQ(to_string(Software::kIdeal), "ideal");
+}
+
+// ----------------------------------------------- ssl_stapling_verify knob --
+
+TEST(StapleVerify, DefaultOffStaplesGarbage) {
+  // With verification off (the real-world default), a responder serving
+  // bad-signature responses gets its garbage stapled straight to clients.
+  ca::ResponderBehavior behavior = World::make_default_behavior();
+  behavior.bad_signature = true;
+  World w(behavior);
+  ca::LeafRequest request;
+  request.domain = "v.example";
+  request.not_before = kNow - Duration::days(5);
+  request.lifetime = Duration::days(90);
+  request.must_staple = true;
+  request.ocsp_urls = {"http://ocsp.srv.example/"};
+  WebServerConfig config;
+  config.software = Software::kIdeal;
+  config.verify_staple = false;
+  WebServer server("v.example",
+                   w.authority.chain_for(w.authority.issue(request, w.rng)),
+                   config, w.network);
+  server.install(w.directory);
+  server.start(kNow);
+  const auto obs = w.connect("v.example", kNow + Duration::minutes(5));
+  ASSERT_TRUE(obs.staple_present);  // garbage got stapled...
+  ASSERT_TRUE(obs.staple_check.has_value());
+  EXPECT_EQ(obs.staple_check->outcome, ocsp::CheckOutcome::kBadSignature);
+}
+
+TEST(StapleVerify, OnRefusesToCacheGarbage) {
+  ca::ResponderBehavior behavior = World::make_default_behavior();
+  behavior.bad_signature = true;
+  World w(behavior);
+  ca::LeafRequest request;
+  request.domain = "v2.example";
+  request.not_before = kNow - Duration::days(5);
+  request.lifetime = Duration::days(90);
+  request.must_staple = true;
+  request.ocsp_urls = {"http://ocsp.srv.example/"};
+  WebServerConfig config;
+  config.software = Software::kIdeal;
+  config.verify_staple = true;
+  WebServer server("v2.example",
+                   w.authority.chain_for(w.authority.issue(request, w.rng)),
+                   config, w.network);
+  server.install(w.directory);
+  server.start(kNow);
+  const auto obs = w.connect("v2.example", kNow + Duration::minutes(5));
+  EXPECT_FALSE(obs.staple_present);  // verified and rejected
+  EXPECT_FALSE(server.has_cached_staple());
+}
+
+TEST(StapleVerify, OnStillCachesGoodResponses) {
+  World w;
+  ca::LeafRequest request;
+  request.domain = "v3.example";
+  request.not_before = kNow - Duration::days(5);
+  request.lifetime = Duration::days(90);
+  request.ocsp_urls = {"http://ocsp.srv.example/"};
+  WebServerConfig config;
+  config.software = Software::kIdeal;
+  config.verify_staple = true;
+  WebServer server("v3.example",
+                   w.authority.chain_for(w.authority.issue(request, w.rng)),
+                   config, w.network);
+  server.install(w.directory);
+  server.start(kNow);
+  const auto obs = w.connect("v3.example", kNow + Duration::minutes(5));
+  EXPECT_TRUE(valid_staple(obs));
+}
+
+}  // namespace
+}  // namespace mustaple::webserver

@@ -1,0 +1,426 @@
+// X.509 tests: names, builder->parse round trips (including the Must-Staple
+// extension), signatures, and the chain-validation error taxonomy.
+#include <gtest/gtest.h>
+
+#include "crypto/signer.hpp"
+#include "x509/certificate.hpp"
+#include "x509/name.hpp"
+#include "x509/verify.hpp"
+
+namespace mustaple::x509 {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+util::Rng& rng() {
+  static util::Rng instance(20180425);
+  return instance;
+}
+
+const crypto::KeyPair& ca_key() {
+  static const crypto::KeyPair key = crypto::KeyPair::generate_sim(rng());
+  return key;
+}
+
+const SimTime kNow = util::make_time(2018, 5, 1);
+
+Certificate make_leaf(const std::function<void(CertificateBuilder&)>& tweak =
+                          [](CertificateBuilder&) {}) {
+  CertificateBuilder builder;
+  builder.serial_number(1234)
+      .subject(DistinguishedName{"example.com", "", ""})
+      .issuer(DistinguishedName{"Test Issuing CA", "Test", "US"})
+      .validity(kNow - Duration::days(10), kNow + Duration::days(80))
+      .public_key(crypto::KeyPair::generate_sim(rng()).public_key());
+  tweak(builder);
+  return builder.sign(ca_key());
+}
+
+// ------------------------------------------------------------------ name --
+
+TEST(DistinguishedName, ToStringSkipsEmpty) {
+  EXPECT_EQ((DistinguishedName{"cn", "", ""}).to_string(), "CN=cn");
+  EXPECT_EQ((DistinguishedName{"cn", "org", "US"}).to_string(),
+            "CN=cn, O=org, C=US");
+}
+
+TEST(DistinguishedName, EncodeDecodeRoundTrip) {
+  const DistinguishedName name{"example.com", "Example Org", "DE"};
+  asn1::Writer w;
+  name.encode(w);
+  const Bytes der = w.take();
+  asn1::Reader r(der);
+  auto tlv = r.expect(asn1::Tag::kSequence);
+  ASSERT_TRUE(tlv.ok());
+  auto decoded = DistinguishedName::decode(tlv.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), name);
+}
+
+TEST(DistinguishedName, DecodeRejectsNonSequence) {
+  asn1::Tlv tlv;
+  tlv.tag = 0x02;
+  EXPECT_FALSE(DistinguishedName::decode(tlv).ok());
+}
+
+// ----------------------------------------------------------- certificate --
+
+TEST(Certificate, BuilderParseRoundTrip) {
+  const Certificate cert = make_leaf([](CertificateBuilder& b) {
+    b.add_ocsp_url("http://ocsp.example/")
+        .add_crl_url("http://crl.example/ca.crl")
+        .must_staple(true)
+        .add_san("www.example.com")
+        .ca_issuers_url("http://ca.example/issuer.crt");
+  });
+  auto parsed = Certificate::parse(cert.encode_der());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const Certificate& p = parsed.value();
+  EXPECT_EQ(p.serial(), cert.serial());
+  EXPECT_EQ(p.subject(), cert.subject());
+  EXPECT_EQ(p.issuer(), cert.issuer());
+  EXPECT_EQ(p.validity().not_before, cert.validity().not_before);
+  EXPECT_EQ(p.validity().not_after, cert.validity().not_after);
+  EXPECT_EQ(p.public_key(), cert.public_key());
+  ASSERT_EQ(p.extensions().ocsp_urls.size(), 1u);
+  EXPECT_EQ(p.extensions().ocsp_urls[0], "http://ocsp.example/");
+  ASSERT_EQ(p.extensions().crl_urls.size(), 1u);
+  EXPECT_EQ(p.extensions().crl_urls[0], "http://crl.example/ca.crl");
+  EXPECT_TRUE(p.extensions().must_staple);
+  ASSERT_EQ(p.extensions().san_dns.size(), 1u);
+  EXPECT_EQ(p.extensions().san_dns[0], "www.example.com");
+  EXPECT_EQ(p.extensions().ca_issuers_url.value_or(""),
+            "http://ca.example/issuer.crt");
+  EXPECT_EQ(p.signature(), cert.signature());
+  EXPECT_EQ(p.tbs_der(), cert.tbs_der());
+}
+
+TEST(Certificate, DefaultHasNoMustStaple) {
+  const Certificate cert = make_leaf();
+  auto parsed = Certificate::parse(cert.encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().extensions().must_staple);
+  EXPECT_FALSE(parsed.value().extensions().supports_ocsp());
+}
+
+TEST(Certificate, MustStapleOidOnWire) {
+  // The TLS-feature extension OID 1.3.6.1.5.5.7.1.24 encodes as
+  // 06 08 2b 06 01 05 05 07 01 18 — it must appear in the DER iff the
+  // builder set must_staple.
+  const std::string oid_hex = "06082b060105050701" + std::string("18");
+  const Certificate with = make_leaf([](CertificateBuilder& b) {
+    b.must_staple(true);
+  });
+  EXPECT_NE(util::to_hex(with.encode_der()).find(oid_hex), std::string::npos);
+  const Certificate without = make_leaf();
+  EXPECT_EQ(util::to_hex(without.encode_der()).find(oid_hex),
+            std::string::npos);
+}
+
+TEST(Certificate, MultipleOcspUrls) {
+  const Certificate cert = make_leaf([](CertificateBuilder& b) {
+    b.add_ocsp_url("http://ocsp1.example/").add_ocsp_url("http://ocsp2.example/");
+  });
+  auto parsed = Certificate::parse(cert.encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().extensions().ocsp_urls.size(), 2u);
+}
+
+TEST(Certificate, SignatureVerifies) {
+  const Certificate cert = make_leaf();
+  EXPECT_TRUE(cert.verify_signature(ca_key().public_key()));
+  EXPECT_FALSE(cert.verify_signature(
+      crypto::KeyPair::generate_sim(rng()).public_key()));
+}
+
+TEST(Certificate, ParsedSignatureVerifies) {
+  const Certificate cert = make_leaf();
+  auto parsed = Certificate::parse(cert.encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().verify_signature(ca_key().public_key()));
+}
+
+TEST(Certificate, TamperedDerFailsSignature) {
+  const Certificate cert = make_leaf();
+  Bytes der = cert.encode_der();
+  // Flip a byte inside the TBS (serial area).
+  der[10] ^= 0x01;
+  auto parsed = Certificate::parse(der);
+  if (parsed.ok()) {
+    EXPECT_FALSE(parsed.value().verify_signature(ca_key().public_key()));
+  }
+}
+
+TEST(Certificate, ParseRejectsGarbage) {
+  EXPECT_FALSE(Certificate::parse(util::bytes_of("not a cert")).ok());
+  const Bytes empty;
+  EXPECT_FALSE(Certificate::parse(empty).ok());
+  EXPECT_FALSE(Certificate::parse(util::bytes_of("0")).ok());
+}
+
+TEST(Certificate, ValidityChecks) {
+  const Certificate cert = make_leaf();
+  EXPECT_TRUE(cert.validity().contains(kNow));
+  EXPECT_FALSE(cert.is_expired_at(kNow));
+  EXPECT_TRUE(cert.is_expired_at(kNow + Duration::days(81)));
+  EXPECT_FALSE(cert.validity().contains(kNow - Duration::days(11)));
+}
+
+TEST(Certificate, SerialHexAndFingerprint) {
+  const Certificate cert = make_leaf();
+  EXPECT_EQ(cert.serial_hex(), util::to_hex(cert.serial()));
+  EXPECT_EQ(cert.fingerprint().size(), 32u);
+  // Parse round trip preserves the encoding, hence the fingerprint.
+  auto parsed = Certificate::parse(cert.encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(cert.fingerprint(), parsed.value().fingerprint());
+}
+
+TEST(CertificateBuilder, RequiresMandatoryFields) {
+  CertificateBuilder missing_serial;
+  missing_serial.subject(DistinguishedName{"x", "", ""})
+      .public_key(ca_key().public_key());
+  EXPECT_THROW(missing_serial.sign(ca_key()), std::logic_error);
+
+  CertificateBuilder missing_key;
+  missing_key.serial_number(1).subject(DistinguishedName{"x", "", ""});
+  EXPECT_THROW(missing_key.sign(ca_key()), std::logic_error);
+
+  CertificateBuilder missing_subject;
+  missing_subject.serial_number(1).public_key(ca_key().public_key());
+  EXPECT_THROW(missing_subject.sign(ca_key()), std::logic_error);
+}
+
+TEST(CertificateBuilder, SerialNumberMinimalWidth) {
+  const Certificate small = make_leaf([](CertificateBuilder& b) {
+    b.serial_number(5);
+  });
+  EXPECT_EQ(small.serial(), (Bytes{5}));
+  const Certificate wide = make_leaf([](CertificateBuilder& b) {
+    b.serial_number(0x0102030405060708ULL);
+  });
+  EXPECT_EQ(wide.serial(), (Bytes{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Certificate, RsaSignedCertificateRoundTrip) {
+  util::Rng local(99);
+  const crypto::KeyPair rsa_ca = crypto::KeyPair::generate_rsa(512, local);
+  CertificateBuilder builder;
+  builder.serial_number(77)
+      .subject(DistinguishedName{"rsa.example", "", ""})
+      .issuer(DistinguishedName{"RSA CA", "", ""})
+      .validity(kNow - Duration::days(1), kNow + Duration::days(1))
+      .public_key(crypto::KeyPair::generate_sim(local).public_key());
+  const Certificate cert = builder.sign(rsa_ca);
+  EXPECT_EQ(cert.signature_algorithm(), crypto::SignatureAlgorithm::kRsaSha256);
+  auto parsed = Certificate::parse(cert.encode_der());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().verify_signature(rsa_ca.public_key()));
+}
+
+// ------------------------------------------------------------ root store --
+
+TEST(RootStore, FindAndContains) {
+  RootStore store;
+  CertificateBuilder builder;
+  const DistinguishedName dn{"Root", "Org", "US"};
+  builder.serial_number(1)
+      .subject(dn)
+      .issuer(dn)
+      .validity(kNow - Duration::days(100), kNow + Duration::days(100))
+      .public_key(ca_key().public_key())
+      .ca(true);
+  const Certificate root = builder.sign(ca_key());
+  EXPECT_EQ(store.size(), 0u);
+  store.add(root);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.contains_subject(dn.to_string()));
+  EXPECT_NE(store.find_issuer(dn), nullptr);
+  EXPECT_EQ(store.find_issuer(DistinguishedName{"Other", "", ""}), nullptr);
+  // Re-adding the same subject replaces, not duplicates.
+  store.add(root);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+// ------------------------------------------------------------ chain tests --
+
+struct ChainWorld {
+  util::Rng rng{7};
+  crypto::KeyPair root_key = crypto::KeyPair::generate_sim(rng);
+  crypto::KeyPair intermediate_key = crypto::KeyPair::generate_sim(rng);
+  crypto::KeyPair leaf_key = crypto::KeyPair::generate_sim(rng);
+  DistinguishedName root_dn{"Root CA", "T", "US"};
+  DistinguishedName intermediate_dn{"Issuing CA", "T", "US"};
+  Certificate root;
+  Certificate intermediate;
+  Certificate leaf;
+  RootStore store;
+
+  ChainWorld() {
+    root = CertificateBuilder()
+               .serial_number(1)
+               .subject(root_dn)
+               .issuer(root_dn)
+               .validity(kNow - Duration::days(1000), kNow + Duration::days(1000))
+               .public_key(root_key.public_key())
+               .ca(true)
+               .sign(root_key);
+    intermediate = CertificateBuilder()
+                       .serial_number(2)
+                       .subject(intermediate_dn)
+                       .issuer(root_dn)
+                       .validity(kNow - Duration::days(500),
+                                 kNow + Duration::days(500))
+                       .public_key(intermediate_key.public_key())
+                       .ca(true)
+                       .sign(root_key);
+    leaf = CertificateBuilder()
+               .serial_number(3)
+               .subject(DistinguishedName{"site.example", "", ""})
+               .issuer(intermediate_dn)
+               .validity(kNow - Duration::days(10), kNow + Duration::days(80))
+               .public_key(leaf_key.public_key())
+               .sign(intermediate_key);
+    store.add(root);
+  }
+};
+
+TEST(VerifyChain, ValidChainPasses) {
+  ChainWorld w;
+  const auto result = verify_chain({w.leaf, w.intermediate}, w.store, kNow);
+  EXPECT_TRUE(result.ok()) << to_string(result.error);
+}
+
+TEST(VerifyChain, FullChainWithRootPasses) {
+  ChainWorld w;
+  const auto result =
+      verify_chain({w.leaf, w.intermediate, w.root}, w.store, kNow);
+  EXPECT_TRUE(result.ok()) << to_string(result.error);
+}
+
+TEST(VerifyChain, EmptyChainFails) {
+  ChainWorld w;
+  EXPECT_EQ(verify_chain({}, w.store, kNow).error, ChainError::kEmptyChain);
+}
+
+TEST(VerifyChain, ExpiredLeafFails) {
+  ChainWorld w;
+  const auto result = verify_chain({w.leaf, w.intermediate}, w.store,
+                                   kNow + Duration::days(100));
+  EXPECT_EQ(result.error, ChainError::kExpired);
+  EXPECT_EQ(result.failing_index, 0u);
+}
+
+TEST(VerifyChain, NotYetValidLeafFails) {
+  ChainWorld w;
+  const auto result = verify_chain({w.leaf, w.intermediate}, w.store,
+                                   kNow - Duration::days(20));
+  EXPECT_EQ(result.error, ChainError::kNotYetValid);
+}
+
+TEST(VerifyChain, UntrustedRootFails) {
+  ChainWorld w;
+  RootStore empty;
+  EXPECT_EQ(verify_chain({w.leaf, w.intermediate}, empty, kNow).error,
+            ChainError::kUntrustedRoot);
+}
+
+TEST(VerifyChain, BadLeafSignatureFails) {
+  ChainWorld w;
+  // Leaf re-signed by the WRONG key (claims intermediate as issuer).
+  const Certificate forged =
+      CertificateBuilder()
+          .serial_number(9)
+          .subject(DistinguishedName{"evil.example", "", ""})
+          .issuer(w.intermediate_dn)
+          .validity(kNow - Duration::days(1), kNow + Duration::days(1))
+          .public_key(w.leaf_key.public_key())
+          .sign(w.leaf_key);  // not the intermediate's key
+  const auto result = verify_chain({forged, w.intermediate}, w.store, kNow);
+  EXPECT_EQ(result.error, ChainError::kBadSignature);
+  EXPECT_EQ(result.failing_index, 0u);
+}
+
+TEST(VerifyChain, IssuerNameMismatchFails) {
+  ChainWorld w;
+  const Certificate mismatched =
+      CertificateBuilder()
+          .serial_number(10)
+          .subject(DistinguishedName{"x.example", "", ""})
+          .issuer(DistinguishedName{"Somebody Else", "", ""})
+          .validity(kNow - Duration::days(1), kNow + Duration::days(1))
+          .public_key(w.leaf_key.public_key())
+          .sign(w.intermediate_key);
+  EXPECT_EQ(verify_chain({mismatched, w.intermediate}, w.store, kNow).error,
+            ChainError::kIssuerMismatch);
+}
+
+TEST(VerifyChain, NonCaIntermediateFails) {
+  ChainWorld w;
+  // An intermediate without the CA basic constraint.
+  const Certificate bogus_intermediate =
+      CertificateBuilder()
+          .serial_number(11)
+          .subject(w.intermediate_dn)
+          .issuer(w.root_dn)
+          .validity(kNow - Duration::days(1), kNow + Duration::days(1))
+          .public_key(w.intermediate_key.public_key())
+          .sign(w.root_key);  // note: no .ca(true)
+  const Certificate leaf =
+      CertificateBuilder()
+          .serial_number(12)
+          .subject(DistinguishedName{"y.example", "", ""})
+          .issuer(w.intermediate_dn)
+          .validity(kNow - Duration::days(1), kNow + Duration::days(1))
+          .public_key(w.leaf_key.public_key())
+          .sign(w.intermediate_key);
+  EXPECT_EQ(
+      verify_chain({leaf, bogus_intermediate}, w.store, kNow).error,
+      ChainError::kIntermediateNotCa);
+}
+
+TEST(VerifyChain, SelfSignedTrustedRootAlonePasses) {
+  ChainWorld w;
+  EXPECT_TRUE(verify_chain({w.root}, w.store, kNow).ok());
+}
+
+TEST(VerifyChain, SelfSignedUntrustedFails) {
+  ChainWorld w;
+  util::Rng local(55);
+  const crypto::KeyPair key = crypto::KeyPair::generate_sim(local);
+  const DistinguishedName dn{"Rogue Root", "", ""};
+  const Certificate rogue = CertificateBuilder()
+                                .serial_number(1)
+                                .subject(dn)
+                                .issuer(dn)
+                                .validity(kNow - Duration::days(1),
+                                          kNow + Duration::days(1))
+                                .public_key(key.public_key())
+                                .ca(true)
+                                .sign(key);
+  EXPECT_EQ(verify_chain({rogue}, w.store, kNow).error,
+            ChainError::kUntrustedRoot);
+}
+
+TEST(VerifyChain, ExpiredRootInStoreFails) {
+  ChainWorld w;
+  EXPECT_EQ(verify_chain({w.leaf, w.intermediate}, w.store,
+                         kNow + Duration::days(999))
+                .error,
+            ChainError::kExpired);
+}
+
+TEST(ChainErrorStrings, AllNamed) {
+  for (ChainError e :
+       {ChainError::kOk, ChainError::kEmptyChain, ChainError::kExpired,
+        ChainError::kNotYetValid, ChainError::kBadSignature,
+        ChainError::kIssuerMismatch, ChainError::kIntermediateNotCa,
+        ChainError::kUntrustedRoot}) {
+    EXPECT_STRNE(to_string(e), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace mustaple::x509
