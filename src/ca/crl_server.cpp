@@ -1,5 +1,7 @@
 #include "ca/crl_server.hpp"
 
+#include "obs/obs.hpp"
+
 namespace mustaple::ca {
 
 CrlServer::CrlServer(CertificateAuthority& authority, std::string host,
@@ -26,6 +28,7 @@ crl::Crl CrlServer::current_crl(util::SimTime now) const {
 
 net::HttpResponse CrlServer::handle(const net::HttpRequest& request,
                                     util::SimTime now, net::Region /*from*/) {
+  MUSTAPLE_COUNT("mustaple_ca_crl_requests_total");
   if (request.method != "GET") {
     return net::HttpResponse::make(400, net::default_reason(400), {}, "");
   }

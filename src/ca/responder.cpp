@@ -2,6 +2,7 @@
 
 #include "asn1/der.hpp"
 #include "crypto/sha1.hpp"
+#include "obs/obs.hpp"
 #include "ocsp/request.hpp"
 
 namespace mustaple::ca {
@@ -100,11 +101,13 @@ util::SimTime OcspResponder::generation_time(util::SimTime now,
 net::HttpResponse OcspResponder::handle(const net::HttpRequest& request,
                                         util::SimTime now,
                                         net::Region /*from*/) {
+  MUSTAPLE_COUNT("mustaple_ca_ocsp_requests_total");
   if (request.method != "POST" && request.method != "GET") {
     return net::HttpResponse::make(400, net::default_reason(400), {}, "");
   }
 
   if (malform_active(now)) {
+    MUSTAPLE_COUNT("mustaple_ca_ocsp_malformed_served_total");
     // Still HTTP 200 — the paper's clients count these as "successful
     // requests" that later fail validation (§5.2 vs §5.3).
     return net::HttpResponse::make(200, "OK", malformed_body(behavior_.malform),
@@ -167,7 +170,10 @@ util::Bytes OcspResponder::build_response_der(
     auto& entries = cache_[serial_hex];
     entries.resize(static_cast<std::size_t>(behavior_.backends));
     auto& entry = entries[static_cast<std::size_t>(backend)];
-    if (entry.cycle == cycle && !entry.der.empty()) return entry.der;
+    if (entry.cycle == cycle && !entry.der.empty()) {
+      MUSTAPLE_COUNT("mustaple_ca_ocsp_cache_hits_total");
+      return entry.der;
+    }
   }
 
   ocsp::SingleResponse single;
@@ -242,6 +248,8 @@ util::Bytes OcspResponder::build_response_der(
 
   util::Bytes der = response.encode_der();
   if (behavior_.pre_generate) {
+    // A fresh signing of a cached serial is one regeneration cycle.
+    MUSTAPLE_COUNT("mustaple_ca_ocsp_regenerations_total");
     auto& entries = cache_[serial_hex];
     entries.resize(static_cast<std::size_t>(behavior_.backends));
     entries[static_cast<std::size_t>(backend)] = CacheEntry{cycle, der};

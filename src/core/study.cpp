@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 
 namespace mustaple::core {
@@ -14,50 +15,82 @@ MustStapleStudy::MustStapleStudy(StudyConfig config)
 
 ReadinessReport MustStapleStudy::run() {
   ReadinessReport report;
-  report.deployment = ecosystem_->deployment_stats();
+#if MUSTAPLE_OBS_ENABLED
+  // One study = one trace; stamp every log record with the campaign clock.
+  obs::default_tracer().reset();
+  obs::default_logger().set_sim_clock([this] { return loop_.now(); });
+#endif
+  {
+    MUSTAPLE_SPAN(span_study, "study");
+    report.deployment = ecosystem_->deployment_stats();
 
-  if (config_.run_availability_scan) {
-    measurement::HourlyScanner scanner(*ecosystem_, config_.scan);
-    scanner.run();
-    report.responders_total = scanner.responder_count();
-    report.responders_with_outage = scanner.responders_with_outage();
-    report.responders_never_reachable = scanner.responders_never_reachable();
-    double rate = 0.0;
-    for (net::Region region : net::all_regions()) {
-      rate += scanner.failure_rate(region);
-    }
-    report.average_failure_rate = rate / net::kRegionCount;
-  }
-
-  if (config_.run_consistency_audit) {
-    util::Rng rng(config_.ecosystem.seed ^ 0x5ca1ab1eULL);
-    measurement::ConsistencyAudit audit(*ecosystem_, config_.consistency);
-    const measurement::ConsistencyReport consistency = audit.run(rng);
-    report.consistency_discrepant_responders = consistency.table1.size();
-  }
-
-  if (config_.run_browser_suite) {
-    const analysis::BrowserSuiteResult browsers =
-        analysis::run_browser_suite(config_.ecosystem.seed);
-    report.browsers_tested = browsers.rows.size();
-    report.browsers_requesting = browsers.count_requesting();
-    report.browsers_respecting = browsers.count_respecting();
-  }
-
-  if (config_.run_webserver_suite) {
-    const analysis::WebServerSuiteResult servers =
-        analysis::run_webserver_suite(config_.ecosystem.seed);
-    report.servers_tested = servers.rows.size();
-    for (const auto& row : servers.rows) {
-      if (row.software == webserver::Software::kIdeal) continue;  // baseline
-      if (row.prefetches && row.caches && row.respects_next_update &&
-          row.retains_on_error) {
-        ++report.servers_fully_correct;
+    if (config_.run_availability_scan) {
+      MUSTAPLE_SPAN(span_scan, "availability-scan");
+      measurement::HourlyScanner scanner(*ecosystem_, config_.scan);
+      scanner.run();
+      report.responders_total = scanner.responder_count();
+      report.responders_with_outage = scanner.responders_with_outage();
+      report.responders_never_reachable = scanner.responders_never_reachable();
+      double rate = 0.0;
+      for (net::Region region : net::all_regions()) {
+        rate += scanner.failure_rate(region);
       }
+      report.average_failure_rate = rate / net::kRegionCount;
+      MUSTAPLE_LOG_INFO(
+          "core", "availability scan complete",
+          obs::field("responders", report.responders_total),
+          obs::field("with_outage", report.responders_with_outage),
+          obs::field("never_reachable", report.responders_never_reachable),
+          obs::field("avg_failure_rate", report.average_failure_rate));
     }
-    // Only Apache/Nginx count toward "servers tested" in the paper's sense.
-    report.servers_tested = 2;
-  }
+
+    if (config_.run_consistency_audit) {
+      MUSTAPLE_SPAN(span_audit, "consistency-audit");
+      util::Rng rng(config_.ecosystem.seed ^ 0x5ca1ab1eULL);
+      measurement::ConsistencyAudit audit(*ecosystem_, config_.consistency);
+      const measurement::ConsistencyReport consistency = audit.run(rng);
+      report.consistency_discrepant_responders = consistency.table1.size();
+      MUSTAPLE_LOG_INFO("core", "consistency audit complete",
+                        obs::field("discrepant_responders",
+                                   report.consistency_discrepant_responders));
+    }
+
+    if (config_.run_browser_suite) {
+      MUSTAPLE_SPAN(span_browsers, "browser-suite");
+      const analysis::BrowserSuiteResult browsers =
+          analysis::run_browser_suite(config_.ecosystem.seed);
+      report.browsers_tested = browsers.rows.size();
+      report.browsers_requesting = browsers.count_requesting();
+      report.browsers_respecting = browsers.count_respecting();
+      MUSTAPLE_LOG_INFO("core", "browser suite complete",
+                        obs::field("tested", report.browsers_tested),
+                        obs::field("respecting", report.browsers_respecting));
+    }
+
+    if (config_.run_webserver_suite) {
+      MUSTAPLE_SPAN(span_servers, "webserver-suite");
+      const analysis::WebServerSuiteResult servers =
+          analysis::run_webserver_suite(config_.ecosystem.seed);
+      report.servers_tested = servers.rows.size();
+      for (const auto& row : servers.rows) {
+        if (row.software == webserver::Software::kIdeal) continue;  // baseline
+        if (row.prefetches && row.caches && row.respects_next_update &&
+            row.retains_on_error) {
+          ++report.servers_fully_correct;
+        }
+      }
+      // Only Apache/Nginx count toward "servers tested" in the paper's sense.
+      report.servers_tested = 2;
+      MUSTAPLE_LOG_INFO("core", "webserver suite complete",
+                        obs::field("tested", report.servers_tested),
+                        obs::field("fully_correct",
+                                   report.servers_fully_correct));
+    }
+  }  // closes the "study" span so the summary below includes it
+#if MUSTAPLE_OBS_ENABLED
+  report.trace_summary = obs::default_tracer().summary();
+  obs::default_logger().set_sim_clock(nullptr);
+#endif
 
   // §8-style synthesis.
   const double ms_pct =
@@ -115,6 +148,7 @@ std::string ReadinessReport::render() const {
   }
   out << "\nConclusion: the web is " << (web_is_ready ? "" : "NOT ")
       << "ready for OCSP Must-Staple.\n";
+  if (!trace_summary.empty()) out << "\n" << trace_summary;
   return out.str();
 }
 

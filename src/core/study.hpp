@@ -60,6 +60,10 @@ struct ReadinessReport {
   std::vector<PrincipalVerdict> verdicts;
   bool web_is_ready = false;
 
+  /// Per-phase wall-clock span summary (obs::Tracer); empty when the obs
+  /// layer is compiled out.
+  std::string trace_summary;
+
   /// Multi-line human-readable report.
   std::string render() const;
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "ocsp/request.hpp"
 
 namespace mustaple::measurement {
@@ -51,6 +52,7 @@ void HourlyScanner::probe(const Target& target, net::Region region,
   ++stats.requests;
   ++totals.requests[region_idx];
   ++step_requests_[cell];
+  MUSTAPLE_COUNT("mustaple_scan_probes_total");
 
   net::FetchResult result = ecosystem_->network().http_post(
       region, target.url, target.request_der, "application/ocsp-request");
@@ -100,25 +102,42 @@ void HourlyScanner::probe(const Target& target, net::Region region,
   switch (verdict.outcome) {
     case ocsp::CheckOutcome::kUnparseable:
       ++totals.unparseable;
+      MUSTAPLE_COUNT_L("mustaple_scan_validation_failures_total", "cause",
+                       "unparseable");
       return;
     case ocsp::CheckOutcome::kNotSuccessful:
       // tryLater etc.: parsed but unusable; the paper folds these into the
       // malformed/unusable bucket only when unparseable, so just return.
+      MUSTAPLE_COUNT_L("mustaple_scan_validation_failures_total", "cause",
+                       "not-successful");
       return;
     case ocsp::CheckOutcome::kSerialMismatch:
       ++totals.serial_mismatch;
+      MUSTAPLE_COUNT_L("mustaple_scan_validation_failures_total", "cause",
+                       "serial-mismatch");
       return;
     case ocsp::CheckOutcome::kBadSignature:
       ++totals.bad_signature;
+      MUSTAPLE_COUNT_L("mustaple_scan_validation_failures_total", "cause",
+                       "bad-signature");
       return;
     case ocsp::CheckOutcome::kNonceMismatch:
       return;  // scanner sends no nonce; unreachable, but classified
     case ocsp::CheckOutcome::kNotYetValid:
+      MUSTAPLE_COUNT_L("mustaple_scan_validation_failures_total", "cause",
+                       "not-yet-valid");
+      break;
     case ocsp::CheckOutcome::kExpired:
+      MUSTAPLE_COUNT_L("mustaple_scan_validation_failures_total", "cause",
+                       "expired");
+      break;
     case ocsp::CheckOutcome::kOk:
       break;  // structurally fine: continue into quality accounting
   }
-  if (verdict.outcome == ocsp::CheckOutcome::kOk) ++stats.usable_responses;
+  if (verdict.outcome == ocsp::CheckOutcome::kOk) {
+    ++stats.usable_responses;
+    MUSTAPLE_COUNT("mustaple_scan_probes_usable_total");
+  }
   if (verdict.outcome == ocsp::CheckOutcome::kNotYetValid) {
     ++stats.future_this_update;
   }
@@ -164,10 +183,19 @@ void HourlyScanner::run() {
   const util::SimTime end = ecosystem_->config().campaign_end;
   net::EventLoop& loop = ecosystem_->network().loop();
 
+  MUSTAPLE_SPAN(span_campaign, "scan-campaign");
+  MUSTAPLE_LOG_INFO("scan", "campaign starting",
+                    obs::field("targets", targets_.size()),
+                    obs::field("responders", responder_count()),
+                    obs::field("interval_s", config_.interval.seconds),
+                    obs::field("from", util::format_time(start)),
+                    obs::field("to", util::format_time(end)));
+
   std::size_t step_count = 0;
   for (util::SimTime t = start; t < end; t = t + config_.interval) {
     if (config_.max_steps != 0 && step_count >= config_.max_steps) break;
     ++step_count;
+    MUSTAPLE_SPAN(span_step, "scan-step");
     loop.run_until(t);
 
     step_requests_.assign(stats_.size(), 0);
@@ -192,7 +220,16 @@ void HourlyScanner::run() {
       totals.domains_unable[g] = unable;
     }
     steps_.push_back(totals);
+    MUSTAPLE_LOG_DEBUG("scan", "step complete",
+                       obs::field("step", step_count),
+                       obs::field("responses_200", totals.responses_200));
   }
+
+  MUSTAPLE_LOG_INFO("scan", "campaign complete",
+                    obs::field("steps", step_count),
+                    obs::field("probes",
+                               step_count * targets_.size() *
+                                   net::kRegionCount));
 }
 
 std::size_t HourlyScanner::responders_with_outage() const {

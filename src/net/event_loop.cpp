@@ -1,10 +1,32 @@
 #include "net/event_loop.hpp"
 
+#include "obs/obs.hpp"
+
 namespace mustaple::net {
 
 void EventLoop::schedule_at(util::SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
   queue_.push(Event{when, next_sequence_++, std::move(fn)});
+  if (queue_.size() > max_pending_) {
+    max_pending_ = queue_.size();
+    MUSTAPLE_GAUGE_MAX("mustaple_loop_queue_depth_high_water", max_pending_);
+  }
+}
+
+void EventLoop::dispatch(Event event) {
+  now_ = event.when;
+#if MUSTAPLE_OBS_ENABLED
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  event.fn();
+  using MillisDouble = std::chrono::duration<double, std::milli>;
+  const double dispatch_ms =
+      MillisDouble(std::chrono::steady_clock::now() - dispatch_start).count();
+  MUSTAPLE_OBSERVE("mustaple_loop_dispatch_latency_ms", dispatch_ms);
+#else
+  event.fn();
+#endif
+  ++events_dispatched_;
+  MUSTAPLE_COUNT("mustaple_loop_events_dispatched_total");
 }
 
 void EventLoop::run_until(util::SimTime deadline) {
@@ -12,8 +34,7 @@ void EventLoop::run_until(util::SimTime deadline) {
     // Copy out before pop: the callback may schedule new events.
     Event event = queue_.top();
     queue_.pop();
-    now_ = event.when;
-    event.fn();
+    dispatch(std::move(event));
   }
   if (deadline > now_) now_ = deadline;
 }
@@ -22,8 +43,7 @@ void EventLoop::run_all() {
   while (!queue_.empty()) {
     Event event = queue_.top();
     queue_.pop();
-    now_ = event.when;
-    event.fn();
+    dispatch(std::move(event));
   }
 }
 

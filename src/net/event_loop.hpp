@@ -34,12 +34,19 @@ class EventLoop {
 
   std::size_t pending() const { return queue_.size(); }
 
+  // Lifetime counters, maintained unconditionally (they back the obs
+  // metrics but stay available when obs is compiled out).
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+  /// Queue-depth high-water mark over the loop's lifetime.
+  std::size_t max_pending() const { return max_pending_; }
+
  private:
   struct Event {
     util::SimTime when;
     std::uint64_t sequence;  ///< FIFO tie-break for same-time events
     std::function<void()> fn;
   };
+  void dispatch(Event event);
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return b.when < a.when;
@@ -49,6 +56,8 @@ class EventLoop {
 
   util::SimTime now_;
   std::uint64_t next_sequence_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::size_t max_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace mustaple::net {
 
 const char* to_string(TransportError error) {
@@ -16,6 +18,30 @@ const char* to_string(TransportError error) {
       return "tls-cert-invalid";
   }
   return "?";
+}
+
+std::optional<TransportError> transport_error_from_string(
+    std::string_view text) {
+  for (TransportError error :
+       {TransportError::kNone, TransportError::kDnsFailure,
+        TransportError::kTcpFailure, TransportError::kTlsCertInvalid}) {
+    if (text == to_string(error)) return error;
+  }
+  return std::nullopt;
+}
+
+const char* error_kind_label(TransportError error, int status_code) {
+  switch (error) {
+    case TransportError::kDnsFailure:
+      return "dns";
+    case TransportError::kTcpFailure:
+      return "tcp";
+    case TransportError::kTlsCertInvalid:
+      return "tls";
+    case TransportError::kNone:
+      break;
+  }
+  return status_code >= 400 ? "http" : nullptr;
 }
 
 void Network::set_host_region(const std::string& canonical_host,
@@ -48,6 +74,40 @@ double Network::sample_latency_ms(Region from, const std::string& host) {
 
 FetchResult Network::http_request(Region from, const Url& url,
                                   HttpRequest request) {
+  FetchResult result = http_request_impl(from, url, std::move(request));
+  record_fetch(from, url, result);
+  return result;
+}
+
+void Network::record_fetch(Region from, const Url& url,
+                           const FetchResult& result) {
+#if MUSTAPLE_OBS_ENABLED
+  obs::Registry& registry = obs::default_registry();
+  registry.counter("mustaple_net_fetch_total").inc();
+  registry.counter("mustaple_net_fetch_by_region_total",
+                   {{"region", to_string(from)}})
+      .inc();
+  registry.histogram("mustaple_net_fetch_latency_ms")
+      .observe(result.latency_ms);
+  const char* kind =
+      error_kind_label(result.error, result.response.status_code);
+  if (kind) {
+    registry.counter("mustaple_net_fetch_errors_total", {{"kind", kind}})
+        .inc();
+    MUSTAPLE_LOG_DEBUG("net", "fetch failed", obs::field("host", url.host),
+                       obs::field("kind", kind),
+                       obs::field("region", to_string(from)),
+                       obs::field("status", result.response.status_code));
+  }
+#else
+  (void)from;
+  (void)url;
+  (void)result;
+#endif
+}
+
+FetchResult Network::http_request_impl(Region from, const Url& url,
+                                       HttpRequest request) {
   FetchResult result;
   const std::string canonical = dns_.canonical_name(url.host);
   result.latency_ms = sample_latency_ms(from, canonical);

@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "net/dns.hpp"
 #include "net/event_loop.hpp"
@@ -31,6 +33,14 @@ enum class TransportError : std::uint8_t {
 };
 
 const char* to_string(TransportError error);
+
+/// Inverse of to_string; nullopt for unknown text.
+std::optional<TransportError> transport_error_from_string(
+    std::string_view text);
+
+/// §5.2 failure-taxonomy metric label for one fetch outcome: "dns", "tcp",
+/// "tls", "http" (reached but status >= 400), or nullptr for a clean fetch.
+const char* error_kind_label(TransportError error, int status_code);
 
 struct FetchResult {
   TransportError error = TransportError::kNone;
@@ -78,6 +88,9 @@ class Network {
 
  private:
   double sample_latency_ms(Region from, const std::string& host);
+  FetchResult http_request_impl(Region from, const Url& url,
+                                HttpRequest request);
+  void record_fetch(Region from, const Url& url, const FetchResult& result);
 
   EventLoop* loop_;
   util::Rng rng_;

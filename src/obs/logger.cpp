@@ -1,0 +1,163 @@
+#include "obs/logger.hpp"
+
+#include <ctime>
+
+#include "util/strings.hpp"
+
+namespace mustaple::obs {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// "2026-08-05T12:34:56.789Z" from a system_clock time point.
+std::string format_wall(std::chrono::system_clock::time_point tp) {
+  const auto since_epoch = tp.time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(since_epoch);
+  const std::time_t secs = static_cast<std::time_t>(ms.count() / 1000);
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &utc);
+  return util::format("%s.%03dZ", buf, static_cast<int>(ms.count() % 1000));
+}
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kTrace:
+      return "trace";
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+std::string LogRecord::to_text() const {
+  std::string out = format_wall(wall_time);
+  out += " ";
+  out += to_string(level);
+  out += " [" + component + "] " + message;
+  for (const Field& f : fields) {
+    out += " " + f.key + "=" + f.value;
+  }
+  if (sim_time) out += " sim=\"" + util::format_time(*sim_time) + "\"";
+  return out;
+}
+
+std::string LogRecord::to_json() const {
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      wall_time.time_since_epoch());
+  std::string out = "{\"wall\":\"" + format_wall(wall_time) + "\"";
+  out += util::format(",\"wall_unix_ms\":%lld",
+                      static_cast<long long>(ms.count()));
+  if (sim_time) {
+    out += ",\"sim\":\"" + util::format_time(*sim_time) + "\"";
+    out += util::format(",\"sim_unix\":%lld",
+                        static_cast<long long>(sim_time->unix_seconds));
+  }
+  out += std::string(",\"level\":\"") + to_string(level) + "\"";
+  out += ",\"component\":\"" + json_escape(component) + "\"";
+  out += ",\"message\":\"" + json_escape(message) + "\"";
+  for (const Field& f : fields) {
+    out += ",\"" + json_escape(f.key) + "\":\"" + json_escape(f.value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void StderrSink::write(const LogRecord& record) {
+  const std::string line = record.to_text() + "\n";
+  std::fputs(line.c_str(), stderr);
+}
+
+void RingBufferSink::write(const LogRecord& record) {
+  if (records_.size() >= capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(record);
+}
+
+void RingBufferSink::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_) std::fclose(file_);
+}
+
+void JsonlFileSink::write(const LogRecord& record) {
+  if (!file_) return;
+  const std::string line = record.to_json() + "\n";
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+}
+
+void Logger::add_sink(std::shared_ptr<Sink> sink) {
+  if (sink) sinks_.push_back(std::move(sink));
+}
+
+void Logger::log(Level level, std::string component, std::string message,
+                 std::vector<Field> fields) {
+  if (!enabled(level)) return;
+  LogRecord record;
+  record.level = level;
+  record.component = std::move(component);
+  record.message = std::move(message);
+  record.fields = std::move(fields);
+  record.wall_time = std::chrono::system_clock::now();
+  if (sim_clock_) record.sim_time = sim_clock_();
+  for (const auto& sink : sinks_) sink->write(record);
+}
+
+Logger& default_logger() {
+  static Logger logger;
+  return logger;
+}
+
+}  // namespace mustaple::obs

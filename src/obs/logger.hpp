@@ -1,0 +1,146 @@
+// Structured, leveled logging for the study pipeline. Every record carries
+// BOTH clocks: the real wall clock (when the process emitted it) and the
+// simulated campaign clock (where in the four-month window the simulator
+// was), so a log line can be correlated with paper time and with profiling.
+// Records are key=value structured, not printf soup, and fan out to
+// pluggable sinks: stderr text, an in-memory ring buffer (tests), and a
+// JSONL file (offline analysis).
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace mustaple::obs {
+
+enum class Level : std::uint8_t { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(Level level);
+
+/// One structured key=value pair.
+struct Field {
+  std::string key;
+  std::string value;
+};
+
+inline Field field(std::string key, std::string value) {
+  return {std::move(key), std::move(value)};
+}
+inline Field field(std::string key, const char* value) {
+  return {std::move(key), value};
+}
+inline Field field(std::string key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return {std::move(key), buf};
+}
+inline Field field(std::string key, bool value) {
+  return {std::move(key), value ? "true" : "false"};
+}
+template <std::integral T>
+Field field(std::string key, T value) {
+  return {std::move(key), std::to_string(value)};
+}
+
+struct LogRecord {
+  Level level = Level::kInfo;
+  std::string component;  ///< subsystem tag: "net", "scan", "ca", "core"...
+  std::string message;
+  std::vector<Field> fields;
+  std::chrono::system_clock::time_point wall_time;
+  std::optional<util::SimTime> sim_time;  ///< absent outside a simulation
+
+  /// "<wall ISO8601> LEVEL [component] message key=value ... sim=<...>".
+  std::string to_text() const;
+  /// One-line JSON object with "wall", "wall_unix_ms", "sim", "sim_unix",
+  /// "level", "component", "message", and the fields flattened in.
+  std::string to_json() const;
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+class StderrSink : public Sink {
+ public:
+  void write(const LogRecord& record) override;
+};
+
+/// Keeps the last `capacity` records in memory; ideal for test assertions
+/// and post-mortem dumps without touching disk.
+class RingBufferSink : public Sink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1024)
+      : capacity_(capacity ? capacity : 1) {}
+
+  void write(const LogRecord& record) override;
+  const std::deque<LogRecord>& records() const { return records_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::deque<LogRecord> records_;
+};
+
+/// Appends LogRecord::to_json() lines to a file (truncated on open).
+class JsonlFileSink : public Sink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+  ~JsonlFileSink() override;
+  JsonlFileSink(const JsonlFileSink&) = delete;
+  JsonlFileSink& operator=(const JsonlFileSink&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  void write(const LogRecord& record) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+class Logger {
+ public:
+  Level level() const { return level_; }
+  void set_level(Level level) { level_ = level; }
+
+  /// Cheap pre-flight: a disabled level (or a sinkless logger) costs one
+  /// comparison at the call site, no formatting.
+  bool enabled(Level level) const {
+    return level >= level_ && !sinks_.empty();
+  }
+
+  void add_sink(std::shared_ptr<Sink> sink);
+  void clear_sinks() { sinks_.clear(); }
+
+  /// Source of the simulated clock stamped into records (e.g. the study's
+  /// EventLoop). Pass nullptr to stop stamping sim time.
+  void set_sim_clock(std::function<util::SimTime()> clock) {
+    sim_clock_ = std::move(clock);
+  }
+
+  void log(Level level, std::string component, std::string message,
+           std::vector<Field> fields = {});
+
+ private:
+  Level level_ = Level::kInfo;
+  std::vector<std::shared_ptr<Sink>> sinks_;
+  std::function<util::SimTime()> sim_clock_;
+};
+
+/// The process-wide logger all MUSTAPLE_LOG_* macros write to. Starts with
+/// no sinks (silent) at level kInfo.
+Logger& default_logger();
+
+}  // namespace mustaple::obs

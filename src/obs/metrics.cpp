@@ -1,0 +1,199 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mustaple::obs {
+
+namespace {
+
+// "%g"-style shortest representation; Prometheus accepts it for values and
+// `le` bounds alike.
+std::string number(double v) { return util::format("%g", v); }
+
+// `name{k="v"}` as a JSON object key (label quotes need escaping).
+std::string json_key(const std::string& name, const std::string& labels) {
+  std::string escaped = "\"";
+  for (char c : name + labels) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  escaped += "\"";
+  return escaped;
+}
+
+}  // namespace
+
+std::string canonical_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out += ",";
+    out += sorted[i].first + "=\"" + sorted[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  sum_ += x;
+  stats_.add(x);
+}
+
+const std::vector<double>& latency_ms_buckets() {
+  static const std::vector<double> kBuckets = {1,  2,   5,   10,  20,   50,
+                                               100, 200, 500, 1000, 5000};
+  return kBuckets;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return counters_[name][canonical_labels(labels)];
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return gauges_[name][canonical_labels(labels)];
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const Labels& labels) {
+  auto& cell = histograms_[name][canonical_labels(labels)];
+  if (!cell) cell = std::make_unique<Histogram>(std::move(bounds));
+  return *cell;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
+  return histogram(name, latency_ms_buckets(), labels);
+}
+
+std::uint64_t Registry::counter_value(const std::string& name,
+                                      const Labels& labels) const {
+  const auto family = counters_.find(name);
+  if (family == counters_.end()) return 0;
+  const auto cell = family->second.find(canonical_labels(labels));
+  return cell == family->second.end() ? 0 : cell->second.value();
+}
+
+double Registry::gauge_value(const std::string& name,
+                             const Labels& labels) const {
+  const auto family = gauges_.find(name);
+  if (family == gauges_.end()) return 0.0;
+  const auto cell = family->second.find(canonical_labels(labels));
+  return cell == family->second.end() ? 0.0 : cell->second.value();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          const Labels& labels) const {
+  const auto family = histograms_.find(name);
+  if (family == histograms_.end()) return nullptr;
+  const auto cell = family->second.find(canonical_labels(labels));
+  return cell == family->second.end() ? nullptr : cell->second.get();
+}
+
+std::string Registry::render_prometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, cells] : counters_) {
+    out << "# TYPE " << name << " counter\n";
+    for (const auto& [labels, cell] : cells) {
+      out << name << labels << " " << cell.value() << "\n";
+    }
+  }
+  for (const auto& [name, cells] : gauges_) {
+    out << "# TYPE " << name << " gauge\n";
+    for (const auto& [labels, cell] : cells) {
+      out << name << labels << " " << number(cell.value()) << "\n";
+    }
+  }
+  for (const auto& [name, cells] : histograms_) {
+    out << "# TYPE " << name << " histogram\n";
+    for (const auto& [labels, cell] : cells) {
+      // `le` joins any user labels inside one brace set.
+      const std::string base =
+          labels.empty() ? "" : labels.substr(0, labels.size() - 1) + ",";
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < cell->bounds().size(); ++i) {
+        cumulative += cell->bucket_counts()[i];
+        out << name << "_bucket"
+            << (base.empty() ? "{" : base) << "le=\""
+            << number(cell->bounds()[i]) << "\"} " << cumulative << "\n";
+      }
+      cumulative += cell->bucket_counts().back();
+      out << name << "_bucket" << (base.empty() ? "{" : base)
+          << "le=\"+Inf\"} " << cumulative << "\n";
+      out << name << "_sum" << labels << " " << number(cell->sum()) << "\n";
+      out << name << "_count" << labels << " " << cell->count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string Registry::render_json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cells] : counters_) {
+    for (const auto& [labels, cell] : cells) {
+      if (!first) out << ",";
+      first = false;
+      out << json_key(name, labels) << ":" << cell.value();
+    }
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, cells] : gauges_) {
+    for (const auto& [labels, cell] : cells) {
+      if (!first) out << ",";
+      first = false;
+      out << json_key(name, labels) << ":" << number(cell.value());
+    }
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, cells] : histograms_) {
+    for (const auto& [labels, cell] : cells) {
+      if (!first) out << ",";
+      first = false;
+      out << json_key(name, labels) << ":{\"count\":" << cell->count()
+          << ",\"sum\":" << number(cell->sum())
+          << ",\"mean\":" << number(cell->stats().mean())
+          << ",\"min\":" << number(cell->stats().min())
+          << ",\"max\":" << number(cell->stats().max()) << ",\"buckets\":[";
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < cell->bounds().size(); ++i) {
+        cumulative += cell->bucket_counts()[i];
+        if (i) out << ",";
+        out << "{\"le\":" << number(cell->bounds()[i])
+            << ",\"count\":" << cumulative << "}";
+      }
+      cumulative += cell->bucket_counts().back();
+      if (!cell->bounds().empty()) out << ",";
+      out << "{\"le\":\"+Inf\",\"count\":" << cumulative << "}]}";
+    }
+  }
+  out << "}}";
+  return out.str();
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace mustaple::obs

@@ -1,0 +1,113 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms with
+// Prometheus-text and JSON exporters. Metric names follow the repo-wide
+// convention `mustaple_<layer>_<name>` (see docs/OBSERVABILITY.md); label
+// sets are canonicalized (sorted by key) so the same metric is always the
+// same cell. Histograms reuse util::OnlineStats for the mean/min/max that
+// bucket counts alone cannot give. Single-threaded like the simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mustaple::obs {
+
+/// Label pairs attached to one metric cell, e.g. {{"kind", "dns"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  /// High-water-mark update: keeps the maximum ever set.
+  void set_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed upper-bound buckets plus an implicit +Inf bucket, cumulative like
+/// Prometheus's `le` convention when exported.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size bounds().size() + 1, the last
+  /// entry being the +Inf overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  std::size_t count() const { return stats_.count(); }
+  double sum() const { return sum_; }
+  const util::OnlineStats& stats() const { return stats_; }
+
+ private:
+  std::vector<double> bounds_;  ///< sorted ascending upper bounds
+  std::vector<std::uint64_t> buckets_;
+  double sum_ = 0.0;
+  util::OnlineStats stats_;
+};
+
+/// Default bounds for millisecond-scale latencies (fetch RTTs, dispatch).
+const std::vector<double>& latency_ms_buckets();
+
+/// Owns all metric cells. Lookup creates on first use; returned references
+/// stay valid for the registry's lifetime (map nodes are stable).
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// First call fixes the bucket bounds; later calls ignore `bounds`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  /// Read-only lookups that do NOT create cells; 0 / nullptr when absent.
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+  double gauge_value(const std::string& name, const Labels& labels = {}) const;
+  const Histogram* find_histogram(const std::string& name,
+                                  const Labels& labels = {}) const;
+
+  /// Prometheus text exposition format (one `# TYPE` line per family).
+  std::string render_prometheus() const;
+  /// Single-line JSON object with "counters"/"gauges"/"histograms" sections.
+  std::string render_json() const;
+
+  void reset();
+
+ private:
+  // name -> canonical label string ("" or `{k="v",...}`) -> cell.
+  template <typename T>
+  using Family = std::map<std::string, std::map<std::string, T>>;
+
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry all MUSTAPLE_* macros write to.
+Registry& default_registry();
+
+/// `{k="v",k2="v2"}` with keys sorted; "" for no labels.
+std::string canonical_labels(const Labels& labels);
+
+}  // namespace mustaple::obs

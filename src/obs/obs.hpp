@@ -1,0 +1,80 @@
+// mustaple::obs umbrella: one include gives call sites the structured
+// logger, the metrics registry, and trace spans, behind macros that compile
+// to NOTHING when MUSTAPLE_OBS_OFF is defined (e.g. a bench TU that wants
+// to measure the simulator with zero instrumentation cost, or the whole
+// build via -DMUSTAPLE_OBS=OFF). The macro layer is the supported call-site
+// API; the classes behind it stay usable directly when a component wants
+// its own Registry/Logger (tests do).
+//
+// Naming convention for metrics: mustaple_<layer>_<name>[_total|_ms], e.g.
+// mustaple_net_fetch_total, mustaple_loop_dispatch_latency_ms.
+#pragma once
+
+#if defined(MUSTAPLE_OBS_OFF)
+#define MUSTAPLE_OBS_ENABLED 0
+#else
+#define MUSTAPLE_OBS_ENABLED 1
+#endif
+
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+#if MUSTAPLE_OBS_ENABLED
+
+/// Leveled structured log to the default logger. Fields are only built when
+/// the level passes and at least one sink is attached.
+#define MUSTAPLE_LOG(level_, component_, message_, ...)                     \
+  do {                                                                      \
+    ::mustaple::obs::Logger& mustaple_obs_lg =                              \
+        ::mustaple::obs::default_logger();                                  \
+    if (mustaple_obs_lg.enabled(level_)) {                                  \
+      mustaple_obs_lg.log(level_, component_, message_, {__VA_ARGS__});     \
+    }                                                                       \
+  } while (0)
+
+#define MUSTAPLE_LOG_DEBUG(component_, ...) \
+  MUSTAPLE_LOG(::mustaple::obs::Level::kDebug, component_, __VA_ARGS__)
+#define MUSTAPLE_LOG_INFO(component_, ...) \
+  MUSTAPLE_LOG(::mustaple::obs::Level::kInfo, component_, __VA_ARGS__)
+#define MUSTAPLE_LOG_WARN(component_, ...) \
+  MUSTAPLE_LOG(::mustaple::obs::Level::kWarn, component_, __VA_ARGS__)
+#define MUSTAPLE_LOG_ERROR(component_, ...) \
+  MUSTAPLE_LOG(::mustaple::obs::Level::kError, component_, __VA_ARGS__)
+
+/// Counter/gauge/histogram one-liners against the default registry.
+#define MUSTAPLE_COUNT(name_) \
+  ::mustaple::obs::default_registry().counter(name_).inc()
+#define MUSTAPLE_COUNT_N(name_, n_) \
+  ::mustaple::obs::default_registry().counter(name_).inc(n_)
+#define MUSTAPLE_COUNT_L(name_, key_, value_) \
+  ::mustaple::obs::default_registry().counter(name_, {{key_, value_}}).inc()
+#define MUSTAPLE_GAUGE_SET(name_, value_)         \
+  ::mustaple::obs::default_registry().gauge(name_).set( \
+      static_cast<double>(value_))
+#define MUSTAPLE_GAUGE_MAX(name_, value_)             \
+  ::mustaple::obs::default_registry().gauge(name_).set_max( \
+      static_cast<double>(value_))
+#define MUSTAPLE_OBSERVE(name_, value_)                   \
+  ::mustaple::obs::default_registry().histogram(name_).observe( \
+      static_cast<double>(value_))
+
+/// RAII trace span bound to a local variable: MUSTAPLE_SPAN(span, "phase").
+#define MUSTAPLE_SPAN(var_, name_) ::mustaple::obs::Span var_(name_)
+
+#else  // MUSTAPLE_OBS_OFF: every call site vanishes.
+
+#define MUSTAPLE_LOG(level_, component_, message_, ...) ((void)0)
+#define MUSTAPLE_LOG_DEBUG(component_, ...) ((void)0)
+#define MUSTAPLE_LOG_INFO(component_, ...) ((void)0)
+#define MUSTAPLE_LOG_WARN(component_, ...) ((void)0)
+#define MUSTAPLE_LOG_ERROR(component_, ...) ((void)0)
+#define MUSTAPLE_COUNT(name_) ((void)0)
+#define MUSTAPLE_COUNT_N(name_, n_) ((void)0)
+#define MUSTAPLE_COUNT_L(name_, key_, value_) ((void)0)
+#define MUSTAPLE_GAUGE_SET(name_, value_) ((void)0)
+#define MUSTAPLE_GAUGE_MAX(name_, value_) ((void)0)
+#define MUSTAPLE_OBSERVE(name_, value_) ((void)0)
+#define MUSTAPLE_SPAN(var_, name_) ((void)0)
+
+#endif  // MUSTAPLE_OBS_ENABLED

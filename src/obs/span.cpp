@@ -1,0 +1,59 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mustaple::obs {
+
+std::size_t Tracer::begin(const std::string& name) {
+  const std::string path =
+      stack_.empty() ? name : nodes_[stack_.back()].path + "/" + name;
+  auto [it, inserted] = by_path_.try_emplace(path, nodes_.size());
+  if (inserted) {
+    Node node;
+    node.path = path;
+    node.name = name;
+    node.depth = static_cast<int>(stack_.size());
+    nodes_.push_back(std::move(node));
+  }
+  stack_.push_back(it->second);
+  return it->second;
+}
+
+void Tracer::end(std::size_t handle, double elapsed_ms) {
+  if (handle >= nodes_.size()) return;
+  Node& node = nodes_[handle];
+  ++node.count;
+  node.total_ms += elapsed_ms;
+  // Spans are RAII and single-threaded, so ends arrive LIFO; tolerate a
+  // mismatched end rather than corrupting the stack.
+  if (!stack_.empty() && stack_.back() == handle) stack_.pop_back();
+}
+
+std::string Tracer::summary() const {
+  if (nodes_.empty()) return "";
+  std::string out = "--- span summary (wall-clock) ---\n";
+  for (const Node& node : nodes_) {
+    const std::string indent(static_cast<std::size_t>(node.depth) * 2, ' ');
+    std::string label = indent + node.name;
+    if (label.size() < 36) label.resize(36, ' ');
+    out += util::format("%s %8llux %12.2f ms\n", label.c_str(),
+                        static_cast<unsigned long long>(node.count),
+                        node.total_ms);
+  }
+  return out;
+}
+
+void Tracer::reset() {
+  nodes_.clear();
+  stack_.clear();
+  by_path_.clear();
+}
+
+Tracer& default_tracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace mustaple::obs

@@ -1,0 +1,75 @@
+// Scoped wall-clock trace spans. A Span times its enclosing scope with the
+// steady clock and reports into a Tracer, which aggregates by nesting path
+// (study / scan-campaign / scan-step / ...) so a four-month campaign yields
+// a compact per-phase profile instead of millions of events. Single-threaded
+// LIFO nesting, matching the simulator.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mustaple::obs {
+
+class Tracer {
+ public:
+  /// One aggregated node of the span tree.
+  struct Node {
+    std::string path;  ///< "study/availability-scan/scan-step"
+    std::string name;  ///< last path component
+    int depth = 0;
+    std::uint64_t count = 0;  ///< completed spans aggregated here
+    double total_ms = 0.0;    ///< wall-clock total across all of them
+  };
+
+  /// Opens a span named `name` nested under the currently open one; returns
+  /// a handle for end().
+  std::size_t begin(const std::string& name);
+  void end(std::size_t handle, double elapsed_ms);
+
+  int open_depth() const { return static_cast<int>(stack_.size()); }
+  /// Nodes in first-entered order (parents before their children).
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Indented per-phase table, e.g. for appending to a report.
+  std::string summary() const;
+
+  void reset();
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> stack_;  ///< indices of open nodes
+  std::map<std::string, std::size_t> by_path_;
+};
+
+/// The process-wide tracer all MUSTAPLE_SPAN macros report to.
+Tracer& default_tracer();
+
+/// RAII span: times construction-to-destruction on the steady clock.
+class Span {
+ public:
+  explicit Span(const std::string& name, Tracer& tracer = default_tracer())
+      : tracer_(&tracer),
+        handle_(tracer.begin(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~Span() { tracer_->end(handle_, elapsed_ms()); }
+
+ private:
+  Tracer* tracer_;
+  std::size_t handle_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mustaple::obs

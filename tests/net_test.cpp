@@ -3,6 +3,9 @@
 // injected failures (the §5.2 failure taxonomy).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+
 #include "net/dns.hpp"
 #include "net/event_loop.hpp"
 #include "net/fault.hpp"
@@ -10,6 +13,7 @@
 #include "net/network.hpp"
 #include "net/url.hpp"
 #include "net/vantage.hpp"
+#include "obs/obs.hpp"
 
 namespace mustaple::net {
 namespace {
@@ -214,6 +218,33 @@ TEST(EventLoop, PastEventsClampToNow) {
   EXPECT_TRUE(fired);
 }
 
+TEST(EventLoop, FifoTieBreakAndLifetimeCounters) {
+  EventLoop loop(kStart);
+  EXPECT_EQ(loop.events_dispatched(), 0u);
+  EXPECT_EQ(loop.max_pending(), 0u);
+
+  // Same-time events interleaved with an earlier one: dispatch order must be
+  // time-major, then FIFO by scheduling order within the tie.
+  std::vector<int> order;
+  loop.schedule_at(kStart + Duration::secs(10), [&] { order.push_back(1); });
+  loop.schedule_at(kStart + Duration::secs(5), [&] { order.push_back(0); });
+  loop.schedule_at(kStart + Duration::secs(10), [&] { order.push_back(2); });
+  loop.schedule_at(kStart + Duration::secs(10), [&] { order.push_back(3); });
+  EXPECT_EQ(loop.max_pending(), 4u);  // high-water mark before any dispatch
+
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(loop.events_dispatched(), 4u);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.max_pending(), 4u);  // unchanged by draining
+
+  // Counters keep accumulating over the loop's lifetime.
+  loop.schedule_after(Duration::secs(1), [] {});
+  loop.run_all();
+  EXPECT_EQ(loop.events_dispatched(), 5u);
+  EXPECT_EQ(loop.max_pending(), 4u);
+}
+
 // ---------------------------------------------------------------- faults --
 
 TEST(FaultRule, WindowAndRegionScoping) {
@@ -263,6 +294,20 @@ TEST(FaultPlan, FirstMatchWins) {
 }
 
 // --------------------------------------------------------------- network --
+
+TEST(TransportErrorNames, ToStringRoundTrips) {
+  for (TransportError error :
+       {TransportError::kNone, TransportError::kDnsFailure,
+        TransportError::kTcpFailure, TransportError::kTlsCertInvalid}) {
+    const char* text = to_string(error);
+    EXPECT_STRNE(text, "?");
+    auto parsed = transport_error_from_string(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, error);
+  }
+  EXPECT_FALSE(transport_error_from_string("bogus").has_value());
+  EXPECT_FALSE(transport_error_from_string("").has_value());
+}
 
 class NetworkFixture : public ::testing::Test {
  protected:
@@ -367,6 +412,80 @@ TEST_F(NetworkFixture, CnameAliasSharesFaults) {
       network_.http_get(Region::kParis, url("http://alias.example/")).error,
       TransportError::kTcpFailure);
 }
+
+#if MUSTAPLE_OBS_ENABLED
+TEST_F(NetworkFixture, FaultKindsLandInTaxonomyCounters) {
+  // Every §5.2 fault mode must increment exactly one error-kind cell of
+  // mustaple_net_fetch_errors_total (dns/tcp/tls/http) and the fetch total.
+  network_.register_service("secure.example", 443,
+                            [](const HttpRequest&, SimTime, Region) {
+                              return HttpResponse::make(200, "OK", {}, "");
+                            });
+  const std::vector<std::pair<FaultMode, const char*>> cases = {
+      {FaultMode::kDnsNxDomain, "dns"},   {FaultMode::kTcpConnectFailure, "tcp"},
+      {FaultMode::kTlsCertInvalid, "tls"}, {FaultMode::kHttp404, "http"},
+      {FaultMode::kHttp500, "http"},       {FaultMode::kHttp503, "http"}};
+  const std::vector<const char*> kinds = {"dns", "tcp", "tls", "http"};
+  obs::Registry& registry = obs::default_registry();
+
+  for (const auto& [mode, expected_kind] : cases) {
+    const std::string host =
+        mode == FaultMode::kTlsCertInvalid ? "secure.example" : "svc.example";
+    const std::string target = (mode == FaultMode::kTlsCertInvalid
+                                    ? "https://" : "http://") + host + "/";
+    FaultRule rule;
+    rule.canonical_host = host;
+    rule.mode = mode;
+    rule.window_start = loop_.now();
+    rule.window_end = loop_.now() + Duration::secs(1);
+    network_.faults().add(rule);
+
+    std::map<std::string, std::uint64_t> before;
+    for (const char* kind : kinds) {
+      before[kind] = registry.counter_value("mustaple_net_fetch_errors_total",
+                                            {{"kind", kind}});
+    }
+    const std::uint64_t total_before =
+        registry.counter_value("mustaple_net_fetch_total");
+
+    auto result = network_.http_get(Region::kVirginia, url(target));
+    EXPECT_FALSE(result.success());
+
+    EXPECT_EQ(registry.counter_value("mustaple_net_fetch_total"),
+              total_before + 1);
+    for (const char* kind : kinds) {
+      const std::uint64_t expected =
+          before[kind] + (std::string(kind) == expected_kind ? 1 : 0);
+      EXPECT_EQ(registry.counter_value("mustaple_net_fetch_errors_total",
+                                       {{"kind", kind}}),
+                expected)
+          << "fault " << to_string(mode) << " kind " << kind;
+    }
+    loop_.run_until(loop_.now() + Duration::secs(2));  // expire the rule
+  }
+}
+
+TEST_F(NetworkFixture, CleanFetchCountsNoErrorKind) {
+  obs::Registry& registry = obs::default_registry();
+  const std::uint64_t total_before =
+      registry.counter_value("mustaple_net_fetch_total");
+  std::uint64_t errors_before = 0;
+  for (const char* kind : {"dns", "tcp", "tls", "http"}) {
+    errors_before += registry.counter_value("mustaple_net_fetch_errors_total",
+                                            {{"kind", kind}});
+  }
+  EXPECT_TRUE(
+      network_.http_get(Region::kVirginia, url("http://svc.example/")).success());
+  EXPECT_EQ(registry.counter_value("mustaple_net_fetch_total"),
+            total_before + 1);
+  std::uint64_t errors_after = 0;
+  for (const char* kind : {"dns", "tcp", "tls", "http"}) {
+    errors_after += registry.counter_value("mustaple_net_fetch_errors_total",
+                                           {{"kind", kind}});
+  }
+  EXPECT_EQ(errors_after, errors_before);
+}
+#endif  // MUSTAPLE_OBS_ENABLED
 
 TEST_F(NetworkFixture, CnameAliasRoutesToService) {
   network_.dns().add_cname("alias2.example", "svc.example");

@@ -1,0 +1,327 @@
+// Tests for the obs subsystem: logger level filtering and sinks, metric
+// counter/gauge/histogram semantics, Prometheus/JSON export golden strings,
+// and span nesting/timing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/obs.hpp"
+
+namespace mustaple::obs {
+namespace {
+
+// ---------------------------------------------------------------- logger --
+
+TEST(Logger, LevelFiltering) {
+  Logger logger;
+  auto ring = std::make_shared<RingBufferSink>();
+  logger.add_sink(ring);
+  logger.set_level(Level::kWarn);
+
+  EXPECT_FALSE(logger.enabled(Level::kDebug));
+  EXPECT_FALSE(logger.enabled(Level::kInfo));
+  EXPECT_TRUE(logger.enabled(Level::kWarn));
+  EXPECT_TRUE(logger.enabled(Level::kError));
+
+  logger.log(Level::kInfo, "t", "filtered out");
+  logger.log(Level::kWarn, "t", "kept");
+  logger.log(Level::kError, "t", "also kept");
+  ASSERT_EQ(ring->records().size(), 2u);
+  EXPECT_EQ(ring->records()[0].message, "kept");
+  EXPECT_EQ(ring->records()[1].message, "also kept");
+}
+
+TEST(Logger, SinklessLoggerIsDisabled) {
+  Logger logger;
+  EXPECT_FALSE(logger.enabled(Level::kError));
+  logger.log(Level::kError, "t", "goes nowhere");  // must not crash
+}
+
+TEST(Logger, RingBufferEvictsOldest) {
+  Logger logger;
+  auto ring = std::make_shared<RingBufferSink>(3);
+  logger.add_sink(ring);
+  for (int i = 0; i < 5; ++i) {
+    logger.log(Level::kInfo, "t", "m" + std::to_string(i));
+  }
+  ASSERT_EQ(ring->records().size(), 3u);
+  EXPECT_EQ(ring->records().front().message, "m2");
+  EXPECT_EQ(ring->records().back().message, "m4");
+  EXPECT_EQ(ring->dropped(), 2u);
+  ring->clear();
+  EXPECT_TRUE(ring->records().empty());
+  EXPECT_EQ(ring->dropped(), 0u);
+}
+
+TEST(Logger, RecordsCarryBothClocks) {
+  Logger logger;
+  auto ring = std::make_shared<RingBufferSink>();
+  logger.add_sink(ring);
+  logger.set_sim_clock([] { return util::make_time(2018, 5, 1, 12, 0, 0); });
+  logger.log(Level::kInfo, "scan", "probe", {field("host", "ocsp.example")});
+  ASSERT_EQ(ring->records().size(), 1u);
+  const LogRecord& record = ring->records().front();
+  ASSERT_TRUE(record.sim_time.has_value());
+  EXPECT_EQ(record.sim_time->unix_seconds,
+            util::make_time(2018, 5, 1, 12, 0, 0).unix_seconds);
+  EXPECT_GT(record.wall_time.time_since_epoch().count(), 0);
+
+  const std::string text = record.to_text();
+  EXPECT_NE(text.find("info [scan] probe host=ocsp.example"),
+            std::string::npos);
+  EXPECT_NE(text.find("sim=\"2018-05-01 12:00:00\""), std::string::npos);
+
+  const std::string json = record.to_json();
+  EXPECT_NE(json.find("\"sim\":\"2018-05-01 12:00:00\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_unix\":1525176000"), std::string::npos);
+  EXPECT_NE(json.find("\"wall\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_unix_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"host\":\"ocsp.example\""), std::string::npos);
+
+  // Without a sim clock the sim stamp disappears.
+  logger.set_sim_clock(nullptr);
+  logger.log(Level::kInfo, "scan", "probe2");
+  EXPECT_FALSE(ring->records().back().sim_time.has_value());
+  EXPECT_EQ(ring->records().back().to_json().find("\"sim\":"),
+            std::string::npos);
+}
+
+TEST(Logger, JsonEscapesSpecials) {
+  LogRecord record;
+  record.message = "quote \" backslash \\ newline \n";
+  const std::string json = record.to_json();
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ newline \\n"),
+            std::string::npos);
+}
+
+TEST(Logger, FieldHelpersFormatValues) {
+  EXPECT_EQ(field("k", "v").value, "v");
+  EXPECT_EQ(field("k", std::string("s")).value, "s");
+  EXPECT_EQ(field("k", 42).value, "42");
+  EXPECT_EQ(field("k", std::size_t{7}).value, "7");
+  EXPECT_EQ(field("k", -3).value, "-3");
+  EXPECT_EQ(field("k", 2.5).value, "2.5");
+  EXPECT_EQ(field("k", true).value, "true");
+  EXPECT_EQ(field("k", false).value, "false");
+}
+
+// --------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterSemantics) {
+  Registry registry;
+  Counter& c = registry.counter("mustaple_test_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name+labels -> same cell; different labels -> different cell.
+  EXPECT_EQ(&registry.counter("mustaple_test_total"), &c);
+  Counter& labelled =
+      registry.counter("mustaple_test_total", {{"kind", "dns"}});
+  EXPECT_NE(&labelled, &c);
+  labelled.inc();
+  EXPECT_EQ(registry.counter_value("mustaple_test_total"), 5u);
+  EXPECT_EQ(registry.counter_value("mustaple_test_total", {{"kind", "dns"}}),
+            1u);
+  EXPECT_EQ(registry.counter_value("absent_total"), 0u);
+}
+
+TEST(Metrics, LabelOrderIsCanonical) {
+  Registry registry;
+  Counter& a = registry.counter("m", {{"a", "1"}, {"b", "2"}});
+  Counter& b = registry.counter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(canonical_labels({{"b", "2"}, {"a", "1"}}),
+            "{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(canonical_labels({}), "");
+}
+
+TEST(Metrics, GaugeSemantics) {
+  Registry registry;
+  Gauge& g = registry.gauge("mustaple_test_depth");
+  g.set(5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.set_max(3);  // below current -> no change
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.set_max(10);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("mustaple_test_depth"), 10.0);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  Registry registry;
+  Histogram& h = registry.histogram("mustaple_test_ms", {1.0, 10.0, 100.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (le is inclusive)
+  h.observe(5.0);   // <= 10
+  h.observe(50.0);  // <= 100
+  h.observe(500.0); // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_DOUBLE_EQ(h.stats().min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 500.0);
+  // Second lookup keeps the original bounds.
+  EXPECT_EQ(&registry.histogram("mustaple_test_ms", std::vector<double>{7.0}),
+            &h);
+  EXPECT_EQ(h.bounds().size(), 3u);
+}
+
+TEST(Metrics, PrometheusGolden) {
+  Registry registry;
+  registry.counter("mustaple_demo_total").inc(3);
+  registry.counter("mustaple_demo_errors_total", {{"kind", "dns"}}).inc();
+  registry.counter("mustaple_demo_errors_total", {{"kind", "tcp"}}).inc(2);
+  registry.gauge("mustaple_demo_depth").set(7);
+  Histogram& h = registry.histogram("mustaple_demo_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(99.0);
+  EXPECT_EQ(registry.render_prometheus(),
+            "# TYPE mustaple_demo_errors_total counter\n"
+            "mustaple_demo_errors_total{kind=\"dns\"} 1\n"
+            "mustaple_demo_errors_total{kind=\"tcp\"} 2\n"
+            "# TYPE mustaple_demo_total counter\n"
+            "mustaple_demo_total 3\n"
+            "# TYPE mustaple_demo_depth gauge\n"
+            "mustaple_demo_depth 7\n"
+            "# TYPE mustaple_demo_ms histogram\n"
+            "mustaple_demo_ms_bucket{le=\"1\"} 1\n"
+            "mustaple_demo_ms_bucket{le=\"10\"} 2\n"
+            "mustaple_demo_ms_bucket{le=\"+Inf\"} 3\n"
+            "mustaple_demo_ms_sum 101.5\n"
+            "mustaple_demo_ms_count 3\n");
+}
+
+TEST(Metrics, PrometheusHistogramWithLabels) {
+  Registry registry;
+  registry.histogram("m_ms", {1.0}, {{"region", "paris"}}).observe(0.5);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("m_ms_bucket{region=\"paris\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("m_ms_sum{region=\"paris\"} 0.5"), std::string::npos);
+  EXPECT_NE(text.find("m_ms_count{region=\"paris\"} 1"), std::string::npos);
+}
+
+TEST(Metrics, JsonGolden) {
+  Registry registry;
+  registry.counter("a_total").inc(2);
+  registry.counter("b_total", {{"kind", "dns"}}).inc();
+  registry.gauge("depth").set(1.5);
+  registry.histogram("lat_ms", std::vector<double>{10.0}).observe(4.0);
+  EXPECT_EQ(registry.render_json(),
+            "{\"counters\":{\"a_total\":2,\"b_total{kind=\\\"dns\\\"}\":1},"
+            "\"gauges\":{\"depth\":1.5},"
+            "\"histograms\":{\"lat_ms\":{\"count\":1,\"sum\":4,\"mean\":4,"
+            "\"min\":4,\"max\":4,\"buckets\":[{\"le\":10,\"count\":1},"
+            "{\"le\":\"+Inf\",\"count\":1}]}}}");
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Registry registry;
+  registry.counter("x_total").inc();
+  registry.reset();
+  EXPECT_EQ(registry.counter_value("x_total"), 0u);
+  EXPECT_EQ(registry.render_prometheus(), "");
+}
+
+// ----------------------------------------------------------------- spans --
+
+TEST(Spans, NestingBuildsPaths) {
+  Tracer tracer;
+  {
+    Span outer("study", tracer);
+    {
+      Span inner("scan", tracer);
+      { Span leaf("step", tracer); }
+      { Span leaf("step", tracer); }
+    }
+    EXPECT_EQ(tracer.open_depth(), 1);
+  }
+  EXPECT_EQ(tracer.open_depth(), 0);
+  ASSERT_EQ(tracer.nodes().size(), 3u);
+  EXPECT_EQ(tracer.nodes()[0].path, "study");
+  EXPECT_EQ(tracer.nodes()[0].depth, 0);
+  EXPECT_EQ(tracer.nodes()[0].count, 1u);
+  EXPECT_EQ(tracer.nodes()[1].path, "study/scan");
+  EXPECT_EQ(tracer.nodes()[1].depth, 1);
+  EXPECT_EQ(tracer.nodes()[2].path, "study/scan/step");
+  EXPECT_EQ(tracer.nodes()[2].depth, 2);
+  EXPECT_EQ(tracer.nodes()[2].count, 2u);  // aggregated, not duplicated
+}
+
+TEST(Spans, TimingIsMonotoneOverNesting) {
+  Tracer tracer;
+  {
+    Span outer("outer", tracer);
+    {
+      Span inner("inner", tracer);
+      // Burn a little time so the leaf duration is strictly positive.
+      volatile double sink = 0;
+      for (int i = 0; i < 10000; ++i) sink = sink + i * 0.5;
+      (void)sink;
+    }
+  }
+  ASSERT_EQ(tracer.nodes().size(), 2u);
+  const double outer_ms = tracer.nodes()[0].total_ms;
+  const double inner_ms = tracer.nodes()[1].total_ms;
+  EXPECT_GT(inner_ms, 0.0);
+  // A parent fully encloses its child on the steady clock.
+  EXPECT_GE(outer_ms, inner_ms);
+}
+
+TEST(Spans, SummaryRendersIndentedTree) {
+  Tracer tracer;
+  {
+    Span outer("study", tracer);
+    { Span inner("scan", tracer); }
+  }
+  const std::string summary = tracer.summary();
+  EXPECT_NE(summary.find("span summary"), std::string::npos);
+  EXPECT_NE(summary.find("study"), std::string::npos);
+  EXPECT_NE(summary.find("  scan"), std::string::npos);
+  tracer.reset();
+  EXPECT_EQ(tracer.summary(), "");
+  EXPECT_TRUE(tracer.nodes().empty());
+}
+
+TEST(Spans, SiblingsAfterNestedSpanKeepTopLevelDepth) {
+  Tracer tracer;
+  { Span a("a", tracer); }
+  { Span b("b", tracer); }
+  ASSERT_EQ(tracer.nodes().size(), 2u);
+  EXPECT_EQ(tracer.nodes()[1].path, "b");
+  EXPECT_EQ(tracer.nodes()[1].depth, 0);
+}
+
+// ---------------------------------------------------------------- macros --
+
+TEST(Macros, WriteToDefaults) {
+#if MUSTAPLE_OBS_ENABLED
+  Registry& registry = default_registry();
+  const std::uint64_t before =
+      registry.counter_value("mustaple_obs_test_macro_total");
+  MUSTAPLE_COUNT("mustaple_obs_test_macro_total");
+  MUSTAPLE_COUNT_N("mustaple_obs_test_macro_total", 2);
+  EXPECT_EQ(registry.counter_value("mustaple_obs_test_macro_total"),
+            before + 3);
+
+  MUSTAPLE_GAUGE_MAX("mustaple_obs_test_macro_gauge", 11);
+  EXPECT_GE(registry.gauge_value("mustaple_obs_test_macro_gauge"), 11.0);
+
+  auto ring = std::make_shared<RingBufferSink>();
+  default_logger().add_sink(ring);
+  MUSTAPLE_LOG_WARN("test", "macro message", field("n", 1));
+  default_logger().clear_sinks();
+  ASSERT_EQ(ring->records().size(), 1u);
+  EXPECT_EQ(ring->records().front().component, "test");
+#endif
+}
+
+}  // namespace
+}  // namespace mustaple::obs
