@@ -10,6 +10,7 @@
 
 #include "analysis/export.hpp"
 #include "common.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace mustaple;
@@ -28,13 +29,37 @@ int main(int argc, char** argv) {
   bench::Stopwatch watch;
   measurement::Ecosystem ecosystem(config, loop);
   measurement::HourlyScanner scanner(ecosystem, scan);
+#if MUSTAPLE_OBS_ENABLED
+  // The series below are read back from the campaign timeline (per-window
+  // deltas of the scanner's region-labelled counters) rather than from the
+  // scanner's own StepTotals: one window per scan step makes the two
+  // identical, and the same timeline.csv reproduces this figure offline.
+  obs::Timeline timeline(config.campaign_start, scan.interval);
+  obs::Timeline* previous_timeline = obs::install_timeline(&timeline);
   scanner.run();
+  timeline.flush(config.campaign_end);  // close the final step's window
+  obs::install_timeline(previous_timeline);
+#else
+  scanner.run();
+#endif
 
-  // Success-rate series per region (percent), daily-smoothed for the chart.
+  // Success-rate series per region (percent), x in days since campaign start.
   std::vector<util::Series> series;
   for (net::Region region : net::all_regions()) {
     util::Series s;
     s.label = net::to_string(region);
+#if MUSTAPLE_OBS_ENABLED
+    const util::Series raw = timeline.ratio_series(
+        "mustaple_scan_successes_total", "mustaple_scan_requests_total",
+        {{"region", net::to_string(region)}});
+    for (std::size_t i = 0; i < raw.x.size(); ++i) {
+      const double day =
+          (raw.x[i] -
+           static_cast<double>(config.campaign_start.unix_seconds)) /
+          86400.0;
+      s.add(day, raw.y[i]);
+    }
+#else
     const std::size_t g = static_cast<std::size_t>(region);
     for (std::size_t i = 0; i < scanner.steps().size(); ++i) {
       const auto& step = scanner.steps()[i];
@@ -47,6 +72,7 @@ int main(int argc, char** argv) {
           86400.0;
       s.add(day, pct);
     }
+#endif
     series.push_back(std::move(s));
   }
   util::ChartOptions options;

@@ -27,8 +27,14 @@ crl::Crl CrlServer::current_crl(util::SimTime now) const {
 }
 
 net::HttpResponse CrlServer::handle(const net::HttpRequest& request,
-                                    util::SimTime now, net::Region /*from*/) {
+                                    util::SimTime now, net::Region from) {
   MUSTAPLE_COUNT("mustaple_ca_crl_requests_total");
+  MUSTAPLE_TRACE_INSTANT("crl-handle", "ca.crl", now,
+                         static_cast<std::uint32_t>(from),
+                         {"host", host_});
+#if !MUSTAPLE_OBS_ENABLED
+  (void)from;
+#endif
   if (request.method != "GET") {
     return net::HttpResponse::make(400, net::default_reason(400), {}, "");
   }

@@ -1,11 +1,54 @@
 #include "core/study.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "analysis/export.hpp"
 #include "obs/obs.hpp"
+#include "util/ascii_chart.hpp"
 #include "util/strings.hpp"
 
 namespace mustaple::core {
+
+#if MUSTAPLE_OBS_ENABLED
+namespace {
+
+// Figure-3-at-a-glance: per-window probe availability pooled across all six
+// vantage points, recomputed from the timeline's counter deltas.
+std::string availability_summary(const obs::Timeline& timeline) {
+  std::vector<double> availability;
+  double lo = 100.0;
+  double hi = 0.0;
+  for (const auto& window : timeline.windows()) {
+    double requests = 0.0;
+    double successes = 0.0;
+    for (net::Region region : net::all_regions()) {
+      const std::string labels =
+          obs::canonical_labels({{"region", net::to_string(region)}});
+      requests += obs::Timeline::counter_delta(
+          window, "mustaple_scan_requests_total", labels);
+      successes += obs::Timeline::counter_delta(
+          window, "mustaple_scan_successes_total", labels);
+    }
+    if (requests <= 0.0) continue;
+    const double pct = 100.0 * successes / requests;
+    availability.push_back(pct);
+    lo = std::min(lo, pct);
+    hi = std::max(hi, pct);
+  }
+  if (availability.empty()) return "";
+  std::ostringstream out;
+  out << util::format(
+      "Timeline: scan availability per %lldh window — %zu windows, "
+      "min %.2f%%, max %.2f%%\n",
+      static_cast<long long>(timeline.window().seconds / 3600),
+      availability.size(), lo, hi);
+  out << "  [" << util::sparkline(availability) << "]\n";
+  return out.str();
+}
+
+}  // namespace
+#endif  // MUSTAPLE_OBS_ENABLED
 
 MustStapleStudy::MustStapleStudy(StudyConfig config)
     : config_(std::move(config)),
@@ -19,6 +62,22 @@ ReadinessReport MustStapleStudy::run() {
   // One study = one trace; stamp every log record with the campaign clock.
   obs::default_tracer().reset();
   obs::default_logger().set_sim_clock([this] { return loop_.now(); });
+  // Campaign timeline: windowed counter deltas on the simulated clock,
+  // advanced by the EventLoop as the clock moves. Windows align to the
+  // campaign start so the warm-up day stays out of window 0.
+  obs::Timeline timeline(config_.ecosystem.campaign_start,
+                         config_.timeline_window);
+  obs::Timeline* previous_timeline = obs::install_timeline(&timeline);
+  // Causal probe trace, epoch = the loop's start so no negative timestamps.
+  obs::TraceLog& trace_log = obs::default_trace_log();
+  trace_log.reset();
+  trace_log.set_capacity(config_.trace_capacity);
+  trace_log.enable(loop_.now());
+  for (net::Region region : net::all_regions()) {
+    trace_log.set_track_name(static_cast<std::uint32_t>(region),
+                             std::string("vantage:") + net::to_string(region));
+  }
+  trace_log.set_track_name(obs::TraceLog::kControlTrack, "simulator-control");
 #endif
   {
     MUSTAPLE_SPAN(span_study, "study");
@@ -88,8 +147,24 @@ ReadinessReport MustStapleStudy::run() {
     }
   }  // closes the "study" span so the summary below includes it
 #if MUSTAPLE_OBS_ENABLED
+  // Flush at campaign end (not loop.now()): the clock rests exactly on the
+  // final scan step, whose window would otherwise still be accruing.
+  timeline.flush(loop_.now() > config_.ecosystem.campaign_end
+                     ? loop_.now()
+                     : config_.ecosystem.campaign_end);
+  obs::install_timeline(previous_timeline);
+  trace_log.disable();
   report.trace_summary = obs::default_tracer().summary();
+  report.timeline_summary = availability_summary(timeline);
   obs::default_logger().set_sim_clock(nullptr);
+  if (!config_.artifact_dir.empty()) {
+    analysis::write_export(config_.artifact_dir, "timeline.csv",
+                           timeline.render_csv());
+    analysis::write_export(config_.artifact_dir, "timeline.json",
+                           timeline.render_json());
+    analysis::write_export(config_.artifact_dir, "trace.json",
+                           trace_log.render_chrome_trace());
+  }
 #endif
 
   // §8-style synthesis.
@@ -148,6 +223,7 @@ std::string ReadinessReport::render() const {
   }
   out << "\nConclusion: the web is " << (web_is_ready ? "" : "NOT ")
       << "ready for OCSP Must-Staple.\n";
+  if (!timeline_summary.empty()) out << "\n" << timeline_summary;
   if (!trace_summary.empty()) out << "\n" << trace_summary;
   return out.str();
 }

@@ -29,6 +29,15 @@ struct StudyConfig {
   bool run_consistency_audit = true;
   bool run_browser_suite = true;
   bool run_webserver_suite = true;
+
+  // Observability (ignored when the obs layer is compiled out).
+  /// Window of the sim-time series artifact (timeline.csv / timeline.json).
+  util::Duration timeline_window = util::Duration::days(1);
+  /// Directory the run's artifacts (timeline.csv, timeline.json,
+  /// trace.json) are written to; empty disables artifact writing.
+  std::string artifact_dir = ".";
+  /// Trace events kept before further ones are counted as dropped.
+  std::size_t trace_capacity = 200'000;
 };
 
 /// Verdict per principal, in the structure of the paper's §8 conclusion.
@@ -63,6 +72,10 @@ struct ReadinessReport {
   /// Per-phase wall-clock span summary (obs::Tracer); empty when the obs
   /// layer is compiled out.
   std::string trace_summary;
+
+  /// Sim-time availability sparkline derived from the campaign timeline;
+  /// empty when the obs layer is compiled out or no scan ran.
+  std::string timeline_summary;
 
   /// Multi-line human-readable report.
   std::string render() const;

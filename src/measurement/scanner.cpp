@@ -53,6 +53,13 @@ void HourlyScanner::probe(const Target& target, net::Region region,
   ++totals.requests[region_idx];
   ++step_requests_[cell];
   MUSTAPLE_COUNT("mustaple_scan_probes_total");
+  MUSTAPLE_COUNT_L("mustaple_scan_requests_total", "region",
+                   net::to_string(region));
+  // One probe = one trace unit: the step's trace id plus a campaign-wide
+  // probe ordinal. The EventLoop re-installs this context for any event the
+  // probe schedules, and Network stamps it on the fetch's trace span.
+  MUSTAPLE_TRACE_SCOPE(trace_scope,
+                       (obs::TraceContext{step_trace_id_, ++probe_counter_}));
 
   net::FetchResult result = ecosystem_->network().http_post(
       region, target.url, target.request_der, "application/ocsp-request");
@@ -78,6 +85,8 @@ void HourlyScanner::probe(const Target& target, net::Region region,
   ++totals.successes[region_idx];
   ++step_successes_[cell];
   ++totals.responses_200;
+  MUSTAPLE_COUNT_L("mustaple_scan_successes_total", "region",
+                   net::to_string(region));
 
   if (!config_.validate_responses) return;
 
@@ -195,8 +204,14 @@ void HourlyScanner::run() {
   for (util::SimTime t = start; t < end; t = t + config_.interval) {
     if (config_.max_steps != 0 && step_count >= config_.max_steps) break;
     ++step_count;
+#if MUSTAPLE_OBS_ENABLED
+    step_trace_id_ = obs::next_trace_id();
+#endif
     MUSTAPLE_SPAN(span_step, "scan-step");
     loop.run_until(t);
+    MUSTAPLE_TRACE_INSTANT("scan-step", "scan", t,
+                           obs::TraceLog::kControlTrack,
+                           {"step", std::to_string(step_count)});
 
     step_requests_.assign(stats_.size(), 0);
     step_successes_.assign(stats_.size(), 0);

@@ -151,6 +151,10 @@ class HourlyScanner {
   // hash): pre-generated responders re-serve identical DER for a whole
   // update cycle, so most probes hit. Bounded by periodic clearing.
   std::unordered_map<std::uint64_t, ocsp::VerifiedResponse> static_cache_;
+  // Trace identity (unused when obs is compiled out): each scan step gets a
+  // trace id, each probe a campaign-wide ordinal.
+  std::uint64_t step_trace_id_ = 0;
+  std::uint64_t probe_counter_ = 0;
   bool ran_ = false;
 };
 

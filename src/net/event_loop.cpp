@@ -6,7 +6,12 @@ namespace mustaple::net {
 
 void EventLoop::schedule_at(util::SimTime when, std::function<void()> fn) {
   if (when < now_) when = now_;
+#if MUSTAPLE_OBS_ENABLED
+  queue_.push(Event{when, next_sequence_++, std::move(fn),
+                    obs::current_trace()});
+#else
   queue_.push(Event{when, next_sequence_++, std::move(fn)});
+#endif
   if (queue_.size() > max_pending_) {
     max_pending_ = queue_.size();
     MUSTAPLE_GAUGE_MAX("mustaple_loop_queue_depth_high_water", max_pending_);
@@ -16,8 +21,14 @@ void EventLoop::schedule_at(util::SimTime when, std::function<void()> fn) {
 void EventLoop::dispatch(Event event) {
   now_ = event.when;
 #if MUSTAPLE_OBS_ENABLED
+  // Window boundaries close BEFORE the event's effects land, so activity at
+  // exactly a boundary accrues to the window that starts there.
+  obs::advance_installed_timeline(now_);
   const auto dispatch_start = std::chrono::steady_clock::now();
-  event.fn();
+  {
+    obs::TraceScope scope(event.trace);
+    event.fn();
+  }
   using MillisDouble = std::chrono::duration<double, std::milli>;
   const double dispatch_ms =
       MillisDouble(std::chrono::steady_clock::now() - dispatch_start).count();
@@ -36,7 +47,12 @@ void EventLoop::run_until(util::SimTime deadline) {
     queue_.pop();
     dispatch(std::move(event));
   }
-  if (deadline > now_) now_ = deadline;
+  if (deadline > now_) {
+    now_ = deadline;
+#if MUSTAPLE_OBS_ENABLED
+    obs::advance_installed_timeline(now_);
+#endif
+  }
 }
 
 void EventLoop::run_all() {

@@ -9,6 +9,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/sim_time.hpp"
 
 namespace mustaple::net {
@@ -45,6 +46,11 @@ class EventLoop {
     util::SimTime when;
     std::uint64_t sequence;  ///< FIFO tie-break for same-time events
     std::function<void()> fn;
+#if MUSTAPLE_OBS_ENABLED
+    /// Causal context captured at schedule time, restored for dispatch so a
+    /// callback chain keeps the identity of the probe that started it.
+    obs::TraceContext trace;
+#endif
   };
   void dispatch(Event event);
   struct Later {

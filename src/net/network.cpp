@@ -76,6 +76,22 @@ FetchResult Network::http_request(Region from, const Url& url,
                                   HttpRequest request) {
   FetchResult result = http_request_impl(from, url, std::move(request));
   record_fetch(from, url, result);
+#if MUSTAPLE_OBS_ENABLED
+  // Lay the exchange on the simulated clock: one track per vantage point,
+  // the span's duration being the modelled network latency. The probe's
+  // TraceContext (restored by the EventLoop or set by the scanner) rides
+  // along so Perfetto can follow one probe across layers.
+  if (obs::default_trace_log().enabled()) {
+    const char* kind =
+        error_kind_label(result.error, result.response.status_code);
+    obs::default_trace_log().complete(
+        url.host, "net", loop_->now(), result.latency_ms,
+        static_cast<std::uint32_t>(from),
+        {{"region", to_string(from)},
+         {"outcome", kind ? kind : "ok"},
+         {"status", std::to_string(result.response.status_code)}});
+  }
+#endif
   return result;
 }
 

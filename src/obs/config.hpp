@@ -1,0 +1,15 @@
+// Canonical definition of MUSTAPLE_OBS_ENABLED. Every obs header that
+// offers compile-out macros includes this (instead of each re-deriving the
+// flag) so a TU that includes, say, obs/trace.hpp without obs/obs.hpp still
+// sees a consistent on/off decision. Defining MUSTAPLE_OBS_OFF — per TU or
+// tree-wide via -DMUSTAPLE_OBS=OFF — turns every instrumentation macro into
+// ((void)0).
+#pragma once
+
+#if !defined(MUSTAPLE_OBS_ENABLED)
+#if defined(MUSTAPLE_OBS_OFF)
+#define MUSTAPLE_OBS_ENABLED 0
+#else
+#define MUSTAPLE_OBS_ENABLED 1
+#endif
+#endif

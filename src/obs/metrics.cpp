@@ -51,6 +51,33 @@ void Histogram::observe(double x) {
   stats_.add(x);
 }
 
+double Histogram::quantile(double q) const {
+  if (stats_.count() == 0) return 0.0;
+  if (q <= 0.0) return stats_.min();
+  if (q >= 1.0) return stats_.max();
+
+  const double rank = q * static_cast<double>(stats_.count());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets_[i]);
+    if (cumulative + in_bucket >= rank) {
+      // The rank falls inside bucket i: interpolate between its lower edge
+      // (previous bound, or the observed min for the first bucket) and its
+      // upper bound by the rank's position within the bucket.
+      const double lower = i == 0 ? stats_.min() : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double fraction =
+          in_bucket > 0.0 ? (rank - cumulative) / in_bucket : 1.0;
+      const double estimate = lower + (upper - lower) * fraction;
+      return std::min(std::max(estimate, stats_.min()), stats_.max());
+    }
+    cumulative += in_bucket;
+  }
+  // Rank lands in the +Inf overflow bucket: no upper bound to interpolate
+  // toward, so the observed max is the best estimate.
+  return stats_.max();
+}
+
 const std::vector<double>& latency_ms_buckets() {
   static const std::vector<double> kBuckets = {1,  2,   5,   10,  20,   50,
                                                100, 200, 500, 1000, 5000};
@@ -101,6 +128,30 @@ const Histogram* Registry::find_histogram(const std::string& name,
   return cell == family->second.end() ? nullptr : cell->second.get();
 }
 
+void Registry::visit_counters(
+    const std::function<void(const std::string&, const std::string&,
+                             std::uint64_t)>& fn) const {
+  for (const auto& [name, cells] : counters_) {
+    for (const auto& [labels, cell] : cells) fn(name, labels, cell.value());
+  }
+}
+
+void Registry::visit_gauges(
+    const std::function<void(const std::string&, const std::string&, double)>&
+        fn) const {
+  for (const auto& [name, cells] : gauges_) {
+    for (const auto& [labels, cell] : cells) fn(name, labels, cell.value());
+  }
+}
+
+void Registry::visit_histograms(
+    const std::function<void(const std::string&, const std::string&,
+                             const Histogram&)>& fn) const {
+  for (const auto& [name, cells] : histograms_) {
+    for (const auto& [labels, cell] : cells) fn(name, labels, *cell);
+  }
+}
+
 std::string Registry::render_prometheus() const {
   std::ostringstream out;
   for (const auto& [name, cells] : counters_) {
@@ -133,6 +184,9 @@ std::string Registry::render_prometheus() const {
           << "le=\"+Inf\"} " << cumulative << "\n";
       out << name << "_sum" << labels << " " << number(cell->sum()) << "\n";
       out << name << "_count" << labels << " " << cell->count() << "\n";
+      out << name << "_p50" << labels << " " << number(cell->p50()) << "\n";
+      out << name << "_p95" << labels << " " << number(cell->p95()) << "\n";
+      out << name << "_p99" << labels << " " << number(cell->p99()) << "\n";
     }
   }
   return out.str();
@@ -168,7 +222,10 @@ std::string Registry::render_json() const {
           << ",\"sum\":" << number(cell->sum())
           << ",\"mean\":" << number(cell->stats().mean())
           << ",\"min\":" << number(cell->stats().min())
-          << ",\"max\":" << number(cell->stats().max()) << ",\"buckets\":[";
+          << ",\"max\":" << number(cell->stats().max())
+          << ",\"p50\":" << number(cell->p50())
+          << ",\"p95\":" << number(cell->p95())
+          << ",\"p99\":" << number(cell->p99()) << ",\"buckets\":[";
       std::uint64_t cumulative = 0;
       for (std::size_t i = 0; i < cell->bounds().size(); ++i) {
         cumulative += cell->bucket_counts()[i];

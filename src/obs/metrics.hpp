@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,16 +32,27 @@ class Counter {
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  /// High-water-mark update: keeps the maximum ever set.
+  void set(double v) {
+    value_ = v;
+    has_sample_ = true;
+  }
+  void add(double d) {
+    value_ += d;
+    has_sample_ = true;
+  }
+  /// High-water-mark update: keeps the maximum ever seen. The first sample
+  /// is taken unconditionally — cells initialize to 0.0, so comparing
+  /// against the initial value would silently pin an all-negative series'
+  /// high-water mark at 0.
   void set_max(double v) {
-    if (v > value_) value_ = v;
+    if (!has_sample_ || v > value_) value_ = v;
+    has_sample_ = true;
   }
   double value() const { return value_; }
 
  private:
   double value_ = 0.0;
+  bool has_sample_ = false;
 };
 
 /// Fixed upper-bound buckets plus an implicit +Inf bucket, cumulative like
@@ -58,6 +70,16 @@ class Histogram {
   std::size_t count() const { return stats_.count(); }
   double sum() const { return sum_; }
   const util::OnlineStats& stats() const { return stats_; }
+
+  /// Bucket-interpolated quantile estimate for q in (0, 1], Prometheus
+  /// histogram_quantile style: find the bucket the rank falls in, then
+  /// interpolate linearly inside it. Quantiles landing in the +Inf overflow
+  /// bucket return the observed max; results are clamped to the observed
+  /// [min, max]. 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 
  private:
   std::vector<double> bounds_;  ///< sorted ascending upper bounds
@@ -87,7 +109,22 @@ class Registry {
   const Histogram* find_histogram(const std::string& name,
                                   const Labels& labels = {}) const;
 
-  /// Prometheus text exposition format (one `# TYPE` line per family).
+  /// Read-only iteration over every cell, in name-then-label order — the
+  /// snapshot primitive behind obs::Timeline.
+  void visit_counters(
+      const std::function<void(const std::string& name,
+                               const std::string& labels,
+                               std::uint64_t value)>& fn) const;
+  void visit_gauges(const std::function<void(const std::string& name,
+                                             const std::string& labels,
+                                             double value)>& fn) const;
+  void visit_histograms(
+      const std::function<void(const std::string& name,
+                               const std::string& labels,
+                               const Histogram& histogram)>& fn) const;
+
+  /// Prometheus text exposition format (one `# TYPE` line per family;
+  /// histograms additionally expose `_p50`/`_p95`/`_p99` estimates).
   std::string render_prometheus() const;
   /// Single-line JSON object with "counters"/"gauges"/"histograms" sections.
   std::string render_json() const;

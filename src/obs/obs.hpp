@@ -10,15 +10,12 @@
 // mustaple_net_fetch_total, mustaple_loop_dispatch_latency_ms.
 #pragma once
 
-#if defined(MUSTAPLE_OBS_OFF)
-#define MUSTAPLE_OBS_ENABLED 0
-#else
-#define MUSTAPLE_OBS_ENABLED 1
-#endif
-
+#include "obs/config.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 
 #if MUSTAPLE_OBS_ENABLED
 

@@ -26,6 +26,7 @@ void Tracer::end(std::size_t handle, double elapsed_ms) {
   Node& node = nodes_[handle];
   ++node.count;
   node.total_ms += elapsed_ms;
+  node.durations.observe(elapsed_ms);
   // Spans are RAII and single-threaded, so ends arrive LIFO; tolerate a
   // mismatched end rather than corrupting the stack.
   if (!stack_.empty() && stack_.back() == handle) stack_.pop_back();
@@ -34,13 +35,17 @@ void Tracer::end(std::size_t handle, double elapsed_ms) {
 std::string Tracer::summary() const {
   if (nodes_.empty()) return "";
   std::string out = "--- span summary (wall-clock) ---\n";
+  out += util::format("%-36s %9s %15s %10s %10s %10s\n", "phase", "count",
+                      "total", "p50", "p95", "p99");
   for (const Node& node : nodes_) {
     const std::string indent(static_cast<std::size_t>(node.depth) * 2, ' ');
     std::string label = indent + node.name;
     if (label.size() < 36) label.resize(36, ' ');
-    out += util::format("%s %8llux %12.2f ms\n", label.c_str(),
+    out += util::format("%s %8llux %12.2f ms %7.2f ms %7.2f ms %7.2f ms\n",
+                        label.c_str(),
                         static_cast<unsigned long long>(node.count),
-                        node.total_ms);
+                        node.total_ms, node.durations.p50(),
+                        node.durations.p95(), node.durations.p99());
   }
   return out;
 }

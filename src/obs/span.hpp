@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace mustaple::obs {
 
 class Tracer {
@@ -22,6 +24,8 @@ class Tracer {
     int depth = 0;
     std::uint64_t count = 0;  ///< completed spans aggregated here
     double total_ms = 0.0;    ///< wall-clock total across all of them
+    /// Per-span duration distribution, for the summary's p50/p95/p99.
+    Histogram durations = Histogram(latency_ms_buckets());
   };
 
   /// Opens a span named `name` nested under the currently open one; returns

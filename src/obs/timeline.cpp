@@ -1,0 +1,218 @@
+#include "obs/timeline.hpp"
+
+#include <cstdio>
+
+namespace mustaple::obs {
+
+namespace {
+
+Timeline* g_installed = nullptr;
+
+std::string format_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string csv_quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Timeline::Timeline(util::SimTime start, util::Duration window,
+                   Registry& registry)
+    : registry_(&registry),
+      start_(start),
+      window_(window.seconds > 0 ? window : util::Duration::hours(1)),
+      cursor_(start) {}
+
+void Timeline::snapshot(std::map<Key, double>& out) const {
+  out.clear();
+  registry_->visit_counters(
+      [&out](const std::string& name, const std::string& labels,
+             std::uint64_t value) {
+        out[{name, labels}] = static_cast<double>(value);
+      });
+  // Histograms contribute their cumulative count and sum, so per-window
+  // rates and mean-over-time series come for free.
+  registry_->visit_histograms([&out](const std::string& name,
+                                     const std::string& labels,
+                                     const Histogram& hist) {
+    out[{name + "_count", labels}] = static_cast<double>(hist.count());
+    out[{name + "_sum", labels}] = hist.sum();
+  });
+}
+
+void Timeline::advance_to(util::SimTime now) {
+  if (now < start_) return;
+  if (!baseline_taken_) {
+    snapshot(prev_);
+    baseline_taken_ = true;
+    cursor_ = start_;
+  }
+  while (cursor_ + window_ <= now) close_window(cursor_ + window_);
+}
+
+void Timeline::flush(util::SimTime now) {
+  advance_to(now);
+  if (baseline_taken_ && now > cursor_) close_window(now);
+}
+
+void Timeline::close_window(util::SimTime end) {
+  std::map<Key, double> current;
+  snapshot(current);
+
+  TimelineWindow window;
+  window.start = cursor_;
+  window.end = end;
+  for (const auto& [key, value] : current) {
+    const auto before = prev_.find(key);
+    const double delta =
+        value - (before == prev_.end() ? 0.0 : before->second);
+    if (delta != 0.0) {
+      window.counters.push_back({key.first, key.second, delta});
+    }
+  }
+
+  prev_ = std::move(current);
+  cursor_ = end;
+  if (window.counters.empty()) return;  // idle window: nothing to record
+
+  registry_->visit_gauges([&window](const std::string& name,
+                                    const std::string& labels, double value) {
+    window.gauges.push_back({name, labels, value});
+  });
+  windows_.push_back(std::move(window));
+}
+
+double Timeline::counter_delta(const TimelineWindow& window,
+                               const std::string& metric,
+                               const std::string& labels_canonical) {
+  for (const auto& sample : window.counters) {
+    if (sample.metric == metric && sample.labels == labels_canonical) {
+      return sample.value;
+    }
+  }
+  return 0.0;
+}
+
+util::Series Timeline::series(const std::string& metric,
+                              const Labels& labels) const {
+  const std::string canonical = canonical_labels(labels);
+  util::Series out;
+  out.label = metric + canonical;
+  for (const TimelineWindow& window : windows_) {
+    for (const auto& sample : window.counters) {
+      if (sample.metric == metric && sample.labels == canonical) {
+        out.add(static_cast<double>(window.start.unix_seconds), sample.value);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::Series Timeline::ratio_series(const std::string& numerator,
+                                    const std::string& denominator,
+                                    const Labels& labels,
+                                    double scale) const {
+  const std::string canonical = canonical_labels(labels);
+  util::Series out;
+  out.label = numerator + "/" + denominator + canonical;
+  for (const TimelineWindow& window : windows_) {
+    const double den = counter_delta(window, denominator, canonical);
+    if (den == 0.0) continue;
+    const double num = counter_delta(window, numerator, canonical);
+    out.add(static_cast<double>(window.start.unix_seconds),
+            scale * num / den);
+  }
+  return out;
+}
+
+std::string Timeline::render_csv() const {
+  std::string out =
+      "window_start_unix,window_start,window_end_unix,kind,metric,labels,"
+      "value\n";
+  for (const TimelineWindow& window : windows_) {
+    const std::string prefix =
+        std::to_string(window.start.unix_seconds) + "," +
+        csv_quote(util::format_time(window.start)) + "," +
+        std::to_string(window.end.unix_seconds) + ",";
+    for (const auto& sample : window.counters) {
+      out += prefix + "counter," + csv_quote(sample.metric) + "," +
+             csv_quote(sample.labels) + "," + format_value(sample.value) +
+             "\n";
+    }
+    for (const auto& sample : window.gauges) {
+      out += prefix + "gauge," + csv_quote(sample.metric) + "," +
+             csv_quote(sample.labels) + "," + format_value(sample.value) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+std::string Timeline::render_json() const {
+  std::string out = "{\"window_seconds\":" + std::to_string(window_.seconds) +
+                    ",\"start_unix\":" + std::to_string(start_.unix_seconds) +
+                    ",\"windows\":[";
+  bool first_window = true;
+  for (const TimelineWindow& window : windows_) {
+    if (!first_window) out += ",";
+    first_window = false;
+    out += "{\"start_unix\":" + std::to_string(window.start.unix_seconds) +
+           ",\"start\":\"" + util::format_time(window.start) +
+           "\",\"end_unix\":" + std::to_string(window.end.unix_seconds) +
+           ",\"counters\":{";
+    bool first = true;
+    for (const auto& sample : window.counters) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(sample.metric + sample.labels) +
+             "\":" + format_value(sample.value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& sample : window.gauges) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(sample.metric + sample.labels) +
+             "\":" + format_value(sample.value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Timeline* install_timeline(Timeline* timeline) {
+  Timeline* previous = g_installed;
+  g_installed = timeline;
+  return previous;
+}
+
+Timeline* installed_timeline() { return g_installed; }
+
+void advance_installed_timeline(util::SimTime now) {
+  if (g_installed != nullptr) g_installed->advance_to(now);
+}
+
+}  // namespace mustaple::obs

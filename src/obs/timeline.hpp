@@ -1,0 +1,117 @@
+// Campaign timeline: windowed snapshots of the metrics registry on the
+// SIMULATED clock. The campaign-lifetime aggregates of obs::Registry answer
+// "what fraction of fetches failed" but not "when, and from where" — the
+// longitudinal questions behind the paper's Figure 3 (availability per
+// vantage point over four months) and failure-taxonomy-over-time analyses.
+// A Timeline closes fixed util::Duration windows of simulated time as the
+// clock advances, recording every counter's delta (and each histogram's
+// _count/_sum deltas) plus gauge values, so per-window series fall out of
+// the same metrics the layers already maintain instead of bespoke bench
+// accumulators.
+//
+// The EventLoop advances the process-wide installed timeline whenever the
+// simulated clock moves, so drivers only install/flush.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
+#include "util/sim_time.hpp"
+#include "util/stats.hpp"
+
+namespace mustaple::obs {
+
+/// One closed window of simulated time and the metric activity inside it.
+/// Windows where nothing happened (all counter deltas zero) are not stored.
+struct TimelineWindow {
+  struct Sample {
+    std::string metric;
+    std::string labels;  ///< canonical form, "" or `{k="v",...}`
+    double value = 0.0;
+  };
+
+  util::SimTime start{};
+  util::SimTime end{};
+  std::vector<Sample> counters;  ///< deltas over [start, end)
+  std::vector<Sample> gauges;    ///< instantaneous values at `end`
+};
+
+class Timeline {
+ public:
+  /// Windows are [start + k*window, start + (k+1)*window). Activity before
+  /// `start` (e.g. the study's warm-up day) is excluded: the baseline
+  /// snapshot is taken when the clock first reaches `start`.
+  Timeline(util::SimTime start, util::Duration window,
+           Registry& registry = default_registry());
+
+  util::SimTime start() const { return start_; }
+  util::Duration window() const { return window_; }
+
+  /// Closes every window whose end <= now. The EventLoop calls this for the
+  /// installed timeline on each clock advance; call it directly when
+  /// driving a registry without a loop.
+  void advance_to(util::SimTime now);
+
+  /// Closes the in-progress partial window ending at `now` (campaign end).
+  void flush(util::SimTime now);
+
+  const std::vector<TimelineWindow>& windows() const { return windows_; }
+
+  /// Per-window counter delta -> series; x is the window start in unix
+  /// seconds, windows without the cell are skipped.
+  util::Series series(const std::string& metric,
+                      const Labels& labels = {}) const;
+
+  /// scale * numerator/denominator per window (both counter deltas, same
+  /// labels), skipping windows where the denominator is zero. With the
+  /// default scale this is a percentage — e.g. Figure 3 availability from
+  /// mustaple_scan_successes_total / mustaple_scan_requests_total.
+  util::Series ratio_series(const std::string& numerator,
+                            const std::string& denominator,
+                            const Labels& labels = {},
+                            double scale = 100.0) const;
+
+  /// Delta of `metric` with canonical `labels` in one window; 0 if absent.
+  static double counter_delta(const TimelineWindow& window,
+                              const std::string& metric,
+                              const std::string& labels_canonical);
+
+  /// CSV with header
+  /// `window_start_unix,window_start,window_end_unix,kind,metric,labels,value`
+  /// — one row per counter delta (kind=counter) and gauge value
+  /// (kind=gauge), windows in order.
+  std::string render_csv() const;
+
+  /// Single-line JSON: {"window_seconds":..,"start_unix":..,"windows":[..]}.
+  std::string render_json() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (metric, labels)
+
+  void close_window(util::SimTime end);
+  void snapshot(std::map<Key, double>& out) const;
+
+  Registry* registry_;
+  util::SimTime start_;
+  util::Duration window_;
+  util::SimTime cursor_{};  ///< start of the window currently accruing
+  bool baseline_taken_ = false;
+  std::map<Key, double> prev_;  ///< cumulative values at the last close
+  std::vector<TimelineWindow> windows_;
+};
+
+/// Installs the timeline the EventLoop advances on clock movement; returns
+/// the previously installed one (nullptr when none). Pass nullptr to
+/// uninstall. The caller keeps ownership and must uninstall before the
+/// timeline dies.
+Timeline* install_timeline(Timeline* timeline);
+Timeline* installed_timeline();
+
+/// EventLoop hook: advances the installed timeline, if any.
+void advance_installed_timeline(util::SimTime now);
+
+}  // namespace mustaple::obs

@@ -1,0 +1,173 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace mustaple::obs {
+
+namespace {
+
+// The simulator is single-threaded; the current context is process state.
+TraceContext g_current;
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceContext current_trace() { return g_current; }
+
+std::uint64_t next_trace_id() {
+  static std::uint64_t next = 0;
+  return ++next;
+}
+
+TraceScope::TraceScope(TraceContext context) : previous_(g_current) {
+  g_current = context;
+}
+
+TraceScope::~TraceScope() { g_current = previous_; }
+
+void TraceLog::enable(util::SimTime epoch) {
+  enabled_ = true;
+  epoch_ = epoch;
+}
+
+void TraceLog::set_track_name(std::uint32_t tid, std::string name) {
+  for (auto& [existing_tid, existing_name] : track_names_) {
+    if (existing_tid == tid) {
+      existing_name = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(tid, std::move(name));
+}
+
+void TraceLog::add(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceLog::instant(
+    std::string name, std::string category, util::SimTime at,
+    std::uint32_t tid,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.ts_us = (at.unix_seconds - epoch_.unix_seconds) * 1'000'000;
+  event.tid = tid;
+  event.context = g_current;
+  event.args = std::move(args);
+  add(std::move(event));
+}
+
+void TraceLog::complete(
+    std::string name, std::string category, util::SimTime start,
+    double duration_ms, std::uint32_t tid,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.ts_us = (start.unix_seconds - epoch_.unix_seconds) * 1'000'000;
+  event.dur_us = static_cast<std::int64_t>(duration_ms * 1000.0);
+  if (event.dur_us < 1) event.dur_us = 1;  // zero-width spans vanish in UIs
+  event.tid = tid;
+  event.context = g_current;
+  event.args = std::move(args);
+  add(std::move(event));
+}
+
+std::string TraceLog::render_chrome_trace() const {
+  std::string out = "[";
+  bool first = true;
+  const auto append = [&out, &first](const std::string& record) {
+    if (!first) out += ",\n";
+    first = false;
+    out += record;
+  };
+
+  append(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"mustaple campaign (simulated clock)\"}}");
+  for (const auto& [tid, name] : track_names_) {
+    append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" +
+           json_escape(name) + "\"}}");
+  }
+
+  for (const TraceEvent& event : events_) {
+    std::string record = "{\"name\":\"" + json_escape(event.name) +
+                         "\",\"cat\":\"" + json_escape(event.category) +
+                         "\",\"ph\":\"" + event.phase +
+                         "\",\"pid\":1,\"tid\":" + std::to_string(event.tid) +
+                         ",\"ts\":" + std::to_string(event.ts_us);
+    if (event.phase == 'X') {
+      record += ",\"dur\":" + std::to_string(event.dur_us);
+    }
+    if (event.phase == 'i') {
+      record += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    record += ",\"args\":{";
+    bool first_arg = true;
+    if (event.context.active()) {
+      record += "\"trace\":" + std::to_string(event.context.trace_id) +
+                ",\"probe\":" + std::to_string(event.context.probe_id);
+      first_arg = false;
+    }
+    for (const auto& [key, value] : event.args) {
+      if (!first_arg) record += ",";
+      first_arg = false;
+      record += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+    }
+    record += "}}";
+    append(record);
+  }
+
+  out += "]\n";
+  return out;
+}
+
+void TraceLog::reset() {
+  events_.clear();
+  track_names_.clear();
+  dropped_ = 0;
+}
+
+TraceLog& default_trace_log() {
+  static TraceLog log;
+  return log;
+}
+
+}  // namespace mustaple::obs

@@ -1,0 +1,162 @@
+// Causal probe tracing on the SIMULATED clock. A TraceContext carries the
+// identity of the probe being serviced (campaign trace id + per-probe id);
+// the EventLoop captures the current context at schedule_at/schedule_after
+// time and restores it when the event dispatches, so a web-server staple
+// refresh chain or a scanner probe keeps its identity across arbitrarily
+// deep callback hops. Instrumented layers append sim-time-stamped events to
+// a TraceLog, whose render_chrome_trace() emits the Chrome trace-event JSON
+// array format — loadable in Perfetto (ui.perfetto.dev) or chrome://tracing
+// — with one track (tid) per vantage point, so a four-month campaign opens
+// as one timeline.
+//
+// Single-threaded like the simulator: the "current" context is process
+// state, saved/restored LIFO by TraceScope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/config.hpp"
+#include "util/sim_time.hpp"
+
+namespace mustaple::obs {
+
+/// Identity of the causal chain an event belongs to. trace_id groups a
+/// logical operation (one scanner probe, one staple-refresh chain);
+/// probe_id numbers the individual request inside the campaign. Zero ids
+/// mean "no active trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t probe_id = 0;
+
+  bool active() const { return trace_id != 0 || probe_id != 0; }
+};
+
+/// The context in effect right now (default-constructed when none).
+TraceContext current_trace();
+
+/// Process-wide id dispenser; never returns 0.
+std::uint64_t next_trace_id();
+
+/// RAII: installs `context` as current, restores the previous one on exit.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext context);
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope();
+
+ private:
+  TraceContext previous_;
+};
+
+/// One trace event. Timestamps are MICROSECONDS of simulated time relative
+/// to the log's epoch (Chrome trace-event convention).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'i';         ///< 'X' complete, 'i' instant
+  std::int64_t ts_us = 0;   ///< sim-time micros since the log's epoch
+  std::int64_t dur_us = 0;  ///< phase 'X' only
+  std::uint32_t tid = 0;    ///< track: vantage-region index, or kControlTrack
+  TraceContext context;     ///< rendered into args as trace=/probe=
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Bounded event collector. Starts disabled so idle processes pay one
+/// branch per call site; the study (or a bench) enables it around a
+/// campaign, then renders trace.json. When the capacity is hit, further
+/// events are counted as dropped rather than growing without bound — a
+/// four-month default campaign generates millions of probe events.
+class TraceLog {
+ public:
+  /// tid for simulator-control events that belong to no vantage point.
+  static constexpr std::uint32_t kControlTrack = 99;
+
+  bool enabled() const { return enabled_; }
+  /// Starts collection; `epoch` becomes ts 0 (pass the loop's start so no
+  /// event lands at a negative timestamp).
+  void enable(util::SimTime epoch);
+  void disable() { enabled_ = false; }
+
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity) { capacity_ = capacity ? capacity : 1; }
+
+  /// Names a track in the exported trace (e.g. tid 2 -> "vantage:sao-paulo").
+  void set_track_name(std::uint32_t tid, std::string name);
+
+  void instant(std::string name, std::string category, util::SimTime at,
+               std::uint32_t tid,
+               std::vector<std::pair<std::string, std::string>> args = {});
+  /// A span of simulated time: `duration_ms` is SIMULATED milliseconds
+  /// (e.g. a fetch's modelled network latency).
+  void complete(std::string name, std::string category, util::SimTime start,
+                double duration_ms, std::uint32_t tid,
+                std::vector<std::pair<std::string, std::string>> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t dropped() const { return dropped_; }
+  util::SimTime epoch() const { return epoch_; }
+
+  /// The Chrome trace-event JSON array format: metadata records naming the
+  /// process and tracks, then every event in insertion order. Open the
+  /// output in Perfetto or chrome://tracing.
+  std::string render_chrome_trace() const;
+
+  /// Clears events, dropped count, and track names; keeps capacity.
+  void reset();
+
+ private:
+  void add(TraceEvent event);
+
+  bool enabled_ = false;
+  util::SimTime epoch_{};
+  std::size_t capacity_ = 200'000;
+  std::size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+};
+
+/// The process-wide log the trace macros and instrumented layers write to.
+TraceLog& default_trace_log();
+
+#if MUSTAPLE_OBS_ENABLED
+
+/// RAII current-trace override bound to a local variable.
+#define MUSTAPLE_TRACE_SCOPE(var_, context_) \
+  ::mustaple::obs::TraceScope var_(context_)
+
+/// Sim-time instant event against the default log; args are only built when
+/// the log is collecting.
+#define MUSTAPLE_TRACE_INSTANT(name_, category_, at_, tid_, ...)           \
+  do {                                                                     \
+    ::mustaple::obs::TraceLog& mustaple_obs_tl =                           \
+        ::mustaple::obs::default_trace_log();                              \
+    if (mustaple_obs_tl.enabled()) {                                       \
+      mustaple_obs_tl.instant(name_, category_, at_, tid_, {__VA_ARGS__}); \
+    }                                                                      \
+  } while (0)
+
+/// Sim-time complete (span) event; duration in simulated milliseconds.
+#define MUSTAPLE_TRACE_COMPLETE(name_, category_, start_, dur_ms_, tid_, ...) \
+  do {                                                                        \
+    ::mustaple::obs::TraceLog& mustaple_obs_tl =                              \
+        ::mustaple::obs::default_trace_log();                                 \
+    if (mustaple_obs_tl.enabled()) {                                          \
+      mustaple_obs_tl.complete(name_, category_, start_, dur_ms_, tid_,       \
+                               {__VA_ARGS__});                                \
+    }                                                                         \
+  } while (0)
+
+#else  // MUSTAPLE_OBS_OFF
+
+#define MUSTAPLE_TRACE_SCOPE(var_, context_) ((void)0)
+#define MUSTAPLE_TRACE_INSTANT(name_, category_, at_, tid_, ...) ((void)0)
+#define MUSTAPLE_TRACE_COMPLETE(name_, category_, start_, dur_ms_, tid_, ...) \
+  ((void)0)
+
+#endif  // MUSTAPLE_OBS_ENABLED
+
+}  // namespace mustaple::obs

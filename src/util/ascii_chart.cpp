@@ -160,4 +160,29 @@ std::string render_table(const std::vector<std::string>& headers,
   return out;
 }
 
+std::string sparkline(const std::vector<double>& values, double lo,
+                      double hi) {
+  if (values.empty()) return "";
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (lo > hi) {
+    lo = values.front();
+    hi = values.front();
+    for (double v : values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double span = hi - lo;
+  std::string out;
+  for (double v : values) {
+    int level = 3;  // flat series: mid-height
+    if (span > 0.0) {
+      level = static_cast<int>((v - lo) / span * 7.0 + 0.5);
+      level = std::max(0, std::min(7, level));
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
 }  // namespace mustaple::util

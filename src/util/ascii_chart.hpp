@@ -32,4 +32,11 @@ std::string render_cdf(const Cdf& cdf, const ChartOptions& options);
 std::string render_table(const std::vector<std::string>& headers,
                          const std::vector<std::vector<std::string>>& rows);
 
+/// One-line block-glyph sparkline ("▁▂▃▄▅▆▇█") of `values` scaled between
+/// `lo` and `hi`; with the defaults (lo > hi) the data's own min/max are
+/// used. Values are clamped; an all-equal series renders mid-height.
+/// Empty input -> empty string.
+std::string sparkline(const std::vector<double>& values, double lo = 1.0,
+                      double hi = 0.0);
+
 }  // namespace mustaple::util

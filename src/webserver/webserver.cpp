@@ -1,5 +1,6 @@
 #include "webserver/webserver.hpp"
 
+#include "obs/obs.hpp"
 #include "ocsp/request.hpp"
 #include "ocsp/verify.hpp"
 
@@ -64,8 +65,13 @@ WebServer::FetchOutcome WebServer::fetch_staple(util::SimTime now) {
       config_.region, *ocsp_url_, request.encode_der(),
       "application/ocsp-request");
   outcome.latency_ms = result.latency_ms;
-  if (result.error != net::TransportError::kNone ||
-      result.response.status_code != 200) {
+  const bool transport_ok = result.error == net::TransportError::kNone &&
+                            result.response.status_code == 200;
+  MUSTAPLE_TRACE_INSTANT("staple-fetch", "webserver", now,
+                         static_cast<std::uint32_t>(config_.region),
+                         {"domain", domain_},
+                         {"outcome", transport_ok ? "ok" : "fail"});
+  if (!transport_ok) {
     return outcome;  // transport_ok stays false
   }
   outcome.transport_ok = true;
@@ -251,6 +257,11 @@ tls::ServerHello WebServer::handshake_nginx(bool wants_staple,
 // ---------------------------------------------------------------------------
 void WebServer::start(util::SimTime now) {
   if (config_.software != Software::kIdeal || !config_.stapling_enabled) return;
+  // Give this server's refresh chain its own trace identity: the EventLoop
+  // captures it at every schedule_after below, so the whole four-month chain
+  // of background refreshes shares one trace id in the exported trace.
+  MUSTAPLE_TRACE_SCOPE(trace_scope,
+                       (obs::TraceContext{obs::next_trace_id(), 0}));
   FetchOutcome outcome = fetch_staple(now);
   if (outcome.entry && !outcome.entry->is_error_response) {
     cache_ = outcome.entry;

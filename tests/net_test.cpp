@@ -245,6 +245,92 @@ TEST(EventLoop, FifoTieBreakAndLifetimeCounters) {
   EXPECT_EQ(loop.max_pending(), 4u);
 }
 
+#if MUSTAPLE_OBS_ENABLED
+
+// ----------------------------------------------- trace-context propagation --
+
+TEST(EventLoopTrace, ContextCapturedAtScheduleRestoredAtDispatch) {
+  EventLoop loop(kStart);
+  obs::TraceContext seen;
+  {
+    obs::TraceScope scope(obs::TraceContext{11, 3});
+    loop.schedule_after(Duration::secs(1),
+                        [&] { seen = obs::current_trace(); });
+  }
+  // Schedule-time context is gone by dispatch time; the captured one rules.
+  EXPECT_FALSE(obs::current_trace().active());
+  loop.run_all();
+  EXPECT_EQ(seen.trace_id, 11u);
+  EXPECT_EQ(seen.probe_id, 3u);
+  // The dispatch scope is popped again after the callback.
+  EXPECT_FALSE(obs::current_trace().active());
+}
+
+TEST(EventLoopTrace, NestedScheduleChainsKeepTheirIdentity) {
+  EventLoop loop(kStart);
+  std::vector<std::uint64_t> hops;
+  {
+    obs::TraceScope scope(obs::TraceContext{21, 1});
+    // A three-hop chain: each callback schedules the next; all hops must
+    // observe the originating context even though the originating scope died
+    // long before the later hops run.
+    loop.schedule_after(Duration::secs(1), [&] {
+      hops.push_back(obs::current_trace().trace_id);
+      loop.schedule_after(Duration::secs(1), [&] {
+        hops.push_back(obs::current_trace().trace_id);
+        loop.schedule_after(Duration::secs(1), [&] {
+          hops.push_back(obs::current_trace().trace_id);
+        });
+      });
+    });
+  }
+  loop.run_all();
+  EXPECT_EQ(hops, (std::vector<std::uint64_t>{21, 21, 21}));
+}
+
+TEST(EventLoopTrace, SameTimeEventsKeepDistinctContextsInFifoOrder) {
+  EventLoop loop(kStart);
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    obs::TraceScope scope(obs::TraceContext{i, 0});
+    loop.schedule_at(kStart + Duration::secs(10),
+                     [&] { seen.push_back(obs::current_trace().trace_id); });
+  }
+  loop.run_all();
+  // FIFO tie-break preserved, and no context bleeds into its neighbour.
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(EventLoopTrace, ContextRestoredAfterCallbackSchedulesFurtherEvents) {
+  EventLoop loop(kStart);
+  std::vector<std::uint64_t> seen;
+  {
+    obs::TraceScope scope(obs::TraceContext{31, 0});
+    loop.schedule_after(Duration::secs(1), [&] {
+      // Scheduling under a DIFFERENT inner context must not disturb the
+      // outer events already queued with their own capture.
+      obs::TraceScope inner(obs::TraceContext{32, 0});
+      loop.schedule_after(Duration::secs(5),
+                          [&] { seen.push_back(obs::current_trace().trace_id); });
+    });
+    loop.schedule_after(Duration::secs(2),
+                        [&] { seen.push_back(obs::current_trace().trace_id); });
+  }
+  loop.run_all();
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{31, 32}));
+}
+
+TEST(EventLoopTrace, UntracedScheduleDispatchesInactive) {
+  EventLoop loop(kStart);
+  bool active = true;
+  loop.schedule_after(Duration::secs(1),
+                      [&] { active = obs::current_trace().active(); });
+  loop.run_all();
+  EXPECT_FALSE(active);
+}
+
+#endif  // MUSTAPLE_OBS_ENABLED
+
 // ---------------------------------------------------------------- faults --
 
 TEST(FaultRule, WindowAndRegionScoping) {

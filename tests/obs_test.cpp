@@ -149,6 +149,25 @@ TEST(Metrics, GaugeSemantics) {
   EXPECT_DOUBLE_EQ(registry.gauge_value("mustaple_test_depth"), 10.0);
 }
 
+TEST(Metrics, GaugeSetMaxTakesFirstSampleUnconditionally) {
+  Registry registry;
+  Gauge& g = registry.gauge("mustaple_test_floor");
+  // A fresh gauge reads 0, but 0 is not a sample: an all-negative series
+  // must report its true maximum, not stick at the initial 0.
+  g.set_max(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), -5.0);
+  g.set_max(-9.0);
+  EXPECT_DOUBLE_EQ(g.value(), -5.0);
+  g.set_max(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+
+  // set() counts as a sample too: a later smaller set_max is a no-op.
+  Gauge& h = registry.gauge("mustaple_test_floor2");
+  h.set(-1.0);
+  h.set_max(-4.0);
+  EXPECT_DOUBLE_EQ(h.value(), -1.0);
+}
+
 TEST(Metrics, HistogramBucketsAndStats) {
   Registry registry;
   Histogram& h = registry.histogram("mustaple_test_ms", {1.0, 10.0, 100.0});
@@ -170,6 +189,35 @@ TEST(Metrics, HistogramBucketsAndStats) {
   EXPECT_EQ(&registry.histogram("mustaple_test_ms", std::vector<double>{7.0}),
             &h);
   EXPECT_EQ(h.bounds().size(), 3u);
+}
+
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  Histogram h({10.0, 20.0});
+  for (double x : {2.0, 4.0, 6.0, 8.0}) h.observe(x);      // first bucket
+  for (double x : {12.0, 14.0, 16.0, 18.0}) h.observe(x);  // second bucket
+  h.observe(25.0);                                         // +Inf bucket
+  h.observe(30.0);
+  // rank 5 of 10 lands 1/4 into the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 12.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 12.5);
+  // Ranks in the +Inf bucket have no upper bound: the observed max.
+  EXPECT_DOUBLE_EQ(h.p95(), 30.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 30.0);
+  // Extremes pin to the observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+}
+
+TEST(Metrics, HistogramQuantilesClampAndHandleEmpty) {
+  Histogram empty({10.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // One sample at 4 in a (0, 10] bucket: interpolation toward the bound
+  // must not exceed the observed max.
+  Histogram single({10.0});
+  single.observe(4.0);
+  EXPECT_DOUBLE_EQ(single.p50(), 4.0);
+  EXPECT_DOUBLE_EQ(single.p99(), 4.0);
 }
 
 TEST(Metrics, PrometheusGolden) {
@@ -195,7 +243,10 @@ TEST(Metrics, PrometheusGolden) {
             "mustaple_demo_ms_bucket{le=\"10\"} 2\n"
             "mustaple_demo_ms_bucket{le=\"+Inf\"} 3\n"
             "mustaple_demo_ms_sum 101.5\n"
-            "mustaple_demo_ms_count 3\n");
+            "mustaple_demo_ms_count 3\n"
+            "mustaple_demo_ms_p50 5.5\n"
+            "mustaple_demo_ms_p95 99\n"
+            "mustaple_demo_ms_p99 99\n");
 }
 
 TEST(Metrics, PrometheusHistogramWithLabels) {
@@ -218,7 +269,8 @@ TEST(Metrics, JsonGolden) {
             "{\"counters\":{\"a_total\":2,\"b_total{kind=\\\"dns\\\"}\":1},"
             "\"gauges\":{\"depth\":1.5},"
             "\"histograms\":{\"lat_ms\":{\"count\":1,\"sum\":4,\"mean\":4,"
-            "\"min\":4,\"max\":4,\"buckets\":[{\"le\":10,\"count\":1},"
+            "\"min\":4,\"max\":4,\"p50\":4,\"p95\":4,\"p99\":4,"
+            "\"buckets\":[{\"le\":10,\"count\":1},"
             "{\"le\":\"+Inf\",\"count\":1}]}}}");
 }
 
@@ -297,6 +349,216 @@ TEST(Spans, SiblingsAfterNestedSpanKeepTopLevelDepth) {
   ASSERT_EQ(tracer.nodes().size(), 2u);
   EXPECT_EQ(tracer.nodes()[1].path, "b");
   EXPECT_EQ(tracer.nodes()[1].depth, 0);
+}
+
+// ----------------------------------------------------------------- trace --
+
+TEST(Trace, ScopeSavesAndRestoresLifo) {
+  EXPECT_FALSE(current_trace().active());
+  {
+    TraceScope outer(TraceContext{7, 1});
+    EXPECT_EQ(current_trace().trace_id, 7u);
+    {
+      TraceScope inner(TraceContext{8, 2});
+      EXPECT_EQ(current_trace().trace_id, 8u);
+      EXPECT_EQ(current_trace().probe_id, 2u);
+    }
+    EXPECT_EQ(current_trace().trace_id, 7u);
+    EXPECT_EQ(current_trace().probe_id, 1u);
+  }
+  EXPECT_FALSE(current_trace().active());
+}
+
+TEST(Trace, NextTraceIdNeverReturnsZero) {
+  const std::uint64_t a = next_trace_id();
+  const std::uint64_t b = next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(b, a + 1);
+}
+
+TEST(Trace, DisabledLogRecordsNothing) {
+  TraceLog log;
+  log.instant("x", "c", util::make_time(2018, 4, 25), 0);
+  log.complete("y", "c", util::make_time(2018, 4, 25), 1.0, 0);
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(Trace, CapacityBoundsCollectionAndCountsDrops) {
+  TraceLog log;
+  log.set_capacity(2);
+  log.enable(util::make_time(2018, 4, 24));
+  for (int i = 0; i < 5; ++i) {
+    log.instant("e" + std::to_string(i), "c", util::make_time(2018, 4, 25), 0);
+  }
+  EXPECT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.dropped(), 3u);
+  log.reset();
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.capacity(), 2u);  // reset keeps capacity
+}
+
+TEST(Trace, ChromeTraceGolden) {
+  TraceLog log;
+  log.enable(util::make_time(2018, 4, 24));
+  log.set_track_name(0, "vantage:Oregon");
+  {
+    TraceScope scope(TraceContext{7, 42});
+    log.complete("ocsp.example", "net", util::make_time(2018, 4, 25), 250.0,
+                 0, {{"region", "Oregon"}});
+  }
+  log.instant("scan-step", "scan", util::make_time(2018, 4, 25, 0, 0, 1),
+              TraceLog::kControlTrack, {{"step", "1"}});
+  EXPECT_EQ(
+      log.render_chrome_trace(),
+      "[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"mustaple campaign (simulated clock)\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"vantage:Oregon\"}},\n"
+      "{\"name\":\"ocsp.example\",\"cat\":\"net\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":0,\"ts\":86400000000,\"dur\":250000,"
+      "\"args\":{\"trace\":7,\"probe\":42,\"region\":\"Oregon\"}},\n"
+      "{\"name\":\"scan-step\",\"cat\":\"scan\",\"ph\":\"i\",\"pid\":1,"
+      "\"tid\":99,\"ts\":86401000000,\"s\":\"t\","
+      "\"args\":{\"step\":\"1\"}}]\n");
+}
+
+TEST(Trace, SubMillisecondSpansKeepVisibleWidth) {
+  TraceLog log;
+  log.enable(util::make_time(2018, 4, 24));
+  log.complete("fast", "net", util::make_time(2018, 4, 24), 0.0, 0);
+  ASSERT_EQ(log.events().size(), 1u);
+  EXPECT_EQ(log.events()[0].dur_us, 1);
+}
+
+// -------------------------------------------------------------- timeline --
+
+TEST(Timeline, WindowsRecordCounterDeltas) {
+  Registry registry;
+  const util::SimTime start = util::make_time(2018, 4, 25);
+  Timeline timeline(start, util::Duration::hours(1), registry);
+
+  timeline.advance_to(start);  // baseline
+  registry.counter("probes_total").inc(3);
+  timeline.advance_to(start + util::Duration::hours(1));  // closes window 0
+  registry.counter("probes_total").inc(5);
+  timeline.flush(start + util::Duration::hours(2));
+
+  ASSERT_EQ(timeline.windows().size(), 2u);
+  EXPECT_EQ(timeline.windows()[0].start.unix_seconds, start.unix_seconds);
+  EXPECT_DOUBLE_EQ(
+      Timeline::counter_delta(timeline.windows()[0], "probes_total", ""), 3.0);
+  EXPECT_DOUBLE_EQ(
+      Timeline::counter_delta(timeline.windows()[1], "probes_total", ""), 5.0);
+}
+
+TEST(Timeline, BaselineExcludesActivityBeforeStart) {
+  Registry registry;
+  const util::SimTime start = util::make_time(2018, 4, 25);
+  Timeline timeline(start, util::Duration::hours(1), registry);
+
+  // Warm-up activity happens before the clock reaches `start`.
+  registry.counter("probes_total").inc(100);
+  timeline.advance_to(start - util::Duration::hours(12));  // before start: no-op
+  timeline.advance_to(start);                              // takes the baseline
+  registry.counter("probes_total").inc(2);
+  timeline.flush(start + util::Duration::hours(1));
+
+  ASSERT_EQ(timeline.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      Timeline::counter_delta(timeline.windows()[0], "probes_total", ""), 2.0);
+}
+
+TEST(Timeline, IdleWindowsAreSkipped) {
+  Registry registry;
+  const util::SimTime start = util::make_time(2018, 4, 25);
+  Timeline timeline(start, util::Duration::hours(1), registry);
+  timeline.advance_to(start);
+  registry.counter("probes_total").inc();
+  // Jump four hours: only the first window saw activity.
+  timeline.advance_to(start + util::Duration::hours(4));
+  ASSERT_EQ(timeline.windows().size(), 1u);
+  EXPECT_EQ(timeline.windows()[0].end.unix_seconds,
+            (start + util::Duration::hours(1)).unix_seconds);
+}
+
+TEST(Timeline, SeriesAndRatioSeries) {
+  Registry registry;
+  const util::SimTime start = util::make_time(2018, 4, 25);
+  Timeline timeline(start, util::Duration::hours(1), registry);
+  timeline.advance_to(start);
+
+  Counter& requests = registry.counter("req_total", {{"region", "Oregon"}});
+  Counter& successes = registry.counter("ok_total", {{"region", "Oregon"}});
+  requests.inc(10);
+  successes.inc(9);
+  timeline.advance_to(start + util::Duration::hours(1));
+  requests.inc(10);
+  successes.inc(5);
+  timeline.flush(start + util::Duration::hours(2));
+
+  const util::Series s =
+      timeline.series("req_total", {{"region", "Oregon"}});
+  ASSERT_EQ(s.x.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x[0], static_cast<double>(start.unix_seconds));
+  EXPECT_DOUBLE_EQ(s.y[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.y[1], 10.0);
+
+  const util::Series ratio = timeline.ratio_series(
+      "ok_total", "req_total", {{"region", "Oregon"}});
+  ASSERT_EQ(ratio.y.size(), 2u);
+  EXPECT_DOUBLE_EQ(ratio.y[0], 90.0);
+  EXPECT_DOUBLE_EQ(ratio.y[1], 50.0);
+}
+
+TEST(Timeline, HistogramsContributeCountAndSumDeltas) {
+  Registry registry;
+  const util::SimTime start = util::make_time(2018, 4, 25);
+  Timeline timeline(start, util::Duration::hours(1), registry);
+  timeline.advance_to(start);
+  registry.histogram("lat_ms", std::vector<double>{10.0}).observe(4.0);
+  registry.histogram("lat_ms", std::vector<double>{10.0}).observe(6.0);
+  timeline.flush(start + util::Duration::hours(1));
+  ASSERT_EQ(timeline.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      Timeline::counter_delta(timeline.windows()[0], "lat_ms_count", ""), 2.0);
+  EXPECT_DOUBLE_EQ(
+      Timeline::counter_delta(timeline.windows()[0], "lat_ms_sum", ""), 10.0);
+}
+
+TEST(Timeline, CsvAndJsonRender) {
+  Registry registry;
+  const util::SimTime start = util::make_time(2018, 4, 25);
+  Timeline timeline(start, util::Duration::hours(1), registry);
+  timeline.advance_to(start);
+  registry.counter("probes_total", {{"region", "Oregon"}}).inc(3);
+  registry.gauge("depth").set(2.5);
+  timeline.flush(start + util::Duration::hours(1));
+
+  EXPECT_EQ(timeline.render_csv(),
+            "window_start_unix,window_start,window_end_unix,kind,metric,"
+            "labels,value\n"
+            "1524614400,2018-04-25 00:00:00,1524618000,counter,probes_total,"
+            "\"{region=\"\"Oregon\"\"}\",3\n"
+            "1524614400,2018-04-25 00:00:00,1524618000,gauge,depth,,2.5\n");
+  EXPECT_EQ(timeline.render_json(),
+            "{\"window_seconds\":3600,\"start_unix\":1524614400,"
+            "\"windows\":[{\"start_unix\":1524614400,"
+            "\"start\":\"2018-04-25 00:00:00\",\"end_unix\":1524618000,"
+            "\"counters\":{\"probes_total{region=\\\"Oregon\\\"}\":3},"
+            "\"gauges\":{\"depth\":2.5}}]}");
+}
+
+TEST(Timeline, InstallUninstallRoundTrip) {
+  Registry registry;
+  Timeline timeline(util::make_time(2018, 4, 25), util::Duration::hours(1),
+                    registry);
+  Timeline* previous = install_timeline(&timeline);
+  EXPECT_EQ(installed_timeline(), &timeline);
+  advance_installed_timeline(util::make_time(2018, 4, 25));
+  install_timeline(previous);
+  EXPECT_EQ(installed_timeline(), previous);
 }
 
 // ---------------------------------------------------------------- macros --
