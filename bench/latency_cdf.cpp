@@ -28,6 +28,7 @@ int main() {
   for (net::Region region : net::all_regions()) {
     util::Cdf latency;
     for (const auto& target : ecosystem.scan_targets()) {
+      if (!target.cert.extensions().supports_ocsp()) continue;
       const x509::Certificate& issuer =
           ecosystem.authority(target.ca_index).intermediate_cert();
       const auto id = ocsp::CertId::for_certificate(target.cert, issuer);

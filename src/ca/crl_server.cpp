@@ -27,7 +27,7 @@ crl::Crl CrlServer::current_crl(util::SimTime now) const {
 }
 
 net::HttpResponse CrlServer::handle(const net::HttpRequest& request,
-                                    util::SimTime now, net::Region from) {
+                                    util::SimTime now, net::Region from) const {
   MUSTAPLE_COUNT("mustaple_ca_crl_requests_total");
   MUSTAPLE_TRACE_INSTANT("crl-handle", "ca.crl", now,
                          static_cast<std::uint32_t>(from),

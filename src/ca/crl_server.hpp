@@ -23,8 +23,9 @@ class CrlServer {
 
   void install(net::Network& network, std::uint16_t port = 80);
 
+  /// Const: a CRL server is stateless, so concurrent probes are sound.
   net::HttpResponse handle(const net::HttpRequest& request, util::SimTime now,
-                           net::Region from);
+                           net::Region from) const;
 
   /// The CRL as it would be served at `now` (publication-cycle aligned).
   crl::Crl current_crl(util::SimTime now) const;

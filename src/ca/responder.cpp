@@ -1,9 +1,12 @@
 #include "ca/responder.hpp"
 
+#include <limits>
+
 #include "asn1/der.hpp"
 #include "crypto/sha1.hpp"
 #include "obs/obs.hpp"
 #include "ocsp/request.hpp"
+#include "util/hash.hpp"
 
 namespace mustaple::ca {
 
@@ -66,6 +69,8 @@ OcspResponder::OcspResponder(CertificateAuthority& authority,
                            rng_.uniform(static_cast<std::uint64_t>(interval)))
                      : 0));
   }
+  backend_seed_ = rng_.fork("backend-choice")
+                      .uniform(std::numeric_limits<std::uint64_t>::max());
 }
 
 void OcspResponder::install(net::Network& network, std::uint16_t port) {
@@ -159,12 +164,20 @@ ocsp::OcspResponse OcspResponder::build_response(const ocsp::CertId& id,
 util::Bytes OcspResponder::build_response_der(
     const ocsp::CertId& id, util::SimTime now,
     const std::optional<util::Bytes>& nonce) {
+  // Which co-located backend answers is a pure function of (responder,
+  // serial, time): load balancing still looks arbitrary across scans —
+  // which is what produces the producedAt regressions — but does not
+  // depend on how many requests other threads issued first.
   const int backend =
       behavior_.backends > 1
-          ? static_cast<int>(rng_.uniform(static_cast<std::uint64_t>(
-                behavior_.backends)))
+          ? static_cast<int>(
+                util::hash_combine(
+                    util::hash_combine(backend_seed_, util::fnv1a64(id.serial)),
+                    static_cast<std::uint64_t>(now.unix_seconds)) %
+                static_cast<std::uint64_t>(behavior_.backends))
           : 0;
   const std::string serial_hex = util::to_hex(id.serial);
+  std::lock_guard<std::mutex> lock(mu_);
 
   // Pre-generation cache: one signed encoding per (serial, backend, cycle).
   const util::SimTime gen_time = generation_time(now, backend);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -66,7 +67,10 @@ struct ResponderBehavior {
 };
 
 /// A responder instance. Stateless between requests except for the
-/// pre-generation cache (latest cycle per serial/backend).
+/// pre-generation cache (latest cycle per serial/backend), which is
+/// mutex-protected so concurrent scanner probes can hit one responder; the
+/// lock is held across a cache miss's signing so each (serial, backend,
+/// cycle) is generated exactly once regardless of probe interleaving.
 class OcspResponder {
  public:
   OcspResponder(CertificateAuthority& authority, ResponderBehavior behavior,
@@ -105,7 +109,13 @@ class OcspResponder {
   CertificateAuthority* authority_;
   ResponderBehavior behavior_;
   std::string host_;
-  util::Rng rng_;
+  util::Rng rng_;  ///< fixed after construction; forked, never advanced
+  /// Seed for the stateless per-request backend choice. A stateful rng_
+  /// draw would make the chosen backend depend on global request order,
+  /// which varies with scanner thread count; hashing (seed, serial, now)
+  /// keeps footnote-17 producedAt regressions while staying
+  /// order-independent.
+  std::uint64_t backend_seed_ = 0;
 
   crypto::KeyPair delegate_key_;
   std::optional<x509::Certificate> delegate_cert_;
@@ -123,6 +133,7 @@ class OcspResponder {
     util::Bytes der;
   };
   // serial hex -> per-backend cached encoding for the current cycle.
+  mutable std::mutex mu_;  ///< guards cache_ across lookup + generation
   std::map<std::string, std::vector<CacheEntry>> cache_;
 };
 

@@ -1,5 +1,6 @@
 #include "measurement/alexa_scan.hpp"
 
+#include "obs/obs.hpp"
 #include "ocsp/request.hpp"
 #include "ocsp/verify.hpp"
 
@@ -30,6 +31,11 @@ AlexaScanResult run_alexa_scan(Ecosystem& ecosystem,
   for (std::size_t r = 0; r < responder_count; ++r) {
     const ScanTarget* target = representative[r];
     if (target == nullptr) continue;
+    if (!target->cert.extensions().supports_ocsp()) {
+      MUSTAPLE_COUNT_L("mustaple_scan_targets_skipped_total", "component",
+                       "alexa");
+      continue;
+    }
     ++result.responders_touched;
     const x509::Certificate& issuer =
         ecosystem.authority(target->ca_index).intermediate_cert();

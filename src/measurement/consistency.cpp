@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "ocsp/request.hpp"
 #include "ocsp/verify.hpp"
 
@@ -233,7 +234,13 @@ ConsistencyReport ConsistencyAudit::run(Rng& rng) {
         crl_it->second.find(target.cert.serial());
     if (crl_entry == nullptr) continue;  // not in CRL: out of audit scope
 
-    // OCSP lookup over the network.
+    // OCSP lookup over the network. A CRL-only certificate has no
+    // responder to audit against.
+    if (!target.cert.extensions().supports_ocsp()) {
+      MUSTAPLE_COUNT_L("mustaple_scan_targets_skipped_total", "component",
+                       "consistency");
+      continue;
+    }
     const x509::Certificate& issuer =
         ecosystem_->authority(target.ca_index).intermediate_cert();
     const auto id = ocsp::CertId::for_certificate(target.cert, issuer);

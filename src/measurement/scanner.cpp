@@ -2,8 +2,11 @@
 
 #include <stdexcept>
 
+#include "crypto/sha256.hpp"
 #include "obs/obs.hpp"
 #include "ocsp/request.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mustaple::measurement {
 
@@ -12,12 +15,7 @@ constexpr std::int64_t kCachedThresholdSeconds = 120;  // §5.4's 2 minutes
 constexpr std::size_t kStaticCacheLimit = 200'000;     // entries before reset
 
 std::uint64_t body_cache_key(std::size_t responder, const util::Bytes& body) {
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ (responder * 0x9e3779b97f4a7c15ULL);
-  for (std::uint8_t b : body) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return util::hash_combine(util::mix64(responder), util::fnv1a64(body));
 }
 }  // namespace
 
@@ -27,6 +25,14 @@ HourlyScanner::HourlyScanner(Ecosystem& ecosystem, ScanConfig config)
   targets_.reserve(targets.size());
   for (const auto& t : targets) {
     Target target;
+    // Certificates without an AIA OCSP URL cannot be scan targets; skipping
+    // here (rather than dereferencing ocsp_urls.front() blindly) keeps a
+    // CRL-only certificate in the population from crashing the campaign.
+    if (!t.cert.extensions().supports_ocsp()) {
+      MUSTAPLE_COUNT_L("mustaple_scan_targets_skipped_total", "component",
+                       "hourly");
+      continue;
+    }
     const x509::Certificate& issuer =
         ecosystem_->authority(t.ca_index).intermediate_cert();
     target.cert_id = ocsp::CertId::for_certificate(t.cert, issuer);
@@ -41,8 +47,61 @@ HourlyScanner::HourlyScanner(Ecosystem& ecosystem, ScanConfig config)
   stats_.resize(ecosystem_->responders().size() * net::kRegionCount);
 }
 
-void HourlyScanner::probe(const Target& target, net::Region region,
-                          StepTotals& totals) {
+HourlyScanner::ProbeOutcome HourlyScanner::execute_probe(
+    const Target& target, net::Region region, std::uint64_t ordinal) {
+  ProbeOutcome outcome;
+  net::HttpRequest request;
+  request.method = "POST";
+  request.body = target.request_der;
+  request.headers.set("content-type", "application/ocsp-request");
+  outcome.result = ecosystem_->network().http_request_probe(
+      region, target.url, std::move(request), ordinal);
+  if (!outcome.result.success() || !config_.validate_responses) {
+    return outcome;
+  }
+
+  const util::Bytes& body = outcome.result.response.body;
+  const crypto::PublicKey& issuer_key =
+      ecosystem_->authority(target.ca_index).intermediate_cert().public_key();
+  const util::SimTime now = ecosystem_->network().now();
+
+  // Static (clock-independent) validation is cached by body bytes. The
+  // 64-bit key is only a bucket address: a hit must also match the stored
+  // size + SHA-256, otherwise a hash collision would silently hand probe B
+  // the verdict computed for probe A's different body.
+  const std::uint64_t key = body_cache_key(target.responder_index, body);
+  const util::Bytes digest = crypto::Sha256::hash(body);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto cached = static_cache_.find(key);
+    if (cached != static_cache_.end()) {
+      if (cached->second.body_size == body.size() &&
+          cached->second.body_sha256 == digest) {
+        outcome.verdict = ocsp::apply_time_checks(cached->second.verdict, now);
+        outcome.validated = true;
+        return outcome;
+      }
+      MUSTAPLE_COUNT("mustaple_scan_cache_collisions_total");
+    }
+  }
+  // Miss (or collision): verify outside the lock — concurrent probes may
+  // duplicate the work for the same body, but verification is pure, so the
+  // last writer's entry is identical to every other's.
+  const ocsp::VerifiedResponse static_verdict =
+      ocsp::verify_ocsp_response_static(body, target.cert_id, issuer_key);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (static_cache_.size() >= kStaticCacheLimit) static_cache_.clear();
+    static_cache_[key] = StaticCacheEntry{body.size(), digest, static_verdict};
+  }
+  outcome.verdict = ocsp::apply_time_checks(static_verdict, now);
+  outcome.validated = true;
+  return outcome;
+}
+
+void HourlyScanner::accumulate_probe(const Target& target, net::Region region,
+                                     const ProbeOutcome& outcome,
+                                     StepTotals& totals) {
   const std::size_t region_idx = static_cast<std::size_t>(region);
   ResponderRegionStats& stats =
       stats_[target.responder_index * net::kRegionCount + region_idx];
@@ -55,14 +114,22 @@ void HourlyScanner::probe(const Target& target, net::Region region,
   MUSTAPLE_COUNT("mustaple_scan_probes_total");
   MUSTAPLE_COUNT_L("mustaple_scan_requests_total", "region",
                    net::to_string(region));
-  // One probe = one trace unit: the step's trace id plus a campaign-wide
-  // probe ordinal. The EventLoop re-installs this context for any event the
-  // probe schedules, and Network stamps it on the fetch's trace span.
+  // One probe = one trace unit: the step's trace id plus the probe's
+  // campaign-wide ordinal. The ordinal is maintained unconditionally (not
+  // inside the trace macro) because it also keys the counter-based latency
+  // sample — obs-on and obs-off builds must draw identical jitter.
+  const std::uint64_t probe_id = ++probe_counter_;
   MUSTAPLE_TRACE_SCOPE(trace_scope,
-                       (obs::TraceContext{step_trace_id_, ++probe_counter_}));
+                       (obs::TraceContext{step_trace_id_, probe_id}));
+#if !MUSTAPLE_OBS_ENABLED
+  (void)probe_id;
+#endif
+  // Replay the fetch's observability effects (net counters, latency
+  // histogram, trace span) here, in canonical probe order, so the metric
+  // and trace streams are byte-identical to a single-threaded run.
+  ecosystem_->network().record_fetch(region, target.url, outcome.result);
 
-  net::FetchResult result = ecosystem_->network().http_post(
-      region, target.url, target.request_der, "application/ocsp-request");
+  const net::FetchResult& result = outcome.result;
   if (!result.success()) {
     switch (result.error) {
       case net::TransportError::kDnsFailure:
@@ -88,25 +155,10 @@ void HourlyScanner::probe(const Target& target, net::Region region,
   MUSTAPLE_COUNT_L("mustaple_scan_successes_total", "region",
                    net::to_string(region));
 
-  if (!config_.validate_responses) return;
+  if (!outcome.validated) return;
 
-  const crypto::PublicKey& issuer_key =
-      ecosystem_->authority(target.ca_index).intermediate_cert().public_key();
   const util::SimTime now = ecosystem_->network().now();
-  // Static (clock-independent) validation is cached by body bytes.
-  const std::uint64_t key =
-      body_cache_key(target.responder_index, result.response.body);
-  auto cached = static_cache_.find(key);
-  if (cached == static_cache_.end()) {
-    if (static_cache_.size() >= kStaticCacheLimit) static_cache_.clear();
-    cached = static_cache_
-                 .emplace(key, ocsp::verify_ocsp_response_static(
-                                   result.response.body, target.cert_id,
-                                   issuer_key))
-                 .first;
-  }
-  const ocsp::VerifiedResponse verdict =
-      ocsp::apply_time_checks(cached->second, now);
+  const ocsp::VerifiedResponse& verdict = outcome.verdict;
 
   switch (verdict.outcome) {
     case ocsp::CheckOutcome::kUnparseable:
@@ -192,11 +244,16 @@ void HourlyScanner::run() {
   const util::SimTime end = ecosystem_->config().campaign_end;
   net::EventLoop& loop = ecosystem_->network().loop();
 
+  const std::size_t thread_count =
+      config_.threads > 0 ? config_.threads : util::ThreadPool::env_threads(1);
+  util::ThreadPool pool(thread_count);
+
   MUSTAPLE_SPAN(span_campaign, "scan-campaign");
   MUSTAPLE_LOG_INFO("scan", "campaign starting",
                     obs::field("targets", targets_.size()),
                     obs::field("responders", responder_count()),
                     obs::field("interval_s", config_.interval.seconds),
+                    obs::field("threads", pool.threads()),
                     obs::field("from", util::format_time(start)),
                     obs::field("to", util::format_time(end)));
 
@@ -217,8 +274,25 @@ void HourlyScanner::run() {
     step_successes_.assign(stats_.size(), 0);
     StepTotals totals;
     totals.when = t;
-    for (net::Region region : net::all_regions()) {
-      for (const Target& target : targets_) probe(target, region, totals);
+
+    // Phase 1 (parallel): execute every probe of the step into an outcome
+    // slot addressed by canonical probe order p = region * targets +
+    // target. Phase 2 (sequential): replay the accumulation over the slots
+    // in canonical order. The same two phases run at every thread count, so
+    // floating-point accumulation order — and with it every derived stat —
+    // never depends on scheduling.
+    const auto regions = net::all_regions();
+    const std::uint64_t step_base = probe_counter_;
+    std::vector<ProbeOutcome> outcomes(targets_.size() * net::kRegionCount);
+    pool.parallel_for_index(outcomes.size(), [&](std::size_t p) {
+      const net::Region region = regions[p / targets_.size()];
+      const Target& target = targets_[p % targets_.size()];
+      outcomes[p] = execute_probe(target, region, step_base + p + 1);
+    });
+    for (std::size_t p = 0; p < outcomes.size(); ++p) {
+      const net::Region region = regions[p / targets_.size()];
+      const Target& target = targets_[p % targets_.size()];
+      accumulate_probe(target, region, outcomes[p], totals);
     }
 
     // Fig 4: per region, total Alexa domains whose responder answered

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct ScanConfig {
   /// and the client-side response validation is skipped — roughly 3x
   /// faster for availability-only campaigns.
   bool validate_responses = true;
+  /// Worker threads for the per-step probe fan-out. 0 = auto: the
+  /// MUSTAPLE_SCAN_THREADS environment variable when set, else 1. Every
+  /// output of the scan — step totals, per-responder stats, derived
+  /// figures, metrics, timeline, trace — is bit-identical for every value
+  /// of this knob (see DESIGN.md "Deterministic parallel scan campaigns").
+  std::size_t threads = 0;
 };
 
 /// Per-(responder, region) accumulators.
@@ -137,7 +144,25 @@ class HourlyScanner {
     util::Bytes request_der;  ///< pre-encoded OCSPRequest
   };
 
-  void probe(const Target& target, net::Region region, StepTotals& totals);
+  /// What one probe's pure (order-independent) work produced: the fetch
+  /// result plus, when validation is on, the time-checked verdict.
+  struct ProbeOutcome {
+    net::FetchResult result;
+    ocsp::VerifiedResponse verdict{};
+    bool validated = false;
+  };
+
+  // The fan-out is two-phase so output is independent of thread count:
+  // execute_probe does the order-free work (fetch + validation) on any
+  // worker, writing into an outcome slot indexed by canonical probe order;
+  // accumulate_probe then replays every order-SENSITIVE effect (stat
+  // accumulators with float sums, metrics, trace events) on the
+  // coordinating thread, walking the slots in canonical order. One thread
+  // and N threads run the exact same two phases.
+  ProbeOutcome execute_probe(const Target& target, net::Region region,
+                             std::uint64_t ordinal);
+  void accumulate_probe(const Target& target, net::Region region,
+                        const ProbeOutcome& outcome, StepTotals& totals);
 
   Ecosystem* ecosystem_;
   ScanConfig config_;
@@ -149,10 +174,20 @@ class HourlyScanner {
   std::vector<std::size_t> step_successes_;
   // Cache of the time-invariant validation, keyed by (responder, body
   // hash): pre-generated responders re-serve identical DER for a whole
-  // update cycle, so most probes hit. Bounded by periodic clearing.
-  std::unordered_map<std::uint64_t, ocsp::VerifiedResponse> static_cache_;
-  // Trace identity (unused when obs is compiled out): each scan step gets a
-  // trace id, each probe a campaign-wide ordinal.
+  // update cycle, so most probes hit. Bounded by periodic clearing. The
+  // 64-bit key alone is not proof of identity — each entry also stores the
+  // body's size and SHA-256, verified on every hit; a mismatch counts as
+  // mustaple_scan_cache_collisions_total and re-verifies honestly.
+  struct StaticCacheEntry {
+    std::size_t body_size = 0;
+    util::Bytes body_sha256;
+    ocsp::VerifiedResponse verdict{};
+  };
+  std::mutex cache_mu_;  ///< guards static_cache_ under the parallel fan-out
+  std::unordered_map<std::uint64_t, StaticCacheEntry> static_cache_;
+  // Trace identity: each scan step gets a trace id, each probe a
+  // campaign-wide ordinal. The ordinal also keys the counter-based latency
+  // sample, so it is maintained even when obs is compiled out.
   std::uint64_t step_trace_id_ = 0;
   std::uint64_t probe_counter_ = 0;
   bool ran_ = false;

@@ -17,6 +17,13 @@ bool DnsZone::has_name(const std::string& name) const {
   return a_records_.count(key) > 0 || cnames_.count(key) > 0;
 }
 
+bool DnsZone::has_address(Address address) const {
+  for (const auto& [name, assigned] : a_records_) {
+    if (assigned == address) return true;
+  }
+  return false;
+}
+
 util::Result<Address> DnsZone::resolve(const std::string& name) const {
   using R = util::Result<Address>;
   std::string current = util::to_lower(name);

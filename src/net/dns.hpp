@@ -26,6 +26,9 @@ class DnsZone {
   void add_a(const std::string& name, Address address);
   void add_cname(const std::string& name, const std::string& target);
   bool has_name(const std::string& name) const;
+  /// Whether any A record already maps to `address` (used by the network's
+  /// auto-assignment to probe past collisions).
+  bool has_address(Address address) const;
 
   /// Follows CNAMEs (max 8 hops) to an address.
   util::Result<Address> resolve(const std::string& name) const;

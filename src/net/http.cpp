@@ -1,5 +1,7 @@
 #include "net/http.hpp"
 
+#include <limits>
+
 #include "util/strings.hpp"
 
 namespace mustaple::net {
@@ -141,6 +143,12 @@ util::Result<HttpResponse> HttpResponse::parse(const util::Bytes& wire) {
       status_line.substr(sp1 + 1, sp2 == std::string::npos
                                       ? std::string::npos
                                       : sp2 - sp1 - 1);
+  // An empty or oversized code token must be rejected, not folded to status
+  // 0 — "HTTP/1.1  OK" used to parse as status 0, which success() treated
+  // as a non-HTTP-error transport result.
+  if (code_text.empty() || code_text.size() > 3) {
+    return R::failure("http.bad_status_code", code_text);
+  }
   HttpResponse resp;
   resp.status_code = 0;
   for (char c : code_text) {
@@ -154,6 +162,24 @@ util::Result<HttpResponse> HttpResponse::parse(const util::Bytes& wire) {
   auto status = parse_headers(trimmed, 1, resp.headers);
   if (!status.ok()) return R::failure(status.error().code, status.error().detail);
   resp.body = head.value().second;
+  if (resp.headers.contains("content-length")) {
+    const std::string declared = util::trim(resp.headers.get("content-length"));
+    std::size_t length = 0;
+    if (declared.empty()) return R::failure("http.bad_content_length", declared);
+    for (char c : declared) {
+      if (c < '0' || c > '9') {
+        return R::failure("http.bad_content_length", declared);
+      }
+      if (length > (std::numeric_limits<std::size_t>::max() - 9) / 10) {
+        return R::failure("http.bad_content_length", declared);
+      }
+      length = length * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (length != resp.body.size()) {
+      return R::failure("http.content_length_mismatch",
+                        declared + " vs " + std::to_string(resp.body.size()));
+    }
+  }
   return resp;
 }
 

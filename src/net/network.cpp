@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/obs.hpp"
+#include "util/rng.hpp"
 
 namespace mustaple::net {
 
@@ -54,8 +55,18 @@ void Network::register_service(const std::string& host, std::uint16_t port,
   services_[host + ":" + std::to_string(port)] = std::move(handler);
   if (!dns_.has_name(host)) {
     // Auto-assign a deterministic address so registration is one call.
-    dns_.add_a(host, static_cast<Address>(
-                         std::hash<std::string>{}(host) & 0xffffffffu));
+    // FNV-1a (not std::hash, whose result is implementation-defined and
+    // would make campaigns non-reproducible across standard libraries),
+    // with linear-congruential probing past collisions so two hosts never
+    // silently share an auto-assigned address. Hosts that should share an
+    // address (the paper's six-responders-one-IP case) use dns().add_a
+    // explicitly before registration.
+    Address address =
+        static_cast<Address>(util::fnv1a64(host) & 0xffffffffu);
+    while (dns_.has_address(address)) {
+      address = address * 1664525u + 1013904223u;  // full-period LCG step
+    }
+    dns_.add_a(host, address);
   }
 }
 
@@ -63,36 +74,50 @@ bool Network::has_service(const std::string& host, std::uint16_t port) const {
   return services_.count(host + ":" + std::to_string(port)) > 0;
 }
 
-double Network::sample_latency_ms(Region from, const std::string& host) {
+double sample_probe_latency_ms(std::uint64_t latency_seed, Region from,
+                               Region host_region, util::SimTime when,
+                               std::uint64_t ordinal) {
+  // Counter-based sampling: the jitter is a pure function of the key, so a
+  // probe draws the same latency no matter which thread executes it or how
+  // many other probes ran first. A throwaway Rng seeded from the mixed key
+  // shapes the draw; it never shares state with anything.
+  std::uint64_t key = latency_seed;
+  key = util::hash_combine(key, static_cast<std::uint64_t>(from));
+  key = util::hash_combine(key, static_cast<std::uint64_t>(host_region));
+  key = util::hash_combine(key,
+                           static_cast<std::uint64_t>(when.unix_seconds));
+  key = util::hash_combine(key, ordinal);
+  util::Rng rng(key);
+  const double rtt = base_rtt_ms(from, host_region);
+  // TCP handshake + request/response: ~2 RTT, with mild jitter.
+  return std::max(1.0, rng.normal_approx(2.0 * rtt, 0.15 * rtt));
+}
+
+double Network::sample_latency_ms(Region from, const std::string& host,
+                                  std::uint64_t ordinal) const {
   Region host_region = Region::kVirginia;
   const auto it = host_regions_.find(host);
   if (it != host_regions_.end()) host_region = it->second;
-  const double rtt = base_rtt_ms(from, host_region);
-  // TCP handshake + request/response: ~2 RTT, with mild jitter.
-  return std::max(1.0, rng_.normal_approx(2.0 * rtt, 0.15 * rtt));
+  // The canonical host name is folded into the seed (rather than passed as
+  // a field) so two hosts in the same region still jitter independently.
+  const std::uint64_t keyed_seed =
+      util::hash_combine(latency_seed_, util::fnv1a64(host));
+  return sample_probe_latency_ms(keyed_seed, from, host_region, loop_->now(),
+                                 ordinal);
 }
 
 FetchResult Network::http_request(Region from, const Url& url,
                                   HttpRequest request) {
-  FetchResult result = http_request_impl(from, url, std::move(request));
+  FetchResult result =
+      http_request_impl(from, url, std::move(request), fetch_sequence_++);
   record_fetch(from, url, result);
-#if MUSTAPLE_OBS_ENABLED
-  // Lay the exchange on the simulated clock: one track per vantage point,
-  // the span's duration being the modelled network latency. The probe's
-  // TraceContext (restored by the EventLoop or set by the scanner) rides
-  // along so Perfetto can follow one probe across layers.
-  if (obs::default_trace_log().enabled()) {
-    const char* kind =
-        error_kind_label(result.error, result.response.status_code);
-    obs::default_trace_log().complete(
-        url.host, "net", loop_->now(), result.latency_ms,
-        static_cast<std::uint32_t>(from),
-        {{"region", to_string(from)},
-         {"outcome", kind ? kind : "ok"},
-         {"status", std::to_string(result.response.status_code)}});
-  }
-#endif
   return result;
+}
+
+FetchResult Network::http_request_probe(Region from, const Url& url,
+                                        HttpRequest request,
+                                        std::uint64_t probe_ordinal) const {
+  return http_request_impl(from, url, std::move(request), probe_ordinal);
 }
 
 void Network::record_fetch(Region from, const Url& url,
@@ -115,6 +140,18 @@ void Network::record_fetch(Region from, const Url& url,
                        obs::field("region", to_string(from)),
                        obs::field("status", result.response.status_code));
   }
+  // Lay the exchange on the simulated clock: one track per vantage point,
+  // the span's duration being the modelled network latency. The probe's
+  // TraceContext (restored by the EventLoop or set by the scanner) rides
+  // along so Perfetto can follow one probe across layers.
+  if (obs::default_trace_log().enabled()) {
+    obs::default_trace_log().complete(
+        url.host, "net", loop_->now(), result.latency_ms,
+        static_cast<std::uint32_t>(from),
+        {{"region", to_string(from)},
+         {"outcome", kind ? kind : "ok"},
+         {"status", std::to_string(result.response.status_code)}});
+  }
 #else
   (void)from;
   (void)url;
@@ -123,10 +160,11 @@ void Network::record_fetch(Region from, const Url& url,
 }
 
 FetchResult Network::http_request_impl(Region from, const Url& url,
-                                       HttpRequest request) {
+                                       HttpRequest request,
+                                       std::uint64_t ordinal) const {
   FetchResult result;
   const std::string canonical = dns_.canonical_name(url.host);
-  result.latency_ms = sample_latency_ms(from, canonical);
+  result.latency_ms = sample_latency_ms(from, canonical, ordinal);
 
   // Injected faults are evaluated on the canonical name so CNAME aliases
   // share their target's outages (the Comodo pattern, §5.2).

@@ -17,7 +17,7 @@
 #include "net/http.hpp"
 #include "net/url.hpp"
 #include "net/vantage.hpp"
-#include "util/rng.hpp"
+#include "util/hash.hpp"
 #include "util/sim_time.hpp"
 
 namespace mustaple::net {
@@ -58,10 +58,21 @@ struct FetchResult {
 using HttpHandler = std::function<HttpResponse(
     const HttpRequest&, util::SimTime now, Region from)>;
 
+/// Counter-based latency sample: a pure function of its key, so concurrent
+/// probes draw identical jitter no matter which thread or order executes
+/// them — the foundation of the scanner's thread-count-independent output.
+/// `ordinal` disambiguates multiple fetches to the same host at the same
+/// simulated time from the same region.
+double sample_probe_latency_ms(std::uint64_t latency_seed, Region from,
+                               Region host_region, util::SimTime when,
+                               std::uint64_t ordinal);
+
 class Network {
  public:
   Network(EventLoop& loop, std::uint64_t seed)
-      : loop_(&loop), rng_(util::Rng(seed).fork("net.latency")) {}
+      : loop_(&loop),
+        latency_seed_(
+            util::hash_combine(util::mix64(seed), util::fnv1a64("net.latency"))) {}
 
   DnsZone& dns() { return dns_; }
   const DnsZone& dns() const { return dns_; }
@@ -83,17 +94,41 @@ class Network {
                         const std::string& content_type);
   FetchResult http_get(Region from, const Url& url);
 
+  /// The scanner's parallel fan-out entry point: the same exchange as
+  /// http_request, but (a) const — no Network state is touched, so
+  /// concurrent calls are sound as long as the registered handlers are
+  /// thread-safe — and (b) observability-free: no registry, trace, or log
+  /// writes happen here. The caller passes a deterministic `probe_ordinal`
+  /// for the latency sample and replays record_fetch() afterwards, in
+  /// canonical probe order, so metric/trace output stays bit-identical
+  /// across thread counts.
+  FetchResult http_request_probe(Region from, const Url& url,
+                                 HttpRequest request,
+                                 std::uint64_t probe_ordinal) const;
+
+  /// Emits the observability side effects of one fetch (counters, latency
+  /// histogram, error counters, net trace span, debug log) against the
+  /// loop's current time. http_request calls this inline; deferred-probe
+  /// callers replay it at the step barrier.
+  void record_fetch(Region from, const Url& url, const FetchResult& result);
+
   util::SimTime now() const { return loop_->now(); }
   EventLoop& loop() { return *loop_; }
 
  private:
-  double sample_latency_ms(Region from, const std::string& host);
+  double sample_latency_ms(Region from, const std::string& host,
+                           std::uint64_t ordinal) const;
   FetchResult http_request_impl(Region from, const Url& url,
-                                HttpRequest request);
-  void record_fetch(Region from, const Url& url, const FetchResult& result);
+                                HttpRequest request,
+                                std::uint64_t ordinal) const;
 
   EventLoop* loop_;
-  util::Rng rng_;
+  std::uint64_t latency_seed_;
+  /// Ordinal dispenser for non-probe fetches (browser checks, staple
+  /// refreshes, audits). Those all run on the coordinating thread, so a
+  /// plain counter keeps them deterministic; parallel scanner probes pass
+  /// explicit ordinals instead and never touch it.
+  std::uint64_t fetch_sequence_ = 0;
   DnsZone dns_;
   FaultPlan faults_;
   std::map<std::string, Region> host_regions_;

@@ -152,6 +152,10 @@ void Logger::log(Level level, std::string component, std::string message,
   record.fields = std::move(fields);
   record.wall_time = std::chrono::system_clock::now();
   if (sim_clock_) record.sim_time = sim_clock_();
+  // Sinks (ring buffer deque, JSONL FILE*) are not individually locked;
+  // serialize the fan-out so concurrent emitters cannot interleave inside
+  // a sink.
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& sink : sinks_) sink->write(record);
 }
 

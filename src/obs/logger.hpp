@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -135,6 +136,7 @@ class Logger {
 
  private:
   Level level_ = Level::kInfo;
+  std::mutex mu_;  ///< serializes sink fan-out under concurrent log() calls
   std::vector<std::shared_ptr<Sink>> sinks_;
   std::function<util::SimTime()> sim_clock_;
 };

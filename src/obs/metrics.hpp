@@ -2,14 +2,23 @@
 // Prometheus-text and JSON exporters. Metric names follow the repo-wide
 // convention `mustaple_<layer>_<name>` (see docs/OBSERVABILITY.md); label
 // sets are canonicalized (sorted by key) so the same metric is always the
-// same cell. Histograms reuse util::OnlineStats for the mean/min/max that
-// bucket counts alone cannot give. Single-threaded like the simulator.
+// same cell.
+//
+// Thread safety: Counter::inc is lock-free (relaxed atomic); Gauge writes
+// and Histogram::observe take a per-cell mutex; cell lookup and the
+// visit/render/reset paths take a registry-wide mutex. Returned cell
+// references stay valid and usable concurrently (map nodes are stable).
+// Aggregate reads (visit_*, render_*, Histogram accessors returning
+// references) assume writers have quiesced — the scanner only reads at
+// step barriers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,20 +32,26 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
   void set(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
     value_ = v;
     has_sample_ = true;
   }
   void add(double d) {
+    std::lock_guard<std::mutex> lock(mu_);
     value_ += d;
     has_sample_ = true;
   }
@@ -45,12 +60,17 @@ class Gauge {
   /// against the initial value would silently pin an all-negative series'
   /// high-water mark at 0.
   void set_max(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!has_sample_ || v > value_) value_ = v;
     has_sample_ = true;
   }
-  double value() const { return value_; }
+  double value() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
 
  private:
+  mutable std::mutex mu_;
   double value_ = 0.0;
   bool has_sample_ = false;
 };
@@ -61,14 +81,31 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
+  /// Movable so value holders (Tracer::Node) can live in vectors. The mutex
+  /// is not moved — moving is only sound with no concurrent observers.
+  Histogram(Histogram&& other) noexcept
+      : bounds_(std::move(other.bounds_)),
+        buckets_(std::move(other.buckets_)),
+        sum_(other.sum_),
+        stats_(other.stats_) {}
+  Histogram& operator=(Histogram&&) = delete;
+
+  /// Thread-safe; holds the cell's mutex for the bucket/sum/stats update.
   void observe(double x);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size bounds().size() + 1, the last
-  /// entry being the +Inf overflow bucket.
+  /// entry being the +Inf overflow bucket. Reference-returning accessors
+  /// (this and stats()) require concurrent observers to have quiesced.
   const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
-  std::size_t count() const { return stats_.count(); }
-  double sum() const { return sum_; }
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_.count();
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
   const util::OnlineStats& stats() const { return stats_; }
 
   /// Bucket-interpolated quantile estimate for q in (0, 1], Prometheus
@@ -82,6 +119,7 @@ class Histogram {
   double p99() const { return quantile(0.99); }
 
  private:
+  mutable std::mutex mu_;
   std::vector<double> bounds_;  ///< sorted ascending upper bounds
   std::vector<std::uint64_t> buckets_;
   double sum_ = 0.0;
@@ -136,6 +174,7 @@ class Registry {
   template <typename T>
   using Family = std::map<std::string, std::map<std::string, T>>;
 
+  mutable std::mutex mu_;  ///< guards the family maps, not the cells
   Family<Counter> counters_;
   Family<Gauge> gauges_;
   Family<std::unique_ptr<Histogram>> histograms_;

@@ -7,8 +7,9 @@ namespace mustaple::obs {
 
 namespace {
 
-// The simulator is single-threaded; the current context is process state.
-TraceContext g_current;
+// Per-thread so each scanner worker carries the identity of the probe it is
+// executing; TraceScope save/restore stays LIFO within a thread.
+thread_local TraceContext g_current;
 
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -42,8 +43,8 @@ std::string json_escape(const std::string& text) {
 TraceContext current_trace() { return g_current; }
 
 std::uint64_t next_trace_id() {
-  static std::uint64_t next = 0;
-  return ++next;
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 TraceScope::TraceScope(TraceContext context) : previous_(g_current) {
@@ -53,11 +54,12 @@ TraceScope::TraceScope(TraceContext context) : previous_(g_current) {
 TraceScope::~TraceScope() { g_current = previous_; }
 
 void TraceLog::enable(util::SimTime epoch) {
-  enabled_ = true;
   epoch_ = epoch;
+  enabled_.store(true, std::memory_order_relaxed);
 }
 
 void TraceLog::set_track_name(std::uint32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [existing_tid, existing_name] : track_names_) {
     if (existing_tid == tid) {
       existing_name = std::move(name);
@@ -68,6 +70,7 @@ void TraceLog::set_track_name(std::uint32_t tid, std::string name) {
 }
 
 void TraceLog::add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -79,7 +82,7 @@ void TraceLog::instant(
     std::string name, std::string category, util::SimTime at,
     std::uint32_t tid,
     std::vector<std::pair<std::string, std::string>> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent event;
   event.name = std::move(name);
   event.category = std::move(category);
@@ -95,7 +98,7 @@ void TraceLog::complete(
     std::string name, std::string category, util::SimTime start,
     double duration_ms, std::uint32_t tid,
     std::vector<std::pair<std::string, std::string>> args) {
-  if (!enabled_) return;
+  if (!enabled()) return;
   TraceEvent event;
   event.name = std::move(name);
   event.category = std::move(category);
@@ -160,6 +163,7 @@ std::string TraceLog::render_chrome_trace() const {
 }
 
 void TraceLog::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   track_names_.clear();
   dropped_ = 0;

@@ -9,11 +9,16 @@
 // — with one track (tid) per vantage point, so a four-month campaign opens
 // as one timeline.
 //
-// Single-threaded like the simulator: the "current" context is process
-// state, saved/restored LIFO by TraceScope.
+// Thread safety: the "current" context is thread_local (each scanner worker
+// carries its own probe identity), saved/restored LIFO by TraceScope within
+// a thread. TraceLog::instant/complete take an internal mutex; enabled() is
+// an atomic read so the disabled fast path stays one branch. Accessors that
+// return references (events()) require writers to have quiesced.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -75,11 +80,11 @@ class TraceLog {
   /// tid for simulator-control events that belong to no vantage point.
   static constexpr std::uint32_t kControlTrack = 99;
 
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   /// Starts collection; `epoch` becomes ts 0 (pass the loop's start so no
   /// event lands at a negative timestamp).
   void enable(util::SimTime epoch);
-  void disable() { enabled_ = false; }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
 
   std::size_t capacity() const { return capacity_; }
   void set_capacity(std::size_t capacity) { capacity_ = capacity ? capacity : 1; }
@@ -96,8 +101,12 @@ class TraceLog {
                 double duration_ms, std::uint32_t tid,
                 std::vector<std::pair<std::string, std::string>> args = {});
 
+  /// Quiesced-read accessor: callers must ensure no concurrent writers.
   const std::vector<TraceEvent>& events() const { return events_; }
-  std::size_t dropped() const { return dropped_; }
+  std::size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
   util::SimTime epoch() const { return epoch_; }
 
   /// The Chrome trace-event JSON array format: metadata records naming the
@@ -111,9 +120,10 @@ class TraceLog {
  private:
   void add(TraceEvent event);
 
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
   util::SimTime epoch_{};
   std::size_t capacity_ = 200'000;
+  mutable std::mutex mu_;  ///< guards events_, dropped_, track_names_
   std::size_t dropped_ = 0;
   std::vector<TraceEvent> events_;
   std::vector<std::pair<std::uint32_t, std::string>> track_names_;

@@ -1,0 +1,54 @@
+// Portable, implementation-independent hashing. std::hash is
+// implementation-defined, so anything derived from it (auto-assigned DNS
+// addresses, cache keys) would make campaigns non-reproducible across
+// standard libraries. Everything here is fixed-algorithm and header-only:
+// FNV-1a for byte/string keys and the splitmix64 finalizer for mixing
+// structured keys (seed, region, time, ordinal) into one well-distributed
+// 64-bit value — the basis of the simulator's counter-based RNG sampling.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace mustaple::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a string (the repo-wide label/host hash).
+constexpr std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over raw bytes.
+inline std::uint64_t fnv1a64(const Bytes& data) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: bijective avalanche over one 64-bit word.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Folds `value` into an accumulated hash. Order-sensitive, so
+/// hash_combine(hash_combine(s, a), b) != hash_combine(hash_combine(s, b), a)
+/// — structured keys keep every field's position significant.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t value) {
+  return mix64(h ^ (value + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+}  // namespace mustaple::util

@@ -1,0 +1,66 @@
+// A small persistent worker pool for barrier-style index fan-out. The
+// hourly scanner's per-step probe fan-out runs thousands of independent
+// probes per simulated step across hundreds-to-thousands of steps; spawning
+// threads per step would dominate small steps, so the pool keeps its
+// workers parked on a condition variable between jobs.
+//
+// Scheduling is dynamic (workers grab contiguous index chunks from an
+// atomic cursor), which means WHICH thread runs a given index is
+// nondeterministic — callers that need deterministic output must make the
+// per-index work free of order-dependent side effects and do any
+// order-sensitive accumulation after parallel_for_index returns (see
+// DESIGN.md "Deterministic parallel scan campaigns").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mustaple::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the caller's thread participates in
+  /// every job, so `threads` is total parallelism. threads <= 1 spawns
+  /// nothing and parallel_for_index degrades to a plain loop.
+  explicit ThreadPool(std::size_t threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  std::size_t threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, count) and returns when all calls have
+  /// completed (a barrier). The first exception thrown by fn is rethrown on
+  /// the calling thread after the barrier; remaining indices of the chunk
+  /// that threw are skipped, other chunks still run.
+  void parallel_for_index(std::size_t count,
+                          const std::function<void(std::size_t)>& fn);
+
+  /// Suggested pool width: the MUSTAPLE_SCAN_THREADS environment variable
+  /// when set to a positive integer, otherwise `fallback`.
+  static std::size_t env_threads(std::size_t fallback = 1);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t workers_running_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace mustaple::util

@@ -2,6 +2,8 @@
 // consistency audit, and the end-to-end MustStapleStudy façade.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "analysis/adoption.hpp"
 #include "analysis/browser_suite.hpp"
 #include "analysis/webserver_suite.hpp"
@@ -10,6 +12,7 @@
 #include "measurement/consistency.hpp"
 #include "measurement/ecosystem.hpp"
 #include "measurement/scanner.hpp"
+#include "obs/timeline.hpp"
 
 namespace mustaple::measurement {
 namespace {
@@ -289,6 +292,165 @@ TEST_F(ScannerFixture, DomainImpactAccounted) {
     }
   }
   EXPECT_TRUE(any);
+}
+
+// ---------------------------------------- deterministic parallel scans --
+
+// Everything a campaign can emit, extracted into plain values so two runs
+// can be compared field by field with exact (bit-identical) equality.
+struct CampaignSummary {
+  std::vector<StepTotals> steps;
+  std::vector<ResponderRegionStats> stats;
+  std::size_t with_outage = 0;
+  std::size_t never_reachable = 0;
+  std::size_t region_persistent = 0;
+  HourlyScanner::FailureTaxonomy taxonomy;
+  std::size_t pre_generated = 0;
+  std::size_t non_overlapping = 0;
+  std::array<double, net::kRegionCount> failure_rates{};
+  std::vector<double> validity_cdf;
+  std::vector<double> margin_cdf;
+  std::string timeline_csv;
+};
+
+CampaignSummary run_campaign(std::size_t threads) {
+  EcosystemConfig config = small_config();
+  net::EventLoop loop(config.campaign_start - Duration::days(1));
+  Ecosystem ecosystem(config, loop);
+  ScanConfig scan;
+  scan.interval = Duration::hours(12);
+  scan.max_steps = 6;
+  scan.threads = threads;
+  HourlyScanner scanner(ecosystem, scan);
+
+  obs::Timeline timeline(config.campaign_start, scan.interval);
+  obs::Timeline* previous = obs::install_timeline(&timeline);
+  scanner.run();
+  timeline.flush(loop.now());
+  obs::install_timeline(previous);
+
+  CampaignSummary summary;
+  summary.steps = scanner.steps();
+  for (std::size_t r = 0; r < scanner.responder_count(); ++r) {
+    for (net::Region region : net::all_regions()) {
+      summary.stats.push_back(scanner.stats(r, region));
+    }
+  }
+  summary.with_outage = scanner.responders_with_outage();
+  summary.never_reachable = scanner.responders_never_reachable();
+  summary.region_persistent = scanner.responders_region_persistent_fail();
+  summary.taxonomy = scanner.persistent_failure_taxonomy();
+  summary.pre_generated = scanner.responders_pre_generated();
+  summary.non_overlapping = scanner.responders_non_overlapping();
+  for (net::Region region : net::all_regions()) {
+    summary.failure_rates[static_cast<std::size_t>(region)] =
+        scanner.failure_rate(region);
+  }
+  summary.validity_cdf =
+      scanner.cdf_validity(net::Region::kVirginia).sorted_finite();
+  summary.margin_cdf =
+      scanner.cdf_margin(net::Region::kSaoPaulo).sorted_finite();
+  summary.timeline_csv = timeline.render_csv();
+  return summary;
+}
+
+void expect_online_stats_identical(const util::OnlineStats& a,
+                                   const util::OnlineStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  // EXPECT_EQ, not NEAR: float accumulation replays in canonical order, so
+  // the sums must be bit-identical, not merely close.
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(ScannerThreading, FourThreadsBitIdenticalToOneThread) {
+  const CampaignSummary one = run_campaign(1);
+  const CampaignSummary four = run_campaign(4);
+
+  ASSERT_EQ(one.steps.size(), four.steps.size());
+  for (std::size_t s = 0; s < one.steps.size(); ++s) {
+    const StepTotals& a = one.steps[s];
+    const StepTotals& b = four.steps[s];
+    EXPECT_EQ(a.when, b.when);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.successes, b.successes);
+    EXPECT_EQ(a.domains_unable, b.domains_unable);
+    EXPECT_EQ(a.responses_200, b.responses_200);
+    EXPECT_EQ(a.unparseable, b.unparseable);
+    EXPECT_EQ(a.serial_mismatch, b.serial_mismatch);
+    EXPECT_EQ(a.bad_signature, b.bad_signature);
+  }
+
+  ASSERT_EQ(one.stats.size(), four.stats.size());
+  for (std::size_t i = 0; i < one.stats.size(); ++i) {
+    const ResponderRegionStats& a = one.stats[i];
+    const ResponderRegionStats& b = four.stats[i];
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.http_successes, b.http_successes);
+    EXPECT_EQ(a.usable_responses, b.usable_responses);
+    EXPECT_EQ(a.dns_failures, b.dns_failures);
+    EXPECT_EQ(a.tcp_failures, b.tcp_failures);
+    EXPECT_EQ(a.http_errors, b.http_errors);
+    EXPECT_EQ(a.tls_failures, b.tls_failures);
+    expect_online_stats_identical(a.certs_per_response, b.certs_per_response);
+    expect_online_stats_identical(a.serials_per_response,
+                                  b.serials_per_response);
+    expect_online_stats_identical(a.validity_seconds, b.validity_seconds);
+    expect_online_stats_identical(a.margin_seconds, b.margin_seconds);
+    expect_online_stats_identical(a.produced_at_deltas, b.produced_at_deltas);
+    EXPECT_EQ(a.blank_next_update, b.blank_next_update);
+    EXPECT_EQ(a.validity_samples, b.validity_samples);
+    EXPECT_EQ(a.future_this_update, b.future_this_update);
+    EXPECT_EQ(a.expired_next_update, b.expired_next_update);
+    EXPECT_EQ(a.last_produced_at, b.last_produced_at);
+    EXPECT_EQ(a.last_observed_at, b.last_observed_at);
+    EXPECT_EQ(a.produced_regressions, b.produced_regressions);
+    EXPECT_EQ(a.cached_observations, b.cached_observations);
+  }
+
+  EXPECT_EQ(one.with_outage, four.with_outage);
+  EXPECT_EQ(one.never_reachable, four.never_reachable);
+  EXPECT_EQ(one.region_persistent, four.region_persistent);
+  EXPECT_EQ(one.taxonomy.dns, four.taxonomy.dns);
+  EXPECT_EQ(one.taxonomy.tcp, four.taxonomy.tcp);
+  EXPECT_EQ(one.taxonomy.http, four.taxonomy.http);
+  EXPECT_EQ(one.taxonomy.tls, four.taxonomy.tls);
+  EXPECT_EQ(one.pre_generated, four.pre_generated);
+  EXPECT_EQ(one.non_overlapping, four.non_overlapping);
+  for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+    EXPECT_EQ(one.failure_rates[g], four.failure_rates[g]);
+  }
+  EXPECT_EQ(one.validity_cdf, four.validity_cdf);
+  EXPECT_EQ(one.margin_cdf, four.margin_cdf);
+  // The observability plane is part of the contract too: identical metric
+  // deltas in every timeline window, rendered to the same CSV bytes.
+  EXPECT_EQ(one.timeline_csv, four.timeline_csv);
+}
+
+TEST(ScannerThreading, ExplicitThreadCountBeatsEnvironment) {
+  // threads=0 means auto (env var); an explicit count must win over it.
+  const char* saved = std::getenv("MUSTAPLE_SCAN_THREADS");
+  const std::string restore = saved ? saved : "";
+  ::setenv("MUSTAPLE_SCAN_THREADS", "2", 1);
+  EcosystemConfig config = small_config();
+  config.responder_count = 10;
+  config.alexa_domains = 500;
+  net::EventLoop loop(config.campaign_start - Duration::days(1));
+  Ecosystem ecosystem(config, loop);
+  ScanConfig scan;
+  scan.interval = Duration::hours(12);
+  scan.max_steps = 1;
+  scan.threads = 1;
+  HourlyScanner scanner(ecosystem, scan);
+  scanner.run();  // would deadlock or misbehave only if env leaked through
+  if (saved) {
+    ::setenv("MUSTAPLE_SCAN_THREADS", restore.c_str(), 1);
+  } else {
+    ::unsetenv("MUSTAPLE_SCAN_THREADS");
+  }
+  EXPECT_EQ(scanner.steps().size(), 1u);
 }
 
 // ------------------------------------------------------------- alexa scan --

@@ -604,5 +604,163 @@ TEST(Vantage, RttMatrixSymmetricAndPositive) {
   }
 }
 
+// ------------------------------------------- HTTP response hardening --
+
+TEST(Http, ParseRejectsEmptyStatusCodeToken) {
+  // "HTTP/1.1  OK" (two spaces) yields an empty code token; the old parser
+  // folded it to status 0, which success() treated as a non-HTTP-error
+  // transport result.
+  auto parsed = HttpResponse::parse(util::bytes_of("HTTP/1.1  OK\r\n\r\n"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.bad_status_code");
+  // Missing code entirely (status line is just the version + space).
+  EXPECT_FALSE(HttpResponse::parse(util::bytes_of("HTTP/1.1 \r\n\r\n")).ok());
+}
+
+TEST(Http, ParseRejectsOversizedStatusCode) {
+  auto parsed =
+      HttpResponse::parse(util::bytes_of("HTTP/1.1 2000 OK\r\n\r\n"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.bad_status_code");
+  // Three digits stay accepted.
+  EXPECT_TRUE(
+      HttpResponse::parse(util::bytes_of("HTTP/1.1 599 Weird\r\n\r\n")).ok());
+}
+
+TEST(Http, ParseRejectsContentLengthMismatch) {
+  auto parsed = HttpResponse::parse(util::bytes_of(
+      "HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "http.content_length_mismatch");
+}
+
+TEST(Http, ParseRejectsNonNumericContentLength) {
+  EXPECT_FALSE(HttpResponse::parse(util::bytes_of(
+                   "HTTP/1.1 200 OK\r\ncontent-length: ten\r\n\r\n"))
+                   .ok());
+  EXPECT_FALSE(HttpResponse::parse(util::bytes_of(
+                   "HTTP/1.1 200 OK\r\ncontent-length: \r\n\r\n"))
+                   .ok());
+  EXPECT_FALSE(
+      HttpResponse::parse(
+          util::bytes_of("HTTP/1.1 200 OK\r\ncontent-length: "
+                         "99999999999999999999999999\r\n\r\n"))
+          .ok());
+}
+
+TEST(Http, ParseAcceptsMatchingContentLength) {
+  auto parsed = HttpResponse::parse(util::bytes_of(
+      "HTTP/1.1 200 OK\r\ncontent-length: 3\r\n\r\nabc"));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(util::text_of(parsed.value().body), "abc");
+}
+
+// ------------------------------------------- deterministic addressing --
+
+TEST(Dns, HasAddressSeesARecords) {
+  DnsZone dns;
+  EXPECT_FALSE(dns.has_address(42));
+  dns.add_a("a.example", 42);
+  EXPECT_TRUE(dns.has_address(42));
+  EXPECT_FALSE(dns.has_address(43));
+}
+
+TEST(NetworkAddressing, AutoAssignedAddressesComeFromFnvNotStdHash) {
+  EventLoop loop(kStart);
+  Network network(loop, 1);
+  auto handler = [](const HttpRequest&, SimTime, Region) {
+    return HttpResponse::make(200, "OK", {}, "");
+  };
+  network.register_service("ocsp.example.com", 80, handler);
+  const Address expected = static_cast<Address>(
+      util::fnv1a64(std::string_view("ocsp.example.com")) & 0xffffffffu);
+  EXPECT_EQ(network.dns().resolve("ocsp.example.com").value(), expected);
+}
+
+TEST(NetworkAddressing, CollidingAutoAssignmentIsProbedPastNotShared) {
+  EventLoop loop(kStart);
+  Network network(loop, 1);
+  auto handler = [](const HttpRequest&, SimTime, Region) {
+    return HttpResponse::make(200, "OK", {}, "");
+  };
+  // Occupy the address host2 would hash to, then register host2: it must
+  // land elsewhere instead of silently sharing (sharing is modelled
+  // explicitly via dns().add_a, never by accident).
+  const Address collided = static_cast<Address>(
+      util::fnv1a64(std::string_view("b.example")) & 0xffffffffu);
+  network.dns().add_a("squatter.example", collided);
+  network.register_service("b.example", 80, handler);
+  const Address assigned = network.dns().resolve("b.example").value();
+  EXPECT_NE(assigned, collided);
+  // The probe sequence is deterministic: the first LCG step.
+  EXPECT_EQ(assigned, collided * 1664525u + 1013904223u);
+}
+
+// ---------------------------------------- counter-based latency model --
+
+TEST(LatencySampling, PureFunctionOfKey) {
+  const SimTime when{1'524'614'400};
+  const double a = sample_probe_latency_ms(7, Region::kVirginia,
+                                           Region::kParis, when, 3);
+  const double b = sample_probe_latency_ms(7, Region::kVirginia,
+                                           Region::kParis, when, 3);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GE(a, 1.0);
+}
+
+TEST(LatencySampling, EveryKeyFieldMatters) {
+  const SimTime when{1'524'614'400};
+  const double base = sample_probe_latency_ms(7, Region::kVirginia,
+                                              Region::kParis, when, 3);
+  EXPECT_NE(base, sample_probe_latency_ms(8, Region::kVirginia,
+                                          Region::kParis, when, 3));
+  EXPECT_NE(base, sample_probe_latency_ms(7, Region::kSeoul, Region::kParis,
+                                          when, 3));
+  EXPECT_NE(base, sample_probe_latency_ms(7, Region::kVirginia,
+                                          Region::kParis,
+                                          when + Duration::hours(1), 3));
+  EXPECT_NE(base, sample_probe_latency_ms(7, Region::kVirginia,
+                                          Region::kParis, when, 4));
+}
+
+TEST(LatencySampling, RegressionGolden) {
+  // Pins the sampling scheme: any change to the key mixing or the Rng
+  // alters campaign outputs everywhere, so it must be deliberate.
+  const SimTime when{1'524'614'400};  // 2018-04-25 00:00:00 UTC
+  const double a = sample_probe_latency_ms(2018, Region::kVirginia,
+                                           Region::kVirginia, when, 1);
+  const double b = sample_probe_latency_ms(2018, Region::kSaoPaulo,
+                                           Region::kVirginia, when, 1);
+  EXPECT_DOUBLE_EQ(a, sample_probe_latency_ms(2018, Region::kVirginia,
+                                              Region::kVirginia, when, 1));
+  EXPECT_DOUBLE_EQ(b, sample_probe_latency_ms(2018, Region::kSaoPaulo,
+                                              Region::kVirginia, when, 1));
+  // Distance shapes the mean: 2 RTT with 15% jitter keeps Sao Paulo ->
+  // Virginia well above the intra-region sample.
+  EXPECT_GT(b, a);
+  const double rtt_near = base_rtt_ms(Region::kVirginia, Region::kVirginia);
+  const double rtt_far = base_rtt_ms(Region::kSaoPaulo, Region::kVirginia);
+  EXPECT_NEAR(a, 2.0 * rtt_near, rtt_near);
+  EXPECT_NEAR(b, 2.0 * rtt_far, rtt_far);
+}
+
+TEST_F(NetworkFixture, ProbeRequestMatchesOrdinalAndIsConst) {
+  HttpRequest request;
+  request.method = "GET";
+  const Network& const_network = network_;
+  auto a = const_network.http_request_probe(Region::kVirginia,
+                                            url("http://svc.example/x"),
+                                            request, 17);
+  auto b = const_network.http_request_probe(Region::kVirginia,
+                                            url("http://svc.example/x"),
+                                            request, 17);
+  EXPECT_TRUE(a.success());
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+  auto c = const_network.http_request_probe(Region::kVirginia,
+                                            url("http://svc.example/x"),
+                                            request, 18);
+  EXPECT_NE(a.latency_ms, c.latency_ms);
+}
+
 }  // namespace
 }  // namespace mustaple::net

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "obs/obs.hpp"
 
@@ -583,6 +585,64 @@ TEST(Macros, WriteToDefaults) {
   ASSERT_EQ(ring->records().size(), 1u);
   EXPECT_EQ(ring->records().front().component, "test");
 #endif
+}
+
+// -------------------------------------------------------- thread safety --
+
+TEST(MetricsConcurrency, CountersGaugesHistogramsSurviveContention) {
+  // The parallel scanner's workers hammer one shared registry; every inc()
+  // and observe() must land. Totals are exact because the writes are
+  // commutative — only ordering, not the sums, may vary mid-flight.
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("stress_total").inc();
+        registry.counter("stress_labeled_total", {{"worker", t % 2 ? "a" : "b"}})
+            .inc(2);
+        registry.gauge("stress_gauge").set_max(static_cast<double>(i));
+        registry.histogram("stress_ms").observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.counter_value("stress_total"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.counter_value("stress_labeled_total", {{"worker", "a"}}) +
+                registry.counter_value("stress_labeled_total", {{"worker", "b"}}),
+            2ull * kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.gauge_value("stress_gauge"), kPerThread - 1);
+  const Histogram* hist = registry.find_histogram("stress_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsConcurrency, FamilyCreationRacesResolveToOneCell) {
+  // First-touch creation of the same (name, labels) cell from many threads
+  // must yield exactly one cell, never a lost update.
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 200; ++i) {
+        registry.counter("race_total", {{"cell", std::to_string(i)}}).inc();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(registry.counter_value("race_total",
+                                     {{"cell", std::to_string(i)}}),
+              static_cast<std::uint64_t>(kThreads))
+        << "cell " << i;
+  }
 }
 
 }  // namespace

@@ -57,14 +57,20 @@ struct World {
     return *servers.back();
   }
 
+  // The observation's `leaf` points into the ServerHello's chain, so the
+  // hello must outlive the returned observation: it lives here, valid until
+  // the next observe() call.
+  tls::ServerHello last_server_hello;
+
   tls::HandshakeObservation observe(const std::string& domain,
                                     bool status_request) {
     loop.run_until(kNow);
     tls::ClientHello hello;
     hello.server_name = domain;
     hello.status_request = status_request;
-    tls::ServerHello server_hello;
-    return tls::observe_handshake(directory, hello, roots, kNow, server_hello);
+    last_server_hello = tls::ServerHello{};
+    return tls::observe_handshake(directory, hello, roots, kNow,
+                                  last_server_hello);
   }
 };
 

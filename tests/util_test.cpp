@@ -2,16 +2,22 @@
 // SimTime, stats, strings.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/ascii_chart.hpp"
 #include "util/bytes.hpp"
+#include "util/hash.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mustaple::util {
 namespace {
@@ -434,6 +440,103 @@ TEST(AsciiChart, TableAlignsCells) {
       render_table({"name", "value"}, {{"a", "1"}, {"longer-name", "22"}});
   EXPECT_NE(out.find("| name"), std::string::npos);
   EXPECT_NE(out.find("longer-name"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ hash --
+
+TEST(Hash, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64 test vectors; pins the constants.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, Fnv1a64BytesAndStringAgree) {
+  const Bytes bytes = bytes_of("ocsp.example.com");
+  EXPECT_EQ(fnv1a64(bytes), fnv1a64("ocsp.example.com"));
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(1, 2), 3),
+            hash_combine(hash_combine(3, 2), 1));
+  EXPECT_NE(hash_combine(0, 0), 0u);
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for_index(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadDegradesToPlainLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for_index(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.parallel_for_index(100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 5'000u);
+}
+
+TEST(ThreadPool, FirstExceptionRethrownAfterBarrier) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for_index(1'000,
+                              [&](std::size_t i) {
+                                ran.fetch_add(1, std::memory_order_relaxed);
+                                if (i == 137) throw std::runtime_error("boom");
+                              }),
+      std::runtime_error);
+  // The pool survives the throw and keeps working.
+  std::atomic<std::size_t> after{0};
+  pool.parallel_for_index(10, [&](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 10u);
+  EXPECT_GT(ran.load(), 0u);
+}
+
+TEST(ThreadPool, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for_index(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, EnvThreadsParsesVariable) {
+  const char* saved = std::getenv("MUSTAPLE_SCAN_THREADS");
+  const std::string restore = saved ? saved : "";
+  ::unsetenv("MUSTAPLE_SCAN_THREADS");
+  EXPECT_EQ(ThreadPool::env_threads(3), 3u);
+  ::setenv("MUSTAPLE_SCAN_THREADS", "4", 1);
+  EXPECT_EQ(ThreadPool::env_threads(3), 4u);
+  ::setenv("MUSTAPLE_SCAN_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::env_threads(3), 3u);  // non-positive -> fallback
+  ::setenv("MUSTAPLE_SCAN_THREADS", "junk", 1);
+  EXPECT_EQ(ThreadPool::env_threads(3), 3u);
+  if (saved) {
+    ::setenv("MUSTAPLE_SCAN_THREADS", restore.c_str(), 1);
+  } else {
+    ::unsetenv("MUSTAPLE_SCAN_THREADS");
+  }
 }
 
 }  // namespace
