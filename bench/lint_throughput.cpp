@@ -1,0 +1,84 @@
+// lint_throughput: artifacts/second for lint::run_batch across thread
+// counts, over a mixed population of certificates and CRLs drawn from the
+// generated ecosystem. The point is not raw speed but the determinism
+// contract: the rendered report must be BIT-IDENTICAL at every thread count
+// (same two-phase discipline as the scan campaign, DESIGN.md §7).
+//
+// Usage: lint_throughput [artifact_count]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mustaple;
+  bench::print_header("Lint throughput by thread count",
+                      "determinism contract: bit-identical reports");
+
+  const std::size_t artifact_count =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+
+  measurement::EcosystemConfig config = bench::paper_ecosystem();
+  net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+  measurement::Ecosystem ecosystem(config, loop);
+  const lint::RuleRegistry& registry = lint::RuleRegistry::builtin();
+
+  // Source pool: every scan-target certificate plus one CRL per CA.
+  struct Source {
+    lint::ArtifactKind kind;
+    std::string id;
+    util::Bytes der;
+  };
+  std::vector<Source> pool;
+  for (const measurement::ScanTarget& target : ecosystem.scan_targets()) {
+    pool.push_back({lint::ArtifactKind::kCertificate,
+                    target.cert.serial_hex(), target.cert.encode_der()});
+  }
+  const util::SimTime published = config.campaign_start;
+  for (std::size_t i = 0; i < ecosystem.authority_count(); ++i) {
+    const crl::Crl crl = ecosystem.authority(i).publish_crl(
+        published, util::Duration::days(7));
+    pool.push_back({lint::ArtifactKind::kCrl, "crl:" + std::to_string(i),
+                    crl.encode_der()});
+  }
+  std::printf("source pool: %zu artifacts; replicating to %zu\n\n",
+              pool.size(), artifact_count);
+
+  auto make_batch = [&] {
+    std::vector<lint::Artifact> artifacts;
+    artifacts.reserve(artifact_count);
+    for (std::size_t i = 0; i < artifact_count; ++i) {
+      const Source& source = pool[i % pool.size()];
+      artifacts.push_back(
+          lint::Artifact::deferred(source.kind, source.id, source.der));
+    }
+    return artifacts;
+  };
+
+  std::string reference_json;
+  std::printf("%-8s %-12s %-14s %s\n", "threads", "seconds", "artifacts/s",
+              "report");
+  for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+    std::vector<lint::Artifact> artifacts = make_batch();
+    bench::Stopwatch watch;
+    const lint::LintReport report =
+        lint::run_batch(registry, artifacts, threads);
+    const double seconds = watch.seconds();
+    const std::string json = report.render_json();
+    const bool identical = reference_json.empty() || json == reference_json;
+    if (reference_json.empty()) reference_json = json;
+    std::printf("%-8zu %-12.3f %-14.0f %s (%s)\n", threads, seconds,
+                static_cast<double>(artifact_count) / seconds,
+                identical ? "bit-identical" : "DIVERGED", report.summary().c_str());
+    if (!identical) {
+      std::printf("\nFAILURE: report at %zu threads differs from 1 thread\n",
+                  threads);
+      return 1;
+    }
+  }
+  std::printf("\nreports bit-identical across all thread counts\n");
+  return 0;
+}

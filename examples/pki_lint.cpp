@@ -1,0 +1,251 @@
+// pki_lint: batch lint over the default generated ecosystem — the zlint-style
+// counterpart to the scan benches. Three passes:
+//
+//   1. Certificates: every scan-target leaf plus each CA's root and
+//      intermediate, batch-linted at 1 and 4 threads (reports must be
+//      bit-identical), with the headline Must-Staple-without-OCSP-URL count
+//      cross-checked against a direct recount of the same population.
+//   2. CRL vs OCSP: the Table-1 consistency audit (same knobs as the
+//      table1_discrepancies bench), re-deriving the discrepancy matrix from
+//      the audit's e_xcheck_* lint findings and asserting it equals the
+//      audit's own rows.
+//   3. Scan campaign: a short hourly campaign whose per-probe lint counts
+//      must equal the scanner's Fig-5 accounting exactly.
+//
+// Writes lint_report.json / lint_report.csv to the output directory and
+// exits nonzero on any FATAL finding or any cross-check mismatch — CI runs
+// this as the seed-ecosystem lint gate.
+//
+// Usage: pki_lint [output_dir]
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "lint/lint.hpp"
+#include "measurement/consistency.hpp"
+#include "measurement/ecosystem.hpp"
+#include "measurement/scanner.hpp"
+#include "util/ascii_chart.hpp"
+
+using namespace mustaple;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    ++failures;
+    std::printf("  MISMATCH: %s\n", what);
+  }
+}
+
+/// The bench suite's standard scaled-down paper campaign (bench/common.hpp);
+/// replicated here so the lint gate audits the same world the figures use.
+measurement::EcosystemConfig paper_ecosystem() {
+  measurement::EcosystemConfig config;
+  config.seed = 2018;
+  config.responder_count = 536;
+  config.alexa_domains = 100'000;
+  config.certs_per_responder = 3;
+  config.campaign_start = util::make_time(2018, 4, 25);
+  config.campaign_end = util::make_time(2018, 9, 4);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const lint::RuleRegistry& registry = lint::RuleRegistry::builtin();
+
+  std::printf("pki_lint: %zu rules loaded\n", registry.size());
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const lint::Rule& rule : registry.rules()) {
+      rows.push_back({rule.info.id, lint::to_string(rule.info.severity),
+                      lint::to_string(rule.info.kind), rule.info.citation});
+    }
+    std::printf("%s\n", util::render_table(
+                            {"rule", "severity", "artifact", "citation"}, rows)
+                            .c_str());
+  }
+
+  const measurement::EcosystemConfig config = paper_ecosystem();
+  lint::LintReport combined(100'000);
+
+  // ---- pass 1: certificates --------------------------------------------
+  std::printf("[1/3] certificate lint over the generated ecosystem\n");
+  {
+    net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+    measurement::Ecosystem ecosystem(config, loop);
+
+    std::vector<lint::Artifact> artifacts;
+    std::size_t unusable_direct = 0;
+    for (const measurement::ScanTarget& target : ecosystem.scan_targets()) {
+      artifacts.push_back(lint::Artifact::deferred(
+          lint::ArtifactKind::kCertificate, target.cert.serial_hex(),
+          target.cert.encode_der()));
+      const x509::Extensions& ext = target.cert.extensions();
+      if (ext.must_staple && !ext.supports_ocsp()) ++unusable_direct;
+    }
+    for (std::size_t i = 0; i < ecosystem.authority_count(); ++i) {
+      const ca::CertificateAuthority& authority = ecosystem.authority(i);
+      artifacts.push_back(lint::Artifact::deferred(
+          lint::ArtifactKind::kCertificate,
+          "root:" + authority.root_cert().serial_hex(),
+          authority.root_cert().encode_der()));
+      artifacts.push_back(lint::Artifact::deferred(
+          lint::ArtifactKind::kCertificate,
+          "int:" + authority.intermediate_cert().serial_hex(),
+          authority.intermediate_cert().encode_der()));
+    }
+
+    std::vector<lint::Artifact> artifacts_mt = artifacts;
+    const lint::LintReport single = lint::run_batch(registry, artifacts, 1);
+    const lint::LintReport quad = lint::run_batch(registry, artifacts_mt, 4);
+    check(single.render_json() == quad.render_json(),
+          "cert lint report differs between 1 and 4 threads");
+    check(single.count("e_cert_must_staple_without_ocsp_url") ==
+              unusable_direct,
+          "lint's Must-Staple-without-OCSP-URL count != direct recount");
+    std::printf(
+        "  %s\n  must-staple-without-ocsp-url: lint=%llu direct=%zu "
+        "[paper §4: 96 of 98,621 Must-Staple certs are unusable]\n",
+        single.summary().c_str(),
+        static_cast<unsigned long long>(
+            single.count("e_cert_must_staple_without_ocsp_url")),
+        unusable_direct);
+    combined.merge(single);
+  }
+
+  // ---- pass 2: CRL vs OCSP cross-check (Table 1) -----------------------
+  std::printf("[2/3] CRL/OCSP cross-check audit (table1_discrepancies knobs)\n");
+  {
+    net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+    measurement::Ecosystem ecosystem(config, loop);
+    measurement::ConsistencyConfig audit_config;
+    audit_config.revoked_population = 7283;
+    util::Rng rng(config.seed ^ 0x7ab1eULL);
+    measurement::ConsistencyAudit audit(ecosystem, audit_config);
+    const measurement::ConsistencyReport report = audit.run(rng);
+
+    check(report.lint.dropped() == 0,
+          "audit lint findings overflowed capacity (raise "
+          "ConsistencyConfig::lint_finding_capacity)");
+
+    // Re-derive the Table-1 matrix from the findings alone.
+    struct Cell {
+      std::size_t good = 0;
+      std::size_t unknown = 0;
+    };
+    std::map<std::string, Cell> matrix;
+    for (const lint::Finding& finding : report.lint.findings()) {
+      if (finding.rule_id == "e_xcheck_crl_revoked_ocsp_good") {
+        ++matrix[finding.artifact].good;
+      } else if (finding.rule_id == "e_xcheck_crl_revoked_ocsp_unknown") {
+        ++matrix[finding.artifact].unknown;
+      }
+    }
+    check(matrix.size() == report.table1.size(),
+          "lint-derived discrepancy matrix row count != audit's Table 1");
+    std::vector<std::vector<std::string>> rows;
+    for (const measurement::DiscrepancyRow& row : report.table1) {
+      const auto it = matrix.find(row.ocsp_url);
+      const Cell cell = it == matrix.end() ? Cell{} : it->second;
+      check(cell.good == row.answered_good &&
+                cell.unknown == row.answered_unknown,
+            "lint-derived good/unknown counts != audit's Table 1 row");
+      rows.push_back({row.ocsp_url, std::to_string(cell.unknown),
+                      std::to_string(cell.good),
+                      std::to_string(row.answered_revoked)});
+    }
+    std::printf("%s", util::render_table(
+                          {"OCSP URL (from lint findings)", "Unknown", "Good",
+                           "Revoked (audit)"},
+                          rows)
+                          .c_str());
+    check(report.lint.count("w_xcheck_revocation_time_differs") ==
+              report.time_differing,
+          "lint revocation-time-differs count != audit's");
+    check(report.lint.count("w_xcheck_reason_code_differs") ==
+              report.reason_differing,
+          "lint reason-code-differs count != audit's");
+    std::printf(
+        "  %zu discrepant pairs; time-differs lint=%llu audit=%zu; "
+        "reason-differs lint=%llu audit=%zu\n",
+        report.table1.size(),
+        static_cast<unsigned long long>(
+            report.lint.count("w_xcheck_revocation_time_differs")),
+        report.time_differing,
+        static_cast<unsigned long long>(
+            report.lint.count("w_xcheck_reason_code_differs")),
+        report.reason_differing);
+    combined.merge(report.lint);
+  }
+
+  // ---- pass 3: scan campaign, lint vs Fig-5 accounting -----------------
+  std::printf("[3/3] scan-campaign lint vs the scanner's Fig-5 classes\n");
+  {
+    measurement::EcosystemConfig scan_world = paper_ecosystem();
+    scan_world.certs_per_responder = 1;
+    net::EventLoop loop(scan_world.campaign_start - util::Duration::days(1));
+    measurement::Ecosystem ecosystem(scan_world, loop);
+    measurement::ScanConfig scan;
+    scan.interval = util::Duration::hours(3);
+    scan.max_steps = 40;  // covers the Apr 29 malformed-responder spike
+    measurement::HourlyScanner scanner(ecosystem, scan);
+    scanner.run();
+
+    std::size_t unparseable = 0;
+    std::size_t serial_mismatch = 0;
+    std::size_t bad_signature = 0;
+    for (const measurement::StepTotals& step : scanner.steps()) {
+      unparseable += step.unparseable;
+      serial_mismatch += step.serial_mismatch;
+      bad_signature += step.bad_signature;
+    }
+    const lint::LintReport& lint = scanner.lint_report();
+    check(lint.count("e_ocsp_unparseable") == unparseable,
+          "lint unparseable count != scanner's ASN.1-unparseable total");
+    check(lint.count("e_ocsp_serial_mismatch") == serial_mismatch,
+          "lint serial-mismatch count != scanner's total");
+    check(lint.count("e_ocsp_bad_signature") == bad_signature,
+          "lint bad-signature count != scanner's total");
+    std::printf(
+        "  %s\n  fig5 classes: unparseable lint=%llu scan=%zu | "
+        "serial lint=%llu scan=%zu | signature lint=%llu scan=%zu\n",
+        lint.summary().c_str(),
+        static_cast<unsigned long long>(lint.count("e_ocsp_unparseable")),
+        unparseable,
+        static_cast<unsigned long long>(lint.count("e_ocsp_serial_mismatch")),
+        serial_mismatch,
+        static_cast<unsigned long long>(lint.count("e_ocsp_bad_signature")),
+        bad_signature);
+    combined.merge(lint);
+  }
+
+  check(analysis::write_export(out_dir, "lint_report.json",
+                               combined.render_json()),
+        "could not write lint_report.json (does the output dir exist?)");
+  check(analysis::write_export(out_dir, "lint_report.csv",
+                               combined.render_csv(registry)),
+        "could not write lint_report.csv (does the output dir exist?)");
+  std::printf("\ncombined: %s\n", combined.summary().c_str());
+  std::printf("wrote %s/lint_report.json and lint_report.csv\n",
+              out_dir.c_str());
+
+  if (combined.has_fatal()) {
+    std::printf("FATAL findings present — the seed ecosystem must lint "
+                "fatal-clean\n");
+    return 2;
+  }
+  if (failures > 0) {
+    std::printf("%d cross-check mismatches\n", failures);
+    return 1;
+  }
+  std::printf("all cross-checks passed; no fatal findings\n");
+  return 0;
+}

@@ -169,6 +169,12 @@ Result<Tlv> Reader::read_any() {
     if (pos_ + n_octets > limit) {
       return fail<Tlv>("asn1.truncated", "length octets run past end");
     }
+    if ((*data_)[pos_] == 0) {
+      // DER requires the minimal number of length octets; a leading zero
+      // octet means a shorter long form (or the short form) would have done.
+      return fail<Tlv>("asn1.non_minimal_length",
+                       "leading zero in long-form length");
+    }
     len = 0;
     for (std::size_t i = 0; i < n_octets; ++i) {
       len = (len << 8) | (*data_)[pos_++];

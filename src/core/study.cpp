@@ -95,6 +95,7 @@ ReadinessReport MustStapleStudy::run() {
         rate += scanner.failure_rate(region);
       }
       report.average_failure_rate = rate / net::kRegionCount;
+      report.lint.merge(scanner.lint_report());
       MUSTAPLE_LOG_INFO(
           "core", "availability scan complete",
           obs::field("responders", report.responders_total),
@@ -109,6 +110,7 @@ ReadinessReport MustStapleStudy::run() {
       measurement::ConsistencyAudit audit(*ecosystem_, config_.consistency);
       const measurement::ConsistencyReport consistency = audit.run(rng);
       report.consistency_discrepant_responders = consistency.table1.size();
+      report.lint.merge(consistency.lint);
       MUSTAPLE_LOG_INFO("core", "consistency audit complete",
                         obs::field("discrepant_responders",
                                    report.consistency_discrepant_responders));
@@ -166,6 +168,12 @@ ReadinessReport MustStapleStudy::run() {
                            trace_log.render_chrome_trace());
   }
 #endif
+  // Lint is part of the study proper, not the obs layer: the report JSON is
+  // written even in MUSTAPLE_OBS_OFF builds.
+  if (!config_.artifact_dir.empty() && report.lint.artifacts() > 0) {
+    analysis::write_export(config_.artifact_dir, "lint_report.json",
+                           report.lint.render_json());
+  }
 
   // §8-style synthesis.
   const double ms_pct =
@@ -215,8 +223,12 @@ std::string ReadinessReport::render() const {
                 static_cast<double>(deployment.total_certs)
           : 0.0,
       deployment.must_staple_lets_encrypt);
-  out << util::format("OCSP responders: average failure rate %.2f%%\n\n",
+  out << util::format("OCSP responders: average failure rate %.2f%%\n",
                       100.0 * average_failure_rate);
+  if (lint.artifacts() > 0) {
+    out << "Lint: " << lint.summary() << "\n";
+  }
+  out << "\n";
   for (const auto& verdict : verdicts) {
     out << "  [" << (verdict.ready ? "READY    " : "NOT READY") << "] "
         << verdict.principal << " — " << verdict.evidence << "\n";

@@ -15,6 +15,7 @@
 #include "analysis/adoption.hpp"
 #include "analysis/browser_suite.hpp"
 #include "analysis/webserver_suite.hpp"
+#include "lint/lint.hpp"
 #include "measurement/consistency.hpp"
 #include "measurement/ecosystem.hpp"
 #include "measurement/scanner.hpp"
@@ -68,6 +69,12 @@ struct ReadinessReport {
 
   std::vector<PrincipalVerdict> verdicts;
   bool web_is_ready = false;
+
+  /// Merged lint findings from the availability scan (per-probe response
+  /// lint) and the consistency audit (CRL + cross-check lint). Also written
+  /// to <artifact_dir>/lint_report.json — unconditionally, lint is not part
+  /// of the obs layer.
+  lint::LintReport lint;
 
   /// Per-phase wall-clock span summary (obs::Tracer); empty when the obs
   /// layer is compiled out.

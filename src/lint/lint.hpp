@@ -1,0 +1,241 @@
+// mustaple::lint — a zlint/certlint-style static analyzer over encoded DER
+// artifacts (X.509 certificates, CRLs, OCSP responses) with no network or
+// event-loop involvement. The paper's CA findings (§4–§5, Table 1, Fig 5)
+// are conformance results at heart; this subsystem turns them into named,
+// citable rules:
+//
+//   * RFC 5280 certificate/CRL shape (validity ordering, serial bounds,
+//     extension criticality, duplicate extensions),
+//   * RFC 6960 response hygiene (thisUpdate <= producedAt <= nextUpdate,
+//     nonce echo, stale/overlong windows — paper §5.3/§5.4),
+//   * RFC 7633 Must-Staple (TLS Feature encoding, and the paper's headline
+//     "unusable: Must-Staple without issuer OCSP URL" condition),
+//   * cross-artifact CRL<->OCSP status disagreement (Table 1).
+//
+// Rules run against an Artifact (raw DER + parsed form + optional request
+// context) in registry order, so a report is a pure function of its inputs;
+// run_batch() fans out on util::ThreadPool and merges findings in artifact
+// index order, keeping reports bit-identical at any thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crl/crl.hpp"
+#include "ocsp/response.hpp"
+#include "util/bytes.hpp"
+#include "util/sim_time.hpp"
+#include "x509/certificate.hpp"
+
+namespace mustaple::lint {
+
+// ---------------------------------------------------------------------------
+// Severity / artifact taxonomy
+// ---------------------------------------------------------------------------
+
+/// Rule severities, zlint-style. `kFatal` is reserved for conditions that
+/// make an artifact unusable for any further analysis (and that a healthy
+/// ecosystem must never produce — CI fails the build on any fatal finding).
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2, kFatal = 3 };
+constexpr std::size_t kSeverityCount = 4;
+
+const char* to_string(Severity severity);
+
+enum class ArtifactKind : std::uint8_t {
+  kCertificate = 0,
+  kCrl = 1,
+  kOcspResponse = 2,
+  /// An OCSP response paired with the issuing CA's CRL (via Context::crl):
+  /// runs every kOcspResponse rule PLUS the cross-artifact x-check rules.
+  kCrlOcspPair = 3,
+};
+
+const char* to_string(ArtifactKind kind);
+
+// ---------------------------------------------------------------------------
+// Artifact
+// ---------------------------------------------------------------------------
+
+/// Optional request/issuer context a rule may consult. Pointers are borrowed
+/// and must outlive the Artifact (the universal inline-lint pattern: the
+/// scanner/audit owns the issuer certificate and CRL).
+struct Context {
+  /// Expected signer of the artifact (issuing CA certificate).
+  const x509::Certificate* issuer = nullptr;
+  /// Cross-check partner for kCrlOcspPair artifacts.
+  const crl::Crl* crl = nullptr;
+  /// Serial the OCSP request asked about (enables serial-mismatch and the
+  /// cross-artifact status rules).
+  std::optional<util::Bytes> requested_serial;
+  /// Nonce the request carried (enables the RFC 6960 §4.4.1 echo rule).
+  std::optional<util::Bytes> expected_nonce;
+  /// Clock for freshness rules (stale/premature). Absent = clock-free lint,
+  /// which is what the scanner's per-body finding cache requires.
+  std::optional<util::SimTime> now;
+};
+
+/// One DER artifact plus whatever parsed form survives. Parse failure is
+/// itself a finding (the *_unparseable rules), so construction never fails.
+struct Artifact {
+  ArtifactKind kind = ArtifactKind::kCertificate;
+  /// Label carried into findings: responder host, serial hex, file name...
+  std::string id;
+  util::Bytes der;
+  Context context;
+
+  std::optional<x509::Certificate> cert;
+  std::optional<crl::Crl> crl;
+  std::optional<ocsp::OcspResponse> ocsp;
+  /// Parse error code when the DER did not decode.
+  std::string parse_error;
+
+  /// Decodes `der` into the parsed slot for `kind`. Idempotent; factories
+  /// call it eagerly, deferred() leaves it for run_batch's parallel phase.
+  void parse();
+  bool parsed() const { return parsed_; }
+
+  static Artifact certificate(std::string id, util::Bytes der, Context ctx = {});
+  /// Wraps an already-parsed certificate (re-encodes for the raw view).
+  static Artifact certificate(std::string id, const x509::Certificate& cert,
+                              Context ctx = {});
+  static Artifact crl_list(std::string id, util::Bytes der, Context ctx = {});
+  static Artifact ocsp_response(std::string id, util::Bytes der,
+                                Context ctx = {});
+  /// OCSP body + the issuing CA's CRL: runs OCSP rules and the Table-1
+  /// cross-checks. `crl` is borrowed into the context and must outlive the
+  /// artifact.
+  static Artifact crl_ocsp_pair(std::string id, util::Bytes ocsp_der,
+                                const crl::Crl& crl, Context ctx = {});
+  /// Construction without parsing — bench/batch callers pay the decode in
+  /// run_batch's parallel phase instead of at build time.
+  static Artifact deferred(ArtifactKind kind, std::string id, util::Bytes der,
+                           Context ctx = {});
+
+ private:
+  bool parsed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule_id;
+  Severity severity = Severity::kInfo;
+  std::string artifact;  ///< Artifact::id
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;        ///< e.g. "e_ocsp_window_inverted" (prefix = severity)
+  std::string citation;  ///< e.g. "RFC 6960 §4.2.2.1"
+  std::string description;
+  Severity severity = Severity::kError;
+  ArtifactKind kind = ArtifactKind::kCertificate;
+};
+
+/// One lint rule, zlint-style: metadata, an applies-to predicate, and a
+/// check that emits zero or more messages (each becomes a Finding).
+struct Rule {
+  RuleInfo info;
+  /// Extra applicability gate beyond the kind match (e.g. "context carries a
+  /// nonce"). Null = kind match suffices.
+  std::function<bool(const Artifact&)> applies;
+  /// Appends one message per violation found.
+  std::function<void(const Artifact&, std::vector<std::string>&)> check;
+};
+
+/// Ordered rule collection with by-id/by-severity/by-kind filtering. Order
+/// is registration order and determines finding order within an artifact.
+class RuleRegistry {
+ public:
+  /// Throws std::logic_error on a duplicate rule id.
+  void add(Rule rule);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+
+  const Rule* by_id(std::string_view id) const;
+  std::vector<const Rule*> by_severity(Severity severity) const;
+  std::vector<const Rule*> by_kind(ArtifactKind kind) const;
+
+  /// The shipped rule catalog (see docs/LINT.md). Built once, immutable.
+  static const RuleRegistry& builtin();
+
+ private:
+  std::vector<Rule> rules_;
+  std::map<std::string, std::size_t, std::less<>> by_id_;
+};
+
+/// Runs every applicable rule over one artifact, in registry order.
+/// kCrlOcspPair artifacts also run the kOcspResponse rules.
+std::vector<Finding> lint_artifact(const RuleRegistry& registry,
+                                   const Artifact& artifact);
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Aggregates findings across artifacts: exact per-rule/per-severity counts,
+/// plus the first `finding_capacity` individual findings (the rest are
+/// counted as dropped — counts stay exact). add() feeds the obs metrics
+/// (mustaple_lint_artifacts_total, mustaple_lint_findings_total{severity});
+/// merge() deliberately does not, so combining sub-reports never
+/// double-counts.
+class LintReport {
+ public:
+  explicit LintReport(std::size_t finding_capacity = 10'000)
+      : finding_capacity_(finding_capacity) {}
+
+  /// Records one linted artifact's findings (possibly none).
+  void add(const std::vector<Finding>& findings);
+  /// Folds another report in (counts, findings up to capacity). No metrics.
+  void merge(const LintReport& other);
+
+  std::uint64_t artifacts() const { return artifacts_; }
+  std::uint64_t total_findings() const;
+  std::uint64_t count(Severity severity) const {
+    return by_severity_[static_cast<std::size_t>(severity)];
+  }
+  std::uint64_t count(std::string_view rule_id) const;
+  const std::map<std::string, std::uint64_t>& by_rule() const {
+    return by_rule_;
+  }
+  bool has_fatal() const { return count(Severity::kFatal) > 0; }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Deterministic JSON object: totals, per-severity and per-rule counts,
+  /// retained findings. Bit-identical for identical inputs.
+  std::string render_json() const;
+  /// Rule-catalog CSV: rule,severity,citation,count (registry rules with
+  /// zero hits included, unknown-to-registry rules appended).
+  std::string render_csv(const RuleRegistry& registry) const;
+  /// One human line, e.g. "12 artifacts, 3 findings (1 warn, 2 error)".
+  std::string summary() const;
+
+ private:
+  std::size_t finding_capacity_;
+  std::uint64_t artifacts_ = 0;
+  std::array<std::uint64_t, kSeverityCount> by_severity_{};
+  std::map<std::string, std::uint64_t> by_rule_;
+  std::vector<Finding> findings_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Lints every artifact on `threads` workers (0 = auto via
+/// MUSTAPLE_SCAN_THREADS, else 1) and merges findings in artifact index
+/// order — the report is bit-identical at every thread count. Parses
+/// deferred artifacts in the parallel phase.
+LintReport run_batch(const RuleRegistry& registry,
+                     std::vector<Artifact>& artifacts, std::size_t threads = 1,
+                     std::size_t finding_capacity = 10'000);
+
+}  // namespace mustaple::lint

@@ -1,0 +1,730 @@
+// The shipped rule catalog (see docs/LINT.md for the full table). Severity
+// policy: `fatal` is reserved for structural breakage the seed ecosystem
+// never produces (CI fails the build on any fatal finding in the seed
+// world); conditions the paper actually observes in the wild — malformed
+// OCSP bodies, blank nextUpdate, premature thisUpdate, Table-1 status
+// disagreements — rank error or below so the lint gate measures them
+// without tripping on them.
+//
+// The OCSP rules deliberately mirror ocsp::verify_ocsp_response_static's
+// classification order (parse -> successful -> serial match -> signature),
+// so per-probe lint counts are provably equal to the scanner's Fig-5
+// accounting (asserted in tests/measurement_test.cpp and examples/pki_lint).
+#include <algorithm>
+#include <set>
+
+#include "asn1/der.hpp"
+#include "asn1/oid.hpp"
+#include "lint/lint.hpp"
+#include "util/strings.hpp"
+
+namespace mustaple::lint {
+
+namespace {
+
+using asn1::Oid;
+using asn1::Reader;
+using asn1::Tag;
+using util::Bytes;
+
+constexpr std::int64_t kDay = 86'400;
+/// CA/B Forum BR §6.3.2 leaf lifetime ceiling at the paper's time frame.
+constexpr std::int64_t kMaxLeafValidityDays = 825;
+/// Overlong-window threshold for CRLs and OCSP responses (paper §5.3 calls
+/// out multi-month windows; 31 days matches the "huge validity" cutoff).
+constexpr std::int64_t kMaxWindowDays = 31;
+
+/// One decoded extension header from a TBS walk (value bytes included so
+/// content rules can re-parse).
+struct RawExtension {
+  Oid oid;
+  bool critical = false;
+  Bytes value;
+};
+
+/// Walks tbs_der's extension list [3] directly — the parsed
+/// x509::Extensions keeps only known fields, while criticality/duplication
+/// rules need every extension header as encoded.
+util::Result<std::vector<RawExtension>> raw_extensions(const Bytes& tbs_der) {
+  using R = util::Result<std::vector<RawExtension>>;
+  std::vector<RawExtension> out;
+  Reader top(tbs_der);
+  auto tbs = top.expect(Tag::kSequence);
+  if (!tbs.ok()) return R::failure(tbs.error().code, "tbs");
+  Reader fields(tbs.value().content);
+  while (!fields.at_end()) {
+    auto tlv = fields.read_any();
+    if (!tlv.ok()) return R::failure(tlv.error().code, "tbs field");
+    if (!tlv.value().is_context(3, true)) continue;
+    Reader wrapper(tlv.value().content);
+    auto list = wrapper.expect(Tag::kSequence);
+    if (!list.ok()) return R::failure(list.error().code, "extensions");
+    Reader exts(list.value().content);
+    while (!exts.at_end()) {
+      auto ext = exts.expect(Tag::kSequence);
+      if (!ext.ok()) return R::failure(ext.error().code, "extension");
+      Reader ext_reader(ext.value().content);
+      auto oid = ext_reader.read_oid();
+      if (!oid.ok()) return R::failure(oid.error().code, "extension oid");
+      RawExtension raw;
+      raw.oid = oid.value();
+      if (ext_reader.peek_tag() == static_cast<std::uint8_t>(Tag::kBoolean)) {
+        auto critical = ext_reader.read_boolean();
+        if (!critical.ok()) {
+          return R::failure(critical.error().code, "critical");
+        }
+        raw.critical = critical.value();
+      }
+      auto value = ext_reader.read_octet_string();
+      if (!value.ok()) return R::failure(value.error().code, "extension value");
+      raw.value = value.value();
+      out.push_back(std::move(raw));
+    }
+  }
+  return out;
+}
+
+bool extensions_this_library_understands(const Oid& oid) {
+  return oid == asn1::oids::authority_info_access() ||
+         oid == asn1::oids::crl_distribution_points() ||
+         oid == asn1::oids::tls_feature() ||
+         oid == asn1::oids::subject_alt_name() ||
+         oid == asn1::oids::basic_constraints() ||
+         oid == asn1::oids::key_usage();
+}
+
+bool serial_is_zero(const Bytes& serial) {
+  return std::all_of(serial.begin(), serial.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+// Mirrors ocsp::verify_ocsp_response_static's delegation-aware signature
+// check: a delegation cert embedded in the response (itself signed by the
+// issuer) may sign, else the issuer key directly.
+bool ocsp_signature_ok(const ocsp::OcspResponse& response,
+                       const crypto::PublicKey& issuer_key) {
+  for (const auto& cert : response.certs()) {
+    if (!cert.verify_signature(issuer_key)) continue;
+    if (response.verify_signature(cert.public_key())) return true;
+  }
+  return response.verify_signature(issuer_key);
+}
+
+// --- rule builder helpers --------------------------------------------------
+
+using Check = std::function<void(const Artifact&, std::vector<std::string>&)>;
+using Applies = std::function<bool(const Artifact&)>;
+
+Rule make_rule(ArtifactKind kind, Severity severity, std::string id,
+               std::string citation, std::string description, Check check,
+               Applies applies = nullptr) {
+  Rule rule;
+  rule.info =
+      RuleInfo{std::move(id), std::move(citation), std::move(description),
+               severity, kind};
+  rule.applies = std::move(applies);
+  rule.check = std::move(check);
+  return rule;
+}
+
+/// Most rules only make sense once the artifact parsed; the *_unparseable
+/// rules own the failure case.
+Applies parsed_cert() {
+  return [](const Artifact& a) { return a.cert.has_value(); };
+}
+Applies parsed_crl() {
+  return [](const Artifact& a) { return a.crl.has_value(); };
+}
+Applies parsed_ocsp() {
+  return [](const Artifact& a) { return a.ocsp.has_value(); };
+}
+
+void add_certificate_rules(RuleRegistry& registry) {
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kFatal, "f_cert_unparseable",
+      "RFC 5280 §4.1", "certificate DER must decode",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (!a.cert) {
+          out.push_back("certificate does not parse: " + a.parse_error);
+        }
+      }));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kFatal, "f_cert_validity_inverted",
+      "RFC 5280 §4.1.2.5", "notBefore must not exceed notAfter",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const x509::Validity& v = a.cert->validity();
+        if (v.not_after < v.not_before) {
+          out.push_back(util::format(
+              "notAfter %s precedes notBefore %s",
+              util::format_time(v.not_after).c_str(),
+              util::format_time(v.not_before).c_str()));
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kError, "e_cert_serial_zero",
+      "RFC 5280 §4.1.2.2", "serial number must be a positive integer",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (serial_is_zero(a.cert->serial())) {
+          out.push_back("serial number is zero or empty");
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kError, "e_cert_serial_overlong",
+      "RFC 5280 §4.1.2.2", "serial number must not exceed 20 octets",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (a.cert->serial().size() > 20) {
+          out.push_back(util::format("serial number is %zu octets",
+                                     a.cert->serial().size()));
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kInfo, "i_cert_serial_low_entropy",
+      "CA/B BR §7.1", "serial numbers should carry >= 64 bits of entropy",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const std::size_t n = a.cert->serial().size();
+        if (n > 0 && n < 8 && !serial_is_zero(a.cert->serial())) {
+          out.push_back(util::format("serial number is only %zu octets", n));
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kWarn, "w_cert_validity_overlong",
+      "CA/B BR §6.3.2", "subscriber validity should not exceed 825 days",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        // CA certificates legitimately run long; this targets leaves.
+        if (a.cert->extensions().is_ca.value_or(false)) return;
+        const std::int64_t days = a.cert->validity().length().seconds / kDay;
+        if (days > kMaxLeafValidityDays) {
+          out.push_back(util::format("validity spans %lld days",
+                                     static_cast<long long>(days)));
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kError,
+      "e_cert_duplicate_extension", "RFC 5280 §4.2",
+      "a certificate must not carry two extensions with the same OID",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        auto raw = raw_extensions(a.cert->tbs_der());
+        if (!raw.ok()) return;  // f_cert_unparseable territory
+        std::set<std::string> seen;
+        for (const RawExtension& ext : raw.value()) {
+          if (!seen.insert(ext.oid.to_string()).second) {
+            out.push_back("duplicate extension " + ext.oid.to_string());
+          }
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kError,
+      "e_cert_basic_constraints_not_critical", "RFC 5280 §4.2.1.9",
+      "BasicConstraints on a CA certificate must be critical",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (!a.cert->extensions().is_ca.value_or(false)) return;
+        auto raw = raw_extensions(a.cert->tbs_der());
+        if (!raw.ok()) return;
+        for (const RawExtension& ext : raw.value()) {
+          if (ext.oid == asn1::oids::basic_constraints() && !ext.critical) {
+            out.push_back("cA=TRUE BasicConstraints is not critical");
+          }
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kError,
+      "e_cert_unknown_critical_extension", "RFC 5280 §4.2",
+      "critical extensions outside the supported set break validation",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        auto raw = raw_extensions(a.cert->tbs_der());
+        if (!raw.ok()) return;
+        for (const RawExtension& ext : raw.value()) {
+          if (ext.critical && !extensions_this_library_understands(ext.oid)) {
+            out.push_back("unknown critical extension " + ext.oid.to_string());
+          }
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kError,
+      "e_cert_must_staple_without_ocsp_url", "RFC 7633 §4.2.3.1; paper §4",
+      "Must-Staple without an AIA OCSP URL makes the certificate unusable: "
+      "no staple can ever be fetched",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const x509::Extensions& ext = a.cert->extensions();
+        if (ext.must_staple && !ext.supports_ocsp()) {
+          out.push_back(
+              "TLS Feature requests status_request but AIA carries no OCSP "
+              "URL");
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kError, "e_cert_tls_feature_empty",
+      "RFC 7633 §3", "a TLS Feature extension must list at least one feature",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const auto& features = a.cert->extensions().tls_features;
+        if (features && features->empty()) {
+          out.push_back("TLS Feature extension is an empty SEQUENCE");
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kWarn,
+      "w_cert_tls_feature_without_status_request", "RFC 7633 §4.2.1",
+      "a TLS Feature extension without status_request(5) does not request "
+      "stapling",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const auto& features = a.cert->extensions().tls_features;
+        if (features && !features->empty() &&
+            std::find(features->begin(), features->end(), 5) ==
+                features->end()) {
+          std::string listed;
+          for (const std::int64_t f : *features) {
+            if (!listed.empty()) listed += ",";
+            listed += std::to_string(f);
+          }
+          out.push_back("TLS Feature lists {" + listed +
+                        "} but not status_request(5)");
+        }
+      },
+      parsed_cert()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCertificate, Severity::kWarn,
+      "w_cert_no_revocation_source", "paper §2.1",
+      "a leaf without OCSP or CRL pointers cannot be revoked effectively",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const x509::Extensions& ext = a.cert->extensions();
+        if (ext.is_ca.value_or(false)) return;
+        if (!ext.supports_ocsp() && !ext.supports_crl()) {
+          out.push_back("no AIA OCSP URL and no CRL Distribution Point");
+        }
+      },
+      parsed_cert()));
+}
+
+void add_crl_rules(RuleRegistry& registry) {
+  registry.add(make_rule(
+      ArtifactKind::kCrl, Severity::kFatal, "f_crl_unparseable",
+      "RFC 5280 §5.1", "CRL DER must decode",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (!a.crl) out.push_back("CRL does not parse: " + a.parse_error);
+      }));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrl, Severity::kFatal, "f_crl_window_inverted",
+      "RFC 5280 §5.1.2.5", "nextUpdate must not precede thisUpdate",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (a.crl->next_update() < a.crl->this_update()) {
+          out.push_back(util::format(
+              "nextUpdate %s precedes thisUpdate %s",
+              util::format_time(a.crl->next_update()).c_str(),
+              util::format_time(a.crl->this_update()).c_str()));
+        }
+      },
+      parsed_crl()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrl, Severity::kWarn, "w_crl_window_overlong",
+      "RFC 5280 §5.1.2.5; paper §5.3",
+      "multi-month CRL windows leave revocations invisible for too long",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const std::int64_t days =
+            (a.crl->next_update() - a.crl->this_update()).seconds / kDay;
+        if (days > kMaxWindowDays) {
+          out.push_back(util::format("validity window spans %lld days",
+                                     static_cast<long long>(days)));
+        }
+      },
+      parsed_crl()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrl, Severity::kError, "e_crl_duplicate_serial",
+      "RFC 5280 §5.1.2.6", "a serial must appear at most once per CRL",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        std::set<std::string> seen;
+        for (const crl::RevokedEntry& entry : a.crl->entries()) {
+          if (!seen.insert(util::to_hex(entry.serial)).second) {
+            out.push_back("serial " + util::to_hex(entry.serial) +
+                          " listed more than once");
+          }
+        }
+      },
+      parsed_crl()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrl, Severity::kError, "e_crl_entry_after_this_update",
+      "RFC 5280 §5.1.2.6",
+      "a revocation dated after thisUpdate cannot be in this CRL snapshot",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        for (const crl::RevokedEntry& entry : a.crl->entries()) {
+          if (entry.revocation_time > a.crl->this_update()) {
+            out.push_back("serial " + util::to_hex(entry.serial) +
+                          " revoked after thisUpdate");
+          }
+        }
+      },
+      parsed_crl()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrl, Severity::kInfo, "i_crl_empty", "RFC 5280 §5.1.2.6",
+      "an empty CRL is valid but worth noting in an audit",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (a.crl->entries().empty()) out.push_back("CRL lists no serials");
+      },
+      parsed_crl()));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrl, Severity::kWarn, "w_crl_stale",
+      "RFC 5280 §5.1.2.5", "nextUpdate has passed at the observation clock",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (*a.context.now > a.crl->next_update()) {
+          out.push_back("CRL expired " +
+                        util::format_time(a.crl->next_update()));
+        }
+      },
+      [](const Artifact& a) {
+        return a.crl.has_value() && a.context.now.has_value();
+      }));
+}
+
+void add_ocsp_rules(RuleRegistry& registry) {
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kError, "e_ocsp_unparseable",
+      "RFC 6960 §4.2.1; paper Fig 5",
+      "the body does not decode as an OCSPResponse (the paper's 'ASN.1 "
+      "Unparseable' class: empty bodies, the literal '0', JavaScript pages)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (!a.ocsp) out.push_back("body does not parse: " + a.parse_error);
+      }));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kInfo, "i_ocsp_not_successful",
+      "RFC 6960 §4.2.1",
+      "responseStatus != successful (tryLater, internalError, ...)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (!a.ocsp->successful()) {
+          out.push_back("responseStatus is not successful");
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kError,
+      "e_ocsp_no_single_responses", "RFC 6960 §4.2.2.1",
+      "a successful response must answer for at least one certificate",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (a.ocsp->successful() && a.ocsp->responses().empty()) {
+          out.push_back("successful response carries no SingleResponses");
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kError, "e_ocsp_window_inverted",
+      "RFC 6960 §4.2.2.1", "nextUpdate must not precede thisUpdate",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        for (const ocsp::SingleResponse& single : a.ocsp->responses()) {
+          if (single.next_update && *single.next_update < single.this_update) {
+            out.push_back(util::format(
+                "serial %s: nextUpdate %s precedes thisUpdate %s",
+                util::to_hex(single.cert_id.serial).c_str(),
+                util::format_time(*single.next_update).c_str(),
+                util::format_time(single.this_update).c_str()));
+          }
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kWarn,
+      "w_ocsp_produced_outside_window", "RFC 6960 §2.4; paper Fig 9",
+      "producedAt should satisfy thisUpdate <= producedAt <= nextUpdate",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        for (const ocsp::SingleResponse& single : a.ocsp->responses()) {
+          const util::SimTime produced = a.ocsp->produced_at();
+          if (produced < single.this_update) {
+            out.push_back(
+                util::format("serial %s: producedAt %s precedes thisUpdate %s",
+                             util::to_hex(single.cert_id.serial).c_str(),
+                             util::format_time(produced).c_str(),
+                             util::format_time(single.this_update).c_str()));
+          } else if (single.next_update && produced > *single.next_update) {
+            out.push_back(util::format(
+                "serial %s: producedAt %s follows nextUpdate %s",
+                util::to_hex(single.cert_id.serial).c_str(),
+                util::format_time(produced).c_str(),
+                util::format_time(*single.next_update).c_str()));
+          }
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kWarn, "w_ocsp_blank_next_update",
+      "RFC 5019 §2.2.4; paper Fig 8",
+      "absent nextUpdate means the response never expires client-side "
+      "(9.1% of the paper's responders)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        for (const ocsp::SingleResponse& single : a.ocsp->responses()) {
+          if (!single.next_update) {
+            out.push_back("serial " + util::to_hex(single.cert_id.serial) +
+                          ": nextUpdate is blank");
+          }
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kWarn, "w_ocsp_window_overlong",
+      "paper §5.3",
+      "multi-month response windows defeat timely revocation (2% of the "
+      "paper's responders exceed days-long windows)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        for (const ocsp::SingleResponse& single : a.ocsp->responses()) {
+          if (!single.next_update) continue;
+          const std::int64_t days =
+              (*single.next_update - single.this_update).seconds / kDay;
+          if (days > kMaxWindowDays) {
+            out.push_back(util::format(
+                "serial %s: validity window spans %lld days",
+                util::to_hex(single.cert_id.serial).c_str(),
+                static_cast<long long>(days)));
+          }
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kError, "e_ocsp_serial_mismatch",
+      "RFC 6960 §4.2.2.1; paper Fig 5",
+      "no SingleResponse answers for the requested serial ('SerialUnmatch')",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (!a.ocsp->successful()) return;
+        if (a.ocsp->find_by_serial(*a.context.requested_serial) == nullptr) {
+          out.push_back("requested serial " +
+                        util::to_hex(*a.context.requested_serial) +
+                        " not answered");
+        }
+      },
+      [](const Artifact& a) {
+        return a.ocsp.has_value() && a.context.requested_serial.has_value();
+      }));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kError, "e_ocsp_bad_signature",
+      "RFC 6960 §4.2.1; paper Fig 5",
+      "the signature verifies under neither a delegation certificate nor "
+      "the issuer key",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        // Mirror the scanner's order: only a successful response whose
+        // requested serial matched gets its signature judged, so this
+        // rule's count equals the Fig-5 'Signature' class exactly.
+        if (!a.ocsp->successful()) return;
+        if (a.context.requested_serial &&
+            a.ocsp->find_by_serial(*a.context.requested_serial) == nullptr) {
+          return;
+        }
+        if (!ocsp_signature_ok(*a.ocsp, a.context.issuer->public_key())) {
+          out.push_back("signature does not verify");
+        }
+      },
+      [](const Artifact& a) {
+        return a.ocsp.has_value() && a.context.issuer != nullptr;
+      }));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kWarn, "w_ocsp_nonce_not_echoed",
+      "RFC 6960 §4.4.1",
+      "the request carried a nonce the response failed to echo (structural "
+      "for pre-generated responders)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (!a.ocsp->successful()) return;
+        if (!a.ocsp->nonce() ||
+            *a.ocsp->nonce() != *a.context.expected_nonce) {
+          out.push_back("request nonce missing from response");
+        }
+      },
+      [](const Artifact& a) {
+        return a.ocsp.has_value() && a.context.expected_nonce.has_value();
+      }));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kInfo, "i_ocsp_multi_serial",
+      "paper Fig 7",
+      "unsolicited extra SingleResponses (3.3% of responders pack 20)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (a.ocsp->responses().size() > 1) {
+          out.push_back(util::format("%zu SingleResponses in one response",
+                                     a.ocsp->responses().size()));
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kInfo, "i_ocsp_superfluous_certs",
+      "paper Fig 6",
+      "more than one embedded certificate (14.5% of responders)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        if (a.ocsp->certs().size() > 1) {
+          out.push_back(util::format("%zu certificates attached",
+                                     a.ocsp->certs().size()));
+        }
+      },
+      parsed_ocsp()));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kError, "e_ocsp_stale",
+      "RFC 6960 §4.2.2.1", "nextUpdate has passed at the observation clock",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        for (const ocsp::SingleResponse& single : a.ocsp->responses()) {
+          if (single.next_update && *single.next_update < *a.context.now) {
+            out.push_back("serial " + util::to_hex(single.cert_id.serial) +
+                          ": response expired " +
+                          util::format_time(*single.next_update));
+          }
+        }
+      },
+      [](const Artifact& a) {
+        return a.ocsp.has_value() && a.context.now.has_value();
+      }));
+
+  registry.add(make_rule(
+      ArtifactKind::kOcspResponse, Severity::kError, "e_ocsp_premature",
+      "RFC 6960 §4.2.2.1; paper Fig 9",
+      "thisUpdate is in the observer's future (the premature class of "
+      "Fig 9; 3% of responders)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        for (const ocsp::SingleResponse& single : a.ocsp->responses()) {
+          if (single.this_update > *a.context.now) {
+            out.push_back("serial " + util::to_hex(single.cert_id.serial) +
+                          ": thisUpdate " +
+                          util::format_time(single.this_update) +
+                          " is in the future");
+          }
+        }
+      },
+      [](const Artifact& a) {
+        return a.ocsp.has_value() && a.context.now.has_value();
+      }));
+}
+
+void add_cross_rules(RuleRegistry& registry) {
+  const auto pair_ready = [](const Artifact& a) {
+    return a.kind == ArtifactKind::kCrlOcspPair && a.ocsp.has_value() &&
+           a.context.crl != nullptr && a.context.requested_serial.has_value();
+  };
+
+  registry.add(make_rule(
+      ArtifactKind::kCrlOcspPair, Severity::kError,
+      "e_xcheck_crl_revoked_ocsp_good", "paper Table 1",
+      "the CA's own CRL lists the serial as revoked but its OCSP responder "
+      "answers Good",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const Bytes& serial = *a.context.requested_serial;
+        if (a.context.crl->find(serial) == nullptr) return;
+        const ocsp::SingleResponse* single = a.ocsp->find_by_serial(serial);
+        if (single != nullptr && single->status == ocsp::CertStatus::kGood) {
+          out.push_back("serial " + util::to_hex(serial) +
+                        ": CRL says revoked, OCSP says good");
+        }
+      },
+      pair_ready));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrlOcspPair, Severity::kError,
+      "e_xcheck_crl_revoked_ocsp_unknown", "paper Table 1",
+      "the CA's own CRL lists the serial as revoked but its OCSP responder "
+      "answers Unknown",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const Bytes& serial = *a.context.requested_serial;
+        if (a.context.crl->find(serial) == nullptr) return;
+        const ocsp::SingleResponse* single = a.ocsp->find_by_serial(serial);
+        if (single != nullptr &&
+            single->status == ocsp::CertStatus::kUnknown) {
+          out.push_back("serial " + util::to_hex(serial) +
+                        ": CRL says revoked, OCSP says unknown");
+        }
+      },
+      pair_ready));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrlOcspPair, Severity::kWarn,
+      "w_xcheck_revocation_time_differs", "paper Fig 10",
+      "both channels say revoked but disagree on when (0.15% of the "
+      "paper's pairs, up to 4+ years apart)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const Bytes& serial = *a.context.requested_serial;
+        const crl::RevokedEntry* entry = a.context.crl->find(serial);
+        if (entry == nullptr) return;
+        const ocsp::SingleResponse* single = a.ocsp->find_by_serial(serial);
+        if (single == nullptr || single->status != ocsp::CertStatus::kRevoked ||
+            !single->revoked) {
+          return;
+        }
+        const std::int64_t delta =
+            (single->revoked->revocation_time - entry->revocation_time)
+                .seconds;
+        if (delta != 0) {
+          out.push_back(util::format(
+              "serial %s: OCSP revocation time differs by %llds",
+              util::to_hex(serial).c_str(), static_cast<long long>(delta)));
+        }
+      },
+      pair_ready));
+
+  registry.add(make_rule(
+      ArtifactKind::kCrlOcspPair, Severity::kWarn,
+      "w_xcheck_reason_code_differs", "paper §5.4",
+      "revocation reason disagrees between CRL and OCSP (99.99% of the "
+      "paper's differing pairs: CRL has one, OCSP dropped it)",
+      [](const Artifact& a, std::vector<std::string>& out) {
+        const Bytes& serial = *a.context.requested_serial;
+        const crl::RevokedEntry* entry = a.context.crl->find(serial);
+        if (entry == nullptr) return;
+        const ocsp::SingleResponse* single = a.ocsp->find_by_serial(serial);
+        if (single == nullptr || single->status != ocsp::CertStatus::kRevoked ||
+            !single->revoked) {
+          return;
+        }
+        const bool crl_has = entry->reason.has_value();
+        const bool ocsp_has = single->revoked->reason.has_value();
+        if (crl_has != ocsp_has ||
+            (crl_has && *entry->reason != *single->revoked->reason)) {
+          out.push_back("serial " + util::to_hex(serial) +
+                        ": revocation reason disagrees" +
+                        (crl_has && !ocsp_has ? " (OCSP dropped it)" : ""));
+        }
+      },
+      pair_ready));
+}
+
+}  // namespace
+
+const RuleRegistry& RuleRegistry::builtin() {
+  static const RuleRegistry* const kRegistry = [] {
+    auto* registry = new RuleRegistry();
+    add_certificate_rules(*registry);
+    add_crl_rules(*registry);
+    add_ocsp_rules(*registry);
+    add_cross_rules(*registry);
+    return registry;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace mustaple::lint

@@ -43,6 +43,7 @@ AlexaScanResult run_alexa_scan(Ecosystem& ecosystem,
     const util::Bytes request = ocsp::OcspRequest::single(id).encode_der();
     auto url = net::parse_url(target->cert.extensions().ocsp_urls.front());
     if (!url.ok()) continue;
+    bool linted_this_responder = false;
     for (net::Region region : net::all_regions()) {
       const std::size_t g = static_cast<std::size_t>(region);
       net::FetchResult fetched = network.http_post(
@@ -55,6 +56,20 @@ AlexaScanResult run_alexa_scan(Ecosystem& ecosystem,
           fetched.response.body, id, issuer.public_key(), network.now());
       outcomes[r][g] =
           verdict.usable() ? Outcome::kOk : Outcome::kUnusable;
+      // Lint one region's body per responder — the simulated responder
+      // serves the same DER to every vantage point, so one artifact per
+      // responder keeps the report per-responder, not per-region.
+      if (config.lint_responses && !linted_this_responder) {
+        linted_this_responder = true;
+        lint::Context ctx;
+        ctx.issuer = &issuer;
+        ctx.requested_serial = id.serial;
+        ctx.now = network.now();
+        const lint::Artifact artifact = lint::Artifact::ocsp_response(
+            ecosystem.responders()[r].host, fetched.response.body, ctx);
+        result.lint.add(
+            lint::lint_artifact(lint::RuleRegistry::builtin(), artifact));
+      }
     }
   }
 

@@ -9,6 +9,7 @@
 #include <array>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "measurement/ecosystem.hpp"
 
 namespace mustaple::measurement {
@@ -20,6 +21,9 @@ struct AlexaScanConfig {
   /// are deduplicated per region regardless; sampling only thins the
   /// per-domain attribution.
   std::size_t domain_stride = 1;
+  /// Run the lint catalog over every fetched body (one region's fetch per
+  /// responder — the bodies are region-independent).
+  bool lint_responses = true;
 };
 
 struct AlexaScanResult {
@@ -33,6 +37,9 @@ struct AlexaScanResult {
   std::array<std::size_t, net::kRegionCount> domains_unusable{};
   /// Domains unreachable from EVERY region (the fully-dark set).
   std::size_t domains_dark_everywhere = 0;
+  /// Lint findings over one region's fetched body per responder (artifact
+  /// id = responder host). Empty when lint_responses is off.
+  lint::LintReport lint;
 };
 
 /// Runs the one-shot scan. Each distinct (responder, region) pair is probed

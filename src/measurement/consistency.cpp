@@ -203,6 +203,8 @@ ConsistencyReport ConsistencyAudit::run(Rng& rng) {
   seed_population(rng);
 
   ConsistencyReport report;
+  report.lint = lint::LintReport(config_.lint_finding_capacity);
+  const lint::RuleRegistry& registry = lint::RuleRegistry::builtin();
   net::Network& network = ecosystem_->network();
   const SimTime audit = config_.audit_time;
   network.loop().run_until(audit);
@@ -221,6 +223,15 @@ ConsistencyReport ConsistencyAudit::run(Rng& rng) {
     if (!parsed.ok()) continue;
     crls.emplace(target.ca_index, std::move(parsed).take());
     ++report.crls_downloaded;
+
+    lint::Context crl_ctx;
+    crl_ctx.issuer =
+        &ecosystem_->authority(target.ca_index).intermediate_cert();
+    crl_ctx.now = audit;
+    const lint::Artifact crl_artifact = lint::Artifact::crl_list(
+        ecosystem_->crl_server(target.ca_index).host(),
+        result.response.body, crl_ctx);
+    report.lint.add(lint::lint_artifact(registry, crl_artifact));
   }
 
   // Per-responder Table 1 accumulation.
@@ -259,6 +270,20 @@ ConsistencyReport ConsistencyAudit::run(Rng& rng) {
       continue;
     }
     ++report.responses_collected;
+
+    // Lint the collected response paired with its CA's CRL: the x-check
+    // rules re-derive Table 1 / Fig 10 from first principles. Gated behind
+    // the same verdict filter as the report rows, so the two stay equal.
+    {
+      lint::Context pair_ctx;
+      pair_ctx.issuer = &issuer;
+      pair_ctx.requested_serial = target.cert.serial();
+      pair_ctx.now = network.now();
+      const lint::Artifact pair_artifact = lint::Artifact::crl_ocsp_pair(
+          ecosystem_->responders()[target.responder_index].host,
+          result.response.body, crl_it->second, pair_ctx);
+      report.lint.add(lint::lint_artifact(registry, pair_artifact));
+    }
 
     DiscrepancyRow& row = rows[target.responder_index];
     if (row.ocsp_url.empty()) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "measurement/ecosystem.hpp"
 #include "util/stats.hpp"
 
@@ -25,6 +26,9 @@ struct ConsistencyConfig {
   /// Fraction of non-Microsoft revocations whose OCSP revocation time is
   /// skewed relative to the CRL (Fig 10: 0.15% differ overall).
   double time_skew_fraction = 0.0015;
+  /// Retained-finding cap for the audit's lint report (counts stay exact
+  /// past the cap; see lint::LintReport).
+  std::size_t lint_finding_capacity = 100'000;
 };
 
 /// One Table 1 row: how the CA's OCSP responder answered for certificates
@@ -59,6 +63,14 @@ struct ConsistencyReport {
   std::size_t reason_compared = 0;
   std::size_t reason_differing = 0;   ///< paper: ~15%
   std::size_t reason_crl_only = 0;    ///< paper: 99.99% of differing
+
+  /// Lint findings over every downloaded CRL plus every collected OCSP
+  /// response (as crl-ocsp-pair artifacts keyed by responder host). The
+  /// cross-check rule counts reproduce the report's own numbers:
+  /// e_xcheck_crl_revoked_ocsp_good/unknown sum to the Table-1 good/unknown
+  /// columns, w_xcheck_revocation_time_differs == time_differing, and
+  /// w_xcheck_reason_code_differs == reason_differing.
+  lint::LintReport lint;
 };
 
 class ConsistencyAudit {

@@ -79,6 +79,7 @@ HourlyScanner::ProbeOutcome HourlyScanner::execute_probe(
           cached->second.body_sha256 == digest) {
         outcome.verdict = ocsp::apply_time_checks(cached->second.verdict, now);
         outcome.validated = true;
+        if (config_.lint_responses) lint_probe(target, outcome);
         return outcome;
       }
       MUSTAPLE_COUNT("mustaple_scan_cache_collisions_total");
@@ -96,7 +97,46 @@ HourlyScanner::ProbeOutcome HourlyScanner::execute_probe(
   }
   outcome.verdict = ocsp::apply_time_checks(static_verdict, now);
   outcome.validated = true;
+  if (config_.lint_responses) lint_probe(target, outcome);
   return outcome;
+}
+
+void HourlyScanner::lint_probe(const Target& target, ProbeOutcome& outcome) {
+  const util::Bytes& body = outcome.result.response.body;
+  const util::Bytes& serial = target.cert_id.serial;
+  const std::uint64_t key = util::hash_combine(
+      body_cache_key(target.responder_index, body), util::fnv1a64(serial));
+  const util::Bytes digest = crypto::Sha256::hash(body);
+  {
+    std::lock_guard<std::mutex> lock(lint_cache_mu_);
+    const auto cached = lint_cache_.find(key);
+    if (cached != lint_cache_.end()) {
+      if (cached->second.body_size == body.size() &&
+          cached->second.body_sha256 == digest &&
+          cached->second.serial == serial) {
+        outcome.findings = cached->second.findings;
+        outcome.linted = true;
+        return;
+      }
+      MUSTAPLE_COUNT("mustaple_lint_cache_collisions_total");
+    }
+  }
+  // Lint runs clock-free (no Context::now), so findings for a given
+  // (responder, body, serial) never change across scan steps — identical
+  // discipline to the static-verdict cache above.
+  lint::Context ctx;
+  ctx.issuer = &ecosystem_->authority(target.ca_index).intermediate_cert();
+  ctx.requested_serial = serial;
+  lint::Artifact artifact = lint::Artifact::ocsp_response(
+      ecosystem_->responders()[target.responder_index].host, body, ctx);
+  outcome.findings = lint::lint_artifact(lint::RuleRegistry::builtin(), artifact);
+  outcome.linted = true;
+  {
+    std::lock_guard<std::mutex> lock(lint_cache_mu_);
+    if (lint_cache_.size() >= kStaticCacheLimit) lint_cache_.clear();
+    lint_cache_[key] =
+        LintCacheEntry{body.size(), digest, serial, outcome.findings};
+  }
 }
 
 void HourlyScanner::accumulate_probe(const Target& target, net::Region region,
@@ -154,6 +194,10 @@ void HourlyScanner::accumulate_probe(const Target& target, net::Region region,
   ++totals.responses_200;
   MUSTAPLE_COUNT_L("mustaple_scan_successes_total", "region",
                    net::to_string(region));
+
+  // Lint findings replay here, in canonical probe order, so the report (and
+  // its obs counters) is byte-identical at every thread count.
+  if (outcome.linted) lint_report_.add(outcome.findings);
 
   if (!outcome.validated) return;
 

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lint/lint.hpp"
 #include "measurement/ecosystem.hpp"
 #include "ocsp/verify.hpp"
 #include "util/stats.hpp"
@@ -30,6 +31,11 @@ struct ScanConfig {
   /// and the client-side response validation is skipped — roughly 3x
   /// faster for availability-only campaigns.
   bool validate_responses = true;
+  /// When true (and validate_responses is on), every HTTP-200 body is also
+  /// run through the lint::RuleRegistry::builtin() catalog; findings
+  /// aggregate into lint_report(). Clock-free rules only, so the per-body
+  /// cache stays valid across scan steps.
+  bool lint_responses = true;
   /// Worker threads for the per-step probe fan-out. 0 = auto: the
   /// MUSTAPLE_SCAN_THREADS environment variable when set, else 1. Every
   /// output of the scan — step totals, per-responder stats, derived
@@ -135,6 +141,13 @@ class HourlyScanner {
   /// ranging ~2.2% Virginia to ~5.7% Sao Paulo).
   double failure_rate(net::Region region) const;
 
+  /// Aggregated lint findings over every HTTP-200 body of the campaign
+  /// (empty when lint_responses or validate_responses is off). Per-probe
+  /// lint mirrors the validator's classification, so
+  /// count("e_ocsp_unparseable") == sum of StepTotals::unparseable, and
+  /// likewise for serial-mismatch and bad-signature (asserted in tests).
+  const lint::LintReport& lint_report() const { return lint_report_; }
+
  private:
   struct Target {
     ocsp::CertId cert_id;
@@ -150,6 +163,8 @@ class HourlyScanner {
     net::FetchResult result;
     ocsp::VerifiedResponse verdict{};
     bool validated = false;
+    std::vector<lint::Finding> findings;
+    bool linted = false;
   };
 
   // The fan-out is two-phase so output is independent of thread count:
@@ -161,6 +176,9 @@ class HourlyScanner {
   // and N threads run the exact same two phases.
   ProbeOutcome execute_probe(const Target& target, net::Region region,
                              std::uint64_t ordinal);
+  /// Order-free lint of a successful probe's body (cached per body+serial);
+  /// runs in the parallel phase, findings accumulate in accumulate_probe.
+  void lint_probe(const Target& target, ProbeOutcome& outcome);
   void accumulate_probe(const Target& target, net::Region region,
                         const ProbeOutcome& outcome, StepTotals& totals);
 
@@ -185,6 +203,18 @@ class HourlyScanner {
   };
   std::mutex cache_mu_;  ///< guards static_cache_ under the parallel fan-out
   std::unordered_map<std::uint64_t, StaticCacheEntry> static_cache_;
+  // Lint findings are clock-free, so they cache under the same discipline.
+  // The key folds in the requested serial (the serial-mismatch rule depends
+  // on it); hits verify body size + SHA-256 + serial before reuse.
+  struct LintCacheEntry {
+    std::size_t body_size = 0;
+    util::Bytes body_sha256;
+    util::Bytes serial;
+    std::vector<lint::Finding> findings;
+  };
+  std::mutex lint_cache_mu_;  ///< guards lint_cache_ under the fan-out
+  std::unordered_map<std::uint64_t, LintCacheEntry> lint_cache_;
+  lint::LintReport lint_report_;
   // Trace identity: each scan step gets a trace id, each probe a
   // campaign-wide ordinal. The ordinal also keys the counter-based latency
   // sample, so it is maintained even when obs is compiled out.

@@ -1,5 +1,6 @@
 #include "x509/certificate.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "crypto/sha256.hpp"
@@ -80,10 +81,10 @@ Bytes encode_crldp(const std::vector<std::string>& urls) {
   return w.take();
 }
 
-Bytes encode_tls_feature() {
+Bytes encode_tls_feature(const std::vector<std::int64_t>& features) {
   Writer w;
   w.sequence([&](Writer& seq) {
-    seq.integer(5);  // status_request
+    for (const std::int64_t feature : features) seq.integer(feature);
   });
   return w.take();
 }
@@ -173,9 +174,11 @@ util::Status decode_tls_feature(const Bytes& value, Extensions& out) {
   auto seq = r.expect(Tag::kSequence);
   if (!seq.ok()) return util::Status::failure(seq.error().code);
   Reader body(seq.value().content);
+  out.tls_features.emplace();
   while (!body.at_end()) {
     auto feature = body.read_integer();
     if (!feature.ok()) return util::Status::failure(feature.error().code);
+    out.tls_features->push_back(feature.value());
     if (feature.value() == 5) out.must_staple = true;
   }
   return util::Status::success();
@@ -415,6 +418,14 @@ CertificateBuilder& CertificateBuilder::must_staple(bool enabled) {
   return *this;
 }
 
+CertificateBuilder& CertificateBuilder::tls_features(
+    std::vector<std::int64_t> features) {
+  extensions_.must_staple =
+      std::find(features.begin(), features.end(), 5) != features.end();
+  extensions_.tls_features = std::move(features);
+  return *this;
+}
+
 CertificateBuilder& CertificateBuilder::add_san(std::string dns_name) {
   extensions_.san_dns.push_back(std::move(dns_name));
   return *this;
@@ -445,10 +456,12 @@ util::Bytes CertificateBuilder::encode_tbs(
                     : asn1::oids::sim_hash_sig());
       spki.bit_string(public_key_.encode());
     });
+    const bool tls_feature_present =
+        extensions_.must_staple || extensions_.tls_features.has_value();
     const bool any_ext = !extensions_.ocsp_urls.empty() ||
                          extensions_.ca_issuers_url.has_value() ||
                          !extensions_.crl_urls.empty() ||
-                         extensions_.must_staple ||
+                         tls_feature_present ||
                          !extensions_.san_dns.empty() ||
                          extensions_.is_ca.has_value();
     if (any_ext) {
@@ -462,9 +475,12 @@ util::Bytes CertificateBuilder::encode_tbs(
             write_extension(exts, asn1::oids::crl_distribution_points(), false,
                             encode_crldp(extensions_.crl_urls));
           }
-          if (extensions_.must_staple) {
+          if (tls_feature_present) {
             write_extension(exts, asn1::oids::tls_feature(), false,
-                            encode_tls_feature());
+                            encode_tls_feature(extensions_.tls_features
+                                                   ? *extensions_.tls_features
+                                                   : std::vector<std::int64_t>{
+                                                         5}));
           }
           if (!extensions_.san_dns.empty()) {
             write_extension(exts, asn1::oids::subject_alt_name(), false,

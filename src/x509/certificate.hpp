@@ -41,6 +41,11 @@ struct Extensions {
   std::vector<std::string> crl_urls;
   /// OCSP Must-Staple: TLS Feature extension containing status_request (5).
   bool must_staple = false;
+  /// TLS Feature extension content: every feature id present, in encoded
+  /// order. nullopt = extension absent; an empty list models the RFC
+  /// 7633-violating empty SEQUENCE. `must_staple` stays the derived
+  /// convenience flag (list contains 5).
+  std::optional<std::vector<std::int64_t>> tls_features;
   /// Subject Alternative Names (dNSName entries).
   std::vector<std::string> san_dns;
   /// BasicConstraints: present on CA certificates.
@@ -111,6 +116,10 @@ class CertificateBuilder {
   CertificateBuilder& ca_issuers_url(std::string url);
   CertificateBuilder& add_crl_url(std::string url);
   CertificateBuilder& must_staple(bool enabled);
+  /// Writes a TLS Feature extension with exactly these feature ids (an empty
+  /// list writes an empty SEQUENCE — used to exercise lint's RFC 7633
+  /// checks). Overrides must_staple()'s implicit {5}.
+  CertificateBuilder& tls_features(std::vector<std::int64_t> features);
   CertificateBuilder& add_san(std::string dns_name);
   CertificateBuilder& ca(bool is_ca);
 

@@ -5,7 +5,10 @@
 
 #include "asn1/der.hpp"
 #include "asn1/oid.hpp"
+#include "crl/crl.hpp"
+#include "ocsp/response.hpp"
 #include "util/bytes.hpp"
+#include "x509/certificate.hpp"
 
 namespace mustaple::asn1 {
 namespace {
@@ -232,6 +235,86 @@ TEST(DerReader, RejectsNonMinimalLength) {
   auto result = r.read_any();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.error().code, "asn1.non_minimal_length");
+}
+
+TEST(DerReader, RejectsTruncatedLengthOfLength) {
+  // Header claims four length octets but the buffer ends immediately.
+  const Bytes der = {0x30, 0x84, 0x00};
+  Reader r(der);
+  auto result = r.read_any();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.truncated");
+}
+
+TEST(DerReader, RejectsOversizedLengthOfLength) {
+  // Nine length octets cannot fit in a size_t; classified, not crashed.
+  Bytes der = {0x30, 0x89};
+  der.insert(der.end(), 9, 0xff);
+  Reader r(der);
+  auto result = r.read_any();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.bad_length");
+}
+
+TEST(DerReader, RejectsLeadingZeroLongFormLength) {
+  // 0x82 0x00 0x85: the value 133 fits in one length octet, so the leading
+  // zero makes this a non-minimal (BER, not DER) encoding.
+  Bytes der = {0x04, 0x82, 0x00, 0x85};
+  der.insert(der.end(), 133, 0xab);
+  Reader r(der);
+  auto result = r.read_any();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.non_minimal_length");
+}
+
+TEST(DerReader, RejectsHugeClaimedLength) {
+  // Length decodes fine (2^32) but vastly exceeds the remaining buffer.
+  const Bytes der = {0x30, 0x85, 0x01, 0x00, 0x00, 0x00, 0x00, 0x02, 0x01};
+  Reader r(der);
+  auto result = r.read_any();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "asn1.truncated");
+}
+
+// Build a SEQUENCE nested `depth` levels deep, innermost-out, without using
+// Writer recursion. Each level is small, so headers stay short-form.
+Bytes deeply_nested_sequence(std::size_t depth) {
+  Bytes der = {0x30, 0x00};
+  for (std::size_t i = 1; i < depth; ++i) {
+    Bytes wrapped;
+    wrapped.reserve(der.size() + 4);
+    wrapped.push_back(0x30);
+    if (der.size() < 0x80) {
+      wrapped.push_back(static_cast<std::uint8_t>(der.size()));
+    } else if (der.size() <= 0xff) {
+      wrapped.push_back(0x81);
+      wrapped.push_back(static_cast<std::uint8_t>(der.size()));
+    } else {
+      wrapped.push_back(0x82);
+      wrapped.push_back(static_cast<std::uint8_t>(der.size() >> 8));
+      wrapped.push_back(static_cast<std::uint8_t>(der.size() & 0xff));
+    }
+    wrapped.insert(wrapped.end(), der.begin(), der.end());
+    der = std::move(wrapped);
+  }
+  return der;
+}
+
+// The Reader itself is pull-based and non-recursive, so nesting depth only
+// matters to recursive consumers. Every top-level parser in the library must
+// fail gracefully (classified Result, no stack overflow) on a 5000-deep
+// nest — this is exactly the shape of input the paper's "ASN.1 Unparseable"
+// responders emit in the wild.
+TEST(DerReader, DeeplyNestedInputFailsGracefully) {
+  const Bytes der = deeply_nested_sequence(5000);
+  Reader r(der);
+  auto top = r.read_any();
+  ASSERT_TRUE(top.ok());  // the outermost TLV itself is well-formed
+  EXPECT_EQ(top.value().tag, static_cast<std::uint8_t>(Tag::kSequence));
+
+  EXPECT_FALSE(x509::Certificate::parse(der).ok());
+  EXPECT_FALSE(crl::Crl::parse(der).ok());
+  EXPECT_FALSE(ocsp::OcspResponse::parse(der).ok());
 }
 
 TEST(DerReader, RejectsWrongTag) {

@@ -1,0 +1,754 @@
+// mustaple::lint tests: registry invariants, the Must-Staple round-trip
+// staying lint-clean, every rule firing on a purpose-built malformed
+// artifact, golden reports per severity, and run_batch's bit-identical
+// determinism contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "asn1/der.hpp"
+#include "asn1/oid.hpp"
+#include "crl/crl.hpp"
+#include "crypto/signer.hpp"
+#include "lint/lint.hpp"
+#include "ocsp/response.hpp"
+#include "ocsp/types.hpp"
+#include "x509/certificate.hpp"
+#include "x509/name.hpp"
+
+namespace mustaple::lint {
+namespace {
+
+using util::Bytes;
+using util::Duration;
+using util::SimTime;
+
+const SimTime kNow = util::make_time(2018, 5, 1, 12);
+
+util::Rng& rng() {
+  static util::Rng instance(20180425);
+  return instance;
+}
+
+const crypto::KeyPair& ca_key() {
+  static const crypto::KeyPair key = crypto::KeyPair::generate_sim(rng());
+  return key;
+}
+
+const x509::DistinguishedName& issuer_dn() {
+  static const x509::DistinguishedName dn{"Lint Test CA", "Lint", "US"};
+  return dn;
+}
+
+const x509::Certificate& issuer_cert() {
+  static const x509::Certificate cert =
+      x509::CertificateBuilder()
+          .serial_number(0x11223344556677ULL)
+          .subject(issuer_dn())
+          .issuer(issuer_dn())
+          .validity(kNow - Duration::days(1000), kNow + Duration::days(1000))
+          .public_key(ca_key().public_key())
+          .ca(true)
+          .sign(ca_key());
+  return cert;
+}
+
+/// A leaf that passes every certificate rule: 8-octet serial, OCSP + CRL
+/// pointers, a proper {status_request} TLS Feature, and a sane validity.
+x509::Certificate make_clean_leaf(
+    const std::function<void(x509::CertificateBuilder&)>& tweak =
+        [](x509::CertificateBuilder&) {}) {
+  x509::CertificateBuilder builder;
+  builder.serial(Bytes{0x4a, 0x3b, 0x2c, 0x1d, 0x5e, 0x6f, 0x70, 0x81})
+      .subject(x509::DistinguishedName{"site.example", "", ""})
+      .issuer(issuer_dn())
+      .validity(kNow - Duration::days(10), kNow + Duration::days(80))
+      .public_key(crypto::KeyPair::generate_sim(rng()).public_key())
+      .add_ocsp_url("http://ocsp.example/")
+      .add_crl_url("http://crl.example/ca.crl")
+      .tls_features({5})
+      .add_san("site.example");
+  tweak(builder);
+  return builder.sign(ca_key());
+}
+
+std::vector<Finding> lint(const Artifact& artifact) {
+  return lint_artifact(RuleRegistry::builtin(), artifact);
+}
+
+bool fires(const std::vector<Finding>& findings, std::string_view rule_id) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule_id == rule_id; });
+}
+
+std::vector<Finding> lint_cert(const x509::Certificate& cert) {
+  return lint(Artifact::certificate("test-cert", cert));
+}
+
+// ----------------------------------------------------------- registry --
+
+TEST(Registry, HasTheAdvertisedCatalog) {
+  const RuleRegistry& registry = RuleRegistry::builtin();
+  EXPECT_GE(registry.size(), 20u);
+  EXPECT_NE(registry.by_id("e_cert_must_staple_without_ocsp_url"), nullptr);
+  EXPECT_EQ(registry.by_id("no_such_rule"), nullptr);
+
+  // Ids are unique (add() throws on duplicates) and follow the zlint-ish
+  // convention that the prefix encodes the severity.
+  std::size_t by_kind_total = 0;
+  for (const ArtifactKind kind :
+       {ArtifactKind::kCertificate, ArtifactKind::kCrl,
+        ArtifactKind::kOcspResponse, ArtifactKind::kCrlOcspPair}) {
+    by_kind_total += registry.by_kind(kind).size();
+  }
+  EXPECT_EQ(by_kind_total, registry.size());
+  for (const Rule& rule : registry.rules()) {
+    ASSERT_FALSE(rule.info.id.empty());
+    const char prefix = rule.info.id[0];
+    switch (rule.info.severity) {
+      case Severity::kFatal: EXPECT_EQ(prefix, 'f') << rule.info.id; break;
+      case Severity::kError: EXPECT_EQ(prefix, 'e') << rule.info.id; break;
+      case Severity::kWarn: EXPECT_EQ(prefix, 'w') << rule.info.id; break;
+      case Severity::kInfo: EXPECT_EQ(prefix, 'i') << rule.info.id; break;
+    }
+    EXPECT_FALSE(rule.info.citation.empty()) << rule.info.id;
+    EXPECT_TRUE(rule.check != nullptr) << rule.info.id;
+  }
+  std::size_t by_severity_total = 0;
+  for (std::size_t s = 0; s < kSeverityCount; ++s) {
+    by_severity_total +=
+        registry.by_severity(static_cast<Severity>(s)).size();
+  }
+  EXPECT_EQ(by_severity_total, registry.size());
+}
+
+TEST(Registry, RejectsDuplicateIds) {
+  RuleRegistry registry;
+  Rule rule;
+  rule.info.id = "e_dup";
+  rule.info.citation = "test";
+  rule.check = [](const Artifact&, std::vector<std::string>&) {};
+  registry.add(rule);
+  EXPECT_THROW(registry.add(rule), std::logic_error);
+}
+
+// ------------------------------------------------- Must-Staple round trip --
+
+// The headline positive case: a well-formed Must-Staple certificate
+// survives encode -> parse -> lint with zero findings.
+TEST(CertificateLint, MustStapleRoundTripIsLintClean) {
+  const x509::Certificate cert = make_clean_leaf();
+  auto reparsed = x509::Certificate::parse(cert.encode_der());
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_TRUE(reparsed.value().extensions().must_staple);
+
+  const std::vector<Finding> findings =
+      lint(Artifact::certificate("roundtrip", cert.encode_der()));
+  EXPECT_TRUE(findings.empty())
+      << findings.size() << " findings, first: "
+      << (findings.empty() ? "" : findings[0].rule_id + ": " +
+                                      findings[0].message);
+}
+
+// -------------------------------------------------------- cert rules --
+
+TEST(CertificateLint, UnparseableIsFatalAndAlone) {
+  const std::vector<Finding> findings = lint(Artifact::certificate(
+      "garbage", Bytes{'0', 'h', 'e', 'l', 'l', 'o'}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "f_cert_unparseable");
+  EXPECT_EQ(findings[0].severity, Severity::kFatal);
+}
+
+TEST(CertificateLint, InvertedValidity) {
+  const auto cert = make_clean_leaf([](x509::CertificateBuilder& b) {
+    b.validity(kNow + Duration::days(10), kNow - Duration::days(10));
+  });
+  EXPECT_TRUE(fires(lint_cert(cert), "f_cert_validity_inverted"));
+}
+
+TEST(CertificateLint, SerialZero) {
+  const auto cert = make_clean_leaf(
+      [](x509::CertificateBuilder& b) { b.serial(Bytes{0x00}); });
+  const auto findings = lint_cert(cert);
+  EXPECT_TRUE(fires(findings, "e_cert_serial_zero"));
+  // Zero is its own finding, not also "low entropy".
+  EXPECT_FALSE(fires(findings, "i_cert_serial_low_entropy"));
+}
+
+TEST(CertificateLint, SerialOverlong) {
+  const auto cert = make_clean_leaf(
+      [](x509::CertificateBuilder& b) { b.serial(Bytes(21, 0x5a)); });
+  EXPECT_TRUE(fires(lint_cert(cert), "e_cert_serial_overlong"));
+}
+
+TEST(CertificateLint, SerialLowEntropy) {
+  const auto cert = make_clean_leaf(
+      [](x509::CertificateBuilder& b) { b.serial_number(5); });
+  EXPECT_TRUE(fires(lint_cert(cert), "i_cert_serial_low_entropy"));
+}
+
+TEST(CertificateLint, ValidityOverlongFiresOnLeavesOnly) {
+  const auto leaf = make_clean_leaf([](x509::CertificateBuilder& b) {
+    b.validity(kNow, kNow + Duration::days(900));
+  });
+  EXPECT_TRUE(fires(lint_cert(leaf), "w_cert_validity_overlong"));
+  // CA certificates legitimately run long.
+  EXPECT_FALSE(
+      fires(lint_cert(issuer_cert()), "w_cert_validity_overlong"));
+}
+
+TEST(CertificateLint, MustStapleWithoutOcspUrl) {
+  x509::CertificateBuilder builder;
+  builder.serial(Bytes{0x4a, 0x3b, 0x2c, 0x1d, 0x5e, 0x6f, 0x70, 0x82})
+      .subject(x509::DistinguishedName{"unusable.example", "", ""})
+      .issuer(issuer_dn())
+      .validity(kNow - Duration::days(10), kNow + Duration::days(80))
+      .public_key(crypto::KeyPair::generate_sim(rng()).public_key())
+      .add_crl_url("http://crl.example/ca.crl")
+      .must_staple(true);
+  const auto findings = lint_cert(builder.sign(ca_key()));
+  EXPECT_TRUE(fires(findings, "e_cert_must_staple_without_ocsp_url"));
+}
+
+TEST(CertificateLint, TlsFeatureEmpty) {
+  const auto cert = make_clean_leaf(
+      [](x509::CertificateBuilder& b) { b.tls_features({}); });
+  EXPECT_TRUE(fires(lint_cert(cert), "e_cert_tls_feature_empty"));
+}
+
+TEST(CertificateLint, TlsFeatureWithoutStatusRequest) {
+  const auto cert = make_clean_leaf(
+      [](x509::CertificateBuilder& b) { b.tls_features({17}); });
+  EXPECT_TRUE(
+      fires(lint_cert(cert), "w_cert_tls_feature_without_status_request"));
+}
+
+TEST(CertificateLint, NoRevocationSource) {
+  x509::CertificateBuilder builder;
+  builder.serial(Bytes{0x4a, 0x3b, 0x2c, 0x1d, 0x5e, 0x6f, 0x70, 0x83})
+      .subject(x509::DistinguishedName{"orphan.example", "", ""})
+      .issuer(issuer_dn())
+      .validity(kNow - Duration::days(10), kNow + Duration::days(80))
+      .public_key(crypto::KeyPair::generate_sim(rng()).public_key());
+  EXPECT_TRUE(fires(lint_cert(builder.sign(ca_key())),
+                    "w_cert_no_revocation_source"));
+  EXPECT_FALSE(
+      fires(lint_cert(make_clean_leaf()), "w_cert_no_revocation_source"));
+}
+
+// --- hand-crafted TBS encodings for the raw-extension rules --------------
+
+void write_algorithm(asn1::Writer& w) {
+  w.sequence([](asn1::Writer& alg) {
+    alg.oid(asn1::oids::sim_hash_sig());
+    alg.null();
+  });
+}
+
+/// Builds a full, signed certificate whose extension list is written
+/// verbatim — shapes the builder refuses to produce (duplicates, wrong
+/// criticality) but that Certificate::parse tolerates.
+Bytes craft_cert_with_extensions(
+    const std::vector<std::tuple<asn1::Oid, bool, Bytes>>& extensions) {
+  const crypto::PublicKey key =
+      crypto::KeyPair::generate_sim(rng()).public_key();
+  asn1::Writer tbs_writer;
+  tbs_writer.sequence([&](asn1::Writer& tbs) {
+    tbs.explicit_context(0, [](asn1::Writer& v) { v.integer(2); });
+    tbs.integer_bytes(Bytes{0x4a, 0x3b, 0x2c, 0x1d, 0x5e, 0x6f, 0x70, 0x84});
+    write_algorithm(tbs);
+    issuer_dn().encode(tbs);
+    tbs.sequence([&](asn1::Writer& validity) {
+      validity.generalized_time(kNow - Duration::days(10));
+      validity.generalized_time(kNow + Duration::days(80));
+    });
+    x509::DistinguishedName{"crafted.example", "", ""}.encode(tbs);
+    tbs.sequence([&](asn1::Writer& spki) {
+      write_algorithm(spki);
+      spki.bit_string(key.encode());
+    });
+    tbs.explicit_context(3, [&](asn1::Writer& wrapper) {
+      wrapper.sequence([&](asn1::Writer& exts) {
+        for (const auto& [oid, critical, value] : extensions) {
+          exts.sequence([&](asn1::Writer& ext) {
+            ext.oid(oid);
+            if (critical) ext.boolean(true);
+            ext.octet_string(value);
+          });
+        }
+      });
+    });
+  });
+  const Bytes tbs = tbs_writer.take();
+  asn1::Writer cert;
+  cert.sequence([&](asn1::Writer& outer) {
+    outer.raw(tbs);
+    write_algorithm(outer);
+    outer.bit_string(ca_key().sign(tbs));
+  });
+  return cert.take();
+}
+
+Bytes encode_san_value(const std::string& dns) {
+  asn1::Writer w;
+  w.sequence([&](asn1::Writer& seq) {
+    seq.implicit_context(2, util::bytes_of(dns));
+  });
+  return w.take();
+}
+
+Bytes encode_basic_constraints_value(bool is_ca) {
+  asn1::Writer w;
+  w.sequence([&](asn1::Writer& seq) {
+    if (is_ca) seq.boolean(true);
+  });
+  return w.take();
+}
+
+TEST(CertificateLint, DuplicateExtension) {
+  const Bytes der = craft_cert_with_extensions(
+      {{asn1::oids::subject_alt_name(), false, encode_san_value("a.example")},
+       {asn1::oids::subject_alt_name(), false,
+        encode_san_value("b.example")}});
+  const auto findings = lint(Artifact::certificate("crafted-dup", der));
+  EXPECT_FALSE(fires(findings, "f_cert_unparseable"));
+  EXPECT_TRUE(fires(findings, "e_cert_duplicate_extension"));
+}
+
+TEST(CertificateLint, BasicConstraintsNotCritical) {
+  const Bytes der = craft_cert_with_extensions(
+      {{asn1::oids::basic_constraints(), false,
+        encode_basic_constraints_value(true)}});
+  const auto findings = lint(Artifact::certificate("crafted-bc", der));
+  EXPECT_FALSE(fires(findings, "f_cert_unparseable"));
+  EXPECT_TRUE(fires(findings, "e_cert_basic_constraints_not_critical"));
+
+  // Critical cA=TRUE is the conforming shape.
+  const Bytes ok_der = craft_cert_with_extensions(
+      {{asn1::oids::basic_constraints(), true,
+        encode_basic_constraints_value(true)}});
+  EXPECT_FALSE(fires(lint(Artifact::certificate("crafted-bc-ok", ok_der)),
+                     "e_cert_basic_constraints_not_critical"));
+}
+
+TEST(CertificateLint, UnknownCriticalExtension) {
+  const auto policies = asn1::Oid::parse("2.5.29.32");
+  ASSERT_TRUE(policies.ok());
+  asn1::Writer empty_seq;
+  empty_seq.sequence([](asn1::Writer&) {});
+  const Bytes der = craft_cert_with_extensions(
+      {{policies.value(), true, empty_seq.take()}});
+  const auto findings = lint(Artifact::certificate("crafted-crit", der));
+  EXPECT_FALSE(fires(findings, "f_cert_unparseable"));
+  EXPECT_TRUE(fires(findings, "e_cert_unknown_critical_extension"));
+}
+
+// --------------------------------------------------------- CRL rules --
+
+crl::Crl make_crl(const std::function<void(crl::CrlBuilder&)>& tweak) {
+  crl::CrlBuilder builder;
+  builder.issuer(issuer_dn())
+      .this_update(kNow - Duration::hours(1))
+      .next_update(kNow + Duration::days(7));
+  tweak(builder);
+  return builder.sign(ca_key());
+}
+
+std::vector<Finding> lint_crl(const crl::Crl& crl, Context ctx = {}) {
+  return lint(Artifact::crl_list("test-crl", crl.encode_der(), ctx));
+}
+
+TEST(CrlLint, Unparseable) {
+  const auto findings =
+      lint(Artifact::crl_list("garbage", Bytes{0xde, 0xad, 0xbe, 0xef}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "f_crl_unparseable");
+}
+
+TEST(CrlLint, WindowInverted) {
+  const auto crl = make_crl([](crl::CrlBuilder& b) {
+    b.this_update(kNow).next_update(kNow - Duration::days(1));
+  });
+  EXPECT_TRUE(fires(lint_crl(crl), "f_crl_window_inverted"));
+}
+
+TEST(CrlLint, WindowOverlong) {
+  const auto crl = make_crl(
+      [](crl::CrlBuilder& b) { b.next_update(kNow + Duration::days(90)); });
+  EXPECT_TRUE(fires(lint_crl(crl), "w_crl_window_overlong"));
+}
+
+TEST(CrlLint, DuplicateSerial) {
+  const auto crl = make_crl([](crl::CrlBuilder& b) {
+    const Bytes serial{0xab, 0xcd};
+    b.add_entry({serial, kNow - Duration::days(3), std::nullopt});
+    b.add_entry({serial, kNow - Duration::days(2), std::nullopt});
+  });
+  EXPECT_TRUE(fires(lint_crl(crl), "e_crl_duplicate_serial"));
+}
+
+TEST(CrlLint, EntryAfterThisUpdate) {
+  const auto crl = make_crl([](crl::CrlBuilder& b) {
+    b.add_entry({Bytes{0x01}, kNow + Duration::days(3), std::nullopt});
+  });
+  EXPECT_TRUE(fires(lint_crl(crl), "e_crl_entry_after_this_update"));
+}
+
+TEST(CrlLint, EmptyCrlIsInfo) {
+  const auto findings = lint_crl(make_crl([](crl::CrlBuilder&) {}));
+  EXPECT_TRUE(fires(findings, "i_crl_empty"));
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.severity, Severity::kError) << f.rule_id;
+    EXPECT_NE(f.severity, Severity::kFatal) << f.rule_id;
+  }
+}
+
+TEST(CrlLint, StaleRequiresClock) {
+  const auto crl = make_crl([](crl::CrlBuilder&) {});
+  EXPECT_FALSE(fires(lint_crl(crl), "w_crl_stale"));  // clock-free lint
+  Context late;
+  late.now = kNow + Duration::days(30);
+  EXPECT_TRUE(fires(lint_crl(crl, late), "w_crl_stale"));
+  Context fresh;
+  fresh.now = kNow;
+  EXPECT_FALSE(fires(lint_crl(crl, fresh), "w_crl_stale"));
+}
+
+// -------------------------------------------------------- OCSP rules --
+
+const Bytes kLeafSerial{0x4a, 0x3b, 0x2c, 0x1d, 0x5e, 0x6f, 0x70, 0x81};
+
+ocsp::SingleResponse make_single(
+    const Bytes& serial = kLeafSerial,
+    ocsp::CertStatus status = ocsp::CertStatus::kGood) {
+  ocsp::SingleResponse single;
+  single.cert_id =
+      ocsp::CertId::for_certificate(make_clean_leaf(), issuer_cert());
+  single.cert_id.serial = serial;
+  single.status = status;
+  single.this_update = kNow - Duration::hours(2);
+  single.next_update = kNow + Duration::days(3);
+  return single;
+}
+
+ocsp::OcspResponse make_response(
+    const std::function<void(ocsp::OcspResponseBuilder&)>& tweak =
+        [](ocsp::OcspResponseBuilder&) {},
+    const crypto::KeyPair& key = ca_key()) {
+  ocsp::OcspResponseBuilder builder;
+  builder.produced_at(kNow - Duration::hours(1)).add_single(make_single());
+  tweak(builder);
+  return builder.sign(key);
+}
+
+std::vector<Finding> lint_ocsp(const ocsp::OcspResponse& response,
+                               Context ctx = {}) {
+  return lint(
+      Artifact::ocsp_response("responder.example", response.encode_der(), ctx));
+}
+
+TEST(OcspLint, Unparseable) {
+  const auto findings =
+      lint(Artifact::ocsp_response("garbage", Bytes{'0'}));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule_id, "e_ocsp_unparseable");
+  // Deliberately error, not fatal: the paper's Fig-5 responders really do
+  // send this, so a scan of the live ecosystem must not fail the CI gate.
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+}
+
+TEST(OcspLint, WellFormedResponseIsClean) {
+  Context ctx;
+  ctx.issuer = &issuer_cert();
+  ctx.requested_serial = kLeafSerial;
+  ctx.now = kNow;
+  EXPECT_TRUE(lint_ocsp(make_response(), ctx).empty());
+}
+
+TEST(OcspLint, NotSuccessfulIsInfo) {
+  const auto response =
+      ocsp::OcspResponseBuilder::error(ocsp::ResponseStatus::kTryLater);
+  const auto findings = lint_ocsp(response);
+  EXPECT_TRUE(fires(findings, "i_ocsp_not_successful"));
+  // The emptiness rule only judges successful responses.
+  EXPECT_FALSE(fires(findings, "e_ocsp_no_single_responses"));
+}
+
+TEST(OcspLint, SuccessfulWithNoSingleResponses) {
+  // The DER parser already refuses a successful response with an empty
+  // responses list, so over the wire this condition lands in the
+  // unparseable class (e_ocsp_no_single_responses covers responses built
+  // in-process, e.g. future relaxations of the parser).
+  ocsp::OcspResponseBuilder builder;
+  builder.produced_at(kNow);
+  const auto findings = lint_ocsp(builder.sign(ca_key()));
+  ASSERT_TRUE(fires(findings, "e_ocsp_unparseable"));
+  EXPECT_NE(findings[0].message.find("ocsp.no_single_responses"),
+            std::string::npos);
+}
+
+TEST(OcspLint, WindowInverted) {
+  const auto response = make_response([](ocsp::OcspResponseBuilder& b) {
+    auto single = make_single();
+    single.next_update = single.this_update - Duration::hours(1);
+    b.add_single(single);
+  });
+  EXPECT_TRUE(fires(lint_ocsp(response), "e_ocsp_window_inverted"));
+}
+
+TEST(OcspLint, ProducedOutsideWindow) {
+  ocsp::OcspResponseBuilder builder;
+  builder.produced_at(kNow - Duration::days(2)).add_single(make_single());
+  EXPECT_TRUE(fires(lint_ocsp(builder.sign(ca_key())),
+                    "w_ocsp_produced_outside_window"));
+}
+
+TEST(OcspLint, BlankNextUpdate) {
+  const auto response = make_response([](ocsp::OcspResponseBuilder& b) {
+    auto single = make_single(Bytes{0x99});
+    single.next_update = std::nullopt;
+    b.add_single(single);
+  });
+  EXPECT_TRUE(fires(lint_ocsp(response), "w_ocsp_blank_next_update"));
+}
+
+TEST(OcspLint, WindowOverlong) {
+  const auto response = make_response([](ocsp::OcspResponseBuilder& b) {
+    auto single = make_single(Bytes{0x99});
+    single.next_update = single.this_update + Duration::days(120);
+    b.add_single(single);
+  });
+  EXPECT_TRUE(fires(lint_ocsp(response), "w_ocsp_window_overlong"));
+}
+
+TEST(OcspLint, SerialMismatchSuppressesSignatureJudgment) {
+  Context ctx;
+  ctx.issuer = &issuer_cert();
+  ctx.requested_serial = Bytes{0x77, 0x77};  // nobody answers for this
+  const auto findings = lint_ocsp(make_response(), ctx);
+  EXPECT_TRUE(fires(findings, "e_ocsp_serial_mismatch"));
+  // Mirrors the scanner's classification order (one Fig-5 class per probe):
+  // an unmatched serial never reaches the signature check.
+  EXPECT_FALSE(fires(findings, "e_ocsp_bad_signature"));
+}
+
+TEST(OcspLint, BadSignature) {
+  util::Rng local(4242);
+  const crypto::KeyPair rogue = crypto::KeyPair::generate_sim(local);
+  Context ctx;
+  ctx.issuer = &issuer_cert();
+  ctx.requested_serial = kLeafSerial;
+  const auto bad = make_response([](ocsp::OcspResponseBuilder&) {}, rogue);
+  EXPECT_TRUE(fires(lint_ocsp(bad, ctx), "e_ocsp_bad_signature"));
+  EXPECT_FALSE(fires(lint_ocsp(make_response(), ctx), "e_ocsp_bad_signature"));
+}
+
+TEST(OcspLint, NonceNotEchoed) {
+  Context ctx;
+  ctx.expected_nonce = Bytes{0x01, 0x02, 0x03};
+  EXPECT_TRUE(fires(lint_ocsp(make_response(), ctx), "w_ocsp_nonce_not_echoed"));
+  const auto echoed = make_response([](ocsp::OcspResponseBuilder& b) {
+    b.nonce(Bytes{0x01, 0x02, 0x03});
+  });
+  EXPECT_FALSE(fires(lint_ocsp(echoed, ctx), "w_ocsp_nonce_not_echoed"));
+}
+
+TEST(OcspLint, MultiSerialAndSuperfluousCertsAreInfo) {
+  const auto response = make_response([](ocsp::OcspResponseBuilder& b) {
+    b.add_single(make_single(Bytes{0x99}));
+    b.add_cert(issuer_cert());
+    b.add_cert(make_clean_leaf());
+  });
+  const auto findings = lint_ocsp(response);
+  EXPECT_TRUE(fires(findings, "i_ocsp_multi_serial"));
+  EXPECT_TRUE(fires(findings, "i_ocsp_superfluous_certs"));
+}
+
+TEST(OcspLint, StaleAndPrematureNeedClock) {
+  const auto response = make_response();
+  EXPECT_FALSE(fires(lint_ocsp(response), "e_ocsp_stale"));
+  Context late;
+  late.now = kNow + Duration::days(30);
+  EXPECT_TRUE(fires(lint_ocsp(response, late), "e_ocsp_stale"));
+  Context early;
+  early.now = kNow - Duration::days(30);
+  EXPECT_TRUE(fires(lint_ocsp(response, early), "e_ocsp_premature"));
+}
+
+// -------------------------------------------------- CRL/OCSP cross-check --
+
+std::vector<Finding> lint_pair(const ocsp::OcspResponse& response,
+                               const crl::Crl& crl) {
+  Context ctx;
+  ctx.issuer = &issuer_cert();
+  ctx.requested_serial = kLeafSerial;
+  return lint(Artifact::crl_ocsp_pair("responder.example",
+                                      response.encode_der(), crl, ctx));
+}
+
+crl::Crl make_revoking_crl(std::optional<crl::ReasonCode> reason =
+                               crl::ReasonCode::kKeyCompromise) {
+  return make_crl([&](crl::CrlBuilder& b) {
+    b.add_entry({kLeafSerial, kNow - Duration::days(5), reason});
+  });
+}
+
+TEST(CrossCheckLint, CrlRevokedButOcspSaysGood) {
+  const auto findings = lint_pair(make_response(), make_revoking_crl());
+  EXPECT_TRUE(fires(findings, "e_xcheck_crl_revoked_ocsp_good"));
+  EXPECT_FALSE(fires(findings, "e_xcheck_crl_revoked_ocsp_unknown"));
+}
+
+TEST(CrossCheckLint, CrlRevokedButOcspSaysUnknown) {
+  ocsp::OcspResponseBuilder builder;
+  builder.produced_at(kNow - Duration::hours(1))
+      .add_single(make_single(kLeafSerial, ocsp::CertStatus::kUnknown));
+  const auto findings =
+      lint_pair(builder.sign(ca_key()), make_revoking_crl());
+  EXPECT_TRUE(fires(findings, "e_xcheck_crl_revoked_ocsp_unknown"));
+  EXPECT_FALSE(fires(findings, "e_xcheck_crl_revoked_ocsp_good"));
+}
+
+TEST(CrossCheckLint, RevocationTimeAndReasonDisagreements) {
+  ocsp::OcspResponseBuilder builder;
+  auto single = make_single(kLeafSerial, ocsp::CertStatus::kRevoked);
+  // Different time than the CRL's, and the reason dropped entirely — the
+  // paper's dominant disagreement shape (§5.4).
+  single.revoked =
+      ocsp::RevokedInfo{kNow - Duration::days(4), std::nullopt};
+  builder.produced_at(kNow - Duration::hours(1)).add_single(single);
+  const auto findings =
+      lint_pair(builder.sign(ca_key()), make_revoking_crl());
+  EXPECT_TRUE(fires(findings, "w_xcheck_revocation_time_differs"));
+  EXPECT_TRUE(fires(findings, "w_xcheck_reason_code_differs"));
+  EXPECT_FALSE(fires(findings, "e_xcheck_crl_revoked_ocsp_good"));
+}
+
+TEST(CrossCheckLint, AgreementIsCleanOfCrossFindings) {
+  ocsp::OcspResponseBuilder builder;
+  auto single = make_single(kLeafSerial, ocsp::CertStatus::kRevoked);
+  single.revoked = ocsp::RevokedInfo{kNow - Duration::days(5),
+                                     crl::ReasonCode::kKeyCompromise};
+  builder.produced_at(kNow - Duration::hours(1)).add_single(single);
+  const auto findings =
+      lint_pair(builder.sign(ca_key()), make_revoking_crl());
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.rule_id.find("xcheck") == std::string::npos) << f.rule_id;
+  }
+}
+
+// ------------------------------------------------------------- report --
+
+// Golden rendering: one synthetic finding per severity level, in add()
+// order, against the exact serialized form consumers (CI, the study's
+// artifact export) parse.
+TEST(Report, GoldenJsonCoversEverySeverity) {
+  LintReport report;
+  report.add({Finding{"i_note", Severity::kInfo, "a1", "informational"},
+              Finding{"w_warn", Severity::kWarn, "a1", "advisory"}});
+  report.add({Finding{"e_err", Severity::kError, "a2", "violation"}});
+  report.add({Finding{"f_fatal", Severity::kFatal, "a3", "unusable"}});
+  report.add({});  // a clean artifact still counts
+  EXPECT_EQ(
+      report.render_json(),
+      "{\"artifacts\":4,\"findings_total\":4,"
+      "\"by_severity\":{\"info\":1,\"warn\":1,\"error\":1,\"fatal\":1},"
+      "\"by_rule\":{\"e_err\":1,\"f_fatal\":1,\"i_note\":1,\"w_warn\":1},"
+      "\"dropped\":0,\"findings\":["
+      "{\"rule\":\"i_note\",\"severity\":\"info\",\"artifact\":\"a1\","
+      "\"message\":\"informational\"},"
+      "{\"rule\":\"w_warn\",\"severity\":\"warn\",\"artifact\":\"a1\","
+      "\"message\":\"advisory\"},"
+      "{\"rule\":\"e_err\",\"severity\":\"error\",\"artifact\":\"a2\","
+      "\"message\":\"violation\"},"
+      "{\"rule\":\"f_fatal\",\"severity\":\"fatal\",\"artifact\":\"a3\","
+      "\"message\":\"unusable\"}]}");
+  EXPECT_TRUE(report.has_fatal());
+  EXPECT_EQ(report.count(Severity::kWarn), 1u);
+  EXPECT_EQ(report.count("e_err"), 1u);
+  EXPECT_EQ(report.summary(),
+            "4 artifacts, 4 findings (1 info, 1 warn, 1 error, 1 fatal)");
+}
+
+TEST(Report, CapacityDropsFindingsButKeepsCountsExact) {
+  LintReport report(2);
+  report.add({Finding{"e_a", Severity::kError, "x", "m1"},
+              Finding{"e_a", Severity::kError, "x", "m2"},
+              Finding{"e_b", Severity::kError, "x", "m3"}});
+  EXPECT_EQ(report.findings().size(), 2u);
+  EXPECT_EQ(report.dropped(), 1u);
+  EXPECT_EQ(report.total_findings(), 3u);
+  EXPECT_EQ(report.count("e_a"), 2u);
+  EXPECT_EQ(report.count("e_b"), 1u);
+}
+
+TEST(Report, MergeAddsCountsAndRespectsCapacity) {
+  LintReport a(2);
+  a.add({Finding{"e_a", Severity::kError, "x", "m"}});
+  LintReport b;
+  b.add({Finding{"w_b", Severity::kWarn, "y", "m"},
+         Finding{"w_b", Severity::kWarn, "y", "m2"}});
+  a.merge(b);
+  EXPECT_EQ(a.artifacts(), 2u);
+  EXPECT_EQ(a.total_findings(), 3u);
+  EXPECT_EQ(a.findings().size(), 2u);  // capacity still enforced
+  EXPECT_EQ(a.dropped(), 1u);
+  EXPECT_EQ(a.count(Severity::kWarn), 2u);
+}
+
+TEST(Report, CsvListsEveryRegistryRule) {
+  LintReport report;
+  report.add({Finding{"e_cert_serial_zero", Severity::kError, "x", "m"}});
+  const std::string csv = report.render_csv(RuleRegistry::builtin());
+  EXPECT_NE(csv.find("rule,severity,citation,count"), std::string::npos);
+  EXPECT_NE(csv.find("e_cert_serial_zero"), std::string::npos);
+  // Rules with zero hits still appear (the catalog view).
+  EXPECT_NE(csv.find("f_crl_unparseable"), std::string::npos);
+}
+
+// --------------------------------------------------------- run_batch --
+
+TEST(RunBatch, BitIdenticalAcrossThreadCounts) {
+  auto make_batch = [] {
+    std::vector<Artifact> artifacts;
+    for (int i = 0; i < 24; ++i) {
+      switch (i % 4) {
+        case 0:
+          artifacts.push_back(Artifact::deferred(
+              ArtifactKind::kCertificate, "cert:" + std::to_string(i),
+              make_clean_leaf([&](x509::CertificateBuilder& b) {
+                b.serial_number(static_cast<std::uint64_t>(i) + 1);
+              }).encode_der()));
+          break;
+        case 1:
+          artifacts.push_back(Artifact::deferred(
+              ArtifactKind::kCrl, "crl:" + std::to_string(i),
+              make_crl([](crl::CrlBuilder&) {}).encode_der()));
+          break;
+        case 2:
+          artifacts.push_back(Artifact::deferred(
+              ArtifactKind::kOcspResponse, "ocsp:" + std::to_string(i),
+              make_response().encode_der()));
+          break;
+        default:
+          artifacts.push_back(Artifact::deferred(ArtifactKind::kOcspResponse,
+                                                 "junk:" + std::to_string(i),
+                                                 Bytes{'x', 'y', 'z'}));
+      }
+    }
+    return artifacts;
+  };
+  const RuleRegistry& registry = RuleRegistry::builtin();
+  std::vector<Artifact> one = make_batch();
+  std::vector<Artifact> four = make_batch();
+  const LintReport single = run_batch(registry, one, 1);
+  const LintReport quad = run_batch(registry, four, 4);
+  EXPECT_GT(single.total_findings(), 0u);
+  EXPECT_EQ(single.render_json(), quad.render_json());
+}
+
+}  // namespace
+}  // namespace mustaple::lint

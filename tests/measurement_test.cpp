@@ -311,6 +311,7 @@ struct CampaignSummary {
   std::vector<double> validity_cdf;
   std::vector<double> margin_cdf;
   std::string timeline_csv;
+  std::string lint_json;
 };
 
 CampaignSummary run_campaign(std::size_t threads) {
@@ -351,6 +352,7 @@ CampaignSummary run_campaign(std::size_t threads) {
   summary.margin_cdf =
       scanner.cdf_margin(net::Region::kSaoPaulo).sorted_finite();
   summary.timeline_csv = timeline.render_csv();
+  summary.lint_json = scanner.lint_report().render_json();
   return summary;
 }
 
@@ -427,6 +429,9 @@ TEST(ScannerThreading, FourThreadsBitIdenticalToOneThread) {
   // The observability plane is part of the contract too: identical metric
   // deltas in every timeline window, rendered to the same CSV bytes.
   EXPECT_EQ(one.timeline_csv, four.timeline_csv);
+  // Inline lint findings accumulate in canonical probe order, so the whole
+  // report (counts AND retained finding order) must also be bit-identical.
+  EXPECT_EQ(one.lint_json, four.lint_json);
 }
 
 TEST(ScannerThreading, ExplicitThreadCountBeatsEnvironment) {
