@@ -1,0 +1,379 @@
+// perf_suite: the repo's hot-path performance program in one binary.
+//
+// Measures, in dependency order (crypto -> codec -> services -> campaign):
+//   - SHA-256 compression throughput for EVERY dispatchable implementation
+//     (scalar reference, unrolled, AVX2, SHA-NI where the CPU has them)
+//   - certificate DER parses/sec over the generated ecosystem population
+//   - OCSP response parses/sec over real responder-built bodies
+//   - responder lookups/sec (build_response_der, the server hot path)
+//   - probe round trips/sec (http_request_probe, the scanner hot path)
+//   - a scaled Fig-3-style campaign's wall time at 1 thread and N threads,
+//     with an output fingerprint proving the runs are bit-identical
+//
+// Output: human-readable text on stdout always; `--json [path]` additionally
+// writes a schema-versioned JSON document (default BENCH_perf.json) so CI
+// can archive a trajectory of numbers and diff runs. Schema documented in
+// docs/PERF.md; bump kSchema when fields change meaning.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "crypto/sha256.hpp"
+#include "net/url.hpp"
+#include "ocsp/request.hpp"
+#include "ocsp/response.hpp"
+#include "util/hash.hpp"
+#include "x509/certificate.hpp"
+
+namespace {
+
+constexpr const char* kSchema = "mustaple-perf/1";
+
+/// Runs `fn` (one "item" of work per call) until at least `min_seconds` of
+/// wall clock has elapsed, in geometrically growing batches so the clock is
+/// read rarely. Returns items/second.
+template <typename Fn>
+double throughput(Fn&& fn, double min_seconds = 0.25) {
+  // Warm-up: one call outside the timed region (page-in, lazy dispatch).
+  fn();
+  std::size_t batch = 1;
+  std::size_t done = 0;
+  mustaple::bench::Stopwatch watch;
+  double elapsed = 0.0;
+  while (elapsed < min_seconds) {
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    done += batch;
+    elapsed = watch.seconds();
+    if (batch < (std::size_t{1} << 20)) batch *= 2;
+  }
+  return static_cast<double>(done) / elapsed;
+}
+
+/// Minimal JSON writer: the repo's obs/lint emitters hand-roll JSON per
+/// file, and this suite's output is flat enough to do the same.
+class Json {
+ public:
+  void open(const char* key) { pad_(); buf_ += '"'; buf_ += key; buf_ += "\": {\n"; ++depth_; first_ = true; }
+  void close() { --depth_; buf_ += '\n'; pad_close_(); buf_ += '}'; first_ = false; }
+  void str(const char* key, const std::string& value) {
+    pad_(); buf_ += '"'; buf_ += key; buf_ += "\": \""; buf_ += value; buf_ += '"';
+  }
+  void num(const char* key, double value) {
+    char tmp[64];
+    std::snprintf(tmp, sizeof(tmp), "%.3f", value);
+    pad_(); buf_ += '"'; buf_ += key; buf_ += "\": "; buf_ += tmp;
+  }
+  void integer(const char* key, unsigned long long value) {
+    pad_(); buf_ += '"'; buf_ += key; buf_ += "\": "; buf_ += std::to_string(value);
+  }
+  void boolean(const char* key, bool value) {
+    pad_(); buf_ += '"'; buf_ += key; buf_ += "\": "; buf_ += value ? "true" : "false";
+  }
+  std::string finish() { return "{\n" + buf_ + "\n}\n"; }
+
+ private:
+  void pad_() {
+    if (!first_) buf_ += ",\n";
+    first_ = false;
+    buf_.append(static_cast<std::size_t>(2 * (depth_ + 1)), ' ');
+  }
+  void pad_close_() { buf_.append(static_cast<std::size_t>(2 * (depth_ + 1)), ' '); }
+  std::string buf_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+/// Order-independent-free fingerprint of a finished campaign: folds every
+/// scanner output a bench consumer reads (step totals, per-responder stats,
+/// derived censuses) into one 64-bit value. Two runs with different thread
+/// counts must produce the same fingerprint — that is the determinism
+/// contract perf_suite re-checks on every CI run.
+std::uint64_t campaign_fingerprint(
+    const mustaple::measurement::HourlyScanner& scanner) {
+  using namespace mustaple;
+  std::uint64_t h = util::fnv1a64("campaign");
+  auto fold = [&h](std::uint64_t v) { h = util::hash_combine(h, util::mix64(v)); };
+  for (const auto& step : scanner.steps()) {
+    fold(static_cast<std::uint64_t>(step.when.unix_seconds));
+    for (std::size_t g = 0; g < net::kRegionCount; ++g) {
+      fold(step.requests[g]);
+      fold(step.successes[g]);
+      fold(step.domains_unable[g]);
+    }
+    fold(step.responses_200);
+    fold(step.unparseable);
+    fold(step.serial_mismatch);
+    fold(step.bad_signature);
+  }
+  for (std::size_t r = 0; r < scanner.responder_count(); ++r) {
+    for (net::Region region : net::all_regions()) {
+      const auto& s = scanner.stats(r, region);
+      fold(s.requests);
+      fold(s.http_successes);
+      fold(s.usable_responses);
+      fold(s.dns_failures + s.tcp_failures + s.http_errors + s.tls_failures);
+      fold(s.produced_regressions);
+      fold(s.cached_observations);
+    }
+  }
+  fold(scanner.responders_with_outage());
+  fold(scanner.responders_never_reachable());
+  fold(scanner.responders_pre_generated());
+  for (const auto& [rule, count] : scanner.lint_report().by_rule()) {
+    h = util::hash_combine(h, util::fnv1a64(rule));
+    fold(count);
+  }
+  return h;
+}
+
+struct CampaignRun {
+  double seconds = 0.0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+CampaignRun run_campaign(const mustaple::measurement::EcosystemConfig& config,
+                         std::size_t threads) {
+  using namespace mustaple;
+  net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+  measurement::Ecosystem ecosystem(config, loop);
+  measurement::ScanConfig scan;
+  scan.interval = util::Duration::hours(12);
+  scan.threads = threads;
+  measurement::HourlyScanner scanner(ecosystem, scan);
+  bench::Stopwatch watch;
+  scanner.run();
+  CampaignRun run;
+  run.seconds = watch.seconds();
+  run.fingerprint = campaign_fingerprint(scanner);
+  const auto totals = scanner.validation_cache_stats();
+  run.cache_lookups = totals.lookups;
+  run.cache_hits = totals.hits;
+  run.cache_misses = totals.misses;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mustaple;
+  bool want_json = false;
+  std::string json_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+      return 2;
+    }
+  }
+  bench::print_header("perf_suite: hot-path throughput program",
+                      "measurement infrastructure (no paper figure)");
+
+  Json json;
+  json.str("schema", kSchema);
+  json.integer("threads_hw", std::thread::hardware_concurrency());
+
+  // ---- 1. SHA-256: every dispatchable implementation on a 64 KiB buffer.
+  constexpr std::size_t kShaBytes = 64 * 1024;
+  util::Bytes sha_buf(kShaBytes);
+  for (std::size_t i = 0; i < sha_buf.size(); ++i) {
+    sha_buf[i] = static_cast<std::uint8_t>(i * 0x9e ^ (i >> 7));
+  }
+  const crypto::Sha256Impl best = crypto::sha256_active_impl();
+  double scalar_mbs = 0.0;
+  double best_mbs = 0.0;
+  std::printf("SHA-256 (64 KiB buffer, one-shot):\n");
+  json.open("sha256");
+  json.integer("buffer_bytes", kShaBytes);
+  json.str("active", crypto::to_string(best));
+  json.open("mb_per_s");
+  for (crypto::Sha256Impl impl : crypto::sha256_available_impls()) {
+    if (!crypto::sha256_set_impl(impl)) continue;
+    const double per_s =
+        throughput([&] { (void)crypto::Sha256::hash(sha_buf); });
+    const double mbs = per_s * static_cast<double>(kShaBytes) / (1024.0 * 1024.0);
+    std::printf("  %-10s %9.1f MB/s\n", crypto::to_string(impl), mbs);
+    json.num(crypto::to_string(impl), mbs);
+    if (impl == crypto::Sha256Impl::kScalar) scalar_mbs = mbs;
+    if (impl == best) best_mbs = mbs;
+  }
+  crypto::sha256_set_impl(best);  // restore the dispatcher's choice
+  json.close();
+  const double sha_speedup = scalar_mbs > 0.0 ? best_mbs / scalar_mbs : 0.0;
+  json.num("speedup_vs_scalar", sha_speedup);
+  json.close();
+  std::printf("  -> active=%s, %.2fx vs scalar\n\n", crypto::to_string(best),
+              sha_speedup);
+
+  // ---- Shared corpus: a mid-sized generated ecosystem.
+  measurement::EcosystemConfig config = bench::paper_ecosystem();
+  config.responder_count = 64;
+  config.alexa_domains = 10'000;
+  config.certs_per_responder = 3;
+  config.campaign_end = util::make_time(2018, 5, 9);  // 2 weeks
+  net::EventLoop loop(config.campaign_start - util::Duration::days(1));
+  measurement::Ecosystem ecosystem(config, loop);
+  const auto& targets = ecosystem.scan_targets();
+
+  // ---- 2. Certificate parses/sec over the population's DER.
+  std::vector<util::Bytes> cert_ders;
+  cert_ders.reserve(targets.size());
+  for (const auto& t : targets) cert_ders.push_back(t.cert.encode_der());
+  {
+    std::size_t next = 0;
+    const double per_s = throughput([&] {
+      const auto parsed = x509::Certificate::parse(cert_ders[next]);
+      if (!parsed.ok()) std::abort();
+      next = (next + 1) % cert_ders.size();
+    });
+    std::printf("certificate parse:   %10.0f certs/s  (corpus %zu)\n", per_s,
+                cert_ders.size());
+    json.open("cert_parse");
+    json.num("certs_per_s", per_s);
+    json.integer("corpus", cert_ders.size());
+    json.close();
+  }
+
+  // ---- Per-target CertIds + responder-built response bodies.
+  std::vector<ocsp::CertId> cert_ids;
+  std::vector<std::size_t> responder_of;
+  std::vector<util::Bytes> bodies;
+  cert_ids.reserve(targets.size());
+  for (const auto& t : targets) {
+    if (!t.cert.extensions().supports_ocsp()) continue;
+    const x509::Certificate& issuer =
+        ecosystem.authority(t.ca_index).intermediate_cert();
+    cert_ids.push_back(ocsp::CertId::for_certificate(t.cert, issuer));
+    responder_of.push_back(t.responder_index);
+  }
+  const util::SimTime now = ecosystem.network().now();
+  for (std::size_t i = 0; i < cert_ids.size(); ++i) {
+    bodies.push_back(
+        ecosystem.responder(responder_of[i]).build_response_der(cert_ids[i], now));
+  }
+
+  // ---- 3. OCSP response parses/sec.
+  {
+    std::size_t next = 0;
+    const double per_s = throughput([&] {
+      const auto parsed = ocsp::OcspResponse::parse(bodies[next]);
+      if (!parsed.ok()) std::abort();
+      next = (next + 1) % bodies.size();
+    });
+    std::printf("ocsp response parse: %10.0f responses/s  (corpus %zu)\n",
+                per_s, bodies.size());
+    json.open("ocsp_parse");
+    json.num("responses_per_s", per_s);
+    json.integer("corpus", bodies.size());
+    json.close();
+  }
+
+  // ---- 4. Responder lookups/sec (the server-side hot path).
+  {
+    std::size_t next = 0;
+    const double per_s = throughput([&] {
+      (void)ecosystem.responder(responder_of[next])
+          .build_response_der(cert_ids[next], now);
+      next = (next + 1) % cert_ids.size();
+    });
+    std::printf("responder lookup:    %10.0f lookups/s\n", per_s);
+    json.open("responder_lookup");
+    json.num("lookups_per_s", per_s);
+    json.close();
+  }
+
+  // ---- 5. Probe round trips/sec (the scanner-side hot path).
+  {
+    std::vector<net::Url> urls;
+    std::vector<util::Bytes> request_ders;
+    for (std::size_t i = 0; i < cert_ids.size(); ++i) {
+      auto url = net::parse_url(
+          ecosystem.responder(responder_of[i]).url());
+      if (!url.ok()) std::abort();
+      urls.push_back(url.value());
+      request_ders.push_back(
+          ocsp::OcspRequest::single(cert_ids[i]).encode_der());
+    }
+    std::size_t next = 0;
+    std::uint64_t ordinal = 0;
+    const double per_s = throughput([&] {
+      net::HttpRequest request;
+      request.method = "POST";
+      request.body = request_ders[next];
+      request.headers.set("content-type", "application/ocsp-request");
+      const auto result = ecosystem.network().http_request_probe(
+          net::Region::kVirginia, urls[next], std::move(request), ordinal++);
+      (void)result;
+      next = (next + 1) % urls.size();
+    });
+    std::printf("probe round trip:    %10.0f probes/s\n\n", per_s);
+    json.open("probe");
+    json.num("probes_per_s", per_s);
+    json.close();
+  }
+
+  // ---- 6. Scaled campaign wall time, 1 thread vs N, identical outputs.
+  {
+    measurement::EcosystemConfig campaign_config = config;
+    campaign_config.responder_count = 32;
+    campaign_config.alexa_domains = 5'000;
+    const std::size_t n_threads = 4;
+    const CampaignRun one = run_campaign(campaign_config, 1);
+    const CampaignRun many = run_campaign(campaign_config, n_threads);
+    const bool identical = one.fingerprint == many.fingerprint;
+    std::printf("campaign (32 responders, 2 weeks, 12h cadence, validate+lint):\n");
+    std::printf("  1 thread  %6.2fs   fingerprint %016llx\n", one.seconds,
+                static_cast<unsigned long long>(one.fingerprint));
+    std::printf("  %zu threads %6.2fs   fingerprint %016llx  -> %s\n",
+                n_threads, many.seconds,
+                static_cast<unsigned long long>(many.fingerprint),
+                identical ? "identical" : "MISMATCH");
+    std::printf("  validation cache: %llu lookups, %llu hits, %llu misses "
+                "(hits+misses %s lookups)\n\n",
+                static_cast<unsigned long long>(many.cache_lookups),
+                static_cast<unsigned long long>(many.cache_hits),
+                static_cast<unsigned long long>(many.cache_misses),
+                many.cache_hits + many.cache_misses == many.cache_lookups
+                    ? "=="
+                    : "!=");
+    json.open("campaign");
+    json.num("threads1_s", one.seconds);
+    json.num("threadsN_s", many.seconds);
+    json.integer("threads_n", n_threads);
+    json.boolean("outputs_identical", identical);
+    json.integer("cache_lookups", many.cache_lookups);
+    json.integer("cache_hits", many.cache_hits);
+    json.integer("cache_misses", many.cache_misses);
+    json.close();
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FATAL: campaign outputs differ across thread counts\n");
+      return 1;
+    }
+    if (many.cache_hits + many.cache_misses != many.cache_lookups) {
+      std::fprintf(stderr, "FATAL: cache conservation violated\n");
+      return 1;
+    }
+  }
+
+  if (want_json) {
+    const std::string doc = json.finish();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("(JSON written to %s)\n", json_path.c_str());
+  }
+  return 0;
+}

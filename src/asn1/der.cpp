@@ -39,6 +39,10 @@ void Writer::length(std::size_t n) {
 }
 
 void Writer::tlv(std::uint8_t tag, const Bytes& content) {
+  tlv(tag, util::BytesView(content));
+}
+
+void Writer::tlv(std::uint8_t tag, util::BytesView content) {
   out_.push_back(tag);
   length(content.size());
   util::append(out_, content);
@@ -76,7 +80,9 @@ void Writer::integer_bytes(const Bytes& magnitude) {
   tlv(static_cast<std::uint8_t>(Tag::kInteger), content);
 }
 
-void Writer::null() { tlv(static_cast<std::uint8_t>(Tag::kNull), {}); }
+void Writer::null() {
+  tlv(static_cast<std::uint8_t>(Tag::kNull), util::BytesView{});
+}
 
 void Writer::oid(const Oid& o) {
   tlv(static_cast<std::uint8_t>(Tag::kOid), o.encode_content());
@@ -147,72 +153,91 @@ void Writer::implicit_context(unsigned n, const Bytes& content) {
 // ---------------------------------------------------------------------------
 
 std::uint8_t Reader::peek_tag() const {
-  if (pos_ >= end()) return 0;
-  return (*data_)[pos_];
+  if (pos_ >= end_) return 0;
+  return base_[pos_];
 }
 
-Result<Tlv> Reader::read_any() {
-  const std::size_t limit = end();
-  if (pos_ >= limit) return fail<Tlv>("asn1.truncated", "no TLV header");
-  Tlv out;
-  out.tag = (*data_)[pos_++];
-  if (pos_ >= limit) return fail<Tlv>("asn1.truncated", "no length octet");
-  std::size_t len = (*data_)[pos_++];
+Result<TlvView> Reader::read_any_view() {
+  const std::size_t limit = end_;
+  if (pos_ >= limit) return fail<TlvView>("asn1.truncated", "no TLV header");
+  TlvView out;
+  out.tag = base_[pos_++];
+  if (pos_ >= limit) return fail<TlvView>("asn1.truncated", "no length octet");
+  std::size_t len = base_[pos_++];
   if (len == 0x80) {
-    return fail<Tlv>("asn1.indefinite_length", "indefinite length is not DER");
+    return fail<TlvView>("asn1.indefinite_length",
+                         "indefinite length is not DER");
   }
   if (len & 0x80) {
     const std::size_t n_octets = len & 0x7f;
     if (n_octets > sizeof(std::size_t)) {
-      return fail<Tlv>("asn1.bad_length", "length of length too large");
+      return fail<TlvView>("asn1.bad_length", "length of length too large");
     }
     if (pos_ + n_octets > limit) {
-      return fail<Tlv>("asn1.truncated", "length octets run past end");
+      return fail<TlvView>("asn1.truncated", "length octets run past end");
     }
-    if ((*data_)[pos_] == 0) {
+    if (base_[pos_] == 0) {
       // DER requires the minimal number of length octets; a leading zero
       // octet means a shorter long form (or the short form) would have done.
-      return fail<Tlv>("asn1.non_minimal_length",
-                       "leading zero in long-form length");
+      return fail<TlvView>("asn1.non_minimal_length",
+                           "leading zero in long-form length");
     }
     len = 0;
     for (std::size_t i = 0; i < n_octets; ++i) {
-      len = (len << 8) | (*data_)[pos_++];
+      len = (len << 8) | base_[pos_++];
     }
     if (len < 0x80) {
-      return fail<Tlv>("asn1.non_minimal_length", "long form for short length");
+      return fail<TlvView>("asn1.non_minimal_length",
+                           "long form for short length");
     }
   }
   if (len > limit - pos_) {
-    return fail<Tlv>("asn1.truncated", "content runs past end");
+    return fail<TlvView>("asn1.truncated", "content runs past end");
   }
-  out.content.assign(data_->begin() + static_cast<std::ptrdiff_t>(pos_),
-                     data_->begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  out.content = util::BytesView(base_ + pos_, len);
   pos_ += len;
   return out;
 }
 
+Result<Tlv> Reader::read_any() {
+  auto view = read_any_view();
+  if (!view.ok()) return fail<Tlv>(view.error().code, view.error().detail);
+  return view.value().to_tlv();
+}
+
 Result<Tlv> Reader::expect(Tag tag) {
-  auto tlv = read_any();
+  auto tlv = expect_view(tag);
+  if (!tlv.ok()) return fail<Tlv>(tlv.error().code, tlv.error().detail);
+  return tlv.value().to_tlv();
+}
+
+Result<Tlv> Reader::expect_context(unsigned n, bool constructed) {
+  auto tlv = expect_context_view(n, constructed);
+  if (!tlv.ok()) return fail<Tlv>(tlv.error().code, tlv.error().detail);
+  return tlv.value().to_tlv();
+}
+
+Result<TlvView> Reader::expect_view(Tag tag) {
+  auto tlv = read_any_view();
   if (!tlv.ok()) return tlv;
   if (!tlv.value().is(tag)) {
-    return fail<Tlv>("asn1.unexpected_tag",
-                     "got 0x" + std::to_string(tlv.value().tag));
+    return fail<TlvView>("asn1.unexpected_tag",
+                         "got 0x" + std::to_string(tlv.value().tag));
   }
   return tlv;
 }
 
-Result<Tlv> Reader::expect_context(unsigned n, bool constructed) {
-  auto tlv = read_any();
+Result<TlvView> Reader::expect_context_view(unsigned n, bool constructed) {
+  auto tlv = read_any_view();
   if (!tlv.ok()) return tlv;
   if (!tlv.value().is_context(n, constructed)) {
-    return fail<Tlv>("asn1.unexpected_tag", "expected context tag");
+    return fail<TlvView>("asn1.unexpected_tag", "expected context tag");
   }
   return tlv;
 }
 
 Result<bool> Reader::read_boolean() {
-  auto tlv = expect(Tag::kBoolean);
+  auto tlv = expect_view(Tag::kBoolean);
   if (!tlv.ok()) return fail<bool>(tlv.error().code, tlv.error().detail);
   if (tlv.value().content.size() != 1) {
     return fail<bool>("asn1.bad_boolean", "boolean must be one octet");
@@ -221,9 +246,9 @@ Result<bool> Reader::read_boolean() {
 }
 
 Result<std::int64_t> Reader::read_integer() {
-  auto tlv = expect(Tag::kInteger);
+  auto tlv = expect_view(Tag::kInteger);
   if (!tlv.ok()) return fail<std::int64_t>(tlv.error().code, tlv.error().detail);
-  const Bytes& c = tlv.value().content;
+  const util::BytesView c = tlv.value().content;
   if (c.empty()) return fail<std::int64_t>("asn1.bad_integer", "empty integer");
   if (c.size() > 8) {
     return fail<std::int64_t>("asn1.integer_overflow", "wider than int64");
@@ -233,41 +258,71 @@ Result<std::int64_t> Reader::read_integer() {
   return v;
 }
 
-Result<Bytes> Reader::read_integer_bytes() {
-  auto tlv = expect(Tag::kInteger);
-  if (!tlv.ok()) return fail<Bytes>(tlv.error().code, tlv.error().detail);
-  Bytes c = tlv.value().content;
-  if (c.empty()) return fail<Bytes>("asn1.bad_integer", "empty integer");
-  if (c[0] & 0x80) {
-    return fail<Bytes>("asn1.negative_integer", "expected non-negative");
+Result<util::BytesView> Reader::read_integer_bytes_view() {
+  auto tlv = expect_view(Tag::kInteger);
+  if (!tlv.ok()) {
+    return fail<util::BytesView>(tlv.error().code, tlv.error().detail);
   }
-  if (c.size() > 1 && c[0] == 0x00) c.erase(c.begin());
+  util::BytesView c = tlv.value().content;
+  if (c.empty()) return fail<util::BytesView>("asn1.bad_integer", "empty integer");
+  if (c[0] & 0x80) {
+    return fail<util::BytesView>("asn1.negative_integer",
+                                 "expected non-negative");
+  }
+  // A single 0x00 pad octet marks a magnitude with the high bit set.
+  if (c.size() > 1 && c[0] == 0x00) c = c.drop_front(1);
   return c;
 }
 
+Result<Bytes> Reader::read_integer_bytes() {
+  auto view = read_integer_bytes_view();
+  if (!view.ok()) return fail<Bytes>(view.error().code, view.error().detail);
+  return view.value().to_bytes();
+}
+
 Result<Oid> Reader::read_oid() {
-  auto tlv = expect(Tag::kOid);
+  auto tlv = expect_view(Tag::kOid);
   if (!tlv.ok()) return fail<Oid>(tlv.error().code, tlv.error().detail);
   return Oid::decode_content(tlv.value().content);
 }
 
-Result<Bytes> Reader::read_octet_string() {
-  auto tlv = expect(Tag::kOctetString);
-  if (!tlv.ok()) return fail<Bytes>(tlv.error().code, tlv.error().detail);
+Result<util::BytesView> Reader::read_octet_string_view() {
+  auto tlv = expect_view(Tag::kOctetString);
+  if (!tlv.ok()) {
+    return fail<util::BytesView>(tlv.error().code, tlv.error().detail);
+  }
   return tlv.value().content;
 }
 
+Result<Bytes> Reader::read_octet_string() {
+  auto view = read_octet_string_view();
+  if (!view.ok()) return fail<Bytes>(view.error().code, view.error().detail);
+  return view.value().to_bytes();
+}
+
+Result<util::BytesView> Reader::read_bit_string_view() {
+  auto tlv = expect_view(Tag::kBitString);
+  if (!tlv.ok()) {
+    return fail<util::BytesView>(tlv.error().code, tlv.error().detail);
+  }
+  const util::BytesView c = tlv.value().content;
+  if (c.empty()) {
+    return fail<util::BytesView>("asn1.bad_bit_string", "missing unused-bits");
+  }
+  if (c[0] > 7) {
+    return fail<util::BytesView>("asn1.bad_bit_string", "unused bits > 7");
+  }
+  return c.drop_front(1);
+}
+
 Result<Bytes> Reader::read_bit_string() {
-  auto tlv = expect(Tag::kBitString);
-  if (!tlv.ok()) return fail<Bytes>(tlv.error().code, tlv.error().detail);
-  const Bytes& c = tlv.value().content;
-  if (c.empty()) return fail<Bytes>("asn1.bad_bit_string", "missing unused-bits");
-  if (c[0] > 7) return fail<Bytes>("asn1.bad_bit_string", "unused bits > 7");
-  return Bytes(c.begin() + 1, c.end());
+  auto view = read_bit_string_view();
+  if (!view.ok()) return fail<Bytes>(view.error().code, view.error().detail);
+  return view.value().to_bytes();
 }
 
 Result<std::string> Reader::read_string() {
-  auto tlv = read_any();
+  auto tlv = read_any_view();
   if (!tlv.ok()) return fail<std::string>(tlv.error().code, tlv.error().detail);
   if (!tlv.value().is(Tag::kUtf8String) &&
       !tlv.value().is(Tag::kPrintableString) &&
@@ -278,7 +333,7 @@ Result<std::string> Reader::read_string() {
 }
 
 Result<util::SimTime> Reader::read_generalized_time() {
-  auto tlv = expect(Tag::kGeneralizedTime);
+  auto tlv = expect_view(Tag::kGeneralizedTime);
   if (!tlv.ok()) {
     return fail<util::SimTime>(tlv.error().code, tlv.error().detail);
   }
@@ -290,9 +345,9 @@ Result<util::SimTime> Reader::read_generalized_time() {
 }
 
 Result<std::int64_t> Reader::read_enumerated() {
-  auto tlv = expect(Tag::kEnumerated);
+  auto tlv = expect_view(Tag::kEnumerated);
   if (!tlv.ok()) return fail<std::int64_t>(tlv.error().code, tlv.error().detail);
-  const Bytes& c = tlv.value().content;
+  const util::BytesView c = tlv.value().content;
   if (c.empty() || c.size() > 8) {
     return fail<std::int64_t>("asn1.bad_enumerated", "bad width");
   }

@@ -13,6 +13,7 @@
 
 #include "asn1/oid.hpp"
 #include "util/bytes.hpp"
+#include "util/bytes_view.hpp"
 #include "util/result.hpp"
 #include "util/sim_time.hpp"
 
@@ -77,6 +78,9 @@ class Writer {
 
   /// Emits an arbitrary TLV (tag byte + definite length + content).
   void tlv(std::uint8_t tag, const util::Bytes& content);
+  /// Zero-copy overload: splices a borrowed content view (e.g. re-wrapping
+  /// a parsed TBS without materializing it first).
+  void tlv(std::uint8_t tag, util::BytesView content);
 
  private:
   void length(std::size_t n);
@@ -94,28 +98,59 @@ struct Tlv {
   }
 };
 
+/// A decoded TLV whose content BORROWS from the Reader's buffer — the
+/// zero-copy counterpart of Tlv. The view is valid only while the source
+/// buffer lives (DESIGN.md §9); copy with to_tlv()/content.to_bytes() for
+/// anything retained past the parse.
+struct TlvView {
+  std::uint8_t tag = 0;
+  util::BytesView content;
+
+  bool is(Tag t) const { return tag == static_cast<std::uint8_t>(t); }
+  bool is_context(unsigned n, bool constructed) const {
+    return tag == context_tag(n, constructed);
+  }
+  Tlv to_tlv() const { return Tlv{tag, content.to_bytes()}; }
+};
+
 /// Sequential DER reader over a byte buffer. All methods return Result so
 /// malformed input is a classified outcome, never UB or an exception.
+///
+/// Two read families share one decoder:
+///  - owning (`read_any`, `read_octet_string`, ...) copy content out —
+///    unchanged legacy API;
+///  - view (`read_any_view`, `read_octet_string_view`, ...) return borrows
+///    into the Reader's buffer. The parse hot paths (certificates, OCSP,
+///    CRLs) traverse via views so only retained fields allocate.
 class Reader {
  public:
-  explicit Reader(const util::Bytes& data) : data_(&data) {}
+  explicit Reader(const util::Bytes& data)
+      : base_(data.data()), end_(data.size()) {}
   Reader(const util::Bytes& data, std::size_t begin, std::size_t end)
-      : data_(&data), pos_(begin), end_(end) {}
+      : base_(data.data()), pos_(begin), end_(end) {}
+  /// Reads over a borrowed view (typically a TlvView's content). The view's
+  /// source buffer must outlive the Reader.
+  explicit Reader(util::BytesView view)
+      : base_(view.data()), end_(view.size()) {}
   // The Reader references the buffer; binding a temporary would dangle.
   explicit Reader(util::Bytes&&) = delete;
   Reader(util::Bytes&&, std::size_t, std::size_t) = delete;
 
-  bool at_end() const { return pos_ >= end(); }
-  std::size_t remaining() const { return end() - pos_; }
+  bool at_end() const { return pos_ >= end_; }
+  std::size_t remaining() const { return end_ - pos_; }
 
   /// Reads the next TLV of any tag.
   util::Result<Tlv> read_any();
+  /// Zero-copy read: the returned view borrows from this Reader's buffer.
+  util::Result<TlvView> read_any_view();
   /// Peeks the next tag byte without consuming (0 if at end/truncated).
   std::uint8_t peek_tag() const;
 
   /// Reads a TLV and checks its tag.
   util::Result<Tlv> expect(Tag tag);
   util::Result<Tlv> expect_context(unsigned n, bool constructed);
+  util::Result<TlvView> expect_view(Tag tag);
+  util::Result<TlvView> expect_context_view(unsigned n, bool constructed);
 
   // Typed readers (tag check + content decoding).
   util::Result<bool> read_boolean();
@@ -128,20 +163,26 @@ class Reader {
   util::Result<util::SimTime> read_generalized_time();
   util::Result<std::int64_t> read_enumerated();
 
- private:
-  const util::Bytes* data_;
-  std::size_t pos_ = 0;
-  std::optional<std::size_t> end_;
+  // Zero-copy typed readers: same tag checks and error codes as the owning
+  // versions, but the bytes stay in place.
+  util::Result<util::BytesView> read_octet_string_view();
+  util::Result<util::BytesView> read_bit_string_view();
+  util::Result<util::BytesView> read_integer_bytes_view();  ///< unsigned magnitude
 
-  std::size_t end() const { return end_.value_or(data_->size()); }
+ private:
+  const std::uint8_t* base_;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;
 };
 
 /// Opens a constructed TLV's content as a fresh Reader-friendly buffer.
-/// (Content is copied; DER objects in this study are small.)
 inline Reader reader_over(const Tlv& tlv) {
   // NOTE: Tlv owns its content, so returning a Reader over it is safe as
   // long as the Tlv outlives the Reader — the universal usage pattern here.
   return Reader(tlv.content);
 }
+
+/// View counterpart: the Reader borrows from the view's source buffer.
+inline Reader reader_over(const TlvView& tlv) { return Reader(tlv.content); }
 
 }  // namespace mustaple::asn1

@@ -61,7 +61,7 @@ util::Bytes Oid::encode_content() const {
   return out;
 }
 
-util::Result<Oid> Oid::decode_content(const util::Bytes& content) {
+util::Result<Oid> Oid::decode_content(util::BytesView content) {
   if (content.empty()) {
     return util::Result<Oid>::failure("oid.empty_content");
   }

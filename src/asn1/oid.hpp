@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/bytes_view.hpp"
 #include "util/result.hpp"
 
 namespace mustaple::asn1 {
@@ -33,8 +34,13 @@ class Oid {
   /// DER content octets (without the tag/length header).
   util::Bytes encode_content() const;
 
-  /// Decodes DER content octets.
-  static util::Result<Oid> decode_content(const util::Bytes& content);
+  /// Decodes DER content octets. The view overload is the implementation;
+  /// the const-ref overload keeps temporaries (e.g. brace literals) legal —
+  /// they live for the full call, unlike a view bound to an rvalue.
+  static util::Result<Oid> decode_content(util::BytesView content);
+  static util::Result<Oid> decode_content(const util::Bytes& content) {
+    return decode_content(util::BytesView(content));
+  }
 
   friend bool operator==(const Oid& a, const Oid& b) { return a.arcs_ == b.arcs_; }
   friend auto operator<=>(const Oid& a, const Oid& b) { return a.arcs_ <=> b.arcs_; }

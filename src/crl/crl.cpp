@@ -79,11 +79,11 @@ util::Bytes Crl::encode_der() const {
 util::Result<Crl> Crl::parse(const util::Bytes& der) {
   using R = Result<Crl>;
   Reader top(der);
-  auto outer = top.expect(Tag::kSequence);
+  auto outer = top.expect_view(Tag::kSequence);
   if (!outer.ok()) return R::failure(outer.error().code, outer.error().detail);
   Reader list(outer.value().content);
 
-  auto tbs = list.expect(Tag::kSequence);
+  auto tbs = list.expect_view(Tag::kSequence);
   if (!tbs.ok()) return R::failure(tbs.error().code, "tbsCertList");
   Crl crl;
   {
@@ -93,7 +93,7 @@ util::Result<Crl> Crl::parse(const util::Bytes& der) {
   }
 
   {
-    auto alg_seq = list.expect(Tag::kSequence);
+    auto alg_seq = list.expect_view(Tag::kSequence);
     if (!alg_seq.ok()) return R::failure(alg_seq.error().code, "algorithm");
     Reader alg_body(alg_seq.value().content);
     auto oid = alg_body.read_oid();
@@ -102,18 +102,18 @@ util::Result<Crl> Crl::parse(const util::Bytes& der) {
                        ? crypto::SignatureAlgorithm::kRsaSha256
                        : crypto::SignatureAlgorithm::kSimHashSig;
   }
-  auto sig = list.read_bit_string();
+  auto sig = list.read_bit_string_view();
   if (!sig.ok()) return R::failure(sig.error().code, "signature");
-  crl.signature_ = sig.value();
+  crl.signature_ = sig.value().to_bytes();
 
   Reader tbs_reader(tbs.value().content);
   auto version = tbs_reader.read_integer();
   if (!version.ok()) return R::failure(version.error().code, "version");
   {
-    auto alg_seq = tbs_reader.expect(Tag::kSequence);
+    auto alg_seq = tbs_reader.expect_view(Tag::kSequence);
     if (!alg_seq.ok()) return R::failure(alg_seq.error().code, "tbs algorithm");
   }
-  auto issuer_tlv = tbs_reader.expect(Tag::kSequence);
+  auto issuer_tlv = tbs_reader.expect_view(Tag::kSequence);
   if (!issuer_tlv.ok()) return R::failure(issuer_tlv.error().code, "issuer");
   auto issuer = x509::DistinguishedName::decode(issuer_tlv.value());
   if (!issuer.ok()) return R::failure(issuer.error().code, "issuer");
@@ -131,33 +131,33 @@ util::Result<Crl> Crl::parse(const util::Bytes& der) {
   crl.next_update_ = next_update.value();
 
   if (!tbs_reader.at_end()) {
-    auto revoked_seq = tbs_reader.expect(Tag::kSequence);
+    auto revoked_seq = tbs_reader.expect_view(Tag::kSequence);
     if (!revoked_seq.ok()) {
       return R::failure(revoked_seq.error().code, "revokedCertificates");
     }
     Reader revoked(revoked_seq.value().content);
     while (!revoked.at_end()) {
-      auto entry_tlv = revoked.expect(Tag::kSequence);
+      auto entry_tlv = revoked.expect_view(Tag::kSequence);
       if (!entry_tlv.ok()) return R::failure(entry_tlv.error().code, "entry");
       Reader entry_reader(entry_tlv.value().content);
       RevokedEntry entry;
-      auto serial = entry_reader.read_integer_bytes();
+      auto serial = entry_reader.read_integer_bytes_view();
       if (!serial.ok()) return R::failure(serial.error().code, "entry serial");
-      entry.serial = serial.value();
+      entry.serial = serial.value().to_bytes();
       auto when = entry_reader.read_generalized_time();
       if (!when.ok()) return R::failure(when.error().code, "entry time");
       entry.revocation_time = when.value();
       if (!entry_reader.at_end()) {
-        auto exts = entry_reader.expect(Tag::kSequence);
+        auto exts = entry_reader.expect_view(Tag::kSequence);
         if (!exts.ok()) return R::failure(exts.error().code, "entry exts");
         Reader exts_reader(exts.value().content);
         while (!exts_reader.at_end()) {
-          auto ext = exts_reader.expect(Tag::kSequence);
+          auto ext = exts_reader.expect_view(Tag::kSequence);
           if (!ext.ok()) return R::failure(ext.error().code, "entry ext");
           Reader ext_reader(ext.value().content);
           auto oid = ext_reader.read_oid();
           if (!oid.ok()) return R::failure(oid.error().code, "entry ext oid");
-          auto value = ext_reader.read_octet_string();
+          auto value = ext_reader.read_octet_string_view();
           if (!value.ok()) return R::failure(value.error().code, "ext value");
           if (oid.value() == asn1::oids::crl_reason()) {
             Reader value_reader(value.value());

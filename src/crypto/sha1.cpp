@@ -1,12 +1,13 @@
 #include "crypto/sha1.hpp"
 
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
 namespace mustaple::crypto {
 
 namespace {
-std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+std::uint32_t rotl(std::uint32_t x, int n) { return std::rotl(x, n); }
 }  // namespace
 
 Sha1::Sha1()

@@ -1,14 +1,41 @@
 // SHA-256 (FIPS 180-4), implemented from scratch. Used for certificate
 // fingerprints, OCSP CertID hashes, RSA signature digests, and the
 // simulation-grade keyed-hash signer.
+//
+// The compression function is runtime-dispatched: a portable scalar
+// implementation always exists, an unrolled scalar variant is the portable
+// default, and on x86-64 the dispatcher upgrades to SHA-NI or AVX2 when
+// CPUID says the CPU has them. Every implementation produces bit-identical
+// digests (asserted against NIST vectors and randomized splits in
+// crypto_test); dispatch only changes throughput, never output.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "util/bytes.hpp"
 
 namespace mustaple::crypto {
+
+/// Compression-function implementations, in ascending preference order.
+enum class Sha256Impl {
+  kScalar,    ///< straightforward FIPS 180-4 loop (reference baseline)
+  kUnrolled,  ///< unrolled rounds + rolling 16-word schedule (portable default)
+  kAvx2,      ///< SIMD message schedule, scalar rounds (x86-64 with AVX2)
+  kShaNi,     ///< SHA extensions (x86-64 with SHA-NI)
+};
+
+const char* to_string(Sha256Impl impl);
+
+/// The implementation the dispatcher currently uses.
+Sha256Impl sha256_active_impl();
+/// All implementations usable on this CPU (always contains kScalar and
+/// kUnrolled).
+std::vector<Sha256Impl> sha256_available_impls();
+/// Forces a specific implementation (tests/benchmarks). Returns false —
+/// leaving the dispatch unchanged — when the CPU lacks it.
+bool sha256_set_impl(Sha256Impl impl);
 
 /// Incremental SHA-256. Typical use: Sha256().update(a).update(b).digest().
 class Sha256 {
@@ -30,7 +57,7 @@ class Sha256 {
   static util::Bytes hash(const util::Bytes& data);
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* blocks, std::size_t n);
 
   std::array<std::uint32_t, 8> state_;
   std::uint64_t total_bytes_ = 0;

@@ -13,6 +13,10 @@ namespace mustaple::measurement {
 namespace {
 constexpr std::int64_t kCachedThresholdSeconds = 120;  // §5.4's 2 minutes
 constexpr std::size_t kStaticCacheLimit = 200'000;     // entries before reset
+// Lock stripes per cache. 16 shards keeps contention negligible at any
+// plausible MUSTAPLE_SCAN_THREADS while the per-shard maps stay big enough
+// (12.5k entries) that clearing stays rare.
+constexpr std::size_t kCacheShards = 16;
 
 std::uint64_t body_cache_key(std::size_t responder, const util::Bytes& body) {
   return util::hash_combine(util::mix64(responder), util::fnv1a64(body));
@@ -20,7 +24,10 @@ std::uint64_t body_cache_key(std::size_t responder, const util::Bytes& body) {
 }  // namespace
 
 HourlyScanner::HourlyScanner(Ecosystem& ecosystem, ScanConfig config)
-    : ecosystem_(&ecosystem), config_(config) {
+    : ecosystem_(&ecosystem),
+      config_(config),
+      static_cache_(kCacheShards, kStaticCacheLimit),
+      lint_cache_(kCacheShards, kStaticCacheLimit) {
   const auto& targets = ecosystem_->scan_targets();
   targets_.reserve(targets.size());
   for (const auto& t : targets) {
@@ -71,30 +78,23 @@ HourlyScanner::ProbeOutcome HourlyScanner::execute_probe(
   // the verdict computed for probe A's different body.
   const std::uint64_t key = body_cache_key(target.responder_index, body);
   const util::Bytes digest = crypto::Sha256::hash(body);
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    const auto cached = static_cache_.find(key);
-    if (cached != static_cache_.end()) {
-      if (cached->second.body_size == body.size() &&
-          cached->second.body_sha256 == digest) {
-        outcome.verdict = ocsp::apply_time_checks(cached->second.verdict, now);
-        outcome.validated = true;
-        if (config_.lint_responses) lint_probe(target, outcome);
-        return outcome;
-      }
-      MUSTAPLE_COUNT("mustaple_scan_cache_collisions_total");
+  if (const auto cached = static_cache_.lookup(key)) {
+    if (cached->body_size == body.size() && cached->body_sha256 == digest) {
+      outcome.verdict = ocsp::apply_time_checks(cached->verdict, now);
+      outcome.validated = true;
+      if (config_.lint_responses) lint_probe(target, outcome);
+      return outcome;
     }
+    static_cache_.note_collision(key);
+    MUSTAPLE_COUNT("mustaple_scan_cache_collisions_total");
   }
-  // Miss (or collision): verify outside the lock — concurrent probes may
+  // Miss (or collision): verify outside any lock — concurrent probes may
   // duplicate the work for the same body, but verification is pure, so the
   // last writer's entry is identical to every other's.
   const ocsp::VerifiedResponse static_verdict =
       ocsp::verify_ocsp_response_static(body, target.cert_id, issuer_key);
-  {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    if (static_cache_.size() >= kStaticCacheLimit) static_cache_.clear();
-    static_cache_[key] = StaticCacheEntry{body.size(), digest, static_verdict};
-  }
+  static_cache_.insert(key,
+                       StaticCacheEntry{body.size(), digest, static_verdict});
   outcome.verdict = ocsp::apply_time_checks(static_verdict, now);
   outcome.validated = true;
   if (config_.lint_responses) lint_probe(target, outcome);
@@ -107,19 +107,15 @@ void HourlyScanner::lint_probe(const Target& target, ProbeOutcome& outcome) {
   const std::uint64_t key = util::hash_combine(
       body_cache_key(target.responder_index, body), util::fnv1a64(serial));
   const util::Bytes digest = crypto::Sha256::hash(body);
-  {
-    std::lock_guard<std::mutex> lock(lint_cache_mu_);
-    const auto cached = lint_cache_.find(key);
-    if (cached != lint_cache_.end()) {
-      if (cached->second.body_size == body.size() &&
-          cached->second.body_sha256 == digest &&
-          cached->second.serial == serial) {
-        outcome.findings = cached->second.findings;
-        outcome.linted = true;
-        return;
-      }
-      MUSTAPLE_COUNT("mustaple_lint_cache_collisions_total");
+  if (auto cached = lint_cache_.lookup(key)) {
+    if (cached->body_size == body.size() && cached->body_sha256 == digest &&
+        cached->serial == serial) {
+      outcome.findings = std::move(cached->findings);
+      outcome.linted = true;
+      return;
     }
+    lint_cache_.note_collision(key);
+    MUSTAPLE_COUNT("mustaple_lint_cache_collisions_total");
   }
   // Lint runs clock-free (no Context::now), so findings for a given
   // (responder, body, serial) never change across scan steps — identical
@@ -131,12 +127,8 @@ void HourlyScanner::lint_probe(const Target& target, ProbeOutcome& outcome) {
       ecosystem_->responders()[target.responder_index].host, body, ctx);
   outcome.findings = lint::lint_artifact(lint::RuleRegistry::builtin(), artifact);
   outcome.linted = true;
-  {
-    std::lock_guard<std::mutex> lock(lint_cache_mu_);
-    if (lint_cache_.size() >= kStaticCacheLimit) lint_cache_.clear();
-    lint_cache_[key] =
-        LintCacheEntry{body.size(), digest, serial, outcome.findings};
-  }
+  lint_cache_.insert(
+      key, LintCacheEntry{body.size(), digest, serial, outcome.findings});
 }
 
 void HourlyScanner::accumulate_probe(const Target& target, net::Region region,

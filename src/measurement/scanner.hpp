@@ -11,13 +11,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "lint/lint.hpp"
 #include "measurement/ecosystem.hpp"
 #include "ocsp/verify.hpp"
+#include "util/sharded_cache.hpp"
 #include "util/stats.hpp"
 
 namespace mustaple::measurement {
@@ -148,6 +147,29 @@ class HourlyScanner {
   /// likewise for serial-mismatch and bad-signature (asserted in tests).
   const lint::LintReport& lint_report() const { return lint_report_; }
 
+  // ---- cache introspection (tests, perf_suite) ----
+  //
+  // Conservation (hits + misses == lookups) holds per shard and in
+  // aggregate at every thread count; the hit/miss SPLIT is the one
+  // scheduling-dependent number in a campaign (two workers can both miss
+  // the same key before either inserts) and feeds no campaign output.
+  std::size_t validation_cache_shards() const {
+    return static_cache_.shard_count();
+  }
+  util::ShardedCacheStats validation_cache_shard_stats(std::size_t s) const {
+    return static_cache_.shard_stats(s);
+  }
+  util::ShardedCacheStats validation_cache_stats() const {
+    return static_cache_.totals();
+  }
+  std::size_t lint_cache_shards() const { return lint_cache_.shard_count(); }
+  util::ShardedCacheStats lint_cache_shard_stats(std::size_t s) const {
+    return lint_cache_.shard_stats(s);
+  }
+  util::ShardedCacheStats lint_cache_stats() const {
+    return lint_cache_.totals();
+  }
+
  private:
   struct Target {
     ocsp::CertId cert_id;
@@ -192,17 +214,18 @@ class HourlyScanner {
   std::vector<std::size_t> step_successes_;
   // Cache of the time-invariant validation, keyed by (responder, body
   // hash): pre-generated responders re-serve identical DER for a whole
-  // update cycle, so most probes hit. Bounded by periodic clearing. The
-  // 64-bit key alone is not proof of identity — each entry also stores the
-  // body's size and SHA-256, verified on every hit; a mismatch counts as
+  // update cycle, so most probes hit. Lock-striped (util::ShardedCache) so
+  // parallel workers only contend when their keys land on the same shard;
+  // bounded by per-shard clearing. The 64-bit key alone is not proof of
+  // identity — each entry also stores the body's size and SHA-256, verified
+  // on every hit; a mismatch counts as
   // mustaple_scan_cache_collisions_total and re-verifies honestly.
   struct StaticCacheEntry {
     std::size_t body_size = 0;
     util::Bytes body_sha256;
     ocsp::VerifiedResponse verdict{};
   };
-  std::mutex cache_mu_;  ///< guards static_cache_ under the parallel fan-out
-  std::unordered_map<std::uint64_t, StaticCacheEntry> static_cache_;
+  util::ShardedCache<StaticCacheEntry> static_cache_;
   // Lint findings are clock-free, so they cache under the same discipline.
   // The key folds in the requested serial (the serial-mismatch rule depends
   // on it); hits verify body size + SHA-256 + serial before reuse.
@@ -212,8 +235,7 @@ class HourlyScanner {
     util::Bytes serial;
     std::vector<lint::Finding> findings;
   };
-  std::mutex lint_cache_mu_;  ///< guards lint_cache_ under the fan-out
-  std::unordered_map<std::uint64_t, LintCacheEntry> lint_cache_;
+  util::ShardedCache<LintCacheEntry> lint_cache_;
   lint::LintReport lint_report_;
   // Trace identity: each scan step gets a trace id, each probe a
   // campaign-wide ordinal. The ordinal also keys the counter-based latency

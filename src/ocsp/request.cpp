@@ -26,21 +26,21 @@ void encode_cert_id(Writer& w, const CertId& id) {
 
 util::Result<CertId> decode_cert_id(Reader& r) {
   using R = Result<CertId>;
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return R::failure(seq.error().code, "certID");
   Reader body(seq.value().content);
-  auto alg = body.expect(Tag::kSequence);
+  auto alg = body.expect_view(Tag::kSequence);
   if (!alg.ok()) return R::failure(alg.error().code, "certID alg");
   CertId id;
-  auto name_hash = body.read_octet_string();
+  auto name_hash = body.read_octet_string_view();
   if (!name_hash.ok()) return R::failure(name_hash.error().code, "nameHash");
-  id.issuer_name_hash = name_hash.value();
-  auto key_hash = body.read_octet_string();
+  id.issuer_name_hash = name_hash.value().to_bytes();
+  auto key_hash = body.read_octet_string_view();
   if (!key_hash.ok()) return R::failure(key_hash.error().code, "keyHash");
-  id.issuer_key_hash = key_hash.value();
-  auto serial = body.read_integer_bytes();
+  id.issuer_key_hash = key_hash.value().to_bytes();
+  auto serial = body.read_integer_bytes_view();
   if (!serial.ok()) return R::failure(serial.error().code, "serial");
-  id.serial = serial.value();
+  id.serial = serial.value().to_bytes();
   return id;
 }
 
@@ -74,18 +74,18 @@ util::Bytes OcspRequest::encode_der() const {
 util::Result<OcspRequest> OcspRequest::parse(const util::Bytes& der) {
   using R = Result<OcspRequest>;
   Reader top(der);
-  auto outer = top.expect(Tag::kSequence);
+  auto outer = top.expect_view(Tag::kSequence);
   if (!outer.ok()) return R::failure(outer.error().code, "OCSPRequest");
   Reader req(outer.value().content);
-  auto tbs = req.expect(Tag::kSequence);
+  auto tbs = req.expect_view(Tag::kSequence);
   if (!tbs.ok()) return R::failure(tbs.error().code, "TBSRequest");
   Reader tbs_reader(tbs.value().content);
-  auto list = tbs_reader.expect(Tag::kSequence);
+  auto list = tbs_reader.expect_view(Tag::kSequence);
   if (!list.ok()) return R::failure(list.error().code, "requestList");
   Reader list_reader(list.value().content);
   std::vector<CertId> ids;
   while (!list_reader.at_end()) {
-    auto single = list_reader.expect(Tag::kSequence);
+    auto single = list_reader.expect_view(Tag::kSequence);
     if (!single.ok()) return R::failure(single.error().code, "Request");
     Reader single_reader(single.value().content);
     auto id = decode_cert_id(single_reader);
@@ -98,22 +98,22 @@ util::Result<OcspRequest> OcspRequest::parse(const util::Bytes& der) {
   // Optional [2] requestExtensions: pick out the nonce.
   if (!tbs_reader.at_end() &&
       tbs_reader.peek_tag() == asn1::context_tag(2, /*constructed=*/true)) {
-    auto wrapper = tbs_reader.expect_context(2, true);
+    auto wrapper = tbs_reader.expect_context_view(2, true);
     if (!wrapper.ok()) return R::failure(wrapper.error().code, "extensions");
     Reader ext_outer(wrapper.value().content);
-    auto exts = ext_outer.expect(Tag::kSequence);
+    auto exts = ext_outer.expect_view(Tag::kSequence);
     if (!exts.ok()) return R::failure(exts.error().code, "extensions");
     Reader exts_reader(exts.value().content);
     while (!exts_reader.at_end()) {
-      auto ext = exts_reader.expect(Tag::kSequence);
+      auto ext = exts_reader.expect_view(Tag::kSequence);
       if (!ext.ok()) return R::failure(ext.error().code, "extension");
       Reader ext_reader(ext.value().content);
       auto oid = ext_reader.read_oid();
       if (!oid.ok()) return R::failure(oid.error().code, "extension oid");
-      auto value = ext_reader.read_octet_string();
+      auto value = ext_reader.read_octet_string_view();
       if (!value.ok()) return R::failure(value.error().code, "extension value");
       if (oid.value() == asn1::oids::ocsp_nonce()) {
-        request.set_nonce(value.value());
+        request.set_nonce(value.value().to_bytes());
       }
     }
   }

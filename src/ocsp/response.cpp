@@ -59,7 +59,7 @@ void encode_single(Writer& w, const SingleResponse& single) {
 
 Result<SingleResponse> decode_single(Reader& r) {
   using R = Result<SingleResponse>;
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return R::failure(seq.error().code, "SingleResponse");
   Reader body(seq.value().content);
   SingleResponse single;
@@ -67,7 +67,7 @@ Result<SingleResponse> decode_single(Reader& r) {
   if (!id.ok()) return R::failure(id.error().code, id.error().detail);
   single.cert_id = id.value();
 
-  auto status_tlv = body.read_any();
+  auto status_tlv = body.read_any_view();
   if (!status_tlv.ok()) return R::failure(status_tlv.error().code, "certStatus");
   if (status_tlv.value().is_context(0, false)) {
     single.status = CertStatus::kGood;
@@ -79,7 +79,7 @@ Result<SingleResponse> decode_single(Reader& r) {
     if (!when.ok()) return R::failure(when.error().code, "revocationTime");
     revoked.revocation_time = when.value();
     if (!info.at_end()) {
-      auto reason_wrap = info.expect_context(0, true);
+      auto reason_wrap = info.expect_context_view(0, true);
       if (!reason_wrap.ok()) {
         return R::failure(reason_wrap.error().code, "revocationReason");
       }
@@ -102,7 +102,7 @@ Result<SingleResponse> decode_single(Reader& r) {
   single.this_update = this_update.value();
   if (!body.at_end() &&
       body.peek_tag() == asn1::context_tag(0, /*constructed=*/true)) {
-    auto nu_wrap = body.expect_context(0, true);
+    auto nu_wrap = body.expect_context_view(0, true);
     if (!nu_wrap.ok()) return R::failure(nu_wrap.error().code, "nextUpdate");
     Reader nu_reader(nu_wrap.value().content);
     auto nu = nu_reader.read_generalized_time();
@@ -158,7 +158,7 @@ util::Bytes OcspResponse::encode_der() const {
 util::Result<OcspResponse> OcspResponse::parse(const util::Bytes& der) {
   using R = Result<OcspResponse>;
   Reader top(der);
-  auto outer = top.expect(Tag::kSequence);
+  auto outer = top.expect_view(Tag::kSequence);
   if (!outer.ok()) return R::failure(outer.error().code, "OCSPResponse");
   Reader resp(outer.value().content);
   auto status = resp.read_enumerated();
@@ -189,10 +189,10 @@ util::Result<OcspResponse> OcspResponse::parse(const util::Bytes& der) {
   }
   if (out.response_status_ != ResponseStatus::kSuccessful) return out;
 
-  auto rb_wrap = resp.expect_context(0, true);
+  auto rb_wrap = resp.expect_context_view(0, true);
   if (!rb_wrap.ok()) return R::failure(rb_wrap.error().code, "responseBytes");
   Reader rb_reader(rb_wrap.value().content);
-  auto rb_seq = rb_reader.expect(Tag::kSequence);
+  auto rb_seq = rb_reader.expect_view(Tag::kSequence);
   if (!rb_seq.ok()) return R::failure(rb_seq.error().code, "responseBytes");
   Reader rb_body(rb_seq.value().content);
   auto response_type = rb_body.read_oid();
@@ -203,18 +203,18 @@ util::Result<OcspResponse> OcspResponse::parse(const util::Bytes& der) {
     return R::failure("ocsp.unsupported_response_type",
                       response_type.value().to_string());
   }
-  auto basic_octets = rb_body.read_octet_string();
+  auto basic_octets = rb_body.read_octet_string_view();
   if (!basic_octets.ok()) {
     return R::failure(basic_octets.error().code, "response octets");
   }
 
   Reader basic_top(basic_octets.value());
-  auto basic_seq = basic_top.expect(Tag::kSequence);
+  auto basic_seq = basic_top.expect_view(Tag::kSequence);
   if (!basic_seq.ok()) {
     return R::failure(basic_seq.error().code, "BasicOCSPResponse");
   }
   Reader basic(basic_seq.value().content);
-  auto tbs = basic.expect(Tag::kSequence);
+  auto tbs = basic.expect_view(Tag::kSequence);
   if (!tbs.ok()) return R::failure(tbs.error().code, "tbsResponseData");
   {
     Writer rewriter;
@@ -222,7 +222,7 @@ util::Result<OcspResponse> OcspResponse::parse(const util::Bytes& der) {
     out.tbs_der_ = rewriter.take();
   }
   {
-    auto alg_seq = basic.expect(Tag::kSequence);
+    auto alg_seq = basic.expect_view(Tag::kSequence);
     if (!alg_seq.ok()) return R::failure(alg_seq.error().code, "sig alg");
     Reader alg_body(alg_seq.value().content);
     auto oid = alg_body.read_oid();
@@ -231,18 +231,18 @@ util::Result<OcspResponse> OcspResponse::parse(const util::Bytes& der) {
                        ? crypto::SignatureAlgorithm::kRsaSha256
                        : crypto::SignatureAlgorithm::kSimHashSig;
   }
-  auto sig = basic.read_bit_string();
+  auto sig = basic.read_bit_string_view();
   if (!sig.ok()) return R::failure(sig.error().code, "signature");
-  out.signature_ = sig.value();
+  out.signature_ = sig.value().to_bytes();
   if (!basic.at_end()) {
-    auto certs_wrap = basic.expect_context(0, true);
+    auto certs_wrap = basic.expect_context_view(0, true);
     if (!certs_wrap.ok()) return R::failure(certs_wrap.error().code, "certs");
     Reader certs_outer(certs_wrap.value().content);
-    auto certs_seq = certs_outer.expect(Tag::kSequence);
+    auto certs_seq = certs_outer.expect_view(Tag::kSequence);
     if (!certs_seq.ok()) return R::failure(certs_seq.error().code, "certs");
     Reader certs_reader(certs_seq.value().content);
     while (!certs_reader.at_end()) {
-      auto cert_tlv = certs_reader.read_any();
+      auto cert_tlv = certs_reader.read_any_view();
       if (!cert_tlv.ok()) return R::failure(cert_tlv.error().code, "cert");
       Writer rewriter;
       rewriter.tlv(cert_tlv.value().tag, cert_tlv.value().content);
@@ -257,7 +257,7 @@ util::Result<OcspResponse> OcspResponse::parse(const util::Bytes& der) {
   auto produced = tbs_reader.read_generalized_time();
   if (!produced.ok()) return R::failure(produced.error().code, "producedAt");
   out.produced_at_ = produced.value();
-  auto singles_seq = tbs_reader.expect(Tag::kSequence);
+  auto singles_seq = tbs_reader.expect_view(Tag::kSequence);
   if (!singles_seq.ok()) return R::failure(singles_seq.error().code, "responses");
   Reader singles(singles_seq.value().content);
   while (!singles.at_end()) {
@@ -271,22 +271,22 @@ util::Result<OcspResponse> OcspResponse::parse(const util::Bytes& der) {
   // Optional [1] responseExtensions: the nonce.
   if (!tbs_reader.at_end() &&
       tbs_reader.peek_tag() == asn1::context_tag(1, /*constructed=*/true)) {
-    auto wrapper = tbs_reader.expect_context(1, true);
+    auto wrapper = tbs_reader.expect_context_view(1, true);
     if (!wrapper.ok()) return R::failure(wrapper.error().code, "extensions");
     Reader ext_outer(wrapper.value().content);
-    auto exts = ext_outer.expect(Tag::kSequence);
+    auto exts = ext_outer.expect_view(Tag::kSequence);
     if (!exts.ok()) return R::failure(exts.error().code, "extensions");
     Reader exts_reader(exts.value().content);
     while (!exts_reader.at_end()) {
-      auto ext = exts_reader.expect(Tag::kSequence);
+      auto ext = exts_reader.expect_view(Tag::kSequence);
       if (!ext.ok()) return R::failure(ext.error().code, "extension");
       Reader ext_reader(ext.value().content);
       auto oid = ext_reader.read_oid();
       if (!oid.ok()) return R::failure(oid.error().code, "extension oid");
-      auto value = ext_reader.read_octet_string();
+      auto value = ext_reader.read_octet_string_view();
       if (!value.ok()) return R::failure(value.error().code, "extension value");
       if (oid.value() == asn1::oids::ocsp_nonce()) {
-        out.nonce_ = value.value();
+        out.nonce_ = value.value().to_bytes();
       }
     }
   }

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "util/bytes.hpp"
+#include "util/bytes_view.hpp"
 
 namespace mustaple::util {
 
@@ -27,8 +28,9 @@ constexpr std::uint64_t fnv1a64(std::string_view text) {
   return h;
 }
 
-/// FNV-1a over raw bytes.
-inline std::uint64_t fnv1a64(const Bytes& data) {
+/// FNV-1a over raw bytes (Bytes converts implicitly, so owning buffers and
+/// zero-copy views hash through the same code).
+inline std::uint64_t fnv1a64(BytesView data) {
   std::uint64_t h = kFnvOffsetBasis;
   for (std::uint8_t b : data) {
     h ^= b;

@@ -1,0 +1,147 @@
+// Lock-striped hash cache for the scanner's parallel fan-out.
+//
+// One global mutex around a cache turns the probe fan-out into a convoy at
+// higher thread counts: every worker serializes on the same lock even though
+// nearly all lookups touch distinct keys. ShardedCache splits the key space
+// over a power-of-two number of independently locked shards (shard = key &
+// mask — keys here are already splitmix64-mixed, see util/hash.hpp, so the
+// low bits are well distributed). Workers contend only when they land on the
+// same shard.
+//
+// Semantics match the single-map caches it replaces:
+//  - values are copied out on hit (entries stay verifiable: the caller
+//    re-checks body size/SHA-256 and counts a mismatch via note_collision);
+//  - each shard clears itself when it grows past capacity/shard_count,
+//    preserving the old clear-on-limit bound;
+//  - the cache only avoids recomputation of pure functions, so sharding can
+//    never change campaign outputs (DESIGN.md "Deterministic parallel scan
+//    campaigns").
+//
+// Stats discipline: every lookup() increments exactly one of hits/misses,
+// so for each shard — and for any sum over shards — hits + misses ==
+// lookups. That conservation law is thread-count-invariant (asserted in
+// tests) even though the individual hit/miss split is not: two workers can
+// both miss the same key before either inserts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace mustaple::util {
+
+/// Per-shard (and aggregated) counters. All monotone except `size`.
+struct ShardedCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t collisions = 0;  ///< caller-reported key collisions
+  std::uint64_t clears = 0;      ///< capacity-triggered shard resets
+  std::size_t size = 0;          ///< current entry count (snapshot)
+};
+
+template <typename Value>
+class ShardedCache {
+ public:
+  /// `shard_count` is rounded up to a power of two (minimum 1). `capacity`
+  /// bounds the TOTAL entry count: each shard clears itself upon exceeding
+  /// capacity / shard_count entries.
+  explicit ShardedCache(std::size_t shard_count, std::size_t capacity)
+      : mask_(round_up_pow2(shard_count) - 1),
+        shard_capacity_(capacity / (mask_ + 1)),
+        shards_(std::make_unique<Shard[]>(mask_ + 1)) {
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+
+  std::size_t shard_count() const { return mask_ + 1; }
+
+  /// Returns a copy of the cached value, or nullopt on miss. Counts exactly
+  /// one of hits/misses.
+  std::optional<Value> lookup(std::uint64_t key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    ++shard.stats.lookups;
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      ++shard.stats.misses;
+      return std::nullopt;
+    }
+    ++shard.stats.hits;
+    return it->second;
+  }
+
+  /// Inserts (or overwrites) `key`. Clears the owning shard first when it is
+  /// at capacity, preserving the legacy clear-on-limit bound.
+  void insert(std::uint64_t key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    if (shard.map.size() >= shard_capacity_ &&
+        shard.map.find(key) == shard.map.end()) {
+      shard.map.clear();
+      ++shard.stats.clears;
+    }
+    shard.map.insert_or_assign(key, std::move(value));
+    ++shard.stats.insertions;
+  }
+
+  /// Records that a hit's entry failed the caller's identity check (64-bit
+  /// key collision); the caller then recomputes as if it had missed.
+  void note_collision(std::uint64_t key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mu);
+    ++shard.stats.collisions;
+  }
+
+  /// Snapshot of one shard's counters (shard < shard_count()).
+  ShardedCacheStats shard_stats(std::size_t shard) const {
+    const Shard& s = shards_[shard & mask_];
+    std::lock_guard lock(s.mu);
+    ShardedCacheStats out = s.stats;
+    out.size = s.map.size();
+    return out;
+  }
+
+  /// Sum of all shards' counters. Conservation (hits + misses == lookups)
+  /// holds on the total because it holds per shard.
+  ShardedCacheStats totals() const {
+    ShardedCacheStats out;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      const ShardedCacheStats s = shard_stats(i);
+      out.lookups += s.lookups;
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.insertions += s.insertions;
+      out.collisions += s.collisions;
+      out.clears += s.clears;
+      out.size += s.size;
+    }
+    return out;
+  }
+
+  std::size_t size() const { return totals().size; }
+
+ private:
+  // Padded to a cache line so adjacent shards' mutexes do not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Value> map;
+    ShardedCacheStats stats;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n && p < (std::size_t{1} << 20)) p <<= 1;
+    return p;
+  }
+
+  Shard& shard_for(std::uint64_t key) { return shards_[key & mask_]; }
+
+  std::size_t mask_;
+  std::size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace mustaple::util

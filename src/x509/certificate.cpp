@@ -35,7 +35,7 @@ void write_algorithm_identifier(Writer& w, const Oid& oid) {
 }
 
 Result<Oid> read_algorithm_identifier(Reader& r) {
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return Result<Oid>::failure(seq.error().code, seq.error().detail);
   Reader body(seq.value().content);
   auto oid = body.read_oid();
@@ -118,18 +118,18 @@ void write_extension(Writer& w, const Oid& oid, bool critical,
 
 // --- extension value decoders -------------------------------------------
 
-util::Status decode_aia(const Bytes& value, Extensions& out) {
+util::Status decode_aia(util::BytesView value, Extensions& out) {
   Reader r(value);
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return util::Status::failure(seq.error().code);
   Reader body(seq.value().content);
   while (!body.at_end()) {
-    auto ad = body.expect(Tag::kSequence);
+    auto ad = body.expect_view(Tag::kSequence);
     if (!ad.ok()) return util::Status::failure(ad.error().code);
     Reader ad_body(ad.value().content);
     auto method = ad_body.read_oid();
     if (!method.ok()) return util::Status::failure(method.error().code);
-    auto loc = ad_body.read_any();
+    auto loc = ad_body.read_any_view();
     if (!loc.ok()) return util::Status::failure(loc.error().code);
     if (!loc.value().is_context(6, false)) continue;  // only URIs matter here
     const std::string url = util::text_of(loc.value().content);
@@ -142,24 +142,24 @@ util::Status decode_aia(const Bytes& value, Extensions& out) {
   return util::Status::success();
 }
 
-util::Status decode_crldp(const Bytes& value, Extensions& out) {
+util::Status decode_crldp(util::BytesView value, Extensions& out) {
   Reader r(value);
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return util::Status::failure(seq.error().code);
   Reader body(seq.value().content);
   while (!body.at_end()) {
-    auto dp = body.expect(Tag::kSequence);
+    auto dp = body.expect_view(Tag::kSequence);
     if (!dp.ok()) return util::Status::failure(dp.error().code);
     Reader dp_body(dp.value().content);
     if (dp_body.at_end()) continue;
-    auto dpn = dp_body.expect_context(0, true);
+    auto dpn = dp_body.expect_context_view(0, true);
     if (!dpn.ok()) return util::Status::failure(dpn.error().code);
     Reader dpn_body(dpn.value().content);
-    auto full_name = dpn_body.expect_context(0, true);
+    auto full_name = dpn_body.expect_context_view(0, true);
     if (!full_name.ok()) return util::Status::failure(full_name.error().code);
     Reader names(full_name.value().content);
     while (!names.at_end()) {
-      auto name = names.read_any();
+      auto name = names.read_any_view();
       if (!name.ok()) return util::Status::failure(name.error().code);
       if (name.value().is_context(6, false)) {
         out.crl_urls.push_back(util::text_of(name.value().content));
@@ -169,9 +169,9 @@ util::Status decode_crldp(const Bytes& value, Extensions& out) {
   return util::Status::success();
 }
 
-util::Status decode_tls_feature(const Bytes& value, Extensions& out) {
+util::Status decode_tls_feature(util::BytesView value, Extensions& out) {
   Reader r(value);
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return util::Status::failure(seq.error().code);
   Reader body(seq.value().content);
   out.tls_features.emplace();
@@ -184,13 +184,13 @@ util::Status decode_tls_feature(const Bytes& value, Extensions& out) {
   return util::Status::success();
 }
 
-util::Status decode_san(const Bytes& value, Extensions& out) {
+util::Status decode_san(util::BytesView value, Extensions& out) {
   Reader r(value);
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return util::Status::failure(seq.error().code);
   Reader body(seq.value().content);
   while (!body.at_end()) {
-    auto name = body.read_any();
+    auto name = body.read_any_view();
     if (!name.ok()) return util::Status::failure(name.error().code);
     if (name.value().is_context(2, false)) {
       out.san_dns.push_back(util::text_of(name.value().content));
@@ -199,9 +199,9 @@ util::Status decode_san(const Bytes& value, Extensions& out) {
   return util::Status::success();
 }
 
-util::Status decode_basic_constraints(const Bytes& value, Extensions& out) {
+util::Status decode_basic_constraints(util::BytesView value, Extensions& out) {
   Reader r(value);
-  auto seq = r.expect(Tag::kSequence);
+  auto seq = r.expect_view(Tag::kSequence);
   if (!seq.ok()) return util::Status::failure(seq.error().code);
   Reader body(seq.value().content);
   bool is_ca = false;
@@ -239,14 +239,17 @@ util::Bytes Certificate::encode_der() const {
 }
 
 util::Result<Certificate> Certificate::parse(const util::Bytes& der) {
+  // Zero-copy discipline (DESIGN.md §9): the whole TBS traversal runs on
+  // views borrowing from `der`; only fields retained in the Certificate
+  // (tbs_der_, serial_, signature_, key, names, extension strings) allocate.
   using R = Result<Certificate>;
   Reader top(der);
-  auto outer = top.expect(Tag::kSequence);
+  auto outer = top.expect_view(Tag::kSequence);
   if (!outer.ok()) return R::failure(outer.error().code, outer.error().detail);
 
   Reader cert_reader(outer.value().content);
   // Re-encode the TBS TLV so signatures verify over the exact bytes.
-  auto tbs = cert_reader.expect(Tag::kSequence);
+  auto tbs = cert_reader.expect_view(Tag::kSequence);
   if (!tbs.ok()) return R::failure(tbs.error().code, tbs.error().detail);
   Writer tbs_rewriter;
   tbs_rewriter.tlv(static_cast<std::uint8_t>(Tag::kSequence), tbs.value().content);
@@ -266,17 +269,17 @@ util::Result<Certificate> Certificate::parse(const util::Bytes& der) {
     return R::failure("x509.unknown_signature_algorithm",
                       outer_alg.value().to_string());
   }
-  auto sig = cert_reader.read_bit_string();
+  auto sig = cert_reader.read_bit_string_view();
   if (!sig.ok()) return R::failure(sig.error().code, sig.error().detail);
-  cert.signature_ = sig.value();
+  cert.signature_ = sig.value().to_bytes();
 
   // --- TBS fields ---
   Reader tbs_reader(tbs.value().content);
-  auto version = tbs_reader.expect_context(0, true);
+  auto version = tbs_reader.expect_context_view(0, true);
   if (!version.ok()) return R::failure(version.error().code, "version");
-  auto serial = tbs_reader.read_integer_bytes();
+  auto serial = tbs_reader.read_integer_bytes_view();
   if (!serial.ok()) return R::failure(serial.error().code, "serial");
-  cert.serial_ = serial.value();
+  cert.serial_ = serial.value().to_bytes();
   auto tbs_alg = read_algorithm_identifier(tbs_reader);
   if (!tbs_alg.ok()) return R::failure(tbs_alg.error().code, "tbs algorithm");
   // RFC 5280 §4.1.1.2: the outer signatureAlgorithm MUST equal the TBS
@@ -286,13 +289,13 @@ util::Result<Certificate> Certificate::parse(const util::Bytes& der) {
                       "outer signatureAlgorithm != tbs signature");
   }
 
-  auto issuer_tlv = tbs_reader.expect(Tag::kSequence);
+  auto issuer_tlv = tbs_reader.expect_view(Tag::kSequence);
   if (!issuer_tlv.ok()) return R::failure(issuer_tlv.error().code, "issuer");
   auto issuer = DistinguishedName::decode(issuer_tlv.value());
   if (!issuer.ok()) return R::failure(issuer.error().code, "issuer");
   cert.issuer_ = issuer.value();
 
-  auto validity_tlv = tbs_reader.expect(Tag::kSequence);
+  auto validity_tlv = tbs_reader.expect_view(Tag::kSequence);
   if (!validity_tlv.ok()) return R::failure(validity_tlv.error().code, "validity");
   Reader validity_reader(validity_tlv.value().content);
   auto nb = validity_reader.read_generalized_time();
@@ -301,35 +304,35 @@ util::Result<Certificate> Certificate::parse(const util::Bytes& der) {
   if (!na.ok()) return R::failure(na.error().code, "notAfter");
   cert.validity_ = Validity{nb.value(), na.value()};
 
-  auto subject_tlv = tbs_reader.expect(Tag::kSequence);
+  auto subject_tlv = tbs_reader.expect_view(Tag::kSequence);
   if (!subject_tlv.ok()) return R::failure(subject_tlv.error().code, "subject");
   auto subject = DistinguishedName::decode(subject_tlv.value());
   if (!subject.ok()) return R::failure(subject.error().code, "subject");
   cert.subject_ = subject.value();
 
-  auto spki = tbs_reader.expect(Tag::kSequence);
+  auto spki = tbs_reader.expect_view(Tag::kSequence);
   if (!spki.ok()) return R::failure(spki.error().code, "spki");
   Reader spki_reader(spki.value().content);
   auto spki_alg = read_algorithm_identifier(spki_reader);
   if (!spki_alg.ok()) return R::failure(spki_alg.error().code, "spki alg");
-  auto key_bits = spki_reader.read_bit_string();
+  auto key_bits = spki_reader.read_bit_string_view();
   if (!key_bits.ok()) return R::failure(key_bits.error().code, "spki key");
-  auto key = crypto::PublicKey::decode(key_bits.value());
+  auto key = crypto::PublicKey::decode(key_bits.value().to_bytes());
   if (!key.ok()) return R::failure(key.error().code, "spki key");
   cert.public_key_ = key.value();
 
   // Optional extensions.
   if (!tbs_reader.at_end()) {
-    auto ext_wrapper = tbs_reader.expect_context(3, true);
+    auto ext_wrapper = tbs_reader.expect_context_view(3, true);
     if (!ext_wrapper.ok()) {
       return R::failure(ext_wrapper.error().code, "extensions");
     }
     Reader ext_outer(ext_wrapper.value().content);
-    auto ext_seq = ext_outer.expect(Tag::kSequence);
+    auto ext_seq = ext_outer.expect_view(Tag::kSequence);
     if (!ext_seq.ok()) return R::failure(ext_seq.error().code, "extensions");
     Reader exts(ext_seq.value().content);
     while (!exts.at_end()) {
-      auto ext = exts.expect(Tag::kSequence);
+      auto ext = exts.expect_view(Tag::kSequence);
       if (!ext.ok()) return R::failure(ext.error().code, "extension");
       Reader ext_reader(ext.value().content);
       auto oid = ext_reader.read_oid();
@@ -338,7 +341,7 @@ util::Result<Certificate> Certificate::parse(const util::Bytes& der) {
         auto critical = ext_reader.read_boolean();
         if (!critical.ok()) return R::failure(critical.error().code, "critical");
       }
-      auto value = ext_reader.read_octet_string();
+      auto value = ext_reader.read_octet_string_view();
       if (!value.ok()) return R::failure(value.error().code, "extension value");
 
       util::Status status = util::Status::success();

@@ -36,6 +36,11 @@ void DistinguishedName::encode(asn1::Writer& w) const {
 
 util::Result<DistinguishedName> DistinguishedName::decode(
     const asn1::Tlv& sequence) {
+  return decode(asn1::TlvView{sequence.tag, sequence.content});
+}
+
+util::Result<DistinguishedName> DistinguishedName::decode(
+    const asn1::TlvView& sequence) {
   using R = util::Result<DistinguishedName>;
   if (!sequence.is(asn1::Tag::kSequence)) {
     return R::failure("x509.name.not_sequence");
@@ -43,11 +48,11 @@ util::Result<DistinguishedName> DistinguishedName::decode(
   DistinguishedName name;
   asn1::Reader rdns(sequence.content);
   while (!rdns.at_end()) {
-    auto set = rdns.expect(asn1::Tag::kSet);
+    auto set = rdns.expect_view(asn1::Tag::kSet);
     if (!set.ok()) return R::failure(set.error().code, set.error().detail);
     asn1::Reader set_reader(set.value().content);
     while (!set_reader.at_end()) {
-      auto atv = set_reader.expect(asn1::Tag::kSequence);
+      auto atv = set_reader.expect_view(asn1::Tag::kSequence);
       if (!atv.ok()) return R::failure(atv.error().code, atv.error().detail);
       asn1::Reader atv_reader(atv.value().content);
       auto type = atv_reader.read_oid();

@@ -22,6 +22,9 @@ struct DistinguishedName {
 
   /// Parses an RDNSequence TLV (the SEQUENCE must already be read).
   static util::Result<DistinguishedName> decode(const asn1::Tlv& sequence);
+  /// Zero-copy overload: traverses the RDNSequence in place; only the
+  /// attribute strings are materialized.
+  static util::Result<DistinguishedName> decode(const asn1::TlvView& sequence);
 
   friend bool operator==(const DistinguishedName&,
                          const DistinguishedName&) = default;

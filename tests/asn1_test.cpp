@@ -51,7 +51,7 @@ TEST(Oid, DecodeRejectsTruncatedArc) {
 }
 
 TEST(Oid, DecodeRejectsEmpty) {
-  EXPECT_FALSE(Oid::decode_content({}).ok());
+  EXPECT_FALSE(Oid::decode_content(Bytes{}).ok());
 }
 
 TEST(Oid, DecodeRejectsLeadingZeroSeptet) {
@@ -381,6 +381,143 @@ TEST(DerReader, PeekTagDoesNotConsume) {
   EXPECT_EQ(r.peek_tag(), 0x02);
   EXPECT_TRUE(r.read_integer().ok());
   EXPECT_EQ(r.peek_tag(), 0);  // at end
+}
+
+// -------------------------------------------- view-vs-owning equivalence --
+
+// The view read family must be observably identical to the owning one:
+// same bytes on success, same error codes on malformed input. Only the
+// allocation behavior differs (checked via data() pointers below).
+TEST(DerReaderView, ViewReadsMatchOwningReads) {
+  Writer w;
+  w.sequence([](Writer& seq) {
+    seq.octet_string({9, 8, 7});
+    seq.bit_string({0xaa, 0xbb});
+    seq.integer_bytes({0x01, 0x02, 0x03});
+    seq.integer(77);
+  });
+  const Bytes der = w.take();
+
+  Reader owning(der);
+  auto seq_owned = owning.expect(Tag::kSequence);
+  ASSERT_TRUE(seq_owned.ok());
+  Reader ro(seq_owned.value().content);
+
+  Reader viewing(der);
+  auto seq_view = viewing.expect_view(Tag::kSequence);
+  ASSERT_TRUE(seq_view.ok());
+  EXPECT_EQ(seq_view.value().tag, seq_owned.value().tag);
+  Reader rv = reader_over(seq_view.value());
+
+  EXPECT_EQ(rv.read_octet_string_view().value().to_bytes(),
+            ro.read_octet_string().value());
+  EXPECT_EQ(rv.read_bit_string_view().value().to_bytes(),
+            ro.read_bit_string().value());
+  EXPECT_EQ(rv.read_integer_bytes_view().value().to_bytes(),
+            ro.read_integer_bytes().value());
+  // read_any_view sees the same trailing TLV as read_any.
+  auto any_owned = ro.read_any();
+  auto any_view = rv.read_any_view();
+  ASSERT_TRUE(any_owned.ok());
+  ASSERT_TRUE(any_view.ok());
+  EXPECT_EQ(any_view.value().tag, any_owned.value().tag);
+  EXPECT_EQ(any_view.value().to_tlv().content, any_owned.value().content);
+  EXPECT_TRUE(ro.at_end());
+  EXPECT_TRUE(rv.at_end());
+}
+
+TEST(DerReaderView, ViewsBorrowFromTheSourceBuffer) {
+  Writer w;
+  w.octet_string({1, 2, 3, 4});
+  const Bytes der = w.take();
+  Reader r(der);
+  const auto view = r.read_octet_string_view();
+  ASSERT_TRUE(view.ok());
+  // Zero-copy: the view points INTO der, not at a copy.
+  EXPECT_GE(view.value().data(), der.data());
+  EXPECT_LE(view.value().data() + view.value().size(),
+            der.data() + der.size());
+}
+
+TEST(DerReaderView, NestedViewsOutliveIntermediateTemporaries) {
+  // A view obtained through nested expect_view calls points into the
+  // ORIGINAL buffer, so it stays valid after every intermediate
+  // TlvView/Result has gone out of scope.
+  Writer w;
+  w.sequence([](Writer& outer) {
+    outer.sequence([](Writer& inner) { inner.octet_string({42, 43}); });
+  });
+  const Bytes der = w.take();
+  util::BytesView leaf;
+  {
+    Reader top(der);
+    auto outer = top.expect_view(Tag::kSequence);
+    ASSERT_TRUE(outer.ok());
+    Reader mid = reader_over(outer.value());
+    auto inner = mid.expect_view(Tag::kSequence);
+    ASSERT_TRUE(inner.ok());
+    Reader leaf_reader = reader_over(inner.value());
+    auto octets = leaf_reader.read_octet_string_view();
+    ASSERT_TRUE(octets.ok());
+    leaf = octets.value();
+  }  // outer/inner Results and Readers destroyed; der still alive
+  EXPECT_EQ(leaf.to_bytes(), (Bytes{42, 43}));
+}
+
+TEST(DerReaderView, ViewErrorsMatchOwningErrorCodes) {
+  const struct {
+    const char* name;
+    Bytes der;
+  } kMalformed[] = {
+      {"truncated content", {0x04, 0x05, 0x01, 0x02}},
+      {"truncated header", {0x30}},
+      {"indefinite length", {0x30, 0x80, 0x00, 0x00}},
+      {"non-minimal length", {0x04, 0x81, 0x03, 0x01, 0x02, 0x03}},
+      {"empty", {}},
+  };
+  for (const auto& c : kMalformed) {
+    Reader ro(c.der);
+    Reader rv(c.der);
+    auto owned = ro.read_any();
+    auto viewed = rv.read_any_view();
+    ASSERT_FALSE(owned.ok()) << c.name;
+    ASSERT_FALSE(viewed.ok()) << c.name;
+    EXPECT_EQ(viewed.error().code, owned.error().code) << c.name;
+  }
+
+  // Typed readers: wrong tag, bad integer, bad bit string.
+  {
+    Writer w;
+    w.integer(1);
+    Reader ro(w.bytes());
+    Reader rv(w.bytes());
+    auto owned = ro.expect(Tag::kOctetString);
+    auto viewed = rv.expect_view(Tag::kOctetString);
+    ASSERT_FALSE(owned.ok());
+    ASSERT_FALSE(viewed.ok());
+    EXPECT_EQ(viewed.error().code, owned.error().code);
+  }
+  {
+    Writer w;
+    w.integer(-5);  // negative magnitude rejected by integer_bytes
+    Reader ro(w.bytes());
+    Reader rv(w.bytes());
+    auto owned = ro.read_integer_bytes();
+    auto viewed = rv.read_integer_bytes_view();
+    ASSERT_FALSE(owned.ok());
+    ASSERT_FALSE(viewed.ok());
+    EXPECT_EQ(viewed.error().code, owned.error().code);
+  }
+  {
+    const Bytes empty_bits = {0x03, 0x00};
+    Reader ro(empty_bits);
+    Reader rv(empty_bits);
+    auto owned = ro.read_bit_string();
+    auto viewed = rv.read_bit_string_view();
+    ASSERT_FALSE(owned.ok());
+    ASSERT_FALSE(viewed.ok());
+    EXPECT_EQ(viewed.error().code, owned.error().code);
+  }
 }
 
 TEST(DerReader, NegativeIntegersRoundTrip) {

@@ -3,12 +3,15 @@
 // signer interface.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "crypto/bigint.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
 #include "crypto/sha1.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
+#include "util/rng.hpp"
 
 namespace mustaple::crypto {
 namespace {
@@ -48,6 +51,103 @@ TEST(Sha256, IncrementalMatchesOneShot) {
     hasher.update(data.data(), split);
     hasher.update(data.data() + split, data.size() - split);
     EXPECT_EQ(hasher.digest(), Sha256::hash(data));
+  }
+}
+
+// ---------------------------------------------- SHA-256 dispatch paths --
+
+// A guard that restores the dispatcher's own choice no matter how the test
+// exits, so a failing dispatch test can't poison later tests.
+class ImplGuard {
+ public:
+  ImplGuard() : saved_(sha256_active_impl()) {}
+  ~ImplGuard() { sha256_set_impl(saved_); }
+
+ private:
+  Sha256Impl saved_;
+};
+
+TEST(Sha256Dispatch, ScalarAndUnrolledAlwaysAvailable) {
+  const auto impls = sha256_available_impls();
+  EXPECT_NE(std::find(impls.begin(), impls.end(), Sha256Impl::kScalar),
+            impls.end());
+  EXPECT_NE(std::find(impls.begin(), impls.end(), Sha256Impl::kUnrolled),
+            impls.end());
+  // The dispatcher's active choice is always one of the available set.
+  EXPECT_NE(std::find(impls.begin(), impls.end(), sha256_active_impl()),
+            impls.end());
+}
+
+TEST(Sha256Dispatch, SetImplHonorsAvailability) {
+  ImplGuard guard;
+  const auto impls = sha256_available_impls();
+  for (Sha256Impl impl : {Sha256Impl::kScalar, Sha256Impl::kUnrolled,
+                          Sha256Impl::kAvx2, Sha256Impl::kShaNi}) {
+    const bool available =
+        std::find(impls.begin(), impls.end(), impl) != impls.end();
+    const Sha256Impl before = sha256_active_impl();
+    EXPECT_EQ(sha256_set_impl(impl), available) << to_string(impl);
+    // On success the switch takes effect; on refusal nothing changes.
+    EXPECT_EQ(sha256_active_impl(), available ? impl : before);
+  }
+}
+
+TEST(Sha256Dispatch, AllImplsMatchNistVectors) {
+  ImplGuard guard;
+  const struct {
+    const char* msg;
+    const char* hex;
+  } kVectors[] = {
+      {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+      {"abc",
+       "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+  };
+  for (Sha256Impl impl : sha256_available_impls()) {
+    ASSERT_TRUE(sha256_set_impl(impl)) << to_string(impl);
+    for (const auto& v : kVectors) {
+      EXPECT_EQ(util::to_hex(Sha256::hash(util::bytes_of(v.msg))), v.hex)
+          << to_string(impl) << " msg=" << v.msg;
+    }
+    // Multi-block incremental input (exercises the no-copy fast path).
+    Sha256 hasher;
+    const Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+    EXPECT_EQ(util::to_hex(hasher.digest()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0")
+        << to_string(impl);
+  }
+}
+
+TEST(Sha256Dispatch, RandomizedLengthsAgreeAcrossImpls) {
+  // Every length from 0 through three blocks + 17 bytes: covers empty
+  // input, sub-block tails, exact block boundaries, and the staging-buffer
+  // drain + whole-blocks + tail split inside update().
+  ImplGuard guard;
+  const auto impls = sha256_available_impls();
+  util::Rng rng(0x5eed5eed);
+  for (std::size_t len = 0; len <= 3 * 64 + 17; ++len) {
+    Bytes data(len);
+    if (len > 0) rng.fill(data.data(), data.size());
+    std::vector<Bytes> digests;
+    for (Sha256Impl impl : impls) {
+      ASSERT_TRUE(sha256_set_impl(impl));
+      // One-shot and an uneven three-way incremental split must agree.
+      const Bytes one_shot = Sha256::hash(data);
+      Sha256 split;
+      const std::size_t a = len / 3;
+      const std::size_t b = a + (len - a) / 2;
+      split.update(data.data(), a);
+      split.update(data.data() + a, b - a);
+      split.update(data.data() + b, len - b);
+      EXPECT_EQ(split.digest(), one_shot) << to_string(impl) << " len=" << len;
+      digests.push_back(one_shot);
+    }
+    for (std::size_t i = 1; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[i], digests[0])
+          << "impl " << to_string(impls[i]) << " diverges at len=" << len;
+    }
   }
 }
 

@@ -312,6 +312,12 @@ struct CampaignSummary {
   std::vector<double> margin_cdf;
   std::string timeline_csv;
   std::string lint_json;
+  // Sharded-cache introspection (conservation sanity, not output equality:
+  // the hit/miss split is the one legitimately scheduling-dependent number).
+  util::ShardedCacheStats validation_totals;
+  std::vector<util::ShardedCacheStats> validation_shards;
+  util::ShardedCacheStats lint_totals;
+  std::vector<util::ShardedCacheStats> lint_shards;
 };
 
 CampaignSummary run_campaign(std::size_t threads) {
@@ -353,7 +359,43 @@ CampaignSummary run_campaign(std::size_t threads) {
       scanner.cdf_margin(net::Region::kSaoPaulo).sorted_finite();
   summary.timeline_csv = timeline.render_csv();
   summary.lint_json = scanner.lint_report().render_json();
+  summary.validation_totals = scanner.validation_cache_stats();
+  for (std::size_t s = 0; s < scanner.validation_cache_shards(); ++s) {
+    summary.validation_shards.push_back(scanner.validation_cache_shard_stats(s));
+  }
+  summary.lint_totals = scanner.lint_cache_stats();
+  for (std::size_t s = 0; s < scanner.lint_cache_shards(); ++s) {
+    summary.lint_shards.push_back(scanner.lint_cache_shard_stats(s));
+  }
   return summary;
+}
+
+// Conservation laws that hold at EVERY thread count: hits + misses account
+// for every lookup, per shard and in aggregate, and the aggregate is exactly
+// the sum over shards. (The hit/miss split itself may differ between runs —
+// two workers can both miss the same key before either inserts — which is
+// why it is checked for conservation here rather than equality above.)
+void expect_cache_conservation(const util::ShardedCacheStats& totals,
+                               const std::vector<util::ShardedCacheStats>& shards) {
+  util::ShardedCacheStats sum;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.hits + s.misses, s.lookups);
+    sum.lookups += s.lookups;
+    sum.hits += s.hits;
+    sum.misses += s.misses;
+    sum.insertions += s.insertions;
+    sum.collisions += s.collisions;
+    sum.clears += s.clears;
+    sum.size += s.size;
+  }
+  EXPECT_EQ(totals.hits + totals.misses, totals.lookups);
+  EXPECT_EQ(sum.lookups, totals.lookups);
+  EXPECT_EQ(sum.hits, totals.hits);
+  EXPECT_EQ(sum.misses, totals.misses);
+  EXPECT_EQ(sum.insertions, totals.insertions);
+  EXPECT_EQ(sum.collisions, totals.collisions);
+  EXPECT_EQ(sum.clears, totals.clears);
+  EXPECT_EQ(sum.size, totals.size);
 }
 
 void expect_online_stats_identical(const util::OnlineStats& a,
@@ -367,10 +409,8 @@ void expect_online_stats_identical(const util::OnlineStats& a,
   EXPECT_EQ(a.max(), b.max());
 }
 
-TEST(ScannerThreading, FourThreadsBitIdenticalToOneThread) {
-  const CampaignSummary one = run_campaign(1);
-  const CampaignSummary four = run_campaign(4);
-
+void expect_campaigns_identical(const CampaignSummary& one,
+                                const CampaignSummary& four) {
   ASSERT_EQ(one.steps.size(), four.steps.size());
   for (std::size_t s = 0; s < one.steps.size(); ++s) {
     const StepTotals& a = one.steps[s];
@@ -432,6 +472,27 @@ TEST(ScannerThreading, FourThreadsBitIdenticalToOneThread) {
   // Inline lint findings accumulate in canonical probe order, so the whole
   // report (counts AND retained finding order) must also be bit-identical.
   EXPECT_EQ(one.lint_json, four.lint_json);
+}
+
+TEST(ScannerThreading, FourThreadsBitIdenticalToOneThread) {
+  expect_campaigns_identical(run_campaign(1), run_campaign(4));
+}
+
+TEST(ScannerThreading, OneTwoFourThreadsBitIdentical) {
+  const CampaignSummary one = run_campaign(1);
+  const CampaignSummary two = run_campaign(2);
+  const CampaignSummary four = run_campaign(4);
+  expect_campaigns_identical(one, two);
+  expect_campaigns_identical(one, four);
+  expect_campaigns_identical(two, four);
+  for (const CampaignSummary* run : {&one, &two, &four}) {
+    expect_cache_conservation(run->validation_totals, run->validation_shards);
+    expect_cache_conservation(run->lint_totals, run->lint_shards);
+    // Lookup COUNTS are deterministic (one lookup per validated probe /
+    // per linted body) even though the hit/miss split is not.
+    EXPECT_EQ(run->validation_totals.lookups, one.validation_totals.lookups);
+    EXPECT_EQ(run->lint_totals.lookups, one.lint_totals.lookups);
+  }
 }
 
 TEST(ScannerThreading, ExplicitThreadCountBeatsEnvironment) {

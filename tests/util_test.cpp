@@ -11,9 +11,11 @@
 
 #include "util/ascii_chart.hpp"
 #include "util/bytes.hpp"
+#include "util/bytes_view.hpp"
 #include "util/hash.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
+#include "util/sharded_cache.hpp"
 #include "util/sim_time.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -537,6 +539,153 @@ TEST(ThreadPool, EnvThreadsParsesVariable) {
   } else {
     ::unsetenv("MUSTAPLE_SCAN_THREADS");
   }
+}
+
+// ----------------------------------------------------------- BytesView --
+
+TEST(BytesView, ViewsIntoBytesWithoutCopying) {
+  const Bytes data = {1, 2, 3, 4, 5};
+  const BytesView view = data;  // implicit, by design
+  EXPECT_EQ(view.size(), 5u);
+  EXPECT_EQ(view.data(), data.data());  // zero-copy: same storage
+  EXPECT_EQ(view[0], 1);
+  EXPECT_EQ(view.front(), 1);
+  EXPECT_EQ(view.back(), 5);
+  EXPECT_FALSE(view.empty());
+  EXPECT_TRUE(BytesView().empty());
+}
+
+TEST(BytesView, SubviewAndDropFrontClamp) {
+  const Bytes data = {10, 20, 30, 40};
+  const BytesView view = data;
+  EXPECT_EQ(view.subview(1, 2), BytesView(data.data() + 1, 2));
+  EXPECT_EQ(view.subview(1, 2).to_bytes(), (Bytes{20, 30}));
+  EXPECT_EQ(view.drop_front(3).to_bytes(), (Bytes{40}));
+  // Out-of-range positions/counts clamp instead of overflowing.
+  EXPECT_TRUE(view.subview(99).empty());
+  EXPECT_EQ(view.subview(2, 99).size(), 2u);
+  EXPECT_TRUE(view.drop_front(99).empty());
+}
+
+TEST(BytesView, EqualityComparesContents) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  EXPECT_EQ(BytesView(a), BytesView(b));  // different storage, same bytes
+  EXPECT_FALSE(BytesView(a) == BytesView(c));
+  EXPECT_FALSE(BytesView(a) == BytesView(a).subview(0, 2));
+}
+
+TEST(BytesView, ToBytesMaterializesIndependentCopy) {
+  Bytes data = {7, 8, 9};
+  const Bytes copy = BytesView(data).to_bytes();
+  data[0] = 0;  // mutating the source must not affect the copy
+  EXPECT_EQ(copy, (Bytes{7, 8, 9}));
+}
+
+TEST(BytesView, TextOfAndAppend) {
+  const Bytes data = bytes_of("hello");
+  EXPECT_EQ(text_of(BytesView(data)), "hello");
+  Bytes out = bytes_of("x");
+  append(out, BytesView(data).subview(0, 2));
+  EXPECT_EQ(text_of(out), "xhe");
+}
+
+// -------------------------------------------------------- ShardedCache --
+
+TEST(ShardedCache, RoundsShardCountUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedCache<int>(1, 100).shard_count(), 1u);
+  EXPECT_EQ(ShardedCache<int>(3, 100).shard_count(), 4u);
+  EXPECT_EQ(ShardedCache<int>(16, 100).shard_count(), 16u);
+  EXPECT_EQ(ShardedCache<int>(17, 100).shard_count(), 32u);
+}
+
+TEST(ShardedCache, LookupInsertRoundTrip) {
+  ShardedCache<int> cache(4, 100);
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  cache.insert(42, 7);
+  const auto hit = cache.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 7);
+  cache.insert(42, 8);  // overwrite
+  EXPECT_EQ(*cache.lookup(42), 8);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedCache, ConservationHoldsPerShardAndInAggregate) {
+  ShardedCache<int> cache(8, 1000);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = mix64(rng.uniform(256));
+    if (!cache.lookup(key)) cache.insert(key, i);
+  }
+  ShardedCacheStats sum;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    const ShardedCacheStats stats = cache.shard_stats(s);
+    EXPECT_EQ(stats.hits + stats.misses, stats.lookups) << "shard " << s;
+    sum.lookups += stats.lookups;
+    sum.hits += stats.hits;
+    sum.misses += stats.misses;
+    sum.insertions += stats.insertions;
+    sum.size += stats.size;
+  }
+  const ShardedCacheStats totals = cache.totals();
+  EXPECT_EQ(totals.lookups, 5000u);
+  EXPECT_EQ(totals.hits + totals.misses, totals.lookups);
+  EXPECT_EQ(sum.lookups, totals.lookups);
+  EXPECT_EQ(sum.hits, totals.hits);
+  EXPECT_EQ(sum.misses, totals.misses);
+  EXPECT_EQ(sum.insertions, totals.insertions);
+  EXPECT_EQ(sum.size, totals.size);
+  EXPECT_EQ(totals.insertions, totals.misses);  // insert-on-miss discipline
+}
+
+TEST(ShardedCache, ClearOnLimitBoundsEachShard) {
+  // capacity 8 over 4 shards -> 2 entries per shard before a clear.
+  ShardedCache<int> cache(4, 8);
+  for (std::uint64_t k = 0; k < 64; ++k) cache.insert(mix64(k), 1);
+  const ShardedCacheStats totals = cache.totals();
+  EXPECT_EQ(totals.insertions, 64u);
+  EXPECT_GT(totals.clears, 0u);
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    EXPECT_LE(cache.shard_stats(s).size, 2u) << "shard " << s;
+  }
+}
+
+TEST(ShardedCache, NoteCollisionCountsWithoutMutatingEntries) {
+  ShardedCache<int> cache(2, 10);
+  cache.insert(5, 50);
+  cache.note_collision(5);
+  cache.note_collision(5);
+  EXPECT_EQ(cache.totals().collisions, 2u);
+  EXPECT_EQ(*cache.lookup(5), 50);
+}
+
+TEST(ShardedCache, ParallelMixedWorkloadKeepsConservation) {
+  ShardedCache<std::uint64_t> cache(8, 4096);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOpsPerThread = 20'000;
+  ThreadPool pool(kThreads);
+  std::atomic<std::uint64_t> found{0};
+  pool.parallel_for_index(kThreads, [&](std::size_t t) {
+    Rng rng(1000 + t);
+    std::uint64_t local = 0;
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+      const std::uint64_t key = mix64(rng.uniform(512));
+      if (const auto hit = cache.lookup(key)) {
+        local += (*hit != 0);
+      } else {
+        cache.insert(key, key);
+      }
+    }
+    found.fetch_add(local);
+  });
+  const ShardedCacheStats totals = cache.totals();
+  EXPECT_EQ(totals.lookups, kThreads * kOpsPerThread);
+  EXPECT_EQ(totals.hits + totals.misses, totals.lookups);
+  // Every miss triggered exactly one insert (racy double-misses insert the
+  // same value twice — still conserved).
+  EXPECT_EQ(totals.insertions, totals.misses);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // extension), signatures, and the chain-validation error taxonomy.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "crypto/signer.hpp"
 #include "x509/certificate.hpp"
 #include "x509/name.hpp"
@@ -95,6 +97,40 @@ TEST(Certificate, BuilderParseRoundTrip) {
             "http://ca.example/issuer.crt");
   EXPECT_EQ(p.signature(), cert.signature());
   EXPECT_EQ(p.tbs_der(), cert.tbs_der());
+}
+
+TEST(Certificate, ParseRejectsEveryTruncatedPrefix) {
+  // The view-based parse path must classify every truncation as an error —
+  // never crash, never accept. (Views make out-of-bounds reads easy to get
+  // wrong; this sweeps every prefix of a realistic certificate.)
+  const Certificate cert = make_leaf([](CertificateBuilder& b) {
+    b.add_ocsp_url("http://ocsp.example/").must_staple(true).add_san(
+        "www.example.com");
+  });
+  const Bytes der = cert.encode_der();
+  for (std::size_t len = 0; len < der.size(); ++len) {
+    const Bytes prefix(der.begin(), der.begin() + static_cast<long>(len));
+    EXPECT_FALSE(Certificate::parse(prefix).ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(Certificate::parse(der).ok());
+}
+
+TEST(Certificate, ParsedFieldsAreIndependentOfSourceBuffer) {
+  // Everything Certificate::parse retains must be an owning copy: mutating
+  // (or freeing) the source DER after parse cannot change the result.
+  const Certificate cert = make_leaf([](CertificateBuilder& b) {
+    b.add_ocsp_url("http://ocsp.example/").must_staple(true);
+  });
+  Bytes der = cert.encode_der();
+  auto parsed = Certificate::parse(der);
+  ASSERT_TRUE(parsed.ok());
+  const Bytes serial_before = parsed.value().serial();
+  const Bytes tbs_before = parsed.value().tbs_der();
+  std::fill(der.begin(), der.end(), 0xee);  // scribble over the source
+  EXPECT_EQ(parsed.value().serial(), serial_before);
+  EXPECT_EQ(parsed.value().tbs_der(), tbs_before);
+  EXPECT_EQ(parsed.value().extensions().ocsp_urls[0], "http://ocsp.example/");
+  EXPECT_TRUE(parsed.value().extensions().must_staple);
 }
 
 TEST(Certificate, DefaultHasNoMustStaple) {
