@@ -9,6 +9,8 @@
 //   - probe round trips/sec (http_request_probe, the scanner hot path)
 //   - a scaled Fig-3-style campaign's wall time at 1 thread and N threads,
 //     with an output fingerprint proving the runs are bit-identical
+//   - the memory story: kernel peak RSS plus the per-subsystem allocation
+//     counters (util/alloc.hpp) the campaign charged
 //
 // Output: human-readable text on stdout always; `--json [path]` additionally
 // writes a schema-versioned JSON document (default BENCH_perf.json) so CI
@@ -24,14 +26,17 @@
 #include "common.hpp"
 #include "crypto/sha256.hpp"
 #include "net/url.hpp"
+#include "obs/resource.hpp"
 #include "ocsp/request.hpp"
 #include "ocsp/response.hpp"
+#include "util/alloc.hpp"
 #include "util/hash.hpp"
 #include "x509/certificate.hpp"
 
 namespace {
 
-constexpr const char* kSchema = "mustaple-perf/1";
+// v2 added the "memory" section (peak RSS + per-subsystem allocator stats).
+constexpr const char* kSchema = "mustaple-perf/2";
 
 /// Runs `fn` (one "item" of work per call) until at least `min_seconds` of
 /// wall clock has elapsed, in geometrically growing batches so the clock is
@@ -360,6 +365,50 @@ int main(int argc, char** argv) {
     }
     if (many.cache_hits + many.cache_misses != many.cache_lookups) {
       std::fprintf(stderr, "FATAL: cache conservation violated\n");
+      return 1;
+    }
+  }
+
+  // ---- 7. Memory: kernel peak RSS for the whole suite plus the named
+  // allocation counters every wired subsystem charged (corpus build + both
+  // campaigns). Conservation (allocated - freed == outstanding) is asserted
+  // here at a quiescent point, at whatever thread count ran above.
+  {
+    const obs::ResourceUsage usage = obs::read_resource_usage();
+    std::printf("memory (whole suite):\n");
+    std::printf("  peak RSS %10.1f MiB\n",
+                static_cast<double>(usage.peak_rss_bytes) / (1024.0 * 1024.0));
+    json.open("memory");
+    json.integer("peak_rss_bytes", usage.peak_rss_bytes);
+    json.num("user_cpu_s", usage.user_cpu_seconds);
+    json.num("system_cpu_s", usage.system_cpu_seconds);
+    json.open("alloc");
+    bool conserved = true;
+    util::visit_alloc_counters([&](const std::string& name,
+                                   const util::AllocCounter& counter) {
+      std::printf("  alloc %-24s %9.1f KiB allocated, %9.1f KiB peak "
+                  "outstanding\n",
+                  name.c_str(),
+                  static_cast<double>(counter.allocated_bytes()) / 1024.0,
+                  static_cast<double>(counter.peak_outstanding_bytes()) /
+                      1024.0);
+      json.open(name.c_str());
+      json.integer("allocated_bytes", counter.allocated_bytes());
+      json.integer("freed_bytes", counter.freed_bytes());
+      json.integer("outstanding_bytes", counter.outstanding_bytes());
+      json.integer("peak_outstanding_bytes",
+                   counter.peak_outstanding_bytes());
+      json.close();
+      if (counter.allocated_bytes() - counter.freed_bytes() !=
+          counter.outstanding_bytes()) {
+        conserved = false;
+      }
+    });
+    json.close();
+    json.close();
+    std::printf("\n");
+    if (!conserved) {
+      std::fprintf(stderr, "FATAL: allocation conservation violated\n");
       return 1;
     }
   }

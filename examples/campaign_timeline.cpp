@@ -1,11 +1,15 @@
 // Campaign timeline demo: a short multi-vantage scan campaign with two
 // injected responder outages, read back entirely from the obs::Timeline —
 // a per-window availability table, one sparkline per vantage point, and the
-// pooled sparkline the full study appends to its readiness report.
+// pooled sparkline the full study appends to its readiness report. The
+// campaign also runs under the annotation profiler and the resource
+// monitor, so the same run shows WHERE the wall time went and what it cost
+// the process.
 //
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/campaign_timeline [outdir]
-// With an outdir, also writes timeline.csv and trace.json there.
+// With an outdir, also writes timeline.csv, trace.json, profile.json,
+// profile.folded, and resources.csv there.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -14,6 +18,7 @@
 #include "measurement/ecosystem.hpp"
 #include "measurement/scanner.hpp"
 #include "obs/obs.hpp"
+#include "obs/resource.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/strings.hpp"
 
@@ -86,8 +91,18 @@ int main(int argc, char** argv) {
   }
   trace_log.set_track_name(obs::TraceLog::kControlTrack, "simulator-control");
 
+  // Profile + resource-monitor the campaign itself (pillar 6): the scanner
+  // opens scan.campaign/scan.step/... scopes, and the monitor samples RSS
+  // on a 50ms tick into its own registry.
+  obs::default_profiler().reset();
+  obs::ResourceMonitor::Options monitor_options;
+  monitor_options.tick_ms = 50;
+  obs::ResourceMonitor monitor(monitor_options);
+  monitor.start();
+
   measurement::HourlyScanner scanner(ecosystem, scan);
   scanner.run();
+  monitor.stop();
   timeline.flush(config.campaign_end);
   obs::install_timeline(previous_timeline);
   trace_log.disable();
@@ -137,12 +152,30 @@ int main(int argc, char** argv) {
   }
   std::printf("  %-10s [%s]\n", "pooled", util::sparkline(pooled).c_str());
 
+  std::printf("\n%s", obs::default_profiler().summary(6).c_str());
+  {
+    const auto samples = monitor.samples();
+    if (!samples.empty()) {
+      std::printf("\npeak RSS %.1f MiB over %zu resource samples\n",
+                  static_cast<double>(samples.back().usage.peak_rss_bytes) /
+                      (1024.0 * 1024.0),
+                  samples.size());
+    }
+  }
+
   if (!outdir.empty()) {
     std::ofstream(outdir + "/timeline.csv") << timeline.render_csv();
     std::ofstream(outdir + "/trace.json") << trace_log.render_chrome_trace();
-    std::printf("\nwrote %s/timeline.csv and %s/trace.json "
-                "(open in ui.perfetto.dev)\n",
-                outdir.c_str(), outdir.c_str());
+    std::ofstream(outdir + "/profile.json")
+        << obs::default_profiler().render_json();
+    std::ofstream(outdir + "/profile.folded")
+        << obs::default_profiler().render_folded();
+    std::ofstream(outdir + "/resources.csv") << monitor.render_csv();
+    std::printf("\nwrote %s/{timeline.csv, trace.json, profile.json, "
+                "profile.folded, resources.csv}\n"
+                "(trace.json opens in ui.perfetto.dev; profile.folded feeds "
+                "flamegraph.pl)\n",
+                outdir.c_str());
   }
   std::printf("\ntrace: %zu events collected, %zu dropped (capacity %zu)\n",
               trace_log.events().size(), trace_log.dropped(),

@@ -1,0 +1,88 @@
+// Live introspection demo (pillar 7): run a readiness study with the
+// IntrospectionServer serving real loopback HTTP for the campaign's
+// duration, so an operator (or CI) can scrape the process while it works:
+//
+//   curl localhost:<port>/metrics   # Prometheus text: campaign + resources
+//   curl localhost:<port>/healthz   # liveness
+//   curl localhost:<port>/statusz   # scan progress, RSS, allocation, phases
+//
+// Usage: live_campaign [--port N] [--linger SECONDS] [outdir]
+//   --port N          bind 127.0.0.1:N (default 0 = kernel-assigned)
+//   --linger SECONDS  keep serving the finished campaign's state this long
+//                     after the study returns (default 0)
+//   outdir            also write the study's artifacts there ("" = none)
+//
+// The bound port is printed on a line of its own ("listening on
+// 127.0.0.1:<port>") and stdout is flushed BEFORE the campaign starts, so a
+// harness can background this binary, read the port, and curl mid-run —
+// that is exactly what the CI introspection-smoke job does.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/study.hpp"
+
+using namespace mustaple;
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int linger_seconds = 0;
+  std::string outdir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      linger_seconds = std::atoi(argv[++i]);
+    } else if (argv[i][0] != '-') {
+      outdir = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--linger SECONDS] [outdir]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // A scan-only campaign sized to run for a few wall-clock seconds, so
+  // there is a meaningful window in which to scrape it live.
+  core::StudyConfig config;
+  config.ecosystem.seed = 11;
+  config.ecosystem.responder_count = 150;
+  config.ecosystem.alexa_domains = 10'000;
+  config.ecosystem.certs_per_responder = 2;
+  config.ecosystem.campaign_end =
+      config.ecosystem.campaign_start + util::Duration::days(42);
+  config.scan.interval = util::Duration::hours(6);
+  config.run_consistency_audit = false;
+  config.run_browser_suite = false;
+  config.run_webserver_suite = false;
+  config.artifact_dir = outdir;
+  config.introspection_port = port;
+
+  core::MustStapleStudy study(config);
+  const std::uint16_t bound = study.start_introspection();
+  if (bound == 0) {
+    std::fprintf(stderr, "introspection server failed to bind port %d\n",
+                 port);
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u\n", bound);
+  std::printf("try: curl -s localhost:%u/statusz\n", bound);
+  std::fflush(stdout);
+
+  const core::ReadinessReport report = study.run();
+  std::printf("%s", report.render().c_str());
+  std::fflush(stdout);
+
+  if (linger_seconds > 0) {
+    std::printf("\ncampaign done; serving final state for %ds more on "
+                "127.0.0.1:%u\n",
+                linger_seconds, bound);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+  }
+  return 0;
+}

@@ -2,14 +2,18 @@
 // stack wired up — structured JSONL event log (sim-time AND wall-time on
 // every record), Prometheus-text + JSON metrics dumps, the campaign
 // timeline (windowed sim-time series) as CSV/JSON, a Perfetto-loadable
-// Chrome trace, and the per-phase span summary appended to the readiness
-// report.
+// Chrome trace, the annotation profiler's phase tree (JSON + collapsed
+// stacks for flamegraph.pl / speedscope), the resource-monitor timeline
+// (RSS, CPU, per-subsystem allocation), and the span/resource/profile
+// summaries appended to the readiness report.
 //
 // Build & run:  cmake -B build && cmake --build build -j
 //               ./build/examples/obs_dump [outdir]
 // Writes <outdir>/study.jsonl, <outdir>/metrics.prom, <outdir>/metrics.json,
-// <outdir>/timeline.csv, <outdir>/timeline.json, <outdir>/trace.json
-// (outdir defaults to "."). Open trace.json at ui.perfetto.dev.
+// <outdir>/timeline.csv, <outdir>/timeline.json, <outdir>/trace.json,
+// <outdir>/profile.json, <outdir>/profile.folded, <outdir>/resources.csv,
+// <outdir>/resources.json (outdir defaults to "."). Open trace.json at
+// ui.perfetto.dev; feed profile.folded to flamegraph.pl.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -80,8 +84,11 @@ int main(int argc, char** argv) {
   std::printf(
       "\nwrote %s, %s/metrics.prom, %s/metrics.json,\n"
       "      %s/timeline.csv, %s/timeline.json, %s/trace.json "
-      "(open in ui.perfetto.dev)\n",
+      "(open in ui.perfetto.dev),\n"
+      "      %s/profile.json, %s/profile.folded (feed to flamegraph.pl),\n"
+      "      %s/resources.csv, %s/resources.json\n",
       jsonl_path.c_str(), outdir.c_str(), outdir.c_str(), outdir.c_str(),
+      outdir.c_str(), outdir.c_str(), outdir.c_str(), outdir.c_str(),
       outdir.c_str(), outdir.c_str());
   std::printf("key counters:\n");
   for (const char* name :

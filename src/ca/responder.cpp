@@ -38,7 +38,8 @@ OcspResponder::OcspResponder(CertificateAuthority& authority,
       behavior_(std::move(behavior)),
       host_(std::move(host)),
       rng_(rng.fork("responder." + host_)),
-      delegate_key_(crypto::KeyPair::generate_sim(rng_)) {
+      delegate_key_(crypto::KeyPair::generate_sim(rng_)),
+      cache_tally_(util::alloc_counter("ca.response_cache")) {
   if (behavior_.backends < 1) behavior_.backends = 1;
   if (behavior_.delegate_signing) {
     // Anchored mid-2010s; issue_delegate gives it a ±multi-decade window so
@@ -271,7 +272,12 @@ util::Bytes OcspResponder::build_response_der(
     MUSTAPLE_COUNT("mustaple_ca_ocsp_regenerations_total");
     auto& entries = cache_[serial_hex];
     entries.resize(static_cast<std::size_t>(behavior_.backends));
-    entries[static_cast<std::size_t>(backend)] = CacheEntry{cycle, der};
+    auto& slot = entries[static_cast<std::size_t>(backend)];
+    // Keep the "ca.response_cache" tally equal to the DER bytes resident in
+    // cache_: credit the encoding being replaced, charge its successor.
+    if (!slot.der.empty()) cache_tally_.release(slot.der.size());
+    cache_tally_.record(der.size());
+    slot = CacheEntry{cycle, der};
   }
   return der;
 }

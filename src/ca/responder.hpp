@@ -20,6 +20,7 @@
 #include "ca/authority.hpp"
 #include "net/network.hpp"
 #include "ocsp/response.hpp"
+#include "util/alloc.hpp"
 #include "util/rng.hpp"
 
 namespace mustaple::ca {
@@ -135,6 +136,9 @@ class OcspResponder {
   // serial hex -> per-backend cached encoding for the current cycle.
   mutable std::mutex mu_;  ///< guards cache_ across lookup + generation
   std::map<std::string, std::vector<CacheEntry>> cache_;
+  /// DER bytes resident in cache_, charged to "ca.response_cache" (updated
+  /// under mu_; released wholesale on destruction).
+  util::AllocTally cache_tally_;
 };
 
 }  // namespace mustaple::ca

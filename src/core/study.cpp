@@ -5,6 +5,7 @@
 
 #include "analysis/export.hpp"
 #include "obs/obs.hpp"
+#include "util/alloc.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/strings.hpp"
 
@@ -47,6 +48,35 @@ std::string availability_summary(const obs::Timeline& timeline) {
   return out.str();
 }
 
+double to_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+// Pillar-6 report block: what the run cost the process, and where the
+// retained bytes live.
+std::string resource_summary_text(const obs::ResourceMonitor& monitor) {
+  const auto samples = monitor.samples();
+  if (samples.empty()) return "";
+  const obs::ResourceMonitor::Sample& last = samples.back();
+  std::ostringstream out;
+  out << util::format(
+      "Resources: peak RSS %.1f MiB (final %.1f MiB), CPU %.2fs user + "
+      "%.2fs system, %zu samples\n",
+      to_mib(last.usage.peak_rss_bytes), to_mib(last.usage.rss_bytes),
+      last.usage.user_cpu_seconds, last.usage.system_cpu_seconds,
+      samples.size());
+  util::visit_alloc_counters(
+      [&out](const std::string& name, const util::AllocCounter& counter) {
+        if (counter.allocated_bytes() == 0) return;
+        out << util::format(
+            "  alloc %-24s %9.1f KiB outstanding, %9.1f KiB peak\n",
+            name.c_str(),
+            static_cast<double>(counter.outstanding_bytes()) / 1024.0,
+            static_cast<double>(counter.peak_outstanding_bytes()) / 1024.0);
+      });
+  return out.str();
+}
+
 }  // namespace
 #endif  // MUSTAPLE_OBS_ENABLED
 
@@ -54,11 +84,61 @@ MustStapleStudy::MustStapleStudy(StudyConfig config)
     : config_(std::move(config)),
       loop_(config_.ecosystem.campaign_start - util::Duration::days(1)),
       ecosystem_(std::make_unique<measurement::Ecosystem>(config_.ecosystem,
-                                                          loop_)) {}
+                                                          loop_)) {
+  obs::ResourceMonitor::Options monitor_options;
+  monitor_options.tick_ms = config_.resource_tick_ms;
+  monitor_ = std::make_unique<obs::ResourceMonitor>(monitor_options);
+}
+
+std::uint16_t MustStapleStudy::start_introspection() {
+  if (config_.introspection_port < 0) return 0;
+  if (server_) return server_->port();
+  obs::IntrospectionServer::Options options;
+  options.port = static_cast<std::uint16_t>(config_.introspection_port);
+  server_ = std::make_unique<obs::IntrospectionServer>(options);
+  server_->add_registry("campaign", &obs::default_registry());
+  server_->add_registry("resources", &monitor_->registry());
+#if MUSTAPLE_OBS_ENABLED
+  server_->set_profiler(&obs::default_profiler());
+#endif
+  server_->set_status_provider([this] { return render_status(); });
+  const util::Status status = server_->start();
+  if (!status.ok()) {
+    MUSTAPLE_LOG_WARN("core", "introspection server failed to start",
+                      obs::field("error", status.error().to_string()));
+    server_.reset();
+    return 0;
+  }
+  return server_->port();
+}
+
+std::string MustStapleStudy::render_status() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(scanner_mu_);
+  if (live_scanner_ == nullptr) {
+    out << "availability scan: not running\n";
+    return out.str();
+  }
+  const measurement::HourlyScanner::Progress progress =
+      live_scanner_->progress();
+  out << util::format(
+      "availability scan: step %llu/%llu, %llu probes issued, %llu targets\n",
+      static_cast<unsigned long long>(progress.steps_done),
+      static_cast<unsigned long long>(progress.steps_planned),
+      static_cast<unsigned long long>(progress.probes_done),
+      static_cast<unsigned long long>(progress.targets));
+  return out.str();
+}
 
 ReadinessReport MustStapleStudy::run() {
   ReadinessReport report;
 #if MUSTAPLE_OBS_ENABLED
+  // One study = one profile; a second run() starts from zeroed phase stats.
+  obs::default_profiler().reset();
+  // Kernel-side resource sampling for the run's duration. With tick 0 the
+  // background thread is skipped; sample_now() below still records enough
+  // for the report's peak-RSS line.
+  if (config_.resource_tick_ms > 0) monitor_->start();
   // One study = one trace; stamp every log record with the campaign clock.
   obs::default_tracer().reset();
   obs::default_logger().set_sim_clock([this] { return loop_.now(); });
@@ -79,14 +159,28 @@ ReadinessReport MustStapleStudy::run() {
   }
   trace_log.set_track_name(obs::TraceLog::kControlTrack, "simulator-control");
 #endif
+  start_introspection();
   {
     MUSTAPLE_SPAN(span_study, "study");
+    OBS_PROF_SCOPE("study");
     report.deployment = ecosystem_->deployment_stats();
 
     if (config_.run_availability_scan) {
       MUSTAPLE_SPAN(span_scan, "availability-scan");
+      OBS_PROF_SCOPE("availability-scan");
       measurement::HourlyScanner scanner(*ecosystem_, config_.scan);
+      {
+        std::lock_guard<std::mutex> lock(scanner_mu_);
+        live_scanner_ = &scanner;
+      }
       scanner.run();
+      {
+        // Clear before the scanner leaves scope; /statusz holds the same
+        // mutex while dereferencing, so no serving thread can still be
+        // reading it once this block exits.
+        std::lock_guard<std::mutex> lock(scanner_mu_);
+        live_scanner_ = nullptr;
+      }
       report.responders_total = scanner.responder_count();
       report.responders_with_outage = scanner.responders_with_outage();
       report.responders_never_reachable = scanner.responders_never_reachable();
@@ -106,6 +200,7 @@ ReadinessReport MustStapleStudy::run() {
 
     if (config_.run_consistency_audit) {
       MUSTAPLE_SPAN(span_audit, "consistency-audit");
+      OBS_PROF_SCOPE("consistency-audit");
       util::Rng rng(config_.ecosystem.seed ^ 0x5ca1ab1eULL);
       measurement::ConsistencyAudit audit(*ecosystem_, config_.consistency);
       const measurement::ConsistencyReport consistency = audit.run(rng);
@@ -118,6 +213,7 @@ ReadinessReport MustStapleStudy::run() {
 
     if (config_.run_browser_suite) {
       MUSTAPLE_SPAN(span_browsers, "browser-suite");
+      OBS_PROF_SCOPE("browser-suite");
       const analysis::BrowserSuiteResult browsers =
           analysis::run_browser_suite(config_.ecosystem.seed);
       report.browsers_tested = browsers.rows.size();
@@ -130,6 +226,7 @@ ReadinessReport MustStapleStudy::run() {
 
     if (config_.run_webserver_suite) {
       MUSTAPLE_SPAN(span_servers, "webserver-suite");
+      OBS_PROF_SCOPE("webserver-suite");
       const analysis::WebServerSuiteResult servers =
           analysis::run_webserver_suite(config_.ecosystem.seed);
       report.servers_tested = servers.rows.size();
@@ -159,6 +256,12 @@ ReadinessReport MustStapleStudy::run() {
   report.trace_summary = obs::default_tracer().summary();
   report.timeline_summary = availability_summary(timeline);
   obs::default_logger().set_sim_clock(nullptr);
+  // Close the resource timeline with one final sample (covers tick 0, where
+  // no sampler thread ran) before rendering the pillar-6 report lines.
+  monitor_->stop();
+  monitor_->sample_now();
+  report.resource_summary = resource_summary_text(*monitor_);
+  report.profile_summary = obs::default_profiler().summary(10);
   if (!config_.artifact_dir.empty()) {
     analysis::write_export(config_.artifact_dir, "timeline.csv",
                            timeline.render_csv());
@@ -166,6 +269,16 @@ ReadinessReport MustStapleStudy::run() {
                            timeline.render_json());
     analysis::write_export(config_.artifact_dir, "trace.json",
                            trace_log.render_chrome_trace());
+    if (config_.profile_artifacts) {
+      analysis::write_export(config_.artifact_dir, "profile.json",
+                             obs::default_profiler().render_json());
+      analysis::write_export(config_.artifact_dir, "profile.folded",
+                             obs::default_profiler().render_folded());
+      analysis::write_export(config_.artifact_dir, "resources.csv",
+                             monitor_->render_csv());
+      analysis::write_export(config_.artifact_dir, "resources.json",
+                             monitor_->render_json());
+    }
   }
 #endif
   // Lint is part of the study proper, not the obs layer: the report JSON is
@@ -237,6 +350,8 @@ std::string ReadinessReport::render() const {
       << "ready for OCSP Must-Staple.\n";
   if (!timeline_summary.empty()) out << "\n" << timeline_summary;
   if (!trace_summary.empty()) out << "\n" << trace_summary;
+  if (!resource_summary.empty()) out << "\n" << resource_summary;
+  if (!profile_summary.empty()) out << "\n" << profile_summary;
   return out.str();
 }
 

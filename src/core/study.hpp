@@ -10,6 +10,9 @@
 //   std::cout << report.render();
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "analysis/adoption.hpp"
@@ -19,6 +22,8 @@
 #include "measurement/consistency.hpp"
 #include "measurement/ecosystem.hpp"
 #include "measurement/scanner.hpp"
+#include "obs/introspect.hpp"
+#include "obs/resource.hpp"
 
 namespace mustaple::core {
 
@@ -39,6 +44,17 @@ struct StudyConfig {
   std::string artifact_dir = ".";
   /// Trace events kept before further ones are counted as dropped.
   std::size_t trace_capacity = 200'000;
+  /// Resource-monitor sampling cadence on the wall clock; 0 disables the
+  /// background sampler (a single end-of-run sample is still taken so the
+  /// report can state peak RSS).
+  std::uint64_t resource_tick_ms = 100;
+  /// Write profile.json / profile.folded / resources.csv / resources.json
+  /// next to the other artifacts (obs builds only).
+  bool profile_artifacts = true;
+  /// Serve /metrics, /healthz, /statusz on 127.0.0.1:<port> for the run's
+  /// duration (0 = kernel-assigned ephemeral port, read back via
+  /// MustStapleStudy::introspection_port()). -1 disables the server.
+  int introspection_port = -1;
 };
 
 /// Verdict per principal, in the structure of the paper's §8 conclusion.
@@ -84,6 +100,14 @@ struct ReadinessReport {
   /// empty when the obs layer is compiled out or no scan ran.
   std::string timeline_summary;
 
+  /// Peak RSS / CPU split / per-subsystem allocation totals (pillar 6);
+  /// empty when the obs layer is compiled out.
+  std::string resource_summary;
+
+  /// Top phases by wall time from the annotation profiler (pillar 6);
+  /// empty when the obs layer is compiled out.
+  std::string profile_summary;
+
   /// Multi-line human-readable report.
   std::string render() const;
 };
@@ -98,10 +122,30 @@ class MustStapleStudy {
   /// Access to the underlying world (for extended analyses).
   measurement::Ecosystem& ecosystem() { return *ecosystem_; }
 
+  /// Binds and starts the introspection server ahead of run() so callers
+  /// can print the endpoint before the campaign begins (no-op unless
+  /// config.introspection_port >= 0; idempotent). Returns the bound port,
+  /// 0 when disabled or bind failed. The server keeps serving the final
+  /// state after run() returns, until the study is destroyed.
+  std::uint16_t start_introspection();
+  std::uint16_t introspection_port() const {
+    return server_ ? server_->port() : 0;
+  }
+
  private:
+  std::string render_status() const;  ///< /statusz campaign section
+
   StudyConfig config_;
   net::EventLoop loop_;
   std::unique_ptr<measurement::Ecosystem> ecosystem_;
+  /// Own registry (never the process default): wall-clock RSS gauges must
+  /// stay out of the bit-identical campaign artifacts (obs/resource.hpp).
+  std::unique_ptr<obs::ResourceMonitor> monitor_;
+  std::unique_ptr<obs::IntrospectionServer> server_;
+  /// The live scanner /statusz reads mid-campaign; guarded because the
+  /// serving thread races the scanner's construction/destruction.
+  mutable std::mutex scanner_mu_;
+  measurement::HourlyScanner* live_scanner_ = nullptr;
 };
 
 }  // namespace mustaple::core

@@ -120,7 +120,8 @@ Duration draw_update_interval(Rng& rng, Duration validity) {
 
 Ecosystem::Ecosystem(const EcosystemConfig& config, net::EventLoop& loop)
     : config_(config),
-      network_(std::make_unique<net::Network>(loop, config.seed)) {
+      network_(std::make_unique<net::Network>(loop, config.seed)),
+      population_tally_(util::alloc_counter("ecosystem.population")) {
   Rng rng(config_.seed);
   Rng ca_rng = rng.fork("cas");
   Rng responder_rng = rng.fork("responders");
@@ -132,6 +133,18 @@ Ecosystem::Ecosystem(const EcosystemConfig& config, net::EventLoop& loop)
   build_fault_schedule(fault_rng);
   build_domains(domain_rng);
   build_scan_targets(target_rng);
+
+  // Charge the retained population to "ecosystem.population": container
+  // storage plus each scan-target certificate's variable-length DER pieces
+  // (the dominant per-certificate heap cost).
+  std::size_t bytes = scan_targets_.capacity() * sizeof(ScanTarget) +
+                      domains_.capacity() * sizeof(DomainMeta) +
+                      responders_.capacity() * sizeof(ResponderInfo);
+  for (const ScanTarget& t : scan_targets_) {
+    bytes += t.cert.tbs_der().capacity() + t.cert.signature().capacity() +
+             t.cert.serial().capacity();
+  }
+  population_tally_.record(bytes);
 }
 
 void Ecosystem::build_cas(Rng& rng) {

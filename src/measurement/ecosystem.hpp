@@ -26,6 +26,7 @@
 #include "ca/crl_server.hpp"
 #include "ca/responder.hpp"
 #include "net/network.hpp"
+#include "util/alloc.hpp"
 #include "util/rng.hpp"
 #include "x509/verify.hpp"
 
@@ -175,6 +176,10 @@ class Ecosystem {
   /// The responder whose HTTPS endpoint serves an invalid certificate
   /// (§5.2's single TLS-failure case); its AIA URLs use https://.
   std::string https_pinned_host_;
+  /// Bytes retained by the generated population (scan-target certificates,
+  /// domain metadata, responder info), charged to "ecosystem.population"
+  /// after the build phases and released wholesale on destruction.
+  util::AllocTally population_tally_;
 };
 
 }  // namespace mustaple::measurement

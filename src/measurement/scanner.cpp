@@ -26,8 +26,11 @@ std::uint64_t body_cache_key(std::size_t responder, const util::Bytes& body) {
 HourlyScanner::HourlyScanner(Ecosystem& ecosystem, ScanConfig config)
     : ecosystem_(&ecosystem),
       config_(config),
-      static_cache_(kCacheShards, kStaticCacheLimit),
-      lint_cache_(kCacheShards, kStaticCacheLimit) {
+      static_cache_(kCacheShards, kStaticCacheLimit,
+                    &util::alloc_counter("scan.validation_cache")),
+      lint_cache_(kCacheShards, kStaticCacheLimit,
+                  &util::alloc_counter("scan.lint_cache")),
+      targets_tally_(util::alloc_counter("scan.targets")) {
   const auto& targets = ecosystem_->scan_targets();
   targets_.reserve(targets.size());
   for (const auto& t : targets) {
@@ -52,6 +55,13 @@ HourlyScanner::HourlyScanner(Ecosystem& ecosystem, ScanConfig config)
     targets_.push_back(std::move(target));
   }
   stats_.resize(ecosystem_->responders().size() * net::kRegionCount);
+
+  // Charge the retained scan-target state (struct storage + the pre-encoded
+  // OCSPRequest DER each target carries) to "scan.targets" so campaign
+  // artifacts can attribute resident bytes to it.
+  std::size_t target_bytes = targets_.capacity() * sizeof(Target);
+  for (const Target& t : targets_) target_bytes += t.request_der.capacity();
+  targets_tally_.record(target_bytes);
 }
 
 HourlyScanner::ProbeOutcome HourlyScanner::execute_probe(
@@ -284,6 +294,17 @@ void HourlyScanner::run() {
       config_.threads > 0 ? config_.threads : util::ThreadPool::env_threads(1);
   util::ThreadPool pool(thread_count);
 
+  if (config_.interval.seconds > 0) {
+    steps_planned_.store(
+        config_.max_steps != 0
+            ? config_.max_steps
+            : static_cast<std::uint64_t>((end - start).seconds /
+                                         config_.interval.seconds) +
+                  1,
+        std::memory_order_relaxed);
+  }
+
+  OBS_PROF_SCOPE("scan.campaign");
   MUSTAPLE_SPAN(span_campaign, "scan-campaign");
   MUSTAPLE_LOG_INFO("scan", "campaign starting",
                     obs::field("targets", targets_.size()),
@@ -300,6 +321,7 @@ void HourlyScanner::run() {
 #if MUSTAPLE_OBS_ENABLED
     step_trace_id_ = obs::next_trace_id();
 #endif
+    OBS_PROF_SCOPE("scan.step");
     MUSTAPLE_SPAN(span_step, "scan-step");
     loop.run_until(t);
     MUSTAPLE_TRACE_INSTANT("scan-step", "scan", t,
@@ -320,16 +342,30 @@ void HourlyScanner::run() {
     const auto regions = net::all_regions();
     const std::uint64_t step_base = probe_counter_;
     std::vector<ProbeOutcome> outcomes(targets_.size() * net::kRegionCount);
-    pool.parallel_for_index(outcomes.size(), [&](std::size_t p) {
-      const net::Region region = regions[p / targets_.size()];
-      const Target& target = targets_[p % targets_.size()];
-      outcomes[p] = execute_probe(target, region, step_base + p + 1);
-    });
-    for (std::size_t p = 0; p < outcomes.size(); ++p) {
-      const net::Region region = regions[p / targets_.size()];
-      const Target& target = targets_[p % targets_.size()];
-      accumulate_probe(target, region, outcomes[p], totals);
+    // Workers attach their probe scopes under the coordinator's open
+    // "scan.fanout" phase via an explicit parent token, so the profile path
+    // (...scan.step;scan.fanout;scan.execute_probe) is identical whether a
+    // probe ran inline or on a pool worker — the profiler's merge is
+    // thread-count-invariant.
+    {
+      OBS_PROF_SCOPE("scan.fanout");
+      const auto prof_parent = OBS_PROF_CURRENT();
+      pool.parallel_for_index(outcomes.size(), [&](std::size_t p) {
+        OBS_PROF_TASK_SCOPE(prof_parent, "scan.execute_probe");
+        const net::Region region = regions[p / targets_.size()];
+        const Target& target = targets_[p % targets_.size()];
+        outcomes[p] = execute_probe(target, region, step_base + p + 1);
+      });
     }
+    {
+      OBS_PROF_SCOPE("scan.accumulate");
+      for (std::size_t p = 0; p < outcomes.size(); ++p) {
+        const net::Region region = regions[p / targets_.size()];
+        const Target& target = targets_[p % targets_.size()];
+        accumulate_probe(target, region, outcomes[p], totals);
+      }
+    }
+    probes_done_.fetch_add(outcomes.size(), std::memory_order_relaxed);
 
     // Fig 4: per region, total Alexa domains whose responder answered
     // nothing this step (all probes to it failed from that region).
@@ -345,6 +381,7 @@ void HourlyScanner::run() {
       totals.domains_unable[g] = unable;
     }
     steps_.push_back(totals);
+    steps_done_.store(step_count, std::memory_order_relaxed);
     MUSTAPLE_LOG_DEBUG("scan", "step complete",
                        obs::field("step", step_count),
                        obs::field("responses_200", totals.responses_200));

@@ -10,12 +10,14 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "lint/lint.hpp"
 #include "measurement/ecosystem.hpp"
 #include "ocsp/verify.hpp"
+#include "util/alloc.hpp"
 #include "util/sharded_cache.hpp"
 #include "util/stats.hpp"
 
@@ -170,6 +172,26 @@ class HourlyScanner {
     return lint_cache_.totals();
   }
 
+  // ---- live progress (introspection server's /statusz) ----
+  //
+  // Written only by the coordinating thread at step barriers / accumulation,
+  // but READ concurrently by the serving thread mid-campaign, so they are
+  // relaxed atomics rather than the plain members the campaign outputs use.
+  struct Progress {
+    std::uint64_t steps_done = 0;
+    std::uint64_t steps_planned = 0;  ///< 0 until run() starts
+    std::uint64_t probes_done = 0;
+    std::uint64_t targets = 0;
+  };
+  Progress progress() const {
+    Progress p;
+    p.steps_done = steps_done_.load(std::memory_order_relaxed);
+    p.steps_planned = steps_planned_.load(std::memory_order_relaxed);
+    p.probes_done = probes_done_.load(std::memory_order_relaxed);
+    p.targets = targets_.size();
+    return p;
+  }
+
  private:
   struct Target {
     ocsp::CertId cert_id;
@@ -243,6 +265,12 @@ class HourlyScanner {
   std::uint64_t step_trace_id_ = 0;
   std::uint64_t probe_counter_ = 0;
   bool ran_ = false;
+  std::atomic<std::uint64_t> steps_done_{0};
+  std::atomic<std::uint64_t> steps_planned_{0};
+  std::atomic<std::uint64_t> probes_done_{0};
+  /// Bytes charged for targets_ (pre-encoded requests) under the
+  /// "scan.targets" counter; released on destruction.
+  util::AllocTally targets_tally_;
 };
 
 }  // namespace mustaple::measurement

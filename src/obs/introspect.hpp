@@ -1,0 +1,118 @@
+// Pillar 7 (live introspection): a minimal epoll-based HTTP server that
+// makes a running campaign observable from outside the process — the first
+// real-socket code in the repo. It reuses the net::Http{Request,Response}
+// wire machinery the simulated responders already speak, but binds it to an
+// actual TCP listener:
+//
+//   * GET /metrics  — Prometheus text exposition of every attached Registry
+//   * GET /healthz  — liveness ("ok")
+//   * GET /statusz  — human-readable status: process resources, campaign
+//                     progress (via a pluggable provider), top profile
+//                     phases
+//
+// Security posture: binds 127.0.0.1 by default and never parses request
+// bodies; it is a loopback diagnostics port, not a service endpoint
+// (docs/OBSERVABILITY.md, "Introspection server"). Serving threads only
+// READ observability state, so a live /metrics scrape cannot perturb
+// campaign outputs — the determinism contract is unaffected.
+//
+// The server is plain library code compiled regardless of MUSTAPLE_OBS_OFF
+// (same policy as Registry/Timeline); only the macro layer compiles out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/http.hpp"
+#include "util/result.hpp"
+
+namespace mustaple::obs {
+
+class Registry;
+class Profiler;
+
+class IntrospectionServer {
+ public:
+  struct Options {
+    /// Loopback by default; widening this is an explicit operator decision.
+    std::string bind_address = "127.0.0.1";
+    /// 0 asks the kernel for an ephemeral port; read it back via port().
+    std::uint16_t port = 0;
+    /// Accepted connections beyond this are closed immediately.
+    std::size_t max_connections = 64;
+    /// Requests whose head grows past this are rejected with 431.
+    std::size_t max_request_bytes = 64 * 1024;
+  };
+
+  /// Supplies the free-form middle section of /statusz (campaign progress,
+  /// cache hit rates, ...). Called from the serving thread: must be
+  /// thread-safe and read-only.
+  using StatusProvider = std::function<std::string()>;
+
+  IntrospectionServer();  ///< default Options
+  explicit IntrospectionServer(Options options);
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+  ~IntrospectionServer();
+
+  /// Attaches a registry rendered at /metrics (and summarized in /statusz).
+  /// The pointer must outlive the server. Call before start().
+  void add_registry(std::string name, const Registry* registry);
+  /// Attaches the profiler whose top phases /statusz shows. Before start().
+  void set_profiler(const Profiler* profiler);
+  void set_status_provider(StatusProvider provider);
+
+  /// Binds, listens, and spawns the epoll serving thread. Fails (with a
+  /// stable error code like "introspect.bind") rather than throwing when
+  /// the port is taken.
+  util::Status start();
+  /// Stops the serving thread and closes every socket (idempotent).
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually-bound port (resolves Options::port == 0); 0 before start.
+  std::uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  /// The routing core, exposed so tests can exercise handlers without a
+  /// socket. Thread-safe.
+  net::HttpResponse handle(const net::HttpRequest& request) const;
+
+ private:
+  struct Connection;
+
+  void serve_loop();
+  void accept_ready(int epoll_fd);
+  /// Returns false when the connection should be dropped.
+  bool connection_ready(int epoll_fd, Connection& conn, std::uint32_t events);
+  void queue_response(int epoll_fd, Connection& conn,
+                      net::HttpResponse response);
+  /// Returns false once the response is fully flushed (close the socket).
+  bool flush(Connection& conn);
+  void close_connection(int epoll_fd, Connection& conn);
+  void stop_fds();
+
+  std::string render_metrics() const;
+  std::string render_statusz() const;
+
+  Options options_;
+  std::vector<std::pair<std::string, const Registry*>> registries_;
+  const Profiler* profiler_ = nullptr;
+  StatusProvider status_provider_;
+  mutable std::mutex provider_mu_;  ///< guards status_provider_ swaps
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd poked by stop() to wake epoll_wait
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace mustaple::obs

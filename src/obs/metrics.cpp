@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "util/strings.hpp"
@@ -9,9 +10,44 @@ namespace mustaple::obs {
 
 namespace {
 
-// "%g"-style shortest representation; Prometheus accepts it for values and
-// `le` bounds alike.
-std::string number(double v) { return util::format("%g", v); }
+// "%g"-style shortest representation for Prometheus values and `le` bounds.
+// Non-finite values must use the exposition-format spellings (NaN, +Inf,
+// -Inf) — printf's "nan"/"inf" are rejected by Prometheus parsers.
+std::string number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return util::format("%g", v);
+}
+
+// JSON has no NaN/Infinity literals; non-finite gauges render as null so
+// the document stays parseable (CI pipes exports through json.tool).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  return util::format("%g", v);
+}
+
+// Prometheus label VALUES escape backslash, double-quote, and newline
+// (exposition format section "text format details").
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 // `name{k="v"}` as a JSON object key (label quotes need escaping).
 std::string json_key(const std::string& name, const std::string& labels) {
@@ -33,7 +69,11 @@ std::string canonical_labels(const Labels& labels) {
   std::string out = "{";
   for (std::size_t i = 0; i < sorted.size(); ++i) {
     if (i) out += ",";
-    out += sorted[i].first + "=\"" + sorted[i].second + "\"";
+    // Escaping here keeps the canonical string valid exposition text AND a
+    // sound map key: the escape is injective, so distinct raw label sets
+    // can never collide onto one cell.
+    out += sorted[i].first + "=\"" + escape_label_value(sorted[i].second) +
+           "\"";
   }
   out += "}";
   return out;
@@ -54,6 +94,10 @@ void Histogram::observe(double x) {
 
 double Histogram::quantile(double q) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
   if (stats_.count() == 0) return 0.0;
   if (q <= 0.0) return stats_.min();
   if (q >= 1.0) return stats_.max();
@@ -78,6 +122,22 @@ double Histogram::quantile(double q) const {
   // Rank lands in the +Inf overflow bucket: no upper bound to interpolate
   // toward, so the observed max is the best estimate.
   return stats_.max();
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets = buckets_;
+  snap.sum = sum_;
+  snap.count = stats_.count();
+  snap.mean = stats_.mean();
+  snap.min = stats_.min();
+  snap.max = stats_.max();
+  snap.p50 = quantile_locked(0.50);
+  snap.p95 = quantile_locked(0.95);
+  snap.p99 = quantile_locked(0.99);
+  return snap;
 }
 
 const std::vector<double>& latency_ms_buckets() {
@@ -181,24 +241,25 @@ std::string Registry::render_prometheus() const {
   for (const auto& [name, cells] : histograms_) {
     out << "# TYPE " << name << " histogram\n";
     for (const auto& [labels, cell] : cells) {
+      const HistogramSnapshot snap = cell->snapshot();
       // `le` joins any user labels inside one brace set.
       const std::string base =
           labels.empty() ? "" : labels.substr(0, labels.size() - 1) + ",";
       std::uint64_t cumulative = 0;
-      for (std::size_t i = 0; i < cell->bounds().size(); ++i) {
-        cumulative += cell->bucket_counts()[i];
+      for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+        cumulative += snap.buckets[i];
         out << name << "_bucket"
             << (base.empty() ? "{" : base) << "le=\""
-            << number(cell->bounds()[i]) << "\"} " << cumulative << "\n";
+            << number(snap.bounds[i]) << "\"} " << cumulative << "\n";
       }
-      cumulative += cell->bucket_counts().back();
+      cumulative += snap.buckets.back();
       out << name << "_bucket" << (base.empty() ? "{" : base)
           << "le=\"+Inf\"} " << cumulative << "\n";
-      out << name << "_sum" << labels << " " << number(cell->sum()) << "\n";
-      out << name << "_count" << labels << " " << cell->count() << "\n";
-      out << name << "_p50" << labels << " " << number(cell->p50()) << "\n";
-      out << name << "_p95" << labels << " " << number(cell->p95()) << "\n";
-      out << name << "_p99" << labels << " " << number(cell->p99()) << "\n";
+      out << name << "_sum" << labels << " " << number(snap.sum) << "\n";
+      out << name << "_count" << labels << " " << snap.count << "\n";
+      out << name << "_p50" << labels << " " << number(snap.p50) << "\n";
+      out << name << "_p95" << labels << " " << number(snap.p95) << "\n";
+      out << name << "_p99" << labels << " " << number(snap.p99) << "\n";
     }
   }
   return out.str();
@@ -222,7 +283,7 @@ std::string Registry::render_json() const {
     for (const auto& [labels, cell] : cells) {
       if (!first) out << ",";
       first = false;
-      out << json_key(name, labels) << ":" << number(cell.value());
+      out << json_key(name, labels) << ":" << json_number(cell.value());
     }
   }
   out << "},\"histograms\":{";
@@ -231,23 +292,24 @@ std::string Registry::render_json() const {
     for (const auto& [labels, cell] : cells) {
       if (!first) out << ",";
       first = false;
-      out << json_key(name, labels) << ":{\"count\":" << cell->count()
-          << ",\"sum\":" << number(cell->sum())
-          << ",\"mean\":" << number(cell->stats().mean())
-          << ",\"min\":" << number(cell->stats().min())
-          << ",\"max\":" << number(cell->stats().max())
-          << ",\"p50\":" << number(cell->p50())
-          << ",\"p95\":" << number(cell->p95())
-          << ",\"p99\":" << number(cell->p99()) << ",\"buckets\":[";
+      const HistogramSnapshot snap = cell->snapshot();
+      out << json_key(name, labels) << ":{\"count\":" << snap.count
+          << ",\"sum\":" << json_number(snap.sum)
+          << ",\"mean\":" << json_number(snap.mean)
+          << ",\"min\":" << json_number(snap.min)
+          << ",\"max\":" << json_number(snap.max)
+          << ",\"p50\":" << json_number(snap.p50)
+          << ",\"p95\":" << json_number(snap.p95)
+          << ",\"p99\":" << json_number(snap.p99) << ",\"buckets\":[";
       std::uint64_t cumulative = 0;
-      for (std::size_t i = 0; i < cell->bounds().size(); ++i) {
-        cumulative += cell->bucket_counts()[i];
+      for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+        cumulative += snap.buckets[i];
         if (i) out << ",";
-        out << "{\"le\":" << number(cell->bounds()[i])
+        out << "{\"le\":" << json_number(snap.bounds[i])
             << ",\"count\":" << cumulative << "}";
       }
-      cumulative += cell->bucket_counts().back();
-      if (!cell->bounds().empty()) out << ",";
+      cumulative += snap.buckets.back();
+      if (!snap.bounds.empty()) out << ",";
       out << "{\"le\":\"+Inf\",\"count\":" << cumulative << "}]}";
     }
   }

@@ -75,6 +75,23 @@ class Gauge {
   bool has_sample_ = false;
 };
 
+/// One consistent, fully-owned view of a histogram, taken under its lock —
+/// the render primitive safe against concurrent observe() (the reference
+/// accessors below are not, and remain only for quiesced-reader callers).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  /// Per-bucket (non-cumulative); size bounds.size() + 1, +Inf last.
+  std::vector<std::uint64_t> buckets;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Fixed upper-bound buckets plus an implicit +Inf bucket, cumulative like
 /// Prometheus's `le` convention when exported.
 class Histogram {
@@ -118,7 +135,14 @@ class Histogram {
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
 
+  /// Everything a renderer needs, captured atomically under the cell mutex.
+  /// Safe while other threads observe() — how the introspection server
+  /// renders /metrics mid-campaign.
+  HistogramSnapshot snapshot() const;
+
  private:
+  double quantile_locked(double q) const;  ///< requires mu_ held
+
   mutable std::mutex mu_;
   std::vector<double> bounds_;  ///< sorted ascending upper bounds
   std::vector<std::uint64_t> buckets_;

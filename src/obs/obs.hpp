@@ -13,6 +13,7 @@
 #include "obs/config.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"

@@ -1,0 +1,249 @@
+#include "obs/resource.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/alloc.hpp"
+#include "util/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define MUSTAPLE_HAVE_RUSAGE 1
+#else
+#define MUSTAPLE_HAVE_RUSAGE 0
+#endif
+
+namespace mustaple::obs {
+
+namespace {
+
+double timeval_seconds(long sec, long usec) {
+  return static_cast<double>(sec) + static_cast<double>(usec) / 1e6;
+}
+
+}  // namespace
+
+ResourceUsage read_resource_usage() {
+  ResourceUsage usage;
+#if MUSTAPLE_HAVE_RUSAGE
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.ok = true;
+#if defined(__APPLE__)
+    usage.peak_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes
+#else
+    usage.peak_rss_bytes =
+        static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+    usage.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+    usage.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+    usage.user_cpu_seconds =
+        timeval_seconds(ru.ru_utime.tv_sec, ru.ru_utime.tv_usec);
+    usage.system_cpu_seconds =
+        timeval_seconds(ru.ru_stime.tv_sec, ru.ru_stime.tv_usec);
+  }
+  // /proc/self/statm: "size resident shared text lib data dt", in pages.
+  // Absent outside Linux — current RSS then falls back to the peak (still a
+  // usable upper bound for the gauges).
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    std::uint64_t size_pages = 0;
+    std::uint64_t resident_pages = 0;
+    if (std::fscanf(f, "%" SCNu64 " %" SCNu64, &size_pages,
+                    &resident_pages) == 2) {
+      const auto page = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+      usage.vm_bytes = size_pages * page;
+      usage.rss_bytes = resident_pages * page;
+    }
+    std::fclose(f);
+  }
+  if (usage.rss_bytes == 0) usage.rss_bytes = usage.peak_rss_bytes;
+#endif
+  return usage;
+}
+
+ResourceMonitor::ResourceMonitor() : ResourceMonitor(Options()) {}
+
+ResourceMonitor::ResourceMonitor(Options options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &own_registry_) {
+  if (options_.tick_ms == 0) options_.tick_ms = 1;
+}
+
+ResourceMonitor::~ResourceMonitor() { stop(); }
+
+void ResourceMonitor::start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return;
+  if (!started_once_) {
+    start_time_ = std::chrono::steady_clock::now();
+    started_once_ = true;
+  }
+  stop_requested_ = false;
+  running_ = true;
+  take_sample_locked(0.0);  // baseline row
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void ResourceMonitor::stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  running_ = false;
+  take_sample_locked(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count());  // final row
+}
+
+void ResourceMonitor::thread_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.tick_ms));
+    if (stop_requested_) break;
+    take_sample_locked(std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start_time_)
+                           .count());
+  }
+}
+
+ResourceMonitor::Sample ResourceMonitor::sample_now() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_once_) {
+    start_time_ = std::chrono::steady_clock::now();
+    started_once_ = true;
+  }
+  return take_sample_locked(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start_time_)
+                                .count());
+}
+
+ResourceMonitor::Sample ResourceMonitor::take_sample_locked(double wall_ms) {
+  Sample sample;
+  sample.wall_ms = wall_ms;
+  sample.usage = read_resource_usage();
+
+  registry_->gauge("mustaple_proc_rss_bytes")
+      .set(static_cast<double>(sample.usage.rss_bytes));
+  registry_->gauge("mustaple_proc_peak_rss_bytes")
+      .set_max(static_cast<double>(sample.usage.peak_rss_bytes));
+  registry_->gauge("mustaple_proc_vm_bytes")
+      .set(static_cast<double>(sample.usage.vm_bytes));
+  registry_->gauge("mustaple_proc_minor_faults")
+      .set(static_cast<double>(sample.usage.minor_faults));
+  registry_->gauge("mustaple_proc_major_faults")
+      .set(static_cast<double>(sample.usage.major_faults));
+  registry_->gauge("mustaple_proc_user_cpu_seconds")
+      .set(sample.usage.user_cpu_seconds);
+  registry_->gauge("mustaple_proc_system_cpu_seconds")
+      .set(sample.usage.system_cpu_seconds);
+
+  std::uint64_t outstanding_total = 0;
+  util::visit_alloc_counters([&](const std::string& name,
+                                 const util::AllocCounter& counter) {
+    const Labels labels = {{"subsystem", name}};
+    registry_->gauge("mustaple_alloc_outstanding_bytes", labels)
+        .set(static_cast<double>(counter.outstanding_bytes()));
+    registry_->gauge("mustaple_alloc_allocated_bytes", labels)
+        .set(static_cast<double>(counter.allocated_bytes()));
+    registry_->gauge("mustaple_alloc_peak_outstanding_bytes", labels)
+        .set_max(static_cast<double>(counter.peak_outstanding_bytes()));
+    outstanding_total += counter.outstanding_bytes();
+  });
+  sample.alloc_outstanding_bytes = outstanding_total;
+  registry_->gauge("mustaple_alloc_outstanding_bytes_all")
+      .set(static_cast<double>(outstanding_total));
+
+  if (samples_.size() < options_.max_samples) {
+    samples_.push_back(sample);
+  } else {
+    ++dropped_;
+  }
+  return sample;
+}
+
+std::vector<ResourceMonitor::Sample> ResourceMonitor::samples() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::uint64_t ResourceMonitor::dropped() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string ResourceMonitor::render_csv() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "wall_ms,rss_bytes,peak_rss_bytes,vm_bytes,minor_faults,"
+         "major_faults,user_cpu_s,system_cpu_s,alloc_outstanding_bytes\n";
+  for (const Sample& s : samples_) {
+    out << util::format(
+        "%.1f,%llu,%llu,%llu,%llu,%llu,%.3f,%.3f,%llu\n", s.wall_ms,
+        static_cast<unsigned long long>(s.usage.rss_bytes),
+        static_cast<unsigned long long>(s.usage.peak_rss_bytes),
+        static_cast<unsigned long long>(s.usage.vm_bytes),
+        static_cast<unsigned long long>(s.usage.minor_faults),
+        static_cast<unsigned long long>(s.usage.major_faults),
+        s.usage.user_cpu_seconds, s.usage.system_cpu_seconds,
+        static_cast<unsigned long long>(s.alloc_outstanding_bytes));
+  }
+  return out.str();
+}
+
+std::string ResourceMonitor::render_json() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"schema\":\"mustaple-resources/1\",";
+  const ResourceUsage last =
+      samples_.empty() ? read_resource_usage() : samples_.back().usage;
+  out << util::format(
+      "\"summary\":{\"peak_rss_bytes\":%llu,\"user_cpu_s\":%.3f,"
+      "\"system_cpu_s\":%.3f,\"minor_faults\":%llu,\"major_faults\":%llu,"
+      "\"samples\":%zu,\"dropped\":%llu,\"alloc\":{",
+      static_cast<unsigned long long>(last.peak_rss_bytes),
+      last.user_cpu_seconds, last.system_cpu_seconds,
+      static_cast<unsigned long long>(last.minor_faults),
+      static_cast<unsigned long long>(last.major_faults), samples_.size(),
+      static_cast<unsigned long long>(dropped_));
+  bool first = true;
+  util::visit_alloc_counters([&](const std::string& name,
+                                 const util::AllocCounter& counter) {
+    if (!first) out << ",";
+    first = false;
+    out << util::format(
+        "\"%s\":{\"allocated_bytes\":%llu,\"freed_bytes\":%llu,"
+        "\"outstanding_bytes\":%llu,\"peak_outstanding_bytes\":%llu}",
+        name.c_str(), static_cast<unsigned long long>(counter.allocated_bytes()),
+        static_cast<unsigned long long>(counter.freed_bytes()),
+        static_cast<unsigned long long>(counter.outstanding_bytes()),
+        static_cast<unsigned long long>(counter.peak_outstanding_bytes()));
+  });
+  out << "}},\"samples\":[";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    if (i) out << ",";
+    out << util::format(
+        "{\"wall_ms\":%.1f,\"rss_bytes\":%llu,\"peak_rss_bytes\":%llu,"
+        "\"vm_bytes\":%llu,\"minor_faults\":%llu,\"major_faults\":%llu,"
+        "\"user_cpu_s\":%.3f,\"system_cpu_s\":%.3f,"
+        "\"alloc_outstanding_bytes\":%llu}",
+        s.wall_ms, static_cast<unsigned long long>(s.usage.rss_bytes),
+        static_cast<unsigned long long>(s.usage.peak_rss_bytes),
+        static_cast<unsigned long long>(s.usage.vm_bytes),
+        static_cast<unsigned long long>(s.usage.minor_faults),
+        static_cast<unsigned long long>(s.usage.major_faults),
+        s.usage.user_cpu_seconds, s.usage.system_cpu_seconds,
+        static_cast<unsigned long long>(s.alloc_outstanding_bytes));
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace mustaple::obs

@@ -1,0 +1,120 @@
+// Pillar 6 (resources): what the process costs while it simulates four
+// months of the 2018 web. ResourceUsage is one snapshot of the kernel's
+// view (/proc/self/statm for current RSS, getrusage for peak RSS, faults
+// and CPU split); ResourceMonitor samples it on a wall-clock tick from a
+// background thread, mirrors the numbers into a metrics Registry for the
+// /metrics endpoint, and keeps a bounded in-memory timeline exportable as
+// resources.csv / resources.json campaign artifacts.
+//
+// Determinism note: the monitor defaults to its OWN Registry rather than
+// obs::default_registry(). Campaign outputs (timeline.csv, metrics.prom)
+// snapshot the default registry and are bit-identical across thread counts;
+// wall-clock RSS samples are not, so they must never leak into those
+// artifacts. The IntrospectionServer renders both registries, so /metrics
+// still shows everything.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mustaple::obs {
+
+/// One kernel-side resource snapshot. All byte figures are bytes (statm
+/// pages and ru_maxrss KiB are converted on read).
+struct ResourceUsage {
+  bool ok = false;  ///< false when /proc or getrusage was unavailable
+  std::uint64_t rss_bytes = 0;       ///< current resident set (statm)
+  std::uint64_t vm_bytes = 0;        ///< current virtual size (statm)
+  std::uint64_t peak_rss_bytes = 0;  ///< lifetime peak RSS (ru_maxrss)
+  std::uint64_t minor_faults = 0;    ///< cumulative (ru_minflt)
+  std::uint64_t major_faults = 0;    ///< cumulative (ru_majflt)
+  double user_cpu_seconds = 0.0;     ///< cumulative (ru_utime)
+  double system_cpu_seconds = 0.0;   ///< cumulative (ru_stime)
+};
+
+/// Reads the current usage. Cheap (two syscalls + one small /proc read);
+/// callable from any thread.
+ResourceUsage read_resource_usage();
+
+class ResourceMonitor {
+ public:
+  struct Options {
+    /// Sampling cadence on the wall clock. The campaign's interesting
+    /// allocations happen over seconds of wall time, so 100ms resolves them
+    /// while costing ~10 syscall-pairs/second.
+    std::uint64_t tick_ms = 100;
+    /// Bound on retained samples; past it the monitor keeps updating the
+    /// registry gauges but stops appending to the timeline (dropped()
+    /// counts what was elided).
+    std::size_t max_samples = 50'000;
+    /// Registry the gauges are written to; nullptr = the monitor's own
+    /// (see the determinism note above before pointing this at the
+    /// process-default registry).
+    Registry* registry = nullptr;
+  };
+
+  struct Sample {
+    double wall_ms = 0.0;  ///< since start(), steady clock
+    ResourceUsage usage;
+    std::uint64_t alloc_outstanding_bytes = 0;  ///< sum over AllocCounters
+  };
+
+  ResourceMonitor();  ///< default Options
+  explicit ResourceMonitor(Options options);
+  ResourceMonitor(const ResourceMonitor&) = delete;
+  ResourceMonitor& operator=(const ResourceMonitor&) = delete;
+  ~ResourceMonitor();
+
+  /// Starts the sampling thread (idempotent). Takes one sample immediately
+  /// so even a crash-fast run has a baseline row.
+  void start();
+  /// Stops and joins the thread, taking one final sample (idempotent).
+  void stop();
+  bool running() const { return running_; }
+
+  /// Takes a sample right now (also from stopped monitors), updates the
+  /// gauges, appends to the timeline, and returns it.
+  Sample sample_now();
+
+  /// The registry the gauges land in (the internal one unless Options
+  /// pointed elsewhere). mustaple_proc_* gauges plus per-subsystem
+  /// mustaple_alloc_*_bytes{subsystem=...} from the AllocCounter registry.
+  Registry& registry() { return *registry_; }
+
+  std::vector<Sample> samples() const;
+  std::uint64_t dropped() const;
+
+  /// "wall_ms,rss_bytes,peak_rss_bytes,vm_bytes,minor_faults,major_faults,
+  ///  user_cpu_s,system_cpu_s,alloc_outstanding_bytes" rows.
+  std::string render_csv() const;
+  /// {"schema":"mustaple-resources/1","samples":[...]} plus a summary
+  /// object (peak RSS, final CPU split, per-subsystem allocation totals).
+  std::string render_json() const;
+
+ private:
+  void thread_main();
+  Sample take_sample_locked(double wall_ms);
+
+  Options options_;
+  Registry own_registry_;
+  Registry* registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+  bool started_once_ = false;
+  std::vector<Sample> samples_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mustaple::obs

@@ -1,0 +1,40 @@
+#include "util/alloc.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace mustaple::util {
+
+namespace {
+
+// Function-local singletons: construction on first use, never destroyed
+// (counters may be touched by detached exporter threads at shutdown).
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, AllocCounter>& registry() {
+  static auto* counters = new std::map<std::string, AllocCounter>();
+  return *counters;
+}
+
+}  // namespace
+
+AllocCounter& alloc_counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return registry()[name];  // std::map nodes are stable
+}
+
+void visit_alloc_counters(
+    const std::function<void(const std::string&, const AllocCounter&)>& fn) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const auto& [name, counter] : registry()) fn(name, counter);
+}
+
+void reset_alloc_counters() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (auto& [name, counter] : registry()) counter.reset();
+}
+
+}  // namespace mustaple::util

@@ -22,6 +22,11 @@
 // lookups. That conservation law is thread-count-invariant (asserted in
 // tests) even though the individual hit/miss split is not: two workers can
 // both miss the same key before either inserts.
+// Allocation accounting: an optional AllocCounter charges every map-node
+// allocation (and credits every free, including clear-on-limit resets), so
+// campaigns can report bytes-outstanding per cache via the obs resource
+// pillar. Payload-internal buffers (a Value's own heap) are not traversed —
+// the counter tracks the cache structure itself.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +34,9 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
+
+#include "util/alloc.hpp"
 
 namespace mustaple::util {
 
@@ -48,12 +56,18 @@ class ShardedCache {
  public:
   /// `shard_count` is rounded up to a power of two (minimum 1). `capacity`
   /// bounds the TOTAL entry count: each shard clears itself upon exceeding
-  /// capacity / shard_count entries.
-  explicit ShardedCache(std::size_t shard_count, std::size_t capacity)
+  /// capacity / shard_count entries. `counter`, when given, is charged for
+  /// every node the shard maps allocate (must outlive the cache; the
+  /// process-lifetime cells from util::alloc_counter qualify).
+  explicit ShardedCache(std::size_t shard_count, std::size_t capacity,
+                        AllocCounter* counter = nullptr)
       : mask_(round_up_pow2(shard_count) - 1),
-        shard_capacity_(capacity / (mask_ + 1)),
-        shards_(std::make_unique<Shard[]>(mask_ + 1)) {
+        shard_capacity_(capacity / (mask_ + 1)) {
     if (shard_capacity_ == 0) shard_capacity_ = 1;
+    shards_.reserve(mask_ + 1);
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      shards_.push_back(std::make_unique<Shard>(counter));
+    }
   }
 
   std::size_t shard_count() const { return mask_ + 1; }
@@ -97,7 +111,7 @@ class ShardedCache {
 
   /// Snapshot of one shard's counters (shard < shard_count()).
   ShardedCacheStats shard_stats(std::size_t shard) const {
-    const Shard& s = shards_[shard & mask_];
+    const Shard& s = *shards_[shard & mask_];
     std::lock_guard lock(s.mu);
     ShardedCacheStats out = s.stats;
     out.size = s.map.size();
@@ -124,10 +138,21 @@ class ShardedCache {
   std::size_t size() const { return totals().size; }
 
  private:
-  // Padded to a cache line so adjacent shards' mutexes do not false-share.
+  using MapAllocator =
+      CountingAllocator<std::pair<const std::uint64_t, Value>>;
+  using Map =
+      std::unordered_map<std::uint64_t, Value, std::hash<std::uint64_t>,
+                         std::equal_to<std::uint64_t>, MapAllocator>;
+
+  // Individually heap-allocated (shards hold a mutex, so they cannot live
+  // in a resizable vector directly) and cache-line aligned so adjacent
+  // shards' mutexes do not false-share.
   struct alignas(64) Shard {
+    explicit Shard(AllocCounter* counter)
+        : map(/*bucket_count=*/0, typename Map::hasher(),
+              typename Map::key_equal(), MapAllocator(counter)) {}
     mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, Value> map;
+    Map map;
     ShardedCacheStats stats;
   };
 
@@ -137,11 +162,11 @@ class ShardedCache {
     return p;
   }
 
-  Shard& shard_for(std::uint64_t key) { return shards_[key & mask_]; }
+  Shard& shard_for(std::uint64_t key) { return *shards_[key & mask_]; }
 
   std::size_t mask_;
   std::size_t shard_capacity_;
-  std::unique_ptr<Shard[]> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace mustaple::util

@@ -1,0 +1,208 @@
+// Tests for the introspection server (obs/introspect.hpp). The routing
+// core (handle()) is exercised socket-free on every platform; on Linux the
+// server is additionally started on an ephemeral loopback port and scraped
+// through real TCP connections — request framing, all four routes,
+// Connection: close semantics, sequential connections, and malformed
+// input. Compiles and passes under MUSTAPLE_OBS_OFF (plain classes only).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/introspect.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+#include "util/alloc.hpp"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace mustaple::obs {
+namespace {
+
+net::HttpRequest get(const std::string& path) {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  return request;
+}
+
+TEST(IntrospectHandle, RoutesWithoutASocket) {
+  Registry registry;
+  registry.counter("mustaple_test_total").inc(7);
+  IntrospectionServer server;
+  server.add_registry("test", &registry);
+
+  const net::HttpResponse health = server.handle(get("/healthz"));
+  EXPECT_EQ(health.status_code, 200);
+  EXPECT_EQ(util::text_of(health.body), "ok\n");
+
+  const net::HttpResponse metrics = server.handle(get("/metrics"));
+  EXPECT_EQ(metrics.status_code, 200);
+  EXPECT_NE(util::text_of(metrics.body).find("mustaple_test_total 7"),
+            std::string::npos);
+
+  const net::HttpResponse statusz = server.handle(get("/statusz"));
+  EXPECT_EQ(statusz.status_code, 200);
+  EXPECT_NE(util::text_of(statusz.body).find("mustaple statusz"),
+            std::string::npos);
+
+  EXPECT_EQ(server.handle(get("/")).status_code, 200);
+  EXPECT_EQ(server.handle(get("/nope")).status_code, 404);
+
+  net::HttpRequest post = get("/metrics");
+  post.method = "POST";
+  EXPECT_EQ(server.handle(post).status_code, 405);
+}
+
+TEST(IntrospectHandle, StatuszIncludesProviderProfilerAndAllocSections) {
+  // The allocations section lists registered counters; make sure one exists.
+  util::alloc_counter("test.introspect_statusz").record_alloc(64);
+  Profiler profiler;
+  {
+    ProfScope scope("statusz-phase", profiler);
+  }
+  IntrospectionServer server;
+  server.set_profiler(&profiler);
+  server.set_status_provider(
+      [] { return std::string("campaign: 3/7 steps\n"); });
+  const std::string body =
+      util::text_of(server.handle(get("/statusz")).body);
+  EXPECT_NE(body.find("campaign: 3/7 steps"), std::string::npos);
+  EXPECT_NE(body.find("statusz-phase"), std::string::npos);
+  EXPECT_NE(body.find("allocations"), std::string::npos);
+}
+
+#if defined(__linux__)
+
+// Blocking loopback client: one request, read to EOF (the server always
+// closes after responding), return the raw response text.
+std::string fetch_raw(std::uint16_t port, const std::string& wire) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct timeval tv {5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+      0);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::write(fd, wire.data() + sent, wire.size() - sent);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string fetch(std::uint16_t port, const std::string& path) {
+  return fetch_raw(port, "GET " + path +
+                             " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                             "Connection: close\r\n\r\n");
+}
+
+TEST(IntrospectServer, ServesOverARealLoopbackSocket) {
+  Registry registry;
+  registry.counter("mustaple_live_total").inc(3);
+  registry.gauge("mustaple_live_gauge").set(1.5);
+  IntrospectionServer server;  // port 0: kernel-assigned
+  server.add_registry("live", &registry);
+  server.set_status_provider([] { return std::string("live provider\n"); });
+
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_TRUE(server.running());
+  const std::uint16_t port = server.port();
+  ASSERT_NE(port, 0);
+
+  const std::string health = fetch(port, "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(health.find("connection: close"), std::string::npos);
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  const std::string metrics = fetch(port, "/metrics");
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("mustaple_live_total 3"), std::string::npos);
+  EXPECT_NE(metrics.find("mustaple_live_gauge 1.5"), std::string::npos);
+
+  const std::string statusz = fetch(port, "/statusz");
+  EXPECT_NE(statusz.find("mustaple statusz"), std::string::npos);
+  EXPECT_NE(statusz.find("live provider"), std::string::npos);
+
+  EXPECT_EQ(fetch(port, "/missing").rfind("HTTP/1.1 404", 0), 0u);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(IntrospectServer, HandlesSequentialConnectionsAndSeesFreshValues) {
+  Registry registry;
+  IntrospectionServer server;
+  server.add_registry("seq", &registry);
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t port = server.port();
+
+  for (int i = 1; i <= 3; ++i) {
+    registry.counter("mustaple_seq_total").inc();
+    const std::string body = fetch(port, "/metrics");
+    EXPECT_NE(body.find("mustaple_seq_total " + std::to_string(i)),
+              std::string::npos)
+        << body;
+  }
+  server.stop();
+}
+
+TEST(IntrospectServer, RejectsMalformedRequestsWith400) {
+  IntrospectionServer server;
+  ASSERT_TRUE(server.start().ok());
+  const std::string response =
+      fetch_raw(server.port(), "NOT-EVEN-HTTP\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 400", 0), 0u) << response;
+  server.stop();
+}
+
+TEST(IntrospectServer, StopIsIdempotentAndRestartable) {
+  IntrospectionServer server;
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t first_port = server.port();
+  EXPECT_NE(first_port, 0);
+  server.stop();
+  server.stop();
+  // A second server can bind afterwards (the fds really closed).
+  IntrospectionServer second;
+  ASSERT_TRUE(second.start().ok());
+  EXPECT_NE(second.port(), 0);
+  second.stop();
+}
+
+TEST(IntrospectServer, FixedPortConflictFailsWithStableCode) {
+  IntrospectionServer first;
+  ASSERT_TRUE(first.start().ok());
+  IntrospectionServer::Options options;
+  options.port = first.port();
+  IntrospectionServer second(options);
+  const util::Status status = second.start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, "introspect.bind");
+  first.stop();
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+}  // namespace mustaple::obs

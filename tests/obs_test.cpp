@@ -3,6 +3,8 @@
 // and span nesting/timing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -282,6 +284,91 @@ TEST(Metrics, ResetClearsEverything) {
   registry.reset();
   EXPECT_EQ(registry.counter_value("x_total"), 0u);
   EXPECT_EQ(registry.render_prometheus(), "");
+}
+
+TEST(Metrics, PrometheusEscapesLabelValues) {
+  Registry registry;
+  // Raw value: a\b"c<newline>d — each special must come out escaped per the
+  // exposition format (backslash, quote, literal backslash-n).
+  registry.counter("esc_total", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside a sample line.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos) << text;
+}
+
+TEST(Metrics, EscapingKeepsDistinctRawValuesDistinct) {
+  Registry registry;
+  // "a<newline>b" vs the two-character sequence "a\nb": escaping must be
+  // injective or these would merge into one series.
+  registry.counter("amb_total", {{"k", "a\nb"}}).inc();
+  registry.counter("amb_total", {{"k", "a\\nb"}}).inc(2);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("amb_total{k=\"a\\nb\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("amb_total{k=\"a\\\\nb\"} 2"), std::string::npos)
+      << text;
+}
+
+TEST(Metrics, NonFiniteValuesUseExpositionSpellings) {
+  Registry registry;
+  registry.gauge("g_nan").set(std::numeric_limits<double>::quiet_NaN());
+  registry.gauge("g_pos").set(std::numeric_limits<double>::infinity());
+  registry.gauge("g_neg").set(-std::numeric_limits<double>::infinity());
+  const std::string text = registry.render_prometheus();
+  // printf's "nan"/"inf" are rejected by Prometheus parsers; the exporter
+  // must spell these NaN / +Inf / -Inf.
+  EXPECT_NE(text.find("g_nan NaN\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g_pos +Inf\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("g_neg -Inf\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find(" inf"), std::string::npos) << text;
+}
+
+TEST(Metrics, NonFiniteValuesRenderAsJsonNull) {
+  Registry registry;
+  registry.gauge("g_undefined").set(std::numeric_limits<double>::quiet_NaN());
+  registry.gauge("g_unbounded").set(std::numeric_limits<double>::infinity());
+  const std::string json = registry.render_json();
+  // JSON has no NaN/Infinity literals; null keeps the document parseable.
+  EXPECT_NE(json.find("\"g_undefined\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g_unbounded\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("NaN"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nf"), std::string::npos) << json;  // Inf / Infinity
+}
+
+TEST(Metrics, HistogramSnapshotIsInternallyConsistent) {
+  Registry registry;
+  Histogram& histogram =
+      registry.histogram("snap_ms", std::vector<double>{1.0, 10.0});
+  histogram.observe(0.5);
+  histogram.observe(2.0);
+  histogram.observe(99.0);
+  const HistogramSnapshot snap = histogram.snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<double>{1.0, 10.0}));
+  // Buckets are per-bucket (non-cumulative) with the +Inf overflow last.
+  ASSERT_EQ(snap.buckets,
+            (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 101.5);
+  EXPECT_DOUBLE_EQ(snap.mean, snap.sum / static_cast<double>(snap.count));
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+  EXPECT_LE(snap.min, snap.p50);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(Metrics, EmptyHistogramSnapshotIsAllZero) {
+  Registry registry;
+  const HistogramSnapshot snap =
+      registry.histogram("never_ms", std::vector<double>{5.0}).snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  ASSERT_EQ(snap.buckets.size(), 2u);
+  EXPECT_EQ(snap.buckets[0] + snap.buckets[1], 0u);
 }
 
 // ----------------------------------------------------------------- spans --

@@ -1,0 +1,146 @@
+// Tests for the resource monitor (obs/resource.hpp): raw usage reads,
+// tick-driven sampling, gauge mirroring into the monitor's own registry,
+// allocation-counter integration, the sample cap, and the CSV/JSON
+// exports. Uses the classes directly so the file compiles and passes under
+// MUSTAPLE_OBS_OFF too.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/resource.hpp"
+#include "util/alloc.hpp"
+
+namespace mustaple::obs {
+namespace {
+
+TEST(ResourceUsage, ReadReportsLiveNumbersOnSupportedPlatforms) {
+  const ResourceUsage usage = read_resource_usage();
+#if defined(__linux__)
+  ASSERT_TRUE(usage.ok);
+  EXPECT_GT(usage.rss_bytes, 0u);
+  EXPECT_GT(usage.peak_rss_bytes, 0u);
+  EXPECT_GT(usage.vm_bytes, 0u);
+  EXPECT_GE(usage.user_cpu_seconds + usage.system_cpu_seconds, 0.0);
+#else
+  (void)usage;  // best-effort elsewhere; ok may be false
+#endif
+}
+
+TEST(ResourceUsage, PeakRssIsMonotoneAcrossReads) {
+  const ResourceUsage before = read_resource_usage();
+  // Touch a real allocation so the second read has at least as much history.
+  std::vector<char> block(4 * 1024 * 1024, 1);
+  ASSERT_EQ(block[block.size() / 2], 1);
+  const ResourceUsage after = read_resource_usage();
+  if (before.ok && after.ok) {
+    EXPECT_GE(after.peak_rss_bytes, before.peak_rss_bytes);
+  }
+}
+
+TEST(ResourceMonitor, SampleNowRecordsARowAndMirrorsGauges) {
+  ResourceMonitor monitor;
+  const ResourceMonitor::Sample sample = monitor.sample_now();
+  ASSERT_EQ(monitor.samples().size(), 1u);
+#if defined(__linux__)
+  EXPECT_GT(sample.usage.rss_bytes, 0u);
+  EXPECT_GT(monitor.registry().gauge("mustaple_proc_rss_bytes").value(), 0.0);
+  EXPECT_GT(
+      monitor.registry().gauge("mustaple_proc_peak_rss_bytes").value(), 0.0);
+#else
+  (void)sample;
+#endif
+}
+
+TEST(ResourceMonitor, TickSamplingAppendsRowsWithNonDecreasingWallTime) {
+  ResourceMonitor::Options options;
+  options.tick_ms = 5;
+  ResourceMonitor monitor(options);
+  monitor.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  monitor.stop();
+  const auto samples = monitor.samples();
+  // start() takes a baseline, stop() a final row, and the 5ms tick should
+  // have landed several more in a 60ms window (timing-loose on purpose).
+  EXPECT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].wall_ms, samples[i - 1].wall_ms);
+  }
+}
+
+TEST(ResourceMonitor, StartAndStopAreIdempotentAndStopSafeWithoutStart) {
+  ResourceMonitor monitor;
+  monitor.stop();  // never started: must be a no-op
+  monitor.start();
+  monitor.start();  // already running: no second thread
+  EXPECT_TRUE(monitor.running());
+  monitor.stop();
+  monitor.stop();
+  EXPECT_FALSE(monitor.running());
+}
+
+TEST(ResourceMonitor, SamplesIncludeNamedAllocationCounters) {
+  util::AllocCounter& counter = util::alloc_counter("test.resource_monitor");
+  counter.reset();
+  counter.record_alloc(1'000'000);
+  ResourceMonitor monitor;
+  const ResourceMonitor::Sample sample = monitor.sample_now();
+  EXPECT_GE(sample.alloc_outstanding_bytes, 1'000'000u);
+  EXPECT_GE(monitor.registry()
+                .gauge("mustaple_alloc_outstanding_bytes",
+                       {{"subsystem", "test.resource_monitor"}})
+                .value(),
+            1'000'000.0);
+  counter.record_free(1'000'000);
+}
+
+TEST(ResourceMonitor, MaxSamplesBoundsTimelineAndCountsDrops) {
+  ResourceMonitor::Options options;
+  options.max_samples = 2;
+  ResourceMonitor monitor(options);
+  for (int i = 0; i < 5; ++i) monitor.sample_now();
+  EXPECT_EQ(monitor.samples().size(), 2u);
+  EXPECT_EQ(monitor.dropped(), 3u);
+}
+
+TEST(ResourceMonitor, CsvHeaderAndRowCountMatchSamples) {
+  ResourceMonitor monitor;
+  monitor.sample_now();
+  monitor.sample_now();
+  const std::string csv = monitor.render_csv();
+  const std::string header =
+      "wall_ms,rss_bytes,peak_rss_bytes,vm_bytes,minor_faults,major_faults,"
+      "user_cpu_s,system_cpu_s,alloc_outstanding_bytes";
+  ASSERT_EQ(csv.rfind(header + "\n", 0), 0u);
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1u + monitor.samples().size());
+}
+
+TEST(ResourceMonitor, JsonCarriesSchemaSummaryAndSamples) {
+  ResourceMonitor monitor;
+  monitor.sample_now();
+  const std::string json = monitor.render_json();
+  EXPECT_EQ(json.rfind("{\"schema\":\"mustaple-resources/1\",", 0), 0u);
+  EXPECT_NE(json.find("\"summary\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ResourceMonitor, CustomRegistryReceivesTheGauges) {
+  Registry registry;
+  ResourceMonitor::Options options;
+  options.registry = &registry;
+  ResourceMonitor monitor(options);
+  monitor.sample_now();
+  EXPECT_EQ(&monitor.registry(), &registry);
+#if defined(__linux__)
+  EXPECT_GT(registry.gauge("mustaple_proc_rss_bytes").value(), 0.0);
+#endif
+}
+
+}  // namespace
+}  // namespace mustaple::obs

@@ -2,13 +2,16 @@
 // SimTime, stats, strings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "util/alloc.hpp"
 #include "util/ascii_chart.hpp"
 #include "util/bytes.hpp"
 #include "util/bytes_view.hpp"
@@ -686,6 +689,134 @@ TEST(ShardedCache, ParallelMixedWorkloadKeepsConservation) {
   // Every miss triggered exactly one insert (racy double-misses insert the
   // same value twice — still conserved).
   EXPECT_EQ(totals.insertions, totals.misses);
+}
+
+// ---------------------------------------------------------------- alloc --
+
+TEST(AllocCounter, ConservationHoldsAtQuiescentPoints) {
+  AllocCounter counter;
+  counter.record_alloc(100);
+  counter.record_alloc(50);
+  counter.record_free(30);
+  EXPECT_EQ(counter.allocated_bytes(), 150u);
+  EXPECT_EQ(counter.freed_bytes(), 30u);
+  EXPECT_EQ(counter.outstanding_bytes(),
+            counter.allocated_bytes() - counter.freed_bytes());
+  EXPECT_EQ(counter.alloc_calls(), 2u);
+  EXPECT_EQ(counter.free_calls(), 1u);
+  counter.record_free(120);
+  EXPECT_EQ(counter.outstanding_bytes(), 0u);
+  EXPECT_EQ(counter.peak_outstanding_bytes(), 150u);
+}
+
+TEST(AllocCounter, ConservationSurvivesMultithreadedChurn) {
+  AllocCounter counter;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 5000;
+  ThreadPool pool(kThreads);
+  pool.parallel_for_index(kThreads, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+      const std::size_t bytes = 16 + (t * kOpsPerThread + i) % 64;
+      counter.record_alloc(bytes);
+      counter.record_free(bytes);
+    }
+  });
+  // Every alloc was matched by an equal free, so at this barrier the books
+  // must balance exactly — no lost updates, no double counting.
+  EXPECT_EQ(counter.allocated_bytes(), counter.freed_bytes());
+  EXPECT_EQ(counter.outstanding_bytes(), 0u);
+  EXPECT_EQ(counter.alloc_calls(), kThreads * kOpsPerThread);
+  EXPECT_EQ(counter.free_calls(), kThreads * kOpsPerThread);
+  // The high-water mark saw at least one live allocation and never exceeds
+  // the total ever allocated.
+  EXPECT_GE(counter.peak_outstanding_bytes(), 16u);
+  EXPECT_LE(counter.peak_outstanding_bytes(), counter.allocated_bytes());
+}
+
+TEST(AllocCounter, PeakTracksHighWaterNotCurrent) {
+  AllocCounter counter;
+  counter.record_alloc(1000);
+  counter.record_free(900);
+  counter.record_alloc(50);
+  EXPECT_EQ(counter.outstanding_bytes(), 150u);
+  EXPECT_EQ(counter.peak_outstanding_bytes(), 1000u);
+  counter.reset();
+  EXPECT_EQ(counter.peak_outstanding_bytes(), 0u);
+  EXPECT_EQ(counter.allocated_bytes(), 0u);
+}
+
+TEST(CountingAllocator, ChargesANamedCounterThroughARealContainer) {
+  AllocCounter counter;
+  {
+    const CountingAllocator<std::uint64_t> allocator(&counter);
+    std::vector<std::uint64_t, CountingAllocator<std::uint64_t>> values(
+        allocator);
+    values.reserve(1024);
+    EXPECT_GE(counter.allocated_bytes(), 1024 * sizeof(std::uint64_t));
+    EXPECT_GT(counter.outstanding_bytes(), 0u);
+    for (std::uint64_t i = 0; i < 1024; ++i) values.push_back(i);
+    EXPECT_EQ(values.size(), 1024u);
+  }
+  // Container destruction returns every byte: conservation at quiescence.
+  EXPECT_EQ(counter.allocated_bytes(), counter.freed_bytes());
+  EXPECT_EQ(counter.outstanding_bytes(), 0u);
+  EXPECT_EQ(counter.alloc_calls(), counter.free_calls());
+}
+
+TEST(CountingAllocator, NullCounterDegradesToPlainAllocation) {
+  std::vector<int, CountingAllocator<int>> values;  // default: no counter
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  EXPECT_EQ(values.size(), 100u);
+  EXPECT_EQ(values[99], 99);
+  // All instances compare equal regardless of counter wiring (the
+  // std::allocator contract containers rely on for swap/move).
+  AllocCounter counter;
+  EXPECT_TRUE(CountingAllocator<int>(&counter) == CountingAllocator<int>());
+  EXPECT_FALSE(CountingAllocator<int>(&counter) != CountingAllocator<int>());
+}
+
+TEST(AllocTally, ReleasesEverythingOnDestruction) {
+  AllocCounter counter;
+  {
+    AllocTally tally(counter);
+    tally.record(4096);
+    tally.record(512);
+    EXPECT_EQ(tally.total(), 4608u);
+    EXPECT_EQ(counter.outstanding_bytes(), 4608u);
+    tally.release(512);
+    EXPECT_EQ(tally.total(), 4096u);
+  }
+  // Destructor released the remaining 4096: books balance.
+  EXPECT_EQ(counter.outstanding_bytes(), 0u);
+  EXPECT_EQ(counter.allocated_bytes(), counter.freed_bytes());
+  EXPECT_EQ(counter.peak_outstanding_bytes(), 4608u);
+}
+
+TEST(AllocRegistry, NamedCountersAreStableReferences) {
+  AllocCounter& a = alloc_counter("test.util_alloc_registry");
+  AllocCounter& b = alloc_counter("test.util_alloc_registry");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.record_alloc(7);
+  EXPECT_EQ(b.outstanding_bytes(), 7u);
+  a.record_free(7);
+}
+
+TEST(AllocRegistry, VisitWalksCountersInNameOrder) {
+  alloc_counter("test.visit_b");
+  alloc_counter("test.visit_a");
+  std::vector<std::string> names;
+  visit_alloc_counters(
+      [&](const std::string& name, const AllocCounter&) {
+        names.push_back(name);
+      });
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  // Both registered names appear.
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.visit_a"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.visit_b"),
+            names.end());
 }
 
 }  // namespace
