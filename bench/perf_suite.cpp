@@ -14,11 +14,14 @@
 //
 // Output: human-readable text on stdout always; `--json [path]` additionally
 // writes a schema-versioned JSON document (default BENCH_perf.json) so CI
-// can archive a trajectory of numbers and diff runs. Schema documented in
-// docs/PERF.md; bump kSchema when fields change meaning.
+// can archive a trajectory of numbers and diff runs, and `--history <path>`
+// appends a one-line summary record (schema mustaple-perf-history/1) to a
+// JSONL trajectory file. Schema documented in docs/PERF.md; bump kSchema
+// when fields change meaning.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,8 +38,40 @@
 
 namespace {
 
-// v2 added the "memory" section (peak RSS + per-subsystem allocator stats).
-constexpr const char* kSchema = "mustaple-perf/2";
+// v2 added the "memory" section (peak RSS + per-subsystem allocator stats);
+// v3 added the "meta" provenance block (git SHA, compiler, CPU model) so a
+// BENCH_perf.json archived from CI says exactly what produced it.
+constexpr const char* kSchema = "mustaple-perf/3";
+
+#if !defined(MUSTAPLE_GIT_SHA)
+#define MUSTAPLE_GIT_SHA "unknown"
+#endif
+
+std::string compiler_version() {
+#if defined(__clang_version__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// First "model name" line from /proc/cpuinfo (Linux); "unknown" elsewhere.
+std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
 
 /// Runs `fn` (one "item" of work per call) until at least `min_seconds` of
 /// wall clock has elapsed, in geometrically growing batches so the clock is
@@ -170,21 +205,43 @@ int main(int argc, char** argv) {
   using namespace mustaple;
   bool want_json = false;
   std::string json_path = "BENCH_perf.json";
+  std::string history_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       want_json = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--history") == 0 && i + 1 < argc) {
+      history_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--json [path]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json [path]] [--history <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
   bench::print_header("perf_suite: hot-path throughput program",
                       "measurement infrastructure (no paper figure)");
 
+  const std::string git_sha = MUSTAPLE_GIT_SHA;
+  const std::string compiler = compiler_version();
+  const std::string cpu = cpu_model();
+  std::printf("meta: %s, %s\n      %s\n\n", git_sha.c_str(), compiler.c_str(),
+              cpu.c_str());
+
   Json json;
   json.str("schema", kSchema);
+  json.open("meta");
+  json.str("git_sha", git_sha);
+  json.str("compiler", compiler);
+  json.str("cpu_model", cpu);
+  json.close();
   json.integer("threads_hw", std::thread::hardware_concurrency());
+
+  // Carried out of the section scopes below for the --history summary line.
+  double hist_cert_parse_per_s = 0.0;
+  double hist_probe_per_s = 0.0;
+  double hist_threads1_s = 0.0;
+  double hist_threads_n_s = 0.0;
+  unsigned long long hist_peak_rss_bytes = 0;
 
   // ---- 1. SHA-256: every dispatchable implementation on a 64 KiB buffer.
   constexpr std::size_t kShaBytes = 64 * 1024;
@@ -239,6 +296,7 @@ int main(int argc, char** argv) {
       if (!parsed.ok()) std::abort();
       next = (next + 1) % cert_ders.size();
     });
+    hist_cert_parse_per_s = per_s;
     std::printf("certificate parse:   %10.0f certs/s  (corpus %zu)\n", per_s,
                 cert_ders.size());
     json.open("cert_parse");
@@ -319,6 +377,7 @@ int main(int argc, char** argv) {
       (void)result;
       next = (next + 1) % urls.size();
     });
+    hist_probe_per_s = per_s;
     std::printf("probe round trip:    %10.0f probes/s\n\n", per_s);
     json.open("probe");
     json.num("probes_per_s", per_s);
@@ -334,6 +393,8 @@ int main(int argc, char** argv) {
     const CampaignRun one = run_campaign(campaign_config, 1);
     const CampaignRun many = run_campaign(campaign_config, n_threads);
     const bool identical = one.fingerprint == many.fingerprint;
+    hist_threads1_s = one.seconds;
+    hist_threads_n_s = many.seconds;
     std::printf("campaign (32 responders, 2 weeks, 12h cadence, validate+lint):\n");
     std::printf("  1 thread  %6.2fs   fingerprint %016llx\n", one.seconds,
                 static_cast<unsigned long long>(one.fingerprint));
@@ -375,6 +436,7 @@ int main(int argc, char** argv) {
   // here at a quiescent point, at whatever thread count ran above.
   {
     const obs::ResourceUsage usage = obs::read_resource_usage();
+    hist_peak_rss_bytes = usage.peak_rss_bytes;
     std::printf("memory (whole suite):\n");
     std::printf("  peak RSS %10.1f MiB\n",
                 static_cast<double>(usage.peak_rss_bytes) / (1024.0 * 1024.0));
@@ -423,6 +485,28 @@ int main(int argc, char** argv) {
     std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::printf("(JSON written to %s)\n", json_path.c_str());
+  }
+
+  if (!history_path.empty()) {
+    // One self-contained record per run; CI appends these to
+    // BENCH_history.jsonl and renders a delta table across commits.
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"schema\": \"mustaple-perf-history/1\", \"git_sha\": \"%s\", "
+        "\"sha256_best_mb_s\": %.1f, \"cert_parse_per_s\": %.0f, "
+        "\"probe_per_s\": %.0f, \"campaign_threads1_s\": %.3f, "
+        "\"campaign_threadsN_s\": %.3f, \"peak_rss_bytes\": %llu}\n",
+        git_sha.c_str(), best_mbs, hist_cert_parse_per_s, hist_probe_per_s,
+        hist_threads1_s, hist_threads_n_s, hist_peak_rss_bytes);
+    std::FILE* f = std::fopen(history_path.c_str(), "a");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", history_path.c_str());
+      return 1;
+    }
+    std::fwrite(line, 1, std::strlen(line), f);
+    std::fclose(f);
+    std::printf("(history line appended to %s)\n", history_path.c_str());
   }
   return 0;
 }

@@ -6,11 +6,18 @@
 //   curl localhost:<port>/healthz   # liveness
 //   curl localhost:<port>/statusz   # scan progress, RSS, allocation, phases
 //
-// Usage: live_campaign [--port N] [--linger SECONDS] [outdir]
-//   --port N          bind 127.0.0.1:N (default 0 = kernel-assigned)
-//   --linger SECONDS  keep serving the finished campaign's state this long
-//                     after the study returns (default 0)
-//   outdir            also write the study's artifacts there ("" = none)
+// Usage: live_campaign [--port N] [--linger SECONDS] [--rss-budget-mb N]
+//                      [--inject-crash] [outdir]
+//   --port N           bind 127.0.0.1:N (default 0 = kernel-assigned)
+//   --linger SECONDS   keep serving the finished campaign's state this long
+//                      after the study returns (default 0)
+//   --rss-budget-mb N  arm the proc.rss_budget critical health check with an
+//                      N MiB ceiling (0 = off); a breach flips /healthz to 503
+//   --inject-crash     register a fault.injected_abort critical check that
+//                      breaches mid-scan and abort on it, so the flight
+//                      recorder's SIGABRT handler writes postmortem.{txt,json}
+//                      into outdir (the CI injected-fault job's hook)
+//   outdir             also write the study's artifacts there ("" = none)
 //
 // The bound port is printed on a line of its own ("listening on
 // 127.0.0.1:<port>") and stdout is flushed BEFORE the campaign starts, so a
@@ -24,23 +31,32 @@
 #include <thread>
 
 #include "core/study.hpp"
+#include "obs/config.hpp"
+#include "obs/metrics.hpp"
 
 using namespace mustaple;
 
 int main(int argc, char** argv) {
   int port = 0;
   int linger_seconds = 0;
+  long rss_budget_mb = 0;
+  bool inject_crash = false;
   std::string outdir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
       linger_seconds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rss-budget-mb") == 0 && i + 1 < argc) {
+      rss_budget_mb = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--inject-crash") == 0) {
+      inject_crash = true;
     } else if (argv[i][0] != '-') {
       outdir = argv[i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--linger SECONDS] [outdir]\n",
+                   "usage: %s [--port N] [--linger SECONDS] "
+                   "[--rss-budget-mb N] [--inject-crash] [outdir]\n",
                    argv[0]);
       return 2;
     }
@@ -61,8 +77,37 @@ int main(int argc, char** argv) {
   config.run_webserver_suite = false;
   config.artifact_dir = outdir;
   config.introspection_port = port;
+  // Hour-long timeline windows make the availability SLO's 1x/6x lookbacks
+  // literal 1h/6h sim windows.
+  config.timeline_window = util::Duration::hours(1);
+  if (rss_budget_mb > 0) {
+    config.rss_budget_mb = static_cast<std::uint64_t>(rss_budget_mb);
+  }
+  config.abort_on_critical = inject_crash;
 
   core::MustStapleStudy study(config);
+#if MUSTAPLE_OBS_ENABLED
+  if (inject_crash) {
+    // Breaches once the campaign is well under way (~25k probes in), so the
+    // resulting postmortem ring holds real scan-phase events.
+    study.health().add_check(
+        "fault.injected_abort", obs::HealthSeverity::kCritical, [] {
+          std::uint64_t requests = 0;
+          obs::default_registry().visit_counters(
+              [&](const std::string& name, const std::string&,
+                  std::uint64_t value) {
+                if (name == "mustaple_scan_requests_total") requests += value;
+              });
+          obs::HealthCheckResult result;
+          result.ok = requests <= 25'000;
+          if (!result.ok) {
+            result.detail = "injected fault: " + std::to_string(requests) +
+                            " scan requests issued";
+          }
+          return result;
+        });
+  }
+#endif
   const std::uint16_t bound = study.start_introspection();
   if (bound == 0) {
     std::fprintf(stderr, "introspection server failed to bind port %d\n",

@@ -74,6 +74,31 @@ OcspResponder::OcspResponder(CertificateAuthority& authority,
                       .uniform(std::numeric_limits<std::uint64_t>::max());
 }
 
+void OcspResponder::set_try_later(bool value) {
+  if (behavior_.respond_try_later != value) {
+    MUSTAPLE_LOG_WARN("ca", "responder tryLater mode flipped",
+                      obs::field("host", host_),
+                      obs::field("try_later", value));
+  }
+  behavior_.respond_try_later = value;
+}
+
+std::size_t OcspResponder::cache_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t entries = 0;
+  for (const auto& [serial, per_backend] : cache_) {
+    for (const CacheEntry& entry : per_backend) {
+      if (entry.cycle >= 0) ++entries;
+    }
+  }
+  return entries;
+}
+
+std::size_t OcspResponder::cache_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_tally_.total();
+}
+
 void OcspResponder::install(net::Network& network, std::uint16_t port) {
   auto handler = [this](const net::HttpRequest& request, util::SimTime now,
                         net::Region from) { return handle(request, now, from); };

@@ -80,9 +80,15 @@ class OcspResponder {
   const std::string& host() const { return host_; }
   const ResponderBehavior& behavior() const { return behavior_; }
   /// Flips the responder into/out of tryLater mode at runtime (used by the
-  /// Table 3 retain-on-error experiment).
-  void set_try_later(bool value) { behavior_.respond_try_later = value; }
+  /// Table 3 retain-on-error experiment). Logged at warn so the flip shows
+  /// up in the flight recorder's event ring.
+  void set_try_later(bool value);
   std::string url() const { return "http://" + host_ + "/"; }
+
+  /// Pre-generation cache introspection (health checks, /statusz); both
+  /// take the cache mutex, so they are callable from a serving thread.
+  std::size_t cache_entries() const;
+  std::size_t cache_bytes() const;
 
   /// Registers this responder's HTTP handler on the network. The responder
   /// must outlive the network.

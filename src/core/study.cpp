@@ -1,9 +1,11 @@
 #include "core/study.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "analysis/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "util/alloc.hpp"
 #include "util/ascii_chart.hpp"
@@ -52,6 +54,32 @@ double to_mib(std::uint64_t bytes) {
   return static_cast<double>(bytes) / (1024.0 * 1024.0);
 }
 
+/// Sum of a counter over every label cell — the scan counters are
+/// region-labeled, while the health checks care about the campaign total.
+std::uint64_t sum_counter_cells(const obs::Registry& registry,
+                                const std::string& name) {
+  std::uint64_t total = 0;
+  registry.visit_counters([&](const std::string& metric, const std::string&,
+                              std::uint64_t value) {
+    if (metric == name) total += value;
+  });
+  return total;
+}
+
+std::string snapshot_json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 // Pillar-6 report block: what the run cost the process, and where the
 // retained bytes live.
 std::string resource_summary_text(const obs::ResourceMonitor& monitor) {
@@ -87,8 +115,214 @@ MustStapleStudy::MustStapleStudy(StudyConfig config)
                                                           loop_)) {
   obs::ResourceMonitor::Options monitor_options;
   monitor_options.tick_ms = config_.resource_tick_ms;
+#if MUSTAPLE_OBS_ENABLED
+  // The resource tick doubles as the health/flight heartbeat: invariant
+  // checks re-run (thread-safe, read-only over existing registries) and the
+  // crash handler's pre-rendered snapshot refreshes. SLO evaluation is NOT
+  // here — the timeline is main-thread-only (see run()).
+  monitor_options.on_sample = [this](const obs::ResourceMonitor::Sample&) {
+    health_.evaluate_checks();
+    update_flight_snapshot();
+  };
+#endif
   monitor_ = std::make_unique<obs::ResourceMonitor>(monitor_options);
+#if MUSTAPLE_OBS_ENABLED
+  if (config_.health_checks) register_default_health_rules();
+  health_.set_on_transition([this](const std::string& name,
+                                   obs::HealthSeverity severity, bool ok,
+                                   const std::string& detail) {
+    if (ok) {
+      MUSTAPLE_LOG_INFO("health", "health check recovered",
+                        obs::field("check", name),
+                        obs::field("detail", detail));
+    } else if (severity == obs::HealthSeverity::kCritical) {
+      MUSTAPLE_LOG_ERROR("health", "critical health breach",
+                         obs::field("check", name),
+                         obs::field("detail", detail));
+    } else {
+      MUSTAPLE_LOG_WARN("health", "health breach",
+                        obs::field("check", name),
+                        obs::field("detail", detail));
+    }
+    obs::default_flight_recorder().note_health(name.c_str(), ok,
+                                               detail.c_str());
+    if (!ok && severity == obs::HealthSeverity::kCritical &&
+        config_.abort_on_critical) {
+      // Freshen the snapshot the SIGABRT handler will embed, then die the
+      // way a real invariant violation should: loudly, with a postmortem.
+      update_flight_snapshot();
+      std::abort();
+    }
+  });
+#endif
 }
+
+#if MUSTAPLE_OBS_ENABLED
+
+void MustStapleStudy::register_default_health_rules() {
+  // Conservation: every cache lookup is exactly one hit or one miss, at any
+  // thread count (PR 4's invariant, now continuously watched). Only
+  // checkable while a scanner is live; in between, trivially ok.
+  const auto cache_conservation = [this](auto stats_of) {
+    return [this, stats_of]() {
+      obs::HealthCheckResult result;
+      std::lock_guard<std::mutex> lock(scanner_mu_);
+      if (live_scanner_ == nullptr) return result;
+      const util::ShardedCacheStats stats = stats_of(live_scanner_);
+      if (stats.hits + stats.misses != stats.lookups) {
+        result.ok = false;
+        result.detail = util::format(
+            "hits %llu + misses %llu != lookups %llu",
+            static_cast<unsigned long long>(stats.hits),
+            static_cast<unsigned long long>(stats.misses),
+            static_cast<unsigned long long>(stats.lookups));
+      }
+      return result;
+    };
+  };
+  health_.add_check("scan.validation_cache_conservation",
+                    obs::HealthSeverity::kCritical,
+                    cache_conservation([](measurement::HourlyScanner* s) {
+                      return s->validation_cache_stats();
+                    }));
+  health_.add_check("scan.lint_cache_conservation",
+                    obs::HealthSeverity::kCritical,
+                    cache_conservation([](measurement::HourlyScanner* s) {
+                      return s->lint_cache_stats();
+                    }));
+
+  // Conservation: no subsystem frees more bytes than it allocated (a freed >
+  // allocated tally means double-accounted frees). Warning, not critical:
+  // the tallies are relaxed atomics, so a mid-update read can transiently
+  // run ahead.
+  health_.add_check(
+      "alloc.conservation", obs::HealthSeverity::kWarning, [] {
+        obs::HealthCheckResult result;
+        util::visit_alloc_counters([&result](const std::string& name,
+                                             const util::AllocCounter& c) {
+          if (c.freed_bytes() > c.allocated_bytes()) {
+            result.ok = false;
+            result.detail = util::format(
+                "%s freed %llu > allocated %llu bytes", name.c_str(),
+                static_cast<unsigned long long>(c.freed_bytes()),
+                static_cast<unsigned long long>(c.allocated_bytes()));
+          }
+        });
+        return result;
+      });
+
+  if (config_.rss_budget_mb > 0) {
+    const std::uint64_t budget_bytes = config_.rss_budget_mb * 1024 * 1024;
+    health_.add_check(
+        "proc.rss_budget", obs::HealthSeverity::kCritical, [budget_bytes] {
+          obs::HealthCheckResult result;
+          const obs::ResourceUsage usage = obs::read_resource_usage();
+          if (usage.ok && usage.rss_bytes > budget_bytes) {
+            result.ok = false;
+            result.detail = util::format(
+                "rss %.1f MiB > budget %.1f MiB", to_mib(usage.rss_bytes),
+                to_mib(budget_bytes));
+          }
+          return result;
+        });
+  }
+
+  const double error_ceiling = config_.probe_error_warn_pct;
+  health_.add_check(
+      "scan.probe_error_rate", obs::HealthSeverity::kWarning, [error_ceiling] {
+        obs::HealthCheckResult result;
+        const obs::Registry& registry = obs::default_registry();
+        const std::uint64_t requests =
+            sum_counter_cells(registry, "mustaple_scan_requests_total");
+        if (requests < 1000) return result;  // too little volume to judge
+        const std::uint64_t successes =
+            sum_counter_cells(registry, "mustaple_scan_successes_total");
+        const std::uint64_t errors =
+            requests > successes ? requests - successes : 0;
+        const double pct =
+            100.0 * static_cast<double>(errors) / static_cast<double>(requests);
+        if (pct > error_ceiling) {
+          result.ok = false;
+          result.detail = util::format(
+              "error rate %.2f%% > %.2f%% ceiling (%llu/%llu failed)", pct,
+              error_ceiling, static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(requests));
+        }
+        return result;
+      });
+
+  // The responder's pre-generation cache collapsing (the PAPERS.md
+  // distinct-serial-storm attack surface) shows up as a hit-rate crater
+  // long before latency histograms move.
+  health_.add_check(
+      "ca.response_cache_hit_rate", obs::HealthSeverity::kWarning, [] {
+        obs::HealthCheckResult result;
+        const obs::Registry& registry = obs::default_registry();
+        const std::uint64_t hits =
+            registry.counter_value("mustaple_ca_ocsp_cache_hits_total");
+        const std::uint64_t regens =
+            registry.counter_value("mustaple_ca_ocsp_regenerations_total");
+        const std::uint64_t total = hits + regens;
+        if (total < 1000) return result;
+        const double pct =
+            100.0 * static_cast<double>(hits) / static_cast<double>(total);
+        if (pct < 25.0) {
+          result.ok = false;
+          result.detail = util::format(
+              "cache hit rate %.2f%% < 25%% floor (%llu hits / %llu served)",
+              pct, static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(total));
+        }
+        return result;
+      });
+
+  // SLO: per-vantage responder availability over 1x and 6x timeline windows
+  // of sim time — the paper's Figure-3 series, held to a floor.
+  for (net::Region region : net::all_regions()) {
+    obs::HealthMonitor::SloRule rule;
+    rule.name = std::string("responder_availability:") +
+                net::to_string(region);
+    rule.numerator = "mustaple_scan_successes_total";
+    rule.denominator = "mustaple_scan_requests_total";
+    rule.labels = {{"region", net::to_string(region)}};
+    rule.target_pct = config_.slo_availability_target_pct;
+    rule.lookbacks = {config_.timeline_window, config_.timeline_window * 6};
+    rule.min_denominator = 10;
+    health_.add_slo(std::move(rule));
+  }
+}
+
+void MustStapleStudy::update_flight_snapshot() {
+  obs::FlightRecorder& flight = obs::default_flight_recorder();
+  if (flight.capacity() == 0) return;
+  std::string json = "{\"metrics\":" + obs::default_registry().render_json();
+  json += ",\"alloc\":{";
+  bool first = true;
+  util::visit_alloc_counters([&json, &first](const std::string& name,
+                                             const util::AllocCounter& c) {
+    if (!first) json += ',';
+    first = false;
+    json += "\"" + snapshot_json_escape(name) + "\":{\"allocated_bytes\":" +
+            std::to_string(c.allocated_bytes()) +
+            ",\"freed_bytes\":" + std::to_string(c.freed_bytes()) +
+            ",\"outstanding_bytes\":" + std::to_string(c.outstanding_bytes()) +
+            ",\"peak_outstanding_bytes\":" +
+            std::to_string(c.peak_outstanding_bytes()) + "}";
+  });
+  json += "},\"peak_rss_bytes\":" +
+          std::to_string(obs::read_resource_usage().peak_rss_bytes);
+  json += ",\"profile_top\":\"" +
+          snapshot_json_escape(obs::default_profiler().summary(5)) + "\"";
+  json += "}";
+  flight.set_snapshot_json(json);
+}
+
+#else  // !MUSTAPLE_OBS_ENABLED
+
+void MustStapleStudy::register_default_health_rules() {}
+void MustStapleStudy::update_flight_snapshot() {}
+
+#endif  // MUSTAPLE_OBS_ENABLED
 
 std::uint16_t MustStapleStudy::start_introspection() {
   if (config_.introspection_port < 0) return 0;
@@ -100,6 +334,7 @@ std::uint16_t MustStapleStudy::start_introspection() {
   server_->add_registry("resources", &monitor_->registry());
 #if MUSTAPLE_OBS_ENABLED
   server_->set_profiler(&obs::default_profiler());
+  if (config_.health_checks) server_->set_health(&health_);
 #endif
   server_->set_status_provider([this] { return render_status(); });
   const util::Status status = server_->start();
@@ -135,6 +370,18 @@ ReadinessReport MustStapleStudy::run() {
 #if MUSTAPLE_OBS_ENABLED
   // One study = one profile; a second run() starts from zeroed phase stats.
   obs::default_profiler().reset();
+  // Flight recorder before the resource monitor: the monitor's tick hook
+  // refreshes the recorder's snapshot buffers, and configure() is only safe
+  // while nothing records.
+  obs::FlightRecorder& flight = obs::default_flight_recorder();
+  std::shared_ptr<obs::FlightLogSink> flight_sink;
+  if (config_.flight_recorder_events > 0) {
+    flight.configure(config_.flight_recorder_events);
+    if (!config_.artifact_dir.empty()) flight.install(config_.artifact_dir);
+    flight_sink = std::make_shared<obs::FlightLogSink>(flight);
+    obs::default_logger().add_sink(flight_sink);
+    flight.note_phase("study:start");
+  }
   // Kernel-side resource sampling for the run's duration. With tick 0 the
   // background thread is skipped; sample_now() below still records enough
   // for the report's peak-RSS line.
@@ -147,7 +394,19 @@ ReadinessReport MustStapleStudy::run() {
   // campaign start so the warm-up day stays out of window 0.
   obs::Timeline timeline(config_.ecosystem.campaign_start,
                          config_.timeline_window);
+  // SLO burn rates re-evaluate as each sim-time window closes, on the
+  // thread advancing the clock (the timeline is not thread-safe, so SLOs
+  // never run from the resource tick).
+  timeline.set_window_hook([this, &timeline](const obs::TimelineWindow&) {
+    health_.evaluate_slos(timeline);
+  });
   obs::Timeline* previous_timeline = obs::install_timeline(&timeline);
+  // Phase boundary: marks the ring, re-runs checks, and settles SLOs.
+  const auto health_boundary = [this, &timeline](const char* phase) {
+    obs::default_flight_recorder().note_phase(phase);
+    health_.evaluate_checks();
+    health_.evaluate_slos(timeline);
+  };
   // Causal probe trace, epoch = the loop's start so no negative timestamps.
   obs::TraceLog& trace_log = obs::default_trace_log();
   trace_log.reset();
@@ -196,6 +455,9 @@ ReadinessReport MustStapleStudy::run() {
           obs::field("with_outage", report.responders_with_outage),
           obs::field("never_reachable", report.responders_never_reachable),
           obs::field("avg_failure_rate", report.average_failure_rate));
+#if MUSTAPLE_OBS_ENABLED
+      health_boundary("availability-scan:done");
+#endif
     }
 
     if (config_.run_consistency_audit) {
@@ -209,6 +471,9 @@ ReadinessReport MustStapleStudy::run() {
       MUSTAPLE_LOG_INFO("core", "consistency audit complete",
                         obs::field("discrepant_responders",
                                    report.consistency_discrepant_responders));
+#if MUSTAPLE_OBS_ENABLED
+      health_boundary("consistency-audit:done");
+#endif
     }
 
     if (config_.run_browser_suite) {
@@ -222,6 +487,9 @@ ReadinessReport MustStapleStudy::run() {
       MUSTAPLE_LOG_INFO("core", "browser suite complete",
                         obs::field("tested", report.browsers_tested),
                         obs::field("respecting", report.browsers_respecting));
+#if MUSTAPLE_OBS_ENABLED
+      health_boundary("browser-suite:done");
+#endif
     }
 
     if (config_.run_webserver_suite) {
@@ -243,6 +511,9 @@ ReadinessReport MustStapleStudy::run() {
                         obs::field("tested", report.servers_tested),
                         obs::field("fully_correct",
                                    report.servers_fully_correct));
+#if MUSTAPLE_OBS_ENABLED
+      health_boundary("webserver-suite:done");
+#endif
     }
   }  // closes the "study" span so the summary below includes it
 #if MUSTAPLE_OBS_ENABLED
@@ -251,6 +522,10 @@ ReadinessReport MustStapleStudy::run() {
   timeline.flush(loop_.now() > config_.ecosystem.campaign_end
                      ? loop_.now()
                      : config_.ecosystem.campaign_end);
+  // Settle health before the hook targets go away: one last check pass plus
+  // SLOs over the fully-flushed timeline.
+  health_boundary("study:done");
+  timeline.set_window_hook(nullptr);
   obs::install_timeline(previous_timeline);
   trace_log.disable();
   report.trace_summary = obs::default_tracer().summary();
@@ -262,6 +537,11 @@ ReadinessReport MustStapleStudy::run() {
   monitor_->sample_now();
   report.resource_summary = resource_summary_text(*monitor_);
   report.profile_summary = obs::default_profiler().summary(10);
+  if (config_.health_checks) {
+    // render_text() leads with "status: ..." so this reads "Health status:".
+    report.health_summary = "Health " + health_.render_text();
+  }
+  if (flight_sink) obs::default_logger().remove_sink(flight_sink);
   if (!config_.artifact_dir.empty()) {
     analysis::write_export(config_.artifact_dir, "timeline.csv",
                            timeline.render_csv());
@@ -279,7 +559,13 @@ ReadinessReport MustStapleStudy::run() {
       analysis::write_export(config_.artifact_dir, "resources.json",
                              monitor_->render_json());
     }
+    if (config_.health_checks) {
+      analysis::write_export(config_.artifact_dir, "health.json",
+                             health_.render_json());
+    }
   }
+  // Run is over: restore whatever crash handlers the host had installed.
+  flight.uninstall();
 #endif
   // Lint is part of the study proper, not the obs layer: the report JSON is
   // written even in MUSTAPLE_OBS_OFF builds.
@@ -352,6 +638,7 @@ std::string ReadinessReport::render() const {
   if (!trace_summary.empty()) out << "\n" << trace_summary;
   if (!resource_summary.empty()) out << "\n" << resource_summary;
   if (!profile_summary.empty()) out << "\n" << profile_summary;
+  if (!health_summary.empty()) out << "\n" << health_summary;
   return out.str();
 }
 

@@ -22,6 +22,7 @@
 #include "measurement/consistency.hpp"
 #include "measurement/ecosystem.hpp"
 #include "measurement/scanner.hpp"
+#include "obs/health.hpp"
 #include "obs/introspect.hpp"
 #include "obs/resource.hpp"
 
@@ -55,6 +56,31 @@ struct StudyConfig {
   /// duration (0 = kernel-assigned ephemeral port, read back via
   /// MustStapleStudy::introspection_port()). -1 disables the server.
   int introspection_port = -1;
+
+  // Pillar 8: health + flight recorder (obs builds only).
+  /// Register and evaluate the default invariant checks + SLO rules; the
+  /// results land in health.json and drive /healthz. Off = the monitor
+  /// still exists (callers may register their own checks) but the study
+  /// registers nothing.
+  bool health_checks = true;
+  /// Critical health breach when current RSS exceeds this budget; 0 = no
+  /// RSS check (the ROADMAP full-scale item supplies a real bound).
+  std::uint64_t rss_budget_mb = 0;
+  /// Warning-severity breach when the campaign-wide scan error rate (failed
+  /// requests / requests) exceeds this percentage.
+  double probe_error_warn_pct = 25.0;
+  /// SLO: responder availability (scan successes/requests) must stay at or
+  /// above this percentage over 1x and 6x `timeline_window` of sim time.
+  /// The paper's Fig-3 worlds dip to ~94% regionally; 90 keeps the default
+  /// seeded world green while real outages (or attack scenarios) breach.
+  double slo_availability_target_pct = 90.0;
+  /// Capacity of the flight recorder's event ring (>=warn log records,
+  /// phase transitions, health transitions). 0 disables the recorder —
+  /// no signal handlers installed, no postmortem artifacts.
+  std::size_t flight_recorder_events = 1024;
+  /// CI hook: std::abort() on the first critical health breach, which the
+  /// flight recorder's SIGABRT handler turns into postmortem.{txt,json}.
+  bool abort_on_critical = false;
 };
 
 /// Verdict per principal, in the structure of the paper's §8 conclusion.
@@ -100,6 +126,10 @@ struct ReadinessReport {
   /// empty when the obs layer is compiled out or no scan ran.
   std::string timeline_summary;
 
+  /// Health roll-up (pillar 8): overall status plus per-check/SLO lines;
+  /// empty when the obs layer is compiled out or health_checks is off.
+  std::string health_summary;
+
   /// Peak RSS / CPU split / per-subsystem allocation totals (pillar 6);
   /// empty when the obs layer is compiled out.
   std::string resource_summary;
@@ -122,6 +152,11 @@ class MustStapleStudy {
   /// Access to the underlying world (for extended analyses).
   measurement::Ecosystem& ecosystem() { return *ecosystem_; }
 
+  /// The run's health monitor: callers may add_check/add_slo before run().
+  /// Always present; the study only REGISTERS its default rules when
+  /// config.health_checks is on (obs builds).
+  obs::HealthMonitor& health() { return health_; }
+
   /// Binds and starts the introspection server ahead of run() so callers
   /// can print the endpoint before the campaign begins (no-op unless
   /// config.introspection_port >= 0; idempotent). Returns the bound port,
@@ -134,6 +169,10 @@ class MustStapleStudy {
 
  private:
   std::string render_status() const;  ///< /statusz campaign section
+  void register_default_health_rules();
+  /// Re-renders the metrics/alloc/profile snapshot the crash handler embeds
+  /// in postmortem.json (normal-context; called on each resource tick).
+  void update_flight_snapshot();
 
   StudyConfig config_;
   net::EventLoop loop_;
@@ -142,6 +181,7 @@ class MustStapleStudy {
   /// stay out of the bit-identical campaign artifacts (obs/resource.hpp).
   std::unique_ptr<obs::ResourceMonitor> monitor_;
   std::unique_ptr<obs::IntrospectionServer> server_;
+  obs::HealthMonitor health_;
   /// The live scanner /statusz reads mid-campaign; guarded because the
   /// serving thread races the scanner's construction/destruction.
   mutable std::mutex scanner_mu_;

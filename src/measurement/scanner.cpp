@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/sha256.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "ocsp/request.hpp"
 #include "util/hash.hpp"
@@ -363,6 +364,12 @@ void HourlyScanner::run() {
         const net::Region region = regions[p / targets_.size()];
         const Target& target = targets_[p % targets_.size()];
         accumulate_probe(target, region, outcomes[p], totals);
+#if MUSTAPLE_OBS_ENABLED
+        // Flight-recorder breadcrumb: the last-N probe ids in CANONICAL
+        // order (accumulation, not fan-out), so a postmortem names the
+        // probes the campaign had actually absorbed when it died.
+        obs::default_flight_recorder().note_probe(step_base + p + 1);
+#endif
       }
     }
     probes_done_.fetch_add(outcomes.size(), std::memory_order_relaxed);

@@ -1,0 +1,165 @@
+// Pillar 8, crash half (flight recorder): when a four-month campaign dies
+// six hours in, the process must explain itself. A FlightRecorder keeps a
+// fixed-size LOCK-FREE ring of the most recent structured events — log
+// records at >= warn (fed through a FlightLogSink attached to the default
+// logger), study phase transitions, health-state changes — plus a tiny ring
+// of the last-N probe ids the scanner accumulated, and an async-signal-safe
+// handler for SIGSEGV/SIGABRT/SIGBUS/SIGFPE that writes two artifacts:
+//
+//   * postmortem.txt   — the ring, probe ids, and a backtrace_symbols_fd
+//                        stack, human-readable
+//   * postmortem.json  — schema `mustaple-postmortem/1`: the ring, the
+//                        cached metrics+alloc snapshot, peak RSS, and the
+//                        backtrace as hex frame addresses
+//
+// Signal-safety discipline: the handler allocates nothing and calls only
+// open/write/close, getrusage, and backtrace(_symbols_fd). Everything that
+// NEEDS allocation (rendering the metrics registry, the alloc table, the
+// top profiler phases) is pre-rendered from normal code on the resource
+// tick into a double-buffered fixed-size snapshot buffer that the handler
+// merely write()s. Event slots are fixed char arrays with a per-slot
+// sequence word, so a record half-written by a crashing thread is dumped —
+// flagged "torn" — instead of deadlocking on a logger mutex.
+//
+// Like Registry/Timeline/IntrospectionServer, this is plain library code
+// compiled regardless of MUSTAPLE_OBS_OFF; only the study/scanner wiring
+// (and therefore every artifact) compiles out with the obs layer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/logger.hpp"
+
+namespace mustaple::obs {
+
+class FlightRecorder {
+ public:
+  enum class EventKind : std::uint8_t { kLog, kPhase, kHealth };
+
+  /// One decoded ring entry (snapshot()/postmortem form).
+  struct Event {
+    std::uint64_t index = 0;  ///< monotone event number since configure()
+    std::uint64_t wall_unix_ms = 0;
+    std::int64_t sim_unix = kNoSimTime;
+    EventKind kind = EventKind::kLog;
+    Level level = Level::kInfo;
+    std::string component;
+    std::string message;
+    bool torn = false;  ///< writer was mid-store when the slot was read
+  };
+
+  static constexpr std::int64_t kNoSimTime = INT64_MIN;
+  /// Last-N probe ids kept alongside the event ring.
+  static constexpr std::size_t kProbeRing = 64;
+
+  explicit FlightRecorder(std::size_t capacity = 1024);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  ~FlightRecorder();
+
+  /// Re-sizes the ring, dropping every recorded event. NOT safe against
+  /// concurrent record() — call while quiescent (study setup, test setup).
+  void configure(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Appends one event. Lock-free (one fetch_add + plain stores into the
+  /// claimed slot) and safe from any thread; strings are truncated to the
+  /// slot's fixed width.
+  void record(EventKind kind, Level level, const char* component,
+              const char* message, std::int64_t sim_unix = kNoSimTime);
+  void note_phase(const char* phase);
+  void note_health(const char* check, bool ok, const char* detail);
+  /// Last-N probe-id ring (scanner accumulation). One fetch_add + one
+  /// relaxed store — cheap enough for the probe hot path.
+  void note_probe(std::uint64_t probe_id);
+
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    const std::uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  /// Decodes the ring oldest-to-newest. Normal-context reader (allocates);
+  /// concurrent writers yield at most `torn` entries, never blocking.
+  std::vector<Event> snapshot() const;
+  /// The probe-id ring, oldest-to-newest (at most kProbeRing ids).
+  std::vector<std::uint64_t> recent_probe_ids() const;
+
+  /// Caches a pre-rendered JSON OBJECT (metrics + alloc + profile summary,
+  /// composed by the study on each resource tick) that the signal handler
+  /// embeds verbatim under "snapshot" in postmortem.json. Double-buffered:
+  /// the handler never reads a buffer a writer may be filling. Oversized
+  /// snapshots are replaced by {"truncated":true}.
+  void set_snapshot_json(const std::string& json_object);
+
+  /// Arms the SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers and remembers
+  /// `artifact_dir` as the postmortem destination. Returns false when the
+  /// directory path does not fit the handler's fixed buffer. Re-installing
+  /// just updates the destination. The previous handlers are saved and
+  /// re-raised after the dump, so sanitizer/crash reporters still run.
+  bool install(const std::string& artifact_dir);
+  /// Restores the saved handlers (idempotent).
+  void uninstall();
+  bool installed() const {
+    return installed_.load(std::memory_order_acquire);
+  }
+
+  /// Writes postmortem.txt + postmortem.json into the installed artifact
+  /// dir. Async-signal-safe (open/write/close only); also callable from
+  /// normal code (tests, operator dumps) with signal_number 0. No-op until
+  /// install() set a destination.
+  void write_postmortem(const char* reason, int signal_number);
+
+ private:
+  struct Slot;
+
+  void dump_text(int fd, const char* reason, int signal_number,
+                 void* const* frames, int frame_count);
+  void dump_json(int fd, const char* reason, int signal_number,
+                 void* const* frames, int frame_count);
+
+  std::size_t capacity_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+
+  std::atomic<std::uint64_t> probe_ids_[kProbeRing] = {};
+  std::atomic<std::uint64_t> probe_next_{0};
+
+  // Double-buffered cached snapshot (see set_snapshot_json).
+  static constexpr std::size_t kSnapshotBytes = 256 * 1024;
+  std::unique_ptr<char[]> snap_buf_[2];
+  std::atomic<std::size_t> snap_len_[2] = {{0}, {0}};
+  std::atomic<int> snap_active_{0};
+  /// Set on handler entry: freezes set_snapshot_json so the handler's
+  /// buffer cannot be overwritten mid-dump.
+  std::atomic<bool> crashed_{false};
+
+  std::atomic<bool> installed_{false};
+  char dir_[512] = {};  ///< artifact dir, fixed so the handler needs no heap
+};
+
+/// The process-wide recorder the study, scanner, and health monitor feed.
+FlightRecorder& default_flight_recorder();
+
+/// Logger sink forwarding records at >= min_level into a FlightRecorder —
+/// how "log records >= warn" reach the ring without new call sites.
+class FlightLogSink : public Sink {
+ public:
+  explicit FlightLogSink(FlightRecorder& recorder,
+                         Level min_level = Level::kWarn)
+      : recorder_(&recorder), min_level_(min_level) {}
+
+  void write(const LogRecord& record) override;
+
+ private:
+  FlightRecorder* recorder_;
+  Level min_level_;
+};
+
+}  // namespace mustaple::obs

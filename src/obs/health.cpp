@@ -1,0 +1,304 @@
+#include "obs/health.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace mustaple::obs {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(HealthSeverity severity) {
+  switch (severity) {
+    case HealthSeverity::kWarning:
+      return "warning";
+    case HealthSeverity::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
+void HealthMonitor::add_check(std::string name, HealthSeverity severity,
+                              CheckFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckEntry entry;
+  entry.status.name = std::move(name);
+  entry.status.severity = severity;
+  entry.fn = std::move(fn);
+  checks_.push_back(std::move(entry));
+}
+
+void HealthMonitor::add_slo(SloRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (util::Duration lookback : rule.lookbacks) {
+    SloStatus status;
+    status.name = rule.name;
+    status.severity = rule.severity;
+    status.lookback_seconds = lookback.seconds;
+    status.target_pct = rule.target_pct;
+    slo_statuses_.push_back(std::move(status));
+  }
+  slo_rules_.push_back(std::move(rule));
+}
+
+void HealthMonitor::set_on_transition(TransitionHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_transition_ = std::move(hook);
+}
+
+void HealthMonitor::evaluate_checks() {
+  std::vector<Transition> transitions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++check_evaluations_;
+    for (CheckEntry& entry : checks_) {
+      HealthCheckResult result;
+      result = entry.fn ? entry.fn() : HealthCheckResult{};
+      ++entry.status.evaluations;
+      if (!result.ok) ++entry.status.breaches;
+      const bool changed = entry.status.ok != result.ok;
+      entry.status.ok = result.ok;
+      entry.status.detail = std::move(result.detail);
+      if (changed) {
+        transitions.push_back({entry.status.name, entry.status.severity,
+                               entry.status.ok, entry.status.detail});
+      }
+    }
+  }
+  fire(transitions);
+}
+
+void HealthMonitor::evaluate_slos(const Timeline& timeline) {
+  const std::vector<TimelineWindow>& windows = timeline.windows();
+  std::vector<Transition> transitions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++slo_evaluations_;
+    if (windows.empty()) return;
+    const util::SimTime newest_end = windows.back().end;
+    std::size_t status_index = 0;
+    for (const SloRule& rule : slo_rules_) {
+      const std::string labels = canonical_labels(rule.labels);
+      for (util::Duration lookback : rule.lookbacks) {
+        SloStatus& status = slo_statuses_[status_index++];
+        const util::SimTime horizon = newest_end - lookback;
+        double numerator = 0.0;
+        double denominator = 0.0;
+        // windows are closed in order; walk back until one ends at or
+        // before the horizon. Empty (all-zero) windows are simply absent,
+        // which only means zero deltas — correct for a sum.
+        for (auto it = windows.rbegin(); it != windows.rend(); ++it) {
+          if (it->end.unix_seconds <= horizon.unix_seconds) break;
+          numerator += Timeline::counter_delta(*it, rule.numerator, labels);
+          denominator +=
+              Timeline::counter_delta(*it, rule.denominator, labels);
+        }
+        status.numerator = static_cast<std::uint64_t>(numerator);
+        status.denominator = static_cast<std::uint64_t>(denominator);
+        status.evaluated = status.denominator >= rule.min_denominator;
+        const bool was_ok = status.ok;
+        if (status.evaluated) {
+          status.value_pct = 100.0 * numerator / denominator;
+          status.ok = status.value_pct >= rule.target_pct;
+        } else {
+          status.value_pct = 0.0;
+          status.ok = true;  // insufficient volume never breaches
+        }
+        if (status.ok != was_ok) {
+          std::string detail = "availability " +
+                               format_pct(status.value_pct) + "% vs target " +
+                               format_pct(status.target_pct) + "% over " +
+                               std::to_string(status.lookback_seconds) +
+                               "s sim window (" +
+                               std::to_string(status.numerator) + "/" +
+                               std::to_string(status.denominator) + ")";
+          transitions.push_back({status.name + "[" +
+                                     std::to_string(status.lookback_seconds) +
+                                     "s]",
+                                 status.severity, status.ok,
+                                 std::move(detail)});
+        }
+      }
+    }
+  }
+  fire(transitions);
+}
+
+void HealthMonitor::fire(std::vector<Transition>& transitions) {
+  if (transitions.empty()) return;
+  TransitionHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = on_transition_;
+  }
+  if (!hook) return;
+  for (const Transition& t : transitions) {
+    hook(t.name, t.severity, t.ok, t.detail);
+  }
+}
+
+bool HealthMonitor::critical_breached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CheckEntry& entry : checks_) {
+    if (!entry.status.ok && entry.status.severity == HealthSeverity::kCritical)
+      return true;
+  }
+  for (const SloStatus& status : slo_statuses_) {
+    if (!status.ok && status.severity == HealthSeverity::kCritical)
+      return true;
+  }
+  return false;
+}
+
+bool HealthMonitor::any_breached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CheckEntry& entry : checks_) {
+    if (!entry.status.ok) return true;
+  }
+  for (const SloStatus& status : slo_statuses_) {
+    if (!status.ok) return true;
+  }
+  return false;
+}
+
+std::string HealthMonitor::overall_status() const {
+  if (critical_breached()) return "critical";
+  if (any_breached()) return "warn";
+  return "ok";
+}
+
+std::uint64_t HealthMonitor::check_evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return check_evaluations_;
+}
+
+std::uint64_t HealthMonitor::slo_evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_evaluations_;
+}
+
+std::vector<HealthMonitor::CheckStatus> HealthMonitor::check_statuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CheckStatus> out;
+  out.reserve(checks_.size());
+  for (const CheckEntry& entry : checks_) out.push_back(entry.status);
+  return out;
+}
+
+std::vector<HealthMonitor::SloStatus> HealthMonitor::slo_statuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slo_statuses_;
+}
+
+std::string HealthMonitor::render_json() const {
+  const std::string status = overall_status();  // before taking mu_
+  const std::vector<CheckStatus> checks = check_statuses();
+  const std::vector<SloStatus> slos = slo_statuses();
+  std::string out = "{\"schema\":\"mustaple-health/1\"";
+  out += ",\"status\":\"" + status + "\"";
+  out += ",\"check_evaluations\":" + std::to_string(check_evaluations());
+  out += ",\"slo_evaluations\":" + std::to_string(slo_evaluations());
+  out += ",\"checks\":[";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const CheckStatus& c = checks[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + json_escape(c.name) + "\"";
+    out += ",\"severity\":\"";
+    out += to_string(c.severity);
+    out += "\",\"ok\":";
+    out += c.ok ? "true" : "false";
+    out += ",\"detail\":\"" + json_escape(c.detail) + "\"";
+    out += ",\"evaluations\":" + std::to_string(c.evaluations);
+    out += ",\"breaches\":" + std::to_string(c.breaches);
+    out += "}";
+  }
+  out += "],\"slos\":[";
+  for (std::size_t i = 0; i < slos.size(); ++i) {
+    const SloStatus& s = slos[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + json_escape(s.name) + "\"";
+    out += ",\"severity\":\"";
+    out += to_string(s.severity);
+    out += "\",\"lookback_seconds\":" + std::to_string(s.lookback_seconds);
+    out += ",\"evaluated\":";
+    out += s.evaluated ? "true" : "false";
+    out += ",\"ok\":";
+    out += s.ok ? "true" : "false";
+    out += ",\"value_pct\":" + format_pct(s.value_pct);
+    out += ",\"target_pct\":" + format_pct(s.target_pct);
+    out += ",\"numerator\":" + std::to_string(s.numerator);
+    out += ",\"denominator\":" + std::to_string(s.denominator);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string HealthMonitor::render_text() const {
+  std::string out = "status: " + overall_status() + "\n";
+  for (const CheckStatus& c : check_statuses()) {
+    out += "  check " + c.name + " [";
+    out += to_string(c.severity);
+    out += "] ";
+    out += c.ok ? "ok" : "BREACHED";
+    if (!c.detail.empty()) out += " — " + c.detail;
+    out += " (" + std::to_string(c.breaches) + "/" +
+           std::to_string(c.evaluations) + " breached)\n";
+  }
+  for (const SloStatus& s : slo_statuses()) {
+    out += "  slo " + s.name + "[" + std::to_string(s.lookback_seconds) +
+           "s] [";
+    out += to_string(s.severity);
+    out += "] ";
+    if (!s.evaluated) {
+      out += "insufficient volume (" + std::to_string(s.denominator) + ")";
+    } else {
+      out += s.ok ? "ok" : "BREACHED";
+      out += " — " + format_pct(s.value_pct) + "% vs target " +
+             format_pct(s.target_pct) + "% (" + std::to_string(s.numerator) +
+             "/" + std::to_string(s.denominator) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mustaple::obs

@@ -1,0 +1,161 @@
+// Pillar 8, watchdog half (health): the campaign that produces the paper's
+// §4/§5 numbers continuously proves its own invariants instead of trusting
+// them. A HealthMonitor holds two kinds of declaratively registered rules:
+//
+//  * named CHECKS — arbitrary predicates over already-maintained state
+//    (metrics registry counters, util::alloc_counter tallies, ResourceMonitor
+//    samples): cache conservation `hits + misses == lookups`, RSS under
+//    `StudyConfig::rss_budget_mb`, probe-error-rate ceilings. Checks are
+//    thread-safe and cheap, so they run on every resource tick AND at
+//    scan-phase boundaries.
+//  * SLO RULES — windowed burn-rate availability over obs::Timeline counter
+//    series (e.g. responder availability >= target over 1h/6h of simulated
+//    time). The Timeline is single-threaded by design, so SLO evaluation
+//    happens only from the advancing thread, via Timeline's window hook and
+//    at phase boundaries.
+//
+// Evaluation is strictly READ-ONLY over existing registries and never
+// touches the default (campaign) registry, so enabling health can never
+// perturb bit-identical campaign outputs. Results are exported as
+// `health.json` (schema `mustaple-health/1`), served live by the
+// introspection server (/healthz turns 503 on a critical breach), and every
+// state transition is announced through a hook the study points at the
+// logger + FlightRecorder (+ std::abort under `abort_on_critical`).
+//
+// Plain library code — compiled regardless of MUSTAPLE_OBS_OFF; only the
+// study wiring (and thus the artifacts/endpoints) compiles out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "util/sim_time.hpp"
+
+namespace mustaple::obs {
+
+enum class HealthSeverity : std::uint8_t { kWarning, kCritical };
+const char* to_string(HealthSeverity severity);
+
+/// What one predicate reports back. `detail` is surfaced verbatim in
+/// health.json / /healthz / the flight-recorder event, so it should say the
+/// numbers ("rss 812 MiB > budget 512 MiB"), not just "failed".
+struct HealthCheckResult {
+  bool ok = true;
+  std::string detail;
+};
+
+class HealthMonitor {
+ public:
+  using CheckFn = std::function<HealthCheckResult()>;
+
+  /// One SLO burn-rate rule: scale-100 ratio of two counter deltas summed
+  /// over every closed timeline window inside each `lookbacks` span (ending
+  /// at the newest closed window), breached when below `target_pct`.
+  /// Lookbacks with denominator < `min_denominator` are reported as
+  /// insufficient-volume and never breach — a quiet hour of sim time is not
+  /// an outage.
+  struct SloRule {
+    std::string name;
+    std::string numerator;    ///< counter metric name (e.g. successes)
+    std::string denominator;  ///< counter metric name (e.g. requests)
+    Labels labels;            ///< same labels on both counters
+    double target_pct = 90.0;
+    std::vector<util::Duration> lookbacks;
+    std::uint64_t min_denominator = 1;
+    HealthSeverity severity = HealthSeverity::kCritical;
+  };
+
+  /// Externally visible state of one check (see check_statuses()).
+  struct CheckStatus {
+    std::string name;
+    HealthSeverity severity = HealthSeverity::kWarning;
+    bool ok = true;
+    std::string detail;
+    std::uint64_t evaluations = 0;
+    std::uint64_t breaches = 0;  ///< evaluations that came back not-ok
+  };
+
+  /// Externally visible state of one SLO rule at one lookback.
+  struct SloStatus {
+    std::string name;
+    HealthSeverity severity = HealthSeverity::kCritical;
+    std::int64_t lookback_seconds = 0;
+    bool evaluated = false;  ///< false until volume >= min_denominator
+    bool ok = true;
+    double value_pct = 0.0;  ///< meaningful only when evaluated
+    double target_pct = 0.0;
+    std::uint64_t numerator = 0;
+    std::uint64_t denominator = 0;
+  };
+
+  /// Called on every ok<->breached transition (checks and SLO lookbacks),
+  /// outside the monitor's lock. The study wires this to MUSTAPLE_LOG_*,
+  /// FlightRecorder::note_health, and abort_on_critical.
+  using TransitionHook = std::function<void(
+      const std::string& name, HealthSeverity severity, bool ok,
+      const std::string& detail)>;
+
+  /// Registration is not thread-safe against evaluation — register during
+  /// setup, before the resource tick starts driving evaluate_checks().
+  void add_check(std::string name, HealthSeverity severity, CheckFn fn);
+  void add_slo(SloRule rule);
+  void set_on_transition(TransitionHook hook);
+
+  /// Runs every registered predicate. Thread-safe; called from the resource
+  /// tick thread and from the main thread at phase boundaries.
+  void evaluate_checks();
+
+  /// Re-evaluates every SLO rule against the timeline's closed windows.
+  /// NOT thread-safe against the timeline's owner — call only from the
+  /// thread advancing the timeline (window hook / phase boundaries).
+  void evaluate_slos(const Timeline& timeline);
+
+  /// Any currently-breached check/SLO at kCritical? Drives /healthz's 503
+  /// and abort_on_critical.
+  bool critical_breached() const;
+  /// Any currently-breached check/SLO at any severity?
+  bool any_breached() const;
+  /// "ok", "warn", or "critical" — the roll-up /healthz and health.json lead
+  /// with.
+  std::string overall_status() const;
+
+  std::uint64_t check_evaluations() const;
+  std::uint64_t slo_evaluations() const;
+
+  std::vector<CheckStatus> check_statuses() const;
+  std::vector<SloStatus> slo_statuses() const;
+
+  /// {"schema":"mustaple-health/1","status":...,"checks":[..],"slos":[..]}.
+  std::string render_json() const;
+  /// Indented text block for /statusz.
+  std::string render_text() const;
+
+ private:
+  struct CheckEntry {
+    CheckStatus status;
+    CheckFn fn;
+  };
+  struct Transition {
+    std::string name;
+    HealthSeverity severity;
+    bool ok;
+    std::string detail;
+  };
+
+  void fire(std::vector<Transition>& transitions);
+
+  mutable std::mutex mu_;
+  std::vector<CheckEntry> checks_;
+  std::vector<SloRule> slo_rules_;
+  std::vector<SloStatus> slo_statuses_;
+  TransitionHook on_transition_;
+  std::uint64_t check_evaluations_ = 0;
+  std::uint64_t slo_evaluations_ = 0;
+};
+
+}  // namespace mustaple::obs

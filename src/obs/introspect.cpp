@@ -6,6 +6,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
 #include "obs/resource.hpp"
@@ -55,6 +56,8 @@ struct IntrospectionServer::Connection {
   util::Bytes out;
   std::size_t out_off = 0;
   bool responded = false;
+  /// When the read (or, after a response is queued, write) window expires.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 IntrospectionServer::IntrospectionServer()
@@ -72,6 +75,10 @@ void IntrospectionServer::add_registry(std::string name,
 
 void IntrospectionServer::set_profiler(const Profiler* profiler) {
   profiler_ = profiler;
+}
+
+void IntrospectionServer::set_health(const HealthMonitor* health) {
+  health_ = health;
 }
 
 void IntrospectionServer::set_status_provider(StatusProvider provider) {
@@ -176,9 +183,11 @@ void IntrospectionServer::stop() {
 void IntrospectionServer::serve_loop() {
   std::array<struct epoll_event, 32> events{};
   while (running_.load(std::memory_order_acquire)) {
-    const int n =
-        ::epoll_wait(epoll_fd_, events.data(),
-                     static_cast<int>(events.size()), /*timeout_ms=*/500);
+    // Tighten the poll while connections are pending so deadline sweeps
+    // stay responsive; idle servers keep the cheap 500ms cadence.
+    const int timeout_ms = connections_.empty() ? 500 : 50;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -195,6 +204,26 @@ void IntrospectionServer::serve_loop() {
         close_connection(epoll_fd_, *conn);
       }
     }
+    sweep_expired(epoll_fd_);
+  }
+}
+
+void IntrospectionServer::sweep_expired(int epoll_fd) {
+  const auto now = std::chrono::steady_clock::now();
+  // queue_response/close_connection mutate connections_, so collect first.
+  std::vector<Connection*> expired;
+  for (const auto& conn : connections_) {
+    if (now >= conn->deadline) expired.push_back(conn.get());
+  }
+  for (Connection* conn : expired) {
+    if (!conn->responded) {
+      queue_response(epoll_fd, *conn,
+                     net::HttpResponse::make(408, "Request Timeout",
+                                             util::bytes_of("timed out\n"),
+                                             "text/plain"));
+    } else {
+      close_connection(epoll_fd, *conn);  // stalled writer: drop it
+    }
   }
 }
 
@@ -209,6 +238,8 @@ void IntrospectionServer::accept_ready(int epoll_fd) {
     }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options_.read_timeout_ms);
     struct epoll_event ev {};
     ev.events = EPOLLIN;
     ev.data.u64 = reinterpret_cast<std::uint64_t>(conn.get());
@@ -238,17 +269,21 @@ bool IntrospectionServer::connection_ready(int epoll_fd, Connection& conn,
       return false;
     }
 
+    // Size cap first, before any parse outcome: an unterminated head, a
+    // Content-Length body, and a complete-but-huge request all hit the same
+    // ceiling — a diagnostics port never needs requests this large.
+    if (conn.in.size() > options_.max_request_bytes) {
+      queue_response(epoll_fd, conn,
+                     net::HttpResponse::make(
+                         431, "Request Header Fields Too Large",
+                         util::bytes_of("request too large\n"), "text/plain"));
+      return true;
+    }
+
     auto parsed = net::HttpRequest::parse(conn.in);
     if (!parsed.ok()) {
       if (parsed.error().code == "http.no_header_terminator") {
-        if (conn.in.size() > options_.max_request_bytes) {
-          queue_response(epoll_fd, conn,
-                         net::HttpResponse::make(
-                             431, "Request Header Fields Too Large",
-                             util::bytes_of("request too large\n"),
-                             "text/plain"));
-        }
-        return true;  // need more bytes
+        return true;  // need more bytes (or the cap/deadline sweep)
       }
       queue_response(
           epoll_fd, conn,
@@ -258,7 +293,9 @@ bool IntrospectionServer::connection_ready(int epoll_fd, Connection& conn,
                                   "text/plain"));
       return true;
     }
-    if (body_incomplete(parsed.value())) return true;
+    if (body_incomplete(parsed.value())) {
+      return true;  // declared body still arriving; capped by the check above
+    }
     queue_response(epoll_fd, conn, handle(parsed.value()));
   }
 
@@ -272,6 +309,10 @@ void IntrospectionServer::queue_response(int epoll_fd, Connection& conn,
   conn.out = response.serialize();
   conn.out_off = 0;
   conn.responded = true;
+  // Fresh window for draining the response; a reader that stalls as a
+  // writer is swept (closed) rather than re-answered.
+  conn.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.read_timeout_ms);
   struct epoll_event ev {};
   ev.events = EPOLLOUT;
   ev.data.u64 = reinterpret_cast<std::uint64_t>(&conn);
@@ -306,6 +347,7 @@ void IntrospectionServer::close_connection(int epoll_fd, Connection& conn) {
 
 void IntrospectionServer::serve_loop() {}
 void IntrospectionServer::accept_ready(int) {}
+void IntrospectionServer::sweep_expired(int) {}
 bool IntrospectionServer::connection_ready(int, Connection&, std::uint32_t) {
   return false;
 }
@@ -322,8 +364,19 @@ net::HttpResponse IntrospectionServer::handle(
                                    util::bytes_of("GET only\n"), "text/plain");
   }
   if (request.path == "/healthz") {
-    return net::HttpResponse::make(200, "OK", util::bytes_of("ok\n"),
-                                   "text/plain");
+    // Without a monitor attached this stays the PR-7 liveness ping; with
+    // one it is a readiness probe: per-check JSON, 503 on critical breach.
+    if (health_ == nullptr) {
+      return net::HttpResponse::make(200, "OK", util::bytes_of("ok\n"),
+                                     "text/plain");
+    }
+    const std::string body = health_->render_json() + "\n";
+    if (health_->critical_breached()) {
+      return net::HttpResponse::make(503, "Service Unavailable",
+                                     util::bytes_of(body), "application/json");
+    }
+    return net::HttpResponse::make(200, "OK", util::bytes_of(body),
+                                   "application/json");
   }
   if (request.path == "/metrics") {
     return net::HttpResponse::make(200, "OK", util::bytes_of(render_metrics()),
@@ -383,6 +436,14 @@ std::string IntrospectionServer::render_statusz() const {
         static_cast<unsigned long long>(counter.peak_outstanding_bytes()),
         static_cast<unsigned long long>(counter.allocated_bytes()));
   });
+
+  if (health_ != nullptr) {
+    out << "\nhealth\n";
+    std::istringstream lines(health_->render_text());
+    for (std::string line; std::getline(lines, line);) {
+      out << "  " << line << "\n";
+    }
+  }
 
   StatusProvider provider;
   {

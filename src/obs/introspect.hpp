@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,6 +38,7 @@ namespace mustaple::obs {
 
 class Registry;
 class Profiler;
+class HealthMonitor;
 
 class IntrospectionServer {
  public:
@@ -49,6 +51,10 @@ class IntrospectionServer {
     std::size_t max_connections = 64;
     /// Requests whose head grows past this are rejected with 431.
     std::size_t max_request_bytes = 64 * 1024;
+    /// A connection that has not completed its request (or drained its
+    /// response) within this window is answered 408 / closed — a slow or
+    /// stalled loopback client must never pin a connection slot.
+    std::uint64_t read_timeout_ms = 5000;
   };
 
   /// Supplies the free-form middle section of /statusz (campaign progress,
@@ -67,6 +73,10 @@ class IntrospectionServer {
   void add_registry(std::string name, const Registry* registry);
   /// Attaches the profiler whose top phases /statusz shows. Before start().
   void set_profiler(const Profiler* profiler);
+  /// Attaches the health monitor: /healthz becomes per-check JSON (503 on a
+  /// critical breach) and /statusz gains a health section. Before start();
+  /// nullptr (the default) keeps the plain "ok" liveness behaviour.
+  void set_health(const HealthMonitor* health);
   void set_status_provider(StatusProvider provider);
 
   /// Binds, listens, and spawns the epoll serving thread. Fails (with a
@@ -95,6 +105,9 @@ class IntrospectionServer {
   /// Returns false once the response is fully flushed (close the socket).
   bool flush(Connection& conn);
   void close_connection(int epoll_fd, Connection& conn);
+  /// 408s unresponded connections past their deadline and drops expired
+  /// ones that already have a response queued.
+  void sweep_expired(int epoll_fd);
   void stop_fds();
 
   std::string render_metrics() const;
@@ -103,6 +116,7 @@ class IntrospectionServer {
   Options options_;
   std::vector<std::pair<std::string, const Registry*>> registries_;
   const Profiler* profiler_ = nullptr;
+  const HealthMonitor* health_ = nullptr;
   StatusProvider status_provider_;
   mutable std::mutex provider_mu_;  ///< guards status_provider_ swaps
 

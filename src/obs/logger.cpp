@@ -139,7 +139,19 @@ void JsonlFileSink::write(const LogRecord& record) {
 }
 
 void Logger::add_sink(std::shared_ptr<Sink> sink) {
-  if (sink) sinks_.push_back(std::move(sink));
+  if (!sink) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::remove_sink(const std::shared_ptr<Sink>& sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (*it == sink) {
+      sinks_.erase(it);
+      return;
+    }
+  }
 }
 
 void Logger::log(Level level, std::string component, std::string message,

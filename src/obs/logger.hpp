@@ -123,6 +123,9 @@ class Logger {
   }
 
   void add_sink(std::shared_ptr<Sink> sink);
+  /// Detaches one sink (no-op when absent) — how the study removes its
+  /// FlightLogSink at run end without clobbering caller-installed sinks.
+  void remove_sink(const std::shared_ptr<Sink>& sink);
   void clear_sinks() { sinks_.clear(); }
 
   /// Source of the simulated clock stamped into records (e.g. the study's

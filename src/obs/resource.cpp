@@ -75,16 +75,20 @@ ResourceMonitor::ResourceMonitor(Options options)
 ResourceMonitor::~ResourceMonitor() { stop(); }
 
 void ResourceMonitor::start() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (running_) return;
-  if (!started_once_) {
-    start_time_ = std::chrono::steady_clock::now();
-    started_once_ = true;
+  Sample baseline;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (running_) return;
+    if (!started_once_) {
+      start_time_ = std::chrono::steady_clock::now();
+      started_once_ = true;
+    }
+    stop_requested_ = false;
+    running_ = true;
+    baseline = take_sample_locked(0.0);  // baseline row
+    thread_ = std::thread([this] { thread_main(); });
   }
-  stop_requested_ = false;
-  running_ = true;
-  take_sample_locked(0.0);  // baseline row
-  thread_ = std::thread([this] { thread_main(); });
+  if (options_.on_sample) options_.on_sample(baseline);
 }
 
 void ResourceMonitor::stop() {
@@ -95,11 +99,16 @@ void ResourceMonitor::stop() {
   }
   cv_.notify_all();
   thread_.join();
-  std::unique_lock<std::mutex> lock(mu_);
-  running_ = false;
-  take_sample_locked(std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - start_time_)
-                         .count());  // final row
+  Sample final_sample;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    running_ = false;
+    final_sample = take_sample_locked(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count());  // final row
+  }
+  if (options_.on_sample) options_.on_sample(final_sample);
 }
 
 void ResourceMonitor::thread_main() {
@@ -107,21 +116,33 @@ void ResourceMonitor::thread_main() {
   while (!stop_requested_) {
     cv_.wait_for(lock, std::chrono::milliseconds(options_.tick_ms));
     if (stop_requested_) break;
-    take_sample_locked(std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - start_time_)
-                           .count());
+    const Sample sample =
+        take_sample_locked(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start_time_)
+                               .count());
+    if (options_.on_sample) {
+      lock.unlock();  // the hook may be slow; never under the monitor's lock
+      options_.on_sample(sample);
+      lock.lock();
+    }
   }
 }
 
 ResourceMonitor::Sample ResourceMonitor::sample_now() {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!started_once_) {
-    start_time_ = std::chrono::steady_clock::now();
-    started_once_ = true;
+  Sample sample;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_once_) {
+      start_time_ = std::chrono::steady_clock::now();
+      started_once_ = true;
+    }
+    sample = take_sample_locked(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count());
   }
-  return take_sample_locked(std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() - start_time_)
-                                .count());
+  if (options_.on_sample) options_.on_sample(sample);
+  return sample;
 }
 
 ResourceMonitor::Sample ResourceMonitor::take_sample_locked(double wall_ms) {

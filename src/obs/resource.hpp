@@ -17,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,6 +46,8 @@ ResourceUsage read_resource_usage();
 
 class ResourceMonitor {
  public:
+  struct Sample;
+
   struct Options {
     /// Sampling cadence on the wall clock. The campaign's interesting
     /// allocations happen over seconds of wall time, so 100ms resolves them
@@ -58,6 +61,12 @@ class ResourceMonitor {
     /// (see the determinism note above before pointing this at the
     /// process-default registry).
     Registry* registry = nullptr;
+    /// Invoked after each sample, OUTSIDE the monitor's lock, on whichever
+    /// thread took it (tick thread, or the caller of start/stop/sample_now).
+    /// This is the health-evaluation / flight-snapshot heartbeat: the
+    /// callback must be safe from a non-main thread and must not call back
+    /// into the monitor.
+    std::function<void(const Sample&)> on_sample;
   };
 
   struct Sample {

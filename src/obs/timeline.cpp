@@ -101,6 +101,7 @@ void Timeline::close_window(util::SimTime end) {
     window.gauges.push_back({name, labels, value});
   });
   windows_.push_back(std::move(window));
+  if (window_hook_) window_hook_(windows_.back());
 }
 
 double Timeline::counter_delta(const TimelineWindow& window,

@@ -13,6 +13,7 @@
 // simulated clock moves, so drivers only install/flush.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -61,6 +62,14 @@ class Timeline {
 
   const std::vector<TimelineWindow>& windows() const { return windows_; }
 
+  /// Called right after a non-empty window is stored, from whichever thread
+  /// advanced the timeline (the main thread — Timeline is single-threaded by
+  /// design). This is where SLO burn-rate evaluation hooks in: windows close
+  /// in sim-time order, so the hook sees a complete, ordered history.
+  void set_window_hook(std::function<void(const TimelineWindow&)> hook) {
+    window_hook_ = std::move(hook);
+  }
+
   /// Per-window counter delta -> series; x is the window start in unix
   /// seconds, windows without the cell are skipped.
   util::Series series(const std::string& metric,
@@ -102,6 +111,7 @@ class Timeline {
   bool baseline_taken_ = false;
   std::map<Key, double> prev_;  ///< cumulative values at the last close
   std::vector<TimelineWindow> windows_;
+  std::function<void(const TimelineWindow&)> window_hook_;
 };
 
 /// Installs the timeline the EventLoop advances on clock movement; returns

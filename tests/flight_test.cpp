@@ -1,0 +1,246 @@
+// Tests for the pillar-8 flight recorder (obs/flight.hpp): the lock-free
+// event ring (ordering, wrap-around drops, truncation), the probe-id ring,
+// the log sink's level filter, manual postmortem dumps, and — fork-based,
+// Linux only — the real signal path: a child raises SIGSEGV and the parent
+// asserts postmortem.{txt,json} landed with ring + snapshot + backtrace.
+// Plain library code: compiles and passes under MUSTAPLE_OBS_OFF too.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/logger.hpp"
+
+#if defined(__linux__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+// The fork-in-a-threaded-gtest-binary crash test is meaningless under
+// ThreadSanitizer (TSan intercepts the signal and the child is not
+// async-signal-safe by TSan's rules), so it is compiled out there.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MUSTAPLE_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define MUSTAPLE_TSAN 1
+#endif
+#if !defined(MUSTAPLE_TSAN)
+#define MUSTAPLE_TSAN 0
+#endif
+
+namespace mustaple::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRing, RecordsInOrderAndReportsDrops) {
+  FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+
+  recorder.note_phase("one");
+  recorder.note_phase("two");
+  const auto two = recorder.snapshot();
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].message, "one");
+  EXPECT_EQ(two[0].kind, FlightRecorder::EventKind::kPhase);
+  EXPECT_EQ(two[0].index, 0u);
+  EXPECT_EQ(two[1].message, "two");
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  for (int i = 3; i <= 7; ++i) {
+    recorder.note_phase(std::to_string(i).c_str());
+  }
+  // 7 events through a 4-slot ring: the oldest 3 are gone.
+  EXPECT_EQ(recorder.recorded(), 7u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  const auto ring = recorder.snapshot();
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.front().message, "4");
+  EXPECT_EQ(ring.back().message, "7");
+  EXPECT_EQ(ring.back().index, 6u);
+
+  recorder.configure(8);  // re-size drops everything
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(FlightRing, TruncatesOverlongStringsAndKeepsKindLevel) {
+  FlightRecorder recorder(4);
+  const std::string long_message(500, 'm');
+  const std::string long_component(80, 'c');
+  recorder.record(FlightRecorder::EventKind::kHealth, Level::kError,
+                  long_component.c_str(), long_message.c_str(), 1234);
+  const auto ring = recorder.snapshot();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0].kind, FlightRecorder::EventKind::kHealth);
+  EXPECT_EQ(ring[0].level, Level::kError);
+  EXPECT_EQ(ring[0].sim_unix, 1234);
+  EXPECT_LT(ring[0].message.size(), long_message.size());
+  EXPECT_LT(ring[0].component.size(), long_component.size());
+  EXPECT_EQ(ring[0].message, long_message.substr(0, ring[0].message.size()));
+}
+
+TEST(FlightRing, ConcurrentWritersLoseNothing) {
+  FlightRecorder recorder(4096);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEach; ++i) {
+        recorder.record(FlightRecorder::EventKind::kLog, Level::kWarn, "test",
+                        ("t" + std::to_string(t)).c_str());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<std::uint64_t>(kThreads * kEach));
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const auto ring = recorder.snapshot();
+  EXPECT_EQ(ring.size(), static_cast<std::size_t>(kThreads * kEach));
+  for (const auto& event : ring) {
+    EXPECT_FALSE(event.torn);  // writers were done before the read
+  }
+}
+
+TEST(FlightRing, ProbeRingKeepsTheLastN) {
+  FlightRecorder recorder(4);
+  for (std::uint64_t id = 1; id <= FlightRecorder::kProbeRing + 5; ++id) {
+    recorder.note_probe(id);
+  }
+  const auto ids = recorder.recent_probe_ids();
+  ASSERT_EQ(ids.size(), FlightRecorder::kProbeRing);
+  EXPECT_EQ(ids.front(), 6u);
+  EXPECT_EQ(ids.back(), FlightRecorder::kProbeRing + 5);
+}
+
+TEST(FlightSink, ForwardsOnlyAtOrAboveMinLevel) {
+  FlightRecorder recorder(16);
+  FlightLogSink sink(recorder);  // default min level: warn
+
+  LogRecord info;
+  info.level = Level::kInfo;
+  info.component = "scan";
+  info.message = "chatty";
+  sink.write(info);
+  EXPECT_EQ(recorder.recorded(), 0u);
+
+  LogRecord warn;
+  warn.level = Level::kWarn;
+  warn.component = "scan";
+  warn.message = "responder flapped";
+  warn.fields.push_back(field("host", "ocsp7.sim"));
+  warn.sim_time = util::SimTime{1523000000};
+  sink.write(warn);
+
+  const auto ring = recorder.snapshot();
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring[0].kind, FlightRecorder::EventKind::kLog);
+  EXPECT_EQ(ring[0].level, Level::kWarn);
+  EXPECT_EQ(ring[0].component, "scan");
+  EXPECT_NE(ring[0].message.find("responder flapped"), std::string::npos);
+  EXPECT_NE(ring[0].message.find("host=ocsp7.sim"), std::string::npos);
+  EXPECT_EQ(ring[0].sim_unix, 1523000000);
+}
+
+TEST(FlightPostmortem, ManualDumpWritesBothArtifacts) {
+  FlightRecorder recorder(16);
+  recorder.note_phase("study:start");
+  recorder.note_health("scan.cache", false, "hits 3 + misses 1 != lookups 5");
+  recorder.note_probe(42);
+  recorder.set_snapshot_json("{\"metrics\":{},\"peak_rss_bytes\":7}");
+
+  const std::string dir = ::testing::TempDir() + "flight_manual";
+  std::remove((dir + "/postmortem.txt").c_str());
+  std::remove((dir + "/postmortem.json").c_str());
+  ASSERT_EQ(::system(("mkdir -p " + dir).c_str()), 0);
+  ASSERT_TRUE(recorder.install(dir));
+  EXPECT_TRUE(recorder.installed());
+  recorder.write_postmortem("operator dump", 0);
+  recorder.uninstall();
+  EXPECT_FALSE(recorder.installed());
+
+  const std::string text = slurp(dir + "/postmortem.txt");
+  EXPECT_NE(text.find("operator dump"), std::string::npos);
+  EXPECT_NE(text.find("study:start"), std::string::npos);
+  EXPECT_NE(text.find("scan.cache"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+
+  const std::string json = slurp(dir + "/postmortem.json");
+  EXPECT_NE(json.find("\"schema\":\"mustaple-postmortem/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("study:start"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_bytes\":7"), std::string::npos);
+
+  // A manual (signal 0) dump must not freeze the snapshot feed.
+  recorder.set_snapshot_json("{\"metrics\":{},\"peak_rss_bytes\":8}");
+}
+
+TEST(FlightPostmortem, InstallRejectsOverlongDirectory) {
+  FlightRecorder recorder(4);
+  EXPECT_FALSE(recorder.install(std::string(600, 'd')));
+  EXPECT_FALSE(recorder.installed());
+}
+
+#if defined(__linux__) && !MUSTAPLE_TSAN
+
+// The real thing: a forked child arms the handlers, seeds the ring, and
+// dies on SIGSEGV; the parent asserts the artifacts appeared and that the
+// child still died by the signal (the handler re-raises after dumping).
+TEST(FlightPostmortem, SignalHandlerWritesArtifactsThenReRaises) {
+  const std::string dir = ::testing::TempDir() + "flight_crash";
+  ASSERT_EQ(::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str()), 0);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FlightRecorder recorder(32);
+    recorder.note_phase("availability-scan:start");
+    recorder.note_health("proc.rss_budget", false, "rss 900 MiB > 512 MiB");
+    for (std::uint64_t id = 1; id <= 10; ++id) recorder.note_probe(id);
+    recorder.set_snapshot_json("{\"metrics\":{\"from\":\"child\"}}");
+    if (!recorder.install(dir)) _exit(7);
+    ::raise(SIGSEGV);
+    _exit(8);  // unreachable: the handler re-raises with SIG_DFL semantics
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited " << WEXITSTATUS(status);
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const std::string text = slurp(dir + "/postmortem.txt");
+  EXPECT_NE(text.find("SIGSEGV"), std::string::npos) << text;
+  EXPECT_NE(text.find("availability-scan:start"), std::string::npos);
+  EXPECT_NE(text.find("proc.rss_budget"), std::string::npos);
+  EXPECT_NE(text.find("backtrace"), std::string::npos);
+
+  const std::string json = slurp(dir + "/postmortem.json");
+  EXPECT_NE(json.find("\"schema\":\"mustaple-postmortem/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"from\":\"child\""), std::string::npos);
+  EXPECT_NE(json.find("availability-scan:start"), std::string::npos);
+}
+
+#endif  // defined(__linux__) && !MUSTAPLE_TSAN
+
+}  // namespace
+}  // namespace mustaple::obs

@@ -1,0 +1,234 @@
+// Tests for the pillar-8 watchdog (obs/health.hpp): invariant checks with
+// transition hooks and breach accounting, SLO burn-rate evaluation over
+// Timeline windows (including the insufficient-volume guard), the overall
+// roll-up, and both render formats. Plain library code: compiles and passes
+// under MUSTAPLE_OBS_OFF too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "util/sim_time.hpp"
+
+namespace mustaple::obs {
+namespace {
+
+using util::Duration;
+using util::SimTime;
+
+TEST(HealthChecks, EvaluatesCountsAndRollsUp) {
+  std::atomic<bool> healthy{true};
+  HealthMonitor monitor;
+  monitor.add_check("test.flip", HealthSeverity::kCritical, [&healthy] {
+    HealthCheckResult result;
+    result.ok = healthy.load();
+    if (!result.ok) result.detail = "flipped off";
+    return result;
+  });
+  monitor.add_check("test.always_ok", HealthSeverity::kWarning,
+                    [] { return HealthCheckResult{}; });
+
+  monitor.evaluate_checks();
+  EXPECT_FALSE(monitor.any_breached());
+  EXPECT_FALSE(monitor.critical_breached());
+  EXPECT_EQ(monitor.overall_status(), "ok");
+  EXPECT_EQ(monitor.check_evaluations(), 1u);
+
+  healthy = false;
+  monitor.evaluate_checks();
+  monitor.evaluate_checks();
+  EXPECT_TRUE(monitor.critical_breached());
+  EXPECT_EQ(monitor.overall_status(), "critical");
+
+  const auto statuses = monitor.check_statuses();
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].name, "test.flip");
+  EXPECT_FALSE(statuses[0].ok);
+  EXPECT_EQ(statuses[0].detail, "flipped off");
+  EXPECT_EQ(statuses[0].evaluations, 3u);
+  EXPECT_EQ(statuses[0].breaches, 2u);
+  EXPECT_TRUE(statuses[1].ok);
+
+  healthy = true;
+  monitor.evaluate_checks();
+  EXPECT_FALSE(monitor.any_breached());
+  EXPECT_EQ(monitor.overall_status(), "ok");
+}
+
+TEST(HealthChecks, WarningBreachIsWarnNotCritical) {
+  HealthMonitor monitor;
+  monitor.add_check("test.warn", HealthSeverity::kWarning, [] {
+    HealthCheckResult result;
+    result.ok = false;
+    return result;
+  });
+  monitor.evaluate_checks();
+  EXPECT_TRUE(monitor.any_breached());
+  EXPECT_FALSE(monitor.critical_breached());
+  EXPECT_EQ(monitor.overall_status(), "warn");
+}
+
+TEST(HealthChecks, TransitionHookFiresOnlyOnStateChanges) {
+  std::atomic<bool> healthy{true};
+  HealthMonitor monitor;
+  monitor.add_check("test.flip", HealthSeverity::kCritical, [&healthy] {
+    HealthCheckResult result;
+    result.ok = healthy.load();
+    return result;
+  });
+  std::vector<std::string> events;
+  monitor.set_on_transition([&events](const std::string& name,
+                                      HealthSeverity severity, bool ok,
+                                      const std::string&) {
+    events.push_back(name + (ok ? ":recovered" : ":breached") + ":" +
+                     to_string(severity));
+  });
+
+  monitor.evaluate_checks();  // ok -> ok: no event
+  healthy = false;
+  monitor.evaluate_checks();  // breach
+  monitor.evaluate_checks();  // still breached: no event
+  healthy = true;
+  monitor.evaluate_checks();  // recovery
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "test.flip:breached:critical");
+  EXPECT_EQ(events[1], "test.flip:recovered:critical");
+}
+
+/// Drives `requests` probes with `successes` of them succeeding into one
+/// closed hour-long window ending at `end`.
+void close_window(Registry& registry, Timeline& timeline, SimTime end,
+                  std::uint64_t requests, std::uint64_t successes) {
+  registry.counter("req_total", {{"region", "va"}}).inc(requests);
+  registry.counter("ok_total", {{"region", "va"}}).inc(successes);
+  timeline.advance_to(end);
+}
+
+TEST(HealthSlos, BurnRateOverTimelineWindows) {
+  Registry registry;
+  const SimTime start = util::make_time(2018, 4, 1);
+  Timeline timeline(start, Duration::hours(1), registry);
+  timeline.advance_to(start);  // take the baseline snapshot
+
+  HealthMonitor monitor;
+  HealthMonitor::SloRule rule;
+  rule.name = "availability";
+  rule.numerator = "ok_total";
+  rule.denominator = "req_total";
+  rule.labels = {{"region", "va"}};
+  rule.target_pct = 90.0;
+  rule.lookbacks = {Duration::hours(1), Duration::hours(6)};
+  rule.min_denominator = 10;
+  monitor.add_slo(rule);
+
+  // Five perfect hours, then one bad hour at 50% availability: the 1h
+  // lookback sees only the outage and breaches; the 6h lookback absorbs it
+  // (550/600 ~ 91.7%) and stays ok.
+  for (int h = 1; h <= 5; ++h) {
+    close_window(registry, timeline, start + Duration::hours(h), 100, 100);
+  }
+  close_window(registry, timeline, start + Duration::hours(6), 100, 50);
+  monitor.evaluate_slos(timeline);
+
+  const auto slos = monitor.slo_statuses();
+  ASSERT_EQ(slos.size(), 2u);
+  EXPECT_EQ(slos[0].lookback_seconds, 3600);
+  EXPECT_TRUE(slos[0].evaluated);
+  EXPECT_FALSE(slos[0].ok);
+  EXPECT_DOUBLE_EQ(slos[0].value_pct, 50.0);
+  EXPECT_EQ(slos[0].numerator, 50u);
+  EXPECT_EQ(slos[0].denominator, 100u);
+  EXPECT_EQ(slos[1].lookback_seconds, 6 * 3600);
+  EXPECT_TRUE(slos[1].evaluated);
+  EXPECT_TRUE(slos[1].ok);
+  EXPECT_EQ(slos[1].denominator, 600u);
+  EXPECT_TRUE(monitor.critical_breached());  // SloRule defaults to critical
+
+  // A recovered hour rolls the 1h lookback back to ok.
+  close_window(registry, timeline, start + Duration::hours(7), 100, 100);
+  monitor.evaluate_slos(timeline);
+  EXPECT_FALSE(monitor.any_breached());
+}
+
+TEST(HealthSlos, InsufficientVolumeNeverBreaches) {
+  Registry registry;
+  const SimTime start = util::make_time(2018, 4, 1);
+  Timeline timeline(start, Duration::hours(1), registry);
+  timeline.advance_to(start);
+
+  HealthMonitor monitor;
+  HealthMonitor::SloRule rule;
+  rule.name = "availability";
+  rule.numerator = "ok_total";
+  rule.denominator = "req_total";
+  rule.labels = {{"region", "va"}};
+  rule.target_pct = 90.0;
+  rule.lookbacks = {Duration::hours(1)};
+  rule.min_denominator = 10;
+  monitor.add_slo(rule);
+
+  // 0/5 would be a 0% hour — but five probes are below min_denominator.
+  close_window(registry, timeline, start + Duration::hours(1), 5, 0);
+  monitor.evaluate_slos(timeline);
+
+  const auto slos = monitor.slo_statuses();
+  ASSERT_EQ(slos.size(), 1u);
+  EXPECT_FALSE(slos[0].evaluated);
+  EXPECT_TRUE(slos[0].ok);
+  EXPECT_FALSE(monitor.any_breached());
+  EXPECT_EQ(monitor.slo_evaluations(), 1u);
+}
+
+TEST(HealthSlos, WindowHookDrivesEvaluation) {
+  Registry registry;
+  const SimTime start = util::make_time(2018, 4, 1);
+  Timeline timeline(start, Duration::hours(1), registry);
+  timeline.advance_to(start);
+
+  HealthMonitor monitor;
+  HealthMonitor::SloRule rule;
+  rule.name = "availability";
+  rule.numerator = "ok_total";
+  rule.denominator = "req_total";
+  rule.labels = {{"region", "va"}};
+  rule.lookbacks = {Duration::hours(1)};
+  rule.min_denominator = 10;
+  monitor.add_slo(rule);
+  timeline.set_window_hook(
+      [&](const TimelineWindow&) { monitor.evaluate_slos(timeline); });
+
+  close_window(registry, timeline, start + Duration::hours(1), 100, 10);
+  EXPECT_EQ(monitor.slo_evaluations(), 1u);
+  EXPECT_TRUE(monitor.critical_breached());
+  timeline.set_window_hook(nullptr);
+}
+
+TEST(HealthRender, JsonAndTextCarryChecksAndSlos) {
+  HealthMonitor monitor;
+  monitor.add_check("test.bad", HealthSeverity::kWarning, [] {
+    HealthCheckResult result;
+    result.ok = false;
+    result.detail = "said \"no\"";  // exercises JSON escaping
+    return result;
+  });
+  monitor.evaluate_checks();
+
+  const std::string json = monitor.render_json();
+  EXPECT_NE(json.find("\"schema\":\"mustaple-health/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"warn\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.bad\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"said \\\"no\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"breaches\":1"), std::string::npos);
+
+  const std::string text = monitor.render_text();
+  EXPECT_EQ(text.rfind("status: warn\n", 0), 0u);
+  EXPECT_NE(text.find("check test.bad [warning] BREACHED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mustaple::obs

@@ -6,8 +6,10 @@
 // input. Compiles and passes under MUSTAPLE_OBS_OFF (plain classes only).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 
+#include "obs/health.hpp"
 #include "obs/introspect.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
@@ -75,6 +77,39 @@ TEST(IntrospectHandle, StatuszIncludesProviderProfilerAndAllocSections) {
   EXPECT_NE(body.find("campaign: 3/7 steps"), std::string::npos);
   EXPECT_NE(body.find("statusz-phase"), std::string::npos);
   EXPECT_NE(body.find("allocations"), std::string::npos);
+}
+
+TEST(IntrospectHandle, HealthzReflectsAttachedMonitor) {
+  std::atomic<bool> healthy{true};
+  HealthMonitor health;
+  health.add_check("test.flip", HealthSeverity::kCritical, [&healthy] {
+    HealthCheckResult result;
+    result.ok = healthy.load();
+    if (!result.ok) result.detail = "flipped";
+    return result;
+  });
+  health.evaluate_checks();
+
+  IntrospectionServer server;
+  server.set_health(&health);
+
+  const net::HttpResponse ok = server.handle(get("/healthz"));
+  EXPECT_EQ(ok.status_code, 200);
+  const std::string ok_body = util::text_of(ok.body);
+  EXPECT_NE(ok_body.find("mustaple-health/1"), std::string::npos);
+  EXPECT_NE(ok_body.find("\"status\":\"ok\""), std::string::npos);
+
+  healthy = false;
+  health.evaluate_checks();
+  const net::HttpResponse sick = server.handle(get("/healthz"));
+  EXPECT_EQ(sick.status_code, 503);
+  EXPECT_NE(util::text_of(sick.body).find("\"status\":\"critical\""),
+            std::string::npos);
+
+  // /statusz grows a health section when a monitor is attached.
+  const std::string statusz = util::text_of(server.handle(get("/statusz")).body);
+  EXPECT_NE(statusz.find("health"), std::string::npos);
+  EXPECT_NE(statusz.find("test.flip"), std::string::npos);
 }
 
 #if defined(__linux__)
@@ -188,6 +223,75 @@ TEST(IntrospectServer, StopIsIdempotentAndRestartable) {
   ASSERT_TRUE(second.start().ok());
   EXPECT_NE(second.port(), 0);
   second.stop();
+}
+
+TEST(IntrospectServer, SlowClientIsAnswered408OnTimeout) {
+  IntrospectionServer::Options options;
+  options.read_timeout_ms = 100;
+  IntrospectionServer server(options);
+  ASSERT_TRUE(server.start().ok());
+  // An incomplete request (no terminating blank line) that then stalls:
+  // the deadline sweep must answer 408 rather than pin the slot forever.
+  const std::string response =
+      fetch_raw(server.port(), "GET /healthz HTTP/1.1\r\nHost: 127.0.0.1\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 408", 0), 0u) << response;
+  server.stop();
+}
+
+TEST(IntrospectServer, OversizedRequestHeadIsRejectedWith431) {
+  IntrospectionServer::Options options;
+  options.max_request_bytes = 256;
+  IntrospectionServer server(options);
+  ASSERT_TRUE(server.start().ok());
+  const std::string response = fetch_raw(
+      server.port(), "GET /metrics HTTP/1.1\r\nx-padding: " +
+                         std::string(1024, 'a') + "\r\n\r\n");
+  EXPECT_EQ(response.rfind("HTTP/1.1 431", 0), 0u) << response;
+  server.stop();
+}
+
+TEST(IntrospectServer, OversizedBodyCannotBypassTheCap) {
+  IntrospectionServer::Options options;
+  options.max_request_bytes = 256;
+  IntrospectionServer server(options);
+  ASSERT_TRUE(server.start().ok());
+  // A small, parseable head declaring a huge body, followed by body bytes
+  // past the cap: the Content-Length path must 431 too, not buffer forever.
+  const std::string response = fetch_raw(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Content-Length: 100000\r\n\r\n" +
+          std::string(1024, 'b'));
+  EXPECT_EQ(response.rfind("HTTP/1.1 431", 0), 0u) << response;
+  server.stop();
+}
+
+TEST(IntrospectServer, HealthzTurns503OverTheWireOnCriticalBreach) {
+  std::atomic<bool> healthy{true};
+  HealthMonitor health;
+  health.add_check("live.flip", HealthSeverity::kCritical, [&healthy] {
+    HealthCheckResult result;
+    result.ok = healthy.load();
+    return result;
+  });
+  health.evaluate_checks();
+
+  IntrospectionServer server;
+  server.set_health(&health);
+  ASSERT_TRUE(server.start().ok());
+  const std::uint16_t port = server.port();
+
+  const std::string ok = fetch(port, "/healthz");
+  EXPECT_EQ(ok.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(ok.find("application/json"), std::string::npos);
+  EXPECT_NE(ok.find("mustaple-health/1"), std::string::npos);
+
+  healthy = false;
+  health.evaluate_checks();
+  const std::string sick = fetch(port, "/healthz");
+  EXPECT_EQ(sick.rfind("HTTP/1.1 503", 0), 0u) << sick;
+  EXPECT_NE(sick.find("\"status\":\"critical\""), std::string::npos);
+  server.stop();
 }
 
 TEST(IntrospectServer, FixedPortConflictFailsWithStableCode) {

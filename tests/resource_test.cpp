@@ -5,6 +5,7 @@
 // MUSTAPLE_OBS_OFF too.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -103,6 +104,38 @@ TEST(ResourceMonitor, MaxSamplesBoundsTimelineAndCountsDrops) {
   for (int i = 0; i < 5; ++i) monitor.sample_now();
   EXPECT_EQ(monitor.samples().size(), 2u);
   EXPECT_EQ(monitor.dropped(), 3u);
+}
+
+TEST(ResourceMonitor, TimelineStaysBoundedUnderLongTicking) {
+  ResourceMonitor::Options options;
+  options.tick_ms = 1;
+  options.max_samples = 3;
+  ResourceMonitor monitor(options);
+  monitor.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  monitor.stop();
+  // Many more ticks happened than fit; the retained timeline never grows
+  // past the cap and everything elided is accounted for.
+  EXPECT_EQ(monitor.samples().size(), 3u);
+  EXPECT_GE(monitor.dropped(), 1u);
+}
+
+TEST(ResourceMonitor, OnSampleHookFiresForEverySampleTaken) {
+  std::atomic<int> fired{0};
+  ResourceMonitor::Options options;
+  options.tick_ms = 5;
+  options.on_sample = [&fired](const ResourceMonitor::Sample& sample) {
+    EXPECT_GE(sample.wall_ms, 0.0);
+    fired.fetch_add(1);
+  };
+  ResourceMonitor monitor(options);
+  monitor.start();  // baseline sample fires the hook immediately
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  monitor.stop();  // final sample fires it again
+  const int after_run = fired.load();
+  EXPECT_GE(after_run, 2);
+  monitor.sample_now();  // stopped monitors still fire the hook
+  EXPECT_EQ(fired.load(), after_run + 1);
 }
 
 TEST(ResourceMonitor, CsvHeaderAndRowCountMatchSamples) {
