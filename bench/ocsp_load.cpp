@@ -1,0 +1,124 @@
+// Loopback load test for the real-socket serving mode: net::SocketServer
+// serving a pre-generated OcspResponder, driven by pipelined keep-alive
+// HTTP/1.1 clients with the RFC 6960 GET/POST mix. Acceptance target:
+// >=100k requests/sec sustained with pre-generated responses and the wire
+// ResponseCache on (the numbers recorded in BENCH_perf.json "serving").
+//
+//   ocsp_load [--seconds N] [--threads N] [--workers N] [--pipeline N]
+//             [--certs N] [--get-fraction F] [--no-cache] [--smoke]
+//
+// --smoke runs a sub-second burst and exits nonzero unless the server
+// answered at least one request cleanly — the CI liveness gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "load_gen.hpp"
+
+namespace {
+
+using mustaple::bench::LoadGenConfig;
+using mustaple::bench::LoadGenResult;
+using mustaple::bench::OcspLoadHarness;
+
+double arg_double(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::size_t arg_size(int argc, char** argv, const char* flag,
+                     std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = arg_flag(argc, argv, "--smoke");
+
+  LoadGenConfig config;
+  config.seconds = arg_double(argc, argv, "--seconds", smoke ? 0.3 : 3.0);
+  config.client_threads = arg_size(argc, argv, "--threads", smoke ? 2 : 4);
+  config.server_workers = arg_size(argc, argv, "--workers", smoke ? 2 : 4);
+  config.pipeline_depth = arg_size(argc, argv, "--pipeline", 32);
+  config.certs = arg_size(argc, argv, "--certs", 64);
+  config.get_fraction = arg_double(argc, argv, "--get-fraction", 0.5);
+  config.response_cache = !arg_flag(argc, argv, "--no-cache");
+
+  mustaple::bench::print_header(
+      "ocsp_load: real-socket OCSP serving throughput",
+      "serving mode (ROADMAP \"serve real traffic\"); RFC 6960 App. A wire "
+      "formats");
+  std::printf(
+      "seconds=%.1f client_threads=%zu server_workers=%zu pipeline=%zu "
+      "certs=%zu get_fraction=%.2f cache=%s%s\n\n",
+      config.seconds, config.client_threads, config.server_workers,
+      config.pipeline_depth, config.certs, config.get_fraction,
+      config.response_cache ? "on" : "off", smoke ? " [smoke]" : "");
+
+  OcspLoadHarness harness(config);
+  const auto status = harness.start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u\n", harness.port());
+
+  const LoadGenResult result = harness.run();
+  harness.stop();
+
+  std::printf("\nrequests   %llu in %.2fs\n",
+              static_cast<unsigned long long>(result.requests),
+              result.seconds);
+  std::printf("throughput %.0f req/s\n", result.rps);
+  std::printf("errors     %llu\n",
+              static_cast<unsigned long long>(result.errors));
+  std::printf(
+      "server     accepted=%llu requests=%llu bytes_in=%llu bytes_out=%llu\n",
+      static_cast<unsigned long long>(result.server.connections_accepted),
+      static_cast<unsigned long long>(result.server.requests),
+      static_cast<unsigned long long>(result.server.bytes_in),
+      static_cast<unsigned long long>(result.server.bytes_out));
+  if (config.response_cache) {
+    std::printf("wire cache lookups=%llu hits=%llu (%.1f%%)\n",
+                static_cast<unsigned long long>(result.cache.lookups),
+                static_cast<unsigned long long>(result.cache.hits),
+                result.cache.lookups > 0
+                    ? 100.0 * static_cast<double>(result.cache.hits) /
+                          static_cast<double>(result.cache.lookups)
+                    : 0.0);
+  }
+
+  if (result.errors > 0) {
+    std::fprintf(stderr, "FAIL: %llu request errors\n",
+                 static_cast<unsigned long long>(result.errors));
+    return 1;
+  }
+  if (smoke) {
+    if (result.requests == 0) {
+      std::fprintf(stderr, "FAIL: smoke burst completed zero requests\n");
+      return 1;
+    }
+    std::printf("\nsmoke OK\n");
+    return 0;
+  }
+  std::printf("\ntarget     >=100000 req/s: %s\n",
+              result.rps >= 100000.0 ? "MET" : "NOT MET (see docs/PERF.md)");
+  return 0;
+}

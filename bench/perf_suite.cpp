@@ -28,6 +28,7 @@
 
 #include "common.hpp"
 #include "crypto/sha256.hpp"
+#include "load_gen.hpp"
 #include "net/url.hpp"
 #include "obs/resource.hpp"
 #include "ocsp/request.hpp"
@@ -40,8 +41,10 @@ namespace {
 
 // v2 added the "memory" section (peak RSS + per-subsystem allocator stats);
 // v3 added the "meta" provenance block (git SHA, compiler, CPU model) so a
-// BENCH_perf.json archived from CI says exactly what produced it.
-constexpr const char* kSchema = "mustaple-perf/3";
+// BENCH_perf.json archived from CI says exactly what produced it;
+// v4 added the "serving" section (real-socket OCSP throughput over
+// net::SocketServer, measured by the bench/load_gen.hpp loopback harness).
+constexpr const char* kSchema = "mustaple-perf/4";
 
 #if !defined(MUSTAPLE_GIT_SHA)
 #define MUSTAPLE_GIT_SHA "unknown"
@@ -430,7 +433,59 @@ int main(int argc, char** argv) {
     }
   }
 
-  // ---- 7. Memory: kernel peak RSS for the whole suite plus the named
+  // ---- 7. Serving: real-socket OCSP throughput (net::SocketServer +
+  // pre-generated responder + wire ResponseCache) over loopback TCP, with
+  // the pipelined RFC 6960 GET/POST mix. A short burst here keeps the suite
+  // fast; bench/ocsp_load runs the same harness longer for the >=100k req/s
+  // acceptance measurement.
+  {
+    bench::LoadGenConfig serve_config;
+    serve_config.seconds = 1.0;
+    serve_config.certs = 32;
+    serve_config.client_threads = 2;
+    serve_config.server_workers = 2;
+    bench::OcspLoadHarness harness(serve_config);
+    const auto status = harness.start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL: serving harness failed to start: %s\n",
+                   status.error().to_string().c_str());
+      return 1;
+    }
+    const bench::LoadGenResult serve = harness.run();
+    harness.stop();
+    std::printf("serving (loopback, %zu client threads, %zu workers, "
+                "pipeline %zu, GET/POST mix):\n",
+                serve_config.client_threads, serve_config.server_workers,
+                serve_config.pipeline_depth);
+    std::printf("  %10.0f req/s  (%llu requests in %.2fs, %llu errors)\n",
+                serve.rps, static_cast<unsigned long long>(serve.requests),
+                serve.seconds, static_cast<unsigned long long>(serve.errors));
+    std::printf("  wire cache: %llu lookups, %llu hits\n\n",
+                static_cast<unsigned long long>(serve.cache.lookups),
+                static_cast<unsigned long long>(serve.cache.hits));
+    json.open("serving");
+    json.num("requests_per_s", serve.rps);
+    json.integer("requests", serve.requests);
+    json.integer("errors", serve.errors);
+    json.integer("client_threads", serve_config.client_threads);
+    json.integer("server_workers", serve_config.server_workers);
+    json.integer("pipeline_depth", serve_config.pipeline_depth);
+    json.num("get_fraction", serve_config.get_fraction);
+    json.integer("server_requests", serve.server.requests);
+    json.integer("server_connections", serve.server.connections_accepted);
+    json.integer("cache_lookups", serve.cache.lookups);
+    json.integer("cache_hits", serve.cache.hits);
+    json.close();
+    if (serve.errors > 0 || serve.requests == 0) {
+      std::fprintf(stderr, "FATAL: serving burst failed (%llu errors, "
+                   "%llu requests)\n",
+                   static_cast<unsigned long long>(serve.errors),
+                   static_cast<unsigned long long>(serve.requests));
+      return 1;
+    }
+  }
+
+  // ---- 8. Memory: kernel peak RSS for the whole suite plus the named
   // allocation counters every wired subsystem charged (corpus build + both
   // campaigns). Conservation (allocated - freed == outstanding) is asserted
   // here at a quiescent point, at whatever thread count ran above.

@@ -1,0 +1,158 @@
+// Real-socket serving demo: one process serving the simulated PKI's three
+// HTTP services over loopback TCP via net::SocketServer — the same handler
+// objects the simulation uses, now answering curl:
+//
+//   curl "http://127.0.0.1:<ocsp-port>/<url-encoded base64 OCSPRequest>"
+//   curl --data-binary @req.der -H 'Content-Type: application/ocsp-request'
+//        http://127.0.0.1:<ocsp-port>/   (one line)
+//   curl http://127.0.0.1:<crl-port>/ca.crl -o ca.crl
+//   curl http://127.0.0.1:<web-port>/staple -o staple.der
+//
+// The demo issues one leaf, pre-generates its OCSP response, prefetches a
+// staple into an Ideal-model web server, and serves all three listeners
+// until --seconds elapse. SimTime is wall-anchored to the paper campaign's
+// start date (the generated certificates are 2018-dated, so serving "now"
+// means serving 2018-05-01 plus elapsed wall seconds).
+//
+// Each bound port is printed on its own line ("<name> listening on
+// 127.0.0.1:<port>") and stdout is flushed before serving starts, so a
+// harness can background this binary, read the ports, and curl mid-run —
+// the CI serving-smoke job does exactly that. A ready-to-paste OCSP GET
+// URL (percent-encoded per RFC 6960 Appendix A.1) is printed too.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "ca/authority.hpp"
+#include "ca/crl_server.hpp"
+#include "ca/responder.hpp"
+#include "net/socket_server.hpp"
+#include "ocsp/request.hpp"
+#include "util/base64.hpp"
+#include "webserver/webserver.hpp"
+
+using namespace mustaple;
+
+namespace {
+
+// RFC 6960 A.1: clients URL-encode the base64 request into the GET path.
+std::string percent_encode_base64(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '+') {
+      out += "%2B";
+    } else if (c == '/') {
+      out += "%2F";
+    } else if (c == '=') {
+      out += "%3D";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--seconds N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // ---- The PKI: one CA, one pre-generated responder, one CRL server, one
+  // Ideal-model web server with a prefetched staple.
+  const util::SimTime base = util::make_time(2018, 5, 1, 12);
+  util::Rng rng{2018};
+  ca::CertificateAuthority authority("DemoCA", base - util::Duration::days(2000),
+                                     rng);
+  ca::OcspResponder responder(authority, ca::ResponderBehavior{},
+                              "ocsp.demo.example", rng);
+  ca::CrlServer crl_server(authority, "crl.demo.example");
+
+  ca::LeafRequest leaf_request;
+  leaf_request.domain = "www.demo.example";
+  leaf_request.not_before = base - util::Duration::days(30);
+  leaf_request.lifetime = util::Duration::days(365);
+  leaf_request.must_staple = true;
+  leaf_request.ocsp_urls = {"http://ocsp.demo.example/"};
+  leaf_request.crl_urls = {"http://crl.demo.example/ca.crl"};
+  const x509::Certificate leaf = authority.issue(leaf_request, rng);
+
+  // The web server fetches its staple over the SIMULATED network (that is
+  // the code being demonstrated: same objects, two transports).
+  net::EventLoop loop(base - util::Duration::days(1));
+  net::Network network(loop, 2018);
+  responder.install(network);
+  webserver::WebServerConfig web_config;
+  web_config.software = webserver::Software::kIdeal;
+  webserver::WebServer web("www.demo.example", authority.chain_for(leaf),
+                           web_config, network);
+  loop.run_until(base);
+  web.start(base);  // Ideal model: prefetch the staple now
+
+  // ---- Wall-anchored SimTime: base + elapsed wall seconds.
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto clock = [base, wall_start] {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - wall_start);
+    return base + util::Duration::secs(elapsed.count());
+  };
+
+  // ---- Three listeners, one socket server, shared worker pool.
+  net::SocketServer server;
+  const std::size_t ocsp_idx =
+      server.add_listener("ocsp", 0, responder.wire_handler(clock));
+  const std::size_t crl_idx =
+      server.add_listener("crl", 0, crl_server.wire_handler(clock));
+  const std::size_t web_idx =
+      server.add_listener("web", 0, web.wire_handler(clock));
+  const auto status = server.start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 status.error().to_string().c_str());
+    return 1;
+  }
+
+  const auto id =
+      ocsp::CertId::for_certificate(leaf, authority.intermediate_cert());
+  const std::string get_path =
+      "/" + percent_encode_base64(
+                util::base64_encode(ocsp::OcspRequest::single(id).encode_der()));
+
+  std::printf("ocsp listening on 127.0.0.1:%u\n", server.port(ocsp_idx));
+  std::printf("crl listening on 127.0.0.1:%u\n", server.port(crl_idx));
+  std::printf("web listening on 127.0.0.1:%u\n", server.port(web_idx));
+  std::printf("\ntry:\n");
+  std::printf("  curl \"http://127.0.0.1:%u%s\" -o resp.der\n",
+              server.port(ocsp_idx), get_path.c_str());
+  std::printf("  curl http://127.0.0.1:%u/ca.crl -o ca.crl\n",
+              server.port(crl_idx));
+  std::printf("  curl http://127.0.0.1:%u/staple -o staple.der\n",
+              server.port(web_idx));
+  std::printf("  curl http://127.0.0.1:%u/\n", server.port(web_idx));
+  std::printf("\nserving for %.0fs...\n", seconds);
+  std::fflush(stdout);
+
+  const auto deadline =
+      wall_start + std::chrono::milliseconds(
+                       static_cast<std::int64_t>(seconds * 1000.0));
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  const net::SocketServerStats stats = server.stats();
+  std::printf("served %llu requests over %llu connections\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}

@@ -42,4 +42,11 @@ net::HttpResponse CrlServer::handle(const net::HttpRequest& request,
                                  "application/pkix-crl");
 }
 
+net::WireHandler CrlServer::wire_handler(
+    std::function<util::SimTime()> clock) const {
+  return [this, clock = std::move(clock)](const net::HttpRequest& request) {
+    return handle(request, clock(), net::Region::kVirginia);
+  };
+}
+
 }  // namespace mustaple::ca

@@ -3,10 +3,12 @@
 // against the same CA's OCSP answers.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "ca/authority.hpp"
 #include "net/network.hpp"
+#include "net/socket_server.hpp"
 
 namespace mustaple::ca {
 
@@ -26,6 +28,11 @@ class CrlServer {
   /// Const: a CRL server is stateless, so concurrent probes are sound.
   net::HttpResponse handle(const net::HttpRequest& request, util::SimTime now,
                            net::Region from) const;
+
+  /// Adapts handle() to a real-socket listener (net::SocketServer); safe on
+  /// concurrent worker threads because handle() is stateless. The server
+  /// must outlive the returned handler.
+  net::WireHandler wire_handler(std::function<util::SimTime()> clock) const;
 
   /// The CRL as it would be served at `now` (publication-cycle aligned).
   crl::Crl current_crl(util::SimTime now) const;

@@ -177,6 +177,15 @@ net::HttpResponse OcspResponder::handle(const net::HttpRequest& request,
       "application/ocsp-response");
 }
 
+net::WireHandler OcspResponder::wire_handler(
+    std::function<util::SimTime()> clock) {
+  // Region only affects simulated latency, which has no meaning on a real
+  // socket; pin the default vantage.
+  return [this, clock = std::move(clock)](const net::HttpRequest& request) {
+    return handle(request, clock(), net::Region::kVirginia);
+  };
+}
+
 ocsp::OcspResponse OcspResponder::build_response(const ocsp::CertId& id,
                                                  util::SimTime now) {
   auto parsed = ocsp::OcspResponse::parse(build_response_der(id, now));

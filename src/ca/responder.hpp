@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -19,6 +20,7 @@
 
 #include "ca/authority.hpp"
 #include "net/network.hpp"
+#include "net/socket_server.hpp"
 #include "ocsp/response.hpp"
 #include "util/alloc.hpp"
 #include "util/rng.hpp"
@@ -97,6 +99,13 @@ class OcspResponder {
   /// HTTP entry point (also callable directly in tests).
   net::HttpResponse handle(const net::HttpRequest& request, util::SimTime now,
                            net::Region from);
+
+  /// Adapts handle() to a real-socket listener (net::SocketServer): `clock`
+  /// supplies the SimTime "now" per request — wall-anchored for live
+  /// serving, fixed for benchmarks. Safe on concurrent worker threads:
+  /// handle() already serializes its pre-generation cache internally. The
+  /// responder must outlive the returned handler.
+  net::WireHandler wire_handler(std::function<util::SimTime()> clock);
 
   /// Builds (or serves from cache) the response for one CertID.
   ocsp::OcspResponse build_response(const ocsp::CertId& id, util::SimTime now);

@@ -34,8 +34,20 @@ util::Status parse_headers(const std::vector<std::string>& lines,
     if (colon == std::string::npos) {
       return util::Status::failure("http.bad_header", line);
     }
-    out.set(util::trim(line.substr(0, colon)),
-            util::trim(line.substr(colon + 1)));
+    const std::string name = util::trim(line.substr(0, colon));
+    const std::string value = util::trim(line.substr(colon + 1));
+    // Duplicate Content-Length headers with CONFLICTING values are the
+    // request-smuggling primitive (RFC 9112 §6.3): two length framings for
+    // one message body. Reject them; repeats of the identical value are
+    // tolerated (seen from naive proxies). Other duplicate headers keep the
+    // historical last-wins behaviour.
+    if (util::to_lower(name) == "content-length" &&
+        out.contains("content-length") &&
+        out.get("content-length") != value) {
+      return util::Status::failure("http.duplicate_content_length",
+                                   out.get("content-length") + " vs " + value);
+    }
+    out.set(name, value);
   }
   return util::Status::success();
 }

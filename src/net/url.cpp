@@ -42,6 +42,9 @@ util::Result<Url> parse_url(const std::string& text) {
       port = port * 10 + static_cast<std::uint32_t>(c - '0');
       if (port > 65535) return R::failure("url.bad_port", text);
     }
+    // Port 0 is a kernel "pick one" sentinel, never a routable destination:
+    // "http://host:0" is as unusable as "http://host:99999".
+    if (port == 0) return R::failure("url.bad_port", text);
     url.port = static_cast<std::uint16_t>(port);
   } else {
     url.host = authority;

@@ -2,6 +2,7 @@
 
 #include "asn1/der.hpp"
 #include "util/base64.hpp"
+#include "util/strings.hpp"
 
 namespace mustaple::ocsp {
 
@@ -129,7 +130,17 @@ util::Result<OcspRequest> OcspRequest::parse_get_path(const std::string& path) {
   if (path.empty() || path[0] != '/') {
     return R::failure("ocsp.get.bad_path", path);
   }
-  const std::string encoded = path.substr(1);
+  // RFC 6960 Appendix A.1: the path segment is the base64 request
+  // "URL-encoded" — real clients escape '+', '/', and '=' as %2B/%2F/%3D,
+  // so the escapes must be undone BEFORE base64 decoding. A malformed
+  // escape ("%GZ", truncated "%A") is a bad request outright; decoded
+  // garbage like "%00" passes through here and is rejected by the base64
+  // layer below.
+  auto decoded = util::percent_decode(path.substr(1));
+  if (!decoded.ok()) {
+    return R::failure("ocsp.get.bad_escape", decoded.error().detail);
+  }
+  const std::string encoded = std::move(decoded).take();
   auto der = util::base64url_decode(encoded);
   if (!der.ok()) {
     // Real clients often use standard base64 in GET paths; accept both.

@@ -33,7 +33,9 @@ class OcspRequest {
   /// RFC 6960 Appendix A.1: the GET form's path segment — the DER request,
   /// base64url-encoded.
   std::string encode_get_path() const;
-  /// Parses a GET path ("/" + base64); accepts standard or URL-safe base64.
+  /// Parses a GET path ("/" + base64); percent-decodes the path first (the
+  /// appendix says clients URL-encode the base64), then accepts standard or
+  /// URL-safe base64.
   static util::Result<OcspRequest> parse_get_path(const std::string& path);
 
  private:

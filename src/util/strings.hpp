@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/result.hpp"
+
 namespace mustaple::util {
 
 /// Splits on a single-character delimiter; keeps empty fields.
@@ -21,6 +23,14 @@ std::string trim(std::string_view text);
 
 bool starts_with(std::string_view text, std::string_view prefix);
 bool ends_with(std::string_view text, std::string_view suffix);
+
+/// RFC 3986 percent-decoding with strict escape validation: every '%' must
+/// be followed by exactly two hex digits ("%GZ" and a truncated "%A" both
+/// fail with "strings.bad_percent_escape"). All other bytes — including '+',
+/// which is NOT form-decoded to a space in a URL path — pass through
+/// unchanged, and decoded bytes may be anything, NUL included ("%00" decodes
+/// to a NUL byte; whether that byte is acceptable is the caller's problem).
+Result<std::string> percent_decode(std::string_view text);
 
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

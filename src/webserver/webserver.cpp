@@ -173,6 +173,60 @@ tls::ServerHello WebServer::handshake(const tls::ClientHello& hello,
   return response;
 }
 
+net::HttpResponse WebServer::handle_http(const net::HttpRequest& request,
+                                         util::SimTime now) {
+  if (request.method != "GET") {
+    return net::HttpResponse::make(405, "Method Not Allowed",
+                                   util::bytes_of("GET only\n"), "text/plain");
+  }
+  if (request.path == "/") {
+    std::string body = domain_;
+    body += " (";
+    body += to_string(config_.software);
+    body += ")\n";
+    body += "stapling:      ";
+    body += config_.stapling_enabled ? "enabled" : "disabled";
+    body += "\n";
+    body += "staple cached: ";
+    body += cache_ ? "yes" : "no";
+    body += "\n";
+    body += "ocsp fetches:  " + std::to_string(fetch_count_) + "\n";
+    return net::HttpResponse::make(200, "OK", util::bytes_of(body),
+                                   "text/plain");
+  }
+  if (request.path == "/staple") {
+    // A real stapling handshake, surfaced over HTTP: whatever this server
+    // model would hand a TLS client right now — including nothing, which is
+    // exactly the Table 3 pathology being reproduced.
+    tls::ClientHello hello;
+    hello.server_name = domain_;
+    hello.status_request = true;
+    const tls::ServerHello reply = handshake(hello, now);
+    if (!reply.stapled_ocsp) {
+      return net::HttpResponse::make(404, "Not Found",
+                                     util::bytes_of("no staple\n"),
+                                     "text/plain");
+    }
+    return net::HttpResponse::make(200, "OK", *reply.stapled_ocsp,
+                                   "application/ocsp-response");
+  }
+  if (request.path == "/chain") {
+    util::Bytes der;
+    for (const auto& cert : chain_) util::append(der, cert.encode_der());
+    return net::HttpResponse::make(200, "OK", std::move(der),
+                                   "application/pkix-cert");
+  }
+  return net::HttpResponse::make(404, "Not Found",
+                                 util::bytes_of("not found\n"), "text/plain");
+}
+
+net::WireHandler WebServer::wire_handler(std::function<util::SimTime()> clock) {
+  return [this, clock = std::move(clock)](const net::HttpRequest& request) {
+    std::lock_guard<std::mutex> lock(*http_mu_);
+    return handle_http(request, clock());
+  };
+}
+
 // ---------------------------------------------------------------------------
 // Apache: on-demand fetch that PAUSES the handshake; cache refreshed on its
 // own TTL regardless of nextUpdate (serves expired responses); on a refresh

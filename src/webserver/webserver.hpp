@@ -15,11 +15,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/socket_server.hpp"
 #include "ocsp/response.hpp"
 #include "tls/handshake.hpp"
 #include "x509/certificate.hpp"
@@ -76,6 +80,20 @@ class WebServer {
   /// TLS handshake entry point.
   tls::ServerHello handshake(const tls::ClientHello& hello, util::SimTime now);
 
+  /// HTTP view of this server for real-socket serving:
+  ///   /        text status page (software, stapling config, cache state)
+  ///   /staple  runs a stapling handshake, serves the staple DER (404 when
+  ///            the model has nothing to staple — that IS the finding)
+  ///   /chain   the certificate chain, DER certificates concatenated
+  net::HttpResponse handle_http(const net::HttpRequest& request,
+                                util::SimTime now);
+
+  /// Adapts handle_http() to a net::SocketServer listener. A WebServer is
+  /// NOT thread-safe (handshakes mutate the staple cache), so the returned
+  /// handler serializes every request on an internal mutex. The server must
+  /// outlive the handler.
+  net::WireHandler wire_handler(std::function<util::SimTime()> clock);
+
   /// Ideal model: perform the startup prefetch and schedule refreshes on
   /// the network's event loop. No-op for Apache/Nginx (they don't
   /// prefetch — that is the finding).
@@ -130,6 +148,9 @@ class WebServer {
   std::optional<util::SimTime> last_fetch_attempt_;
   std::size_t fetch_count_ = 0;
   bool ideal_refresh_scheduled_ = false;
+  /// Serializes wire_handler() requests. Heap-held so WebServer stays
+  /// movable (the analysis suites move servers into vectors).
+  std::unique_ptr<std::mutex> http_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace mustaple::webserver

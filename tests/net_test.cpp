@@ -72,6 +72,16 @@ TEST(Url, RejectsMalformed) {
   EXPECT_FALSE(parse_url("no-scheme.example").ok());
 }
 
+TEST(Url, RejectsPortZero) {
+  // Port 0 is "pick one for me" at the sockets API — it never identifies a
+  // remote service, so a URL carrying it is malformed, not default-port.
+  const auto url = parse_url("http://host:0/");
+  ASSERT_FALSE(url.ok());
+  EXPECT_EQ(url.error().code, "url.bad_port");
+  EXPECT_FALSE(parse_url("http://host:0").ok());
+  EXPECT_FALSE(parse_url("https://host:00/x").ok());
+}
+
 // ------------------------------------------------------------------ HTTP --
 
 TEST(Http, RequestRoundTrip) {
@@ -118,6 +128,25 @@ TEST(Http, ParseRejectsMalformed) {
       HttpResponse::parse(util::bytes_of("NOTHTTP 200 OK\r\n\r\n")).ok());
   EXPECT_FALSE(
       HttpResponse::parse(util::bytes_of("HTTP/1.1 abc OK\r\n\r\n")).ok());
+}
+
+TEST(Http, ConflictingDuplicateContentLengthIsRejected) {
+  // RFC 7230 §3.3.2: multiple differing Content-Length values are a
+  // request-smuggling vector; the parse must refuse to pick one.
+  const auto conflicting = HttpRequest::parse(util::bytes_of(
+      "POST / HTTP/1.1\r\nHost: h\r\n"
+      "Content-Length: 4\r\nContent-Length: 5\r\n\r\nabcde"));
+  ASSERT_FALSE(conflicting.ok());
+  EXPECT_EQ(conflicting.error().code, "http.duplicate_content_length");
+}
+
+TEST(Http, IdenticalRepeatedContentLengthIsTolerated) {
+  // Same value repeated is unambiguous; RFC 7230 lets a parser accept it.
+  const auto repeated = HttpRequest::parse(util::bytes_of(
+      "POST / HTTP/1.1\r\nHost: h\r\n"
+      "Content-Length: 4\r\nContent-Length: 4\r\n\r\nabcd"));
+  ASSERT_TRUE(repeated.ok()) << repeated.error().to_string();
+  EXPECT_EQ(util::text_of(repeated.value().body), "abcd");
 }
 
 TEST(Http, BinaryBodySurvives) {

@@ -8,6 +8,7 @@
 #include "ocsp/response.hpp"
 #include "ocsp/types.hpp"
 #include "ocsp/verify.hpp"
+#include "util/base64.hpp"
 #include "x509/certificate.hpp"
 
 namespace mustaple::ocsp {
@@ -101,6 +102,41 @@ TEST(OcspRequest, ParseRejectsGarbage) {
   EXPECT_FALSE(OcspRequest::parse(util::bytes_of("nope")).ok());
   const Bytes empty;
   EXPECT_FALSE(OcspRequest::parse(empty).ok());
+}
+
+TEST(OcspRequest, GetPathDecodesPercentEncodedBase64) {
+  // RFC 6960 Appendix A.1: clients URL-encode the base64 request into the
+  // GET path, so '+', '/', '=' arrive as %2B, %2F, %3D and must be
+  // percent-decoded BEFORE base64 decoding.
+  World w;
+  const OcspRequest request = OcspRequest::single(w.cert_id());
+  std::string encoded;
+  for (const char c : util::base64_encode(request.encode_der())) {
+    if (c == '+') {
+      encoded += "%2B";
+    } else if (c == '/') {
+      encoded += "%2F";
+    } else if (c == '=') {
+      encoded += "%3D";
+    } else {
+      encoded.push_back(c);
+    }
+  }
+  const auto parsed = OcspRequest::parse_get_path("/" + encoded);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed.value().cert_ids().size(), 1u);
+  EXPECT_EQ(parsed.value().cert_ids()[0], w.cert_id());
+}
+
+TEST(OcspRequest, GetPathRejectsBadPercentEscape) {
+  const auto bad = OcspRequest::parse_get_path("/MEUw%GZ");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "ocsp.get.bad_escape");
+  // Truncated escape at end of path.
+  EXPECT_FALSE(OcspRequest::parse_get_path("/MEUw%A").ok());
+  // Escapes that decode to bytes outside the base64 alphabet reach the
+  // base64 layer and are rejected there, not crashed on.
+  EXPECT_FALSE(OcspRequest::parse_get_path("/ME%00Uw").ok());
 }
 
 // -------------------------------------------------------------- response --

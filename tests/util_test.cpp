@@ -412,6 +412,37 @@ TEST(Strings, Format) {
   EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
 }
 
+TEST(Strings, PercentDecodePassesPlainTextThrough) {
+  auto plain = percent_decode("MEUwQzBBMD8wPTAJ");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value(), "MEUwQzBBMD8wPTAJ");
+}
+
+TEST(Strings, PercentDecodeDecodesEscapes) {
+  // The three escapes an RFC 6960 A.1 GET client must produce, plus mixed
+  // case hex and a '+' which is NOT form-decoded to a space in a path.
+  auto decoded = percent_decode("a%2Bb%2fc%3Dd+e");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), "a+b/c=d+e");
+}
+
+TEST(Strings, PercentDecodeAllowsAnyByteIncludingNul) {
+  auto nul = percent_decode("x%00y");
+  ASSERT_TRUE(nul.ok());
+  ASSERT_EQ(nul.value().size(), 3u);
+  EXPECT_EQ(nul.value()[1], '\0');
+}
+
+TEST(Strings, PercentDecodeRejectsBadEscapes) {
+  EXPECT_FALSE(percent_decode("%GZ").ok());          // non-hex digits
+  EXPECT_FALSE(percent_decode("ok%G0").ok());        // first digit bad
+  EXPECT_FALSE(percent_decode("ok%0G").ok());        // second digit bad
+  EXPECT_FALSE(percent_decode("truncated%A").ok());  // one digit then EOF
+  EXPECT_FALSE(percent_decode("dangling%").ok());    // bare '%' at EOF
+  const auto error = percent_decode("%GZ").error();
+  EXPECT_EQ(error.code, "strings.bad_percent_escape");
+}
+
 // ------------------------------------------------------------ ascii_chart --
 
 TEST(AsciiChart, RendersSeriesAndLegend) {
