@@ -36,6 +36,7 @@ OcspResponder::OcspResponder(CertificateAuthority& authority,
                              util::Rng& rng)
     : authority_(&authority),
       behavior_(std::move(behavior)),
+      try_later_(behavior_.respond_try_later),
       host_(std::move(host)),
       rng_(rng.fork("responder." + host_)),
       delegate_key_(crypto::KeyPair::generate_sim(rng_)),
@@ -75,16 +76,18 @@ OcspResponder::OcspResponder(CertificateAuthority& authority,
 }
 
 void OcspResponder::set_try_later(bool value) {
-  if (behavior_.respond_try_later != value) {
+  // The live flag is an atomic, not a behavior_ field: serving threads
+  // read it on every request while this setter may run on a control
+  // thread (the Table 3 experiment flips it mid-campaign).
+  if (try_later_.exchange(value, std::memory_order_relaxed) != value) {
     MUSTAPLE_LOG_WARN("ca", "responder tryLater mode flipped",
                       obs::field("host", host_),
                       obs::field("try_later", value));
   }
-  behavior_.respond_try_later = value;
 }
 
 std::size_t OcspResponder::cache_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t entries = 0;
   for (const auto& [serial, per_backend] : cache_) {
     for (const CacheEntry& entry : per_backend) {
@@ -95,7 +98,7 @@ std::size_t OcspResponder::cache_entries() const {
 }
 
 std::size_t OcspResponder::cache_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return cache_tally_.total();
 }
 
@@ -151,7 +154,7 @@ net::HttpResponse OcspResponder::handle(const net::HttpRequest& request,
                                    "application/ocsp-response");
   }
 
-  if (behavior_.respond_try_later) {
+  if (try_later()) {
     const auto error =
         ocsp::OcspResponseBuilder::error(ocsp::ResponseStatus::kTryLater);
     return net::HttpResponse::make(200, "OK", error.encode_der(),
@@ -212,7 +215,7 @@ util::Bytes OcspResponder::build_response_der(
                 static_cast<std::uint64_t>(behavior_.backends))
           : 0;
   const std::string serial_hex = util::to_hex(id.serial);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
 
   // Pre-generation cache: one signed encoding per (serial, backend, cycle).
   const util::SimTime gen_time = generation_time(now, backend);

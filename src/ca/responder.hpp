@@ -11,10 +11,10 @@
 //   §2.2  OCSP Signature Authority Delegation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -23,7 +23,9 @@
 #include "net/socket_server.hpp"
 #include "ocsp/response.hpp"
 #include "util/alloc.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::ca {
 
@@ -80,7 +82,13 @@ class OcspResponder {
                 std::string host, util::Rng& rng);
 
   const std::string& host() const { return host_; }
+  /// The construction-time profile. `respond_try_later` reflects the
+  /// initial value only — the live flag moved into an atomic (see
+  /// try_later()) because set_try_later() races concurrent serving threads.
   const ResponderBehavior& behavior() const { return behavior_; }
+  bool try_later() const {
+    return try_later_.load(std::memory_order_relaxed);
+  }
   /// Flips the responder into/out of tryLater mode at runtime (used by the
   /// Table 3 retain-on-error experiment). Logged at warn so the flip shows
   /// up in the flight recorder's event ring.
@@ -123,7 +131,11 @@ class OcspResponder {
   util::SimTime generation_time(util::SimTime now, int backend) const;
 
   CertificateAuthority* authority_;
-  ResponderBehavior behavior_;
+  ResponderBehavior behavior_;  ///< immutable after construction
+  /// Live tryLater switch: written by set_try_later() (possibly from a
+  /// control thread) while serving threads read it per request, so it
+  /// cannot live inside the plain-struct behavior_.
+  std::atomic<bool> try_later_{false};
   std::string host_;
   util::Rng rng_;  ///< fixed after construction; forked, never advanced
   /// Seed for the stateless per-request backend choice. A stateful rng_
@@ -149,11 +161,12 @@ class OcspResponder {
     util::Bytes der;
   };
   // serial hex -> per-backend cached encoding for the current cycle.
-  mutable std::mutex mu_;  ///< guards cache_ across lookup + generation
-  std::map<std::string, std::vector<CacheEntry>> cache_;
+  mutable util::Mutex mu_;  ///< guards cache_ across lookup + generation
+  std::map<std::string, std::vector<CacheEntry>> cache_
+      MUSTAPLE_GUARDED_BY(mu_);
   /// DER bytes resident in cache_, charged to "ca.response_cache" (updated
   /// under mu_; released wholesale on destruction).
-  util::AllocTally cache_tally_;
+  util::AllocTally cache_tally_ MUSTAPLE_GUARDED_BY(mu_);
 };
 
 }  // namespace mustaple::ca

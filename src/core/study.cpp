@@ -166,7 +166,7 @@ void MustStapleStudy::register_default_health_rules() {
   const auto cache_conservation = [this](auto stats_of) {
     return [this, stats_of]() {
       obs::HealthCheckResult result;
-      std::lock_guard<std::mutex> lock(scanner_mu_);
+      util::MutexLock lock(scanner_mu_);
       if (live_scanner_ == nullptr) return result;
       const util::ShardedCacheStats stats = stats_of(live_scanner_);
       if (stats.hits + stats.misses != stats.lookups) {
@@ -330,6 +330,7 @@ std::uint16_t MustStapleStudy::start_introspection() {
   obs::IntrospectionServer::Options options;
   options.port = static_cast<std::uint16_t>(config_.introspection_port);
   server_ = std::make_unique<obs::IntrospectionServer>(options);
+  // SRCLINT-ALLOW(sl_obs_ungated): /metrics must render under OBS=OFF too
   server_->add_registry("campaign", &obs::default_registry());
   server_->add_registry("resources", &monitor_->registry());
 #if MUSTAPLE_OBS_ENABLED
@@ -349,7 +350,7 @@ std::uint16_t MustStapleStudy::start_introspection() {
 
 std::string MustStapleStudy::render_status() const {
   std::ostringstream out;
-  std::lock_guard<std::mutex> lock(scanner_mu_);
+  util::MutexLock lock(scanner_mu_);
   if (live_scanner_ == nullptr) {
     out << "availability scan: not running\n";
     return out.str();
@@ -429,7 +430,7 @@ ReadinessReport MustStapleStudy::run() {
       OBS_PROF_SCOPE("availability-scan");
       measurement::HourlyScanner scanner(*ecosystem_, config_.scan);
       {
-        std::lock_guard<std::mutex> lock(scanner_mu_);
+        util::MutexLock lock(scanner_mu_);
         live_scanner_ = &scanner;
       }
       scanner.run();
@@ -437,7 +438,7 @@ ReadinessReport MustStapleStudy::run() {
         // Clear before the scanner leaves scope; /statusz holds the same
         // mutex while dereferencing, so no serving thread can still be
         // reading it once this block exits.
-        std::lock_guard<std::mutex> lock(scanner_mu_);
+        util::MutexLock lock(scanner_mu_);
         live_scanner_ = nullptr;
       }
       report.responders_total = scanner.responder_count();

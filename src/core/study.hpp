@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "analysis/adoption.hpp"
@@ -25,6 +24,8 @@
 #include "obs/health.hpp"
 #include "obs/introspect.hpp"
 #include "obs/resource.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::core {
 
@@ -183,9 +184,12 @@ class MustStapleStudy {
   std::unique_ptr<obs::IntrospectionServer> server_;
   obs::HealthMonitor health_;
   /// The live scanner /statusz reads mid-campaign; guarded because the
-  /// serving thread races the scanner's construction/destruction.
-  mutable std::mutex scanner_mu_;
-  measurement::HourlyScanner* live_scanner_ = nullptr;
+  /// serving thread races the scanner's construction/destruction. The
+  /// POINTER is guarded (swap/read); the scanner object itself has its own
+  /// internal discipline.
+  mutable util::Mutex scanner_mu_;
+  measurement::HourlyScanner* live_scanner_ MUSTAPLE_GUARDED_BY(scanner_mu_) =
+      nullptr;
 };
 
 }  // namespace mustaple::core

@@ -58,7 +58,7 @@ const char* to_string(HealthSeverity severity) {
 
 void HealthMonitor::add_check(std::string name, HealthSeverity severity,
                               CheckFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   CheckEntry entry;
   entry.status.name = std::move(name);
   entry.status.severity = severity;
@@ -67,7 +67,7 @@ void HealthMonitor::add_check(std::string name, HealthSeverity severity,
 }
 
 void HealthMonitor::add_slo(SloRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (util::Duration lookback : rule.lookbacks) {
     SloStatus status;
     status.name = rule.name;
@@ -80,14 +80,14 @@ void HealthMonitor::add_slo(SloRule rule) {
 }
 
 void HealthMonitor::set_on_transition(TransitionHook hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   on_transition_ = std::move(hook);
 }
 
 void HealthMonitor::evaluate_checks() {
   std::vector<Transition> transitions;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++check_evaluations_;
     for (CheckEntry& entry : checks_) {
       HealthCheckResult result;
@@ -110,7 +110,7 @@ void HealthMonitor::evaluate_slos(const Timeline& timeline) {
   const std::vector<TimelineWindow>& windows = timeline.windows();
   std::vector<Transition> transitions;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     ++slo_evaluations_;
     if (windows.empty()) return;
     const util::SimTime newest_end = windows.back().end;
@@ -166,7 +166,7 @@ void HealthMonitor::fire(std::vector<Transition>& transitions) {
   if (transitions.empty()) return;
   TransitionHook hook;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     hook = on_transition_;
   }
   if (!hook) return;
@@ -176,7 +176,7 @@ void HealthMonitor::fire(std::vector<Transition>& transitions) {
 }
 
 bool HealthMonitor::critical_breached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const CheckEntry& entry : checks_) {
     if (!entry.status.ok && entry.status.severity == HealthSeverity::kCritical)
       return true;
@@ -189,7 +189,7 @@ bool HealthMonitor::critical_breached() const {
 }
 
 bool HealthMonitor::any_breached() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const CheckEntry& entry : checks_) {
     if (!entry.status.ok) return true;
   }
@@ -206,17 +206,17 @@ std::string HealthMonitor::overall_status() const {
 }
 
 std::uint64_t HealthMonitor::check_evaluations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return check_evaluations_;
 }
 
 std::uint64_t HealthMonitor::slo_evaluations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slo_evaluations_;
 }
 
 std::vector<HealthMonitor::CheckStatus> HealthMonitor::check_statuses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<CheckStatus> out;
   out.reserve(checks_.size());
   for (const CheckEntry& entry : checks_) out.push_back(entry.status);
@@ -224,7 +224,7 @@ std::vector<HealthMonitor::CheckStatus> HealthMonitor::check_statuses() const {
 }
 
 std::vector<HealthMonitor::SloStatus> HealthMonitor::slo_statuses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return slo_statuses_;
 }
 

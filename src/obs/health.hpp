@@ -28,9 +28,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -149,13 +151,13 @@ class HealthMonitor {
 
   void fire(std::vector<Transition>& transitions);
 
-  mutable std::mutex mu_;
-  std::vector<CheckEntry> checks_;
-  std::vector<SloRule> slo_rules_;
-  std::vector<SloStatus> slo_statuses_;
-  TransitionHook on_transition_;
-  std::uint64_t check_evaluations_ = 0;
-  std::uint64_t slo_evaluations_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<CheckEntry> checks_ MUSTAPLE_GUARDED_BY(mu_);
+  std::vector<SloRule> slo_rules_ MUSTAPLE_GUARDED_BY(mu_);
+  std::vector<SloStatus> slo_statuses_ MUSTAPLE_GUARDED_BY(mu_);
+  TransitionHook on_transition_ MUSTAPLE_GUARDED_BY(mu_);
+  std::uint64_t check_evaluations_ MUSTAPLE_GUARDED_BY(mu_) = 0;
+  std::uint64_t slo_evaluations_ MUSTAPLE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mustaple::obs

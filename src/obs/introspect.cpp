@@ -82,7 +82,7 @@ void IntrospectionServer::set_health(const HealthMonitor* health) {
 }
 
 void IntrospectionServer::set_status_provider(StatusProvider provider) {
-  std::lock_guard<std::mutex> lock(provider_mu_);
+  util::MutexLock lock(provider_mu_);
   status_provider_ = std::move(provider);
 }
 
@@ -447,7 +447,7 @@ std::string IntrospectionServer::render_statusz() const {
 
   StatusProvider provider;
   {
-    std::lock_guard<std::mutex> lock(provider_mu_);
+    util::MutexLock lock(provider_mu_);
     provider = status_provider_;
   }
   if (provider) {

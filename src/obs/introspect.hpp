@@ -25,14 +25,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "net/http.hpp"
+#include "util/mutex.hpp"
 #include "util/result.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::obs {
 
@@ -117,8 +118,8 @@ class IntrospectionServer {
   std::vector<std::pair<std::string, const Registry*>> registries_;
   const Profiler* profiler_ = nullptr;
   const HealthMonitor* health_ = nullptr;
-  StatusProvider status_provider_;
-  mutable std::mutex provider_mu_;  ///< guards status_provider_ swaps
+  mutable util::Mutex provider_mu_;  ///< guards status_provider_ swaps
+  StatusProvider status_provider_ MUSTAPLE_GUARDED_BY(provider_mu_);
 
   std::thread thread_;
   std::atomic<bool> running_{false};

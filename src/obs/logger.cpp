@@ -140,18 +140,31 @@ void JsonlFileSink::write(const LogRecord& record) {
 
 void Logger::add_sink(std::shared_ptr<Sink> sink) {
   if (!sink) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   sinks_.push_back(std::move(sink));
+  has_sinks_.store(true, std::memory_order_relaxed);
 }
 
 void Logger::remove_sink(const std::shared_ptr<Sink>& sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
     if (*it == sink) {
       sinks_.erase(it);
-      return;
+      break;
     }
   }
+  has_sinks_.store(!sinks_.empty(), std::memory_order_relaxed);
+}
+
+void Logger::clear_sinks() {
+  util::MutexLock lock(mu_);
+  sinks_.clear();
+  has_sinks_.store(false, std::memory_order_relaxed);
+}
+
+void Logger::set_sim_clock(std::function<util::SimTime()> clock) {
+  util::MutexLock lock(mu_);
+  sim_clock_ = std::move(clock);
 }
 
 void Logger::log(Level level, std::string component, std::string message,
@@ -163,11 +176,12 @@ void Logger::log(Level level, std::string component, std::string message,
   record.message = std::move(message);
   record.fields = std::move(fields);
   record.wall_time = std::chrono::system_clock::now();
-  if (sim_clock_) record.sim_time = sim_clock_();
   // Sinks (ring buffer deque, JSONL FILE*) are not individually locked;
   // serialize the fan-out so concurrent emitters cannot interleave inside
-  // a sink.
-  std::lock_guard<std::mutex> lock(mu_);
+  // a sink. The sim-time stamp also happens here: sim_clock_ is guarded,
+  // so a concurrent set_sim_clock() can never race the read.
+  util::MutexLock lock(mu_);
+  if (sim_clock_) record.sim_time = sim_clock_();
   for (const auto& sink : sinks_) sink->write(record);
 }
 

@@ -7,6 +7,7 @@
 // JSONL file (offline analysis).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <concepts>
 #include <cstdint>
@@ -14,12 +15,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/sim_time.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::obs {
 
@@ -113,35 +115,40 @@ class JsonlFileSink : public Sink {
 
 class Logger {
  public:
-  Level level() const { return level_; }
-  void set_level(Level level) { level_ = level; }
+  Level level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(Level level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
-  /// Cheap pre-flight: a disabled level (or a sinkless logger) costs one
-  /// comparison at the call site, no formatting.
+  /// Cheap pre-flight: a disabled level (or a sinkless logger) costs two
+  /// relaxed atomic loads at the call site, no formatting and no lock.
+  /// (Both cells are atomics precisely so this can stay lock-free while
+  /// set_level/add_sink run concurrently; has_sinks_ mirrors
+  /// sinks_.empty() and is only written under mu_.)
   bool enabled(Level level) const {
-    return level >= level_ && !sinks_.empty();
+    return level >= level_.load(std::memory_order_relaxed) &&
+           has_sinks_.load(std::memory_order_relaxed);
   }
 
   void add_sink(std::shared_ptr<Sink> sink);
   /// Detaches one sink (no-op when absent) — how the study removes its
   /// FlightLogSink at run end without clobbering caller-installed sinks.
   void remove_sink(const std::shared_ptr<Sink>& sink);
-  void clear_sinks() { sinks_.clear(); }
+  void clear_sinks();
 
   /// Source of the simulated clock stamped into records (e.g. the study's
   /// EventLoop). Pass nullptr to stop stamping sim time.
-  void set_sim_clock(std::function<util::SimTime()> clock) {
-    sim_clock_ = std::move(clock);
-  }
+  void set_sim_clock(std::function<util::SimTime()> clock);
 
   void log(Level level, std::string component, std::string message,
            std::vector<Field> fields = {});
 
  private:
-  Level level_ = Level::kInfo;
-  std::mutex mu_;  ///< serializes sink fan-out under concurrent log() calls
-  std::vector<std::shared_ptr<Sink>> sinks_;
-  std::function<util::SimTime()> sim_clock_;
+  std::atomic<Level> level_{Level::kInfo};
+  std::atomic<bool> has_sinks_{false};  ///< sinks_.empty() mirror for enabled()
+  util::Mutex mu_;  ///< serializes sink fan-out under concurrent log() calls
+  std::vector<std::shared_ptr<Sink>> sinks_ MUSTAPLE_GUARDED_BY(mu_);
+  std::function<util::SimTime()> sim_clock_ MUSTAPLE_GUARDED_BY(mu_);
 };
 
 /// The process-wide logger all MUSTAPLE_LOG_* macros write to. Starts with

@@ -85,7 +85,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double x) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
   sum_ += x;
@@ -93,7 +93,7 @@ void Histogram::observe(double x) {
 }
 
 double Histogram::quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return quantile_locked(q);
 }
 
@@ -125,7 +125,7 @@ double Histogram::quantile_locked(double q) const {
 }
 
 HistogramSnapshot Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   HistogramSnapshot snap;
   snap.bounds = bounds_;
   snap.buckets = buckets_;
@@ -147,19 +147,19 @@ const std::vector<double>& latency_ms_buckets() {
 }
 
 Counter& Registry::counter(const std::string& name, const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return counters_[name][canonical_labels(labels)];
 }
 
 Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return gauges_[name][canonical_labels(labels)];
 }
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds,
                                const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto& cell = histograms_[name][canonical_labels(labels)];
   if (!cell) cell = std::make_unique<Histogram>(std::move(bounds));
   return *cell;
@@ -171,7 +171,7 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
 
 std::uint64_t Registry::counter_value(const std::string& name,
                                       const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto family = counters_.find(name);
   if (family == counters_.end()) return 0;
   const auto cell = family->second.find(canonical_labels(labels));
@@ -180,7 +180,7 @@ std::uint64_t Registry::counter_value(const std::string& name,
 
 double Registry::gauge_value(const std::string& name,
                              const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto family = gauges_.find(name);
   if (family == gauges_.end()) return 0.0;
   const auto cell = family->second.find(canonical_labels(labels));
@@ -189,7 +189,7 @@ double Registry::gauge_value(const std::string& name,
 
 const Histogram* Registry::find_histogram(const std::string& name,
                                           const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto family = histograms_.find(name);
   if (family == histograms_.end()) return nullptr;
   const auto cell = family->second.find(canonical_labels(labels));
@@ -199,7 +199,7 @@ const Histogram* Registry::find_histogram(const std::string& name,
 void Registry::visit_counters(
     const std::function<void(const std::string&, const std::string&,
                              std::uint64_t)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, cells] : counters_) {
     for (const auto& [labels, cell] : cells) fn(name, labels, cell.value());
   }
@@ -208,7 +208,7 @@ void Registry::visit_counters(
 void Registry::visit_gauges(
     const std::function<void(const std::string&, const std::string&, double)>&
         fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, cells] : gauges_) {
     for (const auto& [labels, cell] : cells) fn(name, labels, cell.value());
   }
@@ -217,14 +217,14 @@ void Registry::visit_gauges(
 void Registry::visit_histograms(
     const std::function<void(const std::string&, const std::string&,
                              const Histogram&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, cells] : histograms_) {
     for (const auto& [labels, cell] : cells) fn(name, labels, *cell);
   }
 }
 
 std::string Registry::render_prometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, cells] : counters_) {
     out << "# TYPE " << name << " counter\n";
@@ -266,7 +266,7 @@ std::string Registry::render_prometheus() const {
 }
 
 std::string Registry::render_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;
@@ -318,7 +318,7 @@ std::string Registry::render_json() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -18,12 +18,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::obs {
 
@@ -46,12 +47,12 @@ class Counter {
 class Gauge {
  public:
   void set(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     value_ = v;
     has_sample_ = true;
   }
   void add(double d) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     value_ += d;
     has_sample_ = true;
   }
@@ -60,19 +61,19 @@ class Gauge {
   /// against the initial value would silently pin an all-negative series'
   /// high-water mark at 0.
   void set_max(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!has_sample_ || v > value_) value_ = v;
     has_sample_ = true;
   }
   double value() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return value_;
   }
 
  private:
-  mutable std::mutex mu_;
-  double value_ = 0.0;
-  bool has_sample_ = false;
+  mutable util::Mutex mu_;
+  double value_ MUSTAPLE_GUARDED_BY(mu_) = 0.0;
+  bool has_sample_ MUSTAPLE_GUARDED_BY(mu_) = false;
 };
 
 /// One consistent, fully-owned view of a histogram, taken under its lock —
@@ -99,8 +100,9 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   /// Movable so value holders (Tracer::Node) can live in vectors. The mutex
-  /// is not moved — moving is only sound with no concurrent observers.
-  Histogram(Histogram&& other) noexcept
+  /// is not moved — moving is only sound with no concurrent observers
+  /// (a quiesced-reader precondition, hence the analysis opt-out).
+  Histogram(Histogram&& other) noexcept MUSTAPLE_NO_THREAD_SAFETY_ANALYSIS
       : bounds_(std::move(other.bounds_)),
         buckets_(std::move(other.buckets_)),
         sum_(other.sum_),
@@ -114,16 +116,21 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts; size bounds().size() + 1, the last
   /// entry being the +Inf overflow bucket. Reference-returning accessors
   /// (this and stats()) require concurrent observers to have quiesced.
-  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  const std::vector<std::uint64_t>& bucket_counts() const
+      MUSTAPLE_NO_THREAD_SAFETY_ANALYSIS {
+    return buckets_;  // quiesced-reader contract, see above
+  }
   std::size_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return stats_.count();
   }
   double sum() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return sum_;
   }
-  const util::OnlineStats& stats() const { return stats_; }
+  const util::OnlineStats& stats() const MUSTAPLE_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;  // quiesced-reader contract, see bucket_counts()
+  }
 
   /// Bucket-interpolated quantile estimate for q in (0, 1], Prometheus
   /// histogram_quantile style: find the bucket the rank falls in, then
@@ -141,13 +148,14 @@ class Histogram {
   HistogramSnapshot snapshot() const;
 
  private:
-  double quantile_locked(double q) const;  ///< requires mu_ held
+  double quantile_locked(double q) const MUSTAPLE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;  ///< sorted ascending upper bounds
-  std::vector<std::uint64_t> buckets_;
-  double sum_ = 0.0;
-  util::OnlineStats stats_;
+  mutable util::Mutex mu_;
+  // SRCLINT-ALLOW(sl_unguarded_mutex_field): immutable after construction
+  std::vector<double> bounds_;  ///< sorted ascending upper bounds; immutable
+  std::vector<std::uint64_t> buckets_ MUSTAPLE_GUARDED_BY(mu_);
+  double sum_ MUSTAPLE_GUARDED_BY(mu_) = 0.0;
+  util::OnlineStats stats_ MUSTAPLE_GUARDED_BY(mu_);
 };
 
 /// Default bounds for millisecond-scale latencies (fetch RTTs, dispatch).
@@ -198,10 +206,10 @@ class Registry {
   template <typename T>
   using Family = std::map<std::string, std::map<std::string, T>>;
 
-  mutable std::mutex mu_;  ///< guards the family maps, not the cells
-  Family<Counter> counters_;
-  Family<Gauge> gauges_;
-  Family<std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;  ///< guards the family maps, not the cells
+  Family<Counter> counters_ MUSTAPLE_GUARDED_BY(mu_);
+  Family<Gauge> gauges_ MUSTAPLE_GUARDED_BY(mu_);
+  Family<std::unique_ptr<Histogram>> histograms_ MUSTAPLE_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry all MUSTAPLE_* macros write to.

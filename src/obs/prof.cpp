@@ -59,14 +59,16 @@ struct Profiler::ThreadState {
     std::uint64_t cpu_ns = 0;
   };
 
-  std::mutex mu;
-  std::vector<PathId> stack;  ///< owner thread only
-  std::array<Rec, kRing> ring;
-  std::size_t ring_n = 0;
-  std::unordered_map<PathId, PhaseStats> table;
+  util::Mutex mu;
+  // SRCLINT-ALLOW(sl_unguarded_mutex_field): owner thread only, never shared
+  std::vector<PathId> stack;
+  std::array<Rec, kRing> ring MUSTAPLE_GUARDED_BY(mu);
+  std::size_t ring_n MUSTAPLE_GUARDED_BY(mu) = 0;
+  std::unordered_map<PathId, PhaseStats> table MUSTAPLE_GUARDED_BY(mu);
   /// (parent, name-pointer) -> path. Owner thread only; pointer identity is
   /// just a cache key — a same-content name at a different address merely
   /// takes the slow interning path once.
+  // SRCLINT-ALLOW(sl_unguarded_mutex_field): owner thread only, never shared
   std::map<std::pair<PathId, const void*>, PathId> intern_cache;
 };
 
@@ -78,7 +80,7 @@ Profiler::Profiler() : id_(next_profiler_id()) {}
 Profiler::~Profiler() = default;
 
 Profiler::PathId Profiler::intern(PathId parent, const char* name) {
-  std::lock_guard<std::mutex> lock(paths_mu_);
+  util::MutexLock lock(paths_mu_);
   if (paths_.empty()) paths_.emplace_back();  // slot 0 = root, unused
   const auto key = std::make_pair(parent, std::string(name));
   const auto it = path_lookup_.find(key);
@@ -90,7 +92,7 @@ Profiler::PathId Profiler::intern(PathId parent, const char* name) {
 }
 
 Profiler::ThreadState* Profiler::register_thread_state() {
-  std::lock_guard<std::mutex> lock(states_mu_);
+  util::MutexLock lock(states_mu_);
   states_.push_back(std::make_unique<ThreadState>());
   return states_.back().get();
 }
@@ -122,7 +124,7 @@ void Profiler::pop() {
   if (!state.stack.empty()) state.stack.pop_back();
 }
 
-void Profiler::fold_ring(ThreadState& state) {
+void Profiler::fold_ring(ThreadState& state) MUSTAPLE_REQUIRES(state.mu) {
   for (std::size_t i = 0; i < state.ring_n; ++i) {
     const ThreadState::Rec& rec = state.ring[i];
     PhaseStats& stats = state.table[rec.path];
@@ -137,7 +139,7 @@ void Profiler::record(PathId path, std::uint64_t wall_ns,
                       std::uint64_t cpu_ns) {
   if (path == kRoot) return;
   ThreadState& state = tls_state();
-  std::lock_guard<std::mutex> lock(state.mu);
+  util::MutexLock lock(state.mu);
   if (state.ring_n == ThreadState::kRing) fold_ring(state);
   state.ring[state.ring_n++] = ThreadState::Rec{path, wall_ns, cpu_ns};
 }
@@ -145,9 +147,9 @@ void Profiler::record(PathId path, std::uint64_t wall_ns,
 std::map<Profiler::PathId, Profiler::PhaseStats> Profiler::merged_locked()
     const {
   std::map<PathId, PhaseStats> merged;
-  std::lock_guard<std::mutex> states_lock(states_mu_);
+  util::MutexLock states_lock(states_mu_);
   for (const auto& state : states_) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    util::MutexLock lock(state->mu);
     fold_ring(*state);
     for (const auto& [path, stats] : state->table) {
       PhaseStats& out = merged[path];
@@ -160,7 +162,7 @@ std::map<Profiler::PathId, Profiler::PhaseStats> Profiler::merged_locked()
 }
 
 std::string Profiler::path_string(PathId path) const {
-  std::lock_guard<std::mutex> lock(paths_mu_);
+  util::MutexLock lock(paths_mu_);
   std::vector<const std::string*> parts;
   for (PathId p = path; p != kRoot; p = paths_[p].parent) {
     parts.push_back(&paths_[p].name);
@@ -174,7 +176,7 @@ std::string Profiler::path_string(PathId path) const {
 }
 
 int Profiler::path_depth(PathId path) const {
-  std::lock_guard<std::mutex> lock(paths_mu_);
+  util::MutexLock lock(paths_mu_);
   int depth = 0;
   for (PathId p = path; p != kRoot; p = paths_[p].parent) ++depth;
   return depth;
@@ -186,7 +188,7 @@ std::vector<Profiler::Entry> Profiler::snapshot() const {
   // Wall time charged to each path's direct children, for self-time.
   std::map<PathId, std::uint64_t> child_wall;
   {
-    std::lock_guard<std::mutex> lock(paths_mu_);
+    util::MutexLock lock(paths_mu_);
     for (const auto& [path, stats] : merged) {
       child_wall[paths_[path].parent] += stats.wall_ns;
     }
@@ -198,7 +200,7 @@ std::vector<Profiler::Entry> Profiler::snapshot() const {
     Entry entry;
     entry.path = path_string(path);
     {
-      std::lock_guard<std::mutex> lock(paths_mu_);
+      util::MutexLock lock(paths_mu_);
       entry.name = paths_[path].name;
     }
     entry.depth = path_depth(path);
@@ -274,9 +276,9 @@ std::string Profiler::summary(std::size_t top_n) const {
 }
 
 void Profiler::reset() {
-  std::lock_guard<std::mutex> states_lock(states_mu_);
+  util::MutexLock states_lock(states_mu_);
   for (const auto& state : states_) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    util::MutexLock lock(state->mu);
     state->ring_n = 0;
     state->table.clear();
   }

@@ -30,12 +30,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/config.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::obs {
 
@@ -101,6 +102,8 @@ class Profiler {
 
   ThreadState& tls_state();
   ThreadState* register_thread_state();
+  // Requires state.mu held (annotated on the definition — ThreadState is
+  // incomplete here, so the attribute argument cannot name its member yet).
   static void fold_ring(ThreadState& state);
   std::map<PathId, PhaseStats> merged_locked() const;
   std::string path_string(PathId path) const;
@@ -108,16 +111,19 @@ class Profiler {
 
   const std::uint64_t id_;  ///< process-unique, guards tls cache staleness
 
-  mutable std::mutex paths_mu_;
+  mutable util::Mutex paths_mu_;
   struct PathNode {
     PathId parent = kRoot;
     std::string name;
   };
-  std::vector<PathNode> paths_;  ///< index 0 unused (root)
-  std::map<std::pair<PathId, std::string>, PathId> path_lookup_;
+  std::vector<PathNode> paths_
+      MUSTAPLE_GUARDED_BY(paths_mu_);  ///< index 0 unused (root)
+  std::map<std::pair<PathId, std::string>, PathId> path_lookup_
+      MUSTAPLE_GUARDED_BY(paths_mu_);
 
-  mutable std::mutex states_mu_;
-  std::vector<std::unique_ptr<ThreadState>> states_;
+  mutable util::Mutex states_mu_;
+  std::vector<std::unique_ptr<ThreadState>> states_
+      MUSTAPLE_GUARDED_BY(states_mu_);
 };
 
 /// The process-wide profiler all OBS_PROF_* macros charge.

@@ -77,7 +77,7 @@ ResourceMonitor::~ResourceMonitor() { stop(); }
 void ResourceMonitor::start() {
   Sample baseline;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (running_) return;
     if (!started_once_) {
       start_time_ = std::chrono::steady_clock::now();
@@ -93,7 +93,7 @@ void ResourceMonitor::start() {
 
 void ResourceMonitor::stop() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
   }
@@ -101,7 +101,7 @@ void ResourceMonitor::stop() {
   thread_.join();
   Sample final_sample;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     running_ = false;
     final_sample = take_sample_locked(
         std::chrono::duration<double, std::milli>(
@@ -112,26 +112,27 @@ void ResourceMonitor::stop() {
 }
 
 void ResourceMonitor::thread_main() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   while (!stop_requested_) {
-    cv_.wait_for(lock, std::chrono::milliseconds(options_.tick_ms));
+    cv_.wait_for_ms(mu_, options_.tick_ms);
     if (stop_requested_) break;
     const Sample sample =
         take_sample_locked(std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start_time_)
                                .count());
     if (options_.on_sample) {
-      lock.unlock();  // the hook may be slow; never under the monitor's lock
+      mu_.unlock();  // the hook may be slow; never under the monitor's lock
       options_.on_sample(sample);
-      lock.lock();
+      mu_.lock();
     }
   }
+  mu_.unlock();
 }
 
 ResourceMonitor::Sample ResourceMonitor::sample_now() {
   Sample sample;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (!started_once_) {
       start_time_ = std::chrono::steady_clock::now();
       started_once_ = true;
@@ -190,17 +191,17 @@ ResourceMonitor::Sample ResourceMonitor::take_sample_locked(double wall_ms) {
 }
 
 std::vector<ResourceMonitor::Sample> ResourceMonitor::samples() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return samples_;
 }
 
 std::uint64_t ResourceMonitor::dropped() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return dropped_;
 }
 
 std::string ResourceMonitor::render_csv() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   out << "wall_ms,rss_bytes,peak_rss_bytes,vm_bytes,minor_faults,"
          "major_faults,user_cpu_s,system_cpu_s,alloc_outstanding_bytes\n";
@@ -219,7 +220,7 @@ std::string ResourceMonitor::render_csv() const {
 }
 
 std::string ResourceMonitor::render_json() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::ostringstream out;
   out << "{\"schema\":\"mustaple-resources/1\",";
   const ResourceUsage last =

@@ -15,15 +15,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::obs {
 
@@ -86,7 +86,10 @@ class ResourceMonitor {
   void start();
   /// Stops and joins the thread, taking one final sample (idempotent).
   void stop();
-  bool running() const { return running_; }
+  bool running() const {
+    util::MutexLock lock(mu_);
+    return running_;
+  }
 
   /// Takes a sample right now (also from stopped monitors), updates the
   /// gauges, appends to the timeline, and returns it.
@@ -109,21 +112,24 @@ class ResourceMonitor {
 
  private:
   void thread_main();
-  Sample take_sample_locked(double wall_ms);
+  Sample take_sample_locked(double wall_ms) MUSTAPLE_REQUIRES(mu_);
 
   Options options_;
   Registry own_registry_;
   Registry* registry_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  /// Lifecycle-managed, not lock-guarded: assigned in start() (under mu_,
+  /// before the thread can observe itself) and joined in stop() strictly
+  /// after the tick thread agreed to exit.
   std::thread thread_;
-  bool running_ = false;
-  bool stop_requested_ = false;
-  std::chrono::steady_clock::time_point start_time_;
-  bool started_once_ = false;
-  std::vector<Sample> samples_;
-  std::uint64_t dropped_ = 0;
+  bool running_ MUSTAPLE_GUARDED_BY(mu_) = false;
+  bool stop_requested_ MUSTAPLE_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point start_time_ MUSTAPLE_GUARDED_BY(mu_);
+  bool started_once_ MUSTAPLE_GUARDED_BY(mu_) = false;
+  std::vector<Sample> samples_ MUSTAPLE_GUARDED_BY(mu_);
+  std::uint64_t dropped_ MUSTAPLE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace mustaple::obs

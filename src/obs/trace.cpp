@@ -59,7 +59,7 @@ void TraceLog::enable(util::SimTime epoch) {
 }
 
 void TraceLog::set_track_name(std::uint32_t tid, std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [existing_tid, existing_name] : track_names_) {
     if (existing_tid == tid) {
       existing_name = std::move(name);
@@ -70,7 +70,7 @@ void TraceLog::set_track_name(std::uint32_t tid, std::string name) {
 }
 
 void TraceLog::add(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -163,7 +163,7 @@ std::string TraceLog::render_chrome_trace() const {
 }
 
 void TraceLog::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   events_.clear();
   track_names_.clear();
   dropped_ = 0;

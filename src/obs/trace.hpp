@@ -18,13 +18,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/config.hpp"
+#include "util/mutex.hpp"
 #include "util/sim_time.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::obs {
 
@@ -86,8 +87,14 @@ class TraceLog {
   void enable(util::SimTime epoch);
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
 
-  std::size_t capacity() const { return capacity_; }
-  void set_capacity(std::size_t capacity) { capacity_ = capacity ? capacity : 1; }
+  std::size_t capacity() const {
+    util::MutexLock lock(mu_);
+    return capacity_;
+  }
+  void set_capacity(std::size_t capacity) {
+    util::MutexLock lock(mu_);
+    capacity_ = capacity ? capacity : 1;
+  }
 
   /// Names a track in the exported trace (e.g. tid 2 -> "vantage:sao-paulo").
   void set_track_name(std::uint32_t tid, std::string name);
@@ -101,18 +108,22 @@ class TraceLog {
                 double duration_ms, std::uint32_t tid,
                 std::vector<std::pair<std::string, std::string>> args = {});
 
-  /// Quiesced-read accessor: callers must ensure no concurrent writers.
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Quiesced-read accessor: callers must ensure no concurrent writers
+  /// (a temporal precondition, hence the analysis opt-out).
+  const std::vector<TraceEvent>& events() const
+      MUSTAPLE_NO_THREAD_SAFETY_ANALYSIS {
+    return events_;
+  }
   std::size_t dropped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return dropped_;
   }
   util::SimTime epoch() const { return epoch_; }
 
   /// The Chrome trace-event JSON array format: metadata records naming the
   /// process and tracks, then every event in insertion order. Open the
-  /// output in Perfetto or chrome://tracing.
-  std::string render_chrome_trace() const;
+  /// output in Perfetto or chrome://tracing. Quiesced-read like events().
+  std::string render_chrome_trace() const MUSTAPLE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Clears events, dropped count, and track names; keeps capacity.
   void reset();
@@ -122,11 +133,12 @@ class TraceLog {
 
   std::atomic<bool> enabled_{false};
   util::SimTime epoch_{};
-  std::size_t capacity_ = 200'000;
-  mutable std::mutex mu_;  ///< guards events_, dropped_, track_names_
-  std::size_t dropped_ = 0;
-  std::vector<TraceEvent> events_;
-  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+  mutable util::Mutex mu_;
+  std::size_t capacity_ MUSTAPLE_GUARDED_BY(mu_) = 200'000;
+  std::size_t dropped_ MUSTAPLE_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> events_ MUSTAPLE_GUARDED_BY(mu_);
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_
+      MUSTAPLE_GUARDED_BY(mu_);
 };
 
 /// The process-wide log the trace macros and instrumented layers write to.

@@ -1,7 +1,8 @@
 #include "util/alloc.hpp"
 
 #include <map>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace mustaple::util {
 
@@ -9,8 +10,11 @@ namespace {
 
 // Function-local singletons: construction on first use, never destroyed
 // (counters may be touched by detached exporter threads at shutdown).
-std::mutex& registry_mutex() {
-  static std::mutex mu;
+// The mutex guards the registry map's structure; the AllocCounter values
+// themselves are all-atomic and are deliberately handed out as stable
+// references mutated without the lock.
+Mutex& registry_mutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -22,18 +26,18 @@ std::map<std::string, AllocCounter>& registry() {
 }  // namespace
 
 AllocCounter& alloc_counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  MutexLock lock(registry_mutex());
   return registry()[name];  // std::map nodes are stable
 }
 
 void visit_alloc_counters(
     const std::function<void(const std::string&, const AllocCounter&)>& fn) {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  MutexLock lock(registry_mutex());
   for (const auto& [name, counter] : registry()) fn(name, counter);
 }
 
 void reset_alloc_counters() {
-  std::lock_guard<std::mutex> lock(registry_mutex());
+  MutexLock lock(registry_mutex());
   for (auto& [name, counter] : registry()) counter.reset();
 }
 

@@ -31,12 +31,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "util/alloc.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::util {
 
@@ -76,7 +77,7 @@ class ShardedCache {
   /// one of hits/misses.
   std::optional<Value> lookup(std::uint64_t key) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     ++shard.stats.lookups;
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
@@ -91,7 +92,7 @@ class ShardedCache {
   /// at capacity, preserving the legacy clear-on-limit bound.
   void insert(std::uint64_t key, Value value) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.map.size() >= shard_capacity_ &&
         shard.map.find(key) == shard.map.end()) {
       shard.map.clear();
@@ -105,14 +106,14 @@ class ShardedCache {
   /// key collision); the caller then recomputes as if it had missed.
   void note_collision(std::uint64_t key) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mu);
+    MutexLock lock(shard.mu);
     ++shard.stats.collisions;
   }
 
   /// Snapshot of one shard's counters (shard < shard_count()).
   ShardedCacheStats shard_stats(std::size_t shard) const {
-    const Shard& s = *shards_[shard & mask_];
-    std::lock_guard lock(s.mu);
+    Shard& s = *shards_[shard & mask_];
+    MutexLock lock(s.mu);
     ShardedCacheStats out = s.stats;
     out.size = s.map.size();
     return out;
@@ -151,9 +152,9 @@ class ShardedCache {
     explicit Shard(AllocCounter* counter)
         : map(/*bucket_count=*/0, typename Map::hasher(),
               typename Map::key_equal(), MapAllocator(counter)) {}
-    mutable std::mutex mu;
-    Map map;
-    ShardedCacheStats stats;
+    mutable Mutex mu;
+    Map map MUSTAPLE_GUARDED_BY(mu);
+    ShardedCacheStats stats MUSTAPLE_GUARDED_BY(mu);
   };
 
   static std::size_t round_up_pow2(std::size_t n) {

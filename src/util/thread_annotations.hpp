@@ -1,0 +1,69 @@
+// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+//
+// These drive clang's `-Wthread-safety` compile-time lock-discipline
+// checker (enabled as -Werror in the clang-thread-safety CI job; see
+// docs/STATIC_ANALYSIS.md). Annotate shared fields with
+// MUSTAPLE_GUARDED_BY(mu_) and private helpers that expect the lock held
+// with MUSTAPLE_REQUIRES(mu_); the analysis then proves every access site
+// holds the right capability, over all code paths, at compile time.
+//
+// The macros follow the stock abseil/LLVM naming so the semantics are the
+// documented upstream ones:
+//   https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+//
+// GCC (the local toolchain) does not implement these attributes, so they
+// expand to nothing there — the annotations are free on every non-clang
+// build.
+#pragma once
+
+#if defined(__clang__)
+#define MUSTAPLE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MUSTAPLE_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+// Type attribute: this class is a lockable capability ("mutex").
+#define MUSTAPLE_CAPABILITY(x) MUSTAPLE_THREAD_ANNOTATION(capability(x))
+
+// Type attribute: RAII object that acquires in ctor / releases in dtor.
+#define MUSTAPLE_SCOPED_CAPABILITY MUSTAPLE_THREAD_ANNOTATION(scoped_lockable)
+
+// Field attribute: reads/writes require holding `x`.
+#define MUSTAPLE_GUARDED_BY(x) MUSTAPLE_THREAD_ANNOTATION(guarded_by(x))
+
+// Field attribute: the pointed-to data requires holding `x` (the pointer
+// itself may be read freely).
+#define MUSTAPLE_PT_GUARDED_BY(x) MUSTAPLE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attribute: caller must already hold the capability/ies.
+#define MUSTAPLE_REQUIRES(...) \
+  MUSTAPLE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function attribute: acquires the capability/ies (not held on entry).
+#define MUSTAPLE_ACQUIRE(...) \
+  MUSTAPLE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function attribute: releases the capability/ies (held on entry).
+#define MUSTAPLE_RELEASE(...) \
+  MUSTAPLE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function attribute: acquires iff the return value equals the first arg.
+#define MUSTAPLE_TRY_ACQUIRE(...) \
+  MUSTAPLE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function attribute: caller must NOT hold the capability/ies (deadlock
+// guard for non-reentrant locks).
+#define MUSTAPLE_EXCLUDES(...) \
+  MUSTAPLE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function attribute: the returned reference is the given capability.
+#define MUSTAPLE_RETURN_CAPABILITY(x) \
+  MUSTAPLE_THREAD_ANNOTATION(lock_returned(x))
+
+// Function attribute: opt this function out of the analysis. Reserved for
+// (a) documented quiesced-reader accessors whose safety precondition —
+// "all writers joined/stopped" — is temporal, not lock-shaped, and
+// (b) lock-juggling internals (condition-variable adopt/release dances)
+// the analysis cannot follow. Every use carries a comment saying why.
+#define MUSTAPLE_NO_THREAD_SAFETY_ANALYSIS \
+  MUSTAPLE_THREAD_ANNOTATION(no_thread_safety_analysis)

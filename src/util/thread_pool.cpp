@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -32,7 +32,7 @@ void ThreadPool::run_chunks() {
   const std::function<void(std::size_t)>* job;
   std::size_t count;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job = job_;
     count = job_count_;
   }
@@ -43,7 +43,7 @@ void ThreadPool::run_chunks() {
     try {
       for (std::size_t i = begin; i < end; ++i) (*job)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
@@ -53,16 +53,18 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mutex_);
+      // Explicit predicate loop (not a lambda) so the guarded reads stay
+      // visible to the thread-safety analysis.
+      while (!(shutdown_ || generation_ != seen_generation)) {
+        start_cv_.wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
     run_chunks();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --workers_running_;
     }
     done_cv_.notify_one();
@@ -77,7 +79,7 @@ void ThreadPool::parallel_for_index(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_count_ = count;
     cursor_.store(0, std::memory_order_relaxed);
@@ -89,8 +91,8 @@ void ThreadPool::parallel_for_index(
   run_chunks();  // the calling thread participates
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+    MutexLock lock(mutex_);
+    while (workers_running_ != 0) done_cv_.wait(mutex_);
     job_ = nullptr;
     error = first_error_;
   }

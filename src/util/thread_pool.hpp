@@ -12,12 +12,15 @@
 // DESIGN.md "Deterministic parallel scan campaigns").
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace mustaple::util {
 
@@ -50,15 +53,16 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_count_ = 0;
-  std::uint64_t generation_ = 0;
-  std::size_t workers_running_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  const std::function<void(std::size_t)>* job_ MUSTAPLE_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t job_count_ MUSTAPLE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ MUSTAPLE_GUARDED_BY(mutex_) = 0;
+  std::size_t workers_running_ MUSTAPLE_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ MUSTAPLE_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ MUSTAPLE_GUARDED_BY(mutex_);
 
   std::atomic<std::size_t> cursor_{0};
 };

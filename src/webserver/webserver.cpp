@@ -222,7 +222,7 @@ net::HttpResponse WebServer::handle_http(const net::HttpRequest& request,
 
 net::WireHandler WebServer::wire_handler(std::function<util::SimTime()> clock) {
   return [this, clock = std::move(clock)](const net::HttpRequest& request) {
-    std::lock_guard<std::mutex> lock(*http_mu_);
+    util::MutexLock lock(*http_mu_);
     return handle_http(request, clock());
   };
 }

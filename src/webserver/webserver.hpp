@@ -17,13 +17,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "net/network.hpp"
 #include "net/socket_server.hpp"
+#include "util/mutex.hpp"
 #include "ocsp/response.hpp"
 #include "tls/handshake.hpp"
 #include "x509/certificate.hpp"
@@ -148,9 +148,10 @@ class WebServer {
   std::optional<util::SimTime> last_fetch_attempt_;
   std::size_t fetch_count_ = 0;
   bool ideal_refresh_scheduled_ = false;
-  /// Serializes wire_handler() requests. Heap-held so WebServer stays
-  /// movable (the analysis suites move servers into vectors).
-  std::unique_ptr<std::mutex> http_mu_ = std::make_unique<std::mutex>();
+  /// Serializes wire_handler() requests (the guarded state is the whole
+  /// server, so no per-field GUARDED_BY applies). Heap-held so WebServer
+  /// stays movable (the analysis suites move servers into vectors).
+  std::unique_ptr<util::Mutex> http_mu_ = std::make_unique<util::Mutex>();
 };
 
 }  // namespace mustaple::webserver

@@ -2,6 +2,9 @@
 // publication, and the OCSP responder's full behaviour-profile space.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "ca/authority.hpp"
 #include "ca/crl_server.hpp"
 #include "ca/responder.hpp"
@@ -321,6 +324,44 @@ TEST_F(ResponderFixture, TryLaterMode) {
   responder.set_try_later(false);
   EXPECT_EQ(probe(responder, leaf, kNow + Duration::secs(20)).outcome,
             ocsp::CheckOutcome::kOk);
+}
+
+TEST_F(ResponderFixture, TryLaterAccessorTracksLiveSwitchNotBehavior) {
+  // Regression: the live tryLater switch became an atomic separate from the
+  // construction-time behavior profile (set_try_later() races serving
+  // threads). behavior() keeps reporting the configured profile.
+  ResponderBehavior behavior;
+  behavior.respond_try_later = true;
+  OcspResponder responder(authority, behavior, "ocsp.tl3.example", rng);
+  EXPECT_TRUE(responder.try_later());
+  responder.set_try_later(false);
+  EXPECT_FALSE(responder.try_later());
+  EXPECT_TRUE(responder.behavior().respond_try_later);  // profile unchanged
+}
+
+TEST_F(ResponderFixture, TryLaterFlipsAreSafeAgainstConcurrentServing) {
+  // Toggle the switch from another thread while probes are served; each
+  // probe must land on one of the two modes, never anything else. Run under
+  // TSan to check the data-race half of the contract.
+  OcspResponder responder(authority, ResponderBehavior{}, "ocsp.tl4.example",
+                          rng);
+  responder.install(network);
+  const auto leaf = issue("tl4.example");
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    bool value = true;
+    while (!stop.load()) {
+      responder.set_try_later(value);
+      value = !value;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const auto result = probe(responder, leaf, kNow + Duration::secs(i));
+    EXPECT_TRUE(result.outcome == ocsp::CheckOutcome::kOk ||
+                result.outcome == ocsp::CheckOutcome::kNotSuccessful);
+  }
+  stop.store(true);
+  toggler.join();
 }
 
 TEST_F(ResponderFixture, GetWithBadPathIsMalformedRequest) {

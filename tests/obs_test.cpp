@@ -3,6 +3,7 @@
 // and span nesting/timing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -107,6 +108,53 @@ TEST(Logger, FieldHelpersFormatValues) {
   EXPECT_EQ(field("k", 2.5).value, "2.5");
   EXPECT_EQ(field("k", true).value, "true");
   EXPECT_EQ(field("k", false).value, "false");
+}
+
+TEST(Logger, EnabledTracksSinkSetWithoutLocking) {
+  // Regression: enabled() is the per-call-site fast path and reads only
+  // atomics; has_sinks_ must mirror every mutation of the sink list.
+  Logger logger;
+  logger.set_level(Level::kDebug);
+  EXPECT_FALSE(logger.enabled(Level::kError));  // sinkless
+  auto ring = std::make_shared<RingBufferSink>();
+  logger.add_sink(ring);
+  EXPECT_TRUE(logger.enabled(Level::kDebug));
+  logger.remove_sink(ring);
+  EXPECT_FALSE(logger.enabled(Level::kError));
+  logger.add_sink(ring);
+  logger.clear_sinks();
+  EXPECT_FALSE(logger.enabled(Level::kError));
+}
+
+TEST(Logger, ConcurrentSinkChurnAndLoggingIsSafe) {
+  // Regression: sinks_ and sim_clock_ are read under the logger mutex while
+  // other threads mutate them; enabled() stays lock-free throughout. The
+  // assertions are minimal — the value of this test is under TSan.
+  Logger logger;
+  auto ring = std::make_shared<RingBufferSink>();
+  logger.add_sink(ring);
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load()) {
+      logger.set_sim_clock([] { return util::make_time(2018, 6, 1); });
+      logger.set_sim_clock(nullptr);
+      logger.clear_sinks();
+      logger.add_sink(ring);
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load()) (void)logger.enabled(Level::kInfo);
+  });
+  for (int i = 0; i < 500; ++i) {
+    logger.log(Level::kInfo, "churn", "msg " + std::to_string(i));
+  }
+  stop.store(true);
+  churn.join();
+  reader.join();
+  logger.clear_sinks();
+  logger.add_sink(ring);
+  logger.log(Level::kInfo, "churn", "final");
+  EXPECT_FALSE(ring->records().empty());
 }
 
 // --------------------------------------------------------------- metrics --
@@ -486,6 +534,30 @@ TEST(Trace, CapacityBoundsCollectionAndCountsDrops) {
   EXPECT_TRUE(log.events().empty());
   EXPECT_EQ(log.dropped(), 0u);
   EXPECT_EQ(log.capacity(), 2u);  // reset keeps capacity
+}
+
+TEST(Trace, CapacityIsSafeToChangeWhileCollecting) {
+  // Regression: capacity_ moved under the log mutex — set_capacity() used
+  // to race add() reading it. Every event must be accounted for as either
+  // kept (within whatever capacity was current) or dropped.
+  TraceLog log;
+  log.set_capacity(64);  // the resizer only ever lowers/restores this bound
+  log.enable(util::make_time(2018, 4, 24));
+  constexpr int kEvents = 2000;
+  std::thread resizer([&] {
+    for (int i = 0; i < 200; ++i) {
+      log.set_capacity(i % 2 == 0 ? 16 : 64);
+      (void)log.capacity();
+    }
+  });
+  for (int i = 0; i < kEvents; ++i) {
+    log.instant("e", "c", util::make_time(2018, 4, 25), 0);
+  }
+  resizer.join();
+  log.disable();
+  EXPECT_EQ(log.events().size() + log.dropped(),
+            static_cast<std::size_t>(kEvents));
+  EXPECT_LE(log.events().size(), 64u);
 }
 
 TEST(Trace, ChromeTraceGolden) {

@@ -82,6 +82,26 @@ TEST(ResourceMonitor, StartAndStopAreIdempotentAndStopSafeWithoutStart) {
   EXPECT_FALSE(monitor.running());
 }
 
+TEST(ResourceMonitor, RunningIsSafeToPollWhileTicking) {
+  // Regression: running() used to read running_ without the monitor mutex;
+  // pollers (the introspection /status handler) race the tick thread. The
+  // assertions are loose — the value of this test is under TSan.
+  ResourceMonitor::Options options;
+  options.tick_ms = 1;
+  ResourceMonitor monitor(options);
+  monitor.start();
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load()) (void)monitor.running();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(monitor.running());
+  monitor.stop();
+  stop.store(true);
+  poller.join();
+  EXPECT_FALSE(monitor.running());
+}
+
 TEST(ResourceMonitor, SamplesIncludeNamedAllocationCounters) {
   util::AllocCounter& counter = util::alloc_counter("test.resource_monitor");
   counter.reset();

@@ -1,0 +1,351 @@
+// Fixture-driven tests for tools/srclint: every rule firing, every
+// suppression path, the golden JSON shape, and the in-tree gate that keeps
+// src/ at zero unsuppressed findings. Fixtures are in-memory strings fed to
+// Checker::check_text so the suite never depends on scratch files.
+#include "srclint/srclint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace srclint = mustaple::srclint;
+
+namespace {
+
+std::vector<std::string> rule_ids(const std::vector<srclint::Finding>& fs) {
+  std::vector<std::string> ids;
+  for (const auto& f : fs) ids.push_back(f.rule_id);
+  return ids;
+}
+
+srclint::Report check(const std::string& content,
+                      const std::string& path = "src/fixture/fixture.cpp") {
+  return srclint::Checker().check_text(path, content);
+}
+
+TEST(SrclintRules, WallClockFires) {
+  const auto report =
+      check("auto now = std::chrono::system_clock::now();\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_wallclock_in_sim");
+  EXPECT_EQ(report.findings[0].line, 1u);
+}
+
+TEST(SrclintRules, WallClockAllowlistedFileIsExempt) {
+  const auto report = check("auto now = std::chrono::steady_clock::now();\n",
+                            "src/obs/resource.cpp");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.suppressed.empty());
+}
+
+TEST(SrclintRules, WallClockInCommentOrStringIgnored) {
+  const auto report = check(
+      "// std::chrono::system_clock::now() is forbidden here\n"
+      "log(\"std::chrono::system_clock\");\n"
+      "/* clock_gettime(CLOCK_REALTIME, &ts); */\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, RandomFires) {
+  const auto report = check(
+      "std::random_device rd;\n"
+      "int x = rand();\n"
+      "srand(42);\n");
+  EXPECT_EQ(rule_ids(report.findings),
+            (std::vector<std::string>{"sl_nondeterministic_random",
+                                      "sl_nondeterministic_random",
+                                      "sl_nondeterministic_random"}));
+}
+
+TEST(SrclintRules, RandTokenNeedsWordBoundary) {
+  // "operand(" and "brand(" must not trip the rand() detector.
+  const auto report = check("auto v = expr.operand(0); brand(v);\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, ObsUngatedFires) {
+  const auto report =
+      check("obs::default_registry().counter(\"x\").inc();\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_obs_ungated");
+}
+
+TEST(SrclintRules, ObsGatedRegionIsClean) {
+  const auto report = check(
+      "#if MUSTAPLE_OBS_ENABLED\n"
+      "obs::default_registry().counter(\"x\").inc();\n"
+      "#endif\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, ObsElseBranchOfGateFires) {
+  const auto report = check(
+      "#if MUSTAPLE_OBS_ENABLED\n"
+      "obs::default_logger().flush();\n"
+      "#else\n"
+      "obs::default_logger().flush();\n"
+      "#endif\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].line, 4u);
+}
+
+TEST(SrclintRules, ObsNegatedGateFires) {
+  const auto report = check(
+      "#if !MUSTAPLE_OBS_ENABLED\n"
+      "obs::default_registry().gauge(\"x\").set(1);\n"
+      "#endif\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_obs_ungated");
+}
+
+TEST(SrclintRules, ObsUnrelatedConditionalStillFires) {
+  const auto report = check(
+      "#if defined(__linux__)\n"
+      "obs::default_registry().counter(\"x\").inc();\n"
+      "#endif\n");
+  EXPECT_EQ(report.findings.size(), 1u);
+}
+
+TEST(SrclintRules, ObsImplementationFilesAreExempt) {
+  const auto report = check("obs::default_registry().counter(\"x\").inc();\n",
+                            "src/obs/metrics.cpp");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, ViewBindsTemporaryFires) {
+  const auto report =
+      check("asn1::BytesView view = builder.encode();\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_view_binds_temporary");
+}
+
+TEST(SrclintRules, ViewBindsTemporaryJoinsLogicalLines) {
+  // The declaration spans physical lines; the rule must see it whole.
+  const auto report = check(
+      "asn1::BytesView view =\n"
+      "    certificate.to_der();\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_view_binds_temporary");
+  EXPECT_EQ(report.findings[0].line, 1u);
+}
+
+TEST(SrclintRules, ViewOverOwnedValueIsClean) {
+  const auto report = check(
+      "const Bytes der = builder.encode();\n"
+      "asn1::BytesView view(der);\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, UnguardedMutexFieldFires) {
+  const auto report = check(
+      "class Cache {\n"
+      "  util::Mutex mu_;\n"
+      "  std::vector<int> entries_;\n"
+      "};\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_unguarded_mutex_field");
+  EXPECT_EQ(report.findings[0].line, 3u);
+}
+
+TEST(SrclintRules, GuardedAndExemptFieldsAreClean) {
+  const auto report = check(
+      "class Cache {\n"
+      "  mutable util::Mutex mu_;\n"
+      "  std::vector<int> entries_ MUSTAPLE_GUARDED_BY(mu_);\n"
+      "  std::map<int, int>* table_ MUSTAPLE_PT_GUARDED_BY(mu_);\n"
+      "  std::atomic<bool> running_{false};\n"
+      "  util::CondVar cv_;\n"
+      "  std::thread worker_;\n"
+      "  static constexpr int kLimit = 3;\n"
+      "};\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, GuardedMultiLineDeclarationIsClean) {
+  // GUARDED_BY on the continuation line — logical-line joining must see it
+  // (this is the src/core/study.hpp live_scanner_ shape).
+  const auto report = check(
+      "class Study {\n"
+      "  mutable util::Mutex scanner_mu_;\n"
+      "  measurement::HourlyScanner* live_scanner_\n"
+      "      MUSTAPLE_GUARDED_BY(scanner_mu_) = nullptr;\n"
+      "};\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, WindowClosesAtAccessLabelAndBrace) {
+  const auto report = check(
+      "class Cache {\n"
+      "  util::Mutex mu_;\n"
+      " public:\n"
+      "  std::vector<int> entries_;\n"
+      "};\n"
+      "struct Free { std::vector<int> other; };\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, NestedStructInsideWindowIsSkipped) {
+  // Fields of a member-struct DEFINITION are not mutex-adjacent state of
+  // the enclosing class (the src/obs/prof.hpp PathNode shape).
+  const auto report = check(
+      "class Profiler {\n"
+      "  mutable util::Mutex paths_mu_;\n"
+      "  struct PathNode {\n"
+      "    int parent = 0;\n"
+      "    std::string name;\n"
+      "  };\n"
+      "  std::vector<PathNode> paths_ MUSTAPLE_GUARDED_BY(paths_mu_);\n"
+      "};\n");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintRules, RawStdMutexFires) {
+  const auto report = check(
+      "std::mutex mu;\n"
+      "std::lock_guard<std::mutex> lock(mu);\n"
+      "std::condition_variable cv;\n");
+  // Line 2 carries both std::lock_guard and std::mutex but reports once.
+  EXPECT_EQ(rule_ids(report.findings),
+            (std::vector<std::string>{"sl_raw_std_mutex", "sl_raw_std_mutex",
+                                      "sl_raw_std_mutex"}));
+}
+
+TEST(SrclintRules, MutexWrapperFileIsExempt) {
+  const auto report = check("std::mutex mu_;\n", "src/util/mutex.hpp");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(SrclintSuppression, SameLineAllowMoves_FindingToSuppressed) {
+  const auto report = check(
+      "int x = rand();  // SRCLINT-ALLOW(sl_nondeterministic_random): "
+      "fixture needs noise\n");
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].rule_id, "sl_nondeterministic_random");
+  EXPECT_EQ(report.suppressed[0].suppress_reason, "fixture needs noise");
+}
+
+TEST(SrclintSuppression, LineAboveAllowApplies) {
+  const auto report = check(
+      "// SRCLINT-ALLOW(sl_raw_std_mutex): exercising the raw type\n"
+      "std::mutex mu;\n");
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_EQ(report.suppressed.size(), 1u);
+}
+
+TEST(SrclintSuppression, WrongRuleIdDoesNotSuppress) {
+  const auto report = check(
+      "// SRCLINT-ALLOW(sl_wallclock_in_sim): wrong rule\n"
+      "std::mutex mu;\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_raw_std_mutex");
+}
+
+TEST(SrclintSuppression, TwoLinesAboveDoesNotSuppress) {
+  const auto report = check(
+      "// SRCLINT-ALLOW(sl_raw_std_mutex): too far away\n"
+      "int filler = 0;\n"
+      "std::mutex mu;\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+}
+
+TEST(SrclintSuppression, MissingReasonIsItselfAFinding) {
+  const auto report = check(
+      "// SRCLINT-ALLOW(sl_raw_std_mutex):\n"
+      "std::mutex mu;\n");
+  // Both the malformed allow AND the un-suppressed target are reported.
+  EXPECT_EQ(rule_ids(report.findings),
+            (std::vector<std::string>{"sl_suppression", "sl_raw_std_mutex"}));
+}
+
+TEST(SrclintSuppression, UnknownRuleIdIsItselfAFinding) {
+  const auto report =
+      check("int x = 0;  // SRCLINT-ALLOW(sl_nonexistent): reason\n");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_suppression");
+  EXPECT_NE(report.findings[0].message.find("sl_nonexistent"),
+            std::string::npos);
+}
+
+TEST(SrclintReport, GoldenJson) {
+  srclint::Report report = check(
+      "int x = rand();\n"
+      "// SRCLINT-ALLOW(sl_raw_std_mutex): fixture lock\n"
+      "std::mutex mu;\n",
+      "src/fixture/golden.cpp");
+  const std::string expected =
+      "{\"schema\":\"mustaple-srclint/1\",\"files_scanned\":1,"
+      "\"counts\":{\"findings\":1,\"suppressed\":1},"
+      "\"by_rule\":{\"sl_nondeterministic_random\":1},"
+      "\"findings\":[{\"rule\":\"sl_nondeterministic_random\","
+      "\"severity\":\"error\",\"file\":\"src/fixture/golden.cpp\","
+      "\"line\":1,\"message\":\"non-deterministic source 'rand(' — derive "
+      "randomness from util::Rng seeds\"}],"
+      "\"suppressed\":[{\"rule\":\"sl_raw_std_mutex\","
+      "\"severity\":\"error\",\"file\":\"src/fixture/golden.cpp\","
+      "\"line\":3,\"message\":\"'std::mutex' outside util/mutex.hpp — use "
+      "util::Mutex/MutexLock so thread-safety analysis sees the lock\","
+      "\"suppress_reason\":\"fixture lock\"}]}\n";
+  EXPECT_EQ(report.render_json(), expected);
+}
+
+TEST(SrclintReport, MergeAndByRule) {
+  srclint::Report a = check("int x = rand();\n", "src/a.cpp");
+  const srclint::Report b = check("std::mutex mu;\n", "src/b.cpp");
+  a.merge(b);
+  EXPECT_EQ(a.files_scanned, 2u);
+  const auto counts = a.by_rule();
+  EXPECT_EQ(counts.at("sl_nondeterministic_random"), 1u);
+  EXPECT_EQ(counts.at("sl_raw_std_mutex"), 1u);
+}
+
+TEST(SrclintReport, TextRenderingIsOnePerLine) {
+  const auto report = check("int x = rand();\n", "src/a.cpp");
+  const std::string text = report.render_text();
+  EXPECT_NE(text.find("src/a.cpp:1: [sl_nondeterministic_random]"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 finding(s), 0 suppressed, 1 file(s) scanned"),
+            std::string::npos);
+}
+
+TEST(SrclintReport, RuleTableIsComplete) {
+  const auto& rules = srclint::builtin_rules();
+  const std::vector<std::string> expected = {
+      "sl_wallclock_in_sim",    "sl_nondeterministic_random",
+      "sl_obs_ungated",         "sl_view_binds_temporary",
+      "sl_unguarded_mutex_field", "sl_raw_std_mutex",
+      "sl_suppression",         "sl_io",
+  };
+  ASSERT_EQ(rules.size(), expected.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, expected[i]);
+    EXPECT_FALSE(rules[i].citation.empty()) << rules[i].id;
+    EXPECT_FALSE(rules[i].description.empty()) << rules[i].id;
+  }
+}
+
+TEST(SrclintReport, MissingFileIsAnIoFinding) {
+  const auto report =
+      srclint::Checker().check_file("src/does/not/exist.cpp");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule_id, "sl_io");
+}
+
+// The in-tree gate: the shipped source must scan clean with the default
+// allowlist. This is the same invocation CI runs via the srclint binary;
+// having it as a unit test means a plain `ctest` catches a regression
+// before any workflow does.
+TEST(SrclintGate, RepoSourceTreeIsClean) {
+  const srclint::Report report =
+      srclint::Checker().check_paths({std::string(SRCLINT_REPO_ROOT) +
+                                      "/src"});
+  for (const auto& f : report.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule_id << "] "
+                  << f.message;
+  }
+  EXPECT_GT(report.files_scanned, 100u);  // the scan actually found the tree
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// srclint CLI. Usage:
+//   srclint [--report-only] [--json <path>] <path>...
+//
+// Paths may be files or directories (directories recurse into
+// *.hpp/*.cpp/*.h/*.cc). Exit codes: 0 clean, 1 unsuppressed findings,
+// 2 usage / internal error. --report-only always exits 0/2 — used for the
+// bench/ and examples/ sweeps where findings are informational.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "srclint/srclint.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace mustaple::srclint;
+
+  bool report_only = false;
+  std::string json_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report-only") {
+      report_only = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "srclint: --json requires a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: srclint [--report-only] [--json <path>] <path>...\n");
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "srclint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: srclint [--report-only] [--json <path>] <path>...\n");
+    return 2;
+  }
+
+  const Checker checker;
+  const Report report = checker.check_paths(paths);
+
+  const std::string text = report.render_text();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "srclint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    out << report.render_json();
+  }
+
+  if (report_only) return 0;
+  return report.findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "srclint: internal error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,628 @@
+#include "srclint/srclint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace mustaple::srclint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Text utilities
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Substring match where the character BEFORE the match must not extend an
+/// identifier ("rand(" must not match inside "srand(").
+bool contains_token(const std::string& code, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    if (pos == 0 || !is_ident_char(code[pos - 1])) return true;
+    ++pos;
+  }
+  return false;
+}
+
+bool starts_with_word(const std::string& s, const std::string& word) {
+  if (s.rfind(word, 0) != 0) return false;
+  return s.size() == word.size() || !is_ident_char(s[word.size()]);
+}
+
+/// Strips string/char literals and comments from one physical line, given
+/// (and updating) whether the line starts inside a /* block comment.
+/// Findings only ever match real code this way — a comment SAYING
+/// "std::mutex" is not a violation.
+std::string strip_line(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block_comment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out += quote;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out += quote;  // literal contents removed, delimiters kept
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule tables
+// ---------------------------------------------------------------------------
+
+const char* kDesign7 = "DESIGN.md §7 (deterministic parallel campaigns)";
+const char* kDesign9 = "DESIGN.md §9 (BytesView lifetime rules)";
+const char* kStaticDoc = "docs/STATIC_ANALYSIS.md";
+
+const std::vector<std::string>& wallclock_tokens() {
+  static const std::vector<std::string> kTokens = {
+      "std::chrono::system_clock", "std::chrono::steady_clock",
+      "system_clock::now",         "steady_clock::now",
+      "high_resolution_clock",     "clock_gettime",
+      "gettimeofday",              "gmtime",
+      "localtime",
+  };
+  return kTokens;
+}
+
+const std::vector<std::string>& random_tokens() {
+  static const std::vector<std::string> kTokens = {
+      "std::random_device",
+      "random_device",
+      "srand(",
+      "rand(",
+  };
+  return kTokens;
+}
+
+const std::vector<std::string>& obs_singleton_tokens() {
+  static const std::vector<std::string> kTokens = {
+      "obs::default_registry(",  "obs::default_logger(",
+      "obs::default_trace_log(", "obs::default_profiler(",
+      "obs::default_flight_recorder(",
+  };
+  return kTokens;
+}
+
+const std::vector<std::string>& raw_mutex_tokens() {
+  static const std::vector<std::string> kTokens = {
+      "std::mutex",       "std::condition_variable",
+      "std::lock_guard",  "std::unique_lock",
+      "std::scoped_lock", "std::shared_mutex",
+      "std::recursive_mutex",
+  };
+  return kTokens;
+}
+
+const std::vector<std::string>& temporary_suffixes() {
+  static const std::vector<std::string> kSuffixes = {
+      ".encode()", ".to_der()", ".to_bytes()", ".str()", ".render_json()",
+  };
+  return kSuffixes;
+}
+
+/// Member decls exempt from sl_unguarded_mutex_field: their own
+/// synchronization (atomics), the lock machinery itself, thread handles,
+/// compile-time members, and anything already annotated.
+bool mutex_field_exempt(const std::string& decl) {
+  static const std::vector<std::string> kExempt = {
+      "MUSTAPLE_GUARDED_BY",  "MUSTAPLE_PT_GUARDED_BY",
+      "std::atomic",          "CondVar",
+      "std::thread",          "Mutex",
+      "constexpr ",           "= delete",
+      "= default",
+  };
+  if (starts_with_word(decl, "static")) return true;
+  for (const std::string& token : kExempt) {
+    if (decl.find(token) != std::string::npos) return true;
+  }
+  // A '(' outside the annotation macros means a function or functional-type
+  // declaration — out of scope for the field heuristic.
+  if (decl.find('(') != std::string::npos) return true;
+  return false;
+}
+
+bool control_statement(const std::string& decl) {
+  static const std::vector<std::string> kKeywords = {
+      "return", "if",     "for",     "while",  "do",     "switch",
+      "case",   "break",  "continue", "else",  "delete", "goto",
+      "using",  "typedef", "friend",  "template", "static_assert", "public",
+      "private", "protected",
+  };
+  for (const std::string& kw : kKeywords) {
+    if (starts_with_word(decl, kw)) return true;
+  }
+  return false;
+}
+
+struct Suppression {
+  std::string rule_id;
+  std::string reason;
+  bool malformed = false;
+};
+
+/// Parses `// SRCLINT-ALLOW(rule): reason` from a RAW line (the grammar
+/// lives in comments, which strip_line removes).
+bool parse_suppression(const std::string& raw, Suppression& out) {
+  static const std::regex kAllow(
+      R"(SRCLINT-ALLOW\(([A-Za-z0-9_]*)\)\s*(?::\s*(.*))?)");
+  std::smatch m;
+  if (!std::regex_search(raw, m, kAllow)) return false;
+  out.rule_id = m[1].str();
+  out.reason = m[2].matched ? trim(m[2].str()) : "";
+  bool known = false;
+  for (const RuleInfo& rule : builtin_rules()) {
+    if (rule.id == out.rule_id) known = true;
+  }
+  out.malformed = !known || out.reason.empty();
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const std::vector<RuleInfo>& builtin_rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"sl_wallclock_in_sim", kDesign7,
+       "wall-clock read outside the wall-clock-legitimate allowlist",
+       Severity::kError},
+      {"sl_nondeterministic_random", kDesign7,
+       "non-deterministic randomness (std::random_device / rand / srand)",
+       Severity::kError},
+      {"sl_obs_ungated", kDesign7,
+       "direct obs::default_*() call outside #if MUSTAPLE_OBS_ENABLED",
+       Severity::kError},
+      {"sl_view_binds_temporary", kDesign9,
+       "BytesView/TlvView initialized from an rvalue-returning call",
+       Severity::kError},
+      {"sl_unguarded_mutex_field", kStaticDoc,
+       "member after a util::Mutex without MUSTAPLE_GUARDED_BY",
+       Severity::kError},
+      {"sl_raw_std_mutex", kStaticDoc,
+       "raw std::mutex family outside util/mutex.hpp", Severity::kError},
+      {"sl_suppression", kStaticDoc,
+       "malformed SRCLINT-ALLOW (unknown rule id or missing reason)",
+       Severity::kError},
+      {"sl_io", kStaticDoc, "file could not be read", Severity::kError},
+  };
+  return kRules;
+}
+
+Options default_options() {
+  Options options;
+  // Wall-clock-legitimate files (justifications in docs/STATIC_ANALYSIS.md):
+  // the obs pillar measures real process behaviour by design; the event
+  // loop times real dispatch cost into obs histograms; the socket layer
+  // needs real deadlines; bench/examples run on the wall clock by nature.
+  options.allowlist["sl_wallclock_in_sim"] = {
+      "src/obs/",  "src/net/event_loop.cpp", "src/net/socket_server.cpp",
+      "bench/",    "examples/",              "tools/",
+  };
+  // The obs implementation is its own gate.
+  options.allowlist["sl_obs_ungated"] = {"src/obs/", "bench/", "examples/",
+                                         "tools/"};
+  // The annotated wrapper is the one sanctioned home of std::mutex.
+  options.allowlist["sl_raw_std_mutex"] = {"src/util/mutex.hpp", "tools/"};
+  return options;
+}
+
+void Report::merge(const Report& other) {
+  findings.insert(findings.end(), other.findings.begin(),
+                  other.findings.end());
+  suppressed.insert(suppressed.end(), other.suppressed.begin(),
+                    other.suppressed.end());
+  files_scanned += other.files_scanned;
+}
+
+std::map<std::string, std::size_t> Report::by_rule() const {
+  std::map<std::string, std::size_t> counts;
+  for (const Finding& f : findings) ++counts[f.rule_id];
+  return counts;
+}
+
+std::string Report::render_json() const {
+  const auto render_finding = [](const Finding& f) {
+    std::ostringstream out;
+    out << "{\"rule\":\"" << json_escape(f.rule_id) << "\",\"severity\":\""
+        << to_string(f.severity) << "\",\"file\":\"" << json_escape(f.file)
+        << "\",\"line\":" << f.line << ",\"message\":\""
+        << json_escape(f.message) << "\"";
+    if (!f.suppress_reason.empty()) {
+      out << ",\"suppress_reason\":\"" << json_escape(f.suppress_reason)
+          << "\"";
+    }
+    out << "}";
+    return out.str();
+  };
+
+  std::ostringstream out;
+  out << "{\"schema\":\"mustaple-srclint/1\",\"files_scanned\":"
+      << files_scanned << ",\"counts\":{\"findings\":" << findings.size()
+      << ",\"suppressed\":" << suppressed.size() << "},\"by_rule\":{";
+  bool first = true;
+  for (const auto& [rule, count] : by_rule()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(rule) << "\":" << count;
+  }
+  out << "},\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i) out << ",";
+    out << render_finding(findings[i]);
+  }
+  out << "],\"suppressed\":[";
+  for (std::size_t i = 0; i < suppressed.size(); ++i) {
+    if (i) out << ",";
+    out << render_finding(suppressed[i]);
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+std::string Report::render_text() const {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule_id << "] " << f.message
+        << "\n";
+  }
+  out << findings.size() << " finding(s), " << suppressed.size()
+      << " suppressed, " << files_scanned << " file(s) scanned\n";
+  return out.str();
+}
+
+Checker::Checker(Options options) : options_(std::move(options)) {}
+
+bool Checker::allowed(const std::string& rule_id,
+                      const std::string& path) const {
+  const auto it = options_.allowlist.find(rule_id);
+  if (it == options_.allowlist.end()) return false;
+  for (const std::string& entry : it->second) {
+    if (path.find(entry) != std::string::npos) return true;
+  }
+  return false;
+}
+
+Report Checker::check_text(const std::string& path,
+                           const std::string& content) const {
+  Report report;
+  report.files_scanned = 1;
+
+  const std::vector<std::string> raw = split_lines(content);
+
+  // Pass 1: stripped code per line, OBS-gating depth per line, and the
+  // suppression table.
+  std::vector<std::string> code(raw.size());
+  std::vector<bool> obs_gated(raw.size(), false);
+  std::map<std::size_t, Suppression> allows;  // line (1-based) -> allow
+  {
+    bool in_block_comment = false;
+    // Preprocessor stack: 1 = inside #if MUSTAPLE_OBS_ENABLED, -1 = inside
+    // its #else (or #if !MUSTAPLE_OBS_ENABLED), 0 = unrelated conditional.
+    std::vector<int> pp;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      code[i] = strip_line(raw[i], in_block_comment);
+
+      Suppression allow;
+      if (parse_suppression(raw[i], allow)) {
+        allows[i + 1] = allow;
+        if (allow.malformed) {
+          Finding f;
+          f.rule_id = "sl_suppression";
+          f.severity = Severity::kError;
+          f.file = path;
+          f.line = i + 1;
+          f.message = "malformed SRCLINT-ALLOW: " +
+                      (allow.rule_id.empty()
+                           ? std::string("missing rule id")
+                           : allow.reason.empty()
+                                 ? "missing reason for '" + allow.rule_id + "'"
+                                 : "unknown rule '" + allow.rule_id + "'");
+          report.findings.push_back(std::move(f));
+        }
+      }
+
+      const std::string t = trim(code[i]);
+      if (starts_with_word(t, "#if")) {
+        int state = 0;
+        if (t.find("MUSTAPLE_OBS_ENABLED") != std::string::npos) {
+          state = t.find("!MUSTAPLE_OBS_ENABLED") != std::string::npos ? -1 : 1;
+        }
+        pp.push_back(state);
+      } else if (starts_with_word(t, "#elif")) {
+        if (!pp.empty()) pp.back() = 0;
+      } else if (starts_with_word(t, "#else")) {
+        if (!pp.empty()) pp.back() = -pp.back();
+      } else if (starts_with_word(t, "#endif")) {
+        if (!pp.empty()) pp.pop_back();
+      }
+      obs_gated[i] = std::any_of(pp.begin(), pp.end(),
+                                 [](int s) { return s == 1; });
+    }
+  }
+
+  std::vector<Finding> candidates;
+  const auto add = [&](const char* rule_id, std::size_t line,
+                       std::string message) {
+    if (allowed(rule_id, path)) return;
+    Finding f;
+    f.rule_id = rule_id;
+    f.severity = Severity::kError;
+    f.file = path;
+    f.line = line;
+    f.message = std::move(message);
+    candidates.push_back(std::move(f));
+  };
+
+  // Pass 2: per-physical-line token rules.
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& c = code[i];
+    if (c.empty()) continue;
+    for (const std::string& token : wallclock_tokens()) {
+      if (contains_token(c, token)) {
+        add("sl_wallclock_in_sim", i + 1,
+            "wall-clock read '" + token +
+                "' — sim paths must use util::SimTime (allowlist the file if "
+                "wall time is the point)");
+        break;
+      }
+    }
+    for (const std::string& token : random_tokens()) {
+      if (contains_token(c, token)) {
+        add("sl_nondeterministic_random", i + 1,
+            "non-deterministic source '" + token +
+                "' — derive randomness from util::Rng seeds");
+        break;
+      }
+    }
+    if (!obs_gated[i]) {
+      for (const std::string& token : obs_singleton_tokens()) {
+        if (contains_token(c, token)) {
+          add("sl_obs_ungated", i + 1,
+              "direct " + token.substr(0, token.size() - 1) +
+                  "() call outside #if MUSTAPLE_OBS_ENABLED — use the "
+                  "MUSTAPLE_* macros or gate the block");
+          break;
+        }
+      }
+    }
+    for (const std::string& token : raw_mutex_tokens()) {
+      if (contains_token(c, token)) {
+        add("sl_raw_std_mutex", i + 1,
+            "'" + token +
+                "' outside util/mutex.hpp — use util::Mutex/MutexLock so "
+                "thread-safety analysis sees the lock");
+        break;
+      }
+    }
+  }
+
+  // Pass 3: logical-line rules (joined until ';', '{', '}' or label so a
+  // multi-line declaration reads as one unit).
+  {
+    static const std::regex kMutexDecl(
+        R"((^|[^\w<:])(util::)?Mutex\s+\w+\s*;)");
+    static const std::regex kViewDecl(R"((^|[^\w])(BytesView|TlvView)\s)");
+    std::string logical;
+    std::size_t logical_start = 0;
+    std::size_t guard_window = 0;  // logical lines left to inspect
+    int guard_nest = 0;  // depth inside a nested {} opened within the window
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const std::string t = trim(code[i]);
+      if (t.empty() || t[0] == '#') continue;
+      if (logical.empty()) logical_start = i + 1;
+      logical += logical.empty() ? t : " " + t;
+      const char last = logical.back();
+      if (last != ';' && last != '{' && last != '}' && last != ':') continue;
+      const std::string decl = logical;
+      const std::size_t line = logical_start;
+      logical.clear();
+
+      // sl_view_binds_temporary: a view declared on this logical line and
+      // initialized from a call returning an owning temporary.
+      if (std::regex_search(decl, kViewDecl)) {
+        for (const std::string& suffix : temporary_suffixes()) {
+          if (decl.find(suffix) != std::string::npos) {
+            add("sl_view_binds_temporary", line,
+                "view bound to temporary from '" + suffix +
+                    "' — store the owning value first (DESIGN.md §9)");
+            break;
+          }
+        }
+      }
+
+      // sl_unguarded_mutex_field: open a window after a mutex member decl.
+      // A nested aggregate ({...} opened inside the window, e.g. a member
+      // struct definition) is skipped wholesale — its fields are not
+      // mutex-adjacent state of the enclosing class.
+      if (guard_window > 0) {
+        --guard_window;
+        if (guard_nest > 0) {
+          if (decl.back() == '{') ++guard_nest;
+          if (decl.find('}') != std::string::npos) --guard_nest;
+        } else if (decl.back() == '{') {
+          ++guard_nest;
+        } else if (decl.find('}') != std::string::npos ||
+                   decl.find("public:") != std::string::npos ||
+                   decl.find("private:") != std::string::npos ||
+                   decl.find("protected:") != std::string::npos) {
+          guard_window = 0;
+          guard_nest = 0;
+        } else if (decl.back() == ';' && !control_statement(decl) &&
+                   !mutex_field_exempt(decl)) {
+          add("sl_unguarded_mutex_field", line,
+              "member declared after a util::Mutex without "
+              "MUSTAPLE_GUARDED_BY — annotate it or SRCLINT-ALLOW with the "
+              "ownership story");
+        }
+      }
+      if (std::regex_search(decl, kMutexDecl)) guard_window = 40;
+    }
+  }
+
+  // Apply suppressions: an allow on the same line or the line above eats a
+  // matching candidate.
+  for (Finding& f : candidates) {
+    const Suppression* allow = nullptr;
+    for (std::size_t line : {f.line, f.line - 1}) {
+      const auto it = allows.find(line);
+      if (it != allows.end() && !it->second.malformed &&
+          it->second.rule_id == f.rule_id) {
+        allow = &it->second;
+        break;
+      }
+    }
+    if (allow != nullptr) {
+      f.suppress_reason = allow->reason;
+      report.suppressed.push_back(std::move(f));
+    } else {
+      report.findings.push_back(std::move(f));
+    }
+  }
+
+  // Deterministic order: by file (single here), line, rule.
+  const auto order = [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule_id < b.rule_id;
+  };
+  std::sort(report.findings.begin(), report.findings.end(), order);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), order);
+  return report;
+}
+
+Report Checker::check_file(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Report report;
+    Finding f;
+    f.rule_id = "sl_io";
+    f.severity = Severity::kError;
+    f.file = path;
+    f.line = 0;
+    f.message = "cannot read file";
+    report.findings.push_back(std::move(f));
+    return report;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return check_text(path, buffer.str());
+}
+
+Report Checker::check_paths(const std::vector<std::string>& paths) const {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(path, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      files.push_back(path);  // explicit files are scanned regardless of ext
+    }
+  }
+  std::sort(files.begin(), files.end());
+  Report report;
+  for (const std::string& file : files) report.merge(check_file(file));
+  return report;
+}
+
+}  // namespace mustaple::srclint

@@ -1,0 +1,111 @@
+// srclint: a repo-invariant source checker for the mustaple tree.
+//
+// mustaple::lint (src/lint) lints the ARTIFACTS the simulator produces —
+// certificates, CRLs, OCSP responses — against RFC/BR citations. srclint
+// applies the same Rule/Finding/Report shapes to the SOURCE CODE itself,
+// scanning line-by-line for the repo-specific invariants that back the
+// determinism contract (DESIGN.md §7) and the view-lifetime rules
+// (DESIGN.md §9):
+//
+//   sl_wallclock_in_sim      wall-clock reads outside the allowlist of
+//                            wall-clock-legitimate files
+//   sl_nondeterministic_random
+//                            std::random_device / rand() / srand()
+//   sl_obs_ungated           direct obs::default_*() singleton calls in
+//                            non-obs code outside #if MUSTAPLE_OBS_ENABLED
+//   sl_view_binds_temporary  BytesView/TlvView initialized from an
+//                            rvalue-returning call (dangling view)
+//   sl_unguarded_mutex_field members declared after a util::Mutex without
+//                            MUSTAPLE_GUARDED_BY (or an exempt type)
+//   sl_raw_std_mutex         std::mutex / std::condition_variable /
+//                            std::lock_guard family outside util/mutex.hpp
+//   sl_suppression           malformed SRCLINT-ALLOW (unknown rule id or
+//                            missing reason)
+//
+// Suppression grammar (same line, or the line immediately above):
+//   // SRCLINT-ALLOW(rule_id): reason text
+// The reason is mandatory; suppressions are carried into the JSON report
+// so an allow never disappears silently. See docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mustaple::srclint {
+
+enum class Severity : std::uint8_t { kInfo, kWarn, kError };
+
+const char* to_string(Severity severity);
+
+/// Static description of one rule (mirrors mustaple::lint::RuleInfo; the
+/// citation points at the repo document that makes the invariant binding).
+struct RuleInfo {
+  std::string id;
+  std::string citation;
+  std::string description;
+  Severity severity = Severity::kError;
+};
+
+/// One rule firing at one source line (mirrors mustaple::lint::Finding).
+struct Finding {
+  std::string rule_id;
+  Severity severity = Severity::kError;
+  std::string file;  ///< path as given to the scanner
+  std::size_t line = 0;
+  std::string message;
+  /// Set when a SRCLINT-ALLOW matched: the finding moves to the report's
+  /// suppressed list instead of failing the run.
+  std::string suppress_reason;
+};
+
+/// Scan results over any number of files (mirrors mustaple::lint::LintReport).
+struct Report {
+  std::vector<Finding> findings;    ///< unsuppressed — these fail the gate
+  std::vector<Finding> suppressed;  ///< SRCLINT-ALLOW'd, kept for the record
+  std::size_t files_scanned = 0;
+
+  void merge(const Report& other);
+  std::map<std::string, std::size_t> by_rule() const;
+  /// {"schema":"mustaple-srclint/1",...} single document, newline-terminated.
+  std::string render_json() const;
+  /// Human-readable one-line-per-finding text (file:line: [rule] message).
+  std::string render_text() const;
+};
+
+/// Per-rule file allowlists: a file is exempt from a rule when its path
+/// contains any of the rule's entries. Entries are documented substrings
+/// ("src/obs/resource.", "bench/"), not globs.
+struct Options {
+  std::map<std::string, std::vector<std::string>> allowlist;
+};
+
+/// The allowlist the repo gates CI with (see docs/STATIC_ANALYSIS.md for
+/// the per-file justifications).
+Options default_options();
+
+/// All built-in rules, in report order.
+const std::vector<RuleInfo>& builtin_rules();
+
+class Checker {
+ public:
+  explicit Checker(Options options = default_options());
+
+  /// Scans one in-memory buffer (the unit fixtures exercise this directly).
+  Report check_text(const std::string& path, const std::string& content) const;
+
+  /// Reads and scans one file; a read failure produces an sl_io error
+  /// finding rather than a crash.
+  Report check_file(const std::string& path) const;
+
+  /// Files plus directories (recursing into *.hpp/*.cpp), merged.
+  Report check_paths(const std::vector<std::string>& paths) const;
+
+ private:
+  bool allowed(const std::string& rule_id, const std::string& path) const;
+
+  Options options_;
+};
+
+}  // namespace mustaple::srclint
